@@ -1,0 +1,30 @@
+//! Figure 3 as a Criterion bench: simulate a merged batch of n wordcount
+//! jobs over the 160 GB dataset and report the simulation's measured TET,
+//! average map time, and average reduce time alongside the wall-clock cost
+//! of regenerating the point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use s3_bench::experiments::{run_fig3, DEFAULT_SEED};
+
+fn bench_fig3(c: &mut Criterion) {
+    // Print the paper-style table once so `cargo bench` output contains
+    // the reproduced figure.
+    let full = run_fig3(10, DEFAULT_SEED);
+    println!("\n[fig3] n -> (TET_ratio, map_ratio, reduce_ratio):");
+    for p in &full.points {
+        let (t, m, r) = full.overhead_at(p.n);
+        println!("[fig3] {:>2} -> ({t:.3}, {m:.3}, {r:.3})", p.n);
+    }
+
+    let mut g = c.benchmark_group("fig3_combined_jobs");
+    g.sample_size(10);
+    for n in [1usize, 5, 10] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| run_fig3(n, DEFAULT_SEED));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 4 as a Criterion bench: every panel is regenerated and printed
+//! in the paper's normalized form, then each scheduler's full-workload
+//! simulation is timed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use s3_bench::experiments::{run_fig4, Fig4Variant, DEFAULT_SEED};
+
+fn bench_fig4(c: &mut Criterion) {
+    for variant in Fig4Variant::all() {
+        let r = run_fig4(variant, DEFAULT_SEED);
+        println!("\n[{}] scheme -> (TET/S3, ART/S3):", r.label);
+        for (name, tet, art) in r.normalized() {
+            println!("[{}] {name:>5} -> ({tet:.2}, {art:.2})", r.label);
+        }
+    }
+
+    let mut g = c.benchmark_group("fig4_panels");
+    g.sample_size(10);
+    for variant in [Fig4Variant::SparseNormal64, Fig4Variant::DenseNormal64] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(variant.label()),
+            &variant,
+            |b, &v| {
+                b.iter(|| run_fig4(v, DEFAULT_SEED));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

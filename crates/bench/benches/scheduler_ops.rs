@@ -1,0 +1,125 @@
+//! Micro-benchmarks of scheduler-side operations: batch construction,
+//! locality-aware map handout, and segment bookkeeping — the per-heartbeat
+//! costs a real JobTracker plugin would pay.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use s3_cluster::{ClusterTopology, NodeId};
+use s3_dfs::{BlockId, Dfs, RoundRobinPlacement, SegmentId, Segmentation, MB};
+use s3_mapreduce::job::{requests_from_arrivals, JobProfile, JobTable};
+use s3_mapreduce::{Batch, BatchKey};
+use s3_sim::SimTime;
+use std::sync::Arc;
+
+fn world() -> (ClusterTopology, Dfs, JobTable, Vec<BlockId>) {
+    let cluster = ClusterTopology::paper_cluster();
+    let mut dfs = Dfs::new();
+    let file = dfs
+        .create_file(
+            &cluster,
+            "in",
+            2560 * 64 * MB,
+            64 * MB,
+            1,
+            &mut RoundRobinPlacement::default(),
+        )
+        .expect("create file");
+    let profile = Arc::new(JobProfile {
+        name: "wc".into(),
+        map_cpu_s_per_mb: 0.0015,
+        map_output_ratio: 0.015,
+        map_output_records_per_mb: 1526.0,
+        reduce_cpu_s_per_mb: 0.002,
+        reduce_output_ratio: 0.000625,
+        num_reduce_tasks: 30,
+    });
+    let mut table = JobTable::new();
+    for r in requests_from_arrivals(&profile, file, &[0.0; 10]) {
+        table.arrive(r);
+    }
+    let blocks = dfs.file(file).blocks.clone();
+    (cluster, dfs, table, blocks)
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let (cluster, dfs, table, blocks) = world();
+    let jobs: Vec<_> = table.arrived().iter().map(|r| r.id).collect();
+
+    let mut g = c.benchmark_group("batch");
+    g.bench_function("construct_2560_blocks_10_jobs", |b| {
+        b.iter(|| {
+            Batch::new(
+                BatchKey(0),
+                jobs.clone(),
+                &blocks,
+                &table,
+                &dfs,
+                SimTime::ZERO,
+                40,
+            )
+        });
+    });
+
+    g.throughput(Throughput::Elements(2560));
+    g.bench_function("drain_all_maps_locally", |b| {
+        b.iter(|| {
+            let mut batch = Batch::new(
+                BatchKey(0),
+                jobs.clone(),
+                &blocks,
+                &table,
+                &dfs,
+                SimTime::ZERO,
+                40,
+            );
+            let mut handed = 0u32;
+            // Round-robin over nodes like the heartbeat loop does.
+            'outer: loop {
+                let mut any = false;
+                for n in 0..40u32 {
+                    if let Some(_spec) =
+                        batch.next_map_for(NodeId(n), SimTime::ZERO, &dfs, &cluster)
+                    {
+                        handed += 1;
+                        any = true;
+                        if handed == 2560 {
+                            break 'outer;
+                        }
+                    }
+                }
+                assert!(any, "ran dry before all maps were handed out");
+            }
+            handed
+        });
+    });
+    g.finish();
+}
+
+fn bench_segmentation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("segmentation");
+    let seg = Segmentation::uniform(2560, 200);
+    g.throughput(Throughput::Elements(2560));
+    g.bench_function("segment_of_all_blocks", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for blk in 0..2560 {
+                acc = acc.wrapping_add(seg.segment_of(blk).0);
+            }
+            acc
+        });
+    });
+    g.bench_function("scan_order_walk", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for start in 0..seg.num_segments() {
+                for s in seg.scan_order(SegmentId(start)) {
+                    acc = acc.wrapping_add(s.0);
+                }
+            }
+            acc
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_batch, bench_segmentation);
+criterion_main!(benches);

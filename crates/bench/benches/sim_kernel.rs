@@ -1,0 +1,70 @@
+//! Micro-benchmarks of the simulation substrate: event calendar
+//! throughput, RNG distributions, and Zipf sampling.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use s3_sim::rng::ZipfTable;
+use s3_sim::{EventQueue, SimDuration, SimRng, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    const N: u64 = 100_000;
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("schedule_pop_100k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            for i in 0..N {
+                q.schedule(SimTime::from_micros((i * 7919) % 1_000_000_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            acc
+        });
+    });
+    g.bench_function("interleaved_100k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            // Heartbeat-like pattern: pop one, push one in the near future.
+            q.schedule(SimTime::ZERO, 0);
+            let mut acc = 0u64;
+            for i in 0..N {
+                let (_, e) = q.pop().expect("queue not empty");
+                acc = acc.wrapping_add(e);
+                q.schedule_in(SimDuration::from_millis(300), i);
+            }
+            acc
+        });
+    });
+    g.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_rng");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("noise_factor_10k", |b| {
+        let mut rng = SimRng::seed_from_u64(1);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..10_000 {
+                acc += rng.noise_factor(0.04, 1.5);
+            }
+            acc
+        });
+    });
+    g.bench_function("zipf_10k", |b| {
+        let table = ZipfTable::new(60_000, 1.1);
+        let mut rng = SimRng::seed_from_u64(2);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..10_000 {
+                acc += rng.zipf(&table);
+            }
+            acc
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_rng);
+criterion_main!(benches);

@@ -1,0 +1,675 @@
+//! Ablations beyond the paper's published figures, exploring the design
+//! choices DESIGN.md calls out:
+//!
+//! - sub-job granularity (waves per segment) vs submission overhead;
+//! - the dense↔sparse continuum via a Poisson arrival-rate sweep, locating
+//!   the S³/MRS1 crossover the paper observes at its two endpoints;
+//! - MRShare batch-count sensitivity;
+//! - periodic slot checking under injected stragglers;
+//! - the Section II-B partial-utilization schedulers (fair, capacity) as
+//!   additional baselines;
+//! - priority-aware S³ (the paper's future-work hook).
+
+use s3_cluster::{ClusterTopology, NodeId, SlowdownSchedule, SpeedProfile};
+use s3_core::{
+    BatchPolicy, CapacityScheduler, FairScheduler, FifoScheduler, MRShareScheduler, PriorityPolicy,
+    S3Config, S3Scheduler, SubJobSizing,
+};
+use s3_mapreduce::job::{requests_from_arrivals, requests_with_priorities};
+use s3_mapreduce::{simulate, CostModel, EngineConfig, Priority, RunMetrics, Scheduler};
+use s3_sim::SimTime;
+use s3_workloads::{paper_wordcount_file, wordcount_normal, ArrivalPattern, Dataset};
+use serde::Serialize;
+
+fn run(
+    dataset: &Dataset,
+    arrivals: &[f64],
+    scheduler: &mut dyn Scheduler,
+    slowdowns: &SlowdownSchedule,
+    seed: u64,
+) -> RunMetrics {
+    let cluster = ClusterTopology::paper_cluster();
+    let workload = requests_from_arrivals(&wordcount_normal(), dataset.file, arrivals);
+    simulate(
+        &cluster,
+        slowdowns,
+        &dataset.dfs,
+        &CostModel::default(),
+        &workload,
+        scheduler,
+        &EngineConfig {
+            seed,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("ablation run must not stall")
+}
+
+/// One `(x, tet_s, art_s)` sample of a one-dimensional sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepPoint {
+    /// The swept parameter value.
+    pub x: f64,
+    /// Total execution time, seconds.
+    pub tet_s: f64,
+    /// Average response time, seconds.
+    pub art_s: f64,
+}
+
+/// Sub-job granularity: S³ with 1..=13 waves per segment on the paper's
+/// sparse workload. Small segments lower alignment latency but multiply
+/// JQM iterations; large segments approach MRShare-like batching.
+pub fn segment_size_sweep(seed: u64) -> Vec<SweepPoint> {
+    let cluster = ClusterTopology::paper_cluster();
+    let dataset = paper_wordcount_file(&cluster, 64);
+    let arrivals = ArrivalPattern::paper_sparse().times();
+    [1u32, 2, 3, 5, 8, 13]
+        .iter()
+        .map(|&waves| {
+            let mut s = S3Scheduler::new(S3Config {
+                sizing: SubJobSizing::Waves(waves),
+                ..S3Config::default()
+            });
+            let m = run(&dataset, &arrivals, &mut s, &SlowdownSchedule::none(), seed);
+            SweepPoint {
+                x: waves as f64,
+                tet_s: m.tet().as_secs_f64(),
+                art_s: m.art().as_secs_f64(),
+            }
+        })
+        .collect()
+}
+
+/// One arrival-rate sample comparing S³ with single-batch MRShare.
+#[derive(Debug, Clone, Serialize)]
+pub struct CrossoverPoint {
+    /// Mean inter-arrival gap, seconds.
+    pub mean_gap_s: f64,
+    /// S³ measurements.
+    pub s3: SweepPoint,
+    /// MRS1 measurements.
+    pub mrs1: SweepPoint,
+}
+
+/// The dense↔sparse continuum: 10 Poisson jobs with growing mean gaps.
+/// At tiny gaps MRS1 matches or beats S³ (Figure 4(b)); as gaps grow,
+/// MRS1's waiting time explodes while S³ stays flat (Figure 4(a)).
+pub fn arrival_rate_sweep(seed: u64) -> Vec<CrossoverPoint> {
+    let cluster = ClusterTopology::paper_cluster();
+    let dataset = paper_wordcount_file(&cluster, 64);
+    [2.0f64, 10.0, 30.0, 60.0, 120.0, 240.0]
+        .iter()
+        .map(|&gap| {
+            let arrivals = ArrivalPattern::Poisson {
+                n: 10,
+                mean_gap_s: gap,
+                seed: seed ^ 0xA881,
+            }
+            .times();
+            let m_s3 = run(
+                &dataset,
+                &arrivals,
+                &mut S3Scheduler::default(),
+                &SlowdownSchedule::none(),
+                seed,
+            );
+            let m_mrs = run(
+                &dataset,
+                &arrivals,
+                &mut MRShareScheduler::mrs1(10),
+                &SlowdownSchedule::none(),
+                seed,
+            );
+            CrossoverPoint {
+                mean_gap_s: gap,
+                s3: SweepPoint {
+                    x: gap,
+                    tet_s: m_s3.tet().as_secs_f64(),
+                    art_s: m_s3.art().as_secs_f64(),
+                },
+                mrs1: SweepPoint {
+                    x: gap,
+                    tet_s: m_mrs.tet().as_secs_f64(),
+                    art_s: m_mrs.art().as_secs_f64(),
+                },
+            }
+        })
+        .collect()
+}
+
+/// MRShare batch-count sensitivity on the sparse workload: 1..=5 equal
+/// batches. Few batches → high waiting (bad ART); many batches → less
+/// sharing (worse TET).
+pub fn mrshare_batch_sweep(seed: u64) -> Vec<SweepPoint> {
+    let cluster = ClusterTopology::paper_cluster();
+    let dataset = paper_wordcount_file(&cluster, 64);
+    let arrivals = ArrivalPattern::paper_sparse().times();
+    (1usize..=5)
+        .map(|batches| {
+            let base = 10 / batches;
+            let mut sizes = vec![base; batches];
+            let mut rem = 10 - base * batches;
+            for s in sizes.iter_mut() {
+                if rem == 0 {
+                    break;
+                }
+                *s += 1;
+                rem -= 1;
+            }
+            let mut s = MRShareScheduler::new(BatchPolicy::FixedGroups(sizes), "MRS");
+            let m = run(&dataset, &arrivals, &mut s, &SlowdownSchedule::none(), seed);
+            SweepPoint {
+                x: batches as f64,
+                tet_s: m.tet().as_secs_f64(),
+                art_s: m.art().as_secs_f64(),
+            }
+        })
+        .collect()
+}
+
+/// Straggler ablation: five nodes at 10% speed for nine minutes, S³ with
+/// slot checking off vs on. Returns `(off, on)`.
+pub fn slot_checking_ablation(seed: u64) -> (SweepPoint, SweepPoint) {
+    let cluster = ClusterTopology::paper_cluster();
+    let dataset = paper_wordcount_file(&cluster, 64);
+    let mut slow = SlowdownSchedule::none();
+    for id in [3u32, 11, 19, 27, 35] {
+        slow.set(
+            NodeId(id),
+            SpeedProfile::slow_between(SimTime::from_secs(60), SimTime::from_secs(600), 0.1),
+        );
+    }
+    let arrivals = [0.0, 60.0];
+
+    let off = {
+        let mut s = S3Scheduler::default();
+        let m = run(&dataset, &arrivals, &mut s, &slow, seed);
+        SweepPoint {
+            x: 0.0,
+            tet_s: m.tet().as_secs_f64(),
+            art_s: m.art().as_secs_f64(),
+        }
+    };
+    let on = {
+        let mut s = S3Scheduler::new(S3Config {
+            sizing: SubJobSizing::Dynamic { waves: 5 },
+            slot_check_period_s: Some(10.0),
+            slow_node_threshold: 0.5,
+            ..S3Config::default()
+        });
+        let m = run(&dataset, &arrivals, &mut s, &slow, seed);
+        SweepPoint {
+            x: 1.0,
+            tet_s: m.tet().as_secs_f64(),
+            art_s: m.art().as_secs_f64(),
+        }
+    };
+    (off, on)
+}
+
+/// One scheduler's row in the extended comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct NamedPoint {
+    /// Scheduler label.
+    pub name: String,
+    /// Total execution time, seconds.
+    pub tet_s: f64,
+    /// Average response time, seconds.
+    pub art_s: f64,
+    /// Blocks scanned.
+    pub blocks_read: u64,
+}
+
+/// The Section II-B schedulers next to S³ and FIFO on the sparse workload:
+/// fair sharing and a two-queue capacity partition fix FIFO's blocking but
+/// cannot share scans — the gap S³ closes.
+pub fn partial_utilization_comparison(seed: u64) -> Vec<NamedPoint> {
+    let cluster = ClusterTopology::paper_cluster();
+    let dataset = paper_wordcount_file(&cluster, 64);
+    let arrivals = ArrivalPattern::paper_sparse().times();
+    let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(S3Scheduler::default()),
+        Box::new(FifoScheduler::new()),
+        Box::new(FairScheduler::new()),
+        Box::new(CapacityScheduler::new(2)),
+        Box::new(CapacityScheduler::new(4)),
+    ];
+    schedulers
+        .iter_mut()
+        .map(|s| {
+            let m = run(
+                &dataset,
+                &arrivals,
+                s.as_mut(),
+                &SlowdownSchedule::none(),
+                seed,
+            );
+            NamedPoint {
+                name: m.scheduler.clone(),
+                tet_s: m.tet().as_secs_f64(),
+                art_s: m.art().as_secs_f64(),
+                blocks_read: m.blocks_read,
+            }
+        })
+        .collect()
+}
+
+/// One row of the placement/replication ablation.
+#[derive(Debug, Clone, Serialize)]
+pub struct PlacementRow {
+    /// Placement policy + replication label.
+    pub name: String,
+    /// Fraction of node-local map tasks.
+    pub locality_rate: f64,
+    /// Total execution time, seconds.
+    pub tet_s: f64,
+}
+
+/// Block placement vs data locality under S³: the paper's setup
+/// (round-robin striping, replication 1 — every wave perfectly local)
+/// against HDFS-default rack-aware placement at replication 1–3. More
+/// replicas give the scheduler more chances to place each scan locally.
+pub fn placement_ablation(seed: u64) -> Vec<PlacementRow> {
+    use rand::SeedableRng;
+    use s3_dfs::{RackAwarePlacement, RoundRobinPlacement};
+    use s3_workloads::per_node_file_with;
+
+    let cluster = ClusterTopology::paper_cluster();
+    let arrivals = [0.0, 30.0];
+
+    let mut rows = Vec::new();
+    let mut measure = |name: &str, dataset: &Dataset| {
+        let m = run(
+            dataset,
+            &arrivals,
+            &mut S3Scheduler::default(),
+            &SlowdownSchedule::none(),
+            seed,
+        );
+        rows.push(PlacementRow {
+            name: name.to_string(),
+            locality_rate: m.locality_rate(),
+            tet_s: m.tet().as_secs_f64(),
+        });
+    };
+
+    let d = per_node_file_with(
+        &cluster,
+        "rr1",
+        4,
+        64,
+        1,
+        &mut RoundRobinPlacement::default(),
+    );
+    measure("round-robin r=1", &d);
+    for rep in [1u32, 2, 3] {
+        let mut policy = RackAwarePlacement::new(rand::rngs::SmallRng::seed_from_u64(seed ^ 0xC4));
+        let d = per_node_file_with(&cluster, &format!("ra{rep}"), 4, 64, rep, &mut policy);
+        measure(&format!("rack-aware r={rep}"), &d);
+    }
+    rows
+}
+
+/// One heartbeat-interval sample of the S³-vs-MRS1 dense-pattern race.
+#[derive(Debug, Clone, Serialize)]
+pub struct HeartbeatPoint {
+    /// TaskTracker heartbeat interval, seconds.
+    pub heartbeat_s: f64,
+    /// S³'s TET on the dense pattern, seconds.
+    pub s3_tet_s: f64,
+    /// Single-batch MRShare's TET on the dense pattern, seconds.
+    pub mrs1_tet_s: f64,
+}
+
+/// Heartbeat-interval sensitivity (dense pattern): every sub-job boundary
+/// costs S³ a heartbeat round-trip per node, so slow heartbeats (Hadoop
+/// 0.20 defaulted to 3 s on small clusters) widen MRS1's dense-pattern
+/// advantage — quantifying the paper's "communication cost becomes a
+/// dominant factor" explanation for Figure 4(b).
+pub fn heartbeat_sweep(seed: u64) -> Vec<HeartbeatPoint> {
+    let cluster = ClusterTopology::paper_cluster();
+    let dataset = paper_wordcount_file(&cluster, 64);
+    let arrivals = ArrivalPattern::paper_dense().times();
+    let workload = requests_from_arrivals(&wordcount_normal(), dataset.file, &arrivals);
+    [0.3f64, 1.0, 3.0]
+        .iter()
+        .map(|&hb| {
+            let cost = CostModel {
+                heartbeat_s: hb,
+                ..CostModel::default()
+            };
+            let tet = |s: &mut dyn Scheduler| {
+                simulate(
+                    &cluster,
+                    &SlowdownSchedule::none(),
+                    &dataset.dfs,
+                    &cost,
+                    &workload,
+                    s,
+                    &EngineConfig {
+                        seed,
+                        ..EngineConfig::default()
+                    },
+                )
+                .expect("completes")
+                .tet()
+                .as_secs_f64()
+            };
+            HeartbeatPoint {
+                heartbeat_s: hb,
+                s3_tet_s: tet(&mut S3Scheduler::default()),
+                mrs1_tet_s: tet(&mut MRShareScheduler::mrs1(10)),
+            }
+        })
+        .collect()
+}
+
+/// One row of the speculation ablation.
+#[derive(Debug, Clone, Serialize)]
+pub struct SpeculationRow {
+    /// Configuration label.
+    pub name: String,
+    /// Total execution time, seconds.
+    pub tet_s: f64,
+    /// Backup attempts launched.
+    pub attempts: u64,
+    /// Backups that beat the original.
+    pub wins: u64,
+    /// Attempts whose work was discarded.
+    pub wasted: u64,
+}
+
+/// Speculative execution vs S³'s periodic slot checking under stragglers.
+///
+/// The paper disables Hadoop's speculative execution (Section V-A) and
+/// instead gives S³ slot checking. This ablation shows both mechanisms
+/// fighting the same enemy: FIFO without help suffers the stragglers;
+/// FIFO + speculation recovers by re-running slow attempts (at the price
+/// of wasted work); S³ + slot checking avoids assigning to slow nodes in
+/// the first place, wasting nothing.
+pub fn speculation_ablation(seed: u64) -> Vec<SpeculationRow> {
+    use s3_mapreduce::engine::SpeculationConfig;
+
+    let cluster = ClusterTopology::paper_cluster();
+    let dataset = paper_wordcount_file(&cluster, 64);
+    let mut slow = SlowdownSchedule::none();
+    for id in [3u32, 11, 19, 27, 35] {
+        slow.set(
+            NodeId(id),
+            SpeedProfile::slow_between(SimTime::from_secs(60), SimTime::from_secs(600), 0.1),
+        );
+    }
+    let arrivals = [0.0, 60.0];
+    let workload = requests_from_arrivals(&wordcount_normal(), dataset.file, &arrivals);
+
+    let run_cfg = |scheduler: &mut dyn Scheduler, speculation: Option<SpeculationConfig>| {
+        simulate(
+            &cluster,
+            &slow,
+            &dataset.dfs,
+            &CostModel::default(),
+            &workload,
+            scheduler,
+            &EngineConfig {
+                seed,
+                speculation,
+                ..EngineConfig::default()
+            },
+        )
+        .expect("completes")
+    };
+
+    let mut rows = Vec::new();
+    let m = run_cfg(&mut FifoScheduler::new(), None);
+    rows.push(SpeculationRow {
+        name: "FIFO".into(),
+        tet_s: m.tet().as_secs_f64(),
+        attempts: m.speculative_attempts,
+        wins: m.speculative_wins,
+        wasted: m.speculative_wasted,
+    });
+    let m = run_cfg(
+        &mut FifoScheduler::new(),
+        Some(SpeculationConfig { threshold: 1.0 }),
+    );
+    rows.push(SpeculationRow {
+        name: "FIFO+spec".into(),
+        tet_s: m.tet().as_secs_f64(),
+        attempts: m.speculative_attempts,
+        wins: m.speculative_wins,
+        wasted: m.speculative_wasted,
+    });
+    let m = run_cfg(
+        &mut S3Scheduler::new(S3Config {
+            sizing: SubJobSizing::Dynamic { waves: 5 },
+            slot_check_period_s: Some(10.0),
+            slow_node_threshold: 0.5,
+            ..S3Config::default()
+        }),
+        None,
+    );
+    rows.push(SpeculationRow {
+        name: "S3+slotchk".into(),
+        tet_s: m.tet().as_secs_f64(),
+        attempts: m.speculative_attempts,
+        wins: m.speculative_wins,
+        wasted: m.speculative_wasted,
+    });
+    rows
+}
+
+/// Priority ablation: one high-priority job arriving amid nine low-priority
+/// jobs, baseline S³ vs priority-aware S³ (width cap 3). Returns
+/// `(high_job_response_baseline_s, high_job_response_prioritized_s)`.
+pub fn priority_ablation(seed: u64) -> (f64, f64) {
+    let cluster = ClusterTopology::paper_cluster();
+    let dataset = paper_wordcount_file(&cluster, 64);
+    let profile = wordcount_normal();
+    // Nine low-priority jobs already in flight, then a high-priority job.
+    let mut spec: Vec<(f64, Priority)> =
+        (0..9).map(|i| (i as f64 * 10.0, Priority::Low)).collect();
+    spec.push((95.0, Priority::High));
+    let workload = requests_with_priorities(&profile, dataset.file, &spec);
+    let high_id = workload
+        .iter()
+        .find(|r| r.priority == Priority::High)
+        .expect("high-priority job exists")
+        .id;
+
+    let response_of = |config: S3Config| -> f64 {
+        let m = simulate(
+            &cluster,
+            &SlowdownSchedule::none(),
+            &dataset.dfs,
+            &CostModel::default(),
+            &workload,
+            &mut S3Scheduler::new(config),
+            &EngineConfig {
+                seed,
+                ..EngineConfig::default()
+            },
+        )
+        .expect("completes");
+        m.outcomes
+            .iter()
+            .find(|o| o.job == high_id)
+            .expect("high job completed")
+            .response()
+            .as_secs_f64()
+    };
+
+    let baseline = response_of(S3Config::default());
+    let prioritized = response_of(S3Config {
+        priority_policy: Some(PriorityPolicy {
+            low_priority_width_cap: 3,
+        }),
+        ..S3Config::default()
+    });
+    (baseline, prioritized)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::DEFAULT_SEED;
+
+    #[test]
+    fn segment_sweep_has_an_interior_optimum_or_monotone_tet() {
+        let pts = segment_size_sweep(DEFAULT_SEED);
+        assert_eq!(pts.len(), 6);
+        // Tiny segments pay many JQM iterations: 1 wave per segment must
+        // not beat 5 waves on TET.
+        let one = &pts[0];
+        let five = pts.iter().find(|p| p.x == 5.0).unwrap();
+        assert!(one.tet_s >= five.tet_s * 0.98, "1 wave {} vs 5 waves {}", one.tet_s, five.tet_s);
+    }
+
+    #[test]
+    fn arrival_sweep_shows_the_crossover() {
+        let pts = arrival_rate_sweep(DEFAULT_SEED);
+        // Densest point: MRS1 competitive with S3 on ART (within 15%).
+        let densest = &pts[0];
+        assert!(densest.mrs1.art_s <= densest.s3.art_s * 1.15);
+        // Sparsest point: MRS1's ART collapses (jobs wait for the batch).
+        let sparsest = pts.last().unwrap();
+        assert!(
+            sparsest.mrs1.art_s > 1.8 * sparsest.s3.art_s,
+            "mrs1 {} vs s3 {}",
+            sparsest.mrs1.art_s,
+            sparsest.s3.art_s
+        );
+        // S3's ART stays flat across the sweep (within 2x); MRS1's grows
+        // by much more.
+        let s3_growth = sparsest.s3.art_s / densest.s3.art_s;
+        let mrs_growth = sparsest.mrs1.art_s / densest.mrs1.art_s;
+        assert!(mrs_growth > s3_growth, "{mrs_growth} vs {s3_growth}");
+    }
+
+    #[test]
+    fn slot_checking_recovers_from_stragglers() {
+        let (off, on) = slot_checking_ablation(DEFAULT_SEED);
+        assert!(
+            on.tet_s < off.tet_s * 0.9,
+            "slot checking should recover >10%: off {} on {}",
+            off.tet_s,
+            on.tet_s
+        );
+    }
+
+    #[test]
+    fn partial_utilization_fixes_blocking_not_sharing() {
+        let rows = partial_utilization_comparison(DEFAULT_SEED);
+        let get = |n: &str| rows.iter().find(|r| r.name == n).unwrap();
+        // Fair sharing is work-conserving: its makespan stays near FIFO's
+        // (both scan everything with no sharing). Note its *mean* response
+        // is worse than FIFO's under backlog — the classic processor-
+        // sharing vs FIFO result — which is exactly the paper's first
+        // drawback: "each job is allocated less resources, its execution
+        // time will be longer".
+        let fifo_tet = get("FIFO").tet_s;
+        assert!((get("Fair").tet_s / fifo_tet - 1.0).abs() < 0.15);
+        // Static capacity partitions waste idle capacity: worse than fair.
+        assert!(get("Capacity4").tet_s > get("Fair").tet_s * 0.95);
+        // None of them shares scans...
+        for name in ["FIFO", "Fair", "Capacity2", "Capacity4"] {
+            assert_eq!(get(name).blocks_read, 25600, "{name} cannot share");
+        }
+        // ...and S3 beats them all on both metrics while scanning less.
+        for name in ["FIFO", "Fair", "Capacity2", "Capacity4"] {
+            let r = get(name);
+            assert!(r.tet_s > get("S3").tet_s, "{name} TET");
+            assert!(r.art_s > get("S3").art_s, "{name} ART");
+            assert!(r.blocks_read > get("S3").blocks_read, "{name} scans");
+        }
+    }
+
+    #[test]
+    fn placement_policies_keep_scans_mostly_local() {
+        let rows = placement_ablation(DEFAULT_SEED);
+        let get = |n: &str| rows.iter().find(|r| r.name == n).unwrap();
+        // The paper's setup (round-robin striping, r=1) is perfectly
+        // local, as is rack-aware r=1 (its primary replica round-robins
+        // over writer nodes).
+        assert!(get("round-robin r=1").locality_rate > 0.99);
+        assert!(get("rack-aware r=1").locality_rate > 0.99);
+        // With r>1, greedy local-first assignment can let one node take a
+        // block that was another node's only local option, so locality
+        // dips slightly below perfect rather than improving monotonically
+        // — but it stays high, and TET stays within a few percent.
+        for name in ["rack-aware r=2", "rack-aware r=3"] {
+            let r = get(name);
+            assert!(r.locality_rate > 0.85, "{name}: {}", r.locality_rate);
+        }
+        let base_tet = get("round-robin r=1").tet_s;
+        for r in &rows {
+            assert!(
+                (r.tet_s / base_tet - 1.0).abs() < 0.10,
+                "{}: TET {} vs base {}",
+                r.name,
+                r.tet_s,
+                base_tet
+            );
+        }
+    }
+
+    #[test]
+    fn slow_heartbeats_hurt_s3_more_than_mrs1() {
+        let pts = heartbeat_sweep(DEFAULT_SEED);
+        assert_eq!(pts.len(), 3);
+        // S3's penalty from slowing the heartbeat exceeds MRS1's: S3 pays
+        // a heartbeat ramp per sub-job, MRS1 once.
+        let s3_penalty = pts.last().unwrap().s3_tet_s - pts[0].s3_tet_s;
+        let mrs_penalty = pts.last().unwrap().mrs1_tet_s - pts[0].mrs1_tet_s;
+        assert!(
+            s3_penalty > mrs_penalty,
+            "s3 +{s3_penalty:.1}s vs mrs1 +{mrs_penalty:.1}s"
+        );
+        // Both get slower in absolute terms.
+        assert!(pts.last().unwrap().s3_tet_s > pts[0].s3_tet_s);
+    }
+
+    #[test]
+    fn speculation_recovers_fifo_and_slot_checking_wastes_nothing() {
+        let rows = speculation_ablation(DEFAULT_SEED);
+        let get = |n: &str| rows.iter().find(|r| r.name == n).unwrap();
+        let plain = get("FIFO");
+        let spec = get("FIFO+spec");
+        let s3 = get("S3+slotchk");
+        // Speculation launches backups and improves FIFO's makespan.
+        assert!(spec.attempts > 0, "no backups launched");
+        assert!(spec.wins > 0, "no backup ever won");
+        assert!(
+            spec.tet_s < plain.tet_s,
+            "speculation should help: {} vs {}",
+            spec.tet_s,
+            plain.tet_s
+        );
+        // S3's slot checking needs no duplicated work.
+        assert_eq!(s3.attempts, 0);
+        assert_eq!(s3.wasted, 0);
+        // Without speculation the counters stay zero.
+        assert_eq!(plain.attempts, 0);
+        assert_eq!(plain.wasted, 0);
+    }
+
+    #[test]
+    fn priority_policy_speeds_up_the_high_job() {
+        let (baseline, prioritized) = priority_ablation(DEFAULT_SEED);
+        assert!(
+            prioritized < baseline,
+            "priority must help the high job: {prioritized} vs {baseline}"
+        );
+    }
+
+    #[test]
+    fn mrshare_batch_sweep_trades_tet_for_art() {
+        let pts = mrshare_batch_sweep(DEFAULT_SEED);
+        assert_eq!(pts.len(), 5);
+        // One batch has the worst ART of the sweep.
+        let worst_art = pts
+            .iter()
+            .map(|p| p.art_s)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(pts[0].art_s, worst_art, "single batch waits longest");
+    }
+}

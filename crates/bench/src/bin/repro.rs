@@ -1,0 +1,106 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p s3-bench --bin repro -- all
+//! cargo run --release -p s3-bench --bin repro -- fig4a
+//! cargo run --release -p s3-bench --bin repro -- fig3 --json
+//! ```
+
+use s3_bench::experiments::{
+    run_examples, run_fig3, run_fig4, run_table1, Fig4Variant, DEFAULT_SEED,
+};
+use s3_bench::report;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--json|--csv|--svg] <table1|fig3|fig4a|fig4b|fig4c|fig4d|fig4e|fig4f|examples|ablations|all>"
+    );
+    std::process::exit(2);
+}
+
+fn fig4_by_name(name: &str) -> Option<Fig4Variant> {
+    Some(match name {
+        "fig4a" => Fig4Variant::SparseNormal64,
+        "fig4b" => Fig4Variant::DenseNormal64,
+        "fig4c" => Fig4Variant::SparseHeavy64,
+        "fig4d" => Fig4Variant::SparseNormal128,
+        "fig4e" => Fig4Variant::SparseNormal32,
+        "fig4f" => Fig4Variant::Selection64,
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let csv = args.iter().any(|a| a == "--csv");
+    let svg = args.iter().any(|a| a == "--svg");
+    let targets: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    if targets.is_empty() {
+        usage();
+    }
+
+    let expanded: Vec<&str> = if targets.contains(&"all") {
+        vec![
+            "table1", "fig3", "fig4a", "fig4b", "fig4c", "fig4d", "fig4e", "fig4f", "examples",
+            "ablations",
+        ]
+    } else {
+        targets
+    };
+
+    for target in expanded {
+        match target {
+            "table1" => {
+                let r = run_table1(DEFAULT_SEED);
+                if json {
+                    println!("{}", serde_json::to_string_pretty(&r).expect("serializable"));
+                } else {
+                    println!("{}", report::table1_table(&r));
+                }
+            }
+            "fig3" => {
+                let r = run_fig3(10, DEFAULT_SEED);
+                if json {
+                    println!("{}", serde_json::to_string_pretty(&r).expect("serializable"));
+                } else if csv {
+                    print!("{}", report::fig3_csv(&r));
+                } else {
+                    println!("{}", report::fig3_table(&r));
+                }
+            }
+            "ablations" => {
+                // Ablations print as text only; JSON callers should use
+                // the library functions in `s3_bench::ablations` directly.
+                println!("{}", report::ablations_report(DEFAULT_SEED));
+            }
+            "examples" => {
+                let r = run_examples();
+                if json {
+                    println!("{}", serde_json::to_string_pretty(&r).expect("serializable"));
+                } else {
+                    println!("{}", report::examples_table(&r));
+                }
+            }
+            name => match fig4_by_name(name) {
+                Some(variant) => {
+                    let r = run_fig4(variant, DEFAULT_SEED);
+                    if json {
+                        println!("{}", serde_json::to_string_pretty(&r).expect("serializable"));
+                    } else if csv {
+                        print!("{}", report::fig4_csv(&r));
+                    } else if svg {
+                        print!("{}", report::fig4_svg(&r));
+                    } else {
+                        println!("{}", report::fig4_table(&r));
+                    }
+                }
+                None => usage(),
+            },
+        }
+    }
+}

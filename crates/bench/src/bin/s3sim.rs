@@ -1,0 +1,200 @@
+//! `s3sim` — run declarative scenario files against the simulated cluster.
+//!
+//! ```text
+//! s3sim template > my-scenario.json      # emit an editable template
+//! s3sim run my-scenario.json             # run it, print the comparison
+//! s3sim timeline my-scenario.json 0 96   # ASCII timeline of scheduler #0
+//! ```
+
+use s3_bench::scenario::ScenarioSpec;
+use s3_cluster::NodeId;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  s3sim template\n  s3sim run <scenario.json>\n  s3sim timeline <scenario.json> <scheduler-index> [width]\n  s3sim svg <scenario.json> <scheduler-index> <out.svg>\n  s3sim trace <scenario.json> <scheduler-index> <out.jsonl>"
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<ScenarioSpec, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("template") => {
+            let spec = ScenarioSpec::template();
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&spec).expect("template serializes")
+            );
+            ExitCode::SUCCESS
+        }
+        Some("run") => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            let spec = match load(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let runs = match spec.run() {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!("== scenario: {} ==", spec.name);
+            println!(
+                "{:<12} {:>10} {:>10} {:>12} {:>12}",
+                "scheme", "TET(s)", "ART(s)", "blocks_read", "MB_saved"
+            );
+            for r in &runs {
+                let m = &r.metrics;
+                println!(
+                    "{:<12} {:>10.1} {:>10.1} {:>12} {:>12.0}",
+                    m.scheduler,
+                    m.tet().as_secs_f64(),
+                    m.art().as_secs_f64(),
+                    m.blocks_read,
+                    m.mb_saved()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Some("timeline") => {
+            let (Some(path), Some(idx)) = (args.get(1), args.get(2)) else {
+                return usage();
+            };
+            let Ok(idx) = idx.parse::<usize>() else {
+                return usage();
+            };
+            let width = args
+                .get(3)
+                .and_then(|w| w.parse::<usize>().ok())
+                .unwrap_or(96);
+            let spec = match load(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let runs = match spec.run() {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let Some(run) = runs.get(idx) else {
+                eprintln!(
+                    "scheduler index {idx} out of range ({} schedulers)",
+                    runs.len()
+                );
+                return ExitCode::FAILURE;
+            };
+            let num_nodes: u32 = spec.cluster.racks.iter().sum();
+            let nodes: Vec<NodeId> = (0..num_nodes).map(NodeId).collect();
+            println!(
+                "== {} under {} (M map, R reduce, B both, . idle) ==",
+                spec.name, run.metrics.scheduler
+            );
+            print!("{}", run.trace.render_timeline(&nodes, width));
+            ExitCode::SUCCESS
+        }
+        Some("trace") => {
+            // Dump one scheduler's full execution trace as JSON lines.
+            let (Some(path), Some(idx), Some(out_path)) = (args.get(1), args.get(2), args.get(3))
+            else {
+                return usage();
+            };
+            let Ok(idx) = idx.parse::<usize>() else {
+                return usage();
+            };
+            let spec = match load(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let runs = match spec.run() {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let Some(run) = runs.get(idx) else {
+                eprintln!("scheduler index {idx} out of range");
+                return ExitCode::FAILURE;
+            };
+            let mut out = String::new();
+            for e in run.trace.events() {
+                out.push_str(&serde_json::to_string(e).expect("trace events serialize"));
+                out.push('\n');
+            }
+            if let Err(e) = std::fs::write(out_path, out) {
+                eprintln!("writing {out_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "wrote {} events to {out_path}",
+                run.trace.events().len()
+            );
+            ExitCode::SUCCESS
+        }
+        Some("svg") => {
+            let (Some(path), Some(idx), Some(out_path)) = (args.get(1), args.get(2), args.get(3))
+            else {
+                return usage();
+            };
+            let Ok(idx) = idx.parse::<usize>() else {
+                return usage();
+            };
+            let spec = match load(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let runs = match spec.run() {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let Some(run) = runs.get(idx) else {
+                eprintln!("scheduler index {idx} out of range");
+                return ExitCode::FAILURE;
+            };
+            let num_nodes: u32 = spec.cluster.racks.iter().sum();
+            let nodes: Vec<NodeId> = (0..num_nodes).map(NodeId).collect();
+            let svg = s3_mapreduce::render_svg(
+                &run.trace,
+                &nodes,
+                &s3_mapreduce::SvgOptions {
+                    title: format!("{} under {}", spec.name, run.metrics.scheduler),
+                    ..s3_mapreduce::SvgOptions::default()
+                },
+            );
+            if let Err(e) = std::fs::write(out_path, svg) {
+                eprintln!("writing {out_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("wrote {out_path}");
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

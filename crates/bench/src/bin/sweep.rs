@@ -1,0 +1,152 @@
+//! `sweep` — run a scheduler × block-size × arrival-pattern × seed grid
+//! and emit one CSV row per cell.
+//!
+//! ```text
+//! sweep --schedulers s3,fifo,mrs1,mrs3 --blocks 32,64,128 \
+//!       --patterns sparse,dense --seeds 1,2,3 --profile wordcount
+//! ```
+
+use s3_bench::experiments::DEFAULT_SEED;
+use s3_cluster::{ClusterTopology, SlowdownSchedule};
+use s3_core::{CapacityScheduler, FairScheduler, FifoScheduler, MRShareScheduler, S3Scheduler};
+use s3_mapreduce::{job::requests_from_arrivals, simulate, CostModel, EngineConfig, Scheduler};
+use s3_workloads::{
+    paper_lineitem_file, paper_wordcount_file, selection, wordcount_heavy, wordcount_normal,
+    ArrivalPattern,
+};
+use std::process::ExitCode;
+
+fn parse_list(args: &[String], flag: &str, default: &str) -> Vec<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or(default)
+        .split(',')
+        .map(str::to_string)
+        .collect()
+}
+
+fn scheduler_by_name(name: &str, n_jobs: usize) -> Option<Box<dyn Scheduler>> {
+    Some(match name {
+        "s3" => Box::new(S3Scheduler::default()),
+        "fifo" => Box::new(FifoScheduler::new()),
+        "fair" => Box::new(FairScheduler::new()),
+        "capacity2" => Box::new(CapacityScheduler::new(2)),
+        "capacity4" => Box::new(CapacityScheduler::new(4)),
+        "mrs1" => Box::new(MRShareScheduler::mrs1(n_jobs)),
+        "mrs2" => Box::new(MRShareScheduler::mrs2(n_jobs)),
+        "mrs3" => Box::new(MRShareScheduler::mrs3(n_jobs)),
+        _ => return None,
+    })
+}
+
+fn pattern_by_name(name: &str) -> Option<ArrivalPattern> {
+    Some(match name {
+        "sparse" => ArrivalPattern::paper_sparse(),
+        "dense" => ArrivalPattern::paper_dense(),
+        "poisson" => ArrivalPattern::Poisson {
+            n: 10,
+            mean_gap_s: 60.0,
+            seed: 11,
+        },
+        _ => return None,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: sweep [--schedulers s3,fifo,...] [--blocks 32,64,128] \
+             [--patterns sparse,dense,poisson] [--seeds a,b,...] \
+             [--profile wordcount|heavy|selection]\n\
+             schedulers: s3 fifo fair capacity2 capacity4 mrs1 mrs2 mrs3"
+        );
+        return ExitCode::from(2);
+    }
+
+    let schedulers = parse_list(&args, "--schedulers", "s3,fifo,mrs1,mrs3");
+    let blocks = parse_list(&args, "--blocks", "64");
+    let patterns = parse_list(&args, "--patterns", "sparse");
+    let seeds = parse_list(&args, "--seeds", &DEFAULT_SEED.to_string());
+    let profile_name = parse_list(&args, "--profile", "wordcount")
+        .into_iter()
+        .next()
+        .expect("profile list is non-empty");
+
+    let profile = match profile_name.as_str() {
+        "wordcount" => wordcount_normal(),
+        "heavy" => wordcount_heavy(),
+        "selection" => selection(),
+        other => {
+            eprintln!("unknown profile: {other}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let cluster = ClusterTopology::paper_cluster();
+    println!("scheduler,profile,block_mb,pattern,seed,tet_s,art_s,blocks_read,mb_saved");
+
+    for block in &blocks {
+        let Ok(block_mb) = block.parse::<u64>() else {
+            eprintln!("bad block size: {block}");
+            return ExitCode::FAILURE;
+        };
+        let dataset = if profile_name == "selection" {
+            paper_lineitem_file(&cluster, block_mb)
+        } else {
+            paper_wordcount_file(&cluster, block_mb)
+        };
+        for pattern_name in &patterns {
+            let Some(pattern) = pattern_by_name(pattern_name) else {
+                eprintln!("unknown pattern: {pattern_name}");
+                return ExitCode::FAILURE;
+            };
+            let arrivals = pattern.times();
+            let workload = requests_from_arrivals(&profile, dataset.file, &arrivals);
+            for seed_str in &seeds {
+                let Ok(seed) = seed_str.parse::<u64>() else {
+                    eprintln!("bad seed: {seed_str}");
+                    return ExitCode::FAILURE;
+                };
+                for sched_name in &schedulers {
+                    let Some(mut sched) = scheduler_by_name(sched_name, workload.len()) else {
+                        eprintln!("unknown scheduler: {sched_name}");
+                        return ExitCode::FAILURE;
+                    };
+                    match simulate(
+                        &cluster,
+                        &SlowdownSchedule::none(),
+                        &dataset.dfs,
+                        &CostModel::default(),
+                        &workload,
+                        sched.as_mut(),
+                        &EngineConfig {
+                            seed,
+                            ..EngineConfig::default()
+                        },
+                    ) {
+                        Ok(m) => println!(
+                            "{},{},{},{},{},{:.2},{:.2},{},{:.0}",
+                            m.scheduler,
+                            profile_name,
+                            block_mb,
+                            pattern_name,
+                            seed,
+                            m.tet().as_secs_f64(),
+                            m.art().as_secs_f64(),
+                            m.blocks_read,
+                            m.mb_saved()
+                        ),
+                        Err(e) => {
+                            eprintln!("{sched_name}/{block_mb}/{pattern_name}/{seed}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

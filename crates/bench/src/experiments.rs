@@ -1,0 +1,334 @@
+//! The experiments of Section V, one function per table/figure.
+
+use s3_cluster::{ClusterTopology, SlowdownSchedule};
+use s3_core::analytic::Scenario;
+use s3_core::{FifoScheduler, MRShareScheduler, S3Scheduler};
+use s3_mapreduce::{
+    job::requests_from_arrivals, simulate, CostModel, EngineConfig, JobProfile, RunMetrics,
+    Scheduler,
+};
+use s3_workloads::{
+    paper_lineitem_file, paper_wordcount_file, table1, wordcount_heavy, wordcount_normal,
+    ArrivalPattern, Dataset,
+};
+use serde::Serialize;
+use std::sync::Arc;
+
+/// One scheduler's measurements in a comparison experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct SchedulerResult {
+    /// Scheduler label (S3, FIFO, MRS1, ...).
+    pub name: String,
+    /// Total execution time, seconds.
+    pub tet_s: f64,
+    /// Average response time, seconds.
+    pub art_s: f64,
+    /// Block scans performed.
+    pub blocks_read: u64,
+    /// MB of scanning avoided through sharing.
+    pub mb_saved: f64,
+}
+
+/// A Figure 4 style comparison: every scheduler over one workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig4Result {
+    /// Which panel this is.
+    pub label: String,
+    /// Results; `results[0]` is always S³ (the normalization base).
+    pub results: Vec<SchedulerResult>,
+}
+
+impl Fig4Result {
+    /// S³'s absolute TET (the normalization base), seconds.
+    pub fn s3_tet(&self) -> f64 {
+        self.results[0].tet_s
+    }
+
+    /// S³'s absolute ART, seconds.
+    pub fn s3_art(&self) -> f64 {
+        self.results[0].art_s
+    }
+
+    /// `(name, tet/tet_S3, art/art_S3)` rows as the paper plots them.
+    pub fn normalized(&self) -> Vec<(String, f64, f64)> {
+        let (t0, a0) = (self.s3_tet(), self.s3_art());
+        self.results
+            .iter()
+            .map(|r| (r.name.clone(), r.tet_s / t0, r.art_s / a0))
+            .collect()
+    }
+
+    /// Look a scheduler's row up by name.
+    pub fn get(&self, name: &str) -> Option<&SchedulerResult> {
+        self.results.iter().find(|r| r.name == name)
+    }
+}
+
+/// The six panels of Figure 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fig4Variant {
+    /// (a) sparse pattern, normal wordcount, 64 MB blocks.
+    SparseNormal64,
+    /// (b) dense pattern, normal wordcount, 64 MB blocks.
+    DenseNormal64,
+    /// (c) sparse pattern, heavy wordcount, 64 MB blocks.
+    SparseHeavy64,
+    /// (d) sparse pattern, normal wordcount, 128 MB blocks.
+    SparseNormal128,
+    /// (e) sparse pattern, normal wordcount, 32 MB blocks.
+    SparseNormal32,
+    /// (f) sparse pattern, selection over 400 GB lineitem, 64 MB blocks.
+    Selection64,
+}
+
+impl Fig4Variant {
+    /// Panel label as in the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            Fig4Variant::SparseNormal64 => "Fig4(a) sparse/normal/64MB",
+            Fig4Variant::DenseNormal64 => "Fig4(b) dense/normal/64MB",
+            Fig4Variant::SparseHeavy64 => "Fig4(c) sparse/heavy/64MB",
+            Fig4Variant::SparseNormal128 => "Fig4(d) sparse/normal/128MB",
+            Fig4Variant::SparseNormal32 => "Fig4(e) sparse/normal/32MB",
+            Fig4Variant::Selection64 => "Fig4(f) selection/sparse/64MB",
+        }
+    }
+
+    /// All six panels.
+    pub fn all() -> [Fig4Variant; 6] {
+        [
+            Fig4Variant::SparseNormal64,
+            Fig4Variant::DenseNormal64,
+            Fig4Variant::SparseHeavy64,
+            Fig4Variant::SparseNormal128,
+            Fig4Variant::SparseNormal32,
+            Fig4Variant::Selection64,
+        ]
+    }
+
+    fn profile(self) -> Arc<JobProfile> {
+        match self {
+            Fig4Variant::SparseHeavy64 => wordcount_heavy(),
+            Fig4Variant::Selection64 => s3_workloads::selection(),
+            _ => wordcount_normal(),
+        }
+    }
+
+    fn block_mb(self) -> u64 {
+        match self {
+            Fig4Variant::SparseNormal128 => 128,
+            Fig4Variant::SparseNormal32 => 32,
+            _ => 64,
+        }
+    }
+
+    fn dataset(self, cluster: &ClusterTopology) -> Dataset {
+        match self {
+            Fig4Variant::Selection64 => paper_lineitem_file(cluster, self.block_mb()),
+            _ => paper_wordcount_file(cluster, self.block_mb()),
+        }
+    }
+
+    fn arrivals(self) -> ArrivalPattern {
+        match self {
+            Fig4Variant::DenseNormal64 => ArrivalPattern::paper_dense(),
+            // Heavy and selection jobs run longer; the paper keeps the same
+            // submission pattern, so we keep the sparse preset everywhere.
+            _ => ArrivalPattern::paper_sparse(),
+        }
+    }
+}
+
+fn run_one(
+    cluster: &ClusterTopology,
+    dataset: &Dataset,
+    profile: &Arc<JobProfile>,
+    arrivals: &[f64],
+    scheduler: &mut dyn Scheduler,
+    seed: u64,
+) -> RunMetrics {
+    let workload = requests_from_arrivals(profile, dataset.file, arrivals);
+    simulate(
+        cluster,
+        &SlowdownSchedule::none(),
+        &dataset.dfs,
+        &CostModel::default(),
+        &workload,
+        scheduler,
+        &EngineConfig {
+            seed,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("experiment run must not stall")
+}
+
+fn to_result(m: &RunMetrics) -> SchedulerResult {
+    SchedulerResult {
+        name: m.scheduler.clone(),
+        tet_s: m.tet().as_secs_f64(),
+        art_s: m.art().as_secs_f64(),
+        blocks_read: m.blocks_read,
+        mb_saved: m.mb_saved(),
+    }
+}
+
+/// Run one Figure 4 panel: S³, FIFO, MRS1, MRS2, MRS3 over the panel's
+/// workload. `seed` controls task-duration noise (0x53535353 reproduces
+/// the recorded EXPERIMENTS.md numbers).
+pub fn run_fig4(variant: Fig4Variant, seed: u64) -> Fig4Result {
+    let cluster = ClusterTopology::paper_cluster();
+    let dataset = variant.dataset(&cluster);
+    let profile = variant.profile();
+    let arrivals = variant.arrivals().times();
+    let n = arrivals.len();
+
+    let mut results = Vec::with_capacity(5);
+    let mut s3 = S3Scheduler::default();
+    results.push(to_result(&run_one(
+        &cluster, &dataset, &profile, &arrivals, &mut s3, seed,
+    )));
+    let mut fifo = FifoScheduler::new();
+    results.push(to_result(&run_one(
+        &cluster, &dataset, &profile, &arrivals, &mut fifo, seed,
+    )));
+    for mut mrs in [
+        MRShareScheduler::mrs1(n),
+        MRShareScheduler::mrs2(n),
+        MRShareScheduler::mrs3(n),
+    ] {
+        results.push(to_result(&run_one(
+            &cluster, &dataset, &profile, &arrivals, &mut mrs, seed,
+        )));
+    }
+
+    Fig4Result {
+        label: variant.label().to_string(),
+        results,
+    }
+}
+
+/// One point of Figure 3: `n` co-submitted jobs processed as one merged
+/// batch.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3Point {
+    /// Number of combined jobs.
+    pub n: usize,
+    /// Total execution time, seconds.
+    pub tet_s: f64,
+    /// Average map task time, seconds.
+    pub avg_map_s: f64,
+    /// Average reduce task time, seconds.
+    pub avg_reduce_s: f64,
+}
+
+/// Figure 3: cost of combining 1..=`max_n` wordcount jobs submitted
+/// together (maximum sharing).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3Result {
+    /// One point per batch size.
+    pub points: Vec<Fig3Point>,
+}
+
+impl Fig3Result {
+    /// Overhead of combining `n` jobs relative to one:
+    /// `(tet_ratio, map_ratio, reduce_ratio)`.
+    pub fn overhead_at(&self, n: usize) -> (f64, f64, f64) {
+        let one = &self.points[0];
+        let p = self
+            .points
+            .iter()
+            .find(|p| p.n == n)
+            .expect("requested batch size was measured");
+        (
+            p.tet_s / one.tet_s,
+            p.avg_map_s / one.avg_map_s,
+            p.avg_reduce_s / one.avg_reduce_s,
+        )
+    }
+}
+
+/// Run Figure 3 on the 160 GB wordcount dataset (2560 maps, 30 reduces).
+pub fn run_fig3(max_n: usize, seed: u64) -> Fig3Result {
+    assert!(max_n >= 1, "need at least one batch size");
+    let cluster = ClusterTopology::paper_cluster();
+    let dataset = paper_wordcount_file(&cluster, 64);
+    let profile = wordcount_normal();
+    let mut points = Vec::with_capacity(max_n);
+    for n in 1..=max_n {
+        let arrivals = vec![0.0; n];
+        let mut mrs = MRShareScheduler::mrs1(n);
+        let m = run_one(&cluster, &dataset, &profile, &arrivals, &mut mrs, seed);
+        points.push(Fig3Point {
+            n,
+            tet_s: m.tet().as_secs_f64(),
+            avg_map_s: m.map_task_time.mean,
+            avg_reduce_s: m.reduce_task_time.mean,
+        });
+    }
+    Fig3Result { points }
+}
+
+/// Table I quantities for the normal wordcount workload, plus the measured
+/// single-job processing time.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Result {
+    /// Input size, MB.
+    pub input_mb: f64,
+    /// Map output records.
+    pub map_output_records: f64,
+    /// Reduce output records.
+    pub reduce_output_records: f64,
+    /// Map output, MB.
+    pub map_output_mb: f64,
+    /// Reduce output, MB.
+    pub reduce_output_mb: f64,
+    /// Measured single-job processing time, seconds.
+    pub processing_time_s: f64,
+}
+
+/// Reproduce Table I: derive the workload quantities and measure one job.
+pub fn run_table1(seed: u64) -> Table1Result {
+    let cluster = ClusterTopology::paper_cluster();
+    let dataset = paper_wordcount_file(&cluster, 64);
+    let profile = wordcount_normal();
+    let t = table1(&profile, dataset.input_mb());
+    let mut fifo = FifoScheduler::new();
+    let m = run_one(&cluster, &dataset, &profile, &[0.0], &mut fifo, seed);
+    Table1Result {
+        input_mb: t.input_mb,
+        map_output_records: t.map_output_records,
+        reduce_output_records: t.reduce_output_records,
+        map_output_mb: t.map_output_mb,
+        reduce_output_mb: t.reduce_output_mb,
+        processing_time_s: m.tet().as_secs_f64(),
+    }
+}
+
+/// The Section III worked examples: closed-form TET/ART per scheme.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExamplesResult {
+    /// `(scenario, scheme, tet, art)` rows.
+    pub rows: Vec<(String, String, f64, f64)>,
+}
+
+/// Reproduce Examples 1–3 exactly.
+pub fn run_examples() -> ExamplesResult {
+    let mut rows = Vec::new();
+    for (label, arrivals) in [
+        ("Example 1 (arrivals 0,20)", vec![0.0, 20.0]),
+        ("Example 2 (arrivals 0,80)", vec![0.0, 80.0]),
+    ] {
+        let s = Scenario::new(100.0, arrivals);
+        let f = s.fifo();
+        rows.push((label.to_string(), "FIFO".to_string(), f.tet, f.art));
+        let m = s.mrshare_single();
+        rows.push((label.to_string(), "MRShare".to_string(), m.tet, m.art));
+        let x = s.s3();
+        rows.push((label.to_string(), "S3".to_string(), x.tet, x.art));
+    }
+    ExamplesResult { rows }
+}
+
+/// The seed used for all recorded EXPERIMENTS.md numbers.
+pub const DEFAULT_SEED: u64 = 0x5353_5353;

@@ -1,0 +1,639 @@
+//! Declarative experiment scenarios.
+//!
+//! A [`ScenarioSpec`] describes a whole experiment — cluster shape,
+//! dataset, workload, arrival pattern, schedulers, straggler injection —
+//! as plain data (JSON via serde). The `s3sim` binary runs these files;
+//! tests and sweeps build them programmatically.
+
+use s3_cluster::{ClusterBuilder, ClusterTopology, NodeId, SlowdownSchedule, SpeedProfile};
+use s3_core::{
+    BatchPolicy, CapacityScheduler, FairScheduler, FifoScheduler, MRShareScheduler,
+    PriorityPolicy, S3Config, S3Scheduler, SubJobSizing,
+};
+use s3_mapreduce::job::requests_with_priorities;
+use s3_mapreduce::{
+    simulate_traced, CostModel, EngineConfig, Priority, RunMetrics, Scheduler, Trace,
+};
+use s3_sim::SimTime;
+use s3_workloads::{selection, wordcount_heavy, wordcount_normal, ArrivalPattern, Dataset};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Cluster shape.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Nodes per rack.
+    pub racks: Vec<u32>,
+    /// Map slots per node.
+    #[serde(default = "one")]
+    pub map_slots: u32,
+    /// Reduce slots per node.
+    #[serde(default = "one")]
+    pub reduce_slots: u32,
+}
+
+fn one() -> u32 {
+    1
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        ClusterSpec {
+            racks: vec![15, 15, 10],
+            map_slots: 1,
+            reduce_slots: 1,
+        }
+    }
+}
+
+/// Input dataset shape.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// GB stored per node (the paper uses 4 for wordcount, 10 for
+    /// selection).
+    pub gb_per_node: u64,
+    /// Block size in MB (32 / 64 / 128 in the paper).
+    pub block_mb: u64,
+}
+
+impl Default for DatasetSpec {
+    fn default() -> Self {
+        DatasetSpec {
+            gb_per_node: 4,
+            block_mb: 64,
+        }
+    }
+}
+
+/// Which cost profile the jobs use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum ProfileSpec {
+    /// Table I's normal wordcount.
+    Wordcount,
+    /// Section V-E's heavy wordcount.
+    WordcountHeavy,
+    /// Section V-G's lineitem selection.
+    Selection,
+}
+
+/// Arrival pattern (mirrors [`ArrivalPattern`], serializable).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case", tag = "kind")]
+pub enum ArrivalSpec {
+    /// `n` jobs `spacing_s` apart.
+    Dense {
+        /// Number of jobs.
+        n: usize,
+        /// Spacing in seconds.
+        spacing_s: f64,
+    },
+    /// Grouped sparse pattern.
+    SparseGroups {
+        /// Jobs per group.
+        group_sizes: Vec<usize>,
+        /// Seconds between group starts.
+        group_gap_s: f64,
+        /// Seconds between jobs within a group.
+        spacing_s: f64,
+    },
+    /// Poisson arrivals.
+    Poisson {
+        /// Number of jobs.
+        n: usize,
+        /// Mean inter-arrival gap, seconds.
+        mean_gap_s: f64,
+        /// RNG seed for the arrival draw.
+        seed: u64,
+    },
+    /// Explicit `(time, priority)` pairs.
+    Explicit {
+        /// Arrival times, seconds.
+        times: Vec<f64>,
+        /// Optional per-job priorities (parallel to `times` after sort).
+        #[serde(default)]
+        priorities: Vec<PrioritySpec>,
+    },
+}
+
+/// Serializable priority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[serde(rename_all = "kebab-case")]
+pub enum PrioritySpec {
+    /// Deferrable.
+    Low,
+    /// Default.
+    #[default]
+    Normal,
+    /// Latency-sensitive.
+    High,
+}
+
+impl From<PrioritySpec> for Priority {
+    fn from(p: PrioritySpec) -> Priority {
+        match p {
+            PrioritySpec::Low => Priority::Low,
+            PrioritySpec::Normal => Priority::Normal,
+            PrioritySpec::High => Priority::High,
+        }
+    }
+}
+
+/// A scheduler to run the workload under.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case", tag = "kind")]
+pub enum SchedulerSpec {
+    /// Hadoop default FIFO.
+    Fifo,
+    /// Fair sharing.
+    Fair,
+    /// Static capacity partition.
+    Capacity {
+        /// Number of queues.
+        queues: u32,
+    },
+    /// MRShare batching.
+    MrShare {
+        /// Consecutive group sizes; empty = one batch of all jobs.
+        #[serde(default)]
+        groups: Vec<usize>,
+        /// Label override.
+        #[serde(default)]
+        label: Option<String>,
+    },
+    /// The S³ scheduler.
+    S3 {
+        /// Waves per sub-job (default 5).
+        #[serde(default = "five")]
+        waves: u32,
+        /// Enable periodic slot checking with this period (seconds).
+        #[serde(default)]
+        slot_check_period_s: Option<f64>,
+        /// Use dynamic sub-job sizing (requires slot checking).
+        #[serde(default)]
+        dynamic_sizing: bool,
+        /// Low-priority merge-width cap (enables the priority extension).
+        #[serde(default)]
+        low_priority_width_cap: Option<u32>,
+    },
+}
+
+fn five() -> u32 {
+    5
+}
+
+/// A transient per-node slowdown.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SlowdownSpec {
+    /// Affected node id.
+    pub node: u32,
+    /// Window start, seconds.
+    pub from_s: f64,
+    /// Window end, seconds.
+    pub until_s: f64,
+    /// Speed multiplier inside the window (< 1 is slower).
+    pub factor: f64,
+}
+
+/// A permanent TaskTracker death.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FailureSpec {
+    /// Node whose TaskTracker dies.
+    pub node: u32,
+    /// Death time, seconds.
+    pub at_s: f64,
+}
+
+/// A complete experiment description.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Scenario name (reports).
+    pub name: String,
+    /// Cluster shape.
+    #[serde(default)]
+    pub cluster: ClusterSpec,
+    /// Dataset shape.
+    #[serde(default)]
+    pub dataset: DatasetSpec,
+    /// Job cost profile.
+    pub profile: ProfileSpec,
+    /// Arrival pattern.
+    pub arrivals: ArrivalSpec,
+    /// Schedulers to compare.
+    pub schedulers: Vec<SchedulerSpec>,
+    /// Task-noise seed.
+    #[serde(default = "default_seed")]
+    pub seed: u64,
+    /// Straggler injection.
+    #[serde(default)]
+    pub slowdowns: Vec<SlowdownSpec>,
+    /// TaskTracker deaths.
+    #[serde(default)]
+    pub failures: Vec<FailureSpec>,
+}
+
+fn default_seed() -> u64 {
+    crate::experiments::DEFAULT_SEED
+}
+
+/// Scenario validation / execution errors.
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// The spec is internally inconsistent.
+    Invalid(String),
+    /// A simulation failed.
+    Sim(s3_mapreduce::SimError),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Invalid(msg) => write!(f, "invalid scenario: {msg}"),
+            ScenarioError::Sim(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// Result of one scheduler within a scenario.
+#[derive(Debug)]
+pub struct ScenarioRun {
+    /// The run's metrics.
+    pub metrics: RunMetrics,
+    /// Full execution trace.
+    pub trace: Trace,
+}
+
+impl ScenarioSpec {
+    /// A ready-to-edit template: the paper's sparse Figure 4(a) setup.
+    pub fn template() -> Self {
+        ScenarioSpec {
+            name: "fig4a-sparse-wordcount".into(),
+            cluster: ClusterSpec::default(),
+            dataset: DatasetSpec::default(),
+            profile: ProfileSpec::Wordcount,
+            arrivals: ArrivalSpec::SparseGroups {
+                group_sizes: vec![3, 3, 4],
+                group_gap_s: 300.0,
+                spacing_s: 30.0,
+            },
+            schedulers: vec![
+                SchedulerSpec::S3 {
+                    waves: 5,
+                    slot_check_period_s: None,
+                    dynamic_sizing: false,
+                    low_priority_width_cap: None,
+                },
+                SchedulerSpec::Fifo,
+                SchedulerSpec::MrShare {
+                    groups: vec![],
+                    label: Some("MRS1".into()),
+                },
+            ],
+            seed: default_seed(),
+            slowdowns: vec![],
+            failures: vec![],
+        }
+    }
+
+    fn arrivals_with_priorities(&self) -> Result<Vec<(f64, Priority)>, ScenarioError> {
+        Ok(match &self.arrivals {
+            ArrivalSpec::Dense { n, spacing_s } => ArrivalPattern::Dense {
+                n: *n,
+                spacing_s: *spacing_s,
+            }
+            .times()
+            .into_iter()
+            .map(|t| (t, Priority::Normal))
+            .collect(),
+            ArrivalSpec::SparseGroups {
+                group_sizes,
+                group_gap_s,
+                spacing_s,
+            } => ArrivalPattern::SparseGroups {
+                group_sizes: group_sizes.clone(),
+                group_gap_s: *group_gap_s,
+                spacing_s: *spacing_s,
+            }
+            .times()
+            .into_iter()
+            .map(|t| (t, Priority::Normal))
+            .collect(),
+            ArrivalSpec::Poisson { n, mean_gap_s, seed } => ArrivalPattern::Poisson {
+                n: *n,
+                mean_gap_s: *mean_gap_s,
+                seed: *seed,
+            }
+            .times()
+            .into_iter()
+            .map(|t| (t, Priority::Normal))
+            .collect(),
+            ArrivalSpec::Explicit { times, priorities } => {
+                if !priorities.is_empty() && priorities.len() != times.len() {
+                    return Err(ScenarioError::Invalid(format!(
+                        "{} priorities for {} arrival times",
+                        priorities.len(),
+                        times.len()
+                    )));
+                }
+                let mut pairs: Vec<(f64, Priority)> = times
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &t)| {
+                        let p = priorities.get(i).copied().unwrap_or_default();
+                        (t, p.into())
+                    })
+                    .collect();
+                pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+                pairs
+            }
+        })
+    }
+
+    fn build_scheduler(spec: &SchedulerSpec, n_jobs: usize) -> Box<dyn Scheduler> {
+        match spec {
+            SchedulerSpec::Fifo => Box::new(FifoScheduler::new()),
+            SchedulerSpec::Fair => Box::new(FairScheduler::new()),
+            SchedulerSpec::Capacity { queues } => Box::new(CapacityScheduler::new(*queues)),
+            SchedulerSpec::MrShare { groups, label } => {
+                let policy = if groups.is_empty() {
+                    BatchPolicy::SingleBatch {
+                        expected_jobs: n_jobs,
+                    }
+                } else {
+                    BatchPolicy::FixedGroups(groups.clone())
+                };
+                let name = label.clone().unwrap_or_else(|| "MRShare".into());
+                Box::new(MRShareScheduler::new(policy, name))
+            }
+            SchedulerSpec::S3 {
+                waves,
+                slot_check_period_s,
+                dynamic_sizing,
+                low_priority_width_cap,
+            } => {
+                let sizing = if *dynamic_sizing {
+                    SubJobSizing::Dynamic { waves: *waves }
+                } else {
+                    SubJobSizing::Waves(*waves)
+                };
+                Box::new(S3Scheduler::new(S3Config {
+                    sizing,
+                    slot_check_period_s: *slot_check_period_s,
+                    priority_policy: low_priority_width_cap.map(|cap| PriorityPolicy {
+                        low_priority_width_cap: cap,
+                    }),
+                    ..S3Config::default()
+                }))
+            }
+        }
+    }
+
+    /// Build the world and run every scheduler; returns one
+    /// [`ScenarioRun`] per scheduler, in spec order.
+    pub fn run(&self) -> Result<Vec<ScenarioRun>, ScenarioError> {
+        if self.schedulers.is_empty() {
+            return Err(ScenarioError::Invalid("no schedulers listed".into()));
+        }
+        if self.cluster.racks.is_empty() || self.cluster.racks.contains(&0) {
+            return Err(ScenarioError::Invalid("bad rack layout".into()));
+        }
+        if self.dataset.gb_per_node == 0 || self.dataset.block_mb == 0 {
+            return Err(ScenarioError::Invalid("bad dataset sizes".into()));
+        }
+
+        let mut builder = ClusterBuilder::new()
+            .map_slots(self.cluster.map_slots)
+            .reduce_slots(self.cluster.reduce_slots);
+        for &r in &self.cluster.racks {
+            builder = builder.rack(r);
+        }
+        let cluster: ClusterTopology = builder.build();
+
+        let dataset: Dataset = s3_workloads::per_node_file(
+            &cluster,
+            "scenario-input",
+            self.dataset.gb_per_node,
+            self.dataset.block_mb,
+        );
+        let profile = match self.profile {
+            ProfileSpec::Wordcount => wordcount_normal(),
+            ProfileSpec::WordcountHeavy => wordcount_heavy(),
+            ProfileSpec::Selection => selection(),
+        };
+        let pairs = self.arrivals_with_priorities()?;
+        let workload = requests_with_priorities(&profile, dataset.file, &pairs);
+
+        let mut slowdowns = SlowdownSchedule::none();
+        for s in &self.slowdowns {
+            if s.factor <= 0.0 || s.until_s <= s.from_s {
+                return Err(ScenarioError::Invalid(format!(
+                    "bad slowdown window on node {}",
+                    s.node
+                )));
+            }
+            slowdowns.set(
+                NodeId(s.node),
+                SpeedProfile::slow_between(
+                    SimTime::from_secs_f64(s.from_s),
+                    SimTime::from_secs_f64(s.until_s),
+                    s.factor,
+                ),
+            );
+        }
+
+        let mut failures = s3_cluster::FailureSchedule::none();
+        for f in &self.failures {
+            failures = failures.kill(NodeId(f.node), SimTime::from_secs_f64(f.at_s));
+        }
+
+        let mut out = Vec::with_capacity(self.schedulers.len());
+        for spec in &self.schedulers {
+            let mut scheduler = Self::build_scheduler(spec, workload.len());
+            let (metrics, trace) = simulate_traced(
+                &cluster,
+                &slowdowns,
+                &dataset.dfs,
+                &CostModel::default(),
+                &workload,
+                scheduler.as_mut(),
+                &EngineConfig {
+                    seed: self.seed,
+                    failures: failures.clone(),
+                    ..EngineConfig::default()
+                },
+                Some(Trace::new()),
+            )
+            .map_err(ScenarioError::Sim)?;
+            out.push(ScenarioRun { metrics, trace });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "t".into(),
+            cluster: ClusterSpec {
+                racks: vec![4, 4],
+                map_slots: 1,
+                reduce_slots: 1,
+            },
+            dataset: DatasetSpec {
+                gb_per_node: 1,
+                block_mb: 128,
+            },
+            profile: ProfileSpec::Wordcount,
+            arrivals: ArrivalSpec::Dense { n: 2, spacing_s: 10.0 },
+            schedulers: vec![
+                SchedulerSpec::S3 {
+                    waves: 2,
+                    slot_check_period_s: None,
+                    dynamic_sizing: false,
+                    low_priority_width_cap: None,
+                },
+                SchedulerSpec::Fifo,
+            ],
+            seed: 1,
+            slowdowns: vec![],
+            failures: vec![],
+        }
+    }
+
+    #[test]
+    fn template_roundtrips_through_json() {
+        let spec = ScenarioSpec::template();
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.name, spec.name);
+        assert_eq!(back.schedulers.len(), spec.schedulers.len());
+    }
+
+    #[test]
+    fn small_scenario_runs_all_schedulers() {
+        let runs = small().run().unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].metrics.scheduler, "S3");
+        assert_eq!(runs[1].metrics.scheduler, "FIFO");
+        for r in &runs {
+            assert_eq!(r.metrics.outcomes.len(), 2);
+            assert!(!r.trace.events().is_empty());
+        }
+    }
+
+    #[test]
+    fn validation_catches_bad_specs() {
+        let mut s = small();
+        s.schedulers.clear();
+        assert!(matches!(s.run(), Err(ScenarioError::Invalid(_))));
+
+        let mut s = small();
+        s.cluster.racks = vec![];
+        assert!(matches!(s.run(), Err(ScenarioError::Invalid(_))));
+
+        let mut s = small();
+        s.arrivals = ArrivalSpec::Explicit {
+            times: vec![0.0, 1.0],
+            priorities: vec![PrioritySpec::High],
+        };
+        assert!(matches!(s.run(), Err(ScenarioError::Invalid(_))));
+
+        let mut s = small();
+        s.slowdowns = vec![SlowdownSpec {
+            node: 0,
+            from_s: 10.0,
+            until_s: 5.0,
+            factor: 0.5,
+        }];
+        assert!(matches!(s.run(), Err(ScenarioError::Invalid(_))));
+    }
+
+    #[test]
+    fn every_scheduler_spec_variant_builds_and_runs() {
+        let mut s = small();
+        s.schedulers = vec![
+            SchedulerSpec::Fifo,
+            SchedulerSpec::Fair,
+            SchedulerSpec::Capacity { queues: 2 },
+            SchedulerSpec::MrShare {
+                groups: vec![],
+                label: None,
+            },
+            SchedulerSpec::MrShare {
+                groups: vec![1, 1],
+                label: Some("MRS2".into()),
+            },
+            SchedulerSpec::S3 {
+                waves: 2,
+                slot_check_period_s: Some(5.0),
+                dynamic_sizing: true,
+                low_priority_width_cap: None,
+            },
+        ];
+        let runs = s.run().unwrap();
+        assert_eq!(runs.len(), 6);
+        let names: Vec<&str> = runs.iter().map(|r| r.metrics.scheduler.as_str()).collect();
+        assert_eq!(names, ["FIFO", "Fair", "Capacity2", "MRShare", "MRS2", "S3"]);
+        for r in &runs {
+            assert_eq!(r.metrics.outcomes.len(), 2, "{}", r.metrics.scheduler);
+        }
+    }
+
+    #[test]
+    fn failure_injection_flows_through_scenarios() {
+        let mut s = small();
+        s.failures = vec![FailureSpec {
+            node: 1,
+            at_s: 5.0,
+        }];
+        let runs = s.run().unwrap();
+        for r in &runs {
+            assert_eq!(r.metrics.outcomes.len(), 2, "{}", r.metrics.scheduler);
+        }
+        // At least one scheduler lost an attempt to the death (node 1 dies
+        // 5 s in, while first-wave maps are running).
+        assert!(
+            runs.iter().any(|r| r.metrics.tasks_failed > 0),
+            "the death at t=5 should cost somebody an attempt"
+        );
+    }
+
+    #[test]
+    fn explicit_priorities_flow_through() {
+        let mut s = small();
+        s.arrivals = ArrivalSpec::Explicit {
+            times: vec![0.0, 5.0],
+            priorities: vec![PrioritySpec::High, PrioritySpec::Low],
+        };
+        s.schedulers = vec![SchedulerSpec::S3 {
+            waves: 2,
+            slot_check_period_s: None,
+            dynamic_sizing: false,
+            low_priority_width_cap: Some(1),
+        }];
+        let runs = s.run().unwrap();
+        assert_eq!(runs[0].metrics.outcomes.len(), 2);
+    }
+
+    #[test]
+    fn slowdown_injection_slows_the_run() {
+        let base = small().run().unwrap()[1].metrics.tet();
+        let mut s = small();
+        // Slow half the nodes drastically for a long window.
+        s.slowdowns = (0..4)
+            .map(|n| SlowdownSpec {
+                node: n,
+                from_s: 0.0,
+                until_s: 10_000.0,
+                factor: 0.2,
+            })
+            .collect();
+        let slowed = s.run().unwrap()[1].metrics.tet();
+        assert!(slowed > base, "{slowed} vs {base}");
+    }
+}

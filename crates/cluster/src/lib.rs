@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! # s3-cluster — Hadoop-style cluster topology model
+//!
+//! Static description of a MapReduce cluster (racks, nodes, slots, hardware
+//! rates) plus the *dynamic* pieces the S³ scheduler reacts to: per-node
+//! speed profiles over simulated time (straggler / slowdown injection) and a
+//! simple network model for shuffle and remote-read costs.
+//!
+//! The paper's evaluation cluster — 1 master + 40 slaves in three racks
+//! (15/15/10), 1 Gbps links, one map slot per node, 30 reduce tasks — is
+//! available as [`ClusterTopology::paper_cluster`].
+
+pub mod network;
+pub mod node;
+pub mod slowdown;
+pub mod topology;
+
+pub use network::NetworkModel;
+pub use node::{Node, NodeId, NodeSpec, RackId};
+pub use slowdown::{FailureSchedule, SlowdownSchedule, SpeedProfile};
+pub use topology::{ClusterBuilder, ClusterTopology};

@@ -1,0 +1,141 @@
+//! Network cost model.
+//!
+//! Two-level tree topology: nodes inside a rack share a top-of-rack switch;
+//! racks are joined by a core switch. Transfers between racks see a lower
+//! effective per-flow bandwidth because the core link is oversubscribed.
+
+use crate::node::{Node, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Per-flow effective bandwidths and latency of the cluster network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// Effective per-flow bandwidth between two nodes in the same rack, MB/s.
+    pub intra_rack_mb_s: f64,
+    /// Effective per-flow bandwidth across racks, MB/s.
+    pub inter_rack_mb_s: f64,
+    /// Fixed per-transfer latency, seconds (connection setup, framing).
+    pub latency_s: f64,
+}
+
+impl NetworkModel {
+    /// 1 Gbps Ethernet as in the paper: ~110 MB/s payload within a rack and
+    /// an oversubscribed core giving ~55 MB/s per flow across racks.
+    pub fn one_gbps() -> Self {
+        NetworkModel {
+            intra_rack_mb_s: 110.0,
+            inter_rack_mb_s: 55.0,
+            latency_s: 0.005,
+        }
+    }
+
+    /// Seconds to move `mb` megabytes from `src` to `dst`.
+    ///
+    /// A transfer from a node to itself is free: in Hadoop a map task reading
+    /// a local replica or a reduce fetching a co-located map output does not
+    /// cross the network.
+    pub fn transfer_secs(&self, src: &Node, dst: &Node, mb: f64) -> f64 {
+        assert!(mb >= 0.0, "negative transfer size");
+        if src.id == dst.id {
+            return 0.0;
+        }
+        let bw = if src.rack == dst.rack {
+            self.intra_rack_mb_s
+        } else {
+            self.inter_rack_mb_s
+        };
+        self.latency_s + mb / bw
+    }
+
+    /// Seconds to move `mb` megabytes given only whether the endpoints share
+    /// a rack (used when the concrete peer is abstracted away, e.g. shuffle
+    /// aggregates).
+    pub fn transfer_secs_by_distance(&self, same_rack: bool, mb: f64) -> f64 {
+        assert!(mb >= 0.0, "negative transfer size");
+        let bw = if same_rack {
+            self.intra_rack_mb_s
+        } else {
+            self.inter_rack_mb_s
+        };
+        self.latency_s + mb / bw
+    }
+
+    /// Effective cluster-wide average per-flow bandwidth for all-to-all
+    /// shuffle traffic, given the fraction of flows that stay in-rack.
+    pub fn shuffle_mb_s(&self, intra_rack_fraction: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&intra_rack_fraction),
+            "fraction out of range"
+        );
+        intra_rack_fraction * self.intra_rack_mb_s
+            + (1.0 - intra_rack_fraction) * self.inter_rack_mb_s
+    }
+
+    /// Check whether `id` refers to the same node (helper for locality
+    /// classification in schedulers).
+    pub fn is_local(src: NodeId, dst: NodeId) -> bool {
+        src == dst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{NodeSpec, RackId};
+
+    fn node(id: u32, rack: u16) -> Node {
+        Node {
+            id: NodeId(id),
+            rack: RackId(rack),
+            spec: NodeSpec::default(),
+        }
+    }
+
+    #[test]
+    fn local_transfer_is_free() {
+        let net = NetworkModel::one_gbps();
+        let a = node(0, 0);
+        assert_eq!(net.transfer_secs(&a, &a, 64.0), 0.0);
+    }
+
+    #[test]
+    fn intra_rack_faster_than_inter_rack() {
+        let net = NetworkModel::one_gbps();
+        let a = node(0, 0);
+        let b = node(1, 0);
+        let c = node(2, 1);
+        let same = net.transfer_secs(&a, &b, 64.0);
+        let cross = net.transfer_secs(&a, &c, 64.0);
+        assert!(same < cross);
+        assert!(same > 0.0);
+    }
+
+    #[test]
+    fn transfer_scales_linearly_plus_latency() {
+        let net = NetworkModel::one_gbps();
+        let a = node(0, 0);
+        let b = node(1, 0);
+        let t1 = net.transfer_secs(&a, &b, 110.0);
+        assert!((t1 - (net.latency_s + 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shuffle_bandwidth_interpolates() {
+        let net = NetworkModel::one_gbps();
+        assert_eq!(net.shuffle_mb_s(1.0), net.intra_rack_mb_s);
+        assert_eq!(net.shuffle_mb_s(0.0), net.inter_rack_mb_s);
+        let mid = net.shuffle_mb_s(0.5);
+        assert!(mid > net.inter_rack_mb_s && mid < net.intra_rack_mb_s);
+    }
+
+    #[test]
+    fn distance_based_transfer_matches_node_based() {
+        let net = NetworkModel::one_gbps();
+        let a = node(0, 0);
+        let c = node(2, 1);
+        assert_eq!(
+            net.transfer_secs(&a, &c, 32.0),
+            net.transfer_secs_by_distance(false, 32.0)
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! Dynamic per-node speed: straggler and slowdown injection.
+//!
+//! The S³ paper's *periodic slot checking* (Section IV-D-1) exists because
+//! real nodes slow down at runtime. A [`SpeedProfile`] is a piecewise-
+//! constant multiplier over simulated time; a [`SlowdownSchedule`] collects
+//! one profile per node and answers "how fast is node `n` at time `t`?".
+
+use crate::node::NodeId;
+use s3_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Piecewise-constant speed multiplier over simulated time.
+///
+/// The profile starts at 1.0 at time zero; each change point replaces the
+/// multiplier from that instant on. Values below 1.0 are slowdowns, above
+/// 1.0 speedups.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SpeedProfile {
+    /// Change points sorted by time: `(at, factor_from_then_on)`.
+    changes: Vec<(SimTime, f64)>,
+}
+
+impl SpeedProfile {
+    /// A constant 1.0 profile.
+    pub fn nominal() -> Self {
+        SpeedProfile::default()
+    }
+
+    /// Append a change point. Points must be added in non-decreasing time
+    /// order and factors must be positive.
+    ///
+    /// # Panics
+    /// Panics on out-of-order times or non-positive factors.
+    pub fn change_at(mut self, at: SimTime, factor: f64) -> Self {
+        assert!(factor > 0.0, "speed factor must be positive");
+        if let Some(&(last, _)) = self.changes.last() {
+            assert!(at >= last, "speed profile changes must be time-ordered");
+        }
+        self.changes.push((at, factor));
+        self
+    }
+
+    /// A transient slowdown: `factor` during `[from, until)`, nominal after.
+    pub fn slow_between(from: SimTime, until: SimTime, factor: f64) -> Self {
+        assert!(until > from, "slowdown window inverted");
+        SpeedProfile::nominal()
+            .change_at(from, factor)
+            .change_at(until, 1.0)
+    }
+
+    /// Multiplier in effect at `t`.
+    pub fn factor_at(&self, t: SimTime) -> f64 {
+        match self.changes.binary_search_by(|&(at, _)| at.cmp(&t)) {
+            // Exact hit: the change at `t` is already in effect.
+            Ok(i) => self.changes[i].1,
+            Err(0) => 1.0,
+            Err(i) => self.changes[i - 1].1,
+        }
+    }
+
+    /// Whether this profile ever deviates from nominal.
+    pub fn is_nominal(&self) -> bool {
+        self.changes.iter().all(|&(_, f)| f == 1.0)
+    }
+}
+
+/// Speed profiles for a whole cluster. Nodes without an entry run at their
+/// static [`crate::NodeSpec::speed_factor`] only.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SlowdownSchedule {
+    entries: Vec<(NodeId, SpeedProfile)>,
+}
+
+impl SlowdownSchedule {
+    /// No dynamic slowdowns.
+    pub fn none() -> Self {
+        SlowdownSchedule::default()
+    }
+
+    /// Attach `profile` to `node`, replacing any existing profile.
+    pub fn set(&mut self, node: NodeId, profile: SpeedProfile) {
+        if let Some(e) = self.entries.iter_mut().find(|(n, _)| *n == node) {
+            e.1 = profile;
+        } else {
+            self.entries.push((node, profile));
+        }
+    }
+
+    /// Builder-style [`set`](Self::set).
+    pub fn with(mut self, node: NodeId, profile: SpeedProfile) -> Self {
+        self.set(node, profile);
+        self
+    }
+
+    /// Dynamic multiplier of `node` at `t` (1.0 when unscheduled).
+    pub fn factor_at(&self, node: NodeId, t: SimTime) -> f64 {
+        self.entries
+            .iter()
+            .find(|(n, _)| *n == node)
+            .map(|(_, p)| p.factor_at(t))
+            .unwrap_or(1.0)
+    }
+
+    /// Nodes that have a dynamic profile attached.
+    pub fn affected_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.entries.iter().map(|(n, _)| *n)
+    }
+}
+
+/// Permanent TaskTracker deaths: after its death time a node stops
+/// heartbeating and every task it was running is lost and must be
+/// re-executed elsewhere. The co-located DataNode is assumed to survive
+/// (separate process in Hadoop), so the node's blocks stay readable
+/// remotely.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FailureSchedule {
+    deaths: Vec<(NodeId, SimTime)>,
+}
+
+impl FailureSchedule {
+    /// No failures.
+    pub fn none() -> Self {
+        FailureSchedule::default()
+    }
+
+    /// Kill `node`'s TaskTracker at `at` (replaces an earlier death time).
+    pub fn kill(mut self, node: NodeId, at: SimTime) -> Self {
+        if let Some(e) = self.deaths.iter_mut().find(|(n, _)| *n == node) {
+            e.1 = at;
+        } else {
+            self.deaths.push((node, at));
+        }
+        self
+    }
+
+    /// Is `node`'s TaskTracker alive at `t`?
+    pub fn is_alive(&self, node: NodeId, t: SimTime) -> bool {
+        self.deaths
+            .iter()
+            .find(|(n, _)| *n == node)
+            .is_none_or(|&(_, death)| t < death)
+    }
+
+    /// Nodes with a scheduled death.
+    pub fn doomed_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.deaths.iter().map(|&(n, _)| n)
+    }
+
+    /// Whether any failure is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.deaths.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s3_sim::SimTime;
+
+    #[test]
+    fn nominal_profile_is_one_everywhere() {
+        let p = SpeedProfile::nominal();
+        assert_eq!(p.factor_at(SimTime::ZERO), 1.0);
+        assert_eq!(p.factor_at(SimTime::from_secs(1_000_000)), 1.0);
+        assert!(p.is_nominal());
+    }
+
+    #[test]
+    fn piecewise_lookup() {
+        let p = SpeedProfile::nominal()
+            .change_at(SimTime::from_secs(10), 0.5)
+            .change_at(SimTime::from_secs(20), 2.0);
+        assert_eq!(p.factor_at(SimTime::from_secs(5)), 1.0);
+        assert_eq!(p.factor_at(SimTime::from_secs(10)), 0.5);
+        assert_eq!(p.factor_at(SimTime::from_secs(15)), 0.5);
+        assert_eq!(p.factor_at(SimTime::from_secs(20)), 2.0);
+        assert_eq!(p.factor_at(SimTime::from_secs(99)), 2.0);
+        assert!(!p.is_nominal());
+    }
+
+    #[test]
+    fn transient_window() {
+        let p = SpeedProfile::slow_between(SimTime::from_secs(100), SimTime::from_secs(200), 0.25);
+        assert_eq!(p.factor_at(SimTime::from_secs(99)), 1.0);
+        assert_eq!(p.factor_at(SimTime::from_secs(100)), 0.25);
+        assert_eq!(p.factor_at(SimTime::from_secs(199)), 0.25);
+        assert_eq!(p.factor_at(SimTime::from_secs(200)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_changes_panic() {
+        let _ = SpeedProfile::nominal()
+            .change_at(SimTime::from_secs(20), 0.5)
+            .change_at(SimTime::from_secs(10), 1.0);
+    }
+
+    #[test]
+    fn failure_schedule_kills_permanently() {
+        let f = FailureSchedule::none().kill(NodeId(3), SimTime::from_secs(100));
+        assert!(f.is_alive(NodeId(3), SimTime::from_secs(99)));
+        assert!(!f.is_alive(NodeId(3), SimTime::from_secs(100)));
+        assert!(!f.is_alive(NodeId(3), SimTime::from_secs(10_000)));
+        assert!(f.is_alive(NodeId(4), SimTime::from_secs(10_000)));
+        assert_eq!(f.doomed_nodes().count(), 1);
+        assert!(!f.is_empty());
+        // Re-killing replaces the death time.
+        let f = f.kill(NodeId(3), SimTime::from_secs(50));
+        assert!(!f.is_alive(NodeId(3), SimTime::from_secs(60)));
+    }
+
+    #[test]
+    fn schedule_defaults_and_replacement() {
+        let mut s = SlowdownSchedule::none();
+        assert_eq!(s.factor_at(NodeId(3), SimTime::from_secs(50)), 1.0);
+        s.set(
+            NodeId(3),
+            SpeedProfile::slow_between(SimTime::ZERO, SimTime::from_secs(10), 0.5),
+        );
+        assert_eq!(s.factor_at(NodeId(3), SimTime::from_secs(5)), 0.5);
+        // Replace with a different profile.
+        s.set(NodeId(3), SpeedProfile::nominal());
+        assert_eq!(s.factor_at(NodeId(3), SimTime::from_secs(5)), 1.0);
+        assert_eq!(s.affected_nodes().count(), 1);
+    }
+}

@@ -1,0 +1,240 @@
+//! Cluster topology: the set of nodes and their rack layout.
+
+use crate::network::NetworkModel;
+use crate::node::{Node, NodeId, NodeSpec, RackId};
+use serde::{Deserialize, Serialize};
+
+/// An immutable cluster description.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterTopology {
+    nodes: Vec<Node>,
+    network: NetworkModel,
+    num_racks: u16,
+}
+
+impl ClusterTopology {
+    /// The paper's evaluation cluster: 40 slaves in three racks of 15/15/10,
+    /// 1 Gbps network, one map slot and one reduce slot per node.
+    pub fn paper_cluster() -> Self {
+        ClusterBuilder::new()
+            .rack(15)
+            .rack(15)
+            .rack(10)
+            .network(NetworkModel::one_gbps())
+            .build()
+    }
+
+    /// All nodes in id order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of slave nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of racks.
+    pub fn num_racks(&self) -> u16 {
+        self.num_racks
+    }
+
+    /// Look up a node.
+    ///
+    /// # Panics
+    /// Panics on an unknown id (ids are dense by construction).
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Rack of a node.
+    pub fn rack_of(&self, id: NodeId) -> RackId {
+        self.node(id).rack
+    }
+
+    /// Nodes belonging to `rack`, in id order.
+    pub fn nodes_in_rack(&self, rack: RackId) -> impl Iterator<Item = &Node> + '_ {
+        self.nodes.iter().filter(move |n| n.rack == rack)
+    }
+
+    /// Total map slots across the cluster — the paper's `m` (blocks per
+    /// segment equals concurrent map slots).
+    pub fn total_map_slots(&self) -> u32 {
+        self.nodes.iter().map(|n| n.spec.map_slots).sum()
+    }
+
+    /// Total reduce slots across the cluster.
+    pub fn total_reduce_slots(&self) -> u32 {
+        self.nodes.iter().map(|n| n.spec.reduce_slots).sum()
+    }
+
+    /// The network model.
+    pub fn network(&self) -> &NetworkModel {
+        &self.network
+    }
+}
+
+/// Builder for [`ClusterTopology`].
+///
+/// The node spec in effect when [`ClusterBuilder::rack`] is called applies
+/// to that rack's nodes, so heterogeneous clusters are built by
+/// interleaving spec changes with rack additions.
+#[derive(Debug, Clone)]
+pub struct ClusterBuilder {
+    racks: Vec<(u32, NodeSpec)>,
+    spec: NodeSpec,
+    network: NetworkModel,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClusterBuilder {
+    /// Start an empty cluster with default node spec and 1 Gbps network.
+    pub fn new() -> Self {
+        ClusterBuilder {
+            racks: Vec::new(),
+            spec: NodeSpec::default(),
+            network: NetworkModel::one_gbps(),
+        }
+    }
+
+    /// Append a rack containing `nodes` nodes using the current node spec.
+    pub fn rack(mut self, nodes: u32) -> Self {
+        self.racks.push((nodes, self.spec));
+        self
+    }
+
+    /// Use `spec` for racks added afterwards.
+    pub fn node_spec(mut self, spec: NodeSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Set map slots per node for racks added afterwards — and, for
+    /// convenience, retroactively on racks already added (slot counts are
+    /// usually cluster-wide configuration, unlike speed factors).
+    pub fn map_slots(mut self, slots: u32) -> Self {
+        self.spec.map_slots = slots;
+        for (_, spec) in &mut self.racks {
+            spec.map_slots = slots;
+        }
+        self
+    }
+
+    /// Set reduce slots per node, with the same retroactive convenience as
+    /// [`ClusterBuilder::map_slots`].
+    pub fn reduce_slots(mut self, slots: u32) -> Self {
+        self.spec.reduce_slots = slots;
+        for (_, spec) in &mut self.racks {
+            spec.reduce_slots = slots;
+        }
+        self
+    }
+
+    /// Set the network model.
+    pub fn network(mut self, network: NetworkModel) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Finish building.
+    ///
+    /// # Panics
+    /// Panics if no racks were added or any rack is empty.
+    pub fn build(self) -> ClusterTopology {
+        assert!(!self.racks.is_empty(), "cluster needs at least one rack");
+        let mut nodes = Vec::new();
+        for (rack_idx, &(count, spec)) in self.racks.iter().enumerate() {
+            assert!(count > 0, "rack {rack_idx} is empty");
+            for _ in 0..count {
+                let id = NodeId(nodes.len() as u32);
+                nodes.push(Node {
+                    id,
+                    rack: RackId(rack_idx as u16),
+                    spec,
+                });
+            }
+        }
+        ClusterTopology {
+            nodes,
+            network: self.network,
+            num_racks: self.racks.len() as u16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cluster_shape() {
+        let c = ClusterTopology::paper_cluster();
+        assert_eq!(c.num_nodes(), 40);
+        assert_eq!(c.num_racks(), 3);
+        assert_eq!(c.total_map_slots(), 40);
+        assert_eq!(c.nodes_in_rack(RackId(0)).count(), 15);
+        assert_eq!(c.nodes_in_rack(RackId(2)).count(), 10);
+    }
+
+    #[test]
+    fn ids_are_dense_and_rack_assignment_contiguous() {
+        let c = ClusterTopology::paper_cluster();
+        for (i, n) in c.nodes().iter().enumerate() {
+            assert_eq!(n.id, NodeId(i as u32));
+        }
+        assert_eq!(c.rack_of(NodeId(0)), RackId(0));
+        assert_eq!(c.rack_of(NodeId(14)), RackId(0));
+        assert_eq!(c.rack_of(NodeId(15)), RackId(1));
+        assert_eq!(c.rack_of(NodeId(39)), RackId(2));
+    }
+
+    #[test]
+    fn builder_customization() {
+        let c = ClusterBuilder::new()
+            .rack(2)
+            .rack(2)
+            .map_slots(4)
+            .reduce_slots(2)
+            .build();
+        assert_eq!(c.total_map_slots(), 16);
+        assert_eq!(c.total_reduce_slots(), 8);
+    }
+
+    #[test]
+    fn heterogeneous_racks_keep_their_specs() {
+        let slow = NodeSpec {
+            speed_factor: 0.5,
+            ..NodeSpec::default()
+        };
+        let c = ClusterBuilder::new()
+            .rack(2)
+            .node_spec(slow)
+            .rack(3)
+            .build();
+        assert_eq!(c.node(NodeId(0)).spec.speed_factor, 1.0);
+        assert_eq!(c.node(NodeId(1)).spec.speed_factor, 1.0);
+        for i in 2..5 {
+            assert_eq!(c.node(NodeId(i)).spec.speed_factor, 0.5);
+        }
+    }
+
+    #[test]
+    fn slot_setters_apply_retroactively() {
+        let c = ClusterBuilder::new().rack(2).rack(2).map_slots(3).build();
+        for n in c.nodes() {
+            assert_eq!(n.spec.map_slots, 3);
+        }
+        assert_eq!(c.total_map_slots(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rack")]
+    fn empty_cluster_panics() {
+        ClusterBuilder::new().build();
+    }
+}

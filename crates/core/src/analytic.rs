@@ -1,0 +1,190 @@
+//! Closed-form TET/ART for the idealized scenarios of Section III.
+//!
+//! The paper motivates S³ with two-job worked examples (Examples 1–3)
+//! computed under three idealizations: every job takes exactly `T` seconds
+//! of pure scanning, merging jobs is free, and scheduling has no overhead.
+//! This module reproduces those formulas for any number of jobs; the unit
+//! tests pin the exact numbers printed in the paper.
+
+/// An idealized scenario: identical I/O-bound jobs over one file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Seconds a lone job needs (the full-file scan time).
+    pub job_secs: f64,
+    /// Arrival times in seconds, non-decreasing.
+    pub arrivals: Vec<f64>,
+}
+
+/// TET and ART of a schedule, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TetArt {
+    /// Total execution time: first submission to last completion.
+    pub tet: f64,
+    /// Average response time.
+    pub art: f64,
+}
+
+impl Scenario {
+    /// Create, validating inputs.
+    ///
+    /// # Panics
+    /// Panics on an empty or unsorted arrival list or non-positive job time.
+    pub fn new(job_secs: f64, arrivals: Vec<f64>) -> Self {
+        assert!(job_secs > 0.0, "job time must be positive");
+        assert!(!arrivals.is_empty(), "need at least one job");
+        assert!(
+            arrivals.windows(2).all(|w| w[0] <= w[1]),
+            "arrivals must be sorted"
+        );
+        Scenario { job_secs, arrivals }
+    }
+
+    fn tet_art(&self, completions: &[f64]) -> TetArt {
+        let first = self.arrivals[0];
+        let last = completions
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let art = completions
+            .iter()
+            .zip(&self.arrivals)
+            .map(|(c, a)| c - a)
+            .sum::<f64>()
+            / self.arrivals.len() as f64;
+        TetArt {
+            tet: last - first,
+            art,
+        }
+    }
+
+    /// FIFO: jobs run back to back; a job starts at
+    /// `max(arrival, previous completion)`.
+    pub fn fifo(&self) -> TetArt {
+        let mut completions = Vec::with_capacity(self.arrivals.len());
+        let mut free_at = f64::NEG_INFINITY;
+        for &a in &self.arrivals {
+            let start = a.max(free_at);
+            free_at = start + self.job_secs;
+            completions.push(free_at);
+        }
+        self.tet_art(&completions)
+    }
+
+    /// MRShare with the given consecutive group sizes: a group starts when
+    /// its last member has arrived and the cluster is free; all members
+    /// complete together after one merged scan.
+    ///
+    /// # Panics
+    /// Panics if the group sizes do not sum to the number of jobs.
+    pub fn mrshare(&self, groups: &[usize]) -> TetArt {
+        assert_eq!(
+            groups.iter().sum::<usize>(),
+            self.arrivals.len(),
+            "group sizes must cover all jobs"
+        );
+        let mut completions = Vec::with_capacity(self.arrivals.len());
+        let mut free_at = f64::NEG_INFINITY;
+        let mut idx = 0;
+        for &g in groups {
+            assert!(g > 0, "empty group");
+            let last_arrival = self.arrivals[idx + g - 1];
+            let start = last_arrival.max(free_at);
+            free_at = start + self.job_secs;
+            for _ in 0..g {
+                completions.push(free_at);
+            }
+            idx += g;
+        }
+        self.tet_art(&completions)
+    }
+
+    /// MRShare batching every job into one group (MRS1).
+    pub fn mrshare_single(&self) -> TetArt {
+        self.mrshare(&[self.arrivals.len()])
+    }
+
+    /// Idealized S³: a job joins the circular scan immediately on arrival
+    /// and completes exactly one revolution later — response time is always
+    /// `T`, regardless of how many jobs share the scan.
+    pub fn s3(&self) -> TetArt {
+        let completions: Vec<f64> = self.arrivals.iter().map(|a| a + self.job_secs).collect();
+        self.tet_art(&completions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn paper_example_1_dense() {
+        // Two 100s jobs arriving at {0, 20}.
+        let s = Scenario::new(100.0, vec![0.0, 20.0]);
+        let fifo = s.fifo();
+        assert!(close(fifo.tet, 200.0) && close(fifo.art, 140.0), "{fifo:?}");
+        let mrs = s.mrshare_single();
+        assert!(close(mrs.tet, 120.0) && close(mrs.art, 110.0), "{mrs:?}");
+    }
+
+    #[test]
+    fn paper_example_2_sparse() {
+        // Two 100s jobs arriving at {0, 80}.
+        let s = Scenario::new(100.0, vec![0.0, 80.0]);
+        let fifo = s.fifo();
+        assert!(close(fifo.tet, 200.0) && close(fifo.art, 110.0), "{fifo:?}");
+        let mrs = s.mrshare_single();
+        assert!(close(mrs.tet, 180.0) && close(mrs.art, 140.0), "{mrs:?}");
+    }
+
+    #[test]
+    fn paper_example_3_s3() {
+        let dense = Scenario::new(100.0, vec![0.0, 20.0]).s3();
+        assert!(close(dense.tet, 120.0) && close(dense.art, 100.0), "{dense:?}");
+        let sparse = Scenario::new(100.0, vec![0.0, 80.0]).s3();
+        assert!(close(sparse.tet, 180.0) && close(sparse.art, 100.0), "{sparse:?}");
+    }
+
+    #[test]
+    fn s3_dominates_both_baselines_in_the_examples() {
+        for arrivals in [vec![0.0, 20.0], vec![0.0, 80.0]] {
+            let s = Scenario::new(100.0, arrivals);
+            let (f, m, x) = (s.fifo(), s.mrshare_single(), s.s3());
+            assert!(x.tet <= f.tet && x.tet <= m.tet);
+            assert!(x.art <= f.art && x.art <= m.art);
+        }
+    }
+
+    #[test]
+    fn fifo_idle_gap() {
+        // Gap larger than the job: no queueing at all.
+        let s = Scenario::new(100.0, vec![0.0, 500.0]);
+        let f = s.fifo();
+        assert!(close(f.tet, 600.0) && close(f.art, 100.0));
+    }
+
+    #[test]
+    fn mrshare_groups_serialize() {
+        let s = Scenario::new(100.0, vec![0.0, 10.0, 20.0, 30.0]);
+        let m = s.mrshare(&[2, 2]);
+        // Group 1 starts at 10, done 110; group 2 starts at max(30,110)=110,
+        // done 210.
+        assert!(close(m.tet, 210.0), "{m:?}");
+        assert!(close(m.art, (110.0 + 100.0 + 190.0 + 180.0) / 4.0), "{m:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cover all jobs")]
+    fn bad_groups_panic() {
+        Scenario::new(100.0, vec![0.0, 1.0]).mrshare(&[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_arrivals_panic() {
+        Scenario::new(100.0, vec![5.0, 1.0]);
+    }
+}

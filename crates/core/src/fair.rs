@@ -1,0 +1,209 @@
+//! A fair scheduler in the style of Facebook's Hadoop fair scheduler
+//! (Section II-B's *partial utilization* category).
+//!
+//! All running jobs share the cluster: when a map slot frees, it goes to
+//! the incomplete job with the fewest currently running map tasks (a
+//! max-min share in steady state). Jobs run concurrently, so nobody is
+//! blocked behind a queue — but every job still scans the file by itself,
+//! and with the slots split `n` ways each job runs roughly `n` times
+//! longer: exactly the two drawbacks the paper calls out ("since each job
+//! is allocated less resources, its execution time will be longer" and "it
+//! misses sharing opportunities").
+
+use s3_cluster::NodeId;
+use s3_mapreduce::{Batch, BatchKey, JobId, MapTaskSpec, ReduceTaskSpec, SchedCtx, Scheduler};
+use s3_sim::SimDuration;
+
+/// Fair-share scheduler state.
+#[derive(Debug, Default)]
+pub struct FairScheduler {
+    batches: Vec<Batch>,
+    next_key: u64,
+}
+
+impl FairScheduler {
+    /// A fresh fair scheduler.
+    pub fn new() -> Self {
+        FairScheduler::default()
+    }
+
+    fn batch_mut(&mut self, key: BatchKey) -> &mut Batch {
+        self.batches
+            .iter_mut()
+            .find(|b| b.key() == key)
+            .expect("completion for unknown batch")
+    }
+
+    fn reap(&mut self, ctx: &mut SchedCtx<'_>, key: BatchKey) {
+        if let Some(pos) = self.batches.iter().position(|b| b.key() == key) {
+            if self.batches[pos].is_complete() {
+                let batch = self.batches.remove(pos);
+                for &job in batch.jobs() {
+                    ctx.complete_job(job);
+                }
+            }
+        }
+    }
+}
+
+impl Scheduler for FairScheduler {
+    fn name(&self) -> String {
+        "Fair".into()
+    }
+
+    fn on_job_arrival(&mut self, ctx: &mut SchedCtx<'_>, job: JobId) {
+        let req = ctx.jobs.get(job);
+        let blocks = ctx.dfs.file(req.file).blocks.clone();
+        let key = BatchKey(self.next_key);
+        self.next_key += 1;
+        let ready =
+            ctx.now + SimDuration::from_secs_f64(ctx.cost.submit_overhead_secs(blocks.len()));
+        self.batches.push(Batch::new(
+            key,
+            vec![job],
+            &blocks,
+            ctx.jobs,
+            ctx.dfs,
+            ready,
+            ctx.map_slots(),
+        ));
+    }
+
+    fn assign_map(&mut self, ctx: &mut SchedCtx<'_>, node: NodeId) -> Option<MapTaskSpec> {
+        // Max-min fairness: offer the slot to the job with the smallest
+        // running share that still has work; break ties by arrival order
+        // (vector order).
+        let now = ctx.now;
+        let mut order: Vec<usize> = (0..self.batches.len())
+            .filter(|&i| {
+                let b = &self.batches[i];
+                !b.maps_exhausted() && now >= b.ready_at()
+            })
+            .collect();
+        order.sort_by_key(|&i| self.batches[i].running_maps());
+        for i in order {
+            if let Some(spec) = self.batches[i].next_map_for(node, now, ctx.dfs, ctx.cluster) {
+                return Some(spec);
+            }
+        }
+        None
+    }
+
+    fn assign_reduce(&mut self, ctx: &mut SchedCtx<'_>, _node: NodeId) -> Option<ReduceTaskSpec> {
+        let now = ctx.now;
+        let mut order: Vec<usize> = (0..self.batches.len()).collect();
+        order.sort_by_key(|&i| self.batches[i].running_reduces());
+        for i in order {
+            if let Some(spec) = self.batches[i].next_reduce(now) {
+                return Some(spec);
+            }
+        }
+        None
+    }
+
+    fn on_map_complete(&mut self, ctx: &mut SchedCtx<'_>, _node: NodeId, spec: &MapTaskSpec) {
+        self.batch_mut(spec.batch).on_map_done();
+        self.reap(ctx, spec.batch);
+    }
+
+    fn on_reduce_complete(&mut self, ctx: &mut SchedCtx<'_>, _node: NodeId, spec: &ReduceTaskSpec) {
+        self.batch_mut(spec.batch).on_reduce_done();
+        self.reap(ctx, spec.batch);
+    }
+
+    fn on_map_failed(&mut self, _ctx: &mut SchedCtx<'_>, _node: NodeId, spec: &MapTaskSpec) {
+        self.batch_mut(spec.batch).requeue_map(spec.block);
+    }
+
+    fn on_reduce_failed(&mut self, _ctx: &mut SchedCtx<'_>, _node: NodeId, spec: &ReduceTaskSpec) {
+        self.batch_mut(spec.batch).requeue_reduce(spec.partition);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FifoScheduler;
+    use s3_cluster::{ClusterTopology, SlowdownSchedule};
+    use s3_dfs::{Dfs, RoundRobinPlacement, MB};
+    use s3_mapreduce::{simulate, CostModel, EngineConfig, RunMetrics, Scheduler};
+    use s3_workloads::wordcount_normal;
+
+    fn run(scheduler: &mut dyn Scheduler, blocks: u64, arrivals: &[f64]) -> RunMetrics {
+        let cluster = ClusterTopology::paper_cluster();
+        let mut dfs = Dfs::new();
+        let file = dfs
+            .create_file(
+                &cluster,
+                "in",
+                blocks * 64 * MB,
+                64 * MB,
+                1,
+                &mut RoundRobinPlacement::default(),
+            )
+            .unwrap();
+        let workload =
+            s3_mapreduce::job::requests_from_arrivals(&wordcount_normal(), file, arrivals);
+        simulate(
+            &cluster,
+            &SlowdownSchedule::none(),
+            &dfs,
+            &CostModel::deterministic(),
+            &workload,
+            scheduler,
+            &EngineConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_jobs_complete_without_sharing() {
+        let m = run(&mut FairScheduler::new(), 160, &[0.0, 1.0, 2.0]);
+        assert_eq!(m.outcomes.len(), 3);
+        // Fair scheduling never shares scans.
+        assert_eq!(m.blocks_read, 480);
+        assert_eq!(m.mb_read, m.logical_mb_scanned);
+    }
+
+    #[test]
+    fn concurrent_jobs_interleave_rather_than_queue() {
+        // Under FIFO job 3 waits for jobs 1-2; under fair sharing all three
+        // progress together, so responses are much closer to each other.
+        let fair = run(&mut FairScheduler::new(), 160, &[0.0, 1.0, 2.0]);
+        let fifo = run(&mut FifoScheduler::new(), 160, &[0.0, 1.0, 2.0]);
+        let spread = |m: &RunMetrics| {
+            let r: Vec<f64> = m
+                .outcomes
+                .iter()
+                .map(|o| o.response().as_secs_f64())
+                .collect();
+            r.iter().cloned().fold(0.0, f64::max) / r.iter().cloned().fold(f64::INFINITY, f64::min)
+        };
+        assert!(
+            spread(&fair) < spread(&fifo),
+            "fair {} vs fifo {}",
+            spread(&fair),
+            spread(&fifo)
+        );
+    }
+
+    #[test]
+    fn fair_share_slows_each_job_down() {
+        // The paper's first drawback: each of n concurrent jobs sees ~1/n
+        // of the slots, so even the first job's response grows.
+        let single = run(&mut FairScheduler::new(), 160, &[0.0]);
+        let triple = run(&mut FairScheduler::new(), 160, &[0.0, 0.5, 1.0]);
+        let r1 = single.outcomes[0].response().as_secs_f64();
+        let r3 = triple.outcomes[0].response().as_secs_f64();
+        assert!(r3 > 1.8 * r1, "single {r1} vs shared {r3}");
+    }
+
+    #[test]
+    fn single_job_fair_equals_fifo() {
+        let fair = run(&mut FairScheduler::new(), 120, &[0.0]);
+        let fifo = run(&mut FifoScheduler::new(), 120, &[0.0]);
+        assert_eq!(fair.blocks_read, fifo.blocks_read);
+        let diff = (fair.tet().as_secs_f64() - fifo.tet().as_secs_f64()).abs();
+        assert!(diff < 1.0, "one job has nothing to fair-share: {diff}");
+    }
+}

@@ -1,0 +1,199 @@
+//! Hadoop's default FIFO scheduler (the naïve no-sharing baseline).
+//!
+//! Jobs are processed in submission order. A later job's map tasks cannot
+//! start until every map task of the job ahead of it has been handed out
+//! (the paper's footnote 4: "the next job cannot start its map tasks until
+//! the current job releases its map slots"). Reduce phases overlap the next
+//! job's maps because they occupy separate slots. Every job scans the whole
+//! file by itself — no sharing.
+
+use s3_cluster::NodeId;
+use s3_mapreduce::{Batch, BatchKey, JobId, MapTaskSpec, ReduceTaskSpec, SchedCtx, Scheduler};
+use s3_sim::SimDuration;
+
+/// FIFO scheduler state: incomplete single-job batches in submission order.
+#[derive(Debug, Default)]
+pub struct FifoScheduler {
+    batches: Vec<Batch>,
+    next_key: u64,
+}
+
+impl FifoScheduler {
+    /// A fresh FIFO scheduler.
+    pub fn new() -> Self {
+        FifoScheduler::default()
+    }
+
+    fn batch_mut(&mut self, key: BatchKey) -> &mut Batch {
+        self.batches
+            .iter_mut()
+            .find(|b| b.key() == key)
+            .expect("completion for unknown batch")
+    }
+
+    /// If `key`'s batch is fully complete, report its jobs and drop it.
+    fn reap(&mut self, ctx: &mut SchedCtx<'_>, key: BatchKey) {
+        if let Some(pos) = self.batches.iter().position(|b| b.key() == key) {
+            if self.batches[pos].is_complete() {
+                let batch = self.batches.remove(pos);
+                for &job in batch.jobs() {
+                    ctx.complete_job(job);
+                }
+            }
+        }
+    }
+}
+
+impl Scheduler for FifoScheduler {
+    fn name(&self) -> String {
+        "FIFO".into()
+    }
+
+    fn on_job_arrival(&mut self, ctx: &mut SchedCtx<'_>, job: JobId) {
+        let req = ctx.jobs.get(job);
+        let blocks = ctx.dfs.file(req.file).blocks.clone();
+        let key = BatchKey(self.next_key);
+        self.next_key += 1;
+        let ready = ctx.now + SimDuration::from_secs_f64(ctx.cost.submit_overhead_secs(blocks.len()));
+        self.batches.push(Batch::new(
+            key,
+            vec![job],
+            &blocks,
+            ctx.jobs,
+            ctx.dfs,
+            ready,
+            ctx.map_slots(),
+        ));
+    }
+
+    fn assign_map(&mut self, ctx: &mut SchedCtx<'_>, node: NodeId) -> Option<MapTaskSpec> {
+        // Strict FIFO: only the first batch with unassigned maps may hand
+        // out work; a later job waits for the head job to exhaust its maps.
+        let head = self.batches.iter_mut().find(|b| !b.maps_exhausted())?;
+        head.next_map_for(node, ctx.now, ctx.dfs, ctx.cluster)
+    }
+
+    fn assign_reduce(&mut self, ctx: &mut SchedCtx<'_>, _node: NodeId) -> Option<ReduceTaskSpec> {
+        self.batches
+            .iter_mut()
+            .find_map(|b| b.next_reduce(ctx.now))
+    }
+
+    fn on_map_complete(&mut self, ctx: &mut SchedCtx<'_>, _node: NodeId, spec: &MapTaskSpec) {
+        self.batch_mut(spec.batch).on_map_done();
+        // Map-only jobs complete here.
+        self.reap(ctx, spec.batch);
+    }
+
+    fn on_reduce_complete(&mut self, ctx: &mut SchedCtx<'_>, _node: NodeId, spec: &ReduceTaskSpec) {
+        self.batch_mut(spec.batch).on_reduce_done();
+        self.reap(ctx, spec.batch);
+    }
+
+    fn on_map_failed(&mut self, _ctx: &mut SchedCtx<'_>, _node: NodeId, spec: &MapTaskSpec) {
+        self.batch_mut(spec.batch).requeue_map(spec.block);
+    }
+
+    fn on_reduce_failed(&mut self, _ctx: &mut SchedCtx<'_>, _node: NodeId, spec: &ReduceTaskSpec) {
+        self.batch_mut(spec.batch).requeue_reduce(spec.partition);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s3_cluster::{ClusterTopology, SlowdownSchedule};
+    use s3_dfs::{Dfs, FileId, RoundRobinPlacement, MB};
+    use s3_mapreduce::{simulate, CostModel, EngineConfig, JobProfile, RunMetrics};
+    use std::sync::Arc;
+
+    fn world(blocks: u64) -> (ClusterTopology, Dfs, FileId) {
+        let cluster = ClusterTopology::paper_cluster();
+        let mut dfs = Dfs::new();
+        let file = dfs
+            .create_file(
+                &cluster,
+                "in",
+                blocks * 64 * MB,
+                64 * MB,
+                1,
+                &mut RoundRobinPlacement::default(),
+            )
+            .unwrap();
+        (cluster, dfs, file)
+    }
+
+    fn wc_profile() -> Arc<JobProfile> {
+        Arc::new(JobProfile {
+            name: "wc".into(),
+            map_cpu_s_per_mb: 0.0015,
+            map_output_ratio: 0.015,
+            map_output_records_per_mb: 1526.0,
+            reduce_cpu_s_per_mb: 0.02,
+            reduce_output_ratio: 0.000625,
+            num_reduce_tasks: 30,
+        })
+    }
+
+    fn run(blocks: u64, arrivals: &[f64]) -> RunMetrics {
+        let (cluster, dfs, file) = world(blocks);
+        let workload = s3_mapreduce::job::requests_from_arrivals(&wc_profile(), file, arrivals);
+        simulate(
+            &cluster,
+            &SlowdownSchedule::none(),
+            &dfs,
+            &CostModel::deterministic(),
+            &workload,
+            &mut FifoScheduler::new(),
+            &EngineConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_job_completes() {
+        let m = run(80, &[0.0]);
+        assert_eq!(m.outcomes.len(), 1);
+        assert_eq!(m.blocks_read, 80);
+        // Two waves of 40 local maps plus reduces: tens of seconds.
+        let t = m.tet().as_secs_f64();
+        assert!(t > 5.0 && t < 60.0, "unexpected single-job time {t}");
+        // All maps should be node-local under round-robin striping.
+        assert!(m.locality_rate() > 0.95, "locality {}", m.locality_rate());
+    }
+
+    #[test]
+    fn fifo_serializes_jobs_and_never_shares() {
+        let m = run(80, &[0.0, 1.0, 2.0]);
+        assert_eq!(m.outcomes.len(), 3);
+        // No sharing: every job reads the whole file itself.
+        assert_eq!(m.blocks_read, 240);
+        assert_eq!(m.mb_read, m.logical_mb_scanned);
+        // Later jobs wait: responses are ordered and roughly arithmetic.
+        let r: Vec<f64> = m.outcomes.iter().map(|o| o.response().as_secs_f64()).collect();
+        assert!(r[0] < r[1] && r[1] < r[2], "responses {r:?}");
+        // Job 3's response grows markedly over job 1's (serial map phases;
+        // reduce tails overlap the next job's maps, so the ratio sits
+        // below a strict 3x).
+        let ratio = r[2] / r[0];
+        assert!((1.5..4.0).contains(&ratio), "serialization ratio {ratio}");
+    }
+
+    #[test]
+    fn idle_gap_between_sparse_jobs() {
+        // Second job arrives long after the first completes: both respond
+        // in about the single-job time.
+        let m = run(40, &[0.0, 500.0]);
+        let r: Vec<f64> = m.outcomes.iter().map(|o| o.response().as_secs_f64()).collect();
+        assert!((r[0] - r[1]).abs() / r[0] < 0.3, "responses should match: {r:?}");
+        assert!(m.tet().as_secs_f64() > 500.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(80, &[0.0, 10.0]);
+        let b = run(80, &[0.0, 10.0]);
+        assert_eq!(a.tet(), b.tet());
+        assert_eq!(a.art(), b.art());
+    }
+}

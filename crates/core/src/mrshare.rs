@@ -1,0 +1,426 @@
+//! The MRShare-style file-based shared-scan baseline (Nykiel et al.,
+//! PVLDB 2010), re-implemented as in the paper's Section V-B.
+//!
+//! Jobs are grouped into batches ahead of execution; each batch is merged
+//! into a single job that scans the file once for all of its members. The
+//! batch trigger is the policy under study: the paper evaluates a single
+//! batch of all jobs (MRS1), two batches (MRS2), and three batches (MRS3),
+//! which map to [`BatchPolicy::FixedGroups`]. Count- and time-window
+//! triggers are provided for the arrival-rate sweeps.
+//!
+//! The defining weakness S³ attacks: a job submitted early must wait until
+//! its whole group has arrived before any of its work starts.
+
+use s3_cluster::NodeId;
+use s3_mapreduce::{Batch, BatchKey, JobId, MapTaskSpec, ReduceTaskSpec, SchedCtx, Scheduler};
+use s3_sim::{SimDuration, SimTime};
+
+/// When to close a group of waiting jobs into a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchPolicy {
+    /// One batch containing exactly the first `expected_jobs` jobs (MRS1
+    /// when `expected_jobs` = workload size).
+    SingleBatch {
+        /// Number of jobs to wait for.
+        expected_jobs: usize,
+    },
+    /// Consecutive groups of the given sizes (MRS2 = `[6, 4]`,
+    /// MRS3 = `[3, 3, 4]` for the paper's 10-job workloads). Jobs beyond
+    /// the listed groups form trailing groups of the last size.
+    FixedGroups(Vec<usize>),
+    /// Close a batch every `size` arrivals.
+    CountWindow {
+        /// Jobs per batch.
+        size: usize,
+    },
+    /// Close a batch `window_s` seconds after its first member arrived.
+    TimeWindow {
+        /// Window length in seconds.
+        window_s: f64,
+    },
+    /// Like [`BatchPolicy::TimeWindow`], but when the window closes the
+    /// waiting jobs are partitioned by the MRShare grouping optimizer
+    /// ([`crate::optimizer::optimize_grouping`]) instead of merged
+    /// wholesale — the full Nykiel et al. pipeline.
+    OptimizedWindow {
+        /// Window length in seconds.
+        window_s: f64,
+    },
+}
+
+/// MRShare-style batching scheduler.
+#[derive(Debug)]
+pub struct MRShareScheduler {
+    policy: BatchPolicy,
+    label: String,
+    waiting: Vec<JobId>,
+    groups_closed: usize,
+    window_deadline: Option<SimTime>,
+    batches: Vec<Batch>,
+    next_key: u64,
+    /// Seconds of merge-planning cost per job in a batch: MRShare's
+    /// optimizer analyzes the group's sharing opportunities and rewrites
+    /// the jobs into one merged job before submission (Nykiel et al. §4).
+    merge_planning_s_per_job: f64,
+}
+
+impl MRShareScheduler {
+    /// Create with a policy and a report label ("MRS1", "MRS2", ...).
+    pub fn new(policy: BatchPolicy, label: impl Into<String>) -> Self {
+        if let BatchPolicy::FixedGroups(sizes) = &policy {
+            assert!(!sizes.is_empty(), "FixedGroups needs at least one size");
+            assert!(sizes.iter().all(|&s| s > 0), "group sizes must be positive");
+        }
+        MRShareScheduler {
+            policy,
+            label: label.into(),
+            waiting: Vec::new(),
+            groups_closed: 0,
+            window_deadline: None,
+            batches: Vec::new(),
+            next_key: 0,
+            merge_planning_s_per_job: 2.5,
+        }
+    }
+
+    /// MRS1 for an `n`-job workload.
+    pub fn mrs1(n: usize) -> Self {
+        Self::new(BatchPolicy::SingleBatch { expected_jobs: n }, "MRS1")
+    }
+
+    /// MRS2: the paper's two-batch split (first 6 jobs, last 4 for a
+    /// 10-job workload), scaled as a 60/40 split for other sizes.
+    pub fn mrs2(n: usize) -> Self {
+        let first = ((n as f64 * 0.6).ceil() as usize).clamp(1, n.saturating_sub(1).max(1));
+        Self::new(
+            BatchPolicy::FixedGroups(vec![first, (n - first).max(1)]),
+            "MRS2",
+        )
+    }
+
+    /// MRS3: the paper's three-batch split (3 / 3 / 4) scaled to `n` jobs.
+    pub fn mrs3(n: usize) -> Self {
+        let base = (n / 3).max(1);
+        let last = n.saturating_sub(2 * base).max(1);
+        Self::new(BatchPolicy::FixedGroups(vec![base, base, last]), "MRS3")
+    }
+
+    fn current_group_target(&self) -> Option<usize> {
+        match &self.policy {
+            BatchPolicy::SingleBatch { expected_jobs } => {
+                (self.groups_closed == 0).then_some(*expected_jobs)
+            }
+            BatchPolicy::FixedGroups(sizes) => Some(
+                *sizes
+                    .get(self.groups_closed)
+                    .unwrap_or_else(|| sizes.last().expect("non-empty sizes")),
+            ),
+            BatchPolicy::CountWindow { size } => Some(*size),
+            BatchPolicy::TimeWindow { .. } | BatchPolicy::OptimizedWindow { .. } => None,
+        }
+    }
+
+    fn close_batch(&mut self, ctx: &mut SchedCtx<'_>) {
+        debug_assert!(!self.waiting.is_empty());
+        let jobs = std::mem::take(&mut self.waiting);
+        // All jobs in a group must read the same file (the premise of
+        // file-based shared scanning).
+        let file = ctx.jobs.get(jobs[0]).file;
+        assert!(
+            jobs.iter().all(|&j| ctx.jobs.get(j).file == file),
+            "MRShare batches must share one input file"
+        );
+
+        // Under the optimizer policy, partition the window's jobs into
+        // cost-optimal sharing groups; otherwise merge them wholesale.
+        let groups: Vec<Vec<JobId>> = if matches!(self.policy, BatchPolicy::OptimizedWindow { .. })
+        {
+            let profiles: Vec<&s3_mapreduce::JobProfile> =
+                jobs.iter().map(|&j| &*ctx.jobs.get(j).profile).collect();
+            let meta = ctx.dfs.file(file);
+            let block_mb = meta.block_size_bytes as f64 / s3_dfs::MB as f64;
+            let node_spec = ctx.cluster.nodes()[0].spec;
+            let grouping = crate::optimizer::optimize_grouping(
+                &profiles,
+                meta.num_blocks() as u64,
+                block_mb,
+                ctx.cost,
+                &node_spec,
+                ctx.cluster.network(),
+            );
+            grouping
+                .groups
+                .iter()
+                .map(|g| g.iter().map(|&i| jobs[i]).collect())
+                .collect()
+        } else {
+            vec![jobs]
+        };
+
+        let blocks = ctx.dfs.file(file).blocks.clone();
+        for group in groups {
+            let key = BatchKey(self.next_key);
+            self.next_key += 1;
+            let ready = ctx.now
+                + SimDuration::from_secs_f64(
+                    ctx.cost.submit_overhead_secs(blocks.len())
+                        + self.merge_planning_s_per_job * group.len() as f64,
+                );
+            self.batches.push(Batch::new(
+                key,
+                group,
+                &blocks,
+                ctx.jobs,
+                ctx.dfs,
+                ready,
+                ctx.map_slots(),
+            ));
+            self.groups_closed += 1;
+        }
+        self.window_deadline = None;
+    }
+
+    fn batch_mut(&mut self, key: BatchKey) -> &mut Batch {
+        self.batches
+            .iter_mut()
+            .find(|b| b.key() == key)
+            .expect("completion for unknown batch")
+    }
+
+    fn reap(&mut self, ctx: &mut SchedCtx<'_>, key: BatchKey) {
+        if let Some(pos) = self.batches.iter().position(|b| b.key() == key) {
+            if self.batches[pos].is_complete() {
+                let batch = self.batches.remove(pos);
+                for &job in batch.jobs() {
+                    ctx.complete_job(job);
+                }
+            }
+        }
+    }
+}
+
+impl Scheduler for MRShareScheduler {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn on_job_arrival(&mut self, ctx: &mut SchedCtx<'_>, job: JobId) {
+        self.waiting.push(job);
+        match self.current_group_target() {
+            Some(target) => {
+                if self.waiting.len() >= target {
+                    self.close_batch(ctx);
+                }
+            }
+            None => {
+                // Time window: arm the deadline on the group's first member.
+                if self.window_deadline.is_none() {
+                    if let BatchPolicy::TimeWindow { window_s }
+                    | BatchPolicy::OptimizedWindow { window_s } = self.policy
+                    {
+                        let deadline = ctx.now + SimDuration::from_secs_f64(window_s);
+                        self.window_deadline = Some(deadline);
+                        ctx.request_wakeup(deadline);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_wakeup(&mut self, ctx: &mut SchedCtx<'_>) {
+        if let Some(deadline) = self.window_deadline {
+            if ctx.now >= deadline && !self.waiting.is_empty() {
+                self.close_batch(ctx);
+            }
+        }
+    }
+
+    fn assign_map(&mut self, ctx: &mut SchedCtx<'_>, node: NodeId) -> Option<MapTaskSpec> {
+        let head = self.batches.iter_mut().find(|b| !b.maps_exhausted())?;
+        head.next_map_for(node, ctx.now, ctx.dfs, ctx.cluster)
+    }
+
+    fn assign_reduce(&mut self, ctx: &mut SchedCtx<'_>, _node: NodeId) -> Option<ReduceTaskSpec> {
+        self.batches.iter_mut().find_map(|b| b.next_reduce(ctx.now))
+    }
+
+    fn on_map_complete(&mut self, ctx: &mut SchedCtx<'_>, _node: NodeId, spec: &MapTaskSpec) {
+        self.batch_mut(spec.batch).on_map_done();
+        self.reap(ctx, spec.batch);
+    }
+
+    fn on_reduce_complete(&mut self, ctx: &mut SchedCtx<'_>, _node: NodeId, spec: &ReduceTaskSpec) {
+        self.batch_mut(spec.batch).on_reduce_done();
+        self.reap(ctx, spec.batch);
+    }
+
+    fn on_map_failed(&mut self, _ctx: &mut SchedCtx<'_>, _node: NodeId, spec: &MapTaskSpec) {
+        self.batch_mut(spec.batch).requeue_map(spec.block);
+    }
+
+    fn on_reduce_failed(&mut self, _ctx: &mut SchedCtx<'_>, _node: NodeId, spec: &ReduceTaskSpec) {
+        self.batch_mut(spec.batch).requeue_reduce(spec.partition);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s3_cluster::{ClusterTopology, SlowdownSchedule};
+    use s3_dfs::{Dfs, FileId, RoundRobinPlacement, MB};
+    use s3_mapreduce::{simulate, CostModel, EngineConfig, JobProfile, RunMetrics};
+    use std::sync::Arc;
+
+    fn world(blocks: u64) -> (ClusterTopology, Dfs, FileId) {
+        let cluster = ClusterTopology::paper_cluster();
+        let mut dfs = Dfs::new();
+        let file = dfs
+            .create_file(
+                &cluster,
+                "in",
+                blocks * 64 * MB,
+                64 * MB,
+                1,
+                &mut RoundRobinPlacement::default(),
+            )
+            .unwrap();
+        (cluster, dfs, file)
+    }
+
+    fn wc_profile() -> Arc<JobProfile> {
+        Arc::new(JobProfile {
+            name: "wc".into(),
+            map_cpu_s_per_mb: 0.0015,
+            map_output_ratio: 0.015,
+            map_output_records_per_mb: 1526.0,
+            reduce_cpu_s_per_mb: 0.02,
+            reduce_output_ratio: 0.000625,
+            num_reduce_tasks: 30,
+        })
+    }
+
+    fn run(sched: &mut MRShareScheduler, blocks: u64, arrivals: &[f64]) -> RunMetrics {
+        let (cluster, dfs, file) = world(blocks);
+        let workload = s3_mapreduce::job::requests_from_arrivals(&wc_profile(), file, arrivals);
+        simulate(
+            &cluster,
+            &SlowdownSchedule::none(),
+            &dfs,
+            &CostModel::deterministic(),
+            &workload,
+            sched,
+            &EngineConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_batch_shares_the_scan_fully() {
+        let m = run(&mut MRShareScheduler::mrs1(3), 80, &[0.0, 5.0, 10.0]);
+        // The file is read once for all three jobs.
+        assert_eq!(m.blocks_read, 80);
+        assert!((m.logical_mb_scanned - 3.0 * m.mb_read).abs() < 1e-6);
+        // All jobs complete together.
+        let done: Vec<_> = m.outcomes.iter().map(|o| o.completed).collect();
+        assert_eq!(done[0], done[1]);
+        assert_eq!(done[1], done[2]);
+    }
+
+    #[test]
+    fn early_jobs_wait_for_the_batch() {
+        // Job 0 waits ~100s for job 1 before anything runs: its response
+        // includes the full wait (the MRShare weakness, Example 2).
+        let m = run(&mut MRShareScheduler::mrs1(2), 40, &[0.0, 100.0]);
+        let r0 = m.outcomes[0].response().as_secs_f64();
+        assert!(r0 > 100.0, "job 0 should have waited: {r0}");
+    }
+
+    #[test]
+    fn fixed_groups_make_independent_batches() {
+        let m = run(
+            &mut MRShareScheduler::new(BatchPolicy::FixedGroups(vec![2, 2]), "MRS2"),
+            80,
+            &[0.0, 5.0, 200.0, 205.0],
+        );
+        // Two batches scanning the file once each.
+        assert_eq!(m.blocks_read, 160);
+        // First pair completes long before the second pair.
+        assert!(m.outcomes[1].completed < m.outcomes[2].submitted + s3_sim::SimDuration::from_secs(400));
+        let d0 = m.outcomes[0].completed;
+        let d2 = m.outcomes[2].completed;
+        assert!(d0 < d2);
+    }
+
+    #[test]
+    fn count_window_closes_every_n_arrivals() {
+        let m = run(
+            &mut MRShareScheduler::new(BatchPolicy::CountWindow { size: 2 }, "CW2"),
+            40,
+            &[0.0, 1.0, 2.0, 3.0],
+        );
+        assert_eq!(m.blocks_read, 80); // two batches of two jobs
+        assert_eq!(m.outcomes.len(), 4);
+    }
+
+    #[test]
+    fn time_window_flushes_on_deadline() {
+        let m = run(
+            &mut MRShareScheduler::new(BatchPolicy::TimeWindow { window_s: 30.0 }, "TW"),
+            40,
+            &[0.0, 10.0, 200.0],
+        );
+        // Jobs 0,1 batched at t=30; job 2 batched at t=230.
+        assert_eq!(m.blocks_read, 80);
+        let r0 = m.outcomes[0].response().as_secs_f64();
+        assert!(r0 > 30.0, "job 0 waits for the window: {r0}");
+        assert_eq!(m.outcomes[0].completed, m.outcomes[1].completed);
+        assert!(m.outcomes[2].completed > m.outcomes[1].completed);
+    }
+
+    #[test]
+    fn optimized_window_groups_mixed_jobs() {
+        // Two light wordcount jobs and nothing else arrive in one window:
+        // the optimizer merges them (I/O-dominant jobs always share).
+        let m = run(
+            &mut MRShareScheduler::new(
+                BatchPolicy::OptimizedWindow { window_s: 20.0 },
+                "MRSopt",
+            ),
+            80,
+            &[0.0, 5.0],
+        );
+        assert_eq!(m.outcomes.len(), 2);
+        assert_eq!(m.blocks_read, 80, "light jobs must share one scan");
+        assert_eq!(m.outcomes[0].completed, m.outcomes[1].completed);
+    }
+
+    #[test]
+    fn optimized_window_runs_successive_windows() {
+        let m = run(
+            &mut MRShareScheduler::new(
+                BatchPolicy::OptimizedWindow { window_s: 10.0 },
+                "MRSopt",
+            ),
+            40,
+            &[0.0, 2.0, 300.0],
+        );
+        assert_eq!(m.outcomes.len(), 3);
+        // Two windows: jobs {0,1} share, job 2 scans alone.
+        assert_eq!(m.blocks_read, 80);
+    }
+
+    #[test]
+    fn paper_group_splits() {
+        // The helper constructors reproduce the paper's 10-job splits.
+        let s = MRShareScheduler::mrs2(10);
+        assert_eq!(s.policy, BatchPolicy::FixedGroups(vec![6, 4]));
+        let s = MRShareScheduler::mrs3(10);
+        assert_eq!(s.policy, BatchPolicy::FixedGroups(vec![3, 3, 4]));
+    }
+
+    #[test]
+    fn scheduler_label_is_reported() {
+        let m = run(&mut MRShareScheduler::mrs1(1), 40, &[0.0]);
+        assert_eq!(m.scheduler, "MRS1");
+    }
+}

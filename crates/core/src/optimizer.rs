@@ -1,0 +1,243 @@
+//! The MRShare grouping optimizer (Nykiel et al., PVLDB 2010, §4).
+//!
+//! MRShare's central algorithm: given a set of jobs that all scan the same
+//! file, decide which jobs to *merge* into shared-scan groups. Merging
+//! saves scans but inflates the merged job's sort/shuffle (every member's
+//! map output is sorted together), so merging everything is not always
+//! optimal — jobs with large map outputs can be cheaper alone. Nykiel et
+//! al. show the optimal solution for their cost model sorts jobs by map
+//! output ratio and splits the sorted list into **consecutive** groups,
+//! found by dynamic programming over split points.
+//!
+//! This module reproduces that algorithm against this workspace's
+//! [`CostModel`]: the estimated cost of a group of jobs over an `N`-block
+//! file is one shared scan plus each member's per-job map-side work plus
+//! the merged sort/shuffle/reduce volume.
+
+use s3_mapreduce::{CostModel, JobProfile, Locality};
+use s3_cluster::{NetworkModel, NodeSpec};
+
+/// Estimated processing cost (machine-seconds) of running `group` as one
+/// merged job over `num_blocks` blocks of `block_mb` MB.
+pub fn group_cost(
+    group: &[&JobProfile],
+    num_blocks: u64,
+    block_mb: f64,
+    cost: &CostModel,
+    node: &NodeSpec,
+    network: &NetworkModel,
+) -> f64 {
+    assert!(!group.is_empty(), "cannot cost an empty group");
+    let map_per_block = cost.map_task_secs(block_mb, Locality::NodeLocal, group, node, network);
+    let total_mb = num_blocks as f64 * block_mb;
+    // Reduce side: each member's full shuffle volume over its reducers.
+    let partitions = group
+        .iter()
+        .map(|p| p.num_reduce_tasks)
+        .max()
+        .expect("non-empty group");
+    let reduce_total = if partitions == 0 {
+        0.0
+    } else {
+        let shuffle_mb_per_job: Vec<f64> = group
+            .iter()
+            .map(|p| p.map_output_mb(total_mb) / partitions as f64)
+            .collect();
+        let per_reduce = cost.reduce_task_secs(
+            &shuffle_mb_per_job,
+            group,
+            1.0, // machine-seconds view: count the whole shuffle volume
+            node,
+            network,
+        );
+        per_reduce * partitions as f64
+    };
+    map_per_block * num_blocks as f64 + reduce_total + cost.submit_overhead_secs(num_blocks as usize)
+}
+
+/// Result of the grouping optimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grouping {
+    /// Indices into the *input* job list, grouped; groups are consecutive
+    /// in map-output-ratio order.
+    pub groups: Vec<Vec<usize>>,
+    /// Estimated total machine-seconds under this grouping.
+    pub total_cost: f64,
+    /// Estimated machine-seconds had every job run alone.
+    pub solo_cost: f64,
+}
+
+impl Grouping {
+    /// Estimated saving over independent execution (non-negative by
+    /// construction: singleton groups are always a candidate).
+    pub fn saving(&self) -> f64 {
+        (self.solo_cost - self.total_cost).max(0.0)
+    }
+}
+
+/// Find the cost-optimal partition of `jobs` into shared-scan groups via
+/// the MRShare DP: sort by map output ratio, then choose split points
+/// minimizing the summed [`group_cost`].
+///
+/// Runs in O(n²) group evaluations.
+pub fn optimize_grouping(
+    jobs: &[&JobProfile],
+    num_blocks: u64,
+    block_mb: f64,
+    cost: &CostModel,
+    node: &NodeSpec,
+    network: &NetworkModel,
+) -> Grouping {
+    assert!(!jobs.is_empty(), "nothing to group");
+    let n = jobs.len();
+
+    // Sort indices by map output ratio (MRShare's ordering lemma).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        jobs[a]
+            .map_output_ratio
+            .partial_cmp(&jobs[b].map_output_ratio)
+            .expect("finite ratios")
+    });
+
+    // dp[i] = min cost of grouping the first i sorted jobs.
+    let mut dp = vec![f64::INFINITY; n + 1];
+    let mut split = vec![0usize; n + 1];
+    dp[0] = 0.0;
+    for i in 1..=n {
+        for j in 0..i {
+            let members: Vec<&JobProfile> = order[j..i].iter().map(|&k| jobs[k]).collect();
+            let c = dp[j] + group_cost(&members, num_blocks, block_mb, cost, node, network);
+            if c < dp[i] {
+                dp[i] = c;
+                split[i] = j;
+            }
+        }
+    }
+
+    // Reconstruct groups.
+    let mut groups = Vec::new();
+    let mut i = n;
+    while i > 0 {
+        let j = split[i];
+        groups.push(order[j..i].to_vec());
+        i = j;
+    }
+    groups.reverse();
+
+    let solo_cost: f64 = jobs
+        .iter()
+        .map(|p| group_cost(&[*p], num_blocks, block_mb, cost, node, network))
+        .sum();
+
+    Grouping {
+        groups,
+        total_cost: dp[n],
+        solo_cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s3_workloads::{wordcount_heavy, wordcount_normal};
+
+    fn env() -> (CostModel, NodeSpec, NetworkModel) {
+        (
+            CostModel::deterministic(),
+            NodeSpec::default(),
+            NetworkModel::one_gbps(),
+        )
+    }
+
+    #[test]
+    fn identical_light_jobs_merge_into_one_group() {
+        // I/O-dominant jobs: sharing the scan is a pure win, so the DP
+        // must produce a single group.
+        let (cost, node, net) = env();
+        let p = wordcount_normal();
+        let jobs: Vec<&JobProfile> = std::iter::repeat_n(&*p, 6).collect();
+        let g = optimize_grouping(&jobs, 2560, 64.0, &cost, &node, &net);
+        assert_eq!(g.groups.len(), 1, "{:?}", g.groups);
+        assert_eq!(g.groups[0].len(), 6);
+        assert!(g.saving() > 0.0);
+        assert!(g.total_cost < g.solo_cost);
+    }
+
+    #[test]
+    fn grouping_covers_every_job_exactly_once() {
+        let (cost, node, net) = env();
+        let normal = wordcount_normal();
+        let heavy = wordcount_heavy();
+        let jobs: Vec<&JobProfile> =
+            vec![&normal, &heavy, &normal, &heavy, &normal, &normal, &heavy];
+        let g = optimize_grouping(&jobs, 1000, 64.0, &cost, &node, &net);
+        let mut seen: Vec<usize> = g.groups.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..jobs.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn groups_are_consecutive_in_output_ratio_order() {
+        let (cost, node, net) = env();
+        let normal = wordcount_normal();
+        let heavy = wordcount_heavy();
+        let jobs: Vec<&JobProfile> = vec![&heavy, &normal, &heavy, &normal];
+        let g = optimize_grouping(&jobs, 1000, 64.0, &cost, &node, &net);
+        // Within each group all ratios must form a contiguous range of the
+        // sorted ratio sequence.
+        let mut ratios: Vec<f64> = jobs.iter().map(|p| p.map_output_ratio).collect();
+        ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut cursor = 0;
+        for group in &g.groups {
+            for &idx in group {
+                assert_eq!(
+                    jobs[idx].map_output_ratio, ratios[cursor],
+                    "groups must be consecutive in sorted order"
+                );
+                cursor += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn never_worse_than_solo_or_single_batch() {
+        // The DP considers all-singletons and the single batch among its
+        // candidates, so it can't be worse than either.
+        let (cost, node, net) = env();
+        let normal = wordcount_normal();
+        let heavy = wordcount_heavy();
+        let jobs: Vec<&JobProfile> = vec![&normal, &normal, &heavy, &heavy, &heavy];
+        let g = optimize_grouping(&jobs, 500, 64.0, &cost, &node, &net);
+        assert!(g.total_cost <= g.solo_cost + 1e-9);
+        let single = group_cost(&jobs, 500, 64.0, &cost, &node, &net);
+        assert!(g.total_cost <= single + 1e-9);
+    }
+
+    #[test]
+    fn single_job_is_a_singleton_group() {
+        let (cost, node, net) = env();
+        let p = wordcount_normal();
+        let g = optimize_grouping(&[&p], 100, 64.0, &cost, &node, &net);
+        assert_eq!(g.groups, vec![vec![0]]);
+        assert_eq!(g.saving(), 0.0);
+    }
+
+    #[test]
+    fn group_cost_grows_with_members_but_sublinearly_for_light_jobs() {
+        let (cost, node, net) = env();
+        let p = wordcount_normal();
+        let one = group_cost(&[&p], 1000, 64.0, &cost, &node, &net);
+        let five: Vec<&JobProfile> = std::iter::repeat_n(&*p, 5).collect();
+        let merged = group_cost(&five, 1000, 64.0, &cost, &node, &net);
+        assert!(merged > one);
+        assert!(merged < 5.0 * one, "sharing must beat 5 scans");
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to group")]
+    fn empty_input_panics() {
+        let (cost, node, net) = env();
+        optimize_grouping(&[], 10, 64.0, &cost, &node, &net);
+    }
+}

@@ -1,0 +1,68 @@
+//! Block identities and metadata.
+
+use crate::file::FileId;
+use s3_cluster::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Globally unique block identifier (dense across the whole store).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blk{}", self.0)
+    }
+}
+
+/// Metadata of one block, as seen by the NameNode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockMeta {
+    /// Global id.
+    pub id: BlockId,
+    /// Owning file.
+    pub file: FileId,
+    /// Index of this block within its file (0-based).
+    pub index_in_file: u32,
+    /// Payload size in bytes. All blocks but possibly the last are full.
+    pub size_bytes: u64,
+    /// Nodes holding a replica, in placement order (first = primary).
+    pub replicas: Vec<NodeId>,
+}
+
+impl BlockMeta {
+    /// Whether `node` holds a replica of this block.
+    pub fn is_local_to(&self, node: NodeId) -> bool {
+        self.replicas.contains(&node)
+    }
+
+    /// Size in megabytes.
+    pub fn size_mb(&self) -> f64 {
+        self.size_bytes as f64 / crate::MB as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locality_check() {
+        let b = BlockMeta {
+            id: BlockId(0),
+            file: FileId(0),
+            index_in_file: 0,
+            size_bytes: 64 * crate::MB,
+            replicas: vec![NodeId(3), NodeId(17)],
+        };
+        assert!(b.is_local_to(NodeId(3)));
+        assert!(b.is_local_to(NodeId(17)));
+        assert!(!b.is_local_to(NodeId(4)));
+        assert_eq!(b.size_mb(), 64.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(BlockId(12).to_string(), "blk12");
+    }
+}

@@ -1,0 +1,243 @@
+//! The NameNode view: files and their block lists.
+
+use crate::block::{BlockId, BlockMeta};
+use crate::placement::PlacementPolicy;
+use s3_cluster::ClusterTopology;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a file in the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FileId(pub u32);
+
+impl fmt::Display for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "file{}", self.0)
+    }
+}
+
+/// Metadata of one file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FileMeta {
+    /// This file's id.
+    pub id: FileId,
+    /// Human-readable name (paths are not modeled).
+    pub name: String,
+    /// Total logical size in bytes.
+    pub size_bytes: u64,
+    /// Configured block size in bytes.
+    pub block_size_bytes: u64,
+    /// Global ids of this file's blocks, in file order.
+    pub blocks: Vec<BlockId>,
+}
+
+impl FileMeta {
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> u32 {
+        self.blocks.len() as u32
+    }
+}
+
+/// Errors from store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfsError {
+    /// A file with this name already exists.
+    DuplicateName(String),
+    /// File size must be positive.
+    EmptyFile,
+    /// Block size must be positive.
+    ZeroBlockSize,
+}
+
+impl fmt::Display for DfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfsError::DuplicateName(n) => write!(f, "file name already exists: {n}"),
+            DfsError::EmptyFile => write!(f, "file size must be positive"),
+            DfsError::ZeroBlockSize => write!(f, "block size must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for DfsError {}
+
+/// The metadata store (NameNode).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dfs {
+    files: Vec<FileMeta>,
+    blocks: Vec<BlockMeta>,
+}
+
+impl Dfs {
+    /// An empty store.
+    pub fn new() -> Self {
+        Dfs::default()
+    }
+
+    /// Create a file of `size_bytes` split into `block_size_bytes` blocks,
+    /// placing replicas with `policy`.
+    pub fn create_file(
+        &mut self,
+        cluster: &ClusterTopology,
+        name: &str,
+        size_bytes: u64,
+        block_size_bytes: u64,
+        replication: u32,
+        policy: &mut dyn PlacementPolicy,
+    ) -> Result<FileId, DfsError> {
+        if size_bytes == 0 {
+            return Err(DfsError::EmptyFile);
+        }
+        if block_size_bytes == 0 {
+            return Err(DfsError::ZeroBlockSize);
+        }
+        if self.files.iter().any(|f| f.name == name) {
+            return Err(DfsError::DuplicateName(name.to_string()));
+        }
+
+        let file_id = FileId(self.files.len() as u32);
+        let num_blocks = size_bytes.div_ceil(block_size_bytes) as u32;
+        let mut block_ids = Vec::with_capacity(num_blocks as usize);
+        for index in 0..num_blocks {
+            let id = BlockId(self.blocks.len() as u32);
+            let offset = index as u64 * block_size_bytes;
+            let size = (size_bytes - offset).min(block_size_bytes);
+            let replicas = policy.place(cluster, index, replication);
+            debug_assert_eq!(replicas.len(), replication as usize);
+            self.blocks.push(BlockMeta {
+                id,
+                file: file_id,
+                index_in_file: index,
+                size_bytes: size,
+                replicas,
+            });
+            block_ids.push(id);
+        }
+        self.files.push(FileMeta {
+            id: file_id,
+            name: name.to_string(),
+            size_bytes,
+            block_size_bytes,
+            blocks: block_ids,
+        });
+        Ok(file_id)
+    }
+
+    /// File metadata.
+    ///
+    /// # Panics
+    /// Panics on an unknown id (ids are dense and only minted here).
+    pub fn file(&self, id: FileId) -> &FileMeta {
+        &self.files[id.0 as usize]
+    }
+
+    /// Block metadata.
+    pub fn block(&self, id: BlockId) -> &BlockMeta {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// All files.
+    pub fn files(&self) -> &[FileMeta] {
+        &self.files
+    }
+
+    /// Look a file up by name.
+    pub fn file_by_name(&self, name: &str) -> Option<&FileMeta> {
+        self.files.iter().find(|f| f.name == name)
+    }
+
+    /// Blocks of `file` in file order.
+    pub fn blocks_of(&self, file: FileId) -> impl Iterator<Item = &BlockMeta> + '_ {
+        self.file(file).blocks.iter().map(move |&b| self.block(b))
+    }
+
+    /// Total bytes stored (logical, before replication).
+    pub fn total_bytes(&self) -> u64 {
+        self.files.iter().map(|f| f.size_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::RoundRobinPlacement;
+    use crate::MB;
+
+    fn store_with_file(size_mb: u64, block_mb: u64) -> (Dfs, FileId) {
+        let cluster = ClusterTopology::paper_cluster();
+        let mut dfs = Dfs::new();
+        let id = dfs
+            .create_file(
+                &cluster,
+                "input",
+                size_mb * MB,
+                block_mb * MB,
+                1,
+                &mut RoundRobinPlacement::default(),
+            )
+            .unwrap();
+        (dfs, id)
+    }
+
+    #[test]
+    fn paper_dataset_block_count() {
+        // 160 GB at 64 MB blocks = 2560 blocks (Section V-C).
+        let (dfs, id) = store_with_file(160 * 1024, 64);
+        assert_eq!(dfs.file(id).num_blocks(), 2560);
+        // 32 MB doubles it, 128 MB halves it (Section V-F).
+        assert_eq!(store_with_file(160 * 1024, 32).0.file(FileId(0)).num_blocks(), 5120);
+        assert_eq!(store_with_file(160 * 1024, 128).0.file(FileId(0)).num_blocks(), 1280);
+    }
+
+    #[test]
+    fn last_block_may_be_short() {
+        let (dfs, id) = store_with_file(100, 64);
+        let blocks: Vec<_> = dfs.blocks_of(id).collect();
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].size_bytes, 64 * MB);
+        assert_eq!(blocks[1].size_bytes, 36 * MB);
+    }
+
+    #[test]
+    fn block_indices_and_files_are_consistent() {
+        let (dfs, id) = store_with_file(640, 64);
+        for (i, b) in dfs.blocks_of(id).enumerate() {
+            assert_eq!(b.index_in_file, i as u32);
+            assert_eq!(b.file, id);
+            assert_eq!(b.replicas.len(), 1);
+        }
+        assert_eq!(dfs.total_bytes(), 640 * MB);
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let cluster = ClusterTopology::paper_cluster();
+        let mut dfs = Dfs::new();
+        let mut p = RoundRobinPlacement::default();
+        dfs.create_file(&cluster, "a", MB, MB, 1, &mut p).unwrap();
+        let err = dfs.create_file(&cluster, "a", MB, MB, 1, &mut p).unwrap_err();
+        assert!(matches!(err, DfsError::DuplicateName(_)));
+    }
+
+    #[test]
+    fn zero_sizes_rejected() {
+        let cluster = ClusterTopology::paper_cluster();
+        let mut dfs = Dfs::new();
+        let mut p = RoundRobinPlacement::default();
+        assert_eq!(
+            dfs.create_file(&cluster, "x", 0, MB, 1, &mut p),
+            Err(DfsError::EmptyFile)
+        );
+        assert_eq!(
+            dfs.create_file(&cluster, "x", MB, 0, 1, &mut p),
+            Err(DfsError::ZeroBlockSize)
+        );
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let (dfs, id) = store_with_file(64, 64);
+        assert_eq!(dfs.file_by_name("input").unwrap().id, id);
+        assert!(dfs.file_by_name("nope").is_none());
+    }
+}

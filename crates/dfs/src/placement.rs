@@ -1,0 +1,178 @@
+//! Replica placement policies.
+//!
+//! Placement decides which nodes hold each block's replicas. Two policies
+//! are provided:
+//!
+//! - [`RoundRobinPlacement`] — block `i`'s primary replica goes to node
+//!   `i mod n`. This is what the paper's setup effectively produces (4 GB of
+//!   locally generated data per node with replication factor 1): block `i`
+//!   of a striped file lives on node `i mod 40`, so every segment of 40
+//!   blocks has exactly one block on every node — one wave of perfectly
+//!   local map tasks.
+//! - [`RackAwarePlacement`] — HDFS's default-style policy for replication
+//!   factors above 1: primary on a round-robin "writer" node, second replica
+//!   on a different rack, third on the second replica's rack.
+
+use rand::Rng;
+use s3_cluster::{ClusterTopology, NodeId};
+
+/// Chooses replica nodes for each block of a file being created.
+pub trait PlacementPolicy {
+    /// Nodes for the replicas of the block with file-local `index`.
+    /// Must return exactly `replication` distinct nodes.
+    fn place(
+        &mut self,
+        cluster: &ClusterTopology,
+        index: u32,
+        replication: u32,
+    ) -> Vec<NodeId>;
+}
+
+/// Primary replica of block `i` on node `(i + offset) mod n`; additional
+/// replicas on the following nodes.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobinPlacement {
+    /// Starting node offset (lets different files start their stripe on
+    /// different nodes).
+    pub offset: u32,
+}
+
+impl PlacementPolicy for RoundRobinPlacement {
+    fn place(&mut self, cluster: &ClusterTopology, index: u32, replication: u32) -> Vec<NodeId> {
+        let n = cluster.num_nodes() as u32;
+        assert!(replication >= 1 && replication <= n, "bad replication factor");
+        (0..replication)
+            .map(|r| NodeId((self.offset + index + r) % n))
+            .collect()
+    }
+}
+
+/// HDFS-style rack-aware placement (replication >= 1).
+///
+/// Replica 1: the "writer" node, cycled round-robin. Replica 2: a random
+/// node on a different rack. Replica 3: another node on replica 2's rack.
+/// Further replicas: random distinct nodes.
+#[derive(Debug)]
+pub struct RackAwarePlacement<R: Rng> {
+    rng: R,
+    next_writer: u32,
+}
+
+impl<R: Rng> RackAwarePlacement<R> {
+    /// Create with a seeded RNG for reproducible placement.
+    pub fn new(rng: R) -> Self {
+        RackAwarePlacement {
+            rng,
+            next_writer: 0,
+        }
+    }
+}
+
+impl<R: Rng> PlacementPolicy for RackAwarePlacement<R> {
+    fn place(&mut self, cluster: &ClusterTopology, _index: u32, replication: u32) -> Vec<NodeId> {
+        let n = cluster.num_nodes() as u32;
+        assert!(replication >= 1 && replication <= n, "bad replication factor");
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(replication as usize);
+
+        let writer = NodeId(self.next_writer % n);
+        self.next_writer = self.next_writer.wrapping_add(1);
+        chosen.push(writer);
+
+        if replication >= 2 && cluster.num_racks() > 1 {
+            let writer_rack = cluster.rack_of(writer);
+            let candidates: Vec<NodeId> = cluster
+                .nodes()
+                .iter()
+                .filter(|nd| nd.rack != writer_rack)
+                .map(|nd| nd.id)
+                .collect();
+            let second = candidates[self.rng.gen_range(0..candidates.len())];
+            chosen.push(second);
+
+            if replication >= 3 {
+                let second_rack = cluster.rack_of(second);
+                let candidates: Vec<NodeId> = cluster
+                    .nodes()
+                    .iter()
+                    .filter(|nd| nd.rack == second_rack && !chosen.contains(&nd.id))
+                    .map(|nd| nd.id)
+                    .collect();
+                if let Some(&third) = candidates.first() {
+                    let pick = candidates[self.rng.gen_range(0..candidates.len())];
+                    chosen.push(if chosen.contains(&pick) { third } else { pick });
+                }
+            }
+        }
+
+        // Fill any remaining replicas (replication > 3, or single-rack
+        // clusters) with random distinct nodes.
+        while chosen.len() < replication as usize {
+            let pick = NodeId(self.rng.gen_range(0..n));
+            if !chosen.contains(&pick) {
+                chosen.push(pick);
+            }
+        }
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_robin_stripes_across_all_nodes() {
+        let cluster = ClusterTopology::paper_cluster();
+        let mut p = RoundRobinPlacement::default();
+        let homes: Vec<NodeId> = (0..80).map(|i| p.place(&cluster, i, 1)[0]).collect();
+        // Blocks 0..40 cover every node exactly once; 40..80 repeat.
+        let mut first_wave: Vec<u32> = homes[..40].iter().map(|n| n.0).collect();
+        first_wave.sort_unstable();
+        assert_eq!(first_wave, (0..40).collect::<Vec<_>>());
+        assert_eq!(homes[0], homes[40]);
+    }
+
+    #[test]
+    fn round_robin_offset_shifts_stripe() {
+        let cluster = ClusterTopology::paper_cluster();
+        let mut p = RoundRobinPlacement { offset: 7 };
+        assert_eq!(p.place(&cluster, 0, 1)[0], NodeId(7));
+        assert_eq!(p.place(&cluster, 39, 1)[0], NodeId(6));
+    }
+
+    #[test]
+    fn round_robin_multi_replica_distinct() {
+        let cluster = ClusterTopology::paper_cluster();
+        let mut p = RoundRobinPlacement::default();
+        let r = p.place(&cluster, 5, 3);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0], NodeId(5));
+        assert!(r[1] != r[0] && r[2] != r[1] && r[2] != r[0]);
+    }
+
+    #[test]
+    fn rack_aware_second_replica_off_rack() {
+        let cluster = ClusterTopology::paper_cluster();
+        let mut p = RackAwarePlacement::new(SmallRng::seed_from_u64(1));
+        for i in 0..100 {
+            let r = p.place(&cluster, i, 3);
+            assert_eq!(r.len(), 3);
+            let racks: Vec<_> = r.iter().map(|&n| cluster.rack_of(n)).collect();
+            assert_ne!(racks[0], racks[1], "replica 2 must be off-rack");
+            assert_eq!(racks[1], racks[2], "replica 3 shares replica 2's rack");
+            assert!(r[1] != r[2], "replicas must be distinct nodes");
+        }
+    }
+
+    #[test]
+    fn rack_aware_is_deterministic_under_seed() {
+        let cluster = ClusterTopology::paper_cluster();
+        let mut a = RackAwarePlacement::new(SmallRng::seed_from_u64(9));
+        let mut b = RackAwarePlacement::new(SmallRng::seed_from_u64(9));
+        for i in 0..20 {
+            assert_eq!(a.place(&cluster, i, 3), b.place(&cluster, i, 3));
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Segments: the S³ paper's unit of shared scanning (Section IV-B).
+//!
+//! A file of `N` blocks is organized into `k = ceil(N/m)` segments of `m`
+//! consecutive blocks (the last segment may be short), where `m` is chosen
+//! as the number of concurrent map slots so a segment is exactly one wave of
+//! map tasks. Segments are scanned in a fixed circular order; a job admitted
+//! at segment `j` processes `j, j+1, ..., k-1, 0, ..., j-1`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Range;
+
+/// Index of a segment within a file's segmentation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SegmentId(pub u32);
+
+impl fmt::Display for SegmentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seg{}", self.0)
+    }
+}
+
+/// A file's division into segments.
+///
+/// Stored as cut points over file-local block indices, so both uniform and
+/// variable-size segmentations (S³'s *dynamic sub-job adjustment*) share one
+/// representation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Segmentation {
+    /// `cuts[j]..cuts[j+1]` are the block indices of segment `j`.
+    /// Invariants: strictly increasing, `cuts[0] == 0`,
+    /// `cuts.last() == num_blocks`, length >= 2.
+    cuts: Vec<u32>,
+}
+
+impl Segmentation {
+    /// Uniform segmentation: segments of `blocks_per_segment` blocks, the
+    /// last possibly short.
+    ///
+    /// # Panics
+    /// Panics if either argument is zero.
+    pub fn uniform(num_blocks: u32, blocks_per_segment: u32) -> Self {
+        assert!(num_blocks > 0, "cannot segment an empty file");
+        assert!(blocks_per_segment > 0, "segment size must be positive");
+        let mut cuts: Vec<u32> = (0..num_blocks)
+            .step_by(blocks_per_segment as usize)
+            .collect();
+        cuts.push(num_blocks);
+        Segmentation { cuts }
+    }
+
+    /// Variable segmentation from explicit per-segment sizes.
+    ///
+    /// # Panics
+    /// Panics if `sizes` is empty or contains a zero.
+    pub fn from_sizes(sizes: &[u32]) -> Self {
+        assert!(!sizes.is_empty(), "need at least one segment");
+        let mut cuts = Vec::with_capacity(sizes.len() + 1);
+        let mut acc = 0u32;
+        cuts.push(0);
+        for (i, &s) in sizes.iter().enumerate() {
+            assert!(s > 0, "segment {i} has zero size");
+            acc = acc.checked_add(s).expect("segment sizes overflow u32");
+            cuts.push(acc);
+        }
+        Segmentation { cuts }
+    }
+
+    /// Number of segments `k`.
+    pub fn num_segments(&self) -> u32 {
+        (self.cuts.len() - 1) as u32
+    }
+
+    /// Total number of blocks covered.
+    pub fn num_blocks(&self) -> u32 {
+        *self.cuts.last().expect("segmentation has cut points")
+    }
+
+    /// File-local block index range of segment `seg`.
+    ///
+    /// # Panics
+    /// Panics if `seg` is out of range.
+    pub fn blocks_of(&self, seg: SegmentId) -> Range<u32> {
+        let j = seg.0 as usize;
+        assert!(j + 1 < self.cuts.len(), "segment {seg} out of range");
+        self.cuts[j]..self.cuts[j + 1]
+    }
+
+    /// Number of blocks in segment `seg`.
+    pub fn segment_len(&self, seg: SegmentId) -> u32 {
+        let r = self.blocks_of(seg);
+        r.end - r.start
+    }
+
+    /// Segment containing file-local block index `block`.
+    ///
+    /// # Panics
+    /// Panics if `block` is out of range.
+    pub fn segment_of(&self, block: u32) -> SegmentId {
+        assert!(block < self.num_blocks(), "block index out of range");
+        // cuts is sorted; find the last cut <= block.
+        let j = match self.cuts.binary_search(&block) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        SegmentId(j as u32)
+    }
+
+    /// The segment after `seg` in circular scan order.
+    pub fn next(&self, seg: SegmentId) -> SegmentId {
+        SegmentId((seg.0 + 1) % self.num_segments())
+    }
+
+    /// The segment before `seg` in circular scan order — the *last* segment
+    /// a job admitted at `seg` will process.
+    pub fn prev(&self, seg: SegmentId) -> SegmentId {
+        let k = self.num_segments();
+        SegmentId((seg.0 + k - 1) % k)
+    }
+
+    /// The `k` segments in circular scan order starting at `start`:
+    /// `start, start+1, ..., k-1, 0, ..., start-1`.
+    pub fn scan_order(&self, start: SegmentId) -> impl Iterator<Item = SegmentId> + '_ {
+        let k = self.num_segments();
+        assert!(start.0 < k, "start segment out of range");
+        (0..k).map(move |i| SegmentId((start.0 + i) % k))
+    }
+
+    /// Position of `seg` in the circular order started at `start`
+    /// (0 = first, k-1 = last). Useful for "how far along is this job?".
+    pub fn position_from(&self, start: SegmentId, seg: SegmentId) -> u32 {
+        let k = self.num_segments();
+        (seg.0 + k - start.0) % k
+    }
+
+    /// All segment ids in file order.
+    pub fn segments(&self) -> impl Iterator<Item = SegmentId> {
+        (0..self.num_segments()).map(SegmentId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_paper_geometry() {
+        // 2560 blocks / 40 map slots = 64 segments of 40 (Section IV-B).
+        let s = Segmentation::uniform(2560, 40);
+        assert_eq!(s.num_segments(), 64);
+        assert_eq!(s.num_blocks(), 2560);
+        for seg in s.segments() {
+            assert_eq!(s.segment_len(seg), 40);
+        }
+        assert_eq!(s.blocks_of(SegmentId(1)), 40..80);
+    }
+
+    #[test]
+    fn uniform_with_short_tail() {
+        let s = Segmentation::uniform(100, 40);
+        assert_eq!(s.num_segments(), 3);
+        assert_eq!(s.segment_len(SegmentId(0)), 40);
+        assert_eq!(s.segment_len(SegmentId(2)), 20);
+    }
+
+    #[test]
+    fn from_sizes_variable() {
+        let s = Segmentation::from_sizes(&[40, 35, 40, 12]);
+        assert_eq!(s.num_segments(), 4);
+        assert_eq!(s.num_blocks(), 127);
+        assert_eq!(s.blocks_of(SegmentId(1)), 40..75);
+        assert_eq!(s.segment_len(SegmentId(3)), 12);
+    }
+
+    #[test]
+    fn segment_of_block_lookup() {
+        let s = Segmentation::from_sizes(&[10, 20, 5]);
+        assert_eq!(s.segment_of(0), SegmentId(0));
+        assert_eq!(s.segment_of(9), SegmentId(0));
+        assert_eq!(s.segment_of(10), SegmentId(1));
+        assert_eq!(s.segment_of(29), SegmentId(1));
+        assert_eq!(s.segment_of(30), SegmentId(2));
+        assert_eq!(s.segment_of(34), SegmentId(2));
+    }
+
+    #[test]
+    fn circular_next_prev() {
+        let s = Segmentation::uniform(120, 40);
+        assert_eq!(s.next(SegmentId(0)), SegmentId(1));
+        assert_eq!(s.next(SegmentId(2)), SegmentId(0));
+        assert_eq!(s.prev(SegmentId(0)), SegmentId(2));
+        assert_eq!(s.prev(SegmentId(1)), SegmentId(0));
+    }
+
+    #[test]
+    fn scan_order_wraps_like_the_paper() {
+        // Job admitted at S_j processes S_j..S_k then S_1..S_{j-1}
+        // (Section I / IV-B), 0-indexed here.
+        let s = Segmentation::uniform(200, 40); // 5 segments
+        let order: Vec<u32> = s.scan_order(SegmentId(3)).map(|x| x.0).collect();
+        assert_eq!(order, vec![3, 4, 0, 1, 2]);
+    }
+
+    #[test]
+    fn position_from_is_distance_in_scan_order() {
+        let s = Segmentation::uniform(200, 40);
+        assert_eq!(s.position_from(SegmentId(3), SegmentId(3)), 0);
+        assert_eq!(s.position_from(SegmentId(3), SegmentId(2)), 4);
+        assert_eq!(s.position_from(SegmentId(0), SegmentId(4)), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero size")]
+    fn zero_segment_size_panics() {
+        Segmentation::from_sizes(&[10, 0, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_segment_panics() {
+        Segmentation::uniform(10, 5).blocks_of(SegmentId(2));
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the block store and segmentation.
+
+use proptest::prelude::*;
+use s3_cluster::{ClusterBuilder, ClusterTopology};
+use s3_dfs::{Dfs, RoundRobinPlacement, SegmentId, Segmentation};
+
+fn small_cluster() -> ClusterTopology {
+    ClusterBuilder::new().rack(4).rack(4).rack(2).build()
+}
+
+proptest! {
+    /// Any uniform segmentation covers every block exactly once, in order.
+    #[test]
+    fn uniform_segmentation_partitions_blocks(n in 1u32..5000, m in 1u32..200) {
+        let s = Segmentation::uniform(n, m);
+        prop_assert_eq!(s.num_blocks(), n);
+        let mut covered = Vec::new();
+        for seg in s.segments() {
+            let r = s.blocks_of(seg);
+            prop_assert!(!r.is_empty());
+            prop_assert!(r.end - r.start <= m);
+            covered.extend(r);
+        }
+        prop_assert_eq!(covered, (0..n).collect::<Vec<_>>());
+    }
+
+    /// segment_of() inverts blocks_of() for every block.
+    #[test]
+    fn segment_of_inverts_blocks_of(sizes in prop::collection::vec(1u32..50, 1..40)) {
+        let s = Segmentation::from_sizes(&sizes);
+        for seg in s.segments() {
+            for b in s.blocks_of(seg) {
+                prop_assert_eq!(s.segment_of(b), seg);
+            }
+        }
+    }
+
+    /// The circular scan order from any start is a permutation of all
+    /// segments, starts at `start`, and ends at its predecessor.
+    #[test]
+    fn scan_order_is_a_rotation(n in 1u32..5000, m in 1u32..200, start_raw in 0u32..5000) {
+        let s = Segmentation::uniform(n, m);
+        let k = s.num_segments();
+        let start = SegmentId(start_raw % k);
+        let order: Vec<SegmentId> = s.scan_order(start).collect();
+        prop_assert_eq!(order.len() as u32, k);
+        prop_assert_eq!(order[0], start);
+        prop_assert_eq!(*order.last().unwrap(), s.prev(start));
+        let mut sorted: Vec<u32> = order.iter().map(|x| x.0).collect();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..k).collect::<Vec<_>>());
+        // next() walks the same order.
+        for w in order.windows(2) {
+            prop_assert_eq!(s.next(w[0]), w[1]);
+        }
+    }
+
+    /// position_from is the inverse index of scan_order.
+    #[test]
+    fn position_from_matches_scan_order(n in 1u32..2000, m in 1u32..100, start_raw in any::<u32>()) {
+        let s = Segmentation::uniform(n, m);
+        let k = s.num_segments();
+        let start = SegmentId(start_raw % k);
+        for (i, seg) in s.scan_order(start).enumerate() {
+            prop_assert_eq!(s.position_from(start, seg), i as u32);
+        }
+    }
+
+    /// Files: block sizes sum to the file size, all blocks but the last
+    /// are full, replicas are distinct nodes.
+    #[test]
+    fn file_blocks_are_consistent(size_mb in 1u64..4000, block_mb in 1u64..256, replication in 1u32..3) {
+        let cluster = small_cluster();
+        let mut dfs = Dfs::new();
+        let mb = s3_dfs::MB;
+        let id = dfs.create_file(
+            &cluster, "f", size_mb * mb, block_mb * mb, replication,
+            &mut RoundRobinPlacement::default(),
+        ).unwrap();
+        let file = dfs.file(id);
+        let blocks: Vec<_> = dfs.blocks_of(id).collect();
+        prop_assert_eq!(blocks.len() as u32, file.num_blocks());
+        let total: u64 = blocks.iter().map(|b| b.size_bytes).sum();
+        prop_assert_eq!(total, size_mb * mb);
+        for (i, b) in blocks.iter().enumerate() {
+            if i + 1 < blocks.len() {
+                prop_assert_eq!(b.size_bytes, block_mb * mb);
+            }
+            prop_assert_eq!(b.replicas.len() as u32, replication);
+            let mut reps = b.replicas.clone();
+            reps.sort_unstable();
+            reps.dedup();
+            prop_assert_eq!(reps.len() as u32, replication, "replicas must be distinct");
+        }
+    }
+
+    /// Round-robin placement balances primaries within one block of even.
+    #[test]
+    fn round_robin_is_balanced(num_blocks in 1u64..2000) {
+        let cluster = small_cluster();
+        let mut dfs = Dfs::new();
+        let mb = s3_dfs::MB;
+        let id = dfs.create_file(
+            &cluster, "f", num_blocks * mb, mb, 1,
+            &mut RoundRobinPlacement::default(),
+        ).unwrap();
+        let mut counts = vec![0u64; cluster.num_nodes()];
+        for b in dfs.blocks_of(id) {
+            counts[b.replicas[0].0 as usize] += 1;
+        }
+        let max = counts.iter().max().unwrap();
+        let min = counts.iter().min().unwrap();
+        prop_assert!(max - min <= 1, "imbalance: {counts:?}");
+    }
+}

@@ -1,0 +1,268 @@
+//! Single-job execution: map over blocks in parallel, shuffle by key hash,
+//! reduce partitions in parallel.
+
+use crate::store::BlockStore;
+use crate::types::MapReduceJob;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Execution parameters.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Worker threads for the map and reduce phases.
+    pub num_threads: usize,
+    /// Number of reduce partitions.
+    pub num_reducers: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            num_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            num_reducers: 8,
+        }
+    }
+}
+
+/// Counters from one execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Blocks read from the store.
+    pub blocks_scanned: u64,
+    /// Bytes read from the store.
+    pub bytes_scanned: u64,
+    /// Intermediate records emitted by map functions (pre-combiner).
+    pub map_output_records: u64,
+    /// Final output records.
+    pub reduce_output_records: u64,
+}
+
+/// The result of one job: its output relation plus counters.
+#[derive(Debug, Clone)]
+pub struct JobOutput<K: Ord, Out> {
+    /// Final key → output value, totally ordered for easy comparison.
+    pub records: BTreeMap<K, Out>,
+    /// Execution counters.
+    pub stats: ScanStats,
+}
+
+pub(crate) fn partition_of<K: Hash>(key: &K, num_reducers: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % num_reducers as u64) as usize
+}
+
+/// Run one job over the whole store.
+///
+/// # Panics
+/// Panics if `cfg` has zero threads or reducers.
+pub fn run_job<J: MapReduceJob>(job: &J, store: &BlockStore, cfg: &ExecConfig) -> JobOutput<J::K, J::Out> {
+    assert!(cfg.num_threads > 0, "need at least one thread");
+    assert!(cfg.num_reducers > 0, "need at least one reducer");
+
+    let next_block = AtomicUsize::new(0);
+    let num_blocks = store.num_blocks();
+
+    // ---- map phase ----
+    type MapOut<K, V> = (Vec<Vec<(K, V)>>, u64, u64);
+    let worker_outputs: Vec<MapOut<J::K, J::V>> = crossbeam::scope(|s| {
+        let handles: Vec<_> = (0..cfg.num_threads)
+            .map(|_| {
+                let next_block = &next_block;
+                s.spawn(move |_| {
+                    let mut partitions: Vec<Vec<(J::K, J::V)>> =
+                        (0..cfg.num_reducers).map(|_| Vec::new()).collect();
+                    let mut emitted = 0u64;
+                    let mut bytes = 0u64;
+                    loop {
+                        let idx = next_block.fetch_add(1, Ordering::Relaxed);
+                        if idx >= num_blocks {
+                            break;
+                        }
+                        let block = store.block(idx);
+                        bytes += block.len() as u64;
+                        // Block-local grouping so the combiner can fold.
+                        let mut local: HashMap<J::K, Vec<J::V>> = HashMap::new();
+                        for line in block.lines() {
+                            job.map(line, &mut |k, v| {
+                                emitted += 1;
+                                local.entry(k).or_default().push(v);
+                            });
+                        }
+                        for (k, vs) in local {
+                            let folded = job.combine(&k, vs);
+                            let p = partition_of(&k, cfg.num_reducers);
+                            for v in folded {
+                                partitions[p].push((k.clone(), v));
+                            }
+                        }
+                    }
+                    (partitions, emitted, bytes)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("map worker panicked"))
+            .collect()
+    })
+    .expect("map scope panicked");
+
+    // ---- shuffle: merge worker partitions ----
+    let mut shuffled: Vec<Vec<(J::K, J::V)>> =
+        (0..cfg.num_reducers).map(|_| Vec::new()).collect();
+    let mut map_output_records = 0u64;
+    let mut bytes_scanned = 0u64;
+    for (parts, emitted, bytes) in worker_outputs {
+        map_output_records += emitted;
+        bytes_scanned += bytes;
+        for (p, mut recs) in parts.into_iter().enumerate() {
+            shuffled[p].append(&mut recs);
+        }
+    }
+
+    // ---- reduce phase ----
+    let next_partition = AtomicUsize::new(0);
+    let shuffled = &shuffled;
+    let reduced: Vec<BTreeMap<J::K, J::Out>> = crossbeam::scope(|s| {
+        let handles: Vec<_> = (0..cfg.num_threads)
+            .map(|_| {
+                let next_partition = &next_partition;
+                s.spawn(move |_| {
+                    let mut out = BTreeMap::new();
+                    loop {
+                        let p = next_partition.fetch_add(1, Ordering::Relaxed);
+                        if p >= shuffled.len() {
+                            break;
+                        }
+                        let mut grouped: BTreeMap<&J::K, Vec<J::V>> = BTreeMap::new();
+                        for (k, v) in &shuffled[p] {
+                            grouped.entry(k).or_default().push(v.clone());
+                        }
+                        for (k, vs) in grouped {
+                            if let Some(o) = job.reduce(k, &vs) {
+                                out.insert(k.clone(), o);
+                            }
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("reduce worker panicked"))
+            .collect()
+    })
+    .expect("reduce scope panicked");
+
+    let mut records = BTreeMap::new();
+    for part in reduced {
+        records.extend(part);
+    }
+    let stats = ScanStats {
+        blocks_scanned: num_blocks as u64,
+        bytes_scanned,
+        map_output_records,
+        reduce_output_records: records.len() as u64,
+    };
+    JobOutput { records, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::test_jobs::PrefixCount;
+
+    fn store() -> BlockStore {
+        let text = "apple banana apple\ncherry apple banana\napricot cherry\n".repeat(50);
+        BlockStore::from_text(&text, 200)
+    }
+
+    #[test]
+    fn wordcount_is_correct() {
+        let out = run_job(
+            &PrefixCount { prefix: "".into() },
+            &store(),
+            &ExecConfig {
+                num_threads: 4,
+                num_reducers: 4,
+            },
+        );
+        assert_eq!(out.records["apple"], 150);
+        assert_eq!(out.records["banana"], 100);
+        assert_eq!(out.records["cherry"], 100);
+        assert_eq!(out.records["apricot"], 50);
+        assert_eq!(out.stats.map_output_records, 400);
+        assert_eq!(out.stats.reduce_output_records, 4);
+    }
+
+    #[test]
+    fn prefix_filter_restricts_output() {
+        let out = run_job(
+            &PrefixCount { prefix: "ap".into() },
+            &store(),
+            &ExecConfig::default(),
+        );
+        assert_eq!(out.records.len(), 2); // apple, apricot
+        assert_eq!(out.records["apple"], 150);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let base = run_job(
+            &PrefixCount { prefix: "".into() },
+            &store(),
+            &ExecConfig {
+                num_threads: 1,
+                num_reducers: 3,
+            },
+        );
+        for threads in [2, 4, 8] {
+            let out = run_job(
+                &PrefixCount { prefix: "".into() },
+                &store(),
+                &ExecConfig {
+                    num_threads: threads,
+                    num_reducers: 3,
+                },
+            );
+            assert_eq!(out.records, base.records, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn reducer_count_does_not_change_results() {
+        let base = run_job(
+            &PrefixCount { prefix: "".into() },
+            &store(),
+            &ExecConfig {
+                num_threads: 4,
+                num_reducers: 1,
+            },
+        );
+        for reducers in [2, 7, 16] {
+            let out = run_job(
+                &PrefixCount { prefix: "".into() },
+                &store(),
+                &ExecConfig {
+                    num_threads: 4,
+                    num_reducers: reducers,
+                },
+            );
+            assert_eq!(out.records, base.records, "reducers={reducers}");
+        }
+    }
+
+    #[test]
+    fn stats_count_all_bytes() {
+        let s = store();
+        let out = run_job(&PrefixCount { prefix: "".into() }, &s, &ExecConfig::default());
+        assert_eq!(out.stats.bytes_scanned as usize, s.total_bytes());
+        assert_eq!(out.stats.blocks_scanned as usize, s.num_blocks());
+    }
+}

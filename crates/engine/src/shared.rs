@@ -1,0 +1,237 @@
+//! Shared-scan execution: many jobs, one pass over the data.
+//!
+//! This is the execution primitive both MRShare batches and S³ merged
+//! sub-jobs rely on: each block is read and parsed **once**, every job's
+//! map function runs over the same records, and intermediate tuples are
+//! tagged with their job index (MRShare's tuple tagging) so the reduce side
+//! can keep the jobs' groups apart.
+//!
+//! The correctness contract — outputs identical to running each job alone —
+//! is what makes shared scanning a pure optimization; the test suite and
+//! `tests/` integration tests enforce it record-for-record.
+
+use crate::exec::{partition_of, ExecConfig, JobOutput, ScanStats};
+use crate::store::BlockStore;
+use crate::types::MapReduceJob;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Run every job in `jobs` over one shared scan of `store`.
+///
+/// Returns one [`JobOutput`] per job, in order. Each output's
+/// `stats.blocks_scanned` reports the *shared* scan (the store is read once
+/// in total, not once per job); `map_output_records` is per job.
+///
+/// # Panics
+/// Panics if `jobs` is empty or `cfg` has zero threads or reducers.
+pub fn run_merged<J: MapReduceJob>(
+    jobs: &[&J],
+    store: &BlockStore,
+    cfg: &ExecConfig,
+) -> Vec<JobOutput<J::K, J::Out>> {
+    assert!(!jobs.is_empty(), "merged run needs at least one job");
+    assert!(cfg.num_threads > 0, "need at least one thread");
+    assert!(cfg.num_reducers > 0, "need at least one reducer");
+
+    let next_block = AtomicUsize::new(0);
+    let num_blocks = store.num_blocks();
+    let num_jobs = jobs.len();
+
+    // ---- shared map phase: tag tuples with their job index ----
+    type Tagged<K, V> = (usize, K, V);
+    type MapOut<K, V> = (Vec<Vec<Tagged<K, V>>>, Vec<u64>, u64);
+    let worker_outputs: Vec<MapOut<J::K, J::V>> = crossbeam::scope(|s| {
+        let handles: Vec<_> = (0..cfg.num_threads)
+            .map(|_| {
+                let next_block = &next_block;
+                s.spawn(move |_| {
+                    let mut partitions: Vec<Vec<Tagged<J::K, J::V>>> =
+                        (0..cfg.num_reducers).map(|_| Vec::new()).collect();
+                    let mut emitted = vec![0u64; num_jobs];
+                    let mut bytes = 0u64;
+                    loop {
+                        let idx = next_block.fetch_add(1, Ordering::Relaxed);
+                        if idx >= num_blocks {
+                            break;
+                        }
+                        let block = store.block(idx);
+                        bytes += block.len() as u64;
+                        let mut local: HashMap<(usize, J::K), Vec<J::V>> = HashMap::new();
+                        // One pass over the records; every job maps each one.
+                        for line in block.lines() {
+                            for (ji, job) in jobs.iter().enumerate() {
+                                job.map(line, &mut |k, v| {
+                                    emitted[ji] += 1;
+                                    local.entry((ji, k)).or_default().push(v);
+                                });
+                            }
+                        }
+                        for ((ji, k), vs) in local {
+                            let folded = jobs[ji].combine(&k, vs);
+                            let p = partition_of(&k, cfg.num_reducers);
+                            for v in folded {
+                                partitions[p].push((ji, k.clone(), v));
+                            }
+                        }
+                    }
+                    (partitions, emitted, bytes)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("map worker panicked"))
+            .collect()
+    })
+    .expect("map scope panicked");
+
+    // ---- shuffle ----
+    let mut shuffled: Vec<Vec<Tagged<J::K, J::V>>> =
+        (0..cfg.num_reducers).map(|_| Vec::new()).collect();
+    let mut per_job_emitted = vec![0u64; num_jobs];
+    let mut bytes_scanned = 0u64;
+    for (parts, emitted, bytes) in worker_outputs {
+        bytes_scanned += bytes;
+        for (ji, e) in emitted.into_iter().enumerate() {
+            per_job_emitted[ji] += e;
+        }
+        for (p, mut recs) in parts.into_iter().enumerate() {
+            shuffled[p].append(&mut recs);
+        }
+    }
+
+    // ---- reduce phase: group by (job, key) ----
+    let next_partition = AtomicUsize::new(0);
+    let shuffled = &shuffled;
+    let jobs_ref = jobs;
+    let reduced: Vec<Vec<BTreeMap<J::K, J::Out>>> = crossbeam::scope(|s| {
+        let handles: Vec<_> = (0..cfg.num_threads)
+            .map(|_| {
+                let next_partition = &next_partition;
+                s.spawn(move |_| {
+                    let mut out: Vec<BTreeMap<J::K, J::Out>> =
+                        (0..num_jobs).map(|_| BTreeMap::new()).collect();
+                    loop {
+                        let p = next_partition.fetch_add(1, Ordering::Relaxed);
+                        if p >= shuffled.len() {
+                            break;
+                        }
+                        let mut grouped: BTreeMap<(usize, &J::K), Vec<J::V>> = BTreeMap::new();
+                        for (ji, k, v) in &shuffled[p] {
+                            grouped.entry((*ji, k)).or_default().push(v.clone());
+                        }
+                        for ((ji, k), vs) in grouped {
+                            if let Some(o) = jobs_ref[ji].reduce(k, &vs) {
+                                out[ji].insert(k.clone(), o);
+                            }
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("reduce worker panicked"))
+            .collect()
+    })
+    .expect("reduce scope panicked");
+
+    let mut records: Vec<BTreeMap<J::K, J::Out>> =
+        (0..num_jobs).map(|_| BTreeMap::new()).collect();
+    for worker in reduced {
+        for (ji, part) in worker.into_iter().enumerate() {
+            records[ji].extend(part);
+        }
+    }
+
+    records
+        .into_iter()
+        .enumerate()
+        .map(|(ji, recs)| {
+            let stats = ScanStats {
+                blocks_scanned: num_blocks as u64,
+                bytes_scanned,
+                map_output_records: per_job_emitted[ji],
+                reduce_output_records: recs.len() as u64,
+            };
+            JobOutput {
+                records: recs,
+                stats,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::run_job;
+    use crate::types::test_jobs::PrefixCount;
+
+    fn store() -> BlockStore {
+        let text =
+            "alpha beta alpha gamma\nbeta delta alpha\nepsilon beta gamma delta\n".repeat(40);
+        BlockStore::from_text(&text, 256)
+    }
+
+    fn cfg() -> ExecConfig {
+        ExecConfig {
+            num_threads: 4,
+            num_reducers: 5,
+        }
+    }
+
+    #[test]
+    fn merged_equals_independent() {
+        // The central correctness property of shared scanning.
+        let jobs = [
+            PrefixCount { prefix: "a".into() },
+            PrefixCount { prefix: "b".into() },
+            PrefixCount { prefix: "".into() },
+            PrefixCount { prefix: "zz".into() }, // empty output
+        ];
+        let refs: Vec<&PrefixCount> = jobs.iter().collect();
+        let merged = run_merged(&refs, &store(), &cfg());
+        for (job, m) in jobs.iter().zip(&merged) {
+            let solo = run_job(job, &store(), &cfg());
+            assert_eq!(m.records, solo.records, "prefix {:?}", job.prefix);
+            assert_eq!(
+                m.stats.map_output_records, solo.stats.map_output_records,
+                "map output must match per job"
+            );
+        }
+    }
+
+    #[test]
+    fn merged_scans_once() {
+        let jobs = [
+            PrefixCount { prefix: "a".into() },
+            PrefixCount { prefix: "b".into() },
+        ];
+        let refs: Vec<&PrefixCount> = jobs.iter().collect();
+        let s = store();
+        let merged = run_merged(&refs, &s, &cfg());
+        // Every output reports the single shared scan, not one per job.
+        for m in &merged {
+            assert_eq!(m.stats.blocks_scanned as usize, s.num_blocks());
+            assert_eq!(m.stats.bytes_scanned as usize, s.total_bytes());
+        }
+    }
+
+    #[test]
+    fn single_job_merge_degenerates_to_run_job() {
+        let j = PrefixCount { prefix: "d".into() };
+        let merged = run_merged(&[&j], &store(), &cfg());
+        let solo = run_job(&j, &store(), &cfg());
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].records, solo.records);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one job")]
+    fn empty_merge_panics() {
+        let refs: Vec<&PrefixCount> = vec![];
+        run_merged(&refs, &store(), &cfg());
+    }
+}

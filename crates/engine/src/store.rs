@@ -1,0 +1,111 @@
+//! The in-memory block store the real engine scans.
+//!
+//! Mirrors the HDFS view at a small scale: a file is a sequence of blocks,
+//! each a chunk of newline-delimited text. Blocks are the unit of map-task
+//! input and of shared scanning.
+
+use std::sync::Arc;
+
+/// An immutable, shareable sequence of text blocks.
+#[derive(Debug, Clone)]
+pub struct BlockStore {
+    blocks: Arc<Vec<String>>,
+}
+
+impl BlockStore {
+    /// Build from explicit blocks.
+    ///
+    /// # Panics
+    /// Panics if `blocks` is empty.
+    pub fn new(blocks: Vec<String>) -> Self {
+        assert!(!blocks.is_empty(), "block store cannot be empty");
+        BlockStore {
+            blocks: Arc::new(blocks),
+        }
+    }
+
+    /// Split one text into blocks of roughly `block_bytes` bytes, breaking
+    /// only at line boundaries so no record straddles two blocks (HDFS
+    /// splits mid-record; Hadoop's record reader re-aligns — we model the
+    /// post-alignment view).
+    ///
+    /// # Panics
+    /// Panics if `block_bytes` is zero or `text` is empty.
+    pub fn from_text(text: &str, block_bytes: usize) -> Self {
+        assert!(block_bytes > 0, "block size must be positive");
+        assert!(!text.is_empty(), "cannot build a store from empty text");
+        let mut blocks = Vec::new();
+        let mut current = String::with_capacity(block_bytes + 128);
+        for line in text.lines() {
+            current.push_str(line);
+            current.push('\n');
+            if current.len() >= block_bytes {
+                blocks.push(std::mem::take(&mut current));
+            }
+        }
+        if !current.is_empty() {
+            blocks.push(current);
+        }
+        BlockStore::new(blocks)
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// A block's text.
+    pub fn block(&self, idx: usize) -> &str {
+        &self.blocks[idx]
+    }
+
+    /// Total bytes across all blocks.
+    pub fn total_bytes(&self) -> usize {
+        self.blocks.iter().map(|b| b.len()).sum()
+    }
+
+    /// Iterate over blocks in order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.blocks.iter().map(|s| s.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_text_respects_line_boundaries() {
+        let text = "aaaa\nbbbb\ncccc\ndddd\n";
+        let store = BlockStore::from_text(text, 8);
+        assert!(store.num_blocks() >= 2);
+        for b in store.iter() {
+            assert!(b.ends_with('\n'));
+            for line in b.lines() {
+                assert_eq!(line.len(), 4, "no split lines");
+            }
+        }
+        let rejoined: String = store.iter().collect();
+        assert_eq!(rejoined, text);
+    }
+
+    #[test]
+    fn total_bytes_is_preserved() {
+        let text = "one two three\nfour five\n".repeat(100);
+        let store = BlockStore::from_text(&text, 64);
+        assert_eq!(store.total_bytes(), text.len());
+    }
+
+    #[test]
+    fn single_small_text_is_one_block() {
+        let store = BlockStore::from_text("hello\n", 1024);
+        assert_eq!(store.num_blocks(), 1);
+        assert_eq!(store.block(0), "hello\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_store_panics() {
+        BlockStore::new(vec![]);
+    }
+}

@@ -1,0 +1,98 @@
+//! The job interface: user-defined map, combine, and reduce logic.
+
+use std::hash::Hash;
+
+/// A MapReduce job over newline-delimited text blocks.
+///
+/// `K`/`V` are the intermediate key/value types. Jobs merged into one
+/// shared scan must share `K`/`V` (as MRShare requires jobs to agree on
+/// their intermediate schema to share a scan).
+pub trait MapReduceJob: Send + Sync {
+    /// Intermediate (and output) key.
+    type K: Clone + Ord + Hash + Send + Sync;
+    /// Intermediate value.
+    type V: Clone + Send + Sync;
+    /// Final output value.
+    type Out: Clone + Send + Sync + PartialEq + std::fmt::Debug;
+
+    /// Map one input record (a line of text), emitting intermediate pairs.
+    fn map(&self, line: &str, emit: &mut dyn FnMut(Self::K, Self::V));
+
+    /// Optional map-side combiner: fold a run of values for one key into a
+    /// smaller run. Defaults to the identity (no combining).
+    fn combine(&self, _key: &Self::K, values: Vec<Self::V>) -> Vec<Self::V> {
+        values
+    }
+
+    /// Reduce all values of one key to the final output value; returning
+    /// `None` suppresses the key from the output.
+    fn reduce(&self, key: &Self::K, values: &[Self::V]) -> Option<Self::Out>;
+}
+
+#[cfg(test)]
+pub(crate) mod test_jobs {
+    use super::MapReduceJob;
+
+    /// Count words that start with a given prefix — the paper's modified
+    /// wordcount ("count only the words that match a user-specified
+    /// pattern").
+    pub struct PrefixCount {
+        pub prefix: String,
+    }
+
+    impl MapReduceJob for PrefixCount {
+        type K = String;
+        type V = i64;
+        type Out = i64;
+
+        fn map(&self, line: &str, emit: &mut dyn FnMut(String, i64)) {
+            for w in line.split_whitespace() {
+                if w.starts_with(&self.prefix) {
+                    emit(w.to_string(), 1);
+                }
+            }
+        }
+
+        fn combine(&self, _key: &String, values: Vec<i64>) -> Vec<i64> {
+            vec![values.iter().sum()]
+        }
+
+        fn reduce(&self, _key: &String, values: &[i64]) -> Option<i64> {
+            Some(values.iter().sum())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_jobs::PrefixCount;
+    use super::*;
+
+    #[test]
+    fn prefix_count_maps_and_reduces() {
+        let j = PrefixCount {
+            prefix: "a".into(),
+        };
+        let mut out = Vec::new();
+        j.map("an apple and a banana", &mut |k, v| out.push((k, v)));
+        assert_eq!(out.len(), 4); // an, apple, and, a
+        assert_eq!(j.reduce(&"a".into(), &[1, 1, 1]), Some(3));
+        assert_eq!(j.combine(&"a".into(), vec![1, 1, 1]), vec![3]);
+    }
+
+    #[test]
+    fn default_combiner_is_identity() {
+        struct NoCombine;
+        impl MapReduceJob for NoCombine {
+            type K = String;
+            type V = i64;
+            type Out = i64;
+            fn map(&self, _: &str, _: &mut dyn FnMut(String, i64)) {}
+            fn reduce(&self, _: &String, v: &[i64]) -> Option<i64> {
+                Some(v.len() as i64)
+            }
+        }
+        let j = NoCombine;
+        assert_eq!(j.combine(&"k".into(), vec![1, 2, 3]), vec![1, 2, 3]);
+    }
+}

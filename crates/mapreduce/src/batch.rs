@@ -1,0 +1,488 @@
+//! Batches: merged units of execution shared by all schedulers.
+//!
+//! A [`Batch`] is a set of jobs sharing one scan over a set of blocks,
+//! together with the bookkeeping to drive it through the engine:
+//!
+//! - FIFO uses one single-job batch per job covering the whole file;
+//! - MRShare uses one multi-job batch per job group covering the whole file;
+//! - S³ uses one multi-job batch per *merged sub-job* covering one segment.
+//!
+//! The batch hands out data-local map tasks first (Hadoop's locality
+//! preference), unlocks its reduce tasks when the last map finishes, and
+//! reports completion when the last reduce finishes.
+
+use crate::job::{JobId, JobTable};
+use crate::task::{Locality, MapTaskSpec, ReduceTaskSpec};
+use s3_cluster::{ClusterTopology, NodeId};
+use s3_dfs::{BlockId, Dfs};
+use s3_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Opaque identity of a batch, unique within one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BatchKey(pub u64);
+
+impl fmt::Display for BatchKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "batch{}", self.0)
+    }
+}
+
+/// Execution state of one merged batch.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    key: BatchKey,
+    jobs: Vec<JobId>,
+    ready_at: SimTime,
+
+    // --- map side ---
+    by_node: HashMap<NodeId, Vec<BlockId>>,
+    any_order: Vec<BlockId>,
+    taken: HashSet<BlockId>,
+    running_maps: u32,
+    maps_done: u32,
+    total_maps: u32,
+
+    // --- reduce side ---
+    num_partitions: u32,
+    next_partition: u32,
+    running_reduces: u32,
+    reduces_done: u32,
+    /// Partitions whose attempt failed and must re-run.
+    requeued_reduces: Vec<u32>,
+    shuffle_mb_per_job: Vec<f64>, // per partition, parallel to `jobs`
+    unoverlapped_fraction: f64,
+}
+
+impl Batch {
+    /// Build a batch of `jobs` over `blocks`.
+    ///
+    /// `map_slots` is the cluster's concurrent map capacity; it determines
+    /// the fraction of shuffle that cannot overlap the map phase (the last
+    /// wave's share).
+    ///
+    /// # Panics
+    /// Panics if `jobs` or `blocks` is empty.
+    pub fn new(
+        key: BatchKey,
+        jobs: Vec<JobId>,
+        blocks: &[BlockId],
+        table: &JobTable,
+        dfs: &Dfs,
+        ready_at: SimTime,
+        map_slots: u32,
+    ) -> Self {
+        assert!(!jobs.is_empty(), "batch needs at least one job");
+        assert!(!blocks.is_empty(), "batch needs at least one block");
+
+        let mut by_node: HashMap<NodeId, Vec<BlockId>> = HashMap::new();
+        let mut total_mb = 0.0;
+        for &b in blocks {
+            let meta = dfs.block(b);
+            total_mb += meta.size_mb();
+            for &replica in &meta.replicas {
+                by_node.entry(replica).or_default().push(b);
+            }
+        }
+
+        let num_partitions = jobs
+            .iter()
+            .map(|&j| table.get(j).profile.num_reduce_tasks)
+            .max()
+            .expect("non-empty jobs");
+        let shuffle_mb_per_job: Vec<f64> = jobs
+            .iter()
+            .map(|&j| {
+                let out = table.get(j).profile.map_output_mb(total_mb);
+                if num_partitions == 0 {
+                    0.0
+                } else {
+                    out / num_partitions as f64
+                }
+            })
+            .collect();
+
+        let total_maps = blocks.len() as u32;
+        let unoverlapped_fraction = if total_maps == 0 {
+            1.0
+        } else {
+            (map_slots as f64 / total_maps as f64).min(1.0)
+        };
+
+        Batch {
+            key,
+            jobs,
+            ready_at,
+            by_node,
+            any_order: blocks.to_vec(),
+            taken: HashSet::with_capacity(blocks.len()),
+            running_maps: 0,
+            maps_done: 0,
+            total_maps,
+            num_partitions,
+            next_partition: 0,
+            running_reduces: 0,
+            reduces_done: 0,
+            requeued_reduces: Vec::new(),
+            shuffle_mb_per_job,
+            unoverlapped_fraction,
+        }
+    }
+
+    /// This batch's key.
+    pub fn key(&self) -> BatchKey {
+        self.key
+    }
+
+    /// Jobs merged into this batch.
+    pub fn jobs(&self) -> &[JobId] {
+        &self.jobs
+    }
+
+    /// Earliest time any task of this batch may start (submission gate).
+    pub fn ready_at(&self) -> SimTime {
+        self.ready_at
+    }
+
+    /// Total number of map tasks.
+    pub fn total_maps(&self) -> u32 {
+        self.total_maps
+    }
+
+    /// Number of completed map tasks.
+    pub fn maps_done(&self) -> u32 {
+        self.maps_done
+    }
+
+    /// Number of map tasks currently running.
+    pub fn running_maps(&self) -> u32 {
+        self.running_maps
+    }
+
+    /// Number of map tasks not yet handed out.
+    pub fn pending_maps(&self) -> u32 {
+        self.total_maps - self.taken.len() as u32
+    }
+
+    /// Number of reduce tasks currently running.
+    pub fn running_reduces(&self) -> u32 {
+        self.running_reduces
+    }
+
+    /// Whether every map task has been handed out (they may still be
+    /// running). FIFO uses this to admit the next job's maps.
+    pub fn maps_exhausted(&self) -> bool {
+        self.taken.len() as u32 == self.total_maps
+    }
+
+    /// Whether every map task has completed.
+    pub fn maps_complete(&self) -> bool {
+        self.maps_done == self.total_maps
+    }
+
+    /// Whether the whole batch (maps + reduces) has completed.
+    pub fn is_complete(&self) -> bool {
+        self.maps_complete() && self.reduces_done == self.num_partitions
+    }
+
+    /// Try to hand out a map task for `node` at time `now`, preferring a
+    /// node-local block, then a rack-local one, then any remaining block.
+    pub fn next_map_for(
+        &mut self,
+        node: NodeId,
+        now: SimTime,
+        dfs: &Dfs,
+        cluster: &ClusterTopology,
+    ) -> Option<MapTaskSpec> {
+        if now < self.ready_at || self.maps_exhausted() {
+            return None;
+        }
+
+        // Node-local first.
+        if let Some(list) = self.by_node.get_mut(&node) {
+            while let Some(b) = list.pop() {
+                if self.taken.insert(b) {
+                    self.running_maps += 1;
+                    return Some(MapTaskSpec {
+                        block: b,
+                        jobs: self.jobs.clone(),
+                        batch: self.key,
+                        locality: Locality::NodeLocal,
+                    });
+                }
+            }
+        }
+
+        // Otherwise any remaining block; classify rack vs off-rack.
+        let rack = cluster.rack_of(node);
+        while let Some(b) = self.any_order.pop() {
+            if self.taken.insert(b) {
+                self.running_maps += 1;
+                let meta = dfs.block(b);
+                let locality = if meta
+                    .replicas
+                    .iter()
+                    .any(|&r| cluster.rack_of(r) == rack)
+                {
+                    Locality::RackLocal
+                } else {
+                    Locality::OffRack
+                };
+                return Some(MapTaskSpec {
+                    block: b,
+                    jobs: self.jobs.clone(),
+                    batch: self.key,
+                    locality,
+                });
+            }
+        }
+        None
+    }
+
+    /// Record a finished map task.
+    ///
+    /// # Panics
+    /// Panics if no map of this batch is running.
+    pub fn on_map_done(&mut self) {
+        assert!(self.running_maps > 0, "no running map to complete");
+        self.running_maps -= 1;
+        self.maps_done += 1;
+    }
+
+    /// A map attempt was lost (its node died): put the block back so any
+    /// surviving node can re-execute it.
+    ///
+    /// # Panics
+    /// Panics if no map of this batch is running or the block was never
+    /// handed out.
+    pub fn requeue_map(&mut self, block: BlockId) {
+        assert!(self.running_maps > 0, "no running map to fail");
+        assert!(self.taken.remove(&block), "block was not outstanding");
+        self.running_maps -= 1;
+        self.any_order.push(block);
+    }
+
+    /// A reduce attempt was lost: re-run its partition.
+    ///
+    /// # Panics
+    /// Panics if no reduce of this batch is running.
+    pub fn requeue_reduce(&mut self, partition: u32) {
+        assert!(self.running_reduces > 0, "no running reduce to fail");
+        assert!(partition < self.num_partitions, "unknown partition");
+        self.running_reduces -= 1;
+        self.requeued_reduces.push(partition);
+    }
+
+    /// Try to hand out the next reduce task. Reduces only become available
+    /// once all maps have completed.
+    pub fn next_reduce(&mut self, now: SimTime) -> Option<ReduceTaskSpec> {
+        if now < self.ready_at || !self.maps_complete() {
+            return None;
+        }
+        // Failed partitions re-run before fresh ones are handed out.
+        let partition = if let Some(p) = self.requeued_reduces.pop() {
+            p
+        } else if self.next_partition < self.num_partitions {
+            let p = self.next_partition;
+            self.next_partition += 1;
+            p
+        } else {
+            return None;
+        };
+        self.running_reduces += 1;
+        Some(ReduceTaskSpec {
+            jobs: self.jobs.clone(),
+            partition,
+            shuffle_mb_per_job: self.shuffle_mb_per_job.clone(),
+            unoverlapped_fraction: self.unoverlapped_fraction,
+            batch: self.key,
+        })
+    }
+
+    /// Record a finished reduce task; returns `true` when this completed
+    /// the batch.
+    ///
+    /// # Panics
+    /// Panics if no reduce of this batch is running.
+    pub fn on_reduce_done(&mut self) -> bool {
+        assert!(self.running_reduces > 0, "no running reduce to complete");
+        self.running_reduces -= 1;
+        self.reduces_done += 1;
+        self.is_complete()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{requests_from_arrivals, JobProfile};
+    use s3_dfs::{RoundRobinPlacement, FileId, MB};
+    use std::sync::Arc;
+
+    fn setup(num_blocks: u64) -> (ClusterTopology, Dfs, JobTable, FileId) {
+        let cluster = ClusterTopology::paper_cluster();
+        let mut dfs = Dfs::new();
+        let file = dfs
+            .create_file(
+                &cluster,
+                "in",
+                num_blocks * 64 * MB,
+                64 * MB,
+                1,
+                &mut RoundRobinPlacement::default(),
+            )
+            .unwrap();
+        let profile = Arc::new(JobProfile {
+            name: "wc".into(),
+            map_cpu_s_per_mb: 0.0015,
+            map_output_ratio: 0.015,
+            map_output_records_per_mb: 1526.0,
+            reduce_cpu_s_per_mb: 0.02,
+            reduce_output_ratio: 0.000625,
+            num_reduce_tasks: 30,
+        });
+        let reqs = requests_from_arrivals(&profile, file, &[0.0, 5.0]);
+        let mut table = JobTable::new();
+        for r in reqs {
+            table.arrive(r);
+        }
+        (cluster, dfs, table, file)
+    }
+
+    fn batch_over_all(
+        dfs: &Dfs,
+        table: &JobTable,
+        file: FileId,
+        jobs: Vec<JobId>,
+    ) -> Batch {
+        let blocks: Vec<BlockId> = dfs.file(file).blocks.clone();
+        Batch::new(BatchKey(0), jobs, &blocks, table, dfs, SimTime::ZERO, 40)
+    }
+
+    #[test]
+    fn hands_out_local_blocks_first() {
+        let (cluster, dfs, table, file) = setup(80);
+        let mut b = batch_over_all(&dfs, &table, file, vec![JobId(0)]);
+        // Node 5 holds blocks 5 and 45 (round-robin striping over 40 nodes).
+        let spec = b
+            .next_map_for(NodeId(5), SimTime::ZERO, &dfs, &cluster)
+            .unwrap();
+        assert_eq!(spec.locality, Locality::NodeLocal);
+        let idx = dfs.block(spec.block).index_in_file;
+        assert!(idx == 5 || idx == 45);
+    }
+
+    #[test]
+    fn falls_back_to_remote_blocks() {
+        let (cluster, dfs, table, file) = setup(1);
+        // Single block lives on node 0; node 1 (same rack) must get it
+        // rack-locally, and only once.
+        let mut b = batch_over_all(&dfs, &table, file, vec![JobId(0)]);
+        let spec = b
+            .next_map_for(NodeId(1), SimTime::ZERO, &dfs, &cluster)
+            .unwrap();
+        assert_eq!(spec.locality, Locality::RackLocal);
+        assert!(b
+            .next_map_for(NodeId(2), SimTime::ZERO, &dfs, &cluster)
+            .is_none());
+    }
+
+    #[test]
+    fn off_rack_classification() {
+        let (cluster, dfs, table, file) = setup(1);
+        let mut b = batch_over_all(&dfs, &table, file, vec![JobId(0)]);
+        // Node 39 is in rack 2; block 0 lives on node 0 in rack 0.
+        let spec = b
+            .next_map_for(NodeId(39), SimTime::ZERO, &dfs, &cluster)
+            .unwrap();
+        assert_eq!(spec.locality, Locality::OffRack);
+    }
+
+    #[test]
+    fn respects_ready_gate() {
+        let (cluster, dfs, table, file) = setup(4);
+        let blocks: Vec<BlockId> = dfs.file(file).blocks.clone();
+        let mut b = Batch::new(
+            BatchKey(1),
+            vec![JobId(0)],
+            &blocks,
+            &table,
+            &dfs,
+            SimTime::from_secs(10),
+            40,
+        );
+        assert!(b
+            .next_map_for(NodeId(0), SimTime::from_secs(9), &dfs, &cluster)
+            .is_none());
+        assert!(b
+            .next_map_for(NodeId(0), SimTime::from_secs(10), &dfs, &cluster)
+            .is_some());
+    }
+
+    #[test]
+    fn lifecycle_maps_then_reduces_then_complete() {
+        let (cluster, dfs, table, file) = setup(2);
+        let mut b = batch_over_all(&dfs, &table, file, vec![JobId(0), JobId(1)]);
+        assert_eq!(b.jobs().len(), 2);
+        // No reduce before maps complete.
+        assert!(b.next_reduce(SimTime::ZERO).is_none());
+        let mut count = 0;
+        for n in 0..40 {
+            while b
+                .next_map_for(NodeId(n), SimTime::ZERO, &dfs, &cluster)
+                .is_some()
+            {
+                count += 1;
+            }
+        }
+        assert_eq!(count, 2);
+        assert!(b.maps_exhausted());
+        assert!(!b.maps_complete());
+        b.on_map_done();
+        b.on_map_done();
+        assert!(b.maps_complete());
+        // 30 reduce partitions, each job contributing its share.
+        let mut reduces = 0;
+        while let Some(r) = b.next_reduce(SimTime::ZERO) {
+            assert_eq!(r.jobs.len(), 2);
+            assert_eq!(r.shuffle_mb_per_job.len(), 2);
+            let expected = table.get(JobId(0)).profile.map_output_mb(128.0) / 30.0;
+            assert!((r.shuffle_mb_per_job[0] - expected).abs() < 1e-9);
+            reduces += 1;
+        }
+        assert_eq!(reduces, 30);
+        for i in 0..30 {
+            let done = b.on_reduce_done();
+            assert_eq!(done, i == 29);
+        }
+        assert!(b.is_complete());
+    }
+
+    #[test]
+    fn unoverlapped_fraction_is_last_wave_share() {
+        let (_, dfs, table, file) = setup(80);
+        let mut b = batch_over_all(&dfs, &table, file, vec![JobId(0)]);
+        for _ in 0..80 {
+            b.on_map_done_for_test();
+        }
+        let r = b.next_reduce(SimTime::ZERO).unwrap();
+        assert!((r.unoverlapped_fraction - 0.5).abs() < 1e-9); // 40 slots / 80 maps
+    }
+
+    impl Batch {
+        fn on_map_done_for_test(&mut self) {
+            self.running_maps += 1;
+            self.on_map_done();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one job")]
+    fn empty_jobs_panics() {
+        let (_, dfs, table, file) = setup(1);
+        let blocks: Vec<BlockId> = dfs.file(file).blocks.clone();
+        Batch::new(BatchKey(0), vec![], &blocks, &table, &dfs, SimTime::ZERO, 40);
+    }
+}

@@ -1,0 +1,296 @@
+//! The timing model.
+//!
+//! All constants are in seconds (per MB where noted). Defaults are
+//! calibrated so that the paper's normal wordcount workload on the paper
+//! cluster reproduces the *shape* of the published numbers:
+//!
+//! - a single wordcount job over 160 GB takes a few hundred seconds,
+//!   dominated by the scan (I/O-intensive, Section V-B);
+//! - merging 10 jobs onto one scan inflates map time by roughly 29%,
+//!   reduce time by roughly 24%, and total time by roughly 26% (Figure 3);
+//! - each (sub-)job submission costs a fixed overhead, which is what makes
+//!   S³ lose slightly to single-batch MRShare under a dense arrival
+//!   pattern (Figure 4(b)).
+//!
+//! The shared/per-job split: reading the block and iterating records
+//! ([`CostModel::shared_scan_secs`]) is paid once per scan; map function
+//! CPU and output materialization ([`CostModel::per_job_map_secs`]) are
+//! paid once per merged job.
+
+use crate::job::JobProfile;
+use crate::task::Locality;
+use s3_cluster::{NetworkModel, NodeSpec};
+use serde::{Deserialize, Serialize};
+
+/// Timing constants for the simulated Hadoop cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Fixed map task launch cost (task setup, JVM reuse path), seconds.
+    pub map_task_startup_s: f64,
+    /// Shared record-reader cost per input MB (decompression, line
+    /// splitting, record iteration) — paid once per scan.
+    pub shared_parse_s_per_mb: f64,
+    /// Fixed reduce task launch cost, seconds.
+    pub reduce_task_startup_s: f64,
+    /// Sort/spill/merge cost per MB of map output (paid on the map side per
+    /// job's own output).
+    pub sort_s_per_mb: f64,
+    /// Merge cost per MB of shuffle input on the reduce side.
+    pub reduce_merge_s_per_mb: f64,
+    /// Fraction of shuffle flows that stay within a rack (used for the
+    /// effective shuffle bandwidth).
+    pub shuffle_intra_rack_fraction: f64,
+    /// Base per-(sub-)job submission overhead, seconds: job setup and
+    /// client round-trips. FIFO pays it per job, MRShare per batch, S³ per
+    /// merged sub-job.
+    pub job_submit_overhead_s: f64,
+    /// Additional submission cost per map task, seconds: input-split
+    /// computation and task initialization at the JobTracker. This is what
+    /// makes launching a 2560-task job far costlier than a 200-task merged
+    /// sub-job — the asymmetry S³'s *partial job initialization* exploits.
+    pub task_init_s_per_task: f64,
+    /// TaskTracker heartbeat interval, seconds (assignment granularity).
+    pub heartbeat_s: f64,
+    /// Lognormal sigma for task duration jitter.
+    pub noise_sigma: f64,
+    /// Clamp for the jitter factor (`[1/limit, limit]`).
+    pub noise_limit: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            map_task_startup_s: 2.45,
+            shared_parse_s_per_mb: 0.002,
+            reduce_task_startup_s: 6.0,
+            sort_s_per_mb: 0.004,
+            reduce_merge_s_per_mb: 0.012,
+            shuffle_intra_rack_fraction: 0.35,
+            job_submit_overhead_s: 1.0,
+            task_init_s_per_task: 0.008,
+            heartbeat_s: 0.3,
+            noise_sigma: 0.04,
+            noise_limit: 1.5,
+        }
+    }
+}
+
+impl CostModel {
+    /// A noiseless variant for analytic tests.
+    pub fn deterministic() -> Self {
+        CostModel {
+            noise_sigma: 0.0,
+            ..CostModel::default()
+        }
+    }
+
+    /// Seconds between submitting a (sub-)job of `num_map_tasks` map tasks
+    /// and its first task becoming assignable.
+    pub fn submit_overhead_secs(&self, num_map_tasks: usize) -> f64 {
+        self.job_submit_overhead_s + self.task_init_s_per_task * num_map_tasks as f64
+    }
+
+    /// Seconds to get the block's bytes into the mapper: local disk read,
+    /// or a network fetch for non-local tasks (the remote end still reads
+    /// its disk; we charge the slower of the two paths plus latency).
+    pub fn input_read_secs(
+        &self,
+        block_mb: f64,
+        locality: Locality,
+        node: &NodeSpec,
+        network: &NetworkModel,
+    ) -> f64 {
+        let disk = block_mb / node.disk_read_mb_s;
+        match locality {
+            Locality::NodeLocal => disk,
+            Locality::RackLocal => disk.max(network.transfer_secs_by_distance(true, block_mb)),
+            Locality::OffRack => disk.max(network.transfer_secs_by_distance(false, block_mb)),
+        }
+    }
+
+    /// Scan-shared portion of a map task: startup + input read + record
+    /// iteration. Paid once regardless of how many jobs share the scan.
+    pub fn shared_scan_secs(
+        &self,
+        block_mb: f64,
+        locality: Locality,
+        node: &NodeSpec,
+        network: &NetworkModel,
+    ) -> f64 {
+        self.map_task_startup_s
+            + self.input_read_secs(block_mb, locality, node, network)
+            + self.shared_parse_s_per_mb * block_mb
+    }
+
+    /// Per-job portion of a map task: the job's map function over the
+    /// block, plus sorting/spilling and writing its map output.
+    pub fn per_job_map_secs(&self, block_mb: f64, profile: &JobProfile, node: &NodeSpec) -> f64 {
+        let out_mb = profile.map_output_mb(block_mb);
+        profile.map_cpu_s_per_mb * block_mb
+            + self.sort_s_per_mb * out_mb
+            + out_mb / node.disk_write_mb_s
+    }
+
+    /// Nominal (noise-free, full-speed) duration of a map task scanning one
+    /// `block_mb` block for the given set of job profiles.
+    pub fn map_task_secs(
+        &self,
+        block_mb: f64,
+        locality: Locality,
+        profiles: &[&JobProfile],
+        node: &NodeSpec,
+        network: &NetworkModel,
+    ) -> f64 {
+        assert!(!profiles.is_empty(), "map task must serve at least one job");
+        let shared = self.shared_scan_secs(block_mb, locality, node, network);
+        let per_job: f64 = profiles
+            .iter()
+            .map(|p| self.per_job_map_secs(block_mb, p, node))
+            .sum();
+        shared + per_job
+    }
+
+    /// Effective shuffle bandwidth (MB/s per reduce) for this network.
+    pub fn shuffle_mb_s(&self, network: &NetworkModel) -> f64 {
+        network.shuffle_mb_s(self.shuffle_intra_rack_fraction)
+    }
+
+    /// Nominal duration of a reduce task.
+    ///
+    /// `shuffle_mb_per_job` is each merged job's contribution to this
+    /// partition; `unoverlapped_fraction` is the share of fetches that could
+    /// not be overlapped with the map phase.
+    pub fn reduce_task_secs(
+        &self,
+        shuffle_mb_per_job: &[f64],
+        profiles: &[&JobProfile],
+        unoverlapped_fraction: f64,
+        node: &NodeSpec,
+        network: &NetworkModel,
+    ) -> f64 {
+        assert_eq!(
+            shuffle_mb_per_job.len(),
+            profiles.len(),
+            "shuffle volumes and profiles must be parallel"
+        );
+        assert!(
+            (0.0..=1.0).contains(&unoverlapped_fraction),
+            "unoverlapped fraction out of range"
+        );
+        let total_mb: f64 = shuffle_mb_per_job.iter().sum();
+        let fetch = total_mb * unoverlapped_fraction / self.shuffle_mb_s(network);
+        let merge = self.reduce_merge_s_per_mb * total_mb * unoverlapped_fraction;
+        let cpu_and_write: f64 = shuffle_mb_per_job
+            .iter()
+            .zip(profiles)
+            .map(|(&mb, p)| {
+                p.reduce_cpu_s_per_mb * mb
+                    + p.reduce_output_mb(mb) / node.disk_write_mb_s
+            })
+            .sum();
+        self.reduce_task_startup_s + fetch + merge + cpu_and_write
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use s3_cluster::NetworkModel;
+
+    fn wordcount_like() -> JobProfile {
+        JobProfile {
+            name: "wc".into(),
+            map_cpu_s_per_mb: 0.0015,
+            map_output_ratio: 0.015,
+            map_output_records_per_mb: 1526.0,
+            reduce_cpu_s_per_mb: 0.02,
+            reduce_output_ratio: 0.000625,
+            num_reduce_tasks: 30,
+        }
+    }
+
+    #[test]
+    fn map_cost_scales_sublinearly_with_merged_jobs() {
+        // The Figure 3 property: ten merged jobs cost ~1.3x one job, not 10x.
+        let cm = CostModel::deterministic();
+        let node = NodeSpec::default();
+        let net = NetworkModel::one_gbps();
+        let p = wordcount_like();
+        let one = cm.map_task_secs(64.0, Locality::NodeLocal, &[&p], &node, &net);
+        let profiles: Vec<&JobProfile> = std::iter::repeat_n(&p, 10).collect();
+        let ten = cm.map_task_secs(64.0, Locality::NodeLocal, &profiles, &node, &net);
+        let ratio = ten / one;
+        assert!(
+            (1.2..1.45).contains(&ratio),
+            "10-job merged map should cost 1.2-1.45x a single job, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn locality_ordering() {
+        let cm = CostModel::deterministic();
+        let node = NodeSpec::default();
+        let net = NetworkModel::one_gbps();
+        let p = wordcount_like();
+        let local = cm.map_task_secs(64.0, Locality::NodeLocal, &[&p], &node, &net);
+        let rack = cm.map_task_secs(64.0, Locality::RackLocal, &[&p], &node, &net);
+        let off = cm.map_task_secs(64.0, Locality::OffRack, &[&p], &node, &net);
+        assert!(local <= rack && rack < off, "{local} {rack} {off}");
+    }
+
+    #[test]
+    fn reduce_cost_grows_with_merged_jobs_but_mildly() {
+        let cm = CostModel::deterministic();
+        let node = NodeSpec::default();
+        let net = NetworkModel::one_gbps();
+        let p = wordcount_like();
+        // Per the paper's geometry: 2.4 GB map output / 30 reduces = 80 MB
+        // per reduce per job; with 64 waves only ~1/64 is unoverlapped.
+        let one = cm.reduce_task_secs(&[80.0], &[&p], 1.0 / 64.0, &node, &net);
+        let tens: Vec<f64> = vec![80.0; 10];
+        let profs: Vec<&JobProfile> = std::iter::repeat_n(&p, 10).collect();
+        let ten = cm.reduce_task_secs(&tens, &profs, 1.0 / 64.0, &node, &net);
+        let ratio = ten / one;
+        assert!(ratio > 1.0 && ratio < 8.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn bigger_blocks_amortize_startup() {
+        // Per-MB cost at 128 MB must be lower than at 32 MB (Section V-F:
+        // 128 MB gives the fastest actual processing time).
+        let cm = CostModel::deterministic();
+        let node = NodeSpec::default();
+        let net = NetworkModel::one_gbps();
+        let p = wordcount_like();
+        let t32 = cm.map_task_secs(32.0, Locality::NodeLocal, &[&p], &node, &net) / 32.0;
+        let t128 = cm.map_task_secs(128.0, Locality::NodeLocal, &[&p], &node, &net) / 128.0;
+        assert!(t128 < t32);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one job")]
+    fn empty_profile_list_panics() {
+        let cm = CostModel::deterministic();
+        cm.map_task_secs(
+            64.0,
+            Locality::NodeLocal,
+            &[],
+            &NodeSpec::default(),
+            &NetworkModel::one_gbps(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel")]
+    fn mismatched_reduce_inputs_panic() {
+        let cm = CostModel::deterministic();
+        let p = wordcount_like();
+        cm.reduce_task_secs(
+            &[10.0, 20.0],
+            &[&p],
+            0.1,
+            &NodeSpec::default(),
+            &NetworkModel::one_gbps(),
+        );
+    }
+}

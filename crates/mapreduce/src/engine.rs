@@ -1,0 +1,711 @@
+//! The simulation driver: Hadoop's heartbeat loop over the event kernel.
+//!
+//! Behavior modeled after Hadoop 0.20 as configured in the paper:
+//!
+//! - every TaskTracker heartbeats the master every `heartbeat_s` seconds
+//!   (staggered so the 40 trackers do not beat in lockstep);
+//! - on a heartbeat, a node with a free map slot is offered **one** map
+//!   task and a node with a free reduce slot **one** reduce task;
+//! - task durations come from the [`CostModel`], divided by the node's
+//!   effective speed at assignment time and multiplied by lognormal noise;
+//! - speculative execution is disabled (as in the paper's setup).
+
+use crate::cost::CostModel;
+use crate::job::{JobRequest, JobTable};
+use crate::metrics::MetricsBuilder;
+use crate::scheduler::{Outbox, SchedCtx, Scheduler};
+use crate::task::{Locality, MapTaskSpec, ReduceTaskSpec};
+use crate::trace::{Trace, TraceEvent, TraceKind};
+use s3_cluster::{ClusterTopology, NodeId, SlowdownSchedule};
+use s3_dfs::Dfs;
+use s3_sim::{EventQueue, SimDuration, SimRng, SimTime};
+
+use crate::metrics::RunMetrics;
+
+/// Engine-level configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// RNG seed for task-duration noise.
+    pub seed: u64,
+    /// Abort if no task starts or finishes and no job arrives for this many
+    /// simulated seconds while jobs are outstanding (deadlocked scheduler).
+    pub stall_timeout_s: f64,
+    /// Hadoop-style speculative map execution. The paper disables it
+    /// (Section V-A); enable it to study how it interacts with the
+    /// schedulers (see the straggler ablations).
+    pub speculation: Option<SpeculationConfig>,
+    /// TaskTracker failure injection: dead nodes stop heartbeating, their
+    /// in-flight tasks are lost and re-executed elsewhere (the co-located
+    /// DataNode survives, so their blocks stay readable remotely).
+    pub failures: s3_cluster::FailureSchedule,
+}
+
+/// Speculative-execution policy: when a node's map slot would otherwise
+/// idle, re-launch a running map task whose remaining time exceeds
+/// `threshold` times the mean completed-map duration. The first attempt to
+/// finish wins; the loser's completion is discarded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeculationConfig {
+    /// Remaining-time multiple of the mean map duration that marks a
+    /// straggler (Hadoop's default heuristic is roughly 1.0x "progress far
+    /// behind average").
+    pub threshold: f64,
+}
+
+impl Default for SpeculationConfig {
+    fn default() -> Self {
+        SpeculationConfig { threshold: 1.0 }
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            seed: 0x5353_5353, // "SSSS"
+            stall_timeout_s: 3_600.0,
+            speculation: None,
+            failures: s3_cluster::FailureSchedule::none(),
+        }
+    }
+}
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The scheduler stopped making progress with jobs outstanding.
+    Stalled {
+        /// Simulated time of the last progress.
+        last_progress: SimTime,
+        /// Jobs completed before the stall.
+        completed: usize,
+        /// Jobs submitted in total.
+        submitted: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Stalled {
+                last_progress,
+                completed,
+                submitted,
+            } => write!(
+                f,
+                "scheduler stalled at {last_progress}: {completed}/{submitted} jobs completed"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[derive(Debug)]
+enum Ev {
+    Arrival(u32),
+    Heartbeat(NodeId),
+    MapDone { node: NodeId, slot: usize },
+    ReduceDone { node: NodeId, slot: usize },
+    Wakeup,
+}
+
+/// A map attempt occupying a slot.
+struct RunningMap {
+    spec: MapTaskSpec,
+    /// Expected completion time (used by the speculation heuristic).
+    ends: SimTime,
+    /// Whether this is a speculative backup attempt.
+    backup: bool,
+}
+
+struct NodeState {
+    map_slots: Vec<Option<RunningMap>>,
+    reduce_slots: Vec<Option<ReduceTaskSpec>>,
+}
+
+/// Identity of a map task across attempts.
+type MapTaskId = (crate::batch::BatchKey, s3_dfs::BlockId);
+
+/// Run `workload` under `scheduler` and return the measured metrics.
+///
+/// Jobs in `workload` must have dense ids `0..n` and non-decreasing submit
+/// times; [`crate::job::requests_from_arrivals`] produces exactly that.
+pub fn simulate(
+    cluster: &ClusterTopology,
+    slowdowns: &SlowdownSchedule,
+    dfs: &Dfs,
+    cost: &CostModel,
+    workload: &[JobRequest],
+    scheduler: &mut dyn Scheduler,
+    config: &EngineConfig,
+) -> Result<RunMetrics, SimError> {
+    simulate_traced(cluster, slowdowns, dfs, cost, workload, scheduler, config, None)
+        .map(|(metrics, _)| metrics)
+}
+
+/// Like [`simulate`], but additionally records a full execution trace when
+/// `trace_into` is `Some` (pass `Some(Trace::new())` to start fresh).
+/// Tracing a 10-job paper-scale run records a few hundred thousand events;
+/// leave it off for sweeps.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_traced(
+    cluster: &ClusterTopology,
+    slowdowns: &SlowdownSchedule,
+    dfs: &Dfs,
+    cost: &CostModel,
+    workload: &[JobRequest],
+    scheduler: &mut dyn Scheduler,
+    config: &EngineConfig,
+    trace_into: Option<Trace>,
+) -> Result<(RunMetrics, Trace), SimError> {
+    let mut trace = trace_into;
+    let mut q: EventQueue<Ev> = EventQueue::new();
+    let mut rng = SimRng::seed_from_u64(config.seed);
+    let mut table = JobTable::new();
+    let mut outbox = Outbox::default();
+    let mut metrics = MetricsBuilder {
+        scheduler: scheduler.name(),
+        ..Default::default()
+    };
+
+    // Prime arrivals and staggered heartbeats.
+    for (i, req) in workload.iter().enumerate() {
+        assert_eq!(req.id.0 as usize, i, "workload ids must be dense");
+        q.schedule(req.submit, Ev::Arrival(i as u32));
+    }
+    let hb = SimDuration::from_secs_f64(cost.heartbeat_s);
+    let n_nodes = cluster.num_nodes();
+    for node in cluster.nodes() {
+        let offset = hb.mul_f64((node.id.0 as f64 + 1.0) / n_nodes as f64);
+        q.schedule(SimTime::ZERO + offset, Ev::Heartbeat(node.id));
+    }
+
+    let mut nodes: Vec<NodeState> = cluster
+        .nodes()
+        .iter()
+        .map(|n| NodeState {
+            map_slots: (0..n.spec.map_slots).map(|_| None).collect(),
+            reduce_slots: (0..n.spec.reduce_slots).map(|_| None).collect(),
+        })
+        .collect();
+
+    let mut completed = 0usize;
+    let mut completion_seen = vec![false; workload.len()];
+    let mut last_progress = SimTime::ZERO;
+    let stall = SimDuration::from_secs_f64(config.stall_timeout_s);
+
+    // Speculative-execution bookkeeping (only populated when enabled).
+    let mut completed_tasks: std::collections::HashSet<MapTaskId> =
+        std::collections::HashSet::new();
+    let mut backup_launched: std::collections::HashSet<MapTaskId> =
+        std::collections::HashSet::new();
+
+    macro_rules! ctx {
+        ($now:expr) => {
+            SchedCtx {
+                now: $now,
+                cluster,
+                slowdowns,
+                dfs,
+                cost,
+                jobs: &table,
+                outbox: &mut outbox,
+            }
+        };
+    }
+
+    while completed < workload.len() {
+        let Some((now, ev)) = q.pop() else {
+            // Calendar exhausted with jobs outstanding: impossible while
+            // heartbeats recur, but defend anyway.
+            return Err(SimError::Stalled {
+                last_progress,
+                completed,
+                submitted: table.len(),
+            });
+        };
+
+        match ev {
+            Ev::Arrival(i) => {
+                let req = workload[i as usize].clone();
+                metrics.submissions.push((req.id, req.submit));
+                table.arrive(req);
+                let id = workload[i as usize].id;
+                if let Some(t) = trace.as_mut() {
+                    t.push(TraceEvent {
+                        at: now,
+                        kind: TraceKind::JobSubmitted,
+                        node: None,
+                        jobs: vec![id],
+                        batch: None,
+                    });
+                }
+                let mut ctx = ctx!(now);
+                scheduler.on_job_arrival(&mut ctx, id);
+                last_progress = now;
+            }
+            Ev::Heartbeat(node_id) => {
+                if !config.failures.is_alive(node_id, now) {
+                    // Dead TaskTracker: no more heartbeats, no new work.
+                    // Its in-flight tasks fail at their completion events.
+                    continue;
+                }
+                q.schedule(now + hb, Ev::Heartbeat(node_id));
+                // Stall detection: only meaningful when work is outstanding.
+                if !table.is_empty()
+                    && completed < table.len()
+                    && now.saturating_since(last_progress) > stall
+                {
+                    return Err(SimError::Stalled {
+                        last_progress,
+                        completed,
+                        submitted: table.len(),
+                    });
+                }
+
+                let node = cluster.node(node_id);
+
+                // Offer one free map slot.
+                let free_map_slot = nodes[node_id.0 as usize]
+                    .map_slots
+                    .iter()
+                    .position(Option::is_none);
+                if let Some(slot) = free_map_slot {
+                    let spec = {
+                        let mut ctx = ctx!(now);
+                        scheduler.assign_map(&mut ctx, node_id)
+                    };
+                    if let Some(spec) = spec {
+                        let meta = dfs.block(spec.block);
+                        let block_mb = meta.size_mb();
+                        let profiles: Vec<_> =
+                            spec.jobs.iter().map(|&j| &*table.get(j).profile).collect();
+                        let nominal = cost.map_task_secs(
+                            block_mb,
+                            spec.locality,
+                            &profiles,
+                            &node.spec,
+                            cluster.network(),
+                        );
+                        let speed =
+                            node.spec.speed_factor * slowdowns.factor_at(node_id, now);
+                        let noise = if cost.noise_sigma > 0.0 {
+                            rng.noise_factor(cost.noise_sigma, cost.noise_limit)
+                        } else {
+                            1.0
+                        };
+                        let dur = SimDuration::from_secs_f64(nominal / speed * noise);
+                        metrics.map_acc.push(dur.as_secs_f64());
+                        metrics.blocks_read += 1;
+                        metrics.mb_read += block_mb;
+                        metrics.logical_mb_scanned += block_mb * spec.jobs.len() as f64;
+                        match spec.locality {
+                            Locality::NodeLocal => metrics.locality_counts.0 += 1,
+                            Locality::RackLocal => metrics.locality_counts.1 += 1,
+                            Locality::OffRack => metrics.locality_counts.2 += 1,
+                        }
+                        if let Some(t) = trace.as_mut() {
+                            t.push(TraceEvent {
+                                at: now,
+                                kind: TraceKind::MapStart,
+                                node: Some(node_id),
+                                jobs: spec.jobs.clone(),
+                                batch: Some(spec.batch),
+                            });
+                        }
+                        nodes[node_id.0 as usize].map_slots[slot] = Some(RunningMap {
+                            spec,
+                            ends: now + dur,
+                            backup: false,
+                        });
+                        q.schedule(now + dur, Ev::MapDone {
+                            node: node_id,
+                            slot,
+                        });
+                        last_progress = now;
+                    } else if let Some(spec_cfg) = config.speculation {
+                        // No fresh work: consider a speculative backup for
+                        // a straggling attempt elsewhere in the cluster.
+                        let mean_map = metrics.map_acc.mean();
+                        if mean_map > 0.0 {
+                            let cutoff =
+                                SimDuration::from_secs_f64(spec_cfg.threshold * mean_map);
+                            let candidate: Option<MapTaskSpec> = nodes
+                                .iter()
+                                .flat_map(|n| n.map_slots.iter().flatten())
+                                .filter(|r| {
+                                    !r.backup
+                                        && r.ends.saturating_since(now) > cutoff
+                                        && !backup_launched
+                                            .contains(&(r.spec.batch, r.spec.block))
+                                        && !completed_tasks
+                                            .contains(&(r.spec.batch, r.spec.block))
+                                })
+                                .max_by_key(|r| r.ends)
+                                .map(|r| r.spec.clone());
+                            if let Some(orig) = candidate {
+                                backup_launched.insert((orig.batch, orig.block));
+                                metrics.speculative_attempts += 1;
+                                // The backup reads from wherever the block
+                                // lives relative to *this* node.
+                                let meta = dfs.block(orig.block);
+                                let locality = if meta.is_local_to(node_id) {
+                                    Locality::NodeLocal
+                                } else if meta.replicas.iter().any(|&r| {
+                                    cluster.rack_of(r) == cluster.rack_of(node_id)
+                                }) {
+                                    Locality::RackLocal
+                                } else {
+                                    Locality::OffRack
+                                };
+                                let spec = MapTaskSpec { locality, ..orig };
+                                let block_mb = meta.size_mb();
+                                let profiles: Vec<_> = spec
+                                    .jobs
+                                    .iter()
+                                    .map(|&j| &*table.get(j).profile)
+                                    .collect();
+                                let nominal = cost.map_task_secs(
+                                    block_mb,
+                                    spec.locality,
+                                    &profiles,
+                                    &node.spec,
+                                    cluster.network(),
+                                );
+                                let speed = node.spec.speed_factor
+                                    * slowdowns.factor_at(node_id, now);
+                                let noise = if cost.noise_sigma > 0.0 {
+                                    rng.noise_factor(cost.noise_sigma, cost.noise_limit)
+                                } else {
+                                    1.0
+                                };
+                                let dur = SimDuration::from_secs_f64(nominal / speed * noise);
+                                metrics.map_acc.push(dur.as_secs_f64());
+                                metrics.blocks_read += 1;
+                                metrics.mb_read += block_mb;
+                                if let Some(t) = trace.as_mut() {
+                                    t.push(TraceEvent {
+                                        at: now,
+                                        kind: TraceKind::MapStart,
+                                        node: Some(node_id),
+                                        jobs: spec.jobs.clone(),
+                                        batch: Some(spec.batch),
+                                    });
+                                }
+                                let state = &mut nodes[node_id.0 as usize];
+                                state.map_slots[slot] = Some(RunningMap {
+                                    spec,
+                                    ends: now + dur,
+                                    backup: true,
+                                });
+                                q.schedule(now + dur, Ev::MapDone {
+                                    node: node_id,
+                                    slot,
+                                });
+                                last_progress = now;
+                            }
+                        }
+                    }
+                }
+
+                // Offer one free reduce slot.
+                let free_reduce_slot = nodes[node_id.0 as usize]
+                    .reduce_slots
+                    .iter()
+                    .position(Option::is_none);
+                if let Some(slot) = free_reduce_slot {
+                    let spec = {
+                        let mut ctx = ctx!(now);
+                        scheduler.assign_reduce(&mut ctx, node_id)
+                    };
+                    if let Some(spec) = spec {
+                        let profiles: Vec<_> =
+                            spec.jobs.iter().map(|&j| &*table.get(j).profile).collect();
+                        let nominal = cost.reduce_task_secs(
+                            &spec.shuffle_mb_per_job,
+                            &profiles,
+                            spec.unoverlapped_fraction,
+                            &node.spec,
+                            cluster.network(),
+                        );
+                        let speed =
+                            node.spec.speed_factor * slowdowns.factor_at(node_id, now);
+                        let noise = if cost.noise_sigma > 0.0 {
+                            rng.noise_factor(cost.noise_sigma, cost.noise_limit)
+                        } else {
+                            1.0
+                        };
+                        let dur = SimDuration::from_secs_f64(nominal / speed * noise);
+                        metrics.reduce_acc.push(dur.as_secs_f64());
+                        if let Some(t) = trace.as_mut() {
+                            t.push(TraceEvent {
+                                at: now,
+                                kind: TraceKind::ReduceStart,
+                                node: Some(node_id),
+                                jobs: spec.jobs.clone(),
+                                batch: Some(spec.batch),
+                            });
+                        }
+                        nodes[node_id.0 as usize].reduce_slots[slot] = Some(spec);
+                        q.schedule(now + dur, Ev::ReduceDone {
+                            node: node_id,
+                            slot,
+                        });
+                        last_progress = now;
+                    }
+                }
+            }
+            Ev::MapDone { node, slot } => {
+                let running = nodes[node.0 as usize].map_slots[slot]
+                    .take()
+                    .expect("map completion for empty slot");
+                let spec = running.spec;
+                let task_id: MapTaskId = (spec.batch, spec.block);
+                if completed_tasks.contains(&task_id) {
+                    // A rival attempt already won; this one's work is
+                    // discarded (the slot simply frees up).
+                    metrics.speculative_wasted += 1;
+                    if let Some(t) = trace.as_mut() {
+                        t.push(TraceEvent {
+                            at: now,
+                            kind: TraceKind::MapEnd,
+                            node: Some(node),
+                            jobs: spec.jobs.clone(),
+                            batch: Some(spec.batch),
+                        });
+                    }
+                } else if !config.failures.is_alive(node, now) {
+                    // The node died while this attempt ran: the work is
+                    // lost and the scheduler must re-execute it.
+                    metrics.tasks_failed += 1;
+                    backup_launched.remove(&task_id);
+                    if let Some(t) = trace.as_mut() {
+                        t.push(TraceEvent {
+                            at: now,
+                            kind: TraceKind::MapFailed,
+                            node: Some(node),
+                            jobs: spec.jobs.clone(),
+                            batch: Some(spec.batch),
+                        });
+                    }
+                    let mut ctx = ctx!(now);
+                    scheduler.on_map_failed(&mut ctx, node, &spec);
+                } else {
+                    if let Some(t) = trace.as_mut() {
+                        t.push(TraceEvent {
+                            at: now,
+                            kind: TraceKind::MapEnd,
+                            node: Some(node),
+                            jobs: spec.jobs.clone(),
+                            batch: Some(spec.batch),
+                        });
+                    }
+                    if config.speculation.is_some() {
+                        completed_tasks.insert(task_id);
+                        if running.backup {
+                            metrics.speculative_wins += 1;
+                        }
+                    }
+                    let mut ctx = ctx!(now);
+                    scheduler.on_map_complete(&mut ctx, node, &spec);
+                }
+                last_progress = now;
+            }
+            Ev::ReduceDone { node, slot } => {
+                let spec = nodes[node.0 as usize].reduce_slots[slot]
+                    .take()
+                    .expect("reduce completion for empty slot");
+                let failed = !config.failures.is_alive(node, now);
+                if let Some(t) = trace.as_mut() {
+                    t.push(TraceEvent {
+                        at: now,
+                        kind: if failed {
+                            TraceKind::ReduceFailed
+                        } else {
+                            TraceKind::ReduceEnd
+                        },
+                        node: Some(node),
+                        jobs: spec.jobs.clone(),
+                        batch: Some(spec.batch),
+                    });
+                }
+                let mut ctx = ctx!(now);
+                if failed {
+                    metrics.tasks_failed += 1;
+                    scheduler.on_reduce_failed(&mut ctx, node, &spec);
+                } else {
+                    scheduler.on_reduce_complete(&mut ctx, node, &spec);
+                }
+                last_progress = now;
+            }
+            Ev::Wakeup => {
+                let mut ctx = ctx!(now);
+                scheduler.on_wakeup(&mut ctx);
+            }
+        }
+
+        // Apply scheduler-requested effects.
+        for job in outbox.completed_jobs.drain(..) {
+            let idx = job.0 as usize;
+            assert!(
+                !completion_seen[idx],
+                "scheduler completed {job} twice"
+            );
+            completion_seen[idx] = true;
+            if let Some(t) = trace.as_mut() {
+                t.push(TraceEvent {
+                    at: now,
+                    kind: TraceKind::JobCompleted,
+                    node: None,
+                    jobs: vec![job],
+                    batch: None,
+                });
+            }
+            metrics.completions.push((job, now));
+            completed += 1;
+            last_progress = now;
+        }
+        for at in outbox.wakeups.drain(..) {
+            q.schedule(at, Ev::Wakeup);
+        }
+    }
+
+    let end = q.now();
+    Ok((metrics.finish(end), trace.unwrap_or_default()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{requests_from_arrivals, JobId, JobProfile};
+    use s3_dfs::{FileId, RoundRobinPlacement, MB};
+    use std::sync::Arc;
+
+    /// A trivially simple scheduler: completes each job on arrival without
+    /// running any task. Exercises the arrival/outbox plumbing.
+    struct NoopScheduler;
+    impl Scheduler for NoopScheduler {
+        fn name(&self) -> String {
+            "noop".into()
+        }
+        fn on_job_arrival(&mut self, ctx: &mut SchedCtx<'_>, job: JobId) {
+            ctx.complete_job(job);
+        }
+        fn assign_map(&mut self, _: &mut SchedCtx<'_>, _: NodeId) -> Option<MapTaskSpec> {
+            None
+        }
+        fn assign_reduce(&mut self, _: &mut SchedCtx<'_>, _: NodeId) -> Option<ReduceTaskSpec> {
+            None
+        }
+        fn on_map_complete(&mut self, _: &mut SchedCtx<'_>, _: NodeId, _: &MapTaskSpec) {}
+        fn on_reduce_complete(&mut self, _: &mut SchedCtx<'_>, _: NodeId, _: &ReduceTaskSpec) {}
+    }
+
+    /// Never schedules anything: must trip the stall detector.
+    struct DeadScheduler;
+    impl Scheduler for DeadScheduler {
+        fn name(&self) -> String {
+            "dead".into()
+        }
+        fn on_job_arrival(&mut self, _: &mut SchedCtx<'_>, _: JobId) {}
+        fn assign_map(&mut self, _: &mut SchedCtx<'_>, _: NodeId) -> Option<MapTaskSpec> {
+            None
+        }
+        fn assign_reduce(&mut self, _: &mut SchedCtx<'_>, _: NodeId) -> Option<ReduceTaskSpec> {
+            None
+        }
+        fn on_map_complete(&mut self, _: &mut SchedCtx<'_>, _: NodeId, _: &MapTaskSpec) {}
+        fn on_reduce_complete(&mut self, _: &mut SchedCtx<'_>, _: NodeId, _: &ReduceTaskSpec) {}
+    }
+
+    fn world() -> (ClusterTopology, Dfs, FileId, Arc<JobProfile>) {
+        let cluster = ClusterTopology::paper_cluster();
+        let mut dfs = Dfs::new();
+        let file = dfs
+            .create_file(
+                &cluster,
+                "in",
+                80 * 64 * MB,
+                64 * MB,
+                1,
+                &mut RoundRobinPlacement::default(),
+            )
+            .unwrap();
+        let profile = Arc::new(JobProfile {
+            name: "wc".into(),
+            map_cpu_s_per_mb: 0.0015,
+            map_output_ratio: 0.015,
+            map_output_records_per_mb: 1526.0,
+            reduce_cpu_s_per_mb: 0.02,
+            reduce_output_ratio: 0.000625,
+            num_reduce_tasks: 30,
+        });
+        (cluster, dfs, file, profile)
+    }
+
+    #[test]
+    fn noop_scheduler_completes_all_jobs_at_arrival() {
+        let (cluster, dfs, file, profile) = world();
+        let workload = requests_from_arrivals(&profile, file, &[0.0, 10.0, 20.0]);
+        let metrics = simulate(
+            &cluster,
+            &SlowdownSchedule::none(),
+            &dfs,
+            &CostModel::deterministic(),
+            &workload,
+            &mut NoopScheduler,
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(metrics.outcomes.len(), 3);
+        assert_eq!(metrics.tet(), SimDuration::from_secs(20));
+        assert_eq!(metrics.art(), SimDuration::ZERO);
+        assert_eq!(metrics.blocks_read, 0);
+    }
+
+    #[test]
+    fn dead_scheduler_stalls() {
+        let (cluster, dfs, file, profile) = world();
+        let workload = requests_from_arrivals(&profile, file, &[0.0]);
+        let cfg = EngineConfig {
+            stall_timeout_s: 50.0,
+            ..EngineConfig::default()
+        };
+        let err = simulate(
+            &cluster,
+            &SlowdownSchedule::none(),
+            &dfs,
+            &CostModel::deterministic(),
+            &workload,
+            &mut DeadScheduler,
+            &cfg,
+        )
+        .unwrap_err();
+        match err {
+            SimError::Stalled {
+                completed,
+                submitted,
+                ..
+            } => {
+                assert_eq!(completed, 0);
+                assert_eq!(submitted, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_workload_finishes_immediately() {
+        let (cluster, dfs, _file, _profile) = world();
+        let metrics = simulate(
+            &cluster,
+            &SlowdownSchedule::none(),
+            &dfs,
+            &CostModel::deterministic(),
+            &[],
+            &mut NoopScheduler,
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        assert!(metrics.outcomes.is_empty());
+    }
+}

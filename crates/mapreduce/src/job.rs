@@ -1,0 +1,230 @@
+//! Jobs: cost profiles, arrival requests, and the runtime job table.
+
+use s3_dfs::FileId;
+use s3_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a submitted job, dense in submission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub u32);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// Cost description of a MapReduce job, independent of the file it reads.
+///
+/// The split between *shared* and *per-job* costs is the heart of shared
+/// scanning: reading a block and iterating its records is paid **once** per
+/// scan regardless of how many jobs are merged onto it (that part lives in
+/// [`crate::CostModel`]), while the map function CPU and the map/reduce
+/// output volumes below are paid **per job**.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobProfile {
+    /// Human-readable label ("wordcount", "selection", ...).
+    pub name: String,
+    /// Per-job map function CPU seconds per input MB (pattern matching,
+    /// counting, predicate evaluation, emit).
+    pub map_cpu_s_per_mb: f64,
+    /// Map output bytes per input byte for this job (intermediate data).
+    pub map_output_ratio: f64,
+    /// Map output records per input MB — only used for Table I reporting.
+    pub map_output_records_per_mb: f64,
+    /// Reduce CPU seconds per MB of this job's shuffle input.
+    pub reduce_cpu_s_per_mb: f64,
+    /// Reduce output bytes per shuffle input byte.
+    pub reduce_output_ratio: f64,
+    /// Number of reduce tasks this job requests (30 in the paper).
+    pub num_reduce_tasks: u32,
+}
+
+impl JobProfile {
+    /// Map output in MB produced by this job over `input_mb` of input.
+    pub fn map_output_mb(&self, input_mb: f64) -> f64 {
+        input_mb * self.map_output_ratio
+    }
+
+    /// Reduce output in MB given this job's total map output.
+    pub fn reduce_output_mb(&self, map_output_mb: f64) -> f64 {
+        map_output_mb * self.reduce_output_ratio
+    }
+}
+
+/// Scheduling priority of a job. The paper's baseline S³ ignores priority;
+/// the priority-aware extension (its future-work direction) serves higher
+/// priorities first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub enum Priority {
+    /// Background work: may be deferred by the priority-aware scheduler.
+    Low,
+    /// Default.
+    #[default]
+    Normal,
+    /// Latency-sensitive: always admitted to the next merged sub-job.
+    High,
+}
+
+/// A job submission: which file to scan, with what profile, and when.
+#[derive(Debug, Clone)]
+pub struct JobRequest {
+    /// Job identity (must be dense: request `i` has id `i`).
+    pub id: JobId,
+    /// Cost profile (shared across requests via `Arc`).
+    pub profile: Arc<JobProfile>,
+    /// Input file to scan.
+    pub file: FileId,
+    /// Submission time.
+    pub submit: SimTime,
+    /// Scheduling priority (ignored by priority-oblivious schedulers).
+    pub priority: Priority,
+}
+
+/// Runtime view of jobs that have arrived, available to schedulers.
+#[derive(Debug, Default)]
+pub struct JobTable {
+    arrived: Vec<JobRequest>,
+}
+
+impl JobTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        JobTable::default()
+    }
+
+    /// Record an arrival. The engine calls this as submit times pass;
+    /// tests and benchmarks may use it to stage a table directly.
+    ///
+    /// Arrivals must be delivered in non-decreasing submit-time order.
+    pub fn arrive(&mut self, req: JobRequest) {
+        debug_assert!(
+            self.arrived.last().is_none_or(|r| r.submit <= req.submit),
+            "arrivals must be delivered in time order"
+        );
+        self.arrived.push(req);
+    }
+
+    /// All jobs that have arrived so far, in arrival order.
+    pub fn arrived(&self) -> &[JobRequest] {
+        &self.arrived
+    }
+
+    /// Look up an arrived job.
+    ///
+    /// # Panics
+    /// Panics if the job has not arrived yet.
+    pub fn get(&self, id: JobId) -> &JobRequest {
+        self.arrived
+            .iter()
+            .find(|r| r.id == id)
+            .expect("job has not arrived")
+    }
+
+    /// Number of arrived jobs.
+    pub fn len(&self) -> usize {
+        self.arrived.len()
+    }
+
+    /// Whether no job has arrived yet.
+    pub fn is_empty(&self) -> bool {
+        self.arrived.is_empty()
+    }
+}
+
+/// Build a sequence of [`JobRequest`]s from one profile, one file, and a
+/// list of arrival times (seconds). Ids are assigned densely in order.
+pub fn requests_from_arrivals(
+    profile: &Arc<JobProfile>,
+    file: FileId,
+    arrival_secs: &[f64],
+) -> Vec<JobRequest> {
+    let mut sorted: Vec<f64> = arrival_secs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN arrival time"));
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| JobRequest {
+            id: JobId(i as u32),
+            profile: Arc::clone(profile),
+            file,
+            submit: SimTime::from_secs_f64(t),
+            priority: Priority::Normal,
+        })
+        .collect()
+}
+
+/// Like [`requests_from_arrivals`] but with an explicit priority per job
+/// (parallel to `arrival_secs` **after sorting by time**).
+pub fn requests_with_priorities(
+    profile: &Arc<JobProfile>,
+    file: FileId,
+    arrivals: &[(f64, Priority)],
+) -> Vec<JobRequest> {
+    let mut sorted: Vec<(f64, Priority)> = arrivals.to_vec();
+    sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN arrival time"));
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &(t, priority))| JobRequest {
+            id: JobId(i as u32),
+            profile: Arc::clone(profile),
+            file,
+            submit: SimTime::from_secs_f64(t),
+            priority,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> Arc<JobProfile> {
+        Arc::new(JobProfile {
+            name: "t".into(),
+            map_cpu_s_per_mb: 0.001,
+            map_output_ratio: 0.015,
+            map_output_records_per_mb: 1500.0,
+            reduce_cpu_s_per_mb: 0.001,
+            reduce_output_ratio: 0.001,
+            num_reduce_tasks: 30,
+        })
+    }
+
+    #[test]
+    fn output_volume_helpers() {
+        let p = profile();
+        let mo = p.map_output_mb(160.0 * 1024.0);
+        assert!((mo - 2457.6).abs() < 1e-9);
+        assert!((p.reduce_output_mb(mo) - 2.4576).abs() < 1e-9);
+    }
+
+    #[test]
+    fn requests_are_sorted_and_dense() {
+        let reqs = requests_from_arrivals(&profile(), FileId(0), &[30.0, 0.0, 10.0]);
+        assert_eq!(reqs.len(), 3);
+        assert_eq!(reqs[0].submit, SimTime::ZERO);
+        assert_eq!(reqs[1].submit, SimTime::from_secs(10));
+        assert_eq!(reqs[2].id, JobId(2));
+    }
+
+    #[test]
+    fn job_table_arrival_and_lookup() {
+        let mut t = JobTable::new();
+        assert!(t.is_empty());
+        let reqs = requests_from_arrivals(&profile(), FileId(0), &[0.0, 5.0]);
+        t.arrive(reqs[0].clone());
+        t.arrive(reqs[1].clone());
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(JobId(1)).submit, SimTime::from_secs(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "not arrived")]
+    fn missing_job_panics() {
+        JobTable::new().get(JobId(0));
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! # s3-mapreduce — event-driven Hadoop-style MapReduce engine model
+//!
+//! This crate models the execution layer of Hadoop 0.20 closely enough to
+//! study *scheduling*: heartbeat-driven task assignment, one-map-slot nodes,
+//! data-local scans, shuffle, and per-(sub-)job submission overheads. It
+//! runs on the deterministic event kernel from `s3-sim` over the topology
+//! and block layout from `s3-cluster` / `s3-dfs`.
+//!
+//! The scheduler under study is a plug-in: implement [`Scheduler`] and hand
+//! it to [`simulate`]. The FIFO, MRShare and S³ schedulers live in
+//! `s3-core`; this crate only provides the machinery they share:
+//!
+//! - [`JobProfile`] / [`JobRequest`] — cost description of a MapReduce job
+//!   (per-MB map CPU, output ratios, reduce counts) and its arrival time.
+//! - [`CostModel`] — the timing model: scan, map, sort/spill, shuffle,
+//!   reduce, startup and submission overheads.
+//! - [`Batch`] — a *merged* unit of execution: a set of jobs sharing one
+//!   scan over a set of blocks (a whole file for FIFO/MRShare, one segment
+//!   for S³), with map/reduce progress tracking.
+//! - [`simulate`] — the event loop producing [`RunMetrics`] (TET, ART,
+//!   per-task summaries, I/O counters).
+
+pub mod batch;
+pub mod cost;
+pub mod engine;
+pub mod job;
+pub mod metrics;
+pub mod scheduler;
+pub mod svg;
+pub mod task;
+pub mod trace;
+
+pub use batch::{Batch, BatchKey};
+pub use cost::CostModel;
+pub use engine::{simulate, simulate_traced, EngineConfig, SimError, SpeculationConfig};
+pub use job::{JobId, JobProfile, JobRequest, JobTable, Priority};
+pub use metrics::{JobOutcome, RunMetrics};
+pub use scheduler::{SchedCtx, Scheduler};
+pub use task::{Locality, MapTaskSpec, ReduceTaskSpec};
+pub use svg::{render_svg, SvgOptions};
+pub use trace::{Trace, TraceEvent, TraceKind};

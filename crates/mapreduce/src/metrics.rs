@@ -1,0 +1,228 @@
+//! Run metrics: the paper's TET and ART plus task-level summaries.
+
+use crate::job::JobId;
+use s3_sim::{Accumulator, SimDuration, SimTime, Summary};
+use serde::{Deserialize, Serialize};
+
+/// Submission and completion record of one job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobOutcome {
+    /// The job.
+    pub job: JobId,
+    /// When it was submitted.
+    pub submitted: SimTime,
+    /// When its last task finished (its results became available).
+    pub completed: SimTime,
+}
+
+impl JobOutcome {
+    /// The job's response time (submission to completion).
+    pub fn response(&self) -> SimDuration {
+        self.completed.saturating_since(self.submitted)
+    }
+}
+
+/// Everything measured over one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Name of the scheduler that produced this run.
+    pub scheduler: String,
+    /// Per-job outcomes in job-id order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Map task duration statistics.
+    pub map_task_time: Summary,
+    /// Reduce task duration statistics.
+    pub reduce_task_time: Summary,
+    /// Number of block scans actually performed.
+    pub blocks_read: u64,
+    /// MB actually read from storage.
+    pub mb_read: f64,
+    /// MB that would have been read had every job scanned alone
+    /// (`Σ block_mb × jobs_sharing_the_scan`): the shared-scan saving is
+    /// `logical_mb_scanned - mb_read`.
+    pub logical_mb_scanned: f64,
+    /// Number of map tasks by locality: (node-local, rack-local, off-rack).
+    pub locality_counts: (u64, u64, u64),
+    /// Speculative backup attempts launched (0 unless speculation enabled).
+    pub speculative_attempts: u64,
+    /// Backup attempts that finished before the original.
+    pub speculative_wins: u64,
+    /// Attempts (original or backup) whose work was discarded because a
+    /// rival finished first.
+    pub speculative_wasted: u64,
+    /// Task attempts lost to TaskTracker deaths and re-executed.
+    pub tasks_failed: u64,
+    /// Simulated instant the run finished.
+    pub sim_end: SimTime,
+}
+
+impl RunMetrics {
+    /// Total execution time: first submission to last completion
+    /// (Section III-B).
+    pub fn tet(&self) -> SimDuration {
+        let first = self.outcomes.iter().map(|o| o.submitted).min();
+        let last = self.outcomes.iter().map(|o| o.completed).max();
+        match (first, last) {
+            (Some(f), Some(l)) => l.saturating_since(f),
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// Average response time: mean of per-job submission-to-completion
+    /// intervals (Section III-B).
+    pub fn art(&self) -> SimDuration {
+        if self.outcomes.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let total: SimDuration = self.outcomes.iter().map(|o| o.response()).sum();
+        total / self.outcomes.len() as u64
+    }
+
+    /// MB of scanning avoided by sharing.
+    pub fn mb_saved(&self) -> f64 {
+        (self.logical_mb_scanned - self.mb_read).max(0.0)
+    }
+
+    /// Fraction of node-local map tasks.
+    pub fn locality_rate(&self) -> f64 {
+        let (l, r, o) = self.locality_counts;
+        let total = l + r + o;
+        if total == 0 {
+            0.0
+        } else {
+            l as f64 / total as f64
+        }
+    }
+}
+
+/// Builder used by the engine while a run is in flight.
+#[derive(Debug, Default)]
+pub(crate) struct MetricsBuilder {
+    pub scheduler: String,
+    pub submissions: Vec<(JobId, SimTime)>,
+    pub completions: Vec<(JobId, SimTime)>,
+    pub map_acc: Accumulator,
+    pub reduce_acc: Accumulator,
+    pub blocks_read: u64,
+    pub mb_read: f64,
+    pub logical_mb_scanned: f64,
+    pub locality_counts: (u64, u64, u64),
+    pub speculative_attempts: u64,
+    pub speculative_wins: u64,
+    pub speculative_wasted: u64,
+    pub tasks_failed: u64,
+}
+
+impl MetricsBuilder {
+    pub fn finish(self, sim_end: SimTime) -> RunMetrics {
+        let mut outcomes: Vec<JobOutcome> = self
+            .submissions
+            .iter()
+            .filter_map(|&(job, submitted)| {
+                self.completions
+                    .iter()
+                    .find(|&&(j, _)| j == job)
+                    .map(|&(_, completed)| JobOutcome {
+                        job,
+                        submitted,
+                        completed,
+                    })
+            })
+            .collect();
+        outcomes.sort_by_key(|o| o.job);
+        RunMetrics {
+            scheduler: self.scheduler,
+            outcomes,
+            map_task_time: self.map_acc.summary(),
+            reduce_task_time: self.reduce_acc.summary(),
+            blocks_read: self.blocks_read,
+            mb_read: self.mb_read,
+            logical_mb_scanned: self.logical_mb_scanned,
+            locality_counts: self.locality_counts,
+            speculative_attempts: self.speculative_attempts,
+            speculative_wins: self.speculative_wins,
+            speculative_wasted: self.speculative_wasted,
+            tasks_failed: self.tasks_failed,
+            sim_end,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(job: u32, sub: u64, done: u64) -> JobOutcome {
+        JobOutcome {
+            job: JobId(job),
+            submitted: SimTime::from_secs(sub),
+            completed: SimTime::from_secs(done),
+        }
+    }
+
+    fn metrics(outcomes: Vec<JobOutcome>) -> RunMetrics {
+        RunMetrics {
+            scheduler: "test".into(),
+            outcomes,
+            map_task_time: Accumulator::new().summary(),
+            reduce_task_time: Accumulator::new().summary(),
+            blocks_read: 10,
+            mb_read: 640.0,
+            logical_mb_scanned: 1280.0,
+            locality_counts: (8, 1, 1),
+            speculative_attempts: 0,
+            speculative_wins: 0,
+            speculative_wasted: 0,
+            tasks_failed: 0,
+            sim_end: SimTime::from_secs(100),
+        }
+    }
+
+    #[test]
+    fn paper_example_1_fifo() {
+        // Example 1: two 100s jobs, arrivals {0, 20}, FIFO:
+        // TET = 200, ART = 140 (J1: 100, J2: 180).
+        let m = metrics(vec![outcome(0, 0, 100), outcome(1, 20, 200)]);
+        assert_eq!(m.tet(), SimDuration::from_secs(200));
+        assert_eq!(m.art(), SimDuration::from_secs(140));
+    }
+
+    #[test]
+    fn paper_example_1_s3() {
+        // Example 3: S3 gives TET = 120, ART = 100 (both jobs respond in
+        // 100s; J2 completes at 120).
+        let m = metrics(vec![outcome(0, 0, 100), outcome(1, 20, 120)]);
+        assert_eq!(m.tet(), SimDuration::from_secs(120));
+        assert_eq!(m.art(), SimDuration::from_secs(100));
+    }
+
+    #[test]
+    fn sharing_saving() {
+        let m = metrics(vec![outcome(0, 0, 1)]);
+        assert_eq!(m.mb_saved(), 640.0);
+        assert!((m.locality_rate() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_is_zeroes() {
+        let m = metrics(vec![]);
+        assert_eq!(m.tet(), SimDuration::ZERO);
+        assert_eq!(m.art(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn builder_joins_submissions_and_completions() {
+        let mut b = MetricsBuilder {
+            scheduler: "x".into(),
+            ..Default::default()
+        };
+        b.submissions.push((JobId(1), SimTime::from_secs(5)));
+        b.submissions.push((JobId(0), SimTime::ZERO));
+        b.completions.push((JobId(0), SimTime::from_secs(50)));
+        b.completions.push((JobId(1), SimTime::from_secs(60)));
+        let m = b.finish(SimTime::from_secs(60));
+        assert_eq!(m.outcomes.len(), 2);
+        assert_eq!(m.outcomes[0].job, JobId(0));
+        assert_eq!(m.outcomes[1].response(), SimDuration::from_secs(55));
+    }
+}

@@ -1,0 +1,137 @@
+//! The scheduler plug-in interface.
+//!
+//! The engine drives a [`Scheduler`] through Hadoop-shaped hooks: job
+//! arrivals, per-heartbeat task assignment (pull style — the engine asks on
+//! behalf of a node with a free slot), task completions, and requested
+//! timer wakeups. The scheduler reports job completion through the context;
+//! the engine never guesses when a job is done, because only the scheduler
+//! knows how a job was split and merged.
+
+use crate::cost::CostModel;
+use crate::job::{JobId, JobTable};
+use crate::task::{MapTaskSpec, ReduceTaskSpec};
+use s3_cluster::{ClusterTopology, NodeId, SlowdownSchedule};
+use s3_dfs::Dfs;
+use s3_sim::SimTime;
+
+/// Effects a scheduler wants the engine to apply after the current hook.
+#[derive(Debug, Default)]
+pub(crate) struct Outbox {
+    pub completed_jobs: Vec<JobId>,
+    pub wakeups: Vec<SimTime>,
+}
+
+/// Read access to the simulated world plus an outbox for effects.
+pub struct SchedCtx<'a> {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// Cluster topology.
+    pub cluster: &'a ClusterTopology,
+    /// Dynamic slowdown schedule (what *periodic slot checking* observes).
+    pub slowdowns: &'a SlowdownSchedule,
+    /// The block store.
+    pub dfs: &'a Dfs,
+    /// The timing model (schedulers may estimate durations).
+    pub cost: &'a CostModel,
+    /// Jobs that have arrived so far.
+    pub jobs: &'a JobTable,
+    pub(crate) outbox: &'a mut Outbox,
+}
+
+impl<'a> SchedCtx<'a> {
+    /// Declare `job` finished (all of its work is done). The engine records
+    /// the completion timestamp.
+    pub fn complete_job(&mut self, job: JobId) {
+        self.outbox.completed_jobs.push(job);
+    }
+
+    /// Ask for an [`Scheduler::on_wakeup`] call at absolute time `at`
+    /// (clamped to now if in the past).
+    pub fn request_wakeup(&mut self, at: SimTime) {
+        self.outbox.wakeups.push(at.max(self.now));
+    }
+
+    /// Effective speed of `node` right now: static spec factor times the
+    /// dynamic slowdown profile.
+    pub fn effective_speed(&self, node: NodeId) -> f64 {
+        let spec = self.cluster.node(node).spec.speed_factor;
+        spec * self.slowdowns.factor_at(node, self.now)
+    }
+
+    /// Total concurrent map slots in the cluster — the paper's `m`.
+    pub fn map_slots(&self) -> u32 {
+        self.cluster.total_map_slots()
+    }
+}
+
+/// A pluggable job scheduler (FIFO, MRShare, S³, ...).
+pub trait Scheduler {
+    /// Short name used in reports ("FIFO", "MRS1", "S3", ...).
+    fn name(&self) -> String;
+
+    /// A new job has been submitted.
+    fn on_job_arrival(&mut self, ctx: &mut SchedCtx<'_>, job: JobId);
+
+    /// `node` has a free map slot: return a map task for it, or `None`.
+    fn assign_map(&mut self, ctx: &mut SchedCtx<'_>, node: NodeId) -> Option<MapTaskSpec>;
+
+    /// `node` has a free reduce slot: return a reduce task, or `None`.
+    fn assign_reduce(&mut self, ctx: &mut SchedCtx<'_>, node: NodeId) -> Option<ReduceTaskSpec>;
+
+    /// A map task previously assigned has finished.
+    fn on_map_complete(&mut self, ctx: &mut SchedCtx<'_>, node: NodeId, spec: &MapTaskSpec);
+
+    /// A reduce task previously assigned has finished.
+    fn on_reduce_complete(&mut self, ctx: &mut SchedCtx<'_>, node: NodeId, spec: &ReduceTaskSpec);
+
+    /// A map attempt was lost (its TaskTracker died). The scheduler must
+    /// arrange re-execution. The default implementation panics: schedulers
+    /// that support failure injection override it.
+    fn on_map_failed(&mut self, _ctx: &mut SchedCtx<'_>, node: NodeId, _spec: &MapTaskSpec) {
+        panic!("{}: map attempt lost on dead {node} but this scheduler does not handle failures",
+               self.name());
+    }
+
+    /// A reduce attempt was lost. See [`Scheduler::on_map_failed`].
+    fn on_reduce_failed(&mut self, _ctx: &mut SchedCtx<'_>, node: NodeId, _spec: &ReduceTaskSpec) {
+        panic!("{}: reduce attempt lost on dead {node} but this scheduler does not handle failures",
+               self.name());
+    }
+
+    /// A wakeup requested through [`SchedCtx::request_wakeup`] fired.
+    fn on_wakeup(&mut self, _ctx: &mut SchedCtx<'_>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_outbox_collects_effects() {
+        let cluster = ClusterTopology::paper_cluster();
+        let slowdowns = SlowdownSchedule::none();
+        let dfs = Dfs::new();
+        let cost = CostModel::deterministic();
+        let jobs = JobTable::new();
+        let mut outbox = Outbox::default();
+        let mut ctx = SchedCtx {
+            now: SimTime::from_secs(10),
+            cluster: &cluster,
+            slowdowns: &slowdowns,
+            dfs: &dfs,
+            cost: &cost,
+            jobs: &jobs,
+            outbox: &mut outbox,
+        };
+        ctx.complete_job(JobId(3));
+        ctx.request_wakeup(SimTime::from_secs(5)); // past: clamped to now
+        ctx.request_wakeup(SimTime::from_secs(20));
+        assert_eq!(ctx.map_slots(), 40);
+        assert_eq!(ctx.effective_speed(NodeId(0)), 1.0);
+        assert_eq!(outbox.completed_jobs, vec![JobId(3)]);
+        assert_eq!(
+            outbox.wakeups,
+            vec![SimTime::from_secs(10), SimTime::from_secs(20)]
+        );
+    }
+}

@@ -1,0 +1,207 @@
+//! SVG Gantt rendering of execution traces.
+//!
+//! One horizontal lane per node; map tasks draw as blue bars, reduces as
+//! orange, failed attempts hatched red; job submissions and completions as
+//! vertical markers. Pure string generation — no dependencies, viewable in
+//! any browser.
+
+use crate::trace::{Trace, TraceKind};
+use s3_cluster::NodeId;
+use std::fmt::Write as _;
+
+/// Options for [`render_svg`].
+#[derive(Debug, Clone)]
+pub struct SvgOptions {
+    /// Drawing width in pixels (time axis).
+    pub width: u32,
+    /// Height of one node lane in pixels.
+    pub lane_height: u32,
+    /// Title printed above the chart.
+    pub title: String,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            width: 1200,
+            lane_height: 14,
+            title: String::from("execution timeline"),
+        }
+    }
+}
+
+const MARGIN_LEFT: u32 = 70;
+const MARGIN_TOP: u32 = 40;
+const MARGIN_BOTTOM: u32 = 24;
+
+/// Render `trace` as an SVG document with one lane per listed node.
+pub fn render_svg(trace: &Trace, nodes: &[NodeId], opts: &SvgOptions) -> String {
+    let mut out = String::new();
+    let height = MARGIN_TOP + nodes.len() as u32 * opts.lane_height + MARGIN_BOTTOM;
+    let total_w = MARGIN_LEFT + opts.width + 20;
+
+    let (t0, t1) = match (trace.events().first(), trace.events().last()) {
+        (Some(a), Some(b)) => (a.at.as_secs_f64(), b.at.as_secs_f64()),
+        _ => (0.0, 1.0),
+    };
+    let span = (t1 - t0).max(1e-9);
+    let x_of = |t: f64| -> f64 { MARGIN_LEFT as f64 + (t - t0) / span * opts.width as f64 };
+
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{total_w}" height="{height}" font-family="monospace" font-size="10">"#
+    );
+    let _ = writeln!(
+        out,
+        r#"<text x="{MARGIN_LEFT}" y="16" font-size="13">{}</text>"#,
+        xml_escape(&opts.title)
+    );
+    let _ = writeln!(
+        out,
+        r##"<text x="{MARGIN_LEFT}" y="30" fill="#555">{t0:.1}s .. {t1:.1}s &#8226; blue=map orange=reduce red=failed</text>"##
+    );
+
+    // Lanes and bars.
+    for (row, &node) in nodes.iter().enumerate() {
+        let y = MARGIN_TOP + row as u32 * opts.lane_height;
+        let bar_h = opts.lane_height.saturating_sub(3).max(2);
+        let _ = writeln!(
+            out,
+            r##"<text x="4" y="{}" fill="#333">{}</text>"##,
+            y + bar_h,
+            node
+        );
+        let _ = writeln!(
+            out,
+            r##"<line x1="{MARGIN_LEFT}" y1="{}" x2="{}" y2="{}" stroke="#eee"/>"##,
+            y + bar_h + 1,
+            MARGIN_LEFT + opts.width,
+            y + bar_h + 1
+        );
+        for (s, e) in trace.map_intervals_on(node) {
+            let x = x_of(s.as_secs_f64());
+            let w = (x_of(e.as_secs_f64()) - x).max(0.5);
+            let _ = writeln!(
+                out,
+                r##"<rect x="{x:.1}" y="{y}" width="{w:.1}" height="{bar_h}" fill="#4878a8" fill-opacity="0.85"/>"##
+            );
+        }
+        for (s, e) in trace.reduce_intervals_on(node) {
+            let x = x_of(s.as_secs_f64());
+            let w = (x_of(e.as_secs_f64()) - x).max(0.5);
+            let _ = writeln!(
+                out,
+                r##"<rect x="{x:.1}" y="{y}" width="{w:.1}" height="{bar_h}" fill="#d8841f" fill-opacity="0.7"/>"##
+            );
+        }
+    }
+
+    // Failure markers.
+    for e in trace.events() {
+        if matches!(e.kind, TraceKind::MapFailed | TraceKind::ReduceFailed) {
+            if let Some(node) = e.node {
+                if let Some(row) = nodes.iter().position(|&n| n == node) {
+                    let y = MARGIN_TOP + row as u32 * opts.lane_height;
+                    let x = x_of(e.at.as_secs_f64());
+                    let _ = writeln!(
+                        out,
+                        r##"<rect x="{:.1}" y="{y}" width="3" height="{}" fill="#c03030"/>"##,
+                        x - 1.5,
+                        opts.lane_height.saturating_sub(3).max(2)
+                    );
+                }
+            }
+        }
+    }
+
+    // Job lifecycle markers along the top.
+    for e in trace.events() {
+        let (color, label) = match e.kind {
+            TraceKind::JobSubmitted => ("#3a9a3a", "+"),
+            TraceKind::JobCompleted => ("#9a3a9a", "*"),
+            _ => continue,
+        };
+        let x = x_of(e.at.as_secs_f64());
+        let _ = writeln!(
+            out,
+            r##"<text x="{x:.1}" y="{}" fill="{color}">{label}</text>"##,
+            MARGIN_TOP - 4
+        );
+    }
+
+    // Time axis ticks.
+    for i in 0..=8 {
+        let t = t0 + span * i as f64 / 8.0;
+        let x = x_of(t);
+        let y = height - MARGIN_BOTTOM + 12;
+        let _ = writeln!(out, r##"<text x="{x:.1}" y="{y}" fill="#555">{t:.0}s</text>"##);
+    }
+
+    out.push_str("</svg>\n");
+    out
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceEvent;
+    use s3_sim::SimTime;
+
+    fn demo_trace() -> Trace {
+        let mut t = Trace::new();
+        let ev = |at: u64, kind, node: Option<u32>| TraceEvent {
+            at: SimTime::from_secs(at),
+            kind,
+            node: node.map(NodeId),
+            jobs: vec![crate::JobId(0)],
+            batch: None,
+        };
+        t.push(ev(0, TraceKind::JobSubmitted, None));
+        t.push(ev(1, TraceKind::MapStart, Some(0)));
+        t.push(ev(5, TraceKind::MapEnd, Some(0)));
+        t.push(ev(5, TraceKind::ReduceStart, Some(1)));
+        t.push(ev(6, TraceKind::MapStart, Some(1)));
+        t.push(ev(8, TraceKind::MapFailed, Some(1)));
+        t.push(ev(9, TraceKind::ReduceEnd, Some(1)));
+        t.push(ev(9, TraceKind::JobCompleted, None));
+        t
+    }
+
+    #[test]
+    fn svg_contains_expected_elements() {
+        let svg = render_svg(
+            &demo_trace(),
+            &[NodeId(0), NodeId(1)],
+            &SvgOptions::default(),
+        );
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("#4878a8"), "map bar color present");
+        assert!(svg.contains("#d8841f"), "reduce bar color present");
+        assert!(svg.contains("#c03030"), "failure marker present");
+        assert!(svg.contains("node0") && svg.contains("node1"));
+    }
+
+    #[test]
+    fn empty_trace_renders_valid_svg() {
+        let svg = render_svg(&Trace::new(), &[NodeId(0)], &SvgOptions::default());
+        assert!(svg.starts_with("<svg") && svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn title_is_escaped() {
+        let svg = render_svg(
+            &Trace::new(),
+            &[],
+            &SvgOptions {
+                title: "a <b> & c".into(),
+                ..SvgOptions::default()
+            },
+        );
+        assert!(svg.contains("a &lt;b&gt; &amp; c"));
+    }
+}

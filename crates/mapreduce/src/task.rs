@@ -1,0 +1,84 @@
+//! Task specifications handed from schedulers to the engine.
+
+use crate::batch::BatchKey;
+use crate::job::JobId;
+use s3_dfs::BlockId;
+use serde::{Deserialize, Serialize};
+
+/// Where a map task's input block lives relative to the executing node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Locality {
+    /// A replica is on the executing node: read from local disk.
+    NodeLocal,
+    /// Nearest replica is in the same rack: one intra-rack hop.
+    RackLocal,
+    /// Nearest replica is in another rack: core-switch hop.
+    OffRack,
+}
+
+/// A map task: one scan of one block, serving one or more jobs.
+///
+/// With a single job this is an ordinary Hadoop map task; with several it is
+/// a *shared-scan* map task (MRShare merged job, or an S³ merged sub-job):
+/// the block is read once and every job's map function runs over the
+/// records.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MapTaskSpec {
+    /// The input block.
+    pub block: BlockId,
+    /// Jobs sharing this scan (non-empty).
+    pub jobs: Vec<JobId>,
+    /// Owning batch, for progress bookkeeping.
+    pub batch: BatchKey,
+    /// Input locality from the executing node's perspective.
+    pub locality: Locality,
+}
+
+/// A reduce task of a (merged) batch: one partition of the shuffle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReduceTaskSpec {
+    /// Jobs whose intermediate data this reduce processes (non-empty).
+    pub jobs: Vec<JobId>,
+    /// Partition index within the batch (`0..num_partitions`).
+    pub partition: u32,
+    /// Shuffle input MB contributed by each job to this partition
+    /// (parallel to `jobs`).
+    pub shuffle_mb_per_job: Vec<f64>,
+    /// Fraction of the shuffle that could **not** be overlapped with the map
+    /// phase (the last map wave's share): only this part is paid after maps
+    /// finish.
+    pub unoverlapped_fraction: f64,
+    /// Owning batch.
+    pub batch: BatchKey,
+}
+
+impl ReduceTaskSpec {
+    /// Total shuffle input of this reduce across all merged jobs, MB.
+    pub fn total_shuffle_mb(&self) -> f64 {
+        self.shuffle_mb_per_job.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_total_shuffle() {
+        let r = ReduceTaskSpec {
+            jobs: vec![JobId(0), JobId(1)],
+            partition: 3,
+            shuffle_mb_per_job: vec![80.0, 40.0],
+            unoverlapped_fraction: 0.25,
+            batch: BatchKey(7),
+        };
+        assert_eq!(r.total_shuffle_mb(), 120.0);
+    }
+
+    #[test]
+    fn locality_is_ordered_by_cost_semantics() {
+        // Not an Ord impl — just document the three levels exist and differ.
+        assert_ne!(Locality::NodeLocal, Locality::RackLocal);
+        assert_ne!(Locality::RackLocal, Locality::OffRack);
+    }
+}

@@ -1,0 +1,260 @@
+//! Structured execution traces.
+//!
+//! When enabled, the engine records one [`TraceEvent`] per task start and
+//! finish plus job lifecycle points. Traces feed the ASCII timeline
+//! renderer (used by examples and debugging) and give tests a precise view
+//! of *when* and *where* work ran — e.g. "no two maps of one batch
+//! overlapped on one slot", or "S³'s sub-jobs never overlap their map
+//! phases".
+
+use crate::batch::BatchKey;
+use crate::job::JobId;
+use s3_cluster::NodeId;
+use s3_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A job was submitted.
+    JobSubmitted,
+    /// A job's results became available.
+    JobCompleted,
+    /// A map task started on a node.
+    MapStart,
+    /// A map task finished.
+    MapEnd,
+    /// A map attempt was lost to a TaskTracker death.
+    MapFailed,
+    /// A reduce task started on a node.
+    ReduceStart,
+    /// A reduce task finished.
+    ReduceEnd,
+    /// A reduce attempt was lost to a TaskTracker death.
+    ReduceFailed,
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+    /// Node involved (None for job lifecycle events).
+    pub node: Option<NodeId>,
+    /// Jobs involved: the submitted/completed job, or every job sharing a
+    /// task's scan.
+    pub jobs: Vec<JobId>,
+    /// Batch the task belonged to (None for job lifecycle events).
+    pub batch: Option<BatchKey>,
+}
+
+/// An in-memory trace.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Append an event (engine-internal, but public so custom drivers can
+    /// record into the same format).
+    pub fn push(&mut self, ev: TraceEvent) {
+        debug_assert!(
+            self.events.last().is_none_or(|last| last.at <= ev.at),
+            "trace must be appended in time order"
+        );
+        self.events.push(ev);
+    }
+
+    /// All events in time order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events of one kind.
+    pub fn of_kind(&self, kind: TraceKind) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Completed (start, end) intervals of map tasks on `node`; a failed
+    /// attempt still closes its interval (the slot was busy until the
+    /// failure was detected).
+    pub fn map_intervals_on(&self, node: NodeId) -> Vec<(SimTime, SimTime)> {
+        self.task_intervals_on(node, TraceKind::MapStart, &[TraceKind::MapEnd, TraceKind::MapFailed])
+    }
+
+    /// Completed (start, end) intervals of reduce tasks on `node`.
+    pub fn reduce_intervals_on(&self, node: NodeId) -> Vec<(SimTime, SimTime)> {
+        self.task_intervals_on(
+            node,
+            TraceKind::ReduceStart,
+            &[TraceKind::ReduceEnd, TraceKind::ReduceFailed],
+        )
+    }
+
+    fn task_intervals_on(
+        &self,
+        node: NodeId,
+        start: TraceKind,
+        ends: &[TraceKind],
+    ) -> Vec<(SimTime, SimTime)> {
+        // With one slot per kind per node in the default configuration,
+        // starts and ends alternate; pair them positionally per node.
+        let mut out = Vec::new();
+        let mut open: Vec<SimTime> = Vec::new();
+        for e in &self.events {
+            if e.node != Some(node) {
+                continue;
+            }
+            if e.kind == start {
+                open.push(e.at);
+            } else if ends.contains(&e.kind) {
+                let s = open.pop().expect("end without start");
+                out.push((s, e.at));
+            }
+        }
+        out
+    }
+
+    /// Busy fraction of `node`'s map slot between the first and last event
+    /// in the trace (0 when the trace is empty).
+    pub fn map_utilization_of(&self, node: NodeId) -> f64 {
+        let Some(first) = self.events.first().map(|e| e.at) else {
+            return 0.0;
+        };
+        let last = self.events.last().expect("non-empty").at;
+        let span = last.saturating_since(first).as_secs_f64();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self
+            .map_intervals_on(node)
+            .iter()
+            .map(|(s, e)| e.saturating_since(*s).as_secs_f64())
+            .sum();
+        (busy / span).min(1.0)
+    }
+
+    /// Render an ASCII timeline: one row per node, time bucketed into
+    /// `width` columns; `M` = map busy, `R` = reduce busy, `B` = both,
+    /// `.` = idle.
+    pub fn render_timeline(&self, nodes: &[NodeId], width: usize) -> String {
+        assert!(width > 0, "timeline needs at least one column");
+        let Some(first) = self.events.first().map(|e| e.at) else {
+            return String::from("(empty trace)\n");
+        };
+        let last = self.events.last().expect("non-empty").at;
+        let span = last.saturating_since(first).as_secs_f64().max(1e-9);
+        let bucket_of = |t: SimTime| -> usize {
+            let frac = t.saturating_since(first).as_secs_f64() / span;
+            ((frac * width as f64) as usize).min(width - 1)
+        };
+
+        let mut out = String::new();
+        out.push_str(&format!(
+            "timeline: {:.1}s .. {:.1}s ({} columns of {:.1}s)\n",
+            first.as_secs_f64(),
+            last.as_secs_f64(),
+            width,
+            span / width as f64
+        ));
+        for &node in nodes {
+            let mut row = vec![b'.'; width];
+            for (s, e) in self.map_intervals_on(node) {
+                for cell in &mut row[bucket_of(s)..=bucket_of(e)] {
+                    *cell = b'M';
+                }
+            }
+            for (s, e) in self.reduce_intervals_on(node) {
+                for cell in &mut row[bucket_of(s)..=bucket_of(e)] {
+                    *cell = if *cell == b'M' { b'B' } else { b'R' };
+                }
+            }
+            out.push_str(&format!(
+                "{:>7} |{}|\n",
+                node.to_string(),
+                String::from_utf8(row).expect("ASCII")
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at_s: u64, kind: TraceKind, node: Option<u32>) -> TraceEvent {
+        TraceEvent {
+            at: SimTime::from_secs(at_s),
+            kind,
+            node: node.map(NodeId),
+            jobs: vec![JobId(0)],
+            batch: None,
+        }
+    }
+
+    #[test]
+    fn intervals_pair_starts_and_ends() {
+        let mut t = Trace::new();
+        t.push(ev(0, TraceKind::MapStart, Some(1)));
+        t.push(ev(3, TraceKind::MapEnd, Some(1)));
+        t.push(ev(4, TraceKind::MapStart, Some(1)));
+        t.push(ev(9, TraceKind::MapEnd, Some(1)));
+        let iv = t.map_intervals_on(NodeId(1));
+        assert_eq!(
+            iv,
+            vec![
+                (SimTime::ZERO, SimTime::from_secs(3)),
+                (SimTime::from_secs(4), SimTime::from_secs(9))
+            ]
+        );
+        assert!(t.map_intervals_on(NodeId(2)).is_empty());
+    }
+
+    #[test]
+    fn utilization_is_busy_over_span() {
+        let mut t = Trace::new();
+        t.push(ev(0, TraceKind::MapStart, Some(1)));
+        t.push(ev(5, TraceKind::MapEnd, Some(1)));
+        t.push(ev(10, TraceKind::JobCompleted, None));
+        assert!((t.map_utilization_of(NodeId(1)) - 0.5).abs() < 1e-12);
+        assert_eq!(t.map_utilization_of(NodeId(2)), 0.0);
+    }
+
+    #[test]
+    fn timeline_marks_busy_cells() {
+        let mut t = Trace::new();
+        t.push(ev(0, TraceKind::MapStart, Some(0)));
+        t.push(ev(5, TraceKind::MapEnd, Some(0)));
+        t.push(ev(5, TraceKind::ReduceStart, Some(0)));
+        t.push(ev(10, TraceKind::ReduceEnd, Some(0)));
+        let s = t.render_timeline(&[NodeId(0), NodeId(1)], 10);
+        assert!(s.contains('M'));
+        assert!(s.contains('R'));
+        let idle_row = s.lines().last().unwrap();
+        assert!(idle_row.contains(".........."), "node1 is idle: {idle_row}");
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        let t = Trace::new();
+        assert_eq!(t.render_timeline(&[NodeId(0)], 5), "(empty trace)\n");
+        assert_eq!(t.map_utilization_of(NodeId(0)), 0.0);
+    }
+
+    #[test]
+    fn kind_filter() {
+        let mut t = Trace::new();
+        t.push(ev(0, TraceKind::JobSubmitted, None));
+        t.push(ev(1, TraceKind::MapStart, Some(0)));
+        assert_eq!(t.of_kind(TraceKind::JobSubmitted).count(), 1);
+        assert_eq!(t.of_kind(TraceKind::ReduceEnd).count(), 0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests for the engine model: batch lifecycle and cost
+//! monotonicity.
+
+use proptest::prelude::*;
+use s3_cluster::{ClusterTopology, NetworkModel, NodeId, NodeSpec};
+use s3_dfs::{Dfs, RoundRobinPlacement, MB};
+use s3_mapreduce::job::{requests_from_arrivals, JobProfile, JobTable};
+use s3_mapreduce::task::Locality;
+use s3_mapreduce::{Batch, BatchKey, CostModel};
+use s3_sim::SimTime;
+use std::sync::Arc;
+
+fn profile(map_cpu: f64, out_ratio: f64, reduces: u32) -> Arc<JobProfile> {
+    Arc::new(JobProfile {
+        name: "p".into(),
+        map_cpu_s_per_mb: map_cpu,
+        map_output_ratio: out_ratio,
+        map_output_records_per_mb: 1000.0,
+        reduce_cpu_s_per_mb: 0.002,
+        reduce_output_ratio: 0.01,
+        num_reduce_tasks: reduces,
+    })
+}
+
+fn world(blocks: u64, jobs: usize, reduces: u32) -> (ClusterTopology, Dfs, JobTable, Vec<s3_dfs::BlockId>) {
+    let cluster = ClusterTopology::paper_cluster();
+    let mut dfs = Dfs::new();
+    let file = dfs
+        .create_file(
+            &cluster,
+            "f",
+            blocks * 64 * MB,
+            64 * MB,
+            1,
+            &mut RoundRobinPlacement::default(),
+        )
+        .unwrap();
+    let p = profile(0.001, 0.01, reduces);
+    let mut table = JobTable::new();
+    for r in requests_from_arrivals(&p, file, &vec![0.0; jobs]) {
+        table.arrive(r);
+    }
+    let block_ids = dfs.file(file).blocks.clone();
+    (cluster, dfs, table, block_ids)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A batch hands out each block exactly once regardless of which nodes
+    /// ask in which order, then completes after exactly
+    /// total_maps + num_partitions completions.
+    #[test]
+    fn batch_hands_out_each_block_once(
+        blocks in 1u64..200,
+        jobs in 1usize..5,
+        reduces in 0u32..40,
+        ask_order in prop::collection::vec(0u32..40, 1..2000),
+    ) {
+        let (cluster, dfs, table, block_ids) = world(blocks, jobs, reduces);
+        let job_ids: Vec<_> = table.arrived().iter().map(|r| r.id).collect();
+        let mut batch = Batch::new(
+            BatchKey(0), job_ids, &block_ids, &table, &dfs, SimTime::ZERO, 40,
+        );
+
+        let mut handed = Vec::new();
+        let mut asks = ask_order.iter().cycle();
+        // Keep asking until exhausted; bound iterations defensively.
+        for _ in 0..(blocks as usize * 50 + ask_order.len()) {
+            if batch.maps_exhausted() {
+                break;
+            }
+            let node = NodeId(*asks.next().unwrap());
+            if let Some(spec) = batch.next_map_for(node, SimTime::ZERO, &dfs, &cluster) {
+                handed.push(spec.block);
+            }
+        }
+        prop_assert!(batch.maps_exhausted(), "all maps must eventually hand out");
+        prop_assert_eq!(handed.len() as u64, blocks);
+        let mut sorted: Vec<u32> = handed.iter().map(|b| b.0).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len() as u64, blocks, "no block handed twice");
+
+        // Complete all maps, then all reduces.
+        for _ in 0..blocks {
+            batch.on_map_done();
+        }
+        prop_assert!(batch.maps_complete());
+        let mut reduce_count = 0;
+        while let Some(spec) = batch.next_reduce(SimTime::ZERO) {
+            prop_assert!(spec.partition < reduces.max(1) || reduces == 0);
+            reduce_count += 1;
+        }
+        prop_assert_eq!(reduce_count, reduces);
+        for i in 0..reduces {
+            let done = batch.on_reduce_done();
+            prop_assert_eq!(done, i + 1 == reduces);
+        }
+        prop_assert!(batch.is_complete());
+    }
+
+    /// Map task cost is monotone in block size, merged-job count, and
+    /// locality distance.
+    #[test]
+    fn map_cost_is_monotone(
+        block_mb in 1.0f64..512.0,
+        extra_mb in 0.1f64..256.0,
+        n in 1usize..10,
+    ) {
+        let cm = CostModel::deterministic();
+        let node = NodeSpec::default();
+        let net = NetworkModel::one_gbps();
+        let p = profile(0.001, 0.01, 30);
+        let profs: Vec<&JobProfile> = std::iter::repeat_n(&*p, n).collect();
+        let more_profs: Vec<&JobProfile> = std::iter::repeat_n(&*p, n + 1).collect();
+
+        let base = cm.map_task_secs(block_mb, Locality::NodeLocal, &profs, &node, &net);
+        let bigger = cm.map_task_secs(block_mb + extra_mb, Locality::NodeLocal, &profs, &node, &net);
+        prop_assert!(bigger > base, "bigger block must cost more");
+
+        let merged = cm.map_task_secs(block_mb, Locality::NodeLocal, &more_profs, &node, &net);
+        prop_assert!(merged > base, "more jobs must cost more");
+        // ...but far less than a second scan.
+        let two_scans = 2.0 * base;
+        prop_assert!(merged < two_scans, "sharing must beat rescanning");
+
+        let rack = cm.map_task_secs(block_mb, Locality::RackLocal, &profs, &node, &net);
+        let off = cm.map_task_secs(block_mb, Locality::OffRack, &profs, &node, &net);
+        prop_assert!(base <= rack && rack <= off);
+    }
+
+    /// Reduce cost is monotone in shuffle volume and never below startup.
+    #[test]
+    fn reduce_cost_is_monotone(mb in 0.0f64..2000.0, extra in 0.1f64..500.0, frac in 0.0f64..1.0) {
+        let cm = CostModel::deterministic();
+        let node = NodeSpec::default();
+        let net = NetworkModel::one_gbps();
+        let p = profile(0.001, 0.01, 30);
+        let a = cm.reduce_task_secs(&[mb], &[&p], frac, &node, &net);
+        let b = cm.reduce_task_secs(&[mb + extra], &[&p], frac, &node, &net);
+        prop_assert!(b > a);
+        prop_assert!(a >= cm.reduce_task_startup_s);
+    }
+
+    /// Submission overhead is affine in task count.
+    #[test]
+    fn submit_overhead_is_affine(a in 0usize..10_000, b in 0usize..10_000) {
+        let cm = CostModel::default();
+        let f = |n: usize| cm.submit_overhead_secs(n);
+        prop_assert!((f(a + b) - (f(a) + f(b) - f(0))).abs() < 1e-9);
+        prop_assert!(f(a) >= cm.job_submit_overhead_s);
+    }
+}

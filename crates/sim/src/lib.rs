@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # s3-sim — deterministic discrete-event simulation kernel
+//!
+//! This crate provides the simulation substrate that the MapReduce cluster
+//! model (`s3-mapreduce`) runs on. It deliberately contains **no** domain
+//! knowledge: only simulated time, an event calendar with deterministic
+//! tie-breaking, seeded random number utilities, and summary statistics.
+//!
+//! Everything is reproducible: two runs with the same seed produce the same
+//! event trace bit-for-bit. Wall-clock time is never consulted.
+//!
+//! ```
+//! use s3_sim::{EventQueue, SimTime, SimDuration};
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.schedule(SimTime::ZERO + SimDuration::from_secs_f64(2.0), "later");
+//! q.schedule(SimTime::ZERO, "now");
+//! let (t0, e0) = q.pop().unwrap();
+//! assert_eq!((t0, e0), (SimTime::ZERO, "now"));
+//! ```
+
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use event::{EventQueue, ScheduledEvent};
+pub use rng::SimRng;
+pub use stats::{Accumulator, Histogram, Summary};
+pub use time::{SimDuration, SimTime};

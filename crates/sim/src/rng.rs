@@ -1,0 +1,223 @@
+//! Seeded random number utilities.
+//!
+//! A thin wrapper over [`rand::rngs::SmallRng`] plus the handful of
+//! distributions the simulator and workload generators need (normal,
+//! lognormal, exponential, Zipf) implemented locally so the dependency
+//! surface stays at `rand` alone.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Deterministic RNG for simulations and workload generation.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Create from a 64-bit seed. Equal seeds yield identical streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive an independent child stream; used to give each component
+    /// (cluster noise, arrivals, data generation) its own stream so adding
+    /// draws in one place does not perturb another.
+    pub fn fork(&mut self, salt: u64) -> SimRng {
+        let s = self.inner.gen::<u64>() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SimRng::seed_from_u64(s)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "uniform bounds inverted");
+        lo + (hi - lo) * self.unit()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index() needs a non-empty range");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Standard normal via Box–Muller.
+    pub fn standard_normal(&mut self) -> f64 {
+        // Avoid ln(0).
+        let u1 = (1.0 - self.unit()).max(f64::MIN_POSITIVE);
+        let u2 = self.unit();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "negative standard deviation");
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Multiplicative noise factor: lognormal with unit median and the given
+    /// sigma, clamped to `[1/limit, limit]`. Used for task-duration jitter.
+    pub fn noise_factor(&mut self, sigma: f64, limit: f64) -> f64 {
+        assert!(limit >= 1.0, "noise limit must be >= 1");
+        let f = (sigma * self.standard_normal()).exp();
+        f.clamp(1.0 / limit, limit)
+    }
+
+    /// Exponential with the given rate (mean = 1/rate). Used for Poisson
+    /// inter-arrival times.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "exponential rate must be positive");
+        let u = (1.0 - self.unit()).max(f64::MIN_POSITIVE);
+        -u.ln() / rate
+    }
+
+    /// Zipf-distributed rank in `[0, n)` with exponent `s`, via inverse-CDF
+    /// over precomputed weights. O(log n) per draw after an O(n) setup held
+    /// by the caller through [`ZipfTable`].
+    pub fn zipf(&mut self, table: &ZipfTable) -> usize {
+        table.sample(self)
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+/// Precomputed cumulative weights for Zipf sampling.
+#[derive(Debug, Clone)]
+pub struct ZipfTable {
+    cdf: Vec<f64>,
+}
+
+impl ZipfTable {
+    /// Build a table for ranks `0..n` with exponent `s > 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf support must be non-empty");
+        assert!(s > 0.0, "Zipf exponent must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfTable { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the table is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.unit();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("CDF contains NaN"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forks_are_independent_but_deterministic() {
+        let mut root1 = SimRng::seed_from_u64(7);
+        let mut root2 = SimRng::seed_from_u64(7);
+        let mut f1 = root1.fork(1);
+        let mut f2 = root2.fork(1);
+        assert_eq!(f1.next_u64(), f2.next_u64());
+        let mut g = root1.fork(2);
+        assert_ne!(f1.next_u64(), g.next_u64());
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let mut rng = SimRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.uniform(3.0, 5.0);
+            assert!((3.0..5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn normal_mean_and_spread_are_plausible() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn noise_factor_is_clamped() {
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let f = rng.noise_factor(0.5, 2.0);
+            assert!((0.5..=2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let n = 20_000;
+        let mean = (0..n).map(|_| rng.exponential(0.5)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn zipf_is_head_heavy() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let table = ZipfTable::new(1000, 1.1);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..50_000 {
+            counts[rng.zipf(&table)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[999] * 10);
+        // Every draw is within the support.
+        assert_eq!(counts.iter().map(|&c| c as u64).sum::<u64>(), 50_000);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the simulation kernel.
+
+use proptest::prelude::*;
+use s3_sim::stats::percentile;
+use s3_sim::{Accumulator, EventQueue, SimDuration, SimRng, SimTime};
+
+proptest! {
+    /// Events pop in non-decreasing time order, and same-time events pop
+    /// in insertion order, for any schedule.
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(times in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), i);
+        }
+        let mut popped: Vec<(SimTime, usize)> = Vec::new();
+        while let Some(x) = q.pop() {
+            popped.push(x);
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
+            }
+        }
+    }
+
+    /// The clock equals the time of the last popped event and never goes
+    /// backwards, even with interleaved scheduling.
+    #[test]
+    fn clock_is_monotone(delays in prop::collection::vec(0u64..10_000, 1..100)) {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, 0u32);
+        let mut last = SimTime::ZERO;
+        for &d in &delays {
+            let Some((t, _)) = q.pop() else { break };
+            prop_assert!(t >= last);
+            last = t;
+            q.schedule_in(SimDuration::from_micros(d), 1u32);
+        }
+    }
+
+    /// SimTime arithmetic: (t + d) - d == t and (t + d) - t == d.
+    #[test]
+    fn time_arithmetic_roundtrips(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let time = SimTime::from_micros(t);
+        let dur = SimDuration::from_micros(d);
+        prop_assert_eq!((time + dur) - dur, time);
+        prop_assert_eq!((time + dur) - time, dur);
+        prop_assert_eq!(time.saturating_since(time + dur), SimDuration::ZERO);
+    }
+
+    /// Accumulator mean is bounded by min/max and matches a direct sum.
+    #[test]
+    fn accumulator_matches_naive(xs in prop::collection::vec(-1e6f64..1e6, 1..300)) {
+        let mut acc = Accumulator::new();
+        for &x in &xs {
+            acc.push(x);
+        }
+        let naive = xs.iter().sum::<f64>() / xs.len() as f64;
+        prop_assert!((acc.mean() - naive).abs() < 1e-6 * (1.0 + naive.abs()));
+        prop_assert!(acc.min().unwrap() <= acc.mean() + 1e-9);
+        prop_assert!(acc.max().unwrap() >= acc.mean() - 1e-9);
+        prop_assert_eq!(acc.count(), xs.len() as u64);
+    }
+
+    /// Percentiles are monotone in p and bracketed by the extremes.
+    #[test]
+    fn percentile_is_monotone(mut xs in prop::collection::vec(-1e6f64..1e6, 1..200),
+                              p1 in 0.0f64..100.0, p2 in 0.0f64..100.0) {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (lo, hi) = (p1.min(p2), p1.max(p2));
+        let v_lo = percentile(&xs, lo);
+        let v_hi = percentile(&xs, hi);
+        prop_assert!(v_lo <= v_hi + 1e-9);
+        prop_assert!(*xs.first().unwrap() <= v_lo + 1e-9);
+        prop_assert!(*xs.last().unwrap() >= v_hi - 1e-9);
+    }
+
+    /// noise_factor stays within the clamp for any sigma/limit.
+    #[test]
+    fn noise_factor_is_clamped(seed in any::<u64>(), sigma in 0.0f64..2.0, limit in 1.0f64..8.0) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            let f = rng.noise_factor(sigma, limit);
+            prop_assert!(f >= 1.0 / limit - 1e-12 && f <= limit + 1e-12);
+        }
+    }
+
+    /// Forked streams with equal salts from equal parents are equal;
+    /// the parent's own stream stays deterministic.
+    #[test]
+    fn rng_forks_are_reproducible(seed in any::<u64>(), salt in any::<u64>()) {
+        let mut a = SimRng::seed_from_u64(seed);
+        let mut b = SimRng::seed_from_u64(seed);
+        let mut fa = a.fork(salt);
+        let mut fb = b.fork(salt);
+        for _ in 0..10 {
+            prop_assert_eq!(fa.unit().to_bits(), fb.unit().to_bits());
+        }
+        prop_assert_eq!(a.unit().to_bits(), b.unit().to_bits());
+    }
+}

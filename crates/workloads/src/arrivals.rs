@@ -1,0 +1,198 @@
+//! Job arrival patterns (Section III's dense vs sparse, Figure 1).
+//!
+//! The paper's experiments submit 10 jobs either densely (back to back) or
+//! sparsely (three groups of 3–4 jobs with idle gaps between groups). The
+//! presets here are tuned so that, with the normal wordcount profile on the
+//! paper cluster (~240 s per job), the sparse pattern's inter-group gap is
+//! smaller than a group's FIFO drain time — the backlog regime the paper's
+//! FIFO ratios imply — while S³ clears each group before the next arrives.
+
+use s3_sim::SimRng;
+
+/// A named arrival pattern producing submit times in seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalPattern {
+    /// `n` jobs, consecutive submissions `spacing_s` apart.
+    Dense {
+        /// Number of jobs.
+        n: usize,
+        /// Seconds between consecutive submissions.
+        spacing_s: f64,
+    },
+    /// Groups of jobs: group `i` starts at `group_gap_s * i`; within a
+    /// group, jobs are `spacing_s` apart.
+    SparseGroups {
+        /// Jobs per group.
+        group_sizes: Vec<usize>,
+        /// Seconds between group starts.
+        group_gap_s: f64,
+        /// Seconds between jobs within a group.
+        spacing_s: f64,
+    },
+    /// `n` jobs with exponential inter-arrival times of the given mean.
+    Poisson {
+        /// Number of jobs.
+        n: usize,
+        /// Mean seconds between arrivals.
+        mean_gap_s: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Explicit arrival times.
+    Explicit(Vec<f64>),
+}
+
+impl ArrivalPattern {
+    /// The paper's dense pattern: 10 jobs, 2 s apart.
+    pub fn paper_dense() -> Self {
+        ArrivalPattern::Dense {
+            n: 10,
+            spacing_s: 2.0,
+        }
+    }
+
+    /// The paper's sparse pattern: 10 jobs in three groups (3/3/4), groups
+    /// 300 s apart, 30 s between jobs within a group. The gap is slightly
+    /// below a group's processing time, so consecutive groups overlap on
+    /// the cluster — the backlog regime the paper's FIFO ratios imply, and
+    /// the regime where S³'s cross-group sharing pays off.
+    pub fn paper_sparse() -> Self {
+        ArrivalPattern::SparseGroups {
+            group_sizes: vec![3, 3, 4],
+            group_gap_s: 300.0,
+            spacing_s: 30.0,
+        }
+    }
+
+    /// Materialize the arrival times (sorted, starting at 0).
+    pub fn times(&self) -> Vec<f64> {
+        match self {
+            ArrivalPattern::Dense { n, spacing_s } => {
+                assert!(*n > 0, "need at least one job");
+                assert!(*spacing_s >= 0.0, "negative spacing");
+                (0..*n).map(|i| i as f64 * spacing_s).collect()
+            }
+            ArrivalPattern::SparseGroups {
+                group_sizes,
+                group_gap_s,
+                spacing_s,
+            } => {
+                assert!(!group_sizes.is_empty(), "need at least one group");
+                assert!(group_sizes.iter().all(|&g| g > 0), "empty group");
+                let mut out = Vec::new();
+                for (gi, &size) in group_sizes.iter().enumerate() {
+                    let start = gi as f64 * group_gap_s;
+                    for j in 0..size {
+                        out.push(start + j as f64 * spacing_s);
+                    }
+                }
+                out.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+                out
+            }
+            ArrivalPattern::Poisson { n, mean_gap_s, seed } => {
+                assert!(*n > 0, "need at least one job");
+                assert!(*mean_gap_s > 0.0, "mean gap must be positive");
+                let mut rng = SimRng::seed_from_u64(*seed);
+                let mut t = 0.0;
+                let mut out = Vec::with_capacity(*n);
+                for _ in 0..*n {
+                    out.push(t);
+                    t += rng.exponential(1.0 / mean_gap_s);
+                }
+                out
+            }
+            ArrivalPattern::Explicit(times) => {
+                let mut out = times.clone();
+                out.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+                out
+            }
+        }
+    }
+
+    /// Number of jobs in the pattern.
+    pub fn len(&self) -> usize {
+        match self {
+            ArrivalPattern::Dense { n, .. } | ArrivalPattern::Poisson { n, .. } => *n,
+            ArrivalPattern::SparseGroups { group_sizes, .. } => group_sizes.iter().sum(),
+            ArrivalPattern::Explicit(times) => times.len(),
+        }
+    }
+
+    /// Whether the pattern contains no jobs (never true for valid patterns).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The paper's group boundaries for MRShare policies: the sparse
+    /// pattern maps to MRS3's 3/3/4 batching.
+    pub fn group_sizes(&self) -> Option<&[usize]> {
+        match self {
+            ArrivalPattern::SparseGroups { group_sizes, .. } => Some(group_sizes),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_is_uniformly_spaced() {
+        let t = ArrivalPattern::paper_dense().times();
+        assert_eq!(t.len(), 10);
+        assert_eq!(t[0], 0.0);
+        assert_eq!(t[9], 18.0);
+    }
+
+    #[test]
+    fn sparse_has_three_groups() {
+        let p = ArrivalPattern::paper_sparse();
+        let t = p.times();
+        assert_eq!(t.len(), 10);
+        assert_eq!(p.group_sizes(), Some(&[3usize, 3, 4][..]));
+        // Group starts.
+        assert_eq!(t[0], 0.0);
+        assert_eq!(t[3], 300.0);
+        assert_eq!(t[6], 600.0);
+        // Last job of the last group.
+        assert_eq!(t[9], 600.0 + 3.0 * 30.0);
+        // Sorted.
+        assert!(t.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn poisson_is_deterministic_and_sorted() {
+        let p = ArrivalPattern::Poisson {
+            n: 50,
+            mean_gap_s: 30.0,
+            seed: 5,
+        };
+        let a = p.times();
+        let b = p.times();
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        // Mean gap is in the right ballpark.
+        let mean = a.last().unwrap() / (a.len() - 1) as f64;
+        assert!((15.0..45.0).contains(&mean), "mean gap {mean}");
+    }
+
+    #[test]
+    fn explicit_is_sorted() {
+        let p = ArrivalPattern::Explicit(vec![5.0, 0.0, 2.0]);
+        assert_eq!(p.times(), vec![0.0, 2.0, 5.0]);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty group")]
+    fn empty_group_panics() {
+        ArrivalPattern::SparseGroups {
+            group_sizes: vec![2, 0],
+            group_gap_s: 10.0,
+            spacing_s: 1.0,
+        }
+        .times();
+    }
+}

@@ -1,0 +1,132 @@
+//! Simulated DFS datasets for each experiment.
+//!
+//! The paper stores 4 GB of text per node (160 GB total) for wordcount and
+//! 10 GB of lineitem per node (400 GB total) for selection, replication
+//! factor 1, striped so every node holds its own share — which round-robin
+//! placement reproduces exactly.
+
+use s3_cluster::ClusterTopology;
+use s3_dfs::{Dfs, FileId, RoundRobinPlacement, MB};
+
+/// A dataset bound to a simulated DFS.
+#[derive(Debug)]
+pub struct Dataset {
+    /// The store holding the file.
+    pub dfs: Dfs,
+    /// The input file.
+    pub file: FileId,
+    /// Block size used, bytes.
+    pub block_size: u64,
+}
+
+impl Dataset {
+    /// Number of blocks in the input file.
+    pub fn num_blocks(&self) -> u32 {
+        self.dfs.file(self.file).num_blocks()
+    }
+
+    /// Total input size in MB.
+    pub fn input_mb(&self) -> f64 {
+        self.dfs.file(self.file).size_bytes as f64 / MB as f64
+    }
+}
+
+/// Create a dataset of `gb_per_node` GB per cluster node at `block_mb` MB
+/// blocks, striped round-robin (each node primarily holds its own share).
+pub fn per_node_file(cluster: &ClusterTopology, name: &str, gb_per_node: u64, block_mb: u64) -> Dataset {
+    per_node_file_with(
+        cluster,
+        name,
+        gb_per_node,
+        block_mb,
+        1,
+        &mut RoundRobinPlacement::default(),
+    )
+}
+
+/// Like [`per_node_file`], but with an explicit replication factor and
+/// placement policy (e.g. [`s3_dfs::RackAwarePlacement`] for HDFS-default
+/// behaviour at replication 3).
+pub fn per_node_file_with(
+    cluster: &ClusterTopology,
+    name: &str,
+    gb_per_node: u64,
+    block_mb: u64,
+    replication: u32,
+    policy: &mut dyn s3_dfs::PlacementPolicy,
+) -> Dataset {
+    assert!(gb_per_node > 0 && block_mb > 0, "sizes must be positive");
+    let total_bytes = gb_per_node * 1024 * MB * cluster.num_nodes() as u64;
+    let block_size = block_mb * MB;
+    let mut dfs = Dfs::new();
+    let file = dfs
+        .create_file(cluster, name, total_bytes, block_size, replication, policy)
+        .expect("dataset creation cannot collide");
+    Dataset {
+        dfs,
+        file,
+        block_size,
+    }
+}
+
+/// The 160 GB wordcount corpus (4 GB/node on the paper cluster).
+pub fn paper_wordcount_file(cluster: &ClusterTopology, block_mb: u64) -> Dataset {
+    per_node_file(cluster, "gutenberg", 4, block_mb)
+}
+
+/// The 400 GB lineitem table (10 GB/node on the paper cluster).
+pub fn paper_lineitem_file(cluster: &ClusterTopology, block_mb: u64) -> Dataset {
+    per_node_file(cluster, "lineitem", 10, block_mb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wordcount_dataset_geometry() {
+        let cluster = ClusterTopology::paper_cluster();
+        let d = paper_wordcount_file(&cluster, 64);
+        assert_eq!(d.num_blocks(), 2560);
+        assert_eq!(d.input_mb(), 160.0 * 1024.0);
+        // 32 and 128 MB variants (Section V-F).
+        assert_eq!(paper_wordcount_file(&cluster, 32).num_blocks(), 5120);
+        assert_eq!(paper_wordcount_file(&cluster, 128).num_blocks(), 1280);
+    }
+
+    #[test]
+    fn lineitem_dataset_geometry() {
+        let cluster = ClusterTopology::paper_cluster();
+        let d = paper_lineitem_file(&cluster, 64);
+        assert_eq!(d.num_blocks(), 6400);
+        assert_eq!(d.input_mb(), 400.0 * 1024.0);
+    }
+
+    #[test]
+    fn replicated_dataset_places_distinct_replicas() {
+        use rand::SeedableRng;
+        let cluster = ClusterTopology::paper_cluster();
+        let mut policy =
+            s3_dfs::RackAwarePlacement::new(rand::rngs::SmallRng::seed_from_u64(7));
+        let d = per_node_file_with(&cluster, "rep3", 1, 64, 3, &mut policy);
+        for b in d.dfs.blocks_of(d.file) {
+            assert_eq!(b.replicas.len(), 3);
+            let mut reps = b.replicas.clone();
+            reps.sort_unstable();
+            reps.dedup();
+            assert_eq!(reps.len(), 3, "replicas must be distinct");
+        }
+    }
+
+    #[test]
+    fn striping_gives_every_node_a_share() {
+        let cluster = ClusterTopology::paper_cluster();
+        let d = paper_wordcount_file(&cluster, 64);
+        let mut per_node = vec![0u32; cluster.num_nodes()];
+        for b in d.dfs.blocks_of(d.file) {
+            per_node[b.replicas[0].0 as usize] += 1;
+        }
+        // 2560 blocks / 40 nodes = 64 each.
+        assert!(per_node.iter().all(|&c| c == 64), "{per_node:?}");
+    }
+}

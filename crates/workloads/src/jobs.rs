@@ -1,0 +1,356 @@
+//! Real (executable) jobs for the `s3-engine` execution engine.
+//!
+//! Two families, matching Section V-B:
+//!
+//! - [`PatternWordCount`] — the paper's modified wordcount that "counts
+//!   only the words that match a user-specified pattern"; different
+//!   patterns make different jobs over the same input.
+//! - [`SelectionJob`] — the SQL selection over `lineitem`
+//!   (`SELECT l_orderkey, ... WHERE l_quantity > VAL`); different
+//!   thresholds make different jobs.
+
+use crate::lineitem::parse_row;
+use s3_engine::MapReduceJob;
+
+/// Which words a [`PatternWordCount`] counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WordPattern {
+    /// Count every word.
+    All,
+    /// Count words starting with the given prefix.
+    Prefix(String),
+    /// Count words containing the given substring.
+    Contains(String),
+    /// Count words of exactly the given length.
+    Length(usize),
+}
+
+impl WordPattern {
+    /// Does `word` match?
+    pub fn matches(&self, word: &str) -> bool {
+        match self {
+            WordPattern::All => true,
+            WordPattern::Prefix(p) => word.starts_with(p.as_str()),
+            WordPattern::Contains(s) => word.contains(s.as_str()),
+            WordPattern::Length(n) => word.len() == *n,
+        }
+    }
+}
+
+/// Pattern-filtered wordcount.
+#[derive(Debug, Clone)]
+pub struct PatternWordCount {
+    /// The filter; jobs differ by pattern.
+    pub pattern: WordPattern,
+}
+
+impl PatternWordCount {
+    /// Count all words.
+    pub fn all() -> Self {
+        PatternWordCount {
+            pattern: WordPattern::All,
+        }
+    }
+
+    /// Count words with the given prefix.
+    pub fn prefix(p: impl Into<String>) -> Self {
+        PatternWordCount {
+            pattern: WordPattern::Prefix(p.into()),
+        }
+    }
+}
+
+impl MapReduceJob for PatternWordCount {
+    type K = String;
+    type V = i64;
+    type Out = i64;
+
+    fn map(&self, line: &str, emit: &mut dyn FnMut(String, i64)) {
+        for word in line.split_whitespace() {
+            if self.pattern.matches(word) {
+                emit(word.to_string(), 1);
+            }
+        }
+    }
+
+    fn combine(&self, _key: &String, values: Vec<i64>) -> Vec<i64> {
+        vec![values.iter().sum()]
+    }
+
+    fn reduce(&self, _key: &String, values: &[i64]) -> Option<i64> {
+        Some(values.iter().sum())
+    }
+}
+
+/// The SQL selection of Section V-G:
+/// `SELECT l_orderkey, l_extendedprice, l_discount FROM lineitem
+///  WHERE l_quantity > threshold`.
+///
+/// Key = orderkey (zero-padded so ordering is numeric), value = the
+/// projected columns. Reduce is the identity (selection has no
+/// aggregation); it still runs through the reduce phase as in the paper's
+/// MapReduce translation (30 reduce tasks).
+#[derive(Debug, Clone)]
+pub struct SelectionJob {
+    /// `VAL` in the paper's query; `> 45` gives ~10% selectivity.
+    pub quantity_threshold: u32,
+}
+
+impl SelectionJob {
+    /// The paper's tuning: ~10% of tuples selected.
+    pub fn paper_selectivity() -> Self {
+        SelectionJob {
+            quantity_threshold: 45,
+        }
+    }
+}
+
+impl MapReduceJob for SelectionJob {
+    type K = String;
+    type V = String;
+    type Out = String;
+
+    fn map(&self, line: &str, emit: &mut dyn FnMut(String, String)) {
+        if let Some(row) = parse_row(line) {
+            if row.quantity > self.quantity_threshold {
+                let key = format!("{:012}", row.orderkey);
+                let value = format!(
+                    "{}|{}.{:02}|0.{:02}",
+                    row.orderkey,
+                    row.extendedprice_cents / 100,
+                    row.extendedprice_cents % 100,
+                    row.discount_pct
+                );
+                emit(key, value);
+            }
+        }
+    }
+
+    fn reduce(&self, _key: &String, values: &[String]) -> Option<String> {
+        // Selection: pass the (single) projected tuple through.
+        values.first().cloned()
+    }
+}
+
+/// Distributed grep (the original MapReduce paper's canonical example):
+/// emit every line containing the pattern, keyed by the line itself, with
+/// its occurrence count.
+#[derive(Debug, Clone)]
+pub struct GrepJob {
+    /// Substring to search for.
+    pub pattern: String,
+}
+
+impl MapReduceJob for GrepJob {
+    type K = String;
+    type V = i64;
+    type Out = i64;
+
+    fn map(&self, line: &str, emit: &mut dyn FnMut(String, i64)) {
+        if line.contains(self.pattern.as_str()) {
+            emit(line.to_string(), 1);
+        }
+    }
+
+    fn combine(&self, _key: &String, values: Vec<i64>) -> Vec<i64> {
+        vec![values.iter().sum()]
+    }
+
+    fn reduce(&self, _key: &String, values: &[i64]) -> Option<i64> {
+        Some(values.iter().sum())
+    }
+}
+
+/// Word-length histogram: a tiny-key-space aggregation where the combiner
+/// does nearly all the work (the opposite regime from wordcount's wide key
+/// space).
+#[derive(Debug, Clone, Default)]
+pub struct WordLengthHistogram;
+
+impl MapReduceJob for WordLengthHistogram {
+    type K = usize;
+    type V = i64;
+    type Out = i64;
+
+    fn map(&self, line: &str, emit: &mut dyn FnMut(usize, i64)) {
+        for w in line.split_whitespace() {
+            emit(w.len(), 1);
+        }
+    }
+
+    fn combine(&self, _key: &usize, values: Vec<i64>) -> Vec<i64> {
+        vec![values.iter().sum()]
+    }
+
+    fn reduce(&self, _key: &usize, values: &[i64]) -> Option<i64> {
+        Some(values.iter().sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lineitem::LineItemGen;
+    use crate::text::TextGen;
+    use s3_engine::{run_job, run_merged, BlockStore, ExecConfig};
+    use s3_sim::SimRng;
+
+    fn text_store() -> BlockStore {
+        let g = TextGen::new(2000, 1.1);
+        let text = g.generate(&mut SimRng::seed_from_u64(11), 100_000);
+        BlockStore::from_text(&text, 8_192)
+    }
+
+    fn lineitem_store() -> BlockStore {
+        let text = LineItemGen::new().generate(&mut SimRng::seed_from_u64(12), 200_000);
+        BlockStore::from_text(&text, 16_384)
+    }
+
+    #[test]
+    fn pattern_variants_filter() {
+        assert!(WordPattern::All.matches("anything"));
+        assert!(WordPattern::Prefix("ab".into()).matches("abc"));
+        assert!(!WordPattern::Prefix("ab".into()).matches("ba"));
+        assert!(WordPattern::Contains("el".into()).matches("hello"));
+        assert!(WordPattern::Length(3).matches("abc"));
+        assert!(!WordPattern::Length(3).matches("ab"));
+    }
+
+    #[test]
+    fn wordcount_all_counts_every_token() {
+        let store = text_store();
+        let out = run_job(&PatternWordCount::all(), &store, &ExecConfig::default());
+        let total: i64 = out.records.values().sum();
+        let expected = store
+            .iter()
+            .map(|b| b.split_whitespace().count())
+            .sum::<usize>() as i64;
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn different_patterns_are_different_jobs_on_one_scan() {
+        let store = text_store();
+        let jobs = [
+            PatternWordCount::prefix("ba"),
+            PatternWordCount::prefix("ta"),
+            PatternWordCount::all(),
+        ];
+        let refs: Vec<&PatternWordCount> = jobs.iter().collect();
+        let merged = run_merged(&refs, &store, &ExecConfig::default());
+        for (j, m) in jobs.iter().zip(&merged) {
+            let solo = run_job(j, &store, &ExecConfig::default());
+            assert_eq!(m.records, solo.records);
+        }
+        // The "all" job strictly contains the filtered jobs' keys.
+        for key in merged[0].records.keys() {
+            assert!(merged[2].records.contains_key(key));
+        }
+    }
+
+    #[test]
+    fn selection_matches_predicate_exactly() {
+        let store = lineitem_store();
+        let job = SelectionJob::paper_selectivity();
+        let out = run_job(&job, &store, &ExecConfig::default());
+        let expected = store
+            .iter()
+            .flat_map(|b| b.lines())
+            .filter(|l| crate::lineitem::parse_row(l).is_some_and(|r| r.quantity > 45))
+            .count();
+        assert_eq!(out.records.len(), expected);
+        // ~10% selectivity on this data.
+        let total: usize = store.iter().flat_map(|b| b.lines()).count();
+        let rate = expected as f64 / total as f64;
+        assert!((0.05..0.15).contains(&rate), "selectivity {rate}");
+    }
+
+    #[test]
+    fn selection_jobs_share_scan_correctly() {
+        let store = lineitem_store();
+        let jobs = [
+            SelectionJob {
+                quantity_threshold: 45,
+            },
+            SelectionJob {
+                quantity_threshold: 25,
+            },
+            SelectionJob {
+                quantity_threshold: 49,
+            },
+        ];
+        let refs: Vec<&SelectionJob> = jobs.iter().collect();
+        let merged = run_merged(&refs, &store, &ExecConfig::default());
+        for (j, m) in jobs.iter().zip(&merged) {
+            let solo = run_job(j, &store, &ExecConfig::default());
+            assert_eq!(m.records, solo.records, "threshold {}", j.quantity_threshold);
+        }
+        // Lower threshold selects strictly more.
+        assert!(merged[1].records.len() > merged[0].records.len());
+        assert!(merged[0].records.len() > merged[2].records.len());
+    }
+
+    #[test]
+    fn grep_finds_exactly_the_matching_lines() {
+        let store = text_store();
+        let g = TextGen::new(2000, 1.1);
+        let needle = g.word(3).to_string(); // a frequent word
+        let job = GrepJob {
+            pattern: needle.clone(),
+        };
+        let out = run_job(&job, &store, &ExecConfig::default());
+        let expected: usize = store
+            .iter()
+            .flat_map(|b| b.lines())
+            .filter(|l| l.contains(needle.as_str()))
+            .count();
+        let total: i64 = out.records.values().sum();
+        assert_eq!(total as usize, expected);
+        for line in out.records.keys() {
+            assert!(line.contains(needle.as_str()));
+        }
+    }
+
+    #[test]
+    fn grep_shares_scan_with_wordcount_family() {
+        // Grep jobs share scans with each other (same K/V schema as
+        // PatternWordCount: String -> i64).
+        let store = text_store();
+        let jobs = [
+            GrepJob { pattern: "ba".into() },
+            GrepJob { pattern: "zu".into() },
+        ];
+        let refs: Vec<&GrepJob> = jobs.iter().collect();
+        let merged = run_merged(&refs, &store, &ExecConfig::default());
+        for (j, m) in jobs.iter().zip(&merged) {
+            let solo = run_job(j, &store, &ExecConfig::default());
+            assert_eq!(m.records, solo.records, "pattern {}", j.pattern);
+        }
+    }
+
+    #[test]
+    fn histogram_conserves_token_count() {
+        let store = text_store();
+        let out = run_job(&WordLengthHistogram, &store, &ExecConfig::default());
+        let total: i64 = out.records.values().sum();
+        let expected = store
+            .iter()
+            .map(|b| b.split_whitespace().count())
+            .sum::<usize>() as i64;
+        assert_eq!(total, expected);
+        // Tiny key space: far fewer keys than tokens.
+        assert!(out.records.len() < 30, "{} length buckets", out.records.len());
+    }
+
+    #[test]
+    fn selection_keys_sort_numerically() {
+        let store = lineitem_store();
+        let out = run_job(
+            &SelectionJob::paper_selectivity(),
+            &store,
+            &ExecConfig::default(),
+        );
+        let keys: Vec<u64> = out.records.keys().map(|k| k.parse().unwrap()).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+}

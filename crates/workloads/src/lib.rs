@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # s3-workloads — the paper's workloads, data, and arrival patterns
+//!
+//! Everything Section V of the paper evaluates with:
+//!
+//! - [`text`] — a deterministic Gutenberg-like text generator (Zipfian
+//!   vocabulary, prose-shaped lines) standing in for the paper's 160 GB of
+//!   Project Gutenberg novels;
+//! - [`lineitem`] — a TPC-H `lineitem` row generator (16 columns) standing
+//!   in for the paper's 400 GB table;
+//! - [`jobs`] — real [`s3_engine::MapReduceJob`] implementations: the
+//!   pattern-filtered wordcount family and the SQL-selection family;
+//! - [`profiles`] — the matching simulator [`s3_mapreduce::JobProfile`]s
+//!   (normal wordcount per Table I, heavy wordcount, selection) and the
+//!   Table I workload-statistics derivation;
+//! - [`arrivals`] — arrival-pattern generators: the paper's dense and
+//!   sparse (3-group) presets, plus uniform and Poisson sweeps;
+//! - [`datasets`] — the simulated DFS files for each experiment at 32, 64,
+//!   and 128 MB block sizes.
+
+pub mod arrivals;
+pub mod datasets;
+pub mod jobs;
+pub mod lineitem;
+pub mod profiles;
+pub mod text;
+
+pub use arrivals::ArrivalPattern;
+pub use datasets::{paper_lineitem_file, paper_wordcount_file, per_node_file, per_node_file_with, Dataset};
+pub use jobs::{GrepJob, PatternWordCount, SelectionJob, WordLengthHistogram};
+pub use profiles::{grep, selection, table1, wordcount_heavy, wordcount_normal, Table1};

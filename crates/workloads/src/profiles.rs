@@ -1,0 +1,166 @@
+//! Simulator cost profiles matching the paper's workloads, and the Table I
+//! derivation.
+//!
+//! Calibration sources (all from Section V):
+//!
+//! - **Normal wordcount** (Table I): 160 GB input; ~250 M map output
+//!   records (~1526 records/MB); ~2.4 GB map output (ratio 0.015); ~60–80 k
+//!   reduce output records; ~1.5 MB reduce output; ~240 s per job.
+//! - **Heavy wordcount** (Section V-E): 10× the map output, 200× the
+//!   reduce output (by size), ~1.5× the per-job processing time.
+//! - **Selection** (Section V-G): 400 GB lineitem input, 10% selectivity.
+
+use s3_mapreduce::JobProfile;
+use std::sync::Arc;
+
+/// Normal wordcount (Table I).
+pub fn wordcount_normal() -> Arc<JobProfile> {
+    Arc::new(JobProfile {
+        name: "wordcount".into(),
+        map_cpu_s_per_mb: 0.0015,
+        map_output_ratio: 0.015,
+        map_output_records_per_mb: 1526.0,
+        reduce_cpu_s_per_mb: 0.002,
+        reduce_output_ratio: 0.000625, // 1.5 MB / 2.4 GB
+        num_reduce_tasks: 30,
+    })
+}
+
+/// Heavy wordcount: 10× map output, 200× reduce output, ~1.5× job time.
+/// The extra time is CPU (more records emitted and sorted), so the scan
+/// share shrinks — exactly why sharing helps less here (Figure 4(c)).
+pub fn wordcount_heavy() -> Arc<JobProfile> {
+    Arc::new(JobProfile {
+        name: "wordcount-heavy".into(),
+        map_cpu_s_per_mb: 0.013,
+        map_output_ratio: 0.15,
+        map_output_records_per_mb: 15_260.0,
+        reduce_cpu_s_per_mb: 0.002,
+        reduce_output_ratio: 0.0125, // 200x output over 10x shuffle
+        num_reduce_tasks: 30,
+    })
+}
+
+/// SQL selection over lineitem at ~10% selectivity (Section V-G).
+pub fn selection() -> Arc<JobProfile> {
+    Arc::new(JobProfile {
+        name: "selection".into(),
+        map_cpu_s_per_mb: 0.004, // field split + predicate per row
+        map_output_ratio: 0.10,  // 10% of tuples pass, projected columns
+        map_output_records_per_mb: 800.0,
+        reduce_cpu_s_per_mb: 0.002,
+        reduce_output_ratio: 1.0, // identity reduce: selected tuples out
+        num_reduce_tasks: 30,
+    })
+}
+
+/// Distributed grep: map-only in the simulator (Hadoop grep is usually
+/// run with zero reduces and its tiny matches collected directly). Lets
+/// the scheduler stack exercise jobs without a reduce phase.
+pub fn grep() -> Arc<JobProfile> {
+    Arc::new(JobProfile {
+        name: "grep".into(),
+        map_cpu_s_per_mb: 0.0008,
+        map_output_ratio: 0.0005,
+        map_output_records_per_mb: 5.0,
+        reduce_cpu_s_per_mb: 0.0,
+        reduce_output_ratio: 0.0,
+        num_reduce_tasks: 0,
+    })
+}
+
+/// One row of Table I, derived from a profile and a dataset size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1 {
+    /// Total input, MB.
+    pub input_mb: f64,
+    /// Map output records over the whole input.
+    pub map_output_records: f64,
+    /// Reduce output records (distinct keys surviving the filter).
+    pub reduce_output_records: f64,
+    /// Map output, MB.
+    pub map_output_mb: f64,
+    /// Reduce output, MB.
+    pub reduce_output_mb: f64,
+}
+
+/// Derive Table I quantities for `profile` over `input_mb` of data.
+/// `reduce_output_records` uses the paper's reported 60–80 k distinct words
+/// scaled by the reduce output size ratio against the normal workload.
+pub fn table1(profile: &JobProfile, input_mb: f64) -> Table1 {
+    assert!(input_mb > 0.0, "input size must be positive");
+    let map_output_mb = profile.map_output_mb(input_mb);
+    let reduce_output_mb = profile.reduce_output_mb(map_output_mb);
+    // Record size on the reduce side ~ 22 bytes/record gives the paper's
+    // 60-80k records in ~1.5 MB.
+    let reduce_output_records = reduce_output_mb * 1024.0 * 1024.0 / 22.0;
+    Table1 {
+        input_mb,
+        map_output_records: profile.map_output_records_per_mb * input_mb,
+        reduce_output_records,
+        map_output_mb,
+        reduce_output_mb,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB: f64 = 1024.0;
+
+    #[test]
+    fn normal_wordcount_matches_table_1() {
+        let t = table1(&wordcount_normal(), 160.0 * GB);
+        // ~250 million map output records.
+        assert!(
+            (2.4e8..2.6e8).contains(&t.map_output_records),
+            "map records {}",
+            t.map_output_records
+        );
+        // ~2.4 GB map output.
+        assert!(
+            (2.3 * GB..2.5 * GB).contains(&t.map_output_mb),
+            "map out {}",
+            t.map_output_mb
+        );
+        // ~1.5 MB reduce output.
+        assert!(
+            (1.3..1.7).contains(&t.reduce_output_mb),
+            "reduce out {}",
+            t.reduce_output_mb
+        );
+        // ~60-80 thousand reduce output records.
+        assert!(
+            (55_000.0..85_000.0).contains(&t.reduce_output_records),
+            "reduce records {}",
+            t.reduce_output_records
+        );
+    }
+
+    #[test]
+    fn heavy_is_10x_map_and_200x_reduce_output() {
+        let n = table1(&wordcount_normal(), 160.0 * GB);
+        let h = table1(&wordcount_heavy(), 160.0 * GB);
+        let map_ratio = h.map_output_mb / n.map_output_mb;
+        let reduce_ratio = h.reduce_output_mb / n.reduce_output_mb;
+        assert!((9.0..11.0).contains(&map_ratio), "map x{map_ratio}");
+        assert!((180.0..220.0).contains(&reduce_ratio), "reduce x{reduce_ratio}");
+    }
+
+    #[test]
+    fn selection_selects_ten_percent() {
+        let s = selection();
+        let t = table1(&s, 400.0 * GB);
+        assert!((t.map_output_mb / t.input_mb - 0.10).abs() < 1e-9);
+        // Identity reduce: output equals shuffle input.
+        assert!((t.reduce_output_mb - t.map_output_mb).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profiles_request_30_reducers() {
+        for p in [wordcount_normal(), wordcount_heavy(), selection()] {
+            assert_eq!(p.num_reduce_tasks, 30);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Full scheduler shoot-out on the paper's sparse workload: S³ vs FIFO vs
+//! the three MRShare batching variants, on the simulated 40-node cluster.
+//!
+//! This is Figure 4(a) as a library-API walkthrough (the `repro` binary
+//! prints the canonical version).
+//!
+//! ```text
+//! cargo run --release -p s3-bench --example scheduler_comparison
+//! ```
+
+use s3_cluster::{ClusterTopology, SlowdownSchedule};
+use s3_core::{FifoScheduler, MRShareScheduler, S3Scheduler};
+use s3_mapreduce::{
+    job::requests_from_arrivals, simulate, CostModel, EngineConfig, RunMetrics, Scheduler,
+};
+use s3_workloads::{paper_wordcount_file, wordcount_normal, ArrivalPattern};
+
+fn run(scheduler: &mut dyn Scheduler) -> RunMetrics {
+    let cluster = ClusterTopology::paper_cluster();
+    let dataset = paper_wordcount_file(&cluster, 64);
+    let profile = wordcount_normal();
+    let arrivals = ArrivalPattern::paper_sparse().times();
+    let workload = requests_from_arrivals(&profile, dataset.file, &arrivals);
+    simulate(
+        &cluster,
+        &SlowdownSchedule::none(),
+        &dataset.dfs,
+        &CostModel::default(),
+        &workload,
+        scheduler,
+        &EngineConfig::default(),
+    )
+    .expect("simulation completes")
+}
+
+fn main() {
+    let arrivals = ArrivalPattern::paper_sparse().times();
+    println!(
+        "10 wordcount jobs over one 160 GB file, sparse pattern (3 groups):"
+    );
+    println!(
+        "arrivals: {:?}\n",
+        arrivals.iter().map(|t| *t as u64).collect::<Vec<_>>()
+    );
+
+    let results = vec![
+        run(&mut S3Scheduler::default()),
+        run(&mut FifoScheduler::new()),
+        run(&mut MRShareScheduler::mrs1(10)),
+        run(&mut MRShareScheduler::mrs2(10)),
+        run(&mut MRShareScheduler::mrs3(10)),
+    ];
+
+    let base_tet = results[0].tet().as_secs_f64();
+    let base_art = results[0].art().as_secs_f64();
+    println!(
+        "{:<8} {:>9} {:>9} {:>8} {:>8} {:>9} {:>10}",
+        "scheme", "TET(s)", "ART(s)", "TET/S3", "ART/S3", "scans", "locality"
+    );
+    for m in &results {
+        println!(
+            "{:<8} {:>9.1} {:>9.1} {:>8.2} {:>8.2} {:>9} {:>9.1}%",
+            m.scheduler,
+            m.tet().as_secs_f64(),
+            m.art().as_secs_f64(),
+            m.tet().as_secs_f64() / base_tet,
+            m.art().as_secs_f64() / base_art,
+            m.blocks_read,
+            100.0 * m.locality_rate()
+        );
+    }
+
+    println!("\nper-job response times (s):");
+    for m in &results {
+        let responses: Vec<u64> = m
+            .outcomes
+            .iter()
+            .map(|o| o.response().as_secs_f64() as u64)
+            .collect();
+        println!("{:<8} {:?}", m.scheduler, responses);
+    }
+}

@@ -1,0 +1,171 @@
+//! Cross-validation: the event-driven simulator, configured with
+//! negligible overheads and noise, must converge to the closed-form
+//! Section III model (`s3_core::analytic`) on the paper's worked examples.
+//!
+//! This ties the two independent implementations of the paper's semantics
+//! together: if either the analytic formulas or the simulator's scheduling
+//! logic drifted, these tests would split.
+
+use s3_cluster::{ClusterTopology, SlowdownSchedule};
+use s3_core::analytic::Scenario;
+use s3_core::{FifoScheduler, MRShareScheduler, S3Config, S3Scheduler, SubJobSizing};
+use s3_mapreduce::{
+    job::requests_from_arrivals, simulate, CostModel, EngineConfig, JobProfile, RunMetrics,
+    Scheduler,
+};
+use s3_dfs::{Dfs, RoundRobinPlacement, MB};
+use std::sync::Arc;
+
+/// A world tuned so one job takes ~100 s: 40 blocks (one per node), one
+/// wave of 20 s maps, five waves per job... more precisely: 200 blocks of
+/// 64 MB where each block takes ~20 s to map -> 5 waves x 20 s = 100 s,
+/// with every overhead zeroed out.
+fn world() -> (ClusterTopology, Dfs, s3_dfs::FileId, Arc<JobProfile>, CostModel) {
+    let cluster = ClusterTopology::paper_cluster();
+    let mut dfs = Dfs::new();
+    let file = dfs
+        .create_file(
+            &cluster,
+            "ideal",
+            200 * 64 * MB,
+            64 * MB,
+            1,
+            &mut RoundRobinPlacement::default(),
+        )
+        .expect("create file");
+    // Pure-scan job: 20 s per 64 MB block, nothing else.
+    let profile = Arc::new(JobProfile {
+        name: "ideal".into(),
+        map_cpu_s_per_mb: 0.0,
+        map_output_ratio: 0.0,
+        map_output_records_per_mb: 0.0,
+        reduce_cpu_s_per_mb: 0.0,
+        reduce_output_ratio: 0.0,
+        num_reduce_tasks: 0, // map-only: completion == last scan done
+    });
+    let cost = CostModel {
+        map_task_startup_s: 0.0,
+        shared_parse_s_per_mb: 20.0 / 64.0, // 20 s per block, fully shared
+        reduce_task_startup_s: 0.0,
+        sort_s_per_mb: 0.0,
+        reduce_merge_s_per_mb: 0.0,
+        shuffle_intra_rack_fraction: 0.35,
+        job_submit_overhead_s: 0.0,
+        task_init_s_per_task: 0.0,
+        heartbeat_s: 0.05,
+        noise_sigma: 0.0,
+        noise_limit: 1.5,
+    };
+    (cluster, dfs, file, profile, cost)
+}
+
+fn run(scheduler: &mut dyn Scheduler, arrivals: &[f64]) -> RunMetrics {
+    let (cluster, dfs, file, profile, cost) = world();
+    let workload = requests_from_arrivals(&profile, file, arrivals);
+    simulate(
+        &cluster,
+        &SlowdownSchedule::none(),
+        &dfs,
+        &cost,
+        &workload,
+        scheduler,
+        &EngineConfig::default(),
+    )
+    .expect("idealized run completes")
+}
+
+fn ideal_s3() -> S3Scheduler {
+    S3Scheduler::new(S3Config {
+        // One wave per sub-job: 5 segments over the 200-block file, so a
+        // job arriving 20 s in aligns with segment 2 exactly as the
+        // paper's examples assume.
+        sizing: SubJobSizing::Waves(1),
+        jqm_latency_s: 0.0,
+        ..S3Config::default()
+    })
+}
+
+/// Allow a few percent for heartbeat quantization.
+fn close(measured: f64, expected: f64) -> bool {
+    (measured - expected).abs() / expected < 0.05
+}
+
+#[test]
+fn single_job_takes_about_100_seconds() {
+    let m = run(&mut FifoScheduler::new(), &[0.0]);
+    let t = m.tet().as_secs_f64();
+    assert!(close(t, 100.0), "single job {t}");
+}
+
+#[test]
+fn example1_fifo_matches_analytic() {
+    let a = Scenario::new(100.0, vec![0.0, 20.0]).fifo();
+    let m = run(&mut FifoScheduler::new(), &[0.0, 20.0]);
+    assert!(close(m.tet().as_secs_f64(), a.tet), "TET {} vs {}", m.tet(), a.tet);
+    assert!(close(m.art().as_secs_f64(), a.art), "ART {} vs {}", m.art(), a.art);
+}
+
+#[test]
+fn example2_fifo_matches_analytic() {
+    let a = Scenario::new(100.0, vec![0.0, 80.0]).fifo();
+    let m = run(&mut FifoScheduler::new(), &[0.0, 80.0]);
+    assert!(close(m.tet().as_secs_f64(), a.tet), "TET {} vs {}", m.tet(), a.tet);
+    assert!(close(m.art().as_secs_f64(), a.art), "ART {} vs {}", m.art(), a.art);
+}
+
+#[test]
+fn example1_mrshare_matches_analytic() {
+    let a = Scenario::new(100.0, vec![0.0, 20.0]).mrshare_single();
+    let mut sched = MRShareScheduler::mrs1(2);
+    // Zero out the merge-planning cost the calibrated model adds.
+    let m = {
+        let (cluster, dfs, file, profile, mut cost) = world();
+        cost.job_submit_overhead_s = 0.0;
+        let workload = requests_from_arrivals(&profile, file, &[0.0, 20.0]);
+        simulate(
+            &cluster,
+            &SlowdownSchedule::none(),
+            &dfs,
+            &cost,
+            &workload,
+            &mut sched,
+            &EngineConfig::default(),
+        )
+        .expect("completes")
+    };
+    // MRShare's merge-planning adds 2 x 2.5 s = 5 s; allow for it.
+    let tet = m.tet().as_secs_f64();
+    let art = m.art().as_secs_f64();
+    assert!((tet - a.tet).abs() < 8.0, "TET {tet} vs {}", a.tet);
+    assert!((art - a.art).abs() < 8.0, "ART {art} vs {}", a.art);
+}
+
+#[test]
+fn example3_s3_matches_analytic_dense_and_sparse() {
+    for arrivals in [vec![0.0, 20.0], vec![0.0, 80.0]] {
+        let a = Scenario::new(100.0, arrivals.clone()).s3();
+        let m = run(&mut ideal_s3(), &arrivals);
+        let tet = m.tet().as_secs_f64();
+        let art = m.art().as_secs_f64();
+        assert!(
+            close(tet, a.tet),
+            "arrivals {arrivals:?}: TET {tet} vs analytic {}",
+            a.tet
+        );
+        assert!(
+            close(art, a.art),
+            "arrivals {arrivals:?}: ART {art} vs analytic {}",
+            a.art
+        );
+    }
+}
+
+#[test]
+fn s3_shares_the_expected_fraction() {
+    // Example 3's premise: arriving 20 s in, J2 shares 80% of the data.
+    // Sub-jobs of 40 blocks: J1 scans segments 1..5 alone until J2 joins
+    // at segment 2 -> segments 2..5 (160 blocks) shared, segment 1
+    // rescanned for J2.
+    let m = run(&mut ideal_s3(), &[0.0, 20.0]);
+    assert_eq!(m.blocks_read, 200 + 40, "one full scan plus J2's wrap");
+}

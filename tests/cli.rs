@@ -1,0 +1,171 @@
+//! End-to-end tests of the user-facing binaries (`repro`, `s3sim`,
+//! `sweep`), driven as real subprocesses via the paths Cargo exports to
+//! integration tests.
+
+use std::process::Command;
+
+fn bin(name: &str) -> Command {
+    let path = match name {
+        "repro" => env!("CARGO_BIN_EXE_repro"),
+        "s3sim" => env!("CARGO_BIN_EXE_s3sim"),
+        "sweep" => env!("CARGO_BIN_EXE_sweep"),
+        other => panic!("unknown binary {other}"),
+    };
+    Command::new(path)
+}
+
+fn stdout_of(cmd: &mut Command) -> String {
+    let out = cmd.output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{cmd:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 stdout")
+}
+
+#[test]
+fn repro_table1_prints_paper_comparison() {
+    let s = stdout_of(bin("repro").arg("table1"));
+    assert!(s.contains("Table I"));
+    assert!(s.contains("160 GB"));
+    assert!(s.contains("~250 M"));
+    assert!(s.contains("Processing time"));
+}
+
+#[test]
+fn repro_examples_match_paper_numbers() {
+    let s = stdout_of(bin("repro").arg("examples"));
+    for needle in ["200", "140", "120", "110", "180", "100"] {
+        assert!(s.contains(needle), "missing {needle} in:\n{s}");
+    }
+}
+
+#[test]
+fn repro_fig4a_normalizes_to_s3() {
+    let s = stdout_of(bin("repro").arg("fig4a"));
+    assert!(s.contains("Fig4(a)"));
+    // S3 row is the base: both normalized columns are 1.00.
+    let s3_line = s.lines().find(|l| l.starts_with("S3")).expect("S3 row");
+    assert_eq!(s3_line.matches("1.00").count(), 2, "{s3_line}");
+    for scheme in ["FIFO", "MRS1", "MRS2", "MRS3"] {
+        assert!(s.contains(scheme), "missing {scheme}");
+    }
+}
+
+#[test]
+fn repro_csv_and_json_modes() {
+    let csv = stdout_of(bin("repro").args(["fig4b", "--csv"]));
+    assert!(csv.starts_with("scheme,tet_s,art_s"));
+    assert_eq!(csv.lines().count(), 6, "header + 5 schedulers");
+
+    let json = stdout_of(bin("repro").args(["fig3", "--json"]));
+    let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+    assert_eq!(v["points"].as_array().expect("points").len(), 10);
+}
+
+#[test]
+fn repro_svg_mode_emits_svg() {
+    let svg = stdout_of(bin("repro").args(["fig4f", "--svg"]));
+    assert!(svg.starts_with("<svg"));
+    assert!(svg.trim_end().ends_with("</svg>"));
+}
+
+#[test]
+fn repro_rejects_unknown_target() {
+    let out = bin("repro").arg("fig9z").output().expect("runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn s3sim_template_roundtrips_through_run() {
+    let dir = std::env::temp_dir().join(format!("s3sim-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mk tmp");
+    let scen = dir.join("scen.json");
+
+    let template = stdout_of(bin("s3sim").arg("template"));
+    // Shrink the template to a quick config before running.
+    let mut spec: serde_json::Value = serde_json::from_str(&template).expect("valid JSON");
+    spec["cluster"]["racks"] = serde_json::json!([4, 4]);
+    spec["dataset"]["gb_per_node"] = serde_json::json!(1);
+    spec["dataset"]["block_mb"] = serde_json::json!(128);
+    spec["arrivals"] = serde_json::json!({"kind": "dense", "n": 2, "spacing_s": 5.0});
+    std::fs::write(&scen, spec.to_string()).expect("write scenario");
+
+    let run = stdout_of(bin("s3sim").args(["run", scen.to_str().expect("utf8 path")]));
+    assert!(run.contains("S3") && run.contains("FIFO"));
+    assert!(run.contains("TET(s)"));
+
+    let timeline = stdout_of(bin("s3sim").args([
+        "timeline",
+        scen.to_str().expect("utf8 path"),
+        "0",
+        "40",
+    ]));
+    assert!(timeline.contains("node0"));
+    assert!(timeline.contains('M'), "busy map cells expected");
+
+    let svg_path = dir.join("out.svg");
+    stdout_of(bin("s3sim").args([
+        "svg",
+        scen.to_str().expect("utf8 path"),
+        "0",
+        svg_path.to_str().expect("utf8 path"),
+    ]));
+    let svg = std::fs::read_to_string(&svg_path).expect("svg written");
+    assert!(svg.starts_with("<svg"));
+
+    let trace_path = dir.join("trace.jsonl");
+    stdout_of(bin("s3sim").args([
+        "trace",
+        scen.to_str().expect("utf8 path"),
+        "0",
+        trace_path.to_str().expect("utf8 path"),
+    ]));
+    let first = std::fs::read_to_string(&trace_path)
+        .expect("trace written")
+        .lines()
+        .next()
+        .expect("non-empty")
+        .to_string();
+    let ev: serde_json::Value = serde_json::from_str(&first).expect("event json");
+    assert_eq!(ev["kind"], "JobSubmitted");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn s3sim_rejects_bad_input() {
+    let out = bin("s3sim").arg("run").arg("/nonexistent.json").output().expect("runs");
+    assert!(!out.status.success());
+    let out = bin("s3sim").arg("bogus-subcommand").output().expect("runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn sweep_emits_one_csv_row_per_cell() {
+    let s = stdout_of(bin("sweep").args([
+        "--schedulers",
+        "s3,fifo",
+        "--blocks",
+        "128",
+        "--patterns",
+        "dense",
+        "--seeds",
+        "1,2",
+    ]));
+    let lines: Vec<&str> = s.lines().collect();
+    assert!(lines[0].starts_with("scheduler,profile,block_mb"));
+    // 2 schedulers x 1 block x 1 pattern x 2 seeds = 4 rows.
+    assert_eq!(lines.len(), 5, "{s}");
+    assert!(lines.iter().skip(1).all(|l| l.contains(",128,dense,")));
+}
+
+#[test]
+fn sweep_rejects_unknown_scheduler() {
+    let out = bin("sweep")
+        .args(["--schedulers", "nope"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+}

@@ -1,0 +1,268 @@
+//! Cross-crate integration: datasets built by `s3-workloads` over the
+//! `s3-dfs`/`s3-cluster` substrate, scheduled by every `s3-core` scheduler
+//! through the `s3-mapreduce` engine — checking the invariants that must
+//! hold for any scheduler.
+
+use s3_cluster::{ClusterTopology, SlowdownSchedule};
+use s3_core::{FifoScheduler, MRShareScheduler, S3Scheduler};
+use s3_mapreduce::{
+    job::requests_from_arrivals, simulate, CostModel, EngineConfig, RunMetrics, Scheduler,
+};
+use s3_workloads::{per_node_file, wordcount_normal, ArrivalPattern};
+
+/// A small but non-trivial world: 400 blocks (10 waves), 5 jobs.
+fn run_with(scheduler: &mut dyn Scheduler, arrivals: &[f64]) -> RunMetrics {
+    let cluster = ClusterTopology::paper_cluster();
+    // 4 GB per 40 nodes at 64 MB blocks is too big for a quick test;
+    // use a 25 GB file -> 400 blocks.
+    let dataset = per_node_file(&cluster, "itest", 1, 102); // 40 GB, 102 MB blocks -> ~402 blocks
+    let profile = wordcount_normal();
+    let workload = requests_from_arrivals(&profile, dataset.file, arrivals);
+    simulate(
+        &cluster,
+        &SlowdownSchedule::none(),
+        &dataset.dfs,
+        &CostModel::default(),
+        &workload,
+        scheduler,
+        &EngineConfig::default(),
+    )
+    .expect("no scheduler may stall on this workload")
+}
+
+fn all_schedulers(n: usize) -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(S3Scheduler::default()),
+        Box::new(FifoScheduler::new()),
+        Box::new(MRShareScheduler::mrs1(n)),
+        Box::new(MRShareScheduler::mrs2(n)),
+        Box::new(MRShareScheduler::mrs3(n)),
+    ]
+}
+
+#[test]
+fn every_scheduler_completes_every_job() {
+    let arrivals = [0.0, 30.0, 60.0, 90.0, 120.0];
+    for mut s in all_schedulers(5) {
+        let m = run_with(s.as_mut(), &arrivals);
+        assert_eq!(m.outcomes.len(), 5, "{}", m.scheduler);
+        for o in &m.outcomes {
+            assert!(
+                o.completed > o.submitted,
+                "{}: job must finish after submission",
+                m.scheduler
+            );
+        }
+    }
+}
+
+#[test]
+fn every_job_scans_the_whole_file_logically() {
+    // logical_mb_scanned counts each scan once per served job, so for any
+    // correct scheduler it equals jobs x file size.
+    let arrivals = [0.0, 30.0, 60.0, 90.0, 120.0];
+    for mut s in all_schedulers(5) {
+        let m = run_with(s.as_mut(), &arrivals);
+        let file_mb = 40.0 * 1024.0; // 1 GB per node x 40 nodes
+        let expected = 5.0 * file_mb;
+        let rel = (m.logical_mb_scanned - expected).abs() / expected;
+        assert!(
+            rel < 0.01,
+            "{}: logical scan volume {} vs expected {}",
+            m.scheduler,
+            m.logical_mb_scanned,
+            expected
+        );
+    }
+}
+
+#[test]
+fn sharing_never_reads_more_than_fifo() {
+    let arrivals = [0.0, 20.0, 40.0, 60.0, 80.0];
+    let fifo = run_with(&mut FifoScheduler::new(), &arrivals);
+    for mut s in all_schedulers(5) {
+        let m = run_with(s.as_mut(), &arrivals);
+        assert!(
+            m.blocks_read <= fifo.blocks_read,
+            "{} read {} blocks, FIFO read {}",
+            m.scheduler,
+            m.blocks_read,
+            fifo.blocks_read
+        );
+    }
+}
+
+#[test]
+fn s3_beats_fifo_on_overlapping_jobs() {
+    let arrivals = [0.0, 15.0, 30.0, 45.0, 60.0];
+    let s3 = run_with(&mut S3Scheduler::default(), &arrivals);
+    let fifo = run_with(&mut FifoScheduler::new(), &arrivals);
+    assert!(
+        s3.tet() < fifo.tet(),
+        "S3 TET {} vs FIFO {}",
+        s3.tet(),
+        fifo.tet()
+    );
+    assert!(
+        s3.art() < fifo.art(),
+        "S3 ART {} vs FIFO {}",
+        s3.art(),
+        fifo.art()
+    );
+    // And it does so by scanning less.
+    assert!(s3.blocks_read < fifo.blocks_read);
+}
+
+#[test]
+fn s3_response_time_is_flat_across_arrival_order() {
+    // Under S3, every overlapping job responds in roughly one sweep; under
+    // FIFO, response grows with queue position.
+    let arrivals = [0.0, 10.0, 20.0, 30.0, 40.0];
+    let s3 = run_with(&mut S3Scheduler::default(), &arrivals);
+    let r: Vec<f64> = s3
+        .outcomes
+        .iter()
+        .map(|o| o.response().as_secs_f64())
+        .collect();
+    let (min, max) = (
+        r.iter().cloned().fold(f64::INFINITY, f64::min),
+        r.iter().cloned().fold(0.0, f64::max),
+    );
+    assert!(
+        max / min < 1.5,
+        "S3 responses should be flat: {r:?}"
+    );
+
+    let fifo = run_with(&mut FifoScheduler::new(), &arrivals);
+    let rf: Vec<f64> = fifo
+        .outcomes
+        .iter()
+        .map(|o| o.response().as_secs_f64())
+        .collect();
+    assert!(
+        rf.last().unwrap() / rf.first().unwrap() > 2.0,
+        "FIFO responses should ramp: {rf:?}"
+    );
+}
+
+#[test]
+fn poisson_arrivals_complete_under_all_schedulers() {
+    let arrivals = ArrivalPattern::Poisson {
+        n: 8,
+        mean_gap_s: 60.0,
+        seed: 17,
+    }
+    .times();
+    for mut s in all_schedulers(8) {
+        let m = run_with(s.as_mut(), &arrivals);
+        assert_eq!(m.outcomes.len(), 8, "{}", m.scheduler);
+    }
+}
+
+#[test]
+fn multi_slot_nodes_work_under_every_scheduler() {
+    // A small cluster whose nodes each run 4 concurrent maps and 2
+    // reduces: the whole stack must handle multiple slots per node.
+    use s3_cluster::ClusterBuilder;
+    let cluster = ClusterBuilder::new()
+        .rack(5)
+        .rack(5)
+        .map_slots(4)
+        .reduce_slots(2)
+        .build();
+    assert_eq!(cluster.total_map_slots(), 40);
+    let dataset = per_node_file(&cluster, "ms", 2, 64); // 20 GB -> 320 blocks
+    let profile = wordcount_normal();
+    let workload = requests_from_arrivals(&profile, dataset.file, &[0.0, 30.0, 60.0]);
+    for mut s in all_schedulers(3) {
+        let m = simulate(
+            &cluster,
+            &SlowdownSchedule::none(),
+            &dataset.dfs,
+            &CostModel::default(),
+            &workload,
+            s.as_mut(),
+            &EngineConfig::default(),
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(m.outcomes.len(), 3, "{}", m.scheduler);
+        let expected = 3.0 * 20.0 * 1024.0;
+        assert!(
+            (m.logical_mb_scanned - expected).abs() < 1e-6,
+            "{}: {}",
+            m.scheduler,
+            m.logical_mb_scanned
+        );
+    }
+}
+
+#[test]
+fn heterogeneous_node_speeds_still_complete() {
+    // Permanently slow nodes (static speed factor) spread across racks.
+    use s3_cluster::{ClusterBuilder, NodeSpec};
+    let slow_spec = NodeSpec {
+        speed_factor: 0.6,
+        ..NodeSpec::default()
+    };
+    let cluster = ClusterBuilder::new()
+        .rack(10)
+        .node_spec(slow_spec)
+        .rack(10)
+        .build();
+    // Racks built after node_spec use the slow spec: rack 1's nodes.
+    assert_eq!(cluster.node(s3_cluster::NodeId(15)).spec.speed_factor, 0.6);
+    assert_eq!(cluster.node(s3_cluster::NodeId(5)).spec.speed_factor, 1.0);
+    let dataset = per_node_file(&cluster, "het", 1, 64);
+    let profile = wordcount_normal();
+    let workload = requests_from_arrivals(&profile, dataset.file, &[0.0, 40.0]);
+    for mut s in all_schedulers(2) {
+        let m = simulate(
+            &cluster,
+            &SlowdownSchedule::none(),
+            &dataset.dfs,
+            &CostModel::default(),
+            &workload,
+            s.as_mut(),
+            &EngineConfig::default(),
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(m.outcomes.len(), 2, "{}", m.scheduler);
+    }
+}
+
+#[test]
+fn map_only_jobs_complete_under_every_scheduler() {
+    // Grep-style jobs request zero reduce tasks: the whole pipeline must
+    // treat "maps done" as "job done".
+    let cluster = ClusterTopology::paper_cluster();
+    let dataset = per_node_file(&cluster, "grep-in", 1, 102);
+    let profile = s3_workloads::grep();
+    let arrivals = [0.0, 20.0, 40.0];
+    let workload = requests_from_arrivals(&profile, dataset.file, &arrivals);
+    for mut s in all_schedulers(3) {
+        let m = simulate(
+            &cluster,
+            &SlowdownSchedule::none(),
+            &dataset.dfs,
+            &CostModel::default(),
+            &workload,
+            s.as_mut(),
+            &EngineConfig::default(),
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(m.outcomes.len(), 3, "{}", m.scheduler);
+        // No reduce tasks ever ran.
+        assert_eq!(m.reduce_task_time.count, 0, "{}", m.scheduler);
+    }
+}
+
+#[test]
+fn single_job_is_equivalent_across_sharing_schedulers() {
+    // With one job there is nothing to share: S3, FIFO, MRShare all read
+    // the file exactly once.
+    for mut s in all_schedulers(1) {
+        let m = run_with(s.as_mut(), &[0.0]);
+        assert_eq!(m.blocks_read as f64, 402.0, "{}", m.scheduler);
+        assert_eq!(m.mb_read, m.logical_mb_scanned, "{}", m.scheduler);
+    }
+}

@@ -1,0 +1,192 @@
+//! TaskTracker failure injection: nodes die mid-run, their in-flight work
+//! is lost, and every scheduler must re-execute it to completion — the
+//! "fine-grained fault tolerance" the paper names as MapReduce's essence.
+
+use s3_cluster::{ClusterTopology, FailureSchedule, NodeId, SlowdownSchedule};
+use s3_core::{FairScheduler, FifoScheduler, MRShareScheduler, S3Scheduler};
+use s3_mapreduce::{
+    job::requests_from_arrivals, simulate, CostModel, EngineConfig, RunMetrics, Scheduler,
+};
+use s3_workloads::{per_node_file, wordcount_normal};
+
+fn run_with_failures(
+    scheduler: &mut dyn Scheduler,
+    arrivals: &[f64],
+    failures: FailureSchedule,
+) -> RunMetrics {
+    let cluster = ClusterTopology::paper_cluster();
+    let dataset = per_node_file(&cluster, "ft", 1, 64); // 640 blocks
+    let profile = wordcount_normal();
+    let workload = requests_from_arrivals(&profile, dataset.file, arrivals);
+    simulate(
+        &cluster,
+        &SlowdownSchedule::none(),
+        &dataset.dfs,
+        &CostModel::default(),
+        &workload,
+        scheduler,
+        &EngineConfig {
+            failures,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("jobs must survive node deaths")
+}
+
+fn three_deaths() -> FailureSchedule {
+    // Late enough that every scheduler (including batch-everything MRS1,
+    // which waits for the last arrival plus submission overhead) has work
+    // in flight when the nodes die.
+    FailureSchedule::none()
+        .kill(NodeId(2), s3_sim::SimTime::from_secs(50))
+        .kill(NodeId(17), s3_sim::SimTime::from_secs(60))
+        .kill(NodeId(33), s3_sim::SimTime::from_secs_f64(70.5))
+}
+
+#[test]
+fn every_scheduler_survives_node_deaths() {
+    let arrivals = [0.0, 15.0, 30.0];
+    let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(S3Scheduler::default()),
+        Box::new(FifoScheduler::new()),
+        Box::new(MRShareScheduler::mrs1(3)),
+        Box::new(MRShareScheduler::mrs3(3)),
+        Box::new(FairScheduler::new()),
+    ];
+    for s in &mut schedulers {
+        let m = run_with_failures(s.as_mut(), &arrivals, three_deaths());
+        assert_eq!(m.outcomes.len(), 3, "{}", m.scheduler);
+        assert!(m.tasks_failed > 0, "{}: deaths should cost attempts", m.scheduler);
+        // Lost attempts re-scan their blocks: physical reads exceed the
+        // logical minimum by exactly the failed map attempts.
+        let expected_min = m.logical_mb_scanned / 64.0; // best case, fully shared
+        assert!(m.blocks_read as f64 >= expected_min / 64.0, "{}", m.scheduler);
+    }
+}
+
+#[test]
+fn failures_slow_a_single_job_but_not_catastrophically() {
+    // One job, so no sharing effects confound the comparison. (With two
+    // overlapping jobs, deaths that slow the first job can *increase*
+    // sharing with the second and even lower TET — a real S³ effect.)
+    let arrivals = [0.0];
+    let clean = run_with_failures(&mut S3Scheduler::default(), &arrivals, FailureSchedule::none());
+    let deaths = FailureSchedule::none()
+        .kill(NodeId(2), s3_sim::SimTime::from_secs(10))
+        .kill(NodeId(17), s3_sim::SimTime::from_secs(25))
+        .kill(NodeId(33), s3_sim::SimTime::from_secs(40));
+    let failed = run_with_failures(&mut S3Scheduler::default(), &arrivals, deaths);
+    assert_eq!(clean.tasks_failed, 0);
+    assert!(failed.tasks_failed > 0);
+    let ratio = failed.tet().as_secs_f64() / clean.tet().as_secs_f64();
+    // 3 of 40 nodes die early: ~8% capacity loss plus re-execution.
+    assert!(ratio > 1.0, "deaths must hurt a lone job: {ratio}");
+    assert!(ratio < 1.6, "re-execution should be contained: {ratio}");
+    // Lost attempts re-scanned their blocks.
+    assert!(failed.blocks_read >= clean.blocks_read);
+}
+
+#[test]
+fn dead_nodes_get_no_tasks_after_death() {
+    use s3_mapreduce::{simulate_traced, Trace, TraceKind};
+    let cluster = ClusterTopology::paper_cluster();
+    let dataset = per_node_file(&cluster, "ft2", 1, 64);
+    let profile = wordcount_normal();
+    let workload = requests_from_arrivals(&profile, dataset.file, &[0.0]);
+    let death = s3_sim::SimTime::from_secs(20);
+    let (m, trace) = simulate_traced(
+        &cluster,
+        &SlowdownSchedule::none(),
+        &dataset.dfs,
+        &CostModel::default(),
+        &workload,
+        &mut S3Scheduler::default(),
+        &EngineConfig {
+            failures: FailureSchedule::none().kill(NodeId(5), death),
+            ..EngineConfig::default()
+        },
+        Some(Trace::new()),
+    )
+    .expect("completes");
+    assert_eq!(m.outcomes.len(), 1);
+    // No task ever *starts* on node 5 after its death.
+    for e in trace.events() {
+        if e.node == Some(NodeId(5))
+            && matches!(e.kind, TraceKind::MapStart | TraceKind::ReduceStart)
+        {
+            assert!(e.at < death, "task started on a dead node at {}", e.at);
+        }
+    }
+    // And its lost attempts were recorded.
+    let failed_here = trace
+        .events()
+        .iter()
+        .filter(|e| e.kind == TraceKind::MapFailed && e.node == Some(NodeId(5)))
+        .count();
+    assert_eq!(failed_here as u64, m.tasks_failed);
+}
+
+#[test]
+fn reduce_attempts_are_requeued_after_deaths() {
+    use s3_mapreduce::{simulate_traced, Trace, TraceKind};
+    // A small map phase (one wave) so reduces start early, then kill a
+    // node while the reduce wave runs.
+    let cluster = ClusterTopology::paper_cluster();
+    let dataset = per_node_file(&cluster, "ftr", 1, 1024); // 40 blocks, 1/node
+    let profile = wordcount_normal();
+    let workload = requests_from_arrivals(&profile, dataset.file, &[0.0]);
+    // Maps ~ one wave of big blocks; kill several nodes spread over the
+    // window where reduces run.
+    let mut failures = FailureSchedule::none();
+    for (i, node) in [1u32, 9, 21, 30].iter().enumerate() {
+        failures = failures.kill(
+            NodeId(*node),
+            s3_sim::SimTime::from_secs(20 + 4 * i as u64),
+        );
+    }
+    let (m, trace) = simulate_traced(
+        &cluster,
+        &SlowdownSchedule::none(),
+        &dataset.dfs,
+        &CostModel::default(),
+        &workload,
+        &mut FifoScheduler::new(),
+        &EngineConfig {
+            failures,
+            ..EngineConfig::default()
+        },
+        Some(Trace::new()),
+    )
+    .expect("survives");
+    assert_eq!(m.outcomes.len(), 1);
+    let failed = trace
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, TraceKind::MapFailed | TraceKind::ReduceFailed))
+        .count();
+    assert_eq!(failed as u64, m.tasks_failed);
+    assert!(m.tasks_failed > 0, "some attempt should be lost");
+    // Every one of the job's 30 reduce partitions ultimately completed.
+    let reduce_ok = trace.of_kind(TraceKind::ReduceEnd).count();
+    let reduce_failed = trace.of_kind(TraceKind::ReduceFailed).count();
+    assert_eq!(reduce_ok, 30, "30 successful reduces; re-runs replace failures");
+    let _ = reduce_failed;
+}
+
+#[test]
+fn all_jobs_still_scan_the_whole_file_logically() {
+    // Failure re-execution must not double-count logical coverage: each
+    // job's results still come from exactly one logical pass.
+    let arrivals = [0.0, 10.0];
+    let m = run_with_failures(&mut S3Scheduler::default(), &arrivals, three_deaths());
+    let file_mb = 40.0 * 1024.0;
+    // logical_mb_scanned counts assignment-time volume, including failed
+    // attempts, so it is at least 2 passes and at most 2 passes + failures.
+    let min = 2.0 * file_mb;
+    let max = 2.0 * file_mb + m.tasks_failed as f64 * 64.0 * 10.0;
+    assert!(
+        m.logical_mb_scanned >= min - 1e-6 && m.logical_mb_scanned <= max,
+        "logical volume {} outside [{min}, {max}]",
+        m.logical_mb_scanned
+    );
+}

@@ -1,0 +1,159 @@
+//! The reproduction's headline claims, pinned as tests: the *shapes* of
+//! every table and figure in the paper's evaluation. Absolute seconds are
+//! not asserted (our substrate is a simulator, not the authors' testbed);
+//! orderings and coarse ratios are.
+//!
+//! These run the full 40-node simulations and are the slowest tests in the
+//! workspace (a few seconds in debug builds).
+
+use s3_bench::experiments::{
+    run_examples, run_fig3, run_fig4, run_table1, Fig4Variant, DEFAULT_SEED,
+};
+
+#[test]
+fn table1_matches_paper() {
+    let t = run_table1(DEFAULT_SEED);
+    assert!((t.input_mb - 160.0 * 1024.0).abs() < 1.0);
+    assert!((2.3e8..2.7e8).contains(&t.map_output_records), "{}", t.map_output_records);
+    assert!((55_000.0..85_000.0).contains(&t.reduce_output_records));
+    assert!((2.2 * 1024.0..2.6 * 1024.0).contains(&t.map_output_mb));
+    assert!((1.2..1.8).contains(&t.reduce_output_mb));
+    // "~240 sec" single-job processing time; allow a generous band.
+    assert!(
+        (200.0..290.0).contains(&t.processing_time_s),
+        "processing time {}",
+        t.processing_time_s
+    );
+}
+
+#[test]
+fn fig3_combined_job_overhead_is_mild_and_monotone() {
+    let r = run_fig3(10, DEFAULT_SEED);
+    // Monotone: combining more jobs never gets cheaper.
+    for w in r.points.windows(2) {
+        assert!(w[1].tet_s >= w[0].tet_s * 0.995, "TET must not shrink");
+        assert!(w[1].avg_map_s >= w[0].avg_map_s);
+        assert!(w[1].avg_reduce_s >= w[0].avg_reduce_s);
+    }
+    // Paper: ten combined jobs cost +25.5% TET, +28.8% map, +23.5% reduce.
+    // Pin the coarse bands: overhead must be tens of percent, not 10x.
+    let (tet, map, reduce) = r.overhead_at(10);
+    assert!((1.15..1.55).contains(&tet), "TET ratio {tet}");
+    assert!((1.15..1.50).contains(&map), "map ratio {map}");
+    assert!((1.10..1.50).contains(&reduce), "reduce ratio {reduce}");
+}
+
+#[test]
+fn fig4a_sparse_normal_orderings() {
+    let r = run_fig4(Fig4Variant::SparseNormal64, DEFAULT_SEED);
+    let tet = |n: &str| r.get(n).unwrap().tet_s;
+    let art = |n: &str| r.get(n).unwrap().art_s;
+
+    // FIFO is far worse than S3 on both metrics (paper: 2.2x / 2.5x).
+    assert!(tet("FIFO") / tet("S3") > 1.6, "FIFO TET ratio");
+    assert!(art("FIFO") / art("S3") > 2.0, "FIFO ART ratio");
+    // S3 has the best ART outright.
+    for name in ["FIFO", "MRS1", "MRS2", "MRS3"] {
+        assert!(art(name) >= art("S3"), "{name} ART must not beat S3");
+    }
+    // MRS1 batches everything: worst ART among MRShare variants.
+    assert!(art("MRS1") > art("MRS2") && art("MRS2") > art("MRS3"));
+    // MRShare TET stays within a few percent of S3 (paper: 1.03-1.32x;
+    // see EXPERIMENTS.md for why our faithful queueing model narrows it).
+    for name in ["MRS1", "MRS2", "MRS3"] {
+        let ratio = tet(name) / tet("S3");
+        assert!((0.93..1.4).contains(&ratio), "{name} TET ratio {ratio}");
+    }
+}
+
+#[test]
+fn fig4b_dense_mrs1_wins_and_mrs3_collapses() {
+    let r = run_fig4(Fig4Variant::DenseNormal64, DEFAULT_SEED);
+    let tet = |n: &str| r.get(n).unwrap().tet_s;
+    let art = |n: &str| r.get(n).unwrap().art_s;
+    // Paper: in a dense pattern MRS1 is the best, even better than S3.
+    assert!(tet("MRS1") <= tet("S3"), "MRS1 must win TET dense");
+    assert!(art("MRS1") <= art("S3"), "MRS1 must win ART dense");
+    // Paper: MRS3 extends TET/ART significantly (up to >3x S3).
+    assert!(tet("MRS3") / tet("S3") > 1.7, "MRS3 must collapse");
+    // FIFO stays terrible.
+    assert!(tet("FIFO") / tet("S3") > 3.0);
+}
+
+#[test]
+fn fig4c_heavy_workload_dilutes_sharing() {
+    let normal = run_fig4(Fig4Variant::SparseNormal64, DEFAULT_SEED);
+    let heavy = run_fig4(Fig4Variant::SparseHeavy64, DEFAULT_SEED);
+    // Paper: S3's TET grows ~40% under the heavy workload.
+    let growth = heavy.s3_tet() / normal.s3_tet();
+    assert!((1.2..1.6).contains(&growth), "heavy S3 TET growth {growth}");
+    // Sharing matters less: the MRShare-vs-S3 TET spread narrows while
+    // MRS1's ART stays bad.
+    let art = |n: &str| heavy.get(n).unwrap().art_s;
+    assert!(art("MRS1") / art("S3") > 1.5, "MRS1 ART must stay bad");
+}
+
+#[test]
+fn fig4d_large_blocks_shrink_s3s_edge() {
+    let d64 = run_fig4(Fig4Variant::SparseNormal64, DEFAULT_SEED);
+    let d128 = run_fig4(Fig4Variant::SparseNormal128, DEFAULT_SEED);
+    // 128 MB blocks give the fastest absolute processing (paper V-F).
+    assert!(d128.s3_tet() < d64.s3_tet());
+    // FIFO's TET disadvantage narrows at 128 MB vs 64 MB...
+    let fifo_ratio_64 = d64.get("FIFO").unwrap().tet_s / d64.s3_tet();
+    let fifo_ratio_128 = d128.get("FIFO").unwrap().tet_s / d128.s3_tet();
+    assert!(
+        fifo_ratio_128 < fifo_ratio_64,
+        "FIFO gap must shrink: {fifo_ratio_64} -> {fifo_ratio_128}"
+    );
+    // ...but S3 still clearly wins ART (paper: "still wins in ART").
+    assert!(d128.get("FIFO").unwrap().art_s / d128.s3_art() > 1.5);
+}
+
+#[test]
+fn fig4e_small_blocks_slow_everyone_but_s3_still_wins_art() {
+    let d64 = run_fig4(Fig4Variant::SparseNormal64, DEFAULT_SEED);
+    let d32 = run_fig4(Fig4Variant::SparseNormal32, DEFAULT_SEED);
+    // Everything is slower at 32 MB (paper: worst of the three sizes).
+    assert!(d32.s3_tet() > d64.s3_tet());
+    assert!(
+        d32.get("FIFO").unwrap().tet_s > d64.get("FIFO").unwrap().tet_s
+    );
+    // S3 keeps the best ART; FIFO collapses hardest.
+    let art = |n: &str| d32.get(n).unwrap().art_s;
+    for name in ["FIFO", "MRS1", "MRS2", "MRS3"] {
+        assert!(art(name) > art("S3"), "{name}");
+    }
+    assert!(art("FIFO") / art("S3") > 2.5);
+}
+
+#[test]
+fn fig4f_selection_s3_beats_everything() {
+    let r = run_fig4(Fig4Variant::Selection64, DEFAULT_SEED);
+    let tet = |n: &str| r.get(n).unwrap().tet_s;
+    let art = |n: &str| r.get(n).unwrap().art_s;
+    // Paper: S3 outperforms MRShare in both TET and ART; FIFO much worse.
+    for name in ["FIFO", "MRS1", "MRS2", "MRS3"] {
+        assert!(tet(name) > tet("S3"), "{name} TET");
+        assert!(art(name) > art("S3"), "{name} ART");
+    }
+    assert!(tet("FIFO") / tet("S3") > 2.0);
+}
+
+#[test]
+fn section3_examples_are_exact() {
+    let r = run_examples();
+    let get = |scenario: &str, scheme: &str| -> (f64, f64) {
+        r.rows
+            .iter()
+            .find(|(sc, s, _, _)| sc.starts_with(scenario) && s == scheme)
+            .map(|&(_, _, t, a)| (t, a))
+            .expect("row exists")
+    };
+    assert_eq!(get("Example 1", "FIFO"), (200.0, 140.0));
+    assert_eq!(get("Example 1", "MRShare"), (120.0, 110.0));
+    assert_eq!(get("Example 1", "S3"), (120.0, 100.0));
+    assert_eq!(get("Example 2", "FIFO"), (200.0, 110.0));
+    assert_eq!(get("Example 2", "MRShare"), (180.0, 140.0));
+    assert_eq!(get("Example 2", "S3"), (180.0, 100.0));
+}

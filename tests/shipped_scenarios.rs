@@ -1,0 +1,87 @@
+//! The scenario files shipped in `scenarios/` must stay parseable and
+//! runnable, and each must demonstrate the effect it was written for.
+
+use s3_bench::scenario::ScenarioSpec;
+use std::path::Path;
+
+fn load(name: &str) -> ScenarioSpec {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../scenarios")
+        .join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("parsing {name}: {e}"))
+}
+
+#[test]
+fn all_shipped_scenarios_parse() {
+    for name in [
+        "fig4a.json",
+        "stragglers.json",
+        "node_failures.json",
+        "priority.json",
+    ] {
+        let spec = load(name);
+        assert!(!spec.schedulers.is_empty(), "{name}");
+    }
+}
+
+#[test]
+fn fig4a_scenario_reproduces_the_panel_orderings() {
+    let runs = load("fig4a.json").run().expect("runs");
+    assert_eq!(runs.len(), 5);
+    let tet = |i: usize| runs[i].metrics.tet().as_secs_f64();
+    let art = |i: usize| runs[i].metrics.art().as_secs_f64();
+    // 0=S3, 1=FIFO, 2=MRS1, 3=MRS2, 4=MRS3: FIFO far worse, S3 best ART.
+    assert!(tet(1) / tet(0) > 1.6);
+    for i in 1..5 {
+        assert!(art(i) > art(0), "scheduler {i} ART must exceed S3's");
+    }
+}
+
+#[test]
+fn straggler_scenario_shows_slot_checking_win() {
+    let runs = load("stragglers.json").run().expect("runs");
+    assert_eq!(runs.len(), 2);
+    let plain = runs[0].metrics.tet().as_secs_f64();
+    let checked = runs[1].metrics.tet().as_secs_f64();
+    assert!(
+        checked < plain * 0.9,
+        "slot checking should recover >10%: {plain} vs {checked}"
+    );
+}
+
+#[test]
+fn failure_scenario_loses_and_recovers_attempts() {
+    let runs = load("node_failures.json").run().expect("runs");
+    for r in &runs {
+        assert_eq!(r.metrics.outcomes.len(), 2, "{}", r.metrics.scheduler);
+    }
+    assert!(
+        runs.iter().any(|r| r.metrics.tasks_failed > 0),
+        "the deaths should cost attempts"
+    );
+}
+
+#[test]
+fn priority_scenario_speeds_the_high_job() {
+    let runs = load("priority.json").run().expect("runs");
+    assert_eq!(runs.len(), 2);
+    // The high-priority job is the last submitted (id 9).
+    let high_response = |i: usize| {
+        runs[i]
+            .metrics
+            .outcomes
+            .iter()
+            .find(|o| o.job.0 == 9)
+            .expect("job 9 completed")
+            .response()
+            .as_secs_f64()
+    };
+    assert!(
+        high_response(1) < high_response(0),
+        "priority-aware S3 must speed the urgent job: {} vs {}",
+        high_response(0),
+        high_response(1)
+    );
+}

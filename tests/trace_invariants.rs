@@ -1,0 +1,176 @@
+//! Execution-trace invariants: structural properties of the schedule that
+//! must hold for any scheduler, verified on full traces.
+
+use s3_cluster::{ClusterTopology, NodeId, SlowdownSchedule};
+use s3_core::{FifoScheduler, MRShareScheduler, S3Scheduler};
+use s3_mapreduce::{
+    job::requests_from_arrivals, simulate_traced, CostModel, EngineConfig, RunMetrics, Scheduler,
+    Trace, TraceKind,
+};
+use s3_workloads::{per_node_file, wordcount_normal};
+
+fn traced_run(scheduler: &mut dyn Scheduler, arrivals: &[f64]) -> (RunMetrics, Trace) {
+    let cluster = ClusterTopology::paper_cluster();
+    let dataset = per_node_file(&cluster, "trace", 1, 64); // 640 blocks
+    let profile = wordcount_normal();
+    let workload = requests_from_arrivals(&profile, dataset.file, arrivals);
+    simulate_traced(
+        &cluster,
+        &SlowdownSchedule::none(),
+        &dataset.dfs,
+        &CostModel::default(),
+        &workload,
+        scheduler,
+        &EngineConfig::default(),
+        Some(Trace::new()),
+    )
+    .expect("traced run completes")
+}
+
+fn schedulers() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(S3Scheduler::default()),
+        Box::new(FifoScheduler::new()),
+        Box::new(MRShareScheduler::mrs2(3)),
+    ]
+}
+
+#[test]
+fn map_intervals_never_overlap_on_a_slot() {
+    // One map slot per node: intervals on each node must be disjoint.
+    for mut s in schedulers() {
+        let (m, trace) = traced_run(s.as_mut(), &[0.0, 20.0, 40.0]);
+        for node_id in 0..40u32 {
+            let mut iv = trace.map_intervals_on(NodeId(node_id));
+            iv.sort_by_key(|&(s, _)| s);
+            for w in iv.windows(2) {
+                assert!(
+                    w[0].1 <= w[1].0,
+                    "{}: overlapping maps on node{node_id}: {:?}",
+                    m.scheduler,
+                    w
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn trace_event_counts_are_balanced() {
+    for mut s in schedulers() {
+        let (m, trace) = traced_run(s.as_mut(), &[0.0, 20.0, 40.0]);
+        let starts = trace.of_kind(TraceKind::MapStart).count();
+        let ends = trace.of_kind(TraceKind::MapEnd).count();
+        assert_eq!(starts, ends, "{}", m.scheduler);
+        assert_eq!(starts as u64, m.blocks_read, "{}", m.scheduler);
+        assert_eq!(trace.of_kind(TraceKind::JobSubmitted).count(), 3);
+        assert_eq!(trace.of_kind(TraceKind::JobCompleted).count(), 3);
+        let rstarts = trace.of_kind(TraceKind::ReduceStart).count();
+        let rends = trace.of_kind(TraceKind::ReduceEnd).count();
+        assert_eq!(rstarts, rends, "{}", m.scheduler);
+    }
+}
+
+#[test]
+fn completions_follow_all_of_a_jobs_work() {
+    // A job's completion event must come after the last task that served it.
+    for mut s in schedulers() {
+        let (m, trace) = traced_run(s.as_mut(), &[0.0, 30.0]);
+        for outcome in &m.outcomes {
+            let last_task_end = trace
+                .events()
+                .iter()
+                .filter(|e| {
+                    matches!(e.kind, TraceKind::MapEnd | TraceKind::ReduceEnd)
+                        && e.jobs.contains(&outcome.job)
+                })
+                .map(|e| e.at)
+                .max()
+                .expect("job ran tasks");
+            assert!(
+                outcome.completed >= last_task_end,
+                "{}: job completed before its last task",
+                m.scheduler
+            );
+        }
+    }
+}
+
+#[test]
+fn s3_keeps_the_cluster_busy_during_overlap() {
+    // With two overlapping jobs, S3's map slots stay well utilized on
+    // every node over the run.
+    let (_, trace) = traced_run(&mut S3Scheduler::default(), &[0.0, 10.0]);
+    let mut total = 0.0;
+    for node_id in 0..40u32 {
+        total += trace.map_utilization_of(NodeId(node_id));
+    }
+    let avg = total / 40.0;
+    assert!(avg > 0.5, "average map utilization too low: {avg:.2}");
+}
+
+#[test]
+fn shared_tasks_carry_every_merged_job() {
+    // Under S3 with two fully-overlapping jobs, some map tasks must list
+    // both jobs (the merged sub-jobs), and those tasks dominate.
+    let (m, trace) = traced_run(&mut S3Scheduler::default(), &[0.0, 5.0]);
+    let shared = trace
+        .of_kind(TraceKind::MapStart)
+        .filter(|e| e.jobs.len() == 2)
+        .count();
+    let solo = trace
+        .of_kind(TraceKind::MapStart)
+        .filter(|e| e.jobs.len() == 1)
+        .count();
+    assert!(shared > 0, "no shared tasks recorded");
+    assert!(
+        shared > solo,
+        "sharing should dominate: {shared} shared vs {solo} solo ({})",
+        m.scheduler
+    );
+}
+
+#[test]
+fn s3_runs_one_merged_subjob_map_phase_at_a_time() {
+    // Partial job initialization: per scan, the next merged sub-job's map
+    // phase starts only after the current one's maps all finished. In the
+    // trace: order batches by their first MapStart; then every batch's
+    // first MapStart must be at or after the previous batch's last MapEnd.
+    use std::collections::BTreeMap;
+    let (_, trace) = traced_run(&mut S3Scheduler::default(), &[0.0, 15.0, 30.0]);
+    let mut first_start: BTreeMap<u64, s3_sim::SimTime> = BTreeMap::new();
+    let mut last_end: BTreeMap<u64, s3_sim::SimTime> = BTreeMap::new();
+    for e in trace.events() {
+        let Some(batch) = e.batch else { continue };
+        match e.kind {
+            TraceKind::MapStart => {
+                first_start.entry(batch.0).or_insert(e.at);
+            }
+            TraceKind::MapEnd => {
+                last_end.insert(batch.0, e.at);
+            }
+            _ => {}
+        }
+    }
+    let mut ordered: Vec<(u64, s3_sim::SimTime)> = first_start.iter().map(|(&b, &t)| (b, t)).collect();
+    ordered.sort_by_key(|&(_, t)| t);
+    assert!(ordered.len() > 2, "expected several sub-jobs");
+    for w in ordered.windows(2) {
+        let (prev_batch, _) = w[0];
+        let (next_batch, next_first) = w[1];
+        let prev_last = last_end[&prev_batch];
+        assert!(
+            next_first >= prev_last,
+            "batch {next_batch} maps started at {next_first} before batch {prev_batch} finished at {prev_last}"
+        );
+    }
+}
+
+#[test]
+fn timeline_renders_at_cluster_scale() {
+    let (_, trace) = traced_run(&mut S3Scheduler::default(), &[0.0, 20.0]);
+    let nodes: Vec<NodeId> = (0..40).map(NodeId).collect();
+    let s = trace.render_timeline(&nodes, 80);
+    assert_eq!(s.lines().count(), 41); // header + one row per node
+    assert!(s.contains('M'));
+}
