@@ -67,6 +67,16 @@ fn main() -> ExitCode {
                     m.mb_saved()
                 );
             }
+            let mut bad = false;
+            for r in &runs {
+                for v in &r.violations {
+                    eprintln!("{}: invariant violation: {v}", r.metrics.scheduler);
+                    bad = true;
+                }
+            }
+            if bad {
+                return ExitCode::FAILURE;
+            }
             ExitCode::SUCCESS
         }
         Some("timeline") => {

@@ -12,7 +12,8 @@ use s3_core::{
 };
 use s3_mapreduce::job::requests_with_priorities;
 use s3_mapreduce::{
-    simulate_traced, CostModel, EngineConfig, Priority, RunMetrics, Scheduler, Trace,
+    simulate_traced, CostModel, EngineConfig, InvariantChecker, Priority, RunMetrics, Scheduler,
+    Trace, Violation,
 };
 use s3_sim::SimTime;
 use s3_workloads::{selection, wordcount_heavy, wordcount_normal, ArrivalPattern, Dataset};
@@ -263,6 +264,9 @@ pub struct ScenarioRun {
     pub metrics: RunMetrics,
     /// Full execution trace.
     pub trace: Trace,
+    /// Trace-invariant violations found by replaying the trace through
+    /// the [`InvariantChecker`] — always empty for a correct scheduler.
+    pub violations: Vec<Violation>,
 }
 
 impl ScenarioSpec {
@@ -466,7 +470,19 @@ impl ScenarioSpec {
                 Some(Trace::new()),
             )
             .map_err(ScenarioError::Sim)?;
-            out.push(ScenarioRun { metrics, trace });
+            let violations = InvariantChecker {
+                cluster: &cluster,
+                dfs: &dataset.dfs,
+                workload: &workload,
+                failures: &failures,
+                speculation: false,
+            }
+            .check(&trace);
+            out.push(ScenarioRun {
+                metrics,
+                trace,
+                violations,
+            });
         }
         Ok(out)
     }
@@ -523,6 +539,7 @@ mod tests {
         for r in &runs {
             assert_eq!(r.metrics.outcomes.len(), 2);
             assert!(!r.trace.events().is_empty());
+            assert!(r.violations.is_empty(), "{:?}", r.violations);
         }
     }
 

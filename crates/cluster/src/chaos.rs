@@ -1,0 +1,353 @@
+//! Seeded fault-plan generation for deterministic chaos testing.
+//!
+//! A [`ChaosPlan`] is a reproducible set of injected faults — permanent
+//! TaskTracker deaths, persistent stragglers, and transient slot slowdowns
+//! — drawn from a single 64-bit seed. Equal seeds yield byte-identical
+//! plans, so any failing run found by the `s3chaos` fuzzer is replayable
+//! from its seed alone, and a failing plan can be minimized by dropping
+//! faults one at a time ([`ChaosPlan::without_fault`]) while the failure
+//! persists.
+//!
+//! Transient slowdowns are the interesting case for the S³ scheduler's
+//! periodic slot checking: the slowed node should be *excluded* while the
+//! window lasts and *re-admitted* once it recovers, and the trace-level
+//! invariant checker verifies no task started on it in between.
+
+use crate::node::NodeId;
+use crate::slowdown::{FailureSchedule, SlowdownSchedule, SpeedProfile};
+use s3_sim::{SimRng, SimTime};
+
+/// One injected fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// Permanent TaskTracker death at `at_s` (the co-located DataNode
+    /// survives, so the node's blocks stay readable remotely).
+    Death {
+        /// The doomed node.
+        node: NodeId,
+        /// Death time, seconds.
+        at_s: f64,
+    },
+    /// Persistent straggler: the node runs at `factor` speed from `from_s`
+    /// onwards and never recovers.
+    Straggler {
+        /// The slowed node.
+        node: NodeId,
+        /// Onset time, seconds.
+        from_s: f64,
+        /// Speed multiplier in `(0, 1)`.
+        factor: f64,
+    },
+    /// Transient slot slowdown: `factor` during `[from_s, until_s)`,
+    /// nominal again afterwards. Drives slot exclusion followed by late
+    /// re-admission under periodic slot checking.
+    Transient {
+        /// The slowed node.
+        node: NodeId,
+        /// Onset time, seconds.
+        from_s: f64,
+        /// Recovery time, seconds.
+        until_s: f64,
+        /// Speed multiplier in `(0, 1)` while the window lasts.
+        factor: f64,
+    },
+}
+
+impl Fault {
+    /// The node this fault targets.
+    pub fn node(&self) -> NodeId {
+        match *self {
+            Fault::Death { node, .. }
+            | Fault::Straggler { node, .. }
+            | Fault::Transient { node, .. } => node,
+        }
+    }
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Fault::Death { node, at_s } => write!(f, "death of {node} at {at_s:.1}s"),
+            Fault::Straggler {
+                node,
+                from_s,
+                factor,
+            } => write!(f, "straggler {node} at {factor:.2}x from {from_s:.1}s"),
+            Fault::Transient {
+                node,
+                from_s,
+                until_s,
+                factor,
+            } => write!(
+                f,
+                "transient {node} at {factor:.2}x during {from_s:.1}s..{until_s:.1}s"
+            ),
+        }
+    }
+}
+
+/// Bounds for chaos plan generation.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Faults land inside `[5, horizon_s]` seconds of simulated time.
+    pub horizon_s: f64,
+    /// Maximum permanent deaths per plan.
+    pub max_deaths: u32,
+    /// Maximum persistent stragglers per plan.
+    pub max_stragglers: u32,
+    /// Maximum transient slowdowns per plan.
+    pub max_transients: u32,
+    /// Hard cap on the fraction of nodes that may die (keeps the cluster
+    /// able to finish the workload).
+    pub max_dead_fraction: f64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            horizon_s: 120.0,
+            max_deaths: 3,
+            max_stragglers: 2,
+            max_transients: 2,
+            max_dead_fraction: 0.25,
+        }
+    }
+}
+
+/// A reproducible set of faults drawn from one seed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChaosPlan {
+    /// The injected faults, in generation order. Every fault targets a
+    /// distinct node, so dropping one never changes another's meaning.
+    pub faults: Vec<Fault>,
+}
+
+impl ChaosPlan {
+    /// Generate the plan for `seed` over `nodes`. Deterministic: equal
+    /// inputs yield equal plans.
+    pub fn generate(seed: u64, nodes: &[NodeId], cfg: &ChaosConfig) -> ChaosPlan {
+        assert!(!nodes.is_empty(), "chaos needs at least one node");
+        let mut rng = SimRng::seed_from_u64(seed);
+
+        // Victim pool: a seeded shuffle, consumed from the front so every
+        // fault targets a distinct node.
+        let mut pool: Vec<NodeId> = nodes.to_vec();
+        for i in (1..pool.len()).rev() {
+            pool.swap(i, rng.index(i + 1));
+        }
+        let mut pool = pool.into_iter();
+
+        let dead_cap = ((nodes.len() as f64 * cfg.max_dead_fraction) as u32).max(1);
+        let n_deaths = (rng.index(cfg.max_deaths as usize + 1) as u32).min(dead_cap);
+        let n_stragglers = rng.index(cfg.max_stragglers as usize + 1) as u32;
+        let n_transients = rng.index(cfg.max_transients as usize + 1) as u32;
+
+        let mut faults = Vec::new();
+        for _ in 0..n_deaths {
+            let Some(node) = pool.next() else { break };
+            faults.push(Fault::Death {
+                node,
+                at_s: rng.uniform(5.0, cfg.horizon_s),
+            });
+        }
+        for _ in 0..n_stragglers {
+            let Some(node) = pool.next() else { break };
+            faults.push(Fault::Straggler {
+                node,
+                from_s: rng.uniform(5.0, cfg.horizon_s),
+                factor: rng.uniform(0.05, 0.45),
+            });
+        }
+        for _ in 0..n_transients {
+            let Some(node) = pool.next() else { break };
+            let from_s = rng.uniform(5.0, cfg.horizon_s);
+            faults.push(Fault::Transient {
+                node,
+                from_s,
+                until_s: from_s + rng.uniform(10.0, 40.0),
+                factor: rng.uniform(0.05, 0.45),
+            });
+        }
+        ChaosPlan { faults }
+    }
+
+    /// Number of faults in the plan.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The plan with fault `idx` removed — the minimization step.
+    pub fn without_fault(&self, idx: usize) -> ChaosPlan {
+        let mut faults = self.faults.clone();
+        faults.remove(idx);
+        ChaosPlan { faults }
+    }
+
+    /// The deaths as an engine-ready [`FailureSchedule`].
+    pub fn failures(&self) -> FailureSchedule {
+        let mut f = FailureSchedule::none();
+        for fault in &self.faults {
+            if let Fault::Death { node, at_s } = *fault {
+                f = f.kill(node, SimTime::from_secs_f64(at_s));
+            }
+        }
+        f
+    }
+
+    /// The slowdowns as an engine-ready [`SlowdownSchedule`]. Each fault
+    /// targets a distinct node, so profiles never need merging.
+    pub fn slowdowns(&self) -> SlowdownSchedule {
+        let mut s = SlowdownSchedule::none();
+        for fault in &self.faults {
+            match *fault {
+                Fault::Death { .. } => {}
+                Fault::Straggler {
+                    node,
+                    from_s,
+                    factor,
+                } => s.set(
+                    node,
+                    SpeedProfile::nominal().change_at(SimTime::from_secs_f64(from_s), factor),
+                ),
+                Fault::Transient {
+                    node,
+                    from_s,
+                    until_s,
+                    factor,
+                } => s.set(
+                    node,
+                    SpeedProfile::slow_between(
+                        SimTime::from_secs_f64(from_s),
+                        SimTime::from_secs_f64(until_s),
+                        factor,
+                    ),
+                ),
+            }
+        }
+        s
+    }
+
+    /// One line per fault, for fuzzer reports.
+    pub fn describe(&self) -> String {
+        if self.faults.is_empty() {
+            return "  (no faults)\n".into();
+        }
+        let mut out = String::new();
+        for (i, fault) in self.faults.iter().enumerate() {
+            out.push_str(&format!("  [{i}] {fault}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn same_seed_same_plan() {
+        let cfg = ChaosConfig::default();
+        let a = ChaosPlan::generate(42, &nodes(40), &cfg);
+        let b = ChaosPlan::generate(42, &nodes(40), &cfg);
+        assert_eq!(a, b);
+        let c = ChaosPlan::generate(43, &nodes(40), &cfg);
+        assert_ne!(a, c, "different seeds should differ (overwhelmingly)");
+    }
+
+    #[test]
+    fn faults_target_distinct_nodes_within_bounds() {
+        let cfg = ChaosConfig::default();
+        for seed in 0..200 {
+            let plan = ChaosPlan::generate(seed, &nodes(40), &cfg);
+            let mut seen = std::collections::BTreeSet::new();
+            for f in &plan.faults {
+                assert!(seen.insert(f.node()), "seed {seed}: duplicate victim");
+                match *f {
+                    Fault::Death { at_s, .. } => {
+                        assert!((5.0..=cfg.horizon_s).contains(&at_s));
+                    }
+                    Fault::Straggler { from_s, factor, .. } => {
+                        assert!((5.0..=cfg.horizon_s).contains(&from_s));
+                        assert!((0.0..0.5).contains(&factor));
+                    }
+                    Fault::Transient {
+                        from_s,
+                        until_s,
+                        factor,
+                        ..
+                    } => {
+                        assert!(until_s > from_s);
+                        assert!((0.0..0.5).contains(&factor));
+                    }
+                }
+            }
+            let deaths = plan.failures().doomed_nodes().count();
+            assert!(deaths <= 10, "seed {seed}: too many deaths");
+        }
+    }
+
+    #[test]
+    fn schedules_reflect_the_faults() {
+        let plan = ChaosPlan {
+            faults: vec![
+                Fault::Death {
+                    node: NodeId(1),
+                    at_s: 30.0,
+                },
+                Fault::Straggler {
+                    node: NodeId(2),
+                    from_s: 10.0,
+                    factor: 0.2,
+                },
+                Fault::Transient {
+                    node: NodeId(3),
+                    from_s: 20.0,
+                    until_s: 50.0,
+                    factor: 0.1,
+                },
+            ],
+        };
+        let failures = plan.failures();
+        assert!(failures.is_alive(NodeId(1), SimTime::from_secs(29)));
+        assert!(!failures.is_alive(NodeId(1), SimTime::from_secs(31)));
+        let slow = plan.slowdowns();
+        assert_eq!(slow.factor_at(NodeId(2), SimTime::from_secs(11)), 0.2);
+        assert_eq!(slow.factor_at(NodeId(3), SimTime::from_secs(25)), 0.1);
+        assert_eq!(slow.factor_at(NodeId(3), SimTime::from_secs(60)), 1.0);
+        assert_eq!(slow.factor_at(NodeId(1), SimTime::from_secs(60)), 1.0);
+    }
+
+    #[test]
+    fn minimization_removes_one_fault() {
+        let cfg = ChaosConfig::default();
+        // Find a seed with at least two faults.
+        let plan = (0..100)
+            .map(|s| ChaosPlan::generate(s, &nodes(40), &cfg))
+            .find(|p| p.len() >= 2)
+            .expect("some seed has >= 2 faults");
+        let smaller = plan.without_fault(0);
+        assert_eq!(smaller.len(), plan.len() - 1);
+        assert_eq!(smaller.faults[0], plan.faults[1]);
+    }
+
+    #[test]
+    fn describe_lists_every_fault() {
+        let cfg = ChaosConfig::default();
+        let plan = (0..100)
+            .map(|s| ChaosPlan::generate(s, &nodes(40), &cfg))
+            .find(|p| !p.is_empty())
+            .expect("some seed has faults");
+        let text = plan.describe();
+        assert_eq!(text.lines().count(), plan.len());
+        assert!(ChaosPlan::default().describe().contains("no faults"));
+    }
+}

@@ -11,11 +11,13 @@
 //! (15/15/10), 1 Gbps links, one map slot per node, 30 reduce tasks — is
 //! available as [`ClusterTopology::paper_cluster`].
 
+pub mod chaos;
 pub mod network;
 pub mod node;
 pub mod slowdown;
 pub mod topology;
 
+pub use chaos::{ChaosConfig, ChaosPlan, Fault};
 pub use network::NetworkModel;
 pub use node::{Node, NodeId, NodeSpec, RackId};
 pub use slowdown::{FailureSchedule, SlowdownSchedule, SpeedProfile};

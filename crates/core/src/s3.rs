@@ -314,6 +314,13 @@ impl S3Scheduler {
         let key = BatchKey(self.next_key);
         self.next_key += 1;
         self.total_subjobs += 1;
+        // Record dynamic sub-job adjustment in the trace: this launch was
+        // sized from the sampled healthy slot count, not the static total.
+        if matches!(self.config.sizing, SubJobSizing::Dynamic { .. })
+            && self.healthy_slots.is_some_and(|h| h != ctx.map_slots())
+        {
+            ctx.note_subjob_adjusted(key, jobs.clone());
+        }
         // Runtime sub-job initialization (Section IV-D-3): the JQM holds a
         // persistent job context and pre-stages the next batch while the
         // current one runs, so a merged sub-job pays only per-task
@@ -537,16 +544,25 @@ impl Scheduler for S3Scheduler {
             return;
         };
         // Periodic slot checking: sample every node's effective speed and
-        // exclude the slow ones from the next round of computation.
-        self.unhealthy.clear();
+        // exclude the slow ones from the next round of computation. State
+        // *changes* (a node newly excluded, or a previously slow node
+        // recovering and being re-admitted) are recorded in the trace so
+        // the invariant checker can prove no excluded slot got work.
+        let previously = std::mem::take(&mut self.unhealthy);
         let mut healthy_slots = 0u32;
         for node in ctx.cluster.nodes() {
             let nominal = node.spec.speed_factor.max(f64::MIN_POSITIVE);
             let effective = ctx.effective_speed(node.id);
             if effective / nominal < self.config.slow_node_threshold {
                 self.unhealthy.push(node.id);
+                if !previously.contains(&node.id) {
+                    ctx.note_slot_excluded(node.id);
+                }
             } else {
                 healthy_slots += node.spec.map_slots;
+                if previously.contains(&node.id) {
+                    ctx.note_slot_readmitted(node.id);
+                }
             }
         }
         self.healthy_slots = Some(healthy_slots.max(1));

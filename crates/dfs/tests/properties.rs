@@ -55,6 +55,44 @@ proptest! {
         }
     }
 
+    /// Segment count is exactly k = ceil(N/m) (Section IV-B), every
+    /// segment except possibly the last holds exactly m blocks, and the
+    /// last holds the remainder.
+    #[test]
+    fn uniform_segment_count_is_ceil(n in 1u32..5000, m in 1u32..200) {
+        let s = Segmentation::uniform(n, m);
+        let k = n.div_ceil(m);
+        prop_assert_eq!(s.num_segments(), k);
+        for seg in s.segments() {
+            let expect = if seg.0 + 1 < k { m } else { n - m * (k - 1) };
+            prop_assert_eq!(s.segment_len(seg), expect);
+        }
+    }
+
+    /// A segment size of at least the file size collapses to one segment
+    /// spanning the whole file — a single wave scans everything.
+    #[test]
+    fn oversized_segment_is_whole_file(n in 1u32..2000, extra in 0u32..100) {
+        let s = Segmentation::uniform(n, n + extra);
+        prop_assert_eq!(s.num_segments(), 1);
+        prop_assert_eq!(s.blocks_of(SegmentId(0)), 0..n);
+        // Degenerate circular order: the lone segment is its own
+        // successor and predecessor.
+        prop_assert_eq!(s.next(SegmentId(0)), SegmentId(0));
+        prop_assert_eq!(s.prev(SegmentId(0)), SegmentId(0));
+    }
+
+    /// next() and prev() are inverse bijections on any segmentation,
+    /// including variable-size ones from dynamic sub-job adjustment.
+    #[test]
+    fn next_prev_are_inverses(sizes in prop::collection::vec(1u32..50, 1..40)) {
+        let s = Segmentation::from_sizes(&sizes);
+        for seg in s.segments() {
+            prop_assert_eq!(s.prev(s.next(seg)), seg);
+            prop_assert_eq!(s.next(s.prev(seg)), seg);
+        }
+    }
+
     /// position_from is the inverse index of scan_order.
     #[test]
     fn position_from_matches_scan_order(n in 1u32..2000, m in 1u32..100, start_raw in any::<u32>()) {

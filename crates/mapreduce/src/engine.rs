@@ -238,6 +238,7 @@ pub fn simulate_traced(
                         node: None,
                         jobs: vec![id],
                         batch: None,
+                        block: None,
                     });
                 }
                 let mut ctx = ctx!(now);
@@ -311,6 +312,7 @@ pub fn simulate_traced(
                                 node: Some(node_id),
                                 jobs: spec.jobs.clone(),
                                 batch: Some(spec.batch),
+                                block: Some(spec.block),
                             });
                         }
                         nodes[node_id.0 as usize].map_slots[slot] = Some(RunningMap {
@@ -390,6 +392,7 @@ pub fn simulate_traced(
                                         node: Some(node_id),
                                         jobs: spec.jobs.clone(),
                                         batch: Some(spec.batch),
+                                        block: Some(spec.block),
                                     });
                                 }
                                 let state = &mut nodes[node_id.0 as usize];
@@ -444,6 +447,7 @@ pub fn simulate_traced(
                                 node: Some(node_id),
                                 jobs: spec.jobs.clone(),
                                 batch: Some(spec.batch),
+                                block: None,
                             });
                         }
                         nodes[node_id.0 as usize].reduce_slots[slot] = Some(spec);
@@ -472,6 +476,7 @@ pub fn simulate_traced(
                             node: Some(node),
                             jobs: spec.jobs.clone(),
                             batch: Some(spec.batch),
+                            block: Some(spec.block),
                         });
                     }
                 } else if !config.failures.is_alive(node, now) {
@@ -486,6 +491,7 @@ pub fn simulate_traced(
                             node: Some(node),
                             jobs: spec.jobs.clone(),
                             batch: Some(spec.batch),
+                            block: Some(spec.block),
                         });
                     }
                     let mut ctx = ctx!(now);
@@ -498,6 +504,7 @@ pub fn simulate_traced(
                             node: Some(node),
                             jobs: spec.jobs.clone(),
                             batch: Some(spec.batch),
+                            block: Some(spec.block),
                         });
                     }
                     if config.speculation.is_some() {
@@ -527,6 +534,7 @@ pub fn simulate_traced(
                         node: Some(node),
                         jobs: spec.jobs.clone(),
                         batch: Some(spec.batch),
+                        block: None,
                     });
                 }
                 let mut ctx = ctx!(now);
@@ -544,7 +552,21 @@ pub fn simulate_traced(
             }
         }
 
-        // Apply scheduler-requested effects.
+        // Apply scheduler-requested effects. Notes first: a slot-exclusion
+        // decision made while handling this event precedes any completion
+        // it triggered.
+        for note in outbox.notes.drain(..) {
+            if let Some(t) = trace.as_mut() {
+                t.push(TraceEvent {
+                    at: now,
+                    kind: note.kind,
+                    node: note.node,
+                    jobs: note.jobs,
+                    batch: note.batch,
+                    block: None,
+                });
+            }
+        }
         for job in outbox.completed_jobs.drain(..) {
             let idx = job.0 as usize;
             assert!(
@@ -559,6 +581,7 @@ pub fn simulate_traced(
                     node: None,
                     jobs: vec![job],
                     batch: None,
+                    block: None,
                 });
             }
             metrics.completions.push((job, now));

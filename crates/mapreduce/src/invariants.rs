@@ -1,0 +1,805 @@
+//! Trace-level invariant checking: global safety properties every
+//! scheduler must uphold, proven from an execution [`Trace`] alone.
+//!
+//! The chaos harness (`s3chaos`) replays every trace through
+//! [`InvariantChecker::check`], which asserts:
+//!
+//! 1. **Time order** — events are recorded in non-decreasing time.
+//! 2. **Job lifecycle** — every job is submitted exactly once at its
+//!    request time, completed exactly once no earlier than submission, and
+//!    receives no work after completion.
+//! 3. **Scan coverage** — every block of every job's file is scanned
+//!    exactly once on the job's behalf (at-least-once when speculative
+//!    execution may discard duplicate wins), and never a block outside the
+//!    job's file. This is the paper's correctness core: circular scans,
+//!    mid-scan admission, failure re-execution and dynamic sub-job
+//!    adjustment must all preserve one logical pass per job.
+//! 4. **No work on dead nodes** — no task starts on a node at or after its
+//!    TaskTracker death.
+//! 5. **No work on excluded slots** — between a [`TraceKind::SlotExcluded`]
+//!    and the matching [`TraceKind::SlotReadmitted`], the excluded node
+//!    must not start any task (periodic slot checking, Section IV-D-1).
+//! 6. **Slot capacity** — concurrent tasks per node never exceed its
+//!    configured map/reduce slots, and no task ends without a start.
+//! 7. **Batch consistency** — all events of one batch agree on the merged
+//!    job set, all merged jobs target the same file, every attempt is
+//!    resolved (ended or failed), each block succeeds exactly once per
+//!    batch, and the batch's blocks form one contiguous (circular) segment
+//!    of the file's block sequence — batches only merge sub-jobs targeting
+//!    the same segment.
+
+use crate::batch::BatchKey;
+use crate::job::{JobId, JobRequest};
+use crate::trace::{Trace, TraceEvent, TraceKind};
+use s3_cluster::{ClusterTopology, FailureSchedule, NodeId};
+use s3_dfs::{BlockId, Dfs, FileId};
+use s3_sim::SimTime;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One invariant violation found in a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Short name of the violated invariant (stable, grep-friendly).
+    pub invariant: &'static str,
+    /// Simulated time of the offending event (or `SimTime::ZERO` for
+    /// whole-trace properties such as missing coverage).
+    pub at: SimTime,
+    /// Human-readable description of what went wrong.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] at {}: {}", self.invariant, self.at, self.detail)
+    }
+}
+
+/// Checks a trace against the world it was recorded in.
+///
+/// Borrow the same cluster, DFS, workload and failure schedule the
+/// simulation ran with; the checker never re-runs the simulation.
+pub struct InvariantChecker<'a> {
+    /// Topology the trace ran on (slot capacities).
+    pub cluster: &'a ClusterTopology,
+    /// Block store (file membership, block order).
+    pub dfs: &'a Dfs,
+    /// The submitted jobs (expected lifecycles and files).
+    pub workload: &'a [JobRequest],
+    /// Injected TaskTracker deaths.
+    pub failures: &'a FailureSchedule,
+    /// Whether speculative execution ran: duplicate successful scans of a
+    /// block are then legal (the engine discards rival wins), so coverage
+    /// is checked at-least-once instead of exactly-once.
+    pub speculation: bool,
+}
+
+impl InvariantChecker<'_> {
+    /// Run every invariant over `trace`; empty result means all hold.
+    pub fn check(&self, trace: &Trace) -> Vec<Violation> {
+        let mut out = Vec::new();
+        self.check_time_order(trace, &mut out);
+        self.check_job_lifecycle(trace, &mut out);
+        self.check_scan_coverage(trace, &mut out);
+        self.check_dead_nodes(trace, &mut out);
+        self.check_excluded_slots(trace, &mut out);
+        self.check_slot_capacity(trace, &mut out);
+        self.check_batch_consistency(trace, &mut out);
+        out
+    }
+
+    fn check_time_order(&self, trace: &Trace, out: &mut Vec<Violation>) {
+        for pair in trace.events().windows(2) {
+            if pair[1].at < pair[0].at {
+                out.push(Violation {
+                    invariant: "time-order",
+                    at: pair[1].at,
+                    detail: format!(
+                        "event at {} recorded after event at {}",
+                        pair[1].at, pair[0].at
+                    ),
+                });
+            }
+        }
+    }
+
+    fn check_job_lifecycle(&self, trace: &Trace, out: &mut Vec<Violation>) {
+        for req in self.workload {
+            let submits: Vec<&TraceEvent> = trace
+                .of_kind(TraceKind::JobSubmitted)
+                .filter(|e| e.jobs.contains(&req.id))
+                .collect();
+            let completes: Vec<&TraceEvent> = trace
+                .of_kind(TraceKind::JobCompleted)
+                .filter(|e| e.jobs.contains(&req.id))
+                .collect();
+            if submits.len() != 1 {
+                out.push(Violation {
+                    invariant: "job-lifecycle",
+                    at: SimTime::ZERO,
+                    detail: format!("{} submitted {} times", req.id, submits.len()),
+                });
+            } else if submits[0].at != req.submit {
+                out.push(Violation {
+                    invariant: "job-lifecycle",
+                    at: submits[0].at,
+                    detail: format!(
+                        "{} submitted at {} but requested at {}",
+                        req.id, submits[0].at, req.submit
+                    ),
+                });
+            }
+            if completes.len() != 1 {
+                out.push(Violation {
+                    invariant: "job-lifecycle",
+                    at: SimTime::ZERO,
+                    detail: format!("{} completed {} times", req.id, completes.len()),
+                });
+                continue;
+            }
+            let done = completes[0].at;
+            if done < req.submit {
+                out.push(Violation {
+                    invariant: "job-lifecycle",
+                    at: done,
+                    detail: format!("{} completed at {} before submission", req.id, done),
+                });
+            }
+            // No work may *start* on the job's behalf after its completion.
+            // Scan the suffix of the trace after the completion event.
+            let done_idx = trace
+                .events()
+                .iter()
+                .position(|e| std::ptr::eq(e, completes[0]))
+                .expect("completion event present");
+            for e in &trace.events()[done_idx + 1..] {
+                if matches!(e.kind, TraceKind::MapStart | TraceKind::ReduceStart)
+                    && e.jobs.contains(&req.id)
+                {
+                    out.push(Violation {
+                        invariant: "job-lifecycle",
+                        at: e.at,
+                        detail: format!("{:?} for {} after its completion", e.kind, req.id),
+                    });
+                }
+            }
+        }
+    }
+
+    fn check_scan_coverage(&self, trace: &Trace, out: &mut Vec<Violation>) {
+        // Successful scans credited to each job.
+        let mut scans: BTreeMap<JobId, BTreeMap<BlockId, u32>> = BTreeMap::new();
+        for e in trace.of_kind(TraceKind::MapEnd) {
+            let Some(block) = e.block else {
+                out.push(Violation {
+                    invariant: "scan-coverage",
+                    at: e.at,
+                    detail: "MapEnd without a block".into(),
+                });
+                continue;
+            };
+            for &job in &e.jobs {
+                *scans.entry(job).or_default().entry(block).or_insert(0) += 1;
+            }
+        }
+        for req in self.workload {
+            let seen = scans.remove(&req.id).unwrap_or_default();
+            let file_blocks: BTreeSet<BlockId> =
+                self.dfs.file(req.file).blocks.iter().copied().collect();
+            for (&block, &count) in &seen {
+                if !file_blocks.contains(&block) {
+                    out.push(Violation {
+                        invariant: "scan-coverage",
+                        at: SimTime::ZERO,
+                        detail: format!("{} scanned {block} outside its file", req.id),
+                    });
+                } else if count != 1 && !self.speculation {
+                    out.push(Violation {
+                        invariant: "scan-coverage",
+                        at: SimTime::ZERO,
+                        detail: format!("{} scanned {block} {count} times", req.id),
+                    });
+                }
+            }
+            for &block in &file_blocks {
+                if !seen.contains_key(&block) {
+                    out.push(Violation {
+                        invariant: "scan-coverage",
+                        at: SimTime::ZERO,
+                        detail: format!("{} never scanned {block}", req.id),
+                    });
+                }
+            }
+        }
+        for (job, _) in scans {
+            out.push(Violation {
+                invariant: "scan-coverage",
+                at: SimTime::ZERO,
+                detail: format!("scans credited to unknown {job}"),
+            });
+        }
+    }
+
+    fn check_dead_nodes(&self, trace: &Trace, out: &mut Vec<Violation>) {
+        for e in trace.events() {
+            if !matches!(e.kind, TraceKind::MapStart | TraceKind::ReduceStart) {
+                continue;
+            }
+            let node = e.node.expect("task events carry a node");
+            if !self.failures.is_alive(node, e.at) {
+                out.push(Violation {
+                    invariant: "dead-node",
+                    at: e.at,
+                    detail: format!("{:?} on {node} at/after its death", e.kind),
+                });
+            }
+        }
+    }
+
+    fn check_excluded_slots(&self, trace: &Trace, out: &mut Vec<Violation>) {
+        let mut excluded: BTreeSet<NodeId> = BTreeSet::new();
+        for e in trace.events() {
+            match e.kind {
+                TraceKind::SlotExcluded => {
+                    excluded.insert(e.node.expect("exclusion names a node"));
+                }
+                TraceKind::SlotReadmitted => {
+                    let node = e.node.expect("readmission names a node");
+                    if !excluded.remove(&node) {
+                        out.push(Violation {
+                            invariant: "excluded-slot",
+                            at: e.at,
+                            detail: format!("{node} re-admitted but was not excluded"),
+                        });
+                    }
+                }
+                TraceKind::MapStart | TraceKind::ReduceStart => {
+                    let node = e.node.expect("task events carry a node");
+                    if excluded.contains(&node) {
+                        out.push(Violation {
+                            invariant: "excluded-slot",
+                            at: e.at,
+                            detail: format!("{:?} on excluded {node}", e.kind),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn check_slot_capacity(&self, trace: &Trace, out: &mut Vec<Violation>) {
+        let n = self.cluster.num_nodes();
+        let mut open_maps = vec![0i64; n];
+        let mut open_reduces = vec![0i64; n];
+        for e in trace.events() {
+            let (open, cap, is_start) = match e.kind {
+                TraceKind::MapStart => (&mut open_maps, true, true),
+                TraceKind::MapEnd | TraceKind::MapFailed => (&mut open_maps, true, false),
+                TraceKind::ReduceStart => (&mut open_reduces, false, true),
+                TraceKind::ReduceEnd | TraceKind::ReduceFailed => {
+                    (&mut open_reduces, false, false)
+                }
+                _ => continue,
+            };
+            let node = e.node.expect("task events carry a node");
+            let idx = node.0 as usize;
+            if is_start {
+                open[idx] += 1;
+                let limit = if cap {
+                    self.cluster.node(node).spec.map_slots
+                } else {
+                    self.cluster.node(node).spec.reduce_slots
+                } as i64;
+                if open[idx] > limit {
+                    out.push(Violation {
+                        invariant: "slot-capacity",
+                        at: e.at,
+                        detail: format!(
+                            "{node} runs {} concurrent {} tasks (capacity {limit})",
+                            open[idx],
+                            if cap { "map" } else { "reduce" },
+                        ),
+                    });
+                }
+            } else {
+                open[idx] -= 1;
+                if open[idx] < 0 {
+                    out.push(Violation {
+                        invariant: "slot-capacity",
+                        at: e.at,
+                        detail: format!("{:?} on {node} without a matching start", e.kind),
+                    });
+                }
+            }
+        }
+    }
+
+    fn check_batch_consistency(&self, trace: &Trace, out: &mut Vec<Violation>) {
+        struct BatchView {
+            jobs: Vec<JobId>,
+            first_at: SimTime,
+            // Per block: (starts, ends, fails).
+            attempts: BTreeMap<BlockId, (u32, u32, u32)>,
+        }
+        let mut batches: BTreeMap<BatchKey, BatchView> = BTreeMap::new();
+        for e in trace.events() {
+            let Some(key) = e.batch else { continue };
+            let view = batches.entry(key).or_insert_with(|| BatchView {
+                jobs: e.jobs.clone(),
+                first_at: e.at,
+                attempts: BTreeMap::new(),
+            });
+            if view.jobs != e.jobs {
+                out.push(Violation {
+                    invariant: "batch-consistency",
+                    at: e.at,
+                    detail: format!(
+                        "{key:?} job set changed from {:?} to {:?}",
+                        view.jobs, e.jobs
+                    ),
+                });
+            }
+            if let Some(block) = e.block {
+                let slot = view.attempts.entry(block).or_insert((0, 0, 0));
+                match e.kind {
+                    TraceKind::MapStart => slot.0 += 1,
+                    TraceKind::MapEnd => slot.1 += 1,
+                    TraceKind::MapFailed => slot.2 += 1,
+                    _ => {}
+                }
+            }
+        }
+
+        let job_file: BTreeMap<JobId, FileId> =
+            self.workload.iter().map(|r| (r.id, r.file)).collect();
+        for (key, view) in &batches {
+            // All merged jobs must target one file.
+            let files: BTreeSet<FileId> = view
+                .jobs
+                .iter()
+                .filter_map(|j| job_file.get(j).copied())
+                .collect();
+            if files.len() != 1 {
+                out.push(Violation {
+                    invariant: "batch-consistency",
+                    at: view.first_at,
+                    detail: format!("{key:?} merges jobs over files {files:?}"),
+                });
+                continue;
+            }
+            let file = *files.iter().next().expect("one file");
+            let file_blocks = &self.dfs.file(file).blocks;
+
+            // Every attempt resolved; exactly one success per block.
+            for (&block, &(starts, ends, fails)) in &view.attempts {
+                if starts != ends + fails {
+                    out.push(Violation {
+                        invariant: "batch-consistency",
+                        at: view.first_at,
+                        detail: format!(
+                            "{key:?} {block}: {starts} starts vs {ends} ends + {fails} fails"
+                        ),
+                    });
+                }
+                if ends != 1 && !self.speculation {
+                    out.push(Violation {
+                        invariant: "batch-consistency",
+                        at: view.first_at,
+                        detail: format!("{key:?} {block} succeeded {ends} times"),
+                    });
+                }
+            }
+
+            // The batch's blocks form one contiguous circular run of the
+            // file's block sequence: one segment, as merged sub-jobs must.
+            let index_of: BTreeMap<BlockId, usize> = file_blocks
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| (b, i))
+                .collect();
+            let mut indices: Vec<usize> = Vec::with_capacity(view.attempts.len());
+            for &block in view.attempts.keys() {
+                match index_of.get(&block) {
+                    Some(&i) => indices.push(i),
+                    None => out.push(Violation {
+                        invariant: "batch-consistency",
+                        at: view.first_at,
+                        detail: format!("{key:?} scanned {block} outside {file:?}"),
+                    }),
+                }
+            }
+            indices.sort_unstable();
+            let n = file_blocks.len();
+            if !indices.is_empty() && indices.len() < n {
+                // Count circular gaps; a single segment has exactly one.
+                let mut gaps = 0;
+                for w in indices.windows(2) {
+                    if w[1] != w[0] + 1 {
+                        gaps += 1;
+                    }
+                }
+                if (indices[0] + n - indices[indices.len() - 1]) % n != 1 {
+                    gaps += 1;
+                }
+                if gaps != 1 {
+                    out.push(Violation {
+                        invariant: "batch-consistency",
+                        at: view.first_at,
+                        detail: format!(
+                            "{key:?} blocks are not one contiguous segment ({gaps} gaps)"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobProfile, JobRequest, Priority};
+    use crate::trace::TraceEvent;
+    use s3_dfs::{RoundRobinPlacement, MB};
+    use std::sync::Arc;
+
+    struct World {
+        cluster: ClusterTopology,
+        dfs: Dfs,
+        workload: Vec<JobRequest>,
+        failures: FailureSchedule,
+    }
+
+    fn tiny_world(blocks: u64) -> World {
+        let cluster = ClusterTopology::paper_cluster();
+        let mut dfs = Dfs::new();
+        let file = dfs
+            .create_file(
+                &cluster,
+                "in",
+                blocks * 64 * MB,
+                64 * MB,
+                1,
+                &mut RoundRobinPlacement::default(),
+            )
+            .unwrap();
+        let profile = Arc::new(JobProfile {
+            name: "wc".into(),
+            map_cpu_s_per_mb: 0.0015,
+            map_output_ratio: 0.015,
+            map_output_records_per_mb: 1526.0,
+            reduce_cpu_s_per_mb: 0.02,
+            reduce_output_ratio: 0.000625,
+            num_reduce_tasks: 1,
+        });
+        let workload = vec![JobRequest {
+            id: JobId(0),
+            profile,
+            file,
+            submit: SimTime::ZERO,
+            priority: Priority::Normal,
+        }];
+        World {
+            cluster,
+            dfs,
+            workload,
+            failures: FailureSchedule::none(),
+        }
+    }
+
+    fn checker(world: &World) -> InvariantChecker<'_> {
+        InvariantChecker {
+            cluster: &world.cluster,
+            dfs: &world.dfs,
+            workload: &world.workload,
+            failures: &world.failures,
+            speculation: false,
+        }
+    }
+
+    fn ev(at_s: u64, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            at: SimTime::from_secs(at_s),
+            kind,
+            node: None,
+            jobs: vec![JobId(0)],
+            batch: None,
+            block: None,
+        }
+    }
+
+    /// A full, correct run of a 2-block job in one batch on node 0.
+    fn good_trace(world: &World) -> Trace {
+        let blocks = &world.dfs.file(world.workload[0].file).blocks;
+        let mut t = Trace::new();
+        t.push(ev(0, TraceKind::JobSubmitted));
+        for (i, &b) in blocks.iter().enumerate() {
+            let at = 1 + 2 * i as u64;
+            t.push(TraceEvent {
+                node: Some(NodeId(0)),
+                batch: Some(BatchKey(0)),
+                block: Some(b),
+                ..ev(at, TraceKind::MapStart)
+            });
+            t.push(TraceEvent {
+                node: Some(NodeId(0)),
+                batch: Some(BatchKey(0)),
+                block: Some(b),
+                ..ev(at + 1, TraceKind::MapEnd)
+            });
+        }
+        t.push(TraceEvent {
+            node: Some(NodeId(1)),
+            batch: Some(BatchKey(0)),
+            ..ev(20, TraceKind::ReduceStart)
+        });
+        t.push(TraceEvent {
+            node: Some(NodeId(1)),
+            batch: Some(BatchKey(0)),
+            ..ev(25, TraceKind::ReduceEnd)
+        });
+        t.push(ev(25, TraceKind::JobCompleted));
+        t
+    }
+
+    #[test]
+    fn clean_trace_passes() {
+        let world = tiny_world(2);
+        let trace = good_trace(&world);
+        assert_eq!(checker(&world).check(&trace), vec![]);
+    }
+
+    #[test]
+    fn missing_block_is_a_coverage_violation() {
+        let world = tiny_world(2);
+        let mut trace = Trace::new();
+        let b0 = world.dfs.file(world.workload[0].file).blocks[0];
+        trace.push(ev(0, TraceKind::JobSubmitted));
+        trace.push(TraceEvent {
+            node: Some(NodeId(0)),
+            batch: Some(BatchKey(0)),
+            block: Some(b0),
+            ..ev(1, TraceKind::MapStart)
+        });
+        trace.push(TraceEvent {
+            node: Some(NodeId(0)),
+            batch: Some(BatchKey(0)),
+            block: Some(b0),
+            ..ev(2, TraceKind::MapEnd)
+        });
+        trace.push(ev(3, TraceKind::JobCompleted));
+        let violations = checker(&world).check(&trace);
+        assert!(
+            violations.iter().any(|v| v.invariant == "scan-coverage"
+                && v.detail.contains("never scanned")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn double_scan_is_a_violation_without_speculation() {
+        let world = tiny_world(2);
+        let mut trace = good_trace(&world);
+        let b0 = world.dfs.file(world.workload[0].file).blocks[0];
+        // Re-scan block 0 in a second batch after completion-unrelated work.
+        trace.push(TraceEvent {
+            node: Some(NodeId(2)),
+            batch: Some(BatchKey(1)),
+            block: Some(b0),
+            ..ev(30, TraceKind::MapStart)
+        });
+        trace.push(TraceEvent {
+            node: Some(NodeId(2)),
+            batch: Some(BatchKey(1)),
+            block: Some(b0),
+            ..ev(31, TraceKind::MapEnd)
+        });
+        let violations = checker(&world).check(&trace);
+        assert!(
+            violations.iter().any(|v| v.invariant == "scan-coverage"
+                && v.detail.contains("2 times")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn task_on_dead_node_is_flagged() {
+        let mut world = tiny_world(2);
+        world.failures = FailureSchedule::none().kill(NodeId(0), SimTime::from_secs(1));
+        let trace = good_trace(&world); // maps start at t=1 on node 0
+        let violations = checker(&world).check(&trace);
+        assert!(
+            violations.iter().any(|v| v.invariant == "dead-node"),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn task_on_excluded_slot_is_flagged() {
+        let world = tiny_world(2);
+        let mut trace = Trace::new();
+        trace.push(ev(0, TraceKind::JobSubmitted));
+        trace.push(TraceEvent {
+            node: Some(NodeId(0)),
+            ..ev(0, TraceKind::SlotExcluded)
+        });
+        let blocks = &world.dfs.file(world.workload[0].file).blocks;
+        for (i, &b) in blocks.iter().enumerate() {
+            trace.push(TraceEvent {
+                node: Some(NodeId(0)), // excluded!
+                batch: Some(BatchKey(0)),
+                block: Some(b),
+                ..ev(1 + i as u64, TraceKind::MapStart)
+            });
+            trace.push(TraceEvent {
+                node: Some(NodeId(0)),
+                batch: Some(BatchKey(0)),
+                block: Some(b),
+                ..ev(2 + i as u64, TraceKind::MapEnd)
+            });
+        }
+        trace.push(ev(9, TraceKind::JobCompleted));
+        let violations = checker(&world).check(&trace);
+        assert!(
+            violations.iter().any(|v| v.invariant == "excluded-slot"),
+            "{violations:?}"
+        );
+
+        // Re-admission clears the exclusion.
+        let mut ok = Trace::new();
+        ok.push(ev(0, TraceKind::JobSubmitted));
+        ok.push(TraceEvent {
+            node: Some(NodeId(0)),
+            ..ev(0, TraceKind::SlotExcluded)
+        });
+        ok.push(TraceEvent {
+            node: Some(NodeId(0)),
+            ..ev(1, TraceKind::SlotReadmitted)
+        });
+        for (i, &b) in blocks.iter().enumerate() {
+            ok.push(TraceEvent {
+                node: Some(NodeId(0)),
+                batch: Some(BatchKey(0)),
+                block: Some(b),
+                ..ev(2 + 2 * i as u64, TraceKind::MapStart)
+            });
+            ok.push(TraceEvent {
+                node: Some(NodeId(0)),
+                batch: Some(BatchKey(0)),
+                block: Some(b),
+                ..ev(3 + 2 * i as u64, TraceKind::MapEnd)
+            });
+        }
+        ok.push(ev(9, TraceKind::JobCompleted));
+        let violations = checker(&world).check(&ok);
+        assert!(
+            !violations.iter().any(|v| v.invariant == "excluded-slot"),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn slot_overcommit_is_flagged() {
+        let world = tiny_world(2);
+        let blocks = &world.dfs.file(world.workload[0].file).blocks;
+        let mut trace = Trace::new();
+        trace.push(ev(0, TraceKind::JobSubmitted));
+        // Both maps run concurrently on node 0 (capacity 1).
+        for &b in blocks {
+            trace.push(TraceEvent {
+                node: Some(NodeId(0)),
+                batch: Some(BatchKey(0)),
+                block: Some(b),
+                ..ev(1, TraceKind::MapStart)
+            });
+        }
+        for &b in blocks {
+            trace.push(TraceEvent {
+                node: Some(NodeId(0)),
+                batch: Some(BatchKey(0)),
+                block: Some(b),
+                ..ev(2, TraceKind::MapEnd)
+            });
+        }
+        trace.push(ev(3, TraceKind::JobCompleted));
+        let violations = checker(&world).check(&trace);
+        assert!(
+            violations.iter().any(|v| v.invariant == "slot-capacity"),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn batch_job_set_change_is_flagged() {
+        let world = tiny_world(2);
+        let mut trace = good_trace(&world);
+        // A stray event claims the batch also served job 7.
+        trace.push(TraceEvent {
+            node: Some(NodeId(3)),
+            jobs: vec![JobId(0), JobId(7)],
+            batch: Some(BatchKey(0)),
+            ..ev(30, TraceKind::ReduceStart)
+        });
+        trace.push(TraceEvent {
+            node: Some(NodeId(3)),
+            jobs: vec![JobId(0), JobId(7)],
+            batch: Some(BatchKey(0)),
+            ..ev(31, TraceKind::ReduceEnd)
+        });
+        let violations = checker(&world).check(&trace);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.invariant == "batch-consistency" && v.detail.contains("job set")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn non_contiguous_batch_is_flagged() {
+        let world = tiny_world(4);
+        let blocks = &world.dfs.file(world.workload[0].file).blocks;
+        let mut trace = Trace::new();
+        trace.push(ev(0, TraceKind::JobSubmitted));
+        // One batch scans blocks 0 and 2 of 4: two circular gaps.
+        for (i, &b) in [blocks[0], blocks[2]].iter().enumerate() {
+            trace.push(TraceEvent {
+                node: Some(NodeId(i as u32)),
+                batch: Some(BatchKey(0)),
+                block: Some(b),
+                ..ev(1 + 2 * i as u64, TraceKind::MapStart)
+            });
+            trace.push(TraceEvent {
+                node: Some(NodeId(i as u32)),
+                batch: Some(BatchKey(0)),
+                block: Some(b),
+                ..ev(2 + 2 * i as u64, TraceKind::MapEnd)
+            });
+        }
+        // The rest in singleton batches (a single block is trivially one
+        // segment and must not be flagged).
+        for (i, &b) in [blocks[1], blocks[3]].iter().enumerate() {
+            trace.push(TraceEvent {
+                node: Some(NodeId(i as u32)),
+                batch: Some(BatchKey(1 + i as u64)),
+                block: Some(b),
+                ..ev(5 + 2 * i as u64, TraceKind::MapStart)
+            });
+            trace.push(TraceEvent {
+                node: Some(NodeId(i as u32)),
+                batch: Some(BatchKey(1 + i as u64)),
+                block: Some(b),
+                ..ev(6 + 2 * i as u64, TraceKind::MapEnd)
+            });
+        }
+        trace.push(ev(9, TraceKind::JobCompleted));
+        let violations = checker(&world).check(&trace);
+        let contiguity: Vec<&Violation> = violations
+            .iter()
+            .filter(|v| v.invariant == "batch-consistency" && v.detail.contains("contiguous"))
+            .collect();
+        assert_eq!(contiguity.len(), 1, "only batch 0 is split: {violations:?}");
+        assert!(contiguity[0].detail.contains("BatchKey(0)"), "{contiguity:?}");
+    }
+
+    #[test]
+    fn unresolved_attempt_is_flagged() {
+        let world = tiny_world(2);
+        let mut trace = good_trace(&world);
+        let b0 = world.dfs.file(world.workload[0].file).blocks[0];
+        // A start with no matching end or failure.
+        trace.push(TraceEvent {
+            node: Some(NodeId(5)),
+            batch: Some(BatchKey(0)),
+            block: Some(b0),
+            ..ev(40, TraceKind::MapStart)
+        });
+        let violations = checker(&world).check(&trace);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.invariant == "batch-consistency" && v.detail.contains("starts vs")),
+            "{violations:?}"
+        );
+    }
+}

@@ -25,6 +25,7 @@
 pub mod batch;
 pub mod cost;
 pub mod engine;
+pub mod invariants;
 pub mod job;
 pub mod metrics;
 pub mod scheduler;
@@ -36,8 +37,9 @@ pub use batch::{Batch, BatchKey};
 pub use cost::CostModel;
 pub use engine::{simulate, simulate_traced, EngineConfig, SimError, SpeculationConfig};
 pub use job::{JobId, JobProfile, JobRequest, JobTable, Priority};
+pub use invariants::{InvariantChecker, Violation};
 pub use metrics::{JobOutcome, RunMetrics};
-pub use scheduler::{SchedCtx, Scheduler};
+pub use scheduler::{SchedCtx, SchedNote, Scheduler};
 pub use task::{Locality, MapTaskSpec, ReduceTaskSpec};
 pub use svg::{render_svg, SvgOptions};
 pub use trace::{Trace, TraceEvent, TraceKind};

@@ -7,18 +7,36 @@
 //! the engine never guesses when a job is done, because only the scheduler
 //! knows how a job was split and merged.
 
+use crate::batch::BatchKey;
 use crate::cost::CostModel;
 use crate::job::{JobId, JobTable};
 use crate::task::{MapTaskSpec, ReduceTaskSpec};
+use crate::trace::TraceKind;
 use s3_cluster::{ClusterTopology, NodeId, SlowdownSchedule};
 use s3_dfs::Dfs;
 use s3_sim::SimTime;
+
+/// A scheduler-authored trace annotation: a decision (slot exclusion,
+/// sub-job adjustment, ...) the engine turns into a [`crate::TraceEvent`]
+/// at the current simulation time when tracing is enabled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedNote {
+    /// What kind of decision this was.
+    pub kind: TraceKind,
+    /// Node the decision concerns, if any.
+    pub node: Option<NodeId>,
+    /// Jobs the decision concerns, if any.
+    pub jobs: Vec<JobId>,
+    /// Batch the decision concerns, if any.
+    pub batch: Option<BatchKey>,
+}
 
 /// Effects a scheduler wants the engine to apply after the current hook.
 #[derive(Debug, Default)]
 pub(crate) struct Outbox {
     pub completed_jobs: Vec<JobId>,
     pub wakeups: Vec<SimTime>,
+    pub notes: Vec<SchedNote>,
 }
 
 /// Read access to the simulated world plus an outbox for effects.
@@ -61,6 +79,43 @@ impl<'a> SchedCtx<'a> {
     /// Total concurrent map slots in the cluster — the paper's `m`.
     pub fn map_slots(&self) -> u32 {
         self.cluster.total_map_slots()
+    }
+
+    /// Record a scheduler decision in the trace (no-op when tracing is
+    /// disabled). Timestamped at the current simulation time.
+    pub fn note(&mut self, note: SchedNote) {
+        self.outbox.notes.push(note);
+    }
+
+    /// Record that periodic slot checking excluded `node` as slow.
+    pub fn note_slot_excluded(&mut self, node: NodeId) {
+        self.note(SchedNote {
+            kind: TraceKind::SlotExcluded,
+            node: Some(node),
+            jobs: Vec::new(),
+            batch: None,
+        });
+    }
+
+    /// Record that `node` passed its speed check again and was re-admitted.
+    pub fn note_slot_readmitted(&mut self, node: NodeId) {
+        self.note(SchedNote {
+            kind: TraceKind::SlotReadmitted,
+            node: Some(node),
+            jobs: Vec::new(),
+            batch: None,
+        });
+    }
+
+    /// Record that a sub-job was dynamically resized from the healthy slot
+    /// count when `batch` (merging `jobs`) was launched.
+    pub fn note_subjob_adjusted(&mut self, batch: BatchKey, jobs: Vec<JobId>) {
+        self.note(SchedNote {
+            kind: TraceKind::SubJobAdjusted,
+            node: None,
+            jobs,
+            batch: Some(batch),
+        });
     }
 }
 
@@ -126,6 +181,9 @@ mod tests {
         ctx.complete_job(JobId(3));
         ctx.request_wakeup(SimTime::from_secs(5)); // past: clamped to now
         ctx.request_wakeup(SimTime::from_secs(20));
+        ctx.note_slot_excluded(NodeId(4));
+        ctx.note_slot_readmitted(NodeId(4));
+        ctx.note_subjob_adjusted(BatchKey(9), vec![JobId(3)]);
         assert_eq!(ctx.map_slots(), 40);
         assert_eq!(ctx.effective_speed(NodeId(0)), 1.0);
         assert_eq!(outbox.completed_jobs, vec![JobId(3)]);
@@ -133,5 +191,9 @@ mod tests {
             outbox.wakeups,
             vec![SimTime::from_secs(10), SimTime::from_secs(20)]
         );
+        assert_eq!(outbox.notes.len(), 3);
+        assert_eq!(outbox.notes[0].kind, TraceKind::SlotExcluded);
+        assert_eq!(outbox.notes[0].node, Some(NodeId(4)));
+        assert_eq!(outbox.notes[2].batch, Some(BatchKey(9)));
     }
 }

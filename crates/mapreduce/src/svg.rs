@@ -159,6 +159,7 @@ mod tests {
             node: node.map(NodeId),
             jobs: vec![crate::JobId(0)],
             batch: None,
+            block: None,
         };
         t.push(ev(0, TraceKind::JobSubmitted, None));
         t.push(ev(1, TraceKind::MapStart, Some(0)));

@@ -32,6 +32,15 @@ pub enum TraceKind {
     ReduceEnd,
     /// A reduce attempt was lost to a TaskTracker death.
     ReduceFailed,
+    /// Periodic slot checking excluded a slow node from assignment.
+    SlotExcluded,
+    /// A previously excluded node passed its speed check and was
+    /// re-admitted to assignment.
+    SlotReadmitted,
+    /// Dynamic sub-job adjustment launched a sub-job sized from the
+    /// healthy slot count rather than the static total (the batch and the
+    /// merged jobs are recorded on the event).
+    SubJobAdjusted,
 }
 
 /// One trace record.
@@ -48,6 +57,11 @@ pub struct TraceEvent {
     pub jobs: Vec<JobId>,
     /// Batch the task belonged to (None for job lifecycle events).
     pub batch: Option<BatchKey>,
+    /// Block a map task scanned (None for reduce/lifecycle events). This
+    /// is what lets the invariant checker prove scan-exactly-once coverage
+    /// from the trace alone.
+    #[serde(default)]
+    pub block: Option<s3_dfs::BlockId>,
 }
 
 /// An in-memory trace.
@@ -197,6 +211,7 @@ mod tests {
             node: node.map(NodeId),
             jobs: vec![JobId(0)],
             batch: None,
+            block: None,
         }
     }
 

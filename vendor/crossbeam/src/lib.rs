@@ -1,0 +1,90 @@
+//! Offline vendored subset of `crossbeam`: scoped threads, implemented on
+//! `std::thread::scope`.
+//!
+//! Mirrors the call shape this workspace uses:
+//!
+//! ```
+//! let outputs: Vec<u32> = crossbeam::scope(|s| {
+//!     let handles: Vec<_> = (0..4).map(|i| s.spawn(move |_| i * 2)).collect();
+//!     handles.into_iter().map(|h| h.join().unwrap()).collect()
+//! })
+//! .unwrap();
+//! assert_eq!(outputs, vec![0, 2, 4, 6]);
+//! ```
+//!
+//! Divergence from real crossbeam: the argument passed to a `spawn` closure
+//! is an opaque [`NestedScope`] that cannot spawn (all call sites here
+//! ignore it as `|_|`), and a panic in an unjoined child propagates as a
+//! panic out of [`scope`] rather than an `Err`.
+
+use std::any::Any;
+
+/// Scope handle: spawn threads that may borrow from the enclosing stack.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Placeholder passed to spawned closures in lieu of a re-entrant scope.
+pub struct NestedScope {
+    _private: (),
+}
+
+/// Handle to a scoped thread, joinable within the scope.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Wait for the thread; `Err` carries the panic payload if it panicked.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure's argument exists only for
+    /// signature compatibility with crossbeam (`|_| ...`).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&NestedScope) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&NestedScope { _private: () })),
+        }
+    }
+}
+
+/// Run `f` with a scope whose threads are all joined before returning.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total: u64 = super::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .sum()
+        })
+        .expect("scope");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn join_surfaces_panics() {
+        let r = super::scope(|s| s.spawn(|_| panic!("boom")).join().is_err()).expect("scope");
+        assert!(r);
+    }
+}

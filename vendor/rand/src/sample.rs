@@ -1,0 +1,85 @@
+//! Uniform range sampling for [`Rng::gen_range`](crate::Rng::gen_range).
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// Types samplable uniformly from a `[lo, hi]` interval.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draw uniformly from `[lo, hi]` (both inclusive).
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span == 0 {
+                    // Full-width range of a 128-bit type is unreachable for
+                    // the types below; span fits in u128.
+                    unreachable!();
+                }
+                // Widening-multiply rejection-free mapping is fine here:
+                // the tiny modulo bias of (2^64 mod span) is irrelevant for
+                // simulation workloads and keeps the stream consumption at
+                // exactly one u64 per draw (determinism-friendly).
+                let x = rng.next_u64() as u128;
+                let v = (x * span) >> 64;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo <= hi, "gen_range: empty range");
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + (hi - lo) * u
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        f64::sample_uniform(rng, lo as f64, hi as f64) as f32
+    }
+}
+
+/// Range forms accepted by `gen_range`, normalized to inclusive bounds.
+pub trait IntoUniformRange<T: SampleUniform> {
+    /// `(lo, hi_inclusive)` bounds of the range.
+    fn bounds(self) -> (T, T);
+}
+
+macro_rules! impl_range_int {
+    ($($t:ty),*) => {$(
+        impl IntoUniformRange<$t> for Range<$t> {
+            fn bounds(self) -> ($t, $t) {
+                assert!(self.start < self.end, "gen_range: empty range");
+                (self.start, self.end - 1)
+            }
+        }
+        impl IntoUniformRange<$t> for RangeInclusive<$t> {
+            fn bounds(self) -> ($t, $t) {
+                (*self.start(), *self.end())
+            }
+        }
+    )*};
+}
+
+impl_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl IntoUniformRange<f64> for Range<f64> {
+    fn bounds(self) -> (f64, f64) {
+        (self.start, self.end)
+    }
+}
+
+impl IntoUniformRange<f32> for Range<f32> {
+    fn bounds(self) -> (f32, f32) {
+        (self.start, self.end)
+    }
+}

@@ -1,0 +1,430 @@
+//! Offline vendored subset of the `serde` API.
+//!
+//! The real serde models serialization through visitor-based
+//! `Serializer`/`Deserializer` traits. The only consumer in this
+//! workspace is `serde_json`, so this shim collapses the data model to a
+//! single in-memory tree, [`Content`]: serialization builds a `Content`,
+//! deserialization reads one. The derive macros (`serde_derive`) generate
+//! impls against this model, honouring the `#[serde(...)]` attributes the
+//! workspace uses (`default`, `default = "path"`, `rename_all =
+//! "kebab-case"`, `tag = "..."`).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Deserializer-facing re-exports matching real serde's module layout.
+pub mod de {
+    /// With the collapsed data model there are no borrowed lifetimes, so
+    /// owned deserialization is just [`Deserialize`](crate::Deserialize).
+    pub use crate::Deserialize as DeserializeOwned;
+}
+
+/// The universal in-memory data tree: serde's whole data model collapsed
+/// to what JSON can express.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Non-negative integer (kept exact).
+    U64(u64),
+    /// Negative integer (kept exact).
+    I64(i64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Content>),
+    /// Key-ordered map (preserves field order for readable output).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Map lookup by key (None for non-maps).
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Human-readable name of the variant for error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "a boolean",
+            Content::U64(_) | Content::I64(_) => "an integer",
+            Content::F64(_) => "a number",
+            Content::Str(_) => "a string",
+            Content::Seq(_) => "an array",
+            Content::Map(_) => "an object",
+        }
+    }
+}
+
+/// Deserialization error: a message plus a reverse path of field/index
+/// segments for diagnosis.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+    path: Vec<String>,
+}
+
+impl Error {
+    /// A fresh error with `msg`.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error {
+            msg: msg.into(),
+            path: Vec::new(),
+        }
+    }
+
+    /// Type mismatch against `expected`.
+    pub fn expected(expected: &str, got: &Content) -> Self {
+        Error::new(format!("expected {expected}, found {}", got.kind_name()))
+    }
+
+    /// A required field was absent.
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        Error::new(format!("missing field `{field}` of {ty}"))
+    }
+
+    /// Push a path segment (used while unwinding nested containers).
+    pub fn in_segment(mut self, seg: impl Into<String>) -> Self {
+        self.path.push(seg.into());
+        self
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.path.is_empty() {
+            write!(f, "{}", self.msg)
+        } else {
+            let mut segs: Vec<&str> = self.path.iter().map(String::as_str).collect();
+            segs.reverse();
+            write!(f, "at {}: {}", segs.join("."), self.msg)
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A serializable value: converts itself to a [`Content`] tree.
+pub trait Serialize {
+    /// Build the content tree for `self`.
+    fn to_content(&self) -> Content;
+}
+
+/// A deserializable value: reconstructs itself from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Parse `self` out of the content tree.
+    fn from_content(c: &Content) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            other => Err(Error::expected("a boolean", other)),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let v: u64 = match c {
+                    Content::U64(v) => *v,
+                    Content::I64(v) if *v >= 0 => *v as u64,
+                    Content::F64(f) if f.fract() == 0.0 && *f >= 0.0 => *f as u64,
+                    other => return Err(Error::expected("an unsigned integer", other)),
+                };
+                <$t>::try_from(v).map_err(|_| {
+                    Error::new(format!("integer {v} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 {
+                    Content::U64(v as u64)
+                } else {
+                    Content::I64(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let v: i64 = match c {
+                    Content::I64(v) => *v,
+                    Content::U64(v) => i64::try_from(*v)
+                        .map_err(|_| Error::new(format!("integer {v} out of range")))?,
+                    Content::F64(f) if f.fract() == 0.0 => *f as i64,
+                    other => return Err(Error::expected("an integer", other)),
+                };
+                <$t>::try_from(v).map_err(|_| {
+                    Error::new(format!("integer {v} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::F64(f) => Ok(*f),
+            Content::U64(v) => Ok(*v as f64),
+            Content::I64(v) => Ok(*v as f64),
+            other => Err(Error::expected("a number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        f64::from_content(c).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(Error::expected("a string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::expected("a single-character string", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Seq(items) => items
+                .iter()
+                .enumerate()
+                .map(|(i, v)| T::from_content(v).map_err(|e| e.in_segment(format!("[{i}]"))))
+                .collect(),
+            other => Err(Error::expected("an array", other)),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| {
+                    V::from_content(v)
+                        .map(|v| (k.clone(), v))
+                        .map_err(|e| e.in_segment(k.clone()))
+                })
+                .collect(),
+            other => Err(Error::expected("an object", other)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($len:expr => $($t:ident . $idx:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                match c {
+                    Content::Seq(items) if items.len() == $len => Ok((
+                        $($t::from_content(&items[$idx])
+                            .map_err(|e| e.in_segment(format!("[{}]", $idx)))?,)+
+                    )),
+                    other => Err(Error::expected(
+                        concat!("an array of length ", $len),
+                        other,
+                    )),
+                }
+            }
+        }
+    };
+}
+
+impl_tuple!(1 => A.0);
+impl_tuple!(2 => A.0, B.1);
+impl_tuple!(3 => A.0, B.1, C.2);
+impl_tuple!(4 => A.0, B.1, C.2, D.3);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::from_content(&42u32.to_content()).unwrap(), 42);
+        assert_eq!(i64::from_content(&(-7i64).to_content()).unwrap(), -7);
+        assert_eq!(f64::from_content(&1.5f64.to_content()).unwrap(), 1.5);
+        assert_eq!(
+            String::from_content(&"hi".to_string().to_content()).unwrap(),
+            "hi"
+        );
+        assert_eq!(bool::from_content(&true.to_content()).unwrap(), true);
+        assert_eq!(Option::<u32>::from_content(&Content::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn integers_enforce_range() {
+        assert!(u8::from_content(&Content::U64(300)).is_err());
+        assert!(u32::from_content(&Content::I64(-1)).is_err());
+        // Whole floats coerce (JSON writers often emit 3.0 for 3).
+        assert_eq!(u32::from_content(&Content::F64(3.0)).unwrap(), 3);
+        assert!(u32::from_content(&Content::F64(3.5)).is_err());
+    }
+
+    #[test]
+    fn vec_and_tuple_roundtrip() {
+        let v = vec![(1u32, 2.5f64), (3, 4.5)];
+        let c = v.to_content();
+        let back: Vec<(u32, f64)> = Deserialize::from_content(&c).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn errors_carry_paths() {
+        let c = Content::Seq(vec![Content::U64(1), Content::Str("x".into())]);
+        let err = <Vec<u32>>::from_content(&c).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("[1]"), "{msg}");
+    }
+}

@@ -1,0 +1,773 @@
+//! Offline vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! Implemented directly on `proc_macro` token trees (the container has no
+//! network access, so `syn`/`quote` are unavailable). Supports the shapes
+//! this workspace uses:
+//!
+//! - named structs (with `#[serde(default)]` / `#[serde(default = "fn")]`
+//!   field attributes; `Option<..>` fields are implicitly optional),
+//! - newtype and tuple structs,
+//! - enums: unit variants, newtype variants, struct variants; externally
+//!   tagged by default or internally tagged via
+//!   `#[serde(tag = "...")]`; `#[serde(rename_all = "kebab-case")]`,
+//! - plain type parameters (`struct SpillRecord<K, V>`), which receive
+//!   `Serialize`/`Deserialize` bounds.
+//!
+//! The generated impls target the collapsed `Content` data model of the
+//! vendored `serde` crate.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Parsed model
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default, Clone)]
+struct SerdeAttrs {
+    rename_all: Option<String>,
+    tag: Option<String>,
+    default: Option<DefaultKind>,
+}
+
+#[derive(Debug, Clone)]
+enum DefaultKind {
+    Std,
+    Path(String),
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    ty: String,
+    attrs: SerdeAttrs,
+}
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<Field>),
+    /// Tuple fields: only the types, positionally.
+    Tuple(Vec<String>),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Data {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    attrs: SerdeAttrs,
+    data: Data,
+}
+
+// ---------------------------------------------------------------------------
+// Token-tree parsing
+// ---------------------------------------------------------------------------
+
+fn parse_serde_attr_tokens(tokens: Vec<TokenTree>, out: &mut SerdeAttrs) {
+    // Tokens inside `#[serde( ... )]`: a comma-separated list of
+    // `ident`, `ident = "literal"`.
+    let mut i = 0;
+    while i < tokens.len() {
+        let TokenTree::Ident(key) = &tokens[i] else {
+            i += 1;
+            continue;
+        };
+        let key = key.to_string();
+        let mut value: Option<String> = None;
+        if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+            (tokens.get(i + 1), tokens.get(i + 2))
+        {
+            if eq.as_char() == '=' {
+                let text = lit.to_string();
+                value = Some(text.trim_matches('"').to_string());
+                i += 2;
+            }
+        }
+        match (key.as_str(), value) {
+            ("rename_all", Some(v)) => out.rename_all = Some(v),
+            ("tag", Some(v)) => out.tag = Some(v),
+            ("default", Some(v)) => out.default = Some(DefaultKind::Path(v)),
+            ("default", None) => out.default = Some(DefaultKind::Std),
+            (other, _) => panic!("serde_derive (vendored): unsupported serde attribute `{other}`"),
+        }
+        i += 1;
+        // Skip a trailing comma if present.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Consume one `#[...]` attribute starting at `idx` (which points at `#`).
+/// Returns the new index; records `#[serde(...)]` contents into `attrs`.
+fn consume_attr(tokens: &[TokenTree], idx: usize, attrs: &mut SerdeAttrs) -> usize {
+    debug_assert!(matches!(&tokens[idx], TokenTree::Punct(p) if p.as_char() == '#'));
+    let TokenTree::Group(group) = &tokens[idx + 1] else {
+        panic!("serde_derive (vendored): malformed attribute");
+    };
+    let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+    if let Some(TokenTree::Ident(name)) = inner.first() {
+        if name.to_string() == "serde" {
+            if let Some(TokenTree::Group(args)) = inner.get(1) {
+                parse_serde_attr_tokens(args.stream().into_iter().collect(), attrs);
+            }
+        }
+    }
+    idx + 2
+}
+
+/// Skip any visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_visibility(tokens: &[TokenTree], mut idx: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(idx) {
+        if id.to_string() == "pub" {
+            idx += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(idx) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    idx += 1;
+                }
+            }
+        }
+    }
+    idx
+}
+
+/// Collect tokens of a type until a top-level comma; returns (type-text,
+/// next index). Tracks `<`/`>` depth so commas inside generics don't end
+/// the field.
+fn collect_type(tokens: &[TokenTree], mut idx: usize) -> (String, usize) {
+    let mut depth: i32 = 0;
+    let mut text = String::new();
+    while idx < tokens.len() {
+        match &tokens[idx] {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == ',' && depth == 0 {
+                    break;
+                }
+                if c == '<' {
+                    depth += 1;
+                }
+                if c == '>' {
+                    depth -= 1;
+                }
+                text.push(c);
+            }
+            tt => {
+                if !text.is_empty()
+                    && !text.ends_with(['<', ':', '(', '[', '&', '\''])
+                {
+                    text.push(' ');
+                }
+                text.push_str(&tt.to_string());
+            }
+        }
+        idx += 1;
+    }
+    (text, idx)
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut attrs = SerdeAttrs::default();
+        while matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            i = consume_attr(&tokens, i, &mut attrs);
+        }
+        i = skip_visibility(&tokens, i);
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("serde_derive (vendored): expected field name, got {:?}", tokens[i]);
+        };
+        let name = name.to_string();
+        i += 1; // name
+        i += 1; // ':'
+        let (ty, next) = collect_type(&tokens, i);
+        i = next;
+        if i < tokens.len() {
+            i += 1; // ','
+        }
+        fields.push(Field { name, ty, attrs });
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut tys = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut attrs = SerdeAttrs::default();
+        while matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            i = consume_attr(&tokens, i, &mut attrs);
+        }
+        i = skip_visibility(&tokens, i);
+        let (ty, next) = collect_type(&tokens, i);
+        i = next;
+        if i < tokens.len() {
+            i += 1; // ','
+        }
+        if !ty.is_empty() {
+            tys.push(ty);
+        }
+    }
+    tys
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut attrs = SerdeAttrs::default();
+        while matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#') {
+            i = consume_attr(&tokens, i, &mut attrs);
+        }
+        let TokenTree::Ident(name) = &tokens[i] else {
+            panic!("serde_derive (vendored): expected variant name");
+        };
+        let name = name.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                i += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(parse_tuple_fields(g.stream()));
+                i += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '=' {
+                i += 1;
+                while i < tokens.len()
+                    && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',')
+                {
+                    i += 1;
+                }
+            }
+        }
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+/// Parse the generics group after the item name; returns the type-parameter
+/// idents and the index just past the closing `>`.
+fn parse_generics(tokens: &[TokenTree], mut idx: usize) -> (Vec<String>, usize) {
+    let mut params = Vec::new();
+    let Some(TokenTree::Punct(p)) = tokens.get(idx) else {
+        return (params, idx);
+    };
+    if p.as_char() != '<' {
+        return (params, idx);
+    }
+    idx += 1;
+    let mut depth = 1i32;
+    let mut at_param_start = true;
+    while idx < tokens.len() && depth > 0 {
+        match &tokens[idx] {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 1 => at_param_start = true,
+                '\'' => {
+                    // Lifetime: skip the following ident, stay before comma.
+                    idx += 1;
+                    at_param_start = false;
+                }
+                _ => at_param_start = false,
+            },
+            TokenTree::Ident(id) => {
+                if at_param_start && depth == 1 {
+                    let s = id.to_string();
+                    if s == "const" {
+                        panic!("serde_derive (vendored): const generics unsupported");
+                    }
+                    params.push(s);
+                }
+                at_param_start = false;
+            }
+            _ => at_param_start = false,
+        }
+        idx += 1;
+    }
+    (params, idx)
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut attrs = SerdeAttrs::default();
+    let mut i = 0;
+    while matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#') {
+        i = consume_attr(&tokens, i, &mut attrs);
+    }
+    i = skip_visibility(&tokens, i);
+    let TokenTree::Ident(kw) = &tokens[i] else {
+        panic!("serde_derive (vendored): expected struct/enum keyword");
+    };
+    let kw = kw.to_string();
+    i += 1;
+    let TokenTree::Ident(name) = &tokens[i] else {
+        panic!("serde_derive (vendored): expected item name");
+    };
+    let name = name.to_string();
+    i += 1;
+    let (generics, next) = parse_generics(&tokens, i);
+    i = next;
+    // Skip a where-clause (tokens until the body group / semicolon).
+    let data = loop {
+        match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                break if kw == "struct" {
+                    Data::Struct(Fields::Named(parse_named_fields(g.stream())))
+                } else {
+                    Data::Enum(parse_variants(g.stream()))
+                };
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis && kw == "struct" => {
+                break Data::Struct(Fields::Tuple(parse_tuple_fields(g.stream())));
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => {
+                break Data::Struct(Fields::Unit);
+            }
+            _ => i += 1,
+        }
+    };
+    Item {
+        name,
+        generics,
+        attrs,
+        data,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation helpers
+// ---------------------------------------------------------------------------
+
+fn rename_variant(name: &str, rule: Option<&str>) -> String {
+    match rule {
+        Some("kebab-case") => {
+            let mut out = String::new();
+            for (i, c) in name.chars().enumerate() {
+                if c.is_ascii_uppercase() {
+                    if i > 0 {
+                        out.push('-');
+                    }
+                    out.push(c.to_ascii_lowercase());
+                } else {
+                    out.push(c);
+                }
+            }
+            out
+        }
+        Some("snake_case") => {
+            let mut out = String::new();
+            for (i, c) in name.chars().enumerate() {
+                if c.is_ascii_uppercase() {
+                    if i > 0 {
+                        out.push('_');
+                    }
+                    out.push(c.to_ascii_lowercase());
+                } else {
+                    out.push(c);
+                }
+            }
+            out
+        }
+        Some("lowercase") => name.to_ascii_lowercase(),
+        None => name.to_string(),
+        Some(other) => panic!("serde_derive (vendored): unsupported rename_all rule `{other}`"),
+    }
+}
+
+fn impl_header(trait_name: &str, item: &Item) -> String {
+    if item.generics.is_empty() {
+        format!("impl serde::{trait_name} for {} ", item.name)
+    } else {
+        let bounded: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: serde::{trait_name}"))
+            .collect();
+        format!(
+            "impl<{}> serde::{trait_name} for {}<{}> ",
+            bounded.join(", "),
+            item.name,
+            item.generics.join(", ")
+        )
+    }
+}
+
+fn is_option_type(ty: &str) -> bool {
+    let t = ty.trim_start_matches("std::option::").trim_start_matches("core::option::");
+    t.starts_with("Option<") || t.starts_with("Option <")
+}
+
+/// Expression producing the default value for a missing field, or None if
+/// the field is required.
+fn missing_field_expr(field: &Field) -> Option<String> {
+    match &field.attrs.default {
+        Some(DefaultKind::Std) => Some("std::default::Default::default()".into()),
+        Some(DefaultKind::Path(p)) => Some(format!("{p}()")),
+        None if is_option_type(&field.ty) => Some("std::option::Option::None".into()),
+        None => None,
+    }
+}
+
+/// `key: <deserialize from map>` initializer for one named field, reading
+/// from content expression `src` (which must be a `&Content` map).
+fn named_field_init(owner: &str, field: &Field, src: &str) -> String {
+    let name = &field.name;
+    let on_missing = match missing_field_expr(field) {
+        Some(expr) => expr,
+        None => format!(
+            "return std::result::Result::Err(serde::Error::missing_field(\"{owner}\", \"{name}\"))"
+        ),
+    };
+    format!(
+        "{name}: match {src}.get(\"{name}\") {{ \
+            std::option::Option::Some(v) => serde::Deserialize::from_content(v)\
+                .map_err(|e| e.in_segment(\"{name}\"))?, \
+            std::option::Option::None => {on_missing}, \
+         }}"
+    )
+}
+
+/// Push `("name", content-of-field)` pairs for named fields of a struct or
+/// struct variant into a `Vec` named `__m`, reading values bound as plain
+/// identifiers (`prefix` = "self." for structs, "" for destructured
+/// variants).
+fn named_field_pushes(fields: &[Field], prefix: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "__m.push((std::string::String::from(\"{0}\"), \
+                 serde::Serialize::to_content(&{prefix}{0})));",
+                f.name
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n        ")
+}
+
+// ---------------------------------------------------------------------------
+// Serialize
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let body = match &item.data {
+        Data::Struct(Fields::Named(fields)) => {
+            let pushes = named_field_pushes(fields, "self.");
+            format!(
+                "let mut __m: std::vec::Vec<(std::string::String, serde::Content)> = \
+                 std::vec::Vec::new();\n        {pushes}\n        serde::Content::Map(__m)"
+            )
+        }
+        Data::Struct(Fields::Tuple(tys)) if tys.len() == 1 => {
+            "serde::Serialize::to_content(&self.0)".to_string()
+        }
+        Data::Struct(Fields::Tuple(tys)) => {
+            let elems: Vec<String> = (0..tys.len())
+                .map(|i| format!("serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("serde::Content::Seq(vec![{}])", elems.join(", "))
+        }
+        Data::Struct(Fields::Unit) => "serde::Content::Null".to_string(),
+        Data::Enum(variants) => {
+            let rule = item.attrs.rename_all.as_deref();
+            let tag = item.attrs.tag.as_deref();
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    let wire = rename_variant(vname, rule);
+                    match (&v.fields, tag) {
+                        (Fields::Unit, None) => format!(
+                            "{}::{vname} => serde::Content::Str(std::string::String::from(\"{wire}\")),",
+                            item.name
+                        ),
+                        (Fields::Unit, Some(tag)) => format!(
+                            "{}::{vname} => serde::Content::Map(vec![(std::string::String::from(\"{tag}\"), \
+                             serde::Content::Str(std::string::String::from(\"{wire}\")))]),",
+                            item.name
+                        ),
+                        (Fields::Named(fields), tag) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let pushes = named_field_pushes(fields, "");
+                            let head = match tag {
+                                Some(tag) => format!(
+                                    "__m.push((std::string::String::from(\"{tag}\"), \
+                                     serde::Content::Str(std::string::String::from(\"{wire}\"))));"
+                                ),
+                                None => String::new(),
+                            };
+                            let map_expr = "serde::Content::Map(__m)";
+                            let wrapped = match tag {
+                                Some(_) => map_expr.to_string(),
+                                None => format!(
+                                    "serde::Content::Map(vec![(std::string::String::from(\"{wire}\"), {map_expr})])"
+                                ),
+                            };
+                            format!(
+                                "{}::{vname} {{ {} }} => {{ \
+                                 let mut __m: std::vec::Vec<(std::string::String, serde::Content)> = std::vec::Vec::new(); \
+                                 {head} {pushes} {wrapped} }},",
+                                item.name,
+                                binds.join(", ")
+                            )
+                        }
+                        (Fields::Tuple(tys), None) if tys.len() == 1 => format!(
+                            "{}::{vname}(__v0) => serde::Content::Map(vec![(\
+                             std::string::String::from(\"{wire}\"), serde::Serialize::to_content(__v0))]),",
+                            item.name
+                        ),
+                        (Fields::Tuple(tys), None) => {
+                            let binds: Vec<String> =
+                                (0..tys.len()).map(|i| format!("__v{i}")).collect();
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_content({b})"))
+                                .collect();
+                            format!(
+                                "{}::{vname}({}) => serde::Content::Map(vec![(\
+                                 std::string::String::from(\"{wire}\"), \
+                                 serde::Content::Seq(vec![{}]))]),",
+                                item.name,
+                                binds.join(", "),
+                                elems.join(", ")
+                            )
+                        }
+                        (Fields::Tuple(_), Some(_)) => panic!(
+                            "serde_derive (vendored): tuple variants cannot be internally tagged"
+                        ),
+                    }
+                })
+                .collect();
+            format!("match self {{\n        {}\n        }}", arms.join("\n        "))
+        }
+    };
+    format!(
+        "{}{{\n    fn to_content(&self) -> serde::Content {{\n        {body}\n    }}\n}}\n",
+        impl_header("Serialize", item)
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize
+// ---------------------------------------------------------------------------
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::Struct(Fields::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| named_field_init(name, f, "c"))
+                .collect();
+            format!(
+                "match c {{\n            serde::Content::Map(_) => std::result::Result::Ok({name} {{ {} }}),\n            \
+                 other => std::result::Result::Err(serde::Error::expected(\"an object\", other)),\n        }}",
+                inits.join(", ")
+            )
+        }
+        Data::Struct(Fields::Tuple(tys)) if tys.len() == 1 => format!(
+            "std::result::Result::Ok({name}(serde::Deserialize::from_content(c)?))"
+        ),
+        Data::Struct(Fields::Tuple(tys)) => {
+            let n = tys.len();
+            let elems: Vec<String> = (0..n)
+                .map(|i| {
+                    format!(
+                        "serde::Deserialize::from_content(&items[{i}])\
+                         .map_err(|e| e.in_segment(\"[{i}]\"))?"
+                    )
+                })
+                .collect();
+            format!(
+                "match c {{\n            serde::Content::Seq(items) if items.len() == {n} => \
+                 std::result::Result::Ok({name}({})),\n            \
+                 other => std::result::Result::Err(serde::Error::expected(\"an array of length {n}\", other)),\n        }}",
+                elems.join(", ")
+            )
+        }
+        Data::Struct(Fields::Unit) => format!("std::result::Result::Ok({name})"),
+        Data::Enum(variants) => {
+            let rule = item.attrs.rename_all.as_deref();
+            match item.attrs.tag.as_deref() {
+                Some(tag) => {
+                    // Internally tagged: read the tag, then the variant's
+                    // fields from the same map.
+                    let arms: Vec<String> = variants
+                        .iter()
+                        .map(|v| {
+                            let wire = rename_variant(&v.name, rule);
+                            let vname = &v.name;
+                            match &v.fields {
+                                Fields::Unit => format!(
+                                    "\"{wire}\" => std::result::Result::Ok({name}::{vname}),"
+                                ),
+                                Fields::Named(fields) => {
+                                    let inits: Vec<String> = fields
+                                        .iter()
+                                        .map(|f| {
+                                            named_field_init(
+                                                &format!("{name}::{vname}"),
+                                                f,
+                                                "c",
+                                            )
+                                        })
+                                        .collect();
+                                    format!(
+                                        "\"{wire}\" => std::result::Result::Ok({name}::{vname} {{ {} }}),",
+                                        inits.join(", ")
+                                    )
+                                }
+                                Fields::Tuple(_) => panic!(
+                                    "serde_derive (vendored): tuple variants cannot be internally tagged"
+                                ),
+                            }
+                        })
+                        .collect();
+                    format!(
+                        "let tag = match c.get(\"{tag}\") {{\n            \
+                            std::option::Option::Some(serde::Content::Str(s)) => s.as_str(),\n            \
+                            std::option::Option::Some(other) => return std::result::Result::Err(serde::Error::expected(\"a string tag\", other)),\n            \
+                            std::option::Option::None => return std::result::Result::Err(serde::Error::missing_field(\"{name}\", \"{tag}\")),\n        }};\n        \
+                        match tag {{\n            {}\n            other => std::result::Result::Err(serde::Error::new(\
+                        format!(\"unknown variant `{{other}}` of {name}\"))),\n        }}",
+                        arms.join("\n            ")
+                    )
+                }
+                None => {
+                    // Externally tagged: unit variants are plain strings;
+                    // data variants are single-key maps.
+                    let unit_arms: Vec<String> = variants
+                        .iter()
+                        .filter(|v| matches!(v.fields, Fields::Unit))
+                        .map(|v| {
+                            let wire = rename_variant(&v.name, rule);
+                            format!(
+                                "\"{wire}\" => std::result::Result::Ok({name}::{}),",
+                                v.name
+                            )
+                        })
+                        .collect();
+                    let data_arms: Vec<String> = variants
+                        .iter()
+                        .filter(|v| !matches!(v.fields, Fields::Unit))
+                        .map(|v| {
+                            let wire = rename_variant(&v.name, rule);
+                            let vname = &v.name;
+                            match &v.fields {
+                                Fields::Named(fields) => {
+                                    let inits: Vec<String> = fields
+                                        .iter()
+                                        .map(|f| {
+                                            named_field_init(
+                                                &format!("{name}::{vname}"),
+                                                f,
+                                                "inner",
+                                            )
+                                        })
+                                        .collect();
+                                    format!(
+                                        "\"{wire}\" => std::result::Result::Ok({name}::{vname} {{ {} }}),",
+                                        inits.join(", ")
+                                    )
+                                }
+                                Fields::Tuple(tys) if tys.len() == 1 => format!(
+                                    "\"{wire}\" => std::result::Result::Ok({name}::{vname}(\
+                                     serde::Deserialize::from_content(inner)?)),"
+                                ),
+                                Fields::Tuple(tys) => {
+                                    let n = tys.len();
+                                    let elems: Vec<String> = (0..n)
+                                        .map(|i| {
+                                            format!(
+                                                "serde::Deserialize::from_content(&items[{i}])?"
+                                            )
+                                        })
+                                        .collect();
+                                    format!(
+                                        "\"{wire}\" => match inner {{ \
+                                         serde::Content::Seq(items) if items.len() == {n} => \
+                                         std::result::Result::Ok({name}::{vname}({})), \
+                                         other => std::result::Result::Err(serde::Error::expected(\"an array of length {n}\", other)) }},",
+                                        elems.join(", ")
+                                    )
+                                }
+                                Fields::Unit => unreachable!(),
+                            }
+                        })
+                        .collect();
+                    format!(
+                        "match c {{\n            \
+                         serde::Content::Str(s) => match s.as_str() {{\n                {unit}\n                \
+                            other => std::result::Result::Err(serde::Error::new(format!(\"unknown variant `{{other}}` of {name}\"))),\n            }},\n            \
+                         serde::Content::Map(entries) if entries.len() == 1 => {{\n                \
+                            let (key, inner) = &entries[0];\n                \
+                            match key.as_str() {{\n                {data}\n                    \
+                                other => std::result::Result::Err(serde::Error::new(format!(\"unknown variant `{{other}}` of {name}\"))),\n                }}\n            }},\n            \
+                         other => std::result::Result::Err(serde::Error::expected(\"a variant of {name}\", other)),\n        }}",
+                        unit = unit_arms.join("\n                "),
+                        data = data_arms.join("\n                ")
+                    )
+                }
+            }
+        }
+    };
+    format!(
+        "{}{{\n    fn from_content(c: &serde::Content) -> std::result::Result<Self, serde::Error> {{\n        \
+         #[allow(unused_variables)] let _ = c;\n        {body}\n    }}\n}}\n",
+        impl_header("Deserialize", item)
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Derive the vendored `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive (vendored): generated Serialize impl parses")
+}
+
+/// Derive the vendored `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive (vendored): generated Deserialize impl parses")
+}
