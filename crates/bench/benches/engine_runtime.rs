@@ -1,0 +1,83 @@
+//! Criterion benches of the worker-pool engine runtime — the same three
+//! scenarios `s3bench` snapshots into `BENCH_engine.json`:
+//!
+//! - `single_job`: one `run_job` pass over the corpus;
+//! - `shared_scan_bps1`: a `SharedScanServer` revolution serving 4
+//!   concurrent jobs at one-block segments (the smallest segments, where
+//!   per-iteration fixed costs dominate — the configuration the persistent
+//!   pool exists for);
+//! - `admission_scenario`: a probe job landing on an already-live
+//!   revolution, measured end to end (server start, background job,
+//!   probe, drain). `s3bench` isolates the probe's submit-to-complete
+//!   interval; this bench tracks the whole scenario over time.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use s3_engine::{run_job, BlockStore, ExecConfig, SharedScanServer};
+use s3_sim::SimRng;
+use s3_workloads::jobs::PatternWordCount;
+use s3_workloads::text::TextGen;
+use std::time::Duration;
+
+const THREADS: usize = 2;
+const SHARED_JOBS: usize = 4;
+
+fn corpus() -> BlockStore {
+    let gen = TextGen::new(10_000, 1.1);
+    let text = gen.generate(&mut SimRng::seed_from_u64(31), 2 << 20);
+    BlockStore::from_text(&text, 4 << 10)
+}
+
+fn prefixes(k: usize) -> Vec<String> {
+    (0..k)
+        .map(|i| format!("{}a", (b'b' + i as u8) as char))
+        .collect()
+}
+
+fn bench_engine_runtime(c: &mut Criterion) {
+    let store = corpus();
+    let mut g = c.benchmark_group("engine_runtime");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(store.total_bytes() as u64));
+
+    g.bench_function("single_job", |b| {
+        let cfg = ExecConfig {
+            num_threads: THREADS,
+            num_reducers: 8,
+        };
+        let job = PatternWordCount::all();
+        b.iter(|| run_job(&job, &store, &cfg));
+    });
+
+    g.bench_function("shared_scan_bps1", |b| {
+        b.iter(|| {
+            let server = SharedScanServer::new(store.clone(), 1, THREADS);
+            let handles: Vec<_> = prefixes(SHARED_JOBS)
+                .into_iter()
+                .map(|p| server.submit(PatternWordCount::prefix(p)))
+                .collect();
+            let outs: Vec<_> = handles.into_iter().map(|h| h.wait()).collect();
+            server.shutdown();
+            outs
+        });
+    });
+
+    g.bench_function("admission_scenario", |b| {
+        b.iter(|| {
+            let server = SharedScanServer::new(store.clone(), 1, THREADS);
+            let background = server.submit(PatternWordCount::all());
+            while server.iterations() < 4 {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            let probe = server.submit(PatternWordCount::prefix("qa"));
+            let out = probe.wait();
+            background.wait();
+            server.shutdown();
+            out
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine_runtime);
+criterion_main!(benches);

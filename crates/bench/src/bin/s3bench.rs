@@ -1,0 +1,199 @@
+//! `s3bench` — the engine performance baseline emitter.
+//!
+//! Measures the real engine's three headline numbers on this machine and
+//! writes them to `BENCH_engine.json` next to an embedded pre-recorded
+//! baseline, so every PR has a perf trajectory to compare against:
+//!
+//! - **single_job_ms** — one `run_job` pass over the corpus;
+//! - **shared_scan_bps1_ms** — a `SharedScanServer` revolution serving 4
+//!   concurrent jobs at `blocks_per_segment = 1` (the smallest segments,
+//!   where per-iteration fixed costs dominate);
+//! - **admission_latency_ms** — submit-to-complete latency of a probe job
+//!   submitted while a revolution is already live.
+//!
+//! ```text
+//! cargo run --release -p s3-bench --bin s3bench -- [--quick] [--out PATH]
+//! ```
+
+use s3_engine::{run_job, BlockStore, ExecConfig, SharedScanServer};
+use s3_sim::SimRng;
+use s3_workloads::jobs::PatternWordCount;
+use s3_workloads::text::TextGen;
+use std::time::{Duration, Instant};
+
+/// Benchmark shape (shared by the baseline and the current run).
+const CORPUS_BYTES: usize = 2 << 20;
+const BLOCK_BYTES: usize = 4 << 10;
+const THREADS: usize = 2;
+const REDUCERS: usize = 8;
+const SHARED_JOBS: usize = 4;
+const BLOCKS_PER_SEGMENT: usize = 1;
+
+/// Pre-PR baseline, measured with this same harness at commit 299ce47
+/// (crossbeam::scope spawning `num_threads` OS threads on every segment
+/// iteration; reduce on the coordinator thread). Units: milliseconds.
+const BASELINE_COMMIT: &str = "299ce47";
+const BASELINE_SINGLE_JOB_MS: f64 = 150.08;
+const BASELINE_SHARED_SCAN_BPS1_MS: f64 = 66.93;
+const BASELINE_ADMISSION_LATENCY_MS: f64 = 162.87;
+
+fn corpus() -> BlockStore {
+    let gen = TextGen::new(10_000, 1.1);
+    let text = gen.generate(&mut SimRng::seed_from_u64(31), CORPUS_BYTES);
+    BlockStore::from_text(&text, BLOCK_BYTES)
+}
+
+fn median_ms(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+fn time_ms(f: impl FnOnce()) -> f64 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+fn prefixes(k: usize) -> Vec<String> {
+    (0..k)
+        .map(|i| format!("{}a", (b'b' + i as u8) as char))
+        .collect()
+}
+
+/// One `run_job` pass over the whole corpus.
+fn bench_single_job(store: &BlockStore, repeats: usize) -> f64 {
+    let cfg = ExecConfig {
+        num_threads: THREADS,
+        num_reducers: REDUCERS,
+    };
+    let job = PatternWordCount::all();
+    let samples = (0..repeats)
+        .map(|_| time_ms(|| drop(run_job(&job, store, &cfg))))
+        .collect();
+    median_ms(samples)
+}
+
+/// One server revolution serving `SHARED_JOBS` jobs at one-block segments.
+fn bench_shared_scan(store: &BlockStore, repeats: usize) -> f64 {
+    let samples = (0..repeats)
+        .map(|_| {
+            time_ms(|| {
+                let server =
+                    SharedScanServer::new(store.clone(), BLOCKS_PER_SEGMENT, THREADS);
+                let handles: Vec<_> = prefixes(SHARED_JOBS)
+                    .into_iter()
+                    .map(|p| server.submit(PatternWordCount::prefix(p)))
+                    .collect();
+                for h in handles {
+                    h.wait();
+                }
+                server.shutdown();
+            })
+        })
+        .collect();
+    median_ms(samples)
+}
+
+/// Submit-to-complete latency of a probe job landing on a live revolution.
+fn bench_admission_latency(store: &BlockStore, repeats: usize) -> f64 {
+    let samples = (0..repeats)
+        .map(|_| {
+            let server = SharedScanServer::new(store.clone(), BLOCKS_PER_SEGMENT, THREADS);
+            let background = server.submit(PatternWordCount::all());
+            // Let the revolution get moving before the probe arrives.
+            while server.iterations() < 4 {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            let t0 = Instant::now();
+            let probe = server.submit(PatternWordCount::prefix("qa"));
+            probe.wait();
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            background.wait();
+            server.shutdown();
+            ms
+        })
+        .collect();
+    median_ms(samples)
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_engine.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out_path = args.next().expect("--out requires a path"),
+            other => {
+                eprintln!("unknown flag {other}; usage: s3bench [--quick] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let repeats = if quick { 3 } else { 7 };
+
+    eprintln!("s3bench: building {} MiB corpus...", CORPUS_BYTES >> 20);
+    let store = corpus();
+    eprintln!(
+        "s3bench: {} blocks of {} KiB; threads={THREADS}, repeats={repeats}",
+        store.num_blocks(),
+        BLOCK_BYTES >> 10
+    );
+
+    eprintln!("s3bench: single-job scan...");
+    let single_job_ms = bench_single_job(&store, repeats);
+    eprintln!("  single_job            {single_job_ms:>10.2} ms");
+
+    eprintln!("s3bench: {SHARED_JOBS}-way shared scan, blocks_per_segment={BLOCKS_PER_SEGMENT}...");
+    let shared_scan_ms = bench_shared_scan(&store, repeats);
+    eprintln!("  shared_scan_bps1      {shared_scan_ms:>10.2} ms");
+
+    eprintln!("s3bench: admission latency under a live revolution...");
+    let admission_ms = bench_admission_latency(&store, repeats);
+    eprintln!("  admission_latency     {admission_ms:>10.2} ms");
+
+    let mb = store.total_bytes() as f64 / (1 << 20) as f64;
+    let speedup = |base: f64, cur: f64| {
+        if base.is_finite() && cur > 0.0 {
+            serde_json::json!(base / cur)
+        } else {
+            serde_json::json!(null)
+        }
+    };
+    let report = serde_json::json!({
+        "schema": "s3bench-engine/v1",
+        "generated_by": "cargo run --release -p s3-bench --bin s3bench",
+        "config": {
+            "corpus_bytes": (store.total_bytes()),
+            "block_bytes": BLOCK_BYTES,
+            "num_blocks": (store.num_blocks()),
+            "threads": THREADS,
+            "reducers": REDUCERS,
+            "shared_jobs": SHARED_JOBS,
+            "blocks_per_segment": BLOCKS_PER_SEGMENT,
+            "repeats": repeats,
+        },
+        "baseline": {
+            "commit": BASELINE_COMMIT,
+            "note": "pre worker-pool engine: crossbeam::scope respawn per segment iteration, reduce on the coordinator",
+            "single_job_ms": BASELINE_SINGLE_JOB_MS,
+            "shared_scan_bps1_ms": BASELINE_SHARED_SCAN_BPS1_MS,
+            "admission_latency_ms": BASELINE_ADMISSION_LATENCY_MS,
+        },
+        "current": {
+            "single_job_ms": single_job_ms,
+            "single_job_mb_per_s": (mb / (single_job_ms / 1e3)),
+            "shared_scan_bps1_ms": shared_scan_ms,
+            "shared_scan_bps1_mb_per_s": (mb / (shared_scan_ms / 1e3)),
+            "admission_latency_ms": admission_ms,
+        },
+        "speedup_vs_baseline": {
+            "single_job": (speedup(BASELINE_SINGLE_JOB_MS, single_job_ms)),
+            "shared_scan_bps1": (speedup(BASELINE_SHARED_SCAN_BPS1_MS, shared_scan_ms)),
+            "admission_latency": (speedup(BASELINE_ADMISSION_LATENCY_MS, admission_ms)),
+        },
+    });
+    let text = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, text + "\n").expect("write BENCH_engine.json");
+    eprintln!("s3bench: wrote {out_path}");
+}

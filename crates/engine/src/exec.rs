@@ -1,17 +1,22 @@
 //! Single-job execution: map over blocks in parallel, shuffle by key hash,
-//! reduce partitions in parallel.
+//! reduce partitions in parallel — all phases running on a persistent
+//! [`WorkerPool`] instead of respawning OS threads per phase.
 
+use crate::pool::WorkerPool;
 use crate::store::BlockStore;
 use crate::types::MapReduceJob;
-use std::collections::hash_map::DefaultHasher;
-use std::collections::{BTreeMap, HashMap};
+use fxhash::{FxHashMap, FxHasher};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Execution parameters.
 #[derive(Debug, Clone)]
 pub struct ExecConfig {
-    /// Worker threads for the map and reduce phases.
+    /// Worker threads for the map and reduce phases. (Ignored by the
+    /// [`run_job_on`]/[`crate::run_merged_on`] variants, which size to the
+    /// pool they are given.)
     pub num_threads: usize,
     /// Number of reduce partitions.
     pub num_reducers: usize,
@@ -51,66 +56,114 @@ pub struct JobOutput<K: Ord, Out> {
 }
 
 pub(crate) fn partition_of<K: Hash>(key: &K, num_reducers: usize) -> usize {
-    let mut h = DefaultHasher::new();
+    let mut h = FxHasher::default();
     key.hash(&mut h);
     (h.finish() % num_reducers as u64) as usize
 }
 
 /// Run one job over the whole store.
 ///
+/// Spawns one [`WorkerPool`] for the call and reuses it across the map and
+/// reduce phases; to amortize pool creation over many calls, create a pool
+/// once and use [`run_job_on`].
+///
 /// # Panics
 /// Panics if `cfg` has zero threads or reducers.
 pub fn run_job<J: MapReduceJob>(job: &J, store: &BlockStore, cfg: &ExecConfig) -> JobOutput<J::K, J::Out> {
     assert!(cfg.num_threads > 0, "need at least one thread");
+    let pool = WorkerPool::new(cfg.num_threads);
+    run_job_on(&pool, job, store, cfg)
+}
+
+/// Run one job on an existing pool (thread creation stays O(pools) no
+/// matter how many jobs run). `cfg.num_threads` is ignored; the phases fan
+/// out to the pool's worker count.
+///
+/// # Panics
+/// Panics if `cfg.num_reducers` is zero.
+pub fn run_job_on<J: MapReduceJob>(
+    pool: &WorkerPool,
+    job: &J,
+    store: &BlockStore,
+    cfg: &ExecConfig,
+) -> JobOutput<J::K, J::Out> {
     assert!(cfg.num_reducers > 0, "need at least one reducer");
 
     let next_block = AtomicUsize::new(0);
     let num_blocks = store.num_blocks();
+    let num_threads = pool.num_threads();
+    let fold = job.combine_is_fold();
 
     // ---- map phase ----
     type MapOut<K, V> = (Vec<Vec<(K, V)>>, u64, u64);
-    let worker_outputs: Vec<MapOut<J::K, J::V>> = crossbeam::scope(|s| {
-        let handles: Vec<_> = (0..cfg.num_threads)
-            .map(|_| {
-                let next_block = &next_block;
-                s.spawn(move |_| {
-                    let mut partitions: Vec<Vec<(J::K, J::V)>> =
-                        (0..cfg.num_reducers).map(|_| Vec::new()).collect();
-                    let mut emitted = 0u64;
-                    let mut bytes = 0u64;
-                    loop {
-                        let idx = next_block.fetch_add(1, Ordering::Relaxed);
-                        if idx >= num_blocks {
-                            break;
-                        }
-                        let block = store.block(idx);
-                        bytes += block.len() as u64;
-                        // Block-local grouping so the combiner can fold.
-                        let mut local: HashMap<J::K, Vec<J::V>> = HashMap::new();
-                        for line in block.lines() {
-                            job.map(line, &mut |k, v| {
-                                emitted += 1;
-                                local.entry(k).or_default().push(v);
-                            });
-                        }
-                        for (k, vs) in local {
-                            let folded = job.combine(&k, vs);
-                            let p = partition_of(&k, cfg.num_reducers);
-                            for v in folded {
-                                partitions[p].push((k.clone(), v));
+    let worker_outputs: Vec<MapOut<J::K, J::V>> = pool.broadcast(num_threads, &|_| {
+        let mut partitions: Vec<Vec<(J::K, J::V)>> =
+            (0..cfg.num_reducers).map(|_| Vec::new()).collect();
+        let mut emitted = 0u64;
+        let mut bytes = 0u64;
+        if fold {
+            // One accumulator per key for the worker's whole run: no
+            // per-value buffering, no deferred combine pass.
+            let mut local: FxHashMap<J::K, J::V> = FxHashMap::default();
+            loop {
+                let idx = next_block.fetch_add(1, Ordering::Relaxed);
+                if idx >= num_blocks {
+                    break;
+                }
+                let block = store.block(idx);
+                bytes += block.len() as u64;
+                for line in block.lines() {
+                    job.map(line, &mut |k, v| {
+                        emitted += 1;
+                        match local.entry(k) {
+                            std::collections::hash_map::Entry::Occupied(mut e) => {
+                                job.combine_fold(e.get_mut(), v);
+                            }
+                            std::collections::hash_map::Entry::Vacant(e) => {
+                                e.insert(v);
                             }
                         }
+                    });
+                }
+            }
+            for (k, v) in local {
+                let p = partition_of(&k, cfg.num_reducers);
+                partitions[p].push((k, v));
+            }
+        } else {
+            loop {
+                let idx = next_block.fetch_add(1, Ordering::Relaxed);
+                if idx >= num_blocks {
+                    break;
+                }
+                let block = store.block(idx);
+                bytes += block.len() as u64;
+                // Block-local grouping so the combiner can fold.
+                let mut local: FxHashMap<J::K, Vec<J::V>> = FxHashMap::default();
+                for line in block.lines() {
+                    job.map(line, &mut |k, v| {
+                        emitted += 1;
+                        local.entry(k).or_default().push(v);
+                    });
+                }
+                for (k, vs) in local {
+                    let folded = job.combine(&k, vs);
+                    let p = partition_of(&k, cfg.num_reducers);
+                    let mut folded = folded.into_iter().peekable();
+                    while let Some(v) = folded.next() {
+                        if folded.peek().is_some() {
+                            partitions[p].push((k.clone(), v));
+                        } else {
+                            // Move the key into the last record.
+                            partitions[p].push((k, v));
+                            break;
+                        }
                     }
-                    (partitions, emitted, bytes)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("map worker panicked"))
-            .collect()
-    })
-    .expect("map scope panicked");
+                }
+            }
+        }
+        (partitions, emitted, bytes)
+    });
 
     // ---- shuffle: merge worker partitions ----
     let mut shuffled: Vec<Vec<(J::K, J::V)>> =
@@ -125,40 +178,25 @@ pub fn run_job<J: MapReduceJob>(job: &J, store: &BlockStore, cfg: &ExecConfig) -
         }
     }
 
-    // ---- reduce phase ----
+    // ---- reduce phase: workers take partitions by move ----
     let next_partition = AtomicUsize::new(0);
+    let num_partitions = shuffled.len();
+    type LockedPartition<J> =
+        Mutex<Vec<(<J as MapReduceJob>::K, <J as MapReduceJob>::V)>>;
+    let shuffled: Vec<LockedPartition<J>> = shuffled.into_iter().map(Mutex::new).collect();
     let shuffled = &shuffled;
-    let reduced: Vec<BTreeMap<J::K, J::Out>> = crossbeam::scope(|s| {
-        let handles: Vec<_> = (0..cfg.num_threads)
-            .map(|_| {
-                let next_partition = &next_partition;
-                s.spawn(move |_| {
-                    let mut out = BTreeMap::new();
-                    loop {
-                        let p = next_partition.fetch_add(1, Ordering::Relaxed);
-                        if p >= shuffled.len() {
-                            break;
-                        }
-                        let mut grouped: BTreeMap<&J::K, Vec<J::V>> = BTreeMap::new();
-                        for (k, v) in &shuffled[p] {
-                            grouped.entry(k).or_default().push(v.clone());
-                        }
-                        for (k, vs) in grouped {
-                            if let Some(o) = job.reduce(k, &vs) {
-                                out.insert(k.clone(), o);
-                            }
-                        }
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("reduce worker panicked"))
-            .collect()
-    })
-    .expect("reduce scope panicked");
+    let reduced: Vec<BTreeMap<J::K, J::Out>> = pool.broadcast(num_threads, &|_| {
+        let mut out = BTreeMap::new();
+        loop {
+            let p = next_partition.fetch_add(1, Ordering::Relaxed);
+            if p >= num_partitions {
+                break;
+            }
+            let part = std::mem::take(&mut *shuffled[p].lock());
+            reduce_partition(job, part, &mut out);
+        }
+        out
+    });
 
     let mut records = BTreeMap::new();
     for part in reduced {
@@ -171,6 +209,43 @@ pub fn run_job<J: MapReduceJob>(job: &J, store: &BlockStore, cfg: &ExecConfig) -
         reduce_output_records: records.len() as u64,
     };
     JobOutput { records, stats }
+}
+
+/// Group one owned partition by key — moving records, never cloning — and
+/// reduce each group into `out`.
+fn reduce_partition<J: MapReduceJob>(
+    job: &J,
+    part: Vec<(J::K, J::V)>,
+    out: &mut BTreeMap<J::K, J::Out>,
+) {
+    if job.combine_is_fold() {
+        let mut grouped: BTreeMap<J::K, J::V> = BTreeMap::new();
+        for (k, v) in part {
+            match grouped.entry(k) {
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    job.combine_fold(e.get_mut(), v);
+                }
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(v);
+                }
+            }
+        }
+        for (k, v) in grouped {
+            if let Some(o) = job.reduce(&k, std::slice::from_ref(&v)) {
+                out.insert(k, o);
+            }
+        }
+    } else {
+        let mut grouped: BTreeMap<J::K, Vec<J::V>> = BTreeMap::new();
+        for (k, v) in part {
+            grouped.entry(k).or_default().push(v);
+        }
+        for (k, vs) in grouped {
+            if let Some(o) = job.reduce(&k, &vs) {
+                out.insert(k, o);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -264,5 +339,23 @@ mod tests {
         let out = run_job(&PrefixCount { prefix: "".into() }, &s, &ExecConfig::default());
         assert_eq!(out.stats.bytes_scanned as usize, s.total_bytes());
         assert_eq!(out.stats.blocks_scanned as usize, s.num_blocks());
+    }
+
+    #[test]
+    fn pool_reuse_across_jobs_matches_fresh_pools() {
+        let s = store();
+        let cfg = ExecConfig {
+            num_threads: 2,
+            num_reducers: 4,
+        };
+        let pool = WorkerPool::new(2);
+        for prefix in ["", "ap", "ba", "zz"] {
+            let job = PrefixCount { prefix: prefix.into() };
+            let on_pool = run_job_on(&pool, &job, &s, &cfg);
+            let fresh = run_job(&job, &s, &cfg);
+            assert_eq!(on_pool.records, fresh.records, "prefix {prefix:?}");
+            assert_eq!(on_pool.stats, fresh.stats, "prefix {prefix:?}");
+        }
+        assert_eq!(pool.threads_spawned(), 2, "one pool for all four jobs");
     }
 }

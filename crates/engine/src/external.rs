@@ -16,6 +16,7 @@
 //! is what the cost model's `sort_s_per_mb` term abstracts.
 
 use crate::exec::{partition_of, ExecConfig, JobOutput, ScanStats};
+use crate::pool::WorkerPool;
 use crate::store::BlockStore;
 use crate::types::MapReduceJob;
 use serde::de::DeserializeOwned;
@@ -134,91 +135,79 @@ where
     let spill_counter = AtomicUsize::new(0);
     let spill_bytes = AtomicU64::new(0);
 
-    // ---- map phase: buffer, sort, spill ----
+    // ---- map phase: buffer, sort, spill (on a per-call worker pool) ----
     type MapOut = (Vec<PathBuf>, u64, u64);
-    let worker_results: Vec<std::io::Result<MapOut>> = crossbeam::scope(|s| {
-        let handles: Vec<_> = (0..cfg.exec.num_threads)
-            .map(|_| {
-                let next_block = &next_block;
-                let spill_counter = &spill_counter;
-                let spill_bytes = &spill_bytes;
-                s.spawn(move |_| -> std::io::Result<MapOut> {
-                    let mut buffer: Vec<(u32, J::K, J::V)> = Vec::new();
-                    let mut runs: Vec<PathBuf> = Vec::new();
-                    let mut emitted = 0u64;
-                    let mut bytes = 0u64;
+    let pool = WorkerPool::new(cfg.exec.num_threads);
+    let worker_results: Vec<std::io::Result<MapOut>> =
+        pool.broadcast(cfg.exec.num_threads, &|_| -> std::io::Result<MapOut> {
+            let mut buffer: Vec<(u32, J::K, J::V)> = Vec::new();
+            let mut runs: Vec<PathBuf> = Vec::new();
+            let mut emitted = 0u64;
+            let mut bytes = 0u64;
 
-                    let spill = |buffer: &mut Vec<(u32, J::K, J::V)>,
-                                     runs: &mut Vec<PathBuf>|
-                     -> std::io::Result<()> {
-                        if buffer.is_empty() {
-                            return Ok(());
-                        }
-                        buffer.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
-                        let id = spill_counter.fetch_add(1, Ordering::Relaxed);
-                        let path = dir.join(format!("run-{id}.jsonl"));
-                        let mut w = BufWriter::new(File::create(&path)?);
-                        let mut written = 0u64;
-                        // Combine-on-spill (Hadoop runs the combiner on
-                        // each sorted spill): fold each (partition, key)
-                        // group before writing.
-                        let mut drain = buffer.drain(..).peekable();
-                        while let Some((p, k, v)) = drain.next() {
-                            let mut values = vec![v];
-                            while drain
-                                .peek()
-                                .is_some_and(|(p2, k2, _)| *p2 == p && *k2 == k)
-                            {
-                                values.push(drain.next().expect("peeked").2);
-                            }
-                            for v in job.combine(&k, values) {
-                                let line = serde_json::to_string(&SpillRecord {
-                                    p,
-                                    k: &k,
-                                    v,
-                                })
-                                .expect("spill records serialize");
-                                written += line.len() as u64 + 1;
-                                w.write_all(line.as_bytes())?;
-                                w.write_all(b"\n")?;
-                            }
-                        }
-                        drop(drain);
-                        w.flush()?;
-                        spill_bytes.fetch_add(written, Ordering::Relaxed);
-                        runs.push(path);
-                        Ok(())
-                    };
-
-                    loop {
-                        let idx = next_block.fetch_add(1, Ordering::Relaxed);
-                        if idx >= num_blocks {
-                            break;
-                        }
-                        let block = store.block(idx);
-                        bytes += block.len() as u64;
-                        for line in block.lines() {
-                            job.map(line, &mut |k, v| {
-                                emitted += 1;
-                                let p = partition_of(&k, cfg.exec.num_reducers) as u32;
-                                buffer.push((p, k, v));
-                            });
-                            if buffer.len() >= cfg.spill_records {
-                                spill(&mut buffer, &mut runs)?;
-                            }
-                        }
+            let spill = |buffer: &mut Vec<(u32, J::K, J::V)>,
+                         runs: &mut Vec<PathBuf>|
+             -> std::io::Result<()> {
+                if buffer.is_empty() {
+                    return Ok(());
+                }
+                buffer.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+                let id = spill_counter.fetch_add(1, Ordering::Relaxed);
+                let path = dir.join(format!("run-{id}.jsonl"));
+                let mut w = BufWriter::new(File::create(&path)?);
+                let mut written = 0u64;
+                // Combine-on-spill (Hadoop runs the combiner on
+                // each sorted spill): fold each (partition, key)
+                // group before writing.
+                let mut drain = buffer.drain(..).peekable();
+                while let Some((p, k, v)) = drain.next() {
+                    let mut values = vec![v];
+                    while drain
+                        .peek()
+                        .is_some_and(|(p2, k2, _)| *p2 == p && *k2 == k)
+                    {
+                        values.push(drain.next().expect("peeked").2);
                     }
-                    spill(&mut buffer, &mut runs)?;
-                    Ok((runs, emitted, bytes))
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("map worker panicked"))
-            .collect()
-    })
-    .expect("map scope panicked");
+                    for v in job.combine(&k, values) {
+                        let line = serde_json::to_string(&SpillRecord {
+                            p,
+                            k: &k,
+                            v,
+                        })
+                        .expect("spill records serialize");
+                        written += line.len() as u64 + 1;
+                        w.write_all(line.as_bytes())?;
+                        w.write_all(b"\n")?;
+                    }
+                }
+                drop(drain);
+                w.flush()?;
+                spill_bytes.fetch_add(written, Ordering::Relaxed);
+                runs.push(path);
+                Ok(())
+            };
+
+            loop {
+                let idx = next_block.fetch_add(1, Ordering::Relaxed);
+                if idx >= num_blocks {
+                    break;
+                }
+                let block = store.block(idx);
+                bytes += block.len() as u64;
+                for line in block.lines() {
+                    job.map(line, &mut |k, v| {
+                        emitted += 1;
+                        let p = partition_of(&k, cfg.exec.num_reducers) as u32;
+                        buffer.push((p, k, v));
+                    });
+                    if buffer.len() >= cfg.spill_records {
+                        spill(&mut buffer, &mut runs)?;
+                    }
+                }
+            }
+            spill(&mut buffer, &mut runs)?;
+            Ok((runs, emitted, bytes))
+        });
 
     let mut all_runs: Vec<PathBuf> = Vec::new();
     let mut map_output_records = 0u64;

@@ -23,14 +23,16 @@
 
 pub mod exec;
 pub mod external;
+pub mod pool;
 pub mod scan_server;
 pub mod shared;
 pub mod store;
 pub mod types;
 
-pub use exec::{run_job, ExecConfig, JobOutput, ScanStats};
+pub use exec::{run_job, run_job_on, ExecConfig, JobOutput, ScanStats};
 pub use external::{run_job_external, run_merged_external, ExternalConfig, SpillStats};
+pub use pool::WorkerPool;
 pub use scan_server::{JobHandle, SharedScanServer};
-pub use shared::run_merged;
+pub use shared::{run_merged, run_merged_on};
 pub use store::BlockStore;
 pub use types::MapReduceJob;

@@ -1,0 +1,332 @@
+//! A persistent worker pool: threads are spawned **once** and fed work
+//! through a queue, so thread creation is O(pools), never O(work items).
+//!
+//! This replaces the previous engine hot path, which ran
+//! `crossbeam::scope` — spawning and joining `num_threads` OS threads —
+//! on *every* segment iteration of the shared scan. With one-block
+//! segments that meant thousands of thread creations per revolution,
+//! a fixed cost that had nothing to do with scanning and capped how small
+//! (and thus how responsive) segments could be.
+//!
+//! Two submission modes:
+//!
+//! - [`WorkerPool::broadcast`] — run a closure as `fan_out` parallel tasks
+//!   that may **borrow from the caller's stack**, blocking until all
+//!   complete (the replacement for `crossbeam::scope` at each phase).
+//!   A `fan_out` of 1 runs inline on the caller — a one-block segment pays
+//!   zero cross-thread handoff.
+//! - [`WorkerPool::execute`] — fire-and-forget an owned (`'static`) task;
+//!   used to move job finalization (combine + reduce) off the scan
+//!   coordinator. Dropping the pool **drains** queued tasks before joining
+//!   the workers, so detached work is never lost on shutdown.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct QueueState {
+    tasks: VecDeque<Task>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    queue: Mutex<QueueState>,
+    /// Workers park here waiting for tasks.
+    work_cv: Condvar,
+    /// Tasks executed to completion (instrumentation).
+    executed: AtomicU64,
+    /// Detached tasks that panicked (broadcast panics re-raise instead).
+    panicked: AtomicU64,
+}
+
+/// A fixed-size pool of persistent worker threads.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+    /// Threads this pool has ever created (== `num_threads`; the point is
+    /// that it never grows with the amount of work submitted).
+    spawned: u64,
+}
+
+impl WorkerPool {
+    /// Spawn `num_threads` workers, once, for the lifetime of the pool.
+    ///
+    /// # Panics
+    /// Panics if `num_threads` is zero.
+    pub fn new(num_threads: usize) -> Self {
+        assert!(num_threads > 0, "pool needs at least one worker");
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(QueueState {
+                tasks: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            executed: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
+        });
+        let workers = (0..num_threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("s3-pool-worker-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("spawning a pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            workers,
+            spawned: num_threads as u64,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Threads this pool has spawned over its whole lifetime. Always equals
+    /// `num_threads()`: the instrumentation tests assert thread creation is
+    /// O(pools), not O(segment iterations or jobs).
+    pub fn threads_spawned(&self) -> u64 {
+        self.spawned
+    }
+
+    /// Tasks executed to completion so far.
+    pub fn tasks_executed(&self) -> u64 {
+        self.shared.executed.load(Ordering::Relaxed)
+    }
+
+    /// Detached tasks that panicked (their panics are swallowed by the
+    /// worker loop so the pool survives; broadcast panics re-raise on the
+    /// caller instead).
+    pub fn tasks_panicked(&self) -> u64 {
+        self.shared.panicked.load(Ordering::Relaxed)
+    }
+
+    /// Fire-and-forget an owned task. Queued tasks are drained (run to
+    /// completion) before `Drop` joins the workers.
+    pub fn execute(&self, task: impl FnOnce() + Send + 'static) {
+        let mut q = self.shared.queue.lock();
+        q.tasks.push_back(Box::new(task));
+        drop(q);
+        self.shared.work_cv.notify_one();
+    }
+
+    /// Run `f(0)`, `f(1)`, …, `f(fan_out - 1)` as parallel tasks and block
+    /// until all complete, returning the results in index order. The
+    /// closure may borrow from the caller's stack: completion is awaited
+    /// before returning, so borrows outlive every task.
+    ///
+    /// `fan_out == 0` returns an empty vector without touching the pool;
+    /// `fan_out == 1` runs inline on the calling thread (no handoff).
+    /// If any task panics, the panic is re-raised here after all tasks
+    /// finish. Must not be called from inside a pool task of the same pool
+    /// (the inner wait could starve the outer task's worker).
+    pub fn broadcast<'env, R, F>(&self, fan_out: usize, f: &F) -> Vec<R>
+    where
+        R: Send + 'env,
+        F: Fn(usize) -> R + Sync + 'env,
+    {
+        if fan_out == 0 {
+            return Vec::new();
+        }
+        if fan_out == 1 {
+            return vec![f(0)];
+        }
+
+        struct Latch {
+            remaining: Mutex<usize>,
+            done_cv: Condvar,
+        }
+        let latch = Arc::new(Latch {
+            remaining: Mutex::new(fan_out),
+            done_cv: Condvar::new(),
+        });
+        let results: Mutex<Vec<Option<R>>> = Mutex::new((0..fan_out).map(|_| None).collect());
+        let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+        {
+            let results = &results;
+            let panic_payload = &panic_payload;
+            let mut q = self.shared.queue.lock();
+            for i in 0..fan_out {
+                let latch = Arc::clone(&latch);
+                let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                        Ok(r) => results.lock()[i] = Some(r),
+                        Err(p) => *panic_payload.lock() = Some(p),
+                    }
+                    let mut remaining = latch.remaining.lock();
+                    *remaining -= 1;
+                    if *remaining == 0 {
+                        latch.done_cv.notify_all();
+                    }
+                });
+                // SAFETY: only the lifetime is erased (`Box<dyn FnOnce +
+                // Send + '_>` → `+ 'static`; identical layout). The task
+                // borrows `f`, `results`, and `panic_payload`, all of which
+                // outlive it: this function does not return until the latch
+                // records every task's completion (even on panic, via
+                // catch_unwind above), so no borrow dangles while a task
+                // can run.
+                let task: Task = unsafe { std::mem::transmute(task) };
+                q.tasks.push_back(task);
+            }
+            drop(q);
+            self.shared.work_cv.notify_all();
+        }
+
+        let mut remaining = latch.remaining.lock();
+        while *remaining > 0 {
+            latch.done_cv.wait(&mut remaining);
+        }
+        drop(remaining);
+
+        if let Some(p) = panic_payload.into_inner() {
+            resume_unwind(p);
+        }
+        results
+            .into_inner()
+            .into_iter()
+            .map(|r| r.expect("every broadcast task stores its result"))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    /// Drain all queued tasks, then join the workers.
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock();
+            q.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<PoolShared>) {
+    loop {
+        let task = {
+            let mut q = shared.queue.lock();
+            loop {
+                if let Some(t) = q.tasks.pop_front() {
+                    break t;
+                }
+                if q.shutdown {
+                    return;
+                }
+                shared.work_cv.wait(&mut q);
+            }
+        };
+        // Broadcast tasks handle their own panics (and re-raise on the
+        // caller); this catch keeps a panicking detached task from killing
+        // the worker and losing the rest of the queue.
+        if catch_unwind(AssertUnwindSafe(task)).is_err() {
+            shared.panicked.fetch_add(1, Ordering::Relaxed);
+        }
+        shared.executed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn broadcast_returns_results_in_index_order() {
+        let pool = WorkerPool::new(3);
+        let out = pool.broadcast(8, &|i| i * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn broadcast_borrows_from_the_stack() {
+        let pool = WorkerPool::new(2);
+        let data = vec![1u64, 2, 3, 4, 5];
+        let data = &data;
+        let parts = pool.broadcast(2, &|i| -> u64 {
+            data.iter().skip(i).step_by(2).sum()
+        });
+        assert_eq!(parts.iter().sum::<u64>(), 15);
+    }
+
+    #[test]
+    fn fan_out_one_runs_inline_without_tasks() {
+        let pool = WorkerPool::new(2);
+        let before = pool.tasks_executed();
+        let tid = std::thread::current().id();
+        let out = pool.broadcast(1, &|_| std::thread::current().id());
+        assert_eq!(out, vec![tid], "fan_out=1 runs on the caller");
+        assert_eq!(pool.tasks_executed(), before, "no task was queued");
+    }
+
+    #[test]
+    fn spawn_count_is_constant_over_many_broadcasts() {
+        let pool = WorkerPool::new(2);
+        for _ in 0..200 {
+            pool.broadcast(2, &|i| i);
+        }
+        assert_eq!(pool.threads_spawned(), 2);
+        assert_eq!(pool.tasks_executed(), 400);
+    }
+
+    #[test]
+    fn drop_drains_queued_detached_tasks() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(1);
+            for _ in 0..50 {
+                let counter = Arc::clone(&counter);
+                pool.execute(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            // Dropping here must run everything still queued.
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn broadcast_panic_propagates_to_caller() {
+        let pool = WorkerPool::new(2);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.broadcast(4, &|i| {
+                if i == 2 {
+                    panic!("task blew up");
+                }
+                i
+            })
+        }));
+        assert!(r.is_err(), "panic must surface on the caller");
+        // The pool survives and keeps serving work.
+        assert_eq!(pool.broadcast(3, &|i| i + 1), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn detached_panic_does_not_kill_the_pool() {
+        let pool = WorkerPool::new(1);
+        pool.execute(|| panic!("detached boom"));
+        let out = pool.broadcast(2, &|i| i);
+        assert_eq!(out, vec![0, 1]);
+        assert_eq!(pool.tasks_panicked(), 1);
+    }
+
+    #[test]
+    fn rapid_create_drop_cycles_do_not_hang() {
+        for _ in 0..100 {
+            let pool = WorkerPool::new(2);
+            pool.execute(|| {});
+            drop(pool);
+        }
+    }
+}

@@ -6,7 +6,26 @@
 //! the *next* segment boundary, shares every segment scan with whoever else
 //! is active, wraps around the end of the file, and completes after exactly
 //! one revolution — the S³ execution model (Sections IV-B/IV-C), executed
-//! for real rather than simulated:
+//! for real rather than simulated.
+//!
+//! ## Runtime shape
+//!
+//! The coordinator thread owns two persistent [`WorkerPool`]s created once
+//! at server start:
+//!
+//! - a **scan pool** that executes every segment iteration (previously each
+//!   iteration spawned and joined `num_threads` OS threads — a fixed cost
+//!   per segment that punished small segments, exactly the configurations
+//!   where S³'s responsiveness should shine);
+//! - a **reduce pool** that runs job finalization (combine + reduce,
+//!   sharded by key hash) *off* the coordinator, so one job finishing a
+//!   heavy reduce never stalls the segment cadence of the jobs still
+//!   scanning.
+//!
+//! Map-side state is **worker-persistent**: each pool worker keeps one
+//! accumulator per active job across the whole revolution (streamed via
+//! [`MapReduceJob::combine_fold`] when the job declares a fold combiner),
+//! so segments no longer pay a merge-into-coordinator step.
 //!
 //! ```
 //! use s3_engine::{BlockStore, MapReduceJob, SharedScanServer};
@@ -28,25 +47,68 @@
 //! server.shutdown();
 //! ```
 
-use crate::exec::{partition_of, JobOutput, ScanStats};
+use crate::exec::{JobOutput, ScanStats};
+use crate::pool::WorkerPool;
 use crate::store::BlockStore;
 use crate::types::MapReduceJob;
+use fxhash::FxHashMap;
 use parking_lot::{Condvar, Mutex};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+/// Map-side accumulator for one job on one worker: fold jobs stream into
+/// one value per key, buffering jobs keep the runs for a later combine.
+enum JobAcc<J: MapReduceJob> {
+    Fold(FxHashMap<J::K, J::V>),
+    Buf(FxHashMap<J::K, Vec<J::V>>),
+}
+
+impl<J: MapReduceJob> JobAcc<J> {
+    fn new(fold: bool) -> Self {
+        if fold {
+            JobAcc::Fold(FxHashMap::default())
+        } else {
+            JobAcc::Buf(FxHashMap::default())
+        }
+    }
+
+    fn push(&mut self, job: &J, k: J::K, v: J::V) {
+        match self {
+            JobAcc::Fold(map) => match map.entry(k) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    job.combine_fold(e.get_mut(), v);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(v);
+                }
+            },
+            JobAcc::Buf(map) => map.entry(k).or_default().push(v),
+        }
+    }
+}
+
+/// One worker's accumulated state for one job over the revolution so far.
+struct JobPartial<J: MapReduceJob> {
+    emitted: u64,
+    acc: JobAcc<J>,
+}
+
+/// Per-worker slot: the partials of every job this worker has scanned for.
+type Slot<J> = Vec<(u64, JobPartial<J>)>;
+
 /// State of one job inside the server.
 struct ActiveJob<J: MapReduceJob> {
+    id: u64,
     job: Arc<J>,
     handle: Arc<HandleState<J::K, J::Out>>,
     /// Segments still to process (counts down from the segment count).
     segments_remaining: usize,
-    /// Accumulated (combined) map output, grouped by key.
-    acc: HashMap<J::K, Vec<J::V>>,
-    /// Map records emitted for this job.
-    map_output_records: u64,
+    /// Blocks this job's revolution has actually covered.
+    blocks_seen: u64,
+    /// Bytes this job's revolution has actually covered.
+    bytes_seen: u64,
 }
 
 /// Shared completion slot a [`JobHandle`] waits on.
@@ -83,13 +145,20 @@ struct ServerShared<J: MapReduceJob> {
     store: BlockStore,
     /// Segment boundaries: segment `s` covers blocks `cuts[s]..cuts[s+1]`.
     cuts: Vec<usize>,
+    /// Byte prefix sums: blocks `a..b` hold `byte_cuts[b] - byte_cuts[a]`
+    /// bytes — per-job byte accounting without re-touching the data.
+    byte_cuts: Vec<u64>,
     pending: Mutex<Vec<ActiveJob<J>>>,
     wakeup: Condvar,
     shutdown: AtomicBool,
+    next_job_id: AtomicU64,
     /// Total block scans performed (shared scans count once).
     blocks_scanned: AtomicU64,
     /// Total segment iterations executed.
     iterations: AtomicU64,
+    /// Worker threads the coordinator's pools have spawned (set once at
+    /// startup; never grows, which is the point).
+    pool_threads_spawned: AtomicU64,
 }
 
 /// A long-running shared-scan service over one block store.
@@ -97,7 +166,8 @@ struct ServerShared<J: MapReduceJob> {
 /// All jobs must be of one concrete [`MapReduceJob`] type `J` (as with
 /// [`crate::run_merged`], merged jobs must agree on their intermediate
 /// schema). The server runs a coordinator thread that performs one merged
-/// sub-job per segment iteration, using `num_threads` workers for the scan.
+/// sub-job per segment iteration on a persistent pool of `num_threads`
+/// scan workers, plus `num_threads` reduce workers for job finalization.
 pub struct SharedScanServer<J: MapReduceJob + 'static> {
     shared: Arc<ServerShared<J>>,
     coordinator: Option<JoinHandle<()>>,
@@ -115,15 +185,23 @@ impl<J: MapReduceJob + 'static> SharedScanServer<J> {
         let n = store.num_blocks();
         let mut cuts: Vec<usize> = (0..n).step_by(blocks_per_segment).collect();
         cuts.push(n);
+        let mut byte_cuts = Vec::with_capacity(n + 1);
+        byte_cuts.push(0u64);
+        for i in 0..n {
+            byte_cuts.push(byte_cuts[i] + store.block(i).len() as u64);
+        }
 
         let shared = Arc::new(ServerShared {
             store,
             cuts,
+            byte_cuts,
             pending: Mutex::new(Vec::new()),
             wakeup: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            next_job_id: AtomicU64::new(0),
             blocks_scanned: AtomicU64::new(0),
             iterations: AtomicU64::new(0),
+            pool_threads_spawned: AtomicU64::new(0),
         });
 
         let coord_shared = Arc::clone(&shared);
@@ -154,6 +232,15 @@ impl<J: MapReduceJob + 'static> SharedScanServer<J> {
         self.shared.iterations.load(Ordering::Relaxed)
     }
 
+    /// Worker threads this server's pools have spawned over the server's
+    /// whole lifetime (0 until the coordinator finishes starting up).
+    /// Always `2 * num_threads` — scan pool plus reduce pool — no matter
+    /// how many jobs or segment iterations the server executes; the
+    /// instrumentation tests assert thread creation is O(servers).
+    pub fn pool_threads_spawned(&self) -> u64 {
+        self.shared.pool_threads_spawned.load(Ordering::SeqCst)
+    }
+
     /// Submit a job; it joins the scan at the next segment boundary.
     pub fn submit(&self, job: J) -> JobHandle<J::K, J::Out> {
         let state = Arc::new(HandleState {
@@ -161,11 +248,12 @@ impl<J: MapReduceJob + 'static> SharedScanServer<J> {
             cv: Condvar::new(),
         });
         let active = ActiveJob {
+            id: self.shared.next_job_id.fetch_add(1, Ordering::Relaxed),
             job: Arc::new(job),
             handle: Arc::clone(&state),
             segments_remaining: self.num_segments(),
-            acc: HashMap::new(),
-            map_output_records: 0,
+            blocks_seen: 0,
+            bytes_seen: 0,
         };
         self.shared.pending.lock().push(active);
         self.shared.wakeup.notify_all();
@@ -173,7 +261,9 @@ impl<J: MapReduceJob + 'static> SharedScanServer<J> {
     }
 
     /// Stop accepting useful work and join the coordinator once all
-    /// submitted jobs have completed.
+    /// submitted jobs have completed. Finalization tasks already queued on
+    /// the reduce pool are drained before this returns, so every submitted
+    /// job's output is published.
     pub fn shutdown(mut self) {
         Self::signal_shutdown(&self.shared);
         if let Some(h) = self.coordinator.take() {
@@ -203,6 +293,20 @@ impl<J: MapReduceJob + 'static> Drop for SharedScanServer<J> {
 }
 
 fn coordinator_loop<J: MapReduceJob + 'static>(shared: Arc<ServerShared<J>>, num_threads: usize) {
+    // Both pools live exactly as long as the coordinator: when this
+    // function returns, their Drop impls drain any queued finalization
+    // tasks before joining the workers, so shutdown never loses outputs.
+    let scan_pool = WorkerPool::new(num_threads);
+    let reduce_pool = WorkerPool::new(num_threads);
+    shared.pool_threads_spawned.store(
+        scan_pool.threads_spawned() + reduce_pool.threads_spawned(),
+        Ordering::SeqCst,
+    );
+    // One slot per scan worker: each worker's per-job accumulators persist
+    // across every segment of a job's revolution, so there is no
+    // merge-into-coordinator step at segment end.
+    let slots: Vec<Mutex<Slot<J>>> = (0..num_threads).map(|_| Mutex::new(Vec::new())).collect();
+
     let num_segments = shared.cuts.len() - 1;
     let mut cursor = 0usize; // next segment to scan
     let mut active: Vec<ActiveJob<J>> = Vec::new();
@@ -227,20 +331,25 @@ fn coordinator_loop<J: MapReduceJob + 'static>(shared: Arc<ServerShared<J>>, num
         // One iteration of Algorithm 1: merged sub-job over the cursor's
         // segment for every active job.
         let (start, end) = (shared.cuts[cursor], shared.cuts[cursor + 1]);
-        scan_segment(&shared, &mut active, start, end, num_threads);
-        shared
-            .blocks_scanned
-            .fetch_add((end - start) as u64, Ordering::Relaxed);
+        scan_segment(&shared, &active, &slots, start, end, &scan_pool);
+        let seg_blocks = (end - start) as u64;
+        let seg_bytes = shared.byte_cuts[end] - shared.byte_cuts[start];
+        shared.blocks_scanned.fetch_add(seg_blocks, Ordering::Relaxed);
         shared.iterations.fetch_add(1, Ordering::Relaxed);
+        for a in &mut active {
+            a.blocks_seen += seg_blocks;
+            a.bytes_seen += seg_bytes;
+        }
         cursor = (cursor + 1) % num_segments;
 
-        // Jobs that completed a full revolution: reduce and publish.
+        // Jobs that completed a full revolution: hand their accumulated
+        // state to the reduce pool and keep scanning without waiting.
         let mut i = 0;
         while i < active.len() {
             active[i].segments_remaining -= 1;
             if active[i].segments_remaining == 0 {
                 let finished = active.swap_remove(i);
-                finish_job(&shared, finished);
+                finish_job(&slots, &reduce_pool, finished);
             } else {
                 i += 1;
             }
@@ -248,104 +357,220 @@ fn coordinator_loop<J: MapReduceJob + 'static>(shared: Arc<ServerShared<J>>, num
     }
 }
 
-/// Scan one segment once, running every active job's map over each record.
+/// Scan one segment once, running every active job's map over each record
+/// on the persistent scan pool. Jobs declaring
+/// [`map_is_per_token`](MapReduceJob::map_is_per_token) share one
+/// tokenization of each line.
 fn scan_segment<J: MapReduceJob + 'static>(
-    shared: &Arc<ServerShared<J>>,
-    active: &mut [ActiveJob<J>],
+    shared: &ServerShared<J>,
+    active: &[ActiveJob<J>],
+    slots: &[Mutex<Slot<J>>],
     start: usize,
     end: usize,
-    num_threads: usize,
+    pool: &WorkerPool,
 ) {
     if active.is_empty() || start == end {
         return;
     }
-    let jobs: Vec<Arc<J>> = active.iter().map(|a| Arc::clone(&a.job)).collect();
     let next = AtomicUsize::new(start);
     let store = &shared.store;
+    // A one-block segment runs inline on the coordinator (fan_out 1 —
+    // zero cross-thread handoff); wider segments fan out over the pool.
+    let fan_out = pool.num_threads().min(end - start);
+    let token_pos: Vec<usize> =
+        (0..active.len()).filter(|&i| active[i].job.map_is_per_token()).collect();
+    let line_pos: Vec<usize> =
+        (0..active.len()).filter(|&i| !active[i].job.map_is_per_token()).collect();
 
-    type WorkerOut<K, V> = (Vec<HashMap<K, Vec<V>>>, Vec<u64>);
-    let results: Vec<WorkerOut<J::K, J::V>> = crossbeam::scope(|s| {
-        let handles: Vec<_> = (0..num_threads)
-            .map(|_| {
-                let jobs = &jobs;
-                let next = &next;
-                s.spawn(move |_| {
-                    let mut acc: Vec<HashMap<J::K, Vec<J::V>>> =
-                        (0..jobs.len()).map(|_| HashMap::new()).collect();
-                    let mut emitted = vec![0u64; jobs.len()];
-                    loop {
-                        let idx = next.fetch_add(1, Ordering::Relaxed);
-                        if idx >= end {
-                            break;
-                        }
-                        let block = store.block(idx);
-                        for line in block.lines() {
-                            for (ji, job) in jobs.iter().enumerate() {
-                                let slot = &mut acc[ji];
-                                job.map(line, &mut |k, v| {
-                                    emitted[ji] += 1;
-                                    slot.entry(k).or_default().push(v);
-                                });
-                            }
-                        }
-                    }
-                    // Combine per worker before merging into the job state.
-                    for (ji, slot) in acc.iter_mut().enumerate() {
-                        let combined: HashMap<J::K, Vec<J::V>> = slot
-                            .drain()
-                            .map(|(k, vs)| {
-                                let folded = jobs[ji].combine(&k, vs);
-                                (k, folded)
-                            })
-                            .collect();
-                        *slot = combined;
-                    }
-                    (acc, emitted)
-                })
+    pool.broadcast(fan_out, &|wi| {
+        let mut slot = slots[wi].lock();
+        // Index of each active job's partial in this worker's slot,
+        // creating partials for jobs this worker has not seen yet.
+        let idxs: Vec<usize> = active
+            .iter()
+            .map(|a| {
+                if let Some(p) = slot.iter().position(|(id, _)| *id == a.id) {
+                    p
+                } else {
+                    slot.push((
+                        a.id,
+                        JobPartial {
+                            emitted: 0,
+                            acc: JobAcc::new(a.job.combine_is_fold()),
+                        },
+                    ));
+                    slot.len() - 1
+                }
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("scan worker panicked"))
-            .collect()
-    })
-    .expect("scan scope panicked");
-
-    for (worker_acc, emitted) in results {
-        for ((job_state, mut job_acc), e) in active.iter_mut().zip(worker_acc).zip(emitted) {
-            job_state.map_output_records += e;
-            for (k, mut vs) in job_acc.drain() {
-                job_state.acc.entry(k).or_default().append(&mut vs);
+        loop {
+            let idx = next.fetch_add(1, Ordering::Relaxed);
+            if idx >= end {
+                break;
+            }
+            let block = store.block(idx);
+            for line in block.lines() {
+                if !token_pos.is_empty() {
+                    // One tokenization pass shared by every token job.
+                    for token in line.split_whitespace() {
+                        for &pos in &token_pos {
+                            let job = &*active[pos].job;
+                            let JobPartial { emitted, acc } = &mut slot[idxs[pos]].1;
+                            job.map_token(token, &mut |k, v| {
+                                *emitted += 1;
+                                acc.push(job, k, v);
+                            });
+                        }
+                    }
+                }
+                for &pos in &line_pos {
+                    let job = &*active[pos].job;
+                    let JobPartial { emitted, acc } = &mut slot[idxs[pos]].1;
+                    job.map(line, &mut |k, v| {
+                        *emitted += 1;
+                        acc.push(job, k, v);
+                    });
+                }
             }
         }
+    });
+}
+
+/// Finalization context shared by one finished job's reduce-pool tasks.
+struct FinishCtx<J: MapReduceJob> {
+    job: Arc<J>,
+    handle: Arc<HandleState<J::K, J::Out>>,
+    state: Mutex<FinishState<J>>,
+    remaining: AtomicUsize,
+    stats: ScanStats,
+}
+
+struct FinishState<J: MapReduceJob> {
+    sharded: bool,
+    /// Per-worker accumulators, as collected by the coordinator.
+    partials: Vec<JobAcc<J>>,
+    /// Key-hash shards, built lazily by the first shard task to run.
+    buckets: Vec<Option<JobAcc<J>>>,
+    /// Reduced output of each shard.
+    parts: Vec<Option<BTreeMap<J::K, J::Out>>>,
+}
+
+/// Collect the finished job's worker partials (cheap: map moves, no record
+/// touches) and queue its combine+reduce on the reduce pool, sharded by
+/// key hash. The coordinator returns to scanning immediately; the last
+/// shard task to finish publishes the output and wakes the handle.
+fn finish_job<J: MapReduceJob + 'static>(
+    slots: &[Mutex<Slot<J>>],
+    reduce_pool: &WorkerPool,
+    job: ActiveJob<J>,
+) {
+    let mut partials: Vec<JobAcc<J>> = Vec::new();
+    let mut map_output_records = 0u64;
+    for slot in slots {
+        let mut slot = slot.lock();
+        if let Some(p) = slot.iter().position(|(id, _)| *id == job.id) {
+            let (_, partial) = slot.swap_remove(p);
+            map_output_records += partial.emitted;
+            partials.push(partial.acc);
+        }
+    }
+
+    let nshards = reduce_pool.num_threads();
+    let ctx = Arc::new(FinishCtx {
+        job: job.job,
+        handle: job.handle,
+        state: Mutex::new(FinishState {
+            sharded: false,
+            partials,
+            buckets: (0..nshards).map(|_| None).collect(),
+            parts: (0..nshards).map(|_| None).collect(),
+        }),
+        remaining: AtomicUsize::new(nshards),
+        stats: ScanStats {
+            blocks_scanned: job.blocks_seen,
+            bytes_scanned: job.bytes_seen,
+            map_output_records,
+            reduce_output_records: 0, // filled at publish
+        },
+    });
+    for s in 0..nshards {
+        let ctx = Arc::clone(&ctx);
+        reduce_pool.execute(move || run_finish_shard(ctx, s, nshards));
     }
 }
 
-/// Run the job's combiner+reduce over its accumulated map output and wake
-/// its handle.
-fn finish_job<J: MapReduceJob + 'static>(shared: &Arc<ServerShared<J>>, mut job: ActiveJob<J>) {
-    let mut records = BTreeMap::new();
-    // Deterministic reduce order (BTreeMap over partitioned keys is not
-    // needed here: reduce is per key and the output map is ordered).
-    for (k, vs) in job.acc.drain() {
-        // partition_of is only needed by the distributed layout; compute it
-        // to mirror run_job's structure and keep partitioning exercised.
-        let _p = partition_of(&k, 16);
-        let folded = job.job.combine(&k, vs);
-        if let Some(out) = job.job.reduce(&k, &folded) {
-            records.insert(k, out);
+fn run_finish_shard<J: MapReduceJob + 'static>(ctx: Arc<FinishCtx<J>>, s: usize, nshards: usize) {
+    let bucket = {
+        let mut st = ctx.state.lock();
+        if !st.sharded {
+            // First shard task to run splits the accumulated state by key
+            // hash — off the coordinator like everything else here.
+            let partials = std::mem::take(&mut st.partials);
+            let fold = ctx.job.combine_is_fold();
+            let mut buckets: Vec<JobAcc<J>> = (0..nshards).map(|_| JobAcc::new(fold)).collect();
+            for acc in partials {
+                match acc {
+                    JobAcc::Fold(map) => {
+                        for (k, v) in map {
+                            let b = (fxhash::hash64(&k) % nshards as u64) as usize;
+                            // Fold-merges values of keys seen by several workers.
+                            buckets[b].push(&*ctx.job, k, v);
+                        }
+                    }
+                    JobAcc::Buf(map) => {
+                        for (k, mut vs) in map {
+                            let b = (fxhash::hash64(&k) % nshards as u64) as usize;
+                            match &mut buckets[b] {
+                                JobAcc::Buf(m) => m.entry(k).or_default().append(&mut vs),
+                                JobAcc::Fold(_) => unreachable!("bucket kind matches job kind"),
+                            }
+                        }
+                    }
+                }
+            }
+            st.buckets = buckets.into_iter().map(Some).collect();
+            st.sharded = true;
+        }
+        st.buckets[s].take()
+    };
+
+    // Reduce this shard outside the lock so shards run in parallel.
+    let mut part = BTreeMap::new();
+    if let Some(acc) = bucket {
+        match acc {
+            JobAcc::Fold(map) => {
+                for (k, v) in map {
+                    if let Some(o) = ctx.job.reduce(&k, std::slice::from_ref(&v)) {
+                        part.insert(k, o);
+                    }
+                }
+            }
+            JobAcc::Buf(map) => {
+                for (k, vs) in map {
+                    let folded = ctx.job.combine(&k, vs);
+                    if let Some(o) = ctx.job.reduce(&k, &folded) {
+                        part.insert(k, o);
+                    }
+                }
+            }
         }
     }
-    let stats = ScanStats {
-        blocks_scanned: shared.store.num_blocks() as u64,
-        bytes_scanned: shared.store.total_bytes() as u64,
-        map_output_records: job.map_output_records,
-        reduce_output_records: records.len() as u64,
-    };
-    let output = JobOutput { records, stats };
-    let mut guard = job.handle.done.lock();
-    *guard = Some(output);
-    job.handle.cv.notify_all();
+    ctx.state.lock().parts[s] = Some(part);
+
+    if ctx.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        // Last shard to finish merges and publishes.
+        let parts = std::mem::take(&mut ctx.state.lock().parts);
+        let mut records = BTreeMap::new();
+        for p in parts {
+            records.extend(p.expect("every shard stored its part"));
+        }
+        let mut stats = ctx.stats;
+        stats.reduce_output_records = records.len() as u64;
+        let output = JobOutput { records, stats };
+        let mut guard = ctx.handle.done.lock();
+        *guard = Some(output);
+        ctx.handle.cv.notify_all();
+    }
 }
 
 #[cfg(test)]
@@ -482,6 +707,20 @@ mod tests {
     fn shutdown_with_no_jobs_is_clean() {
         let server: SharedScanServer<PrefixCount> = SharedScanServer::new(store(), 4, 2);
         assert_eq!(server.blocks_scanned(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_report_the_job_revolution() {
+        let s = store();
+        let total_bytes = s.total_bytes() as u64;
+        let total_blocks = s.num_blocks() as u64;
+        let server = SharedScanServer::new(s, 3, 2);
+        let h = server.submit(PrefixCount { prefix: "".into() });
+        let out = h.wait();
+        // One full revolution covers exactly the store, summed per segment.
+        assert_eq!(out.stats.bytes_scanned, total_bytes);
+        assert_eq!(out.stats.blocks_scanned, total_blocks);
         server.shutdown();
     }
 }

@@ -6,21 +6,51 @@
 //! tagged with their job index (MRShare's tuple tagging) so the reduce side
 //! can keep the jobs' groups apart.
 //!
+//! Beyond sharing the *read*, jobs that declare
+//! [`map_is_per_token`](crate::MapReduceJob::map_is_per_token) also share
+//! the *parse*: each line is tokenized once and every such job's
+//! [`map_token`](crate::MapReduceJob::map_token) runs over the shared
+//! tokens — removing the dominant per-job cost once I/O is shared.
+//!
 //! The correctness contract — outputs identical to running each job alone —
 //! is what makes shared scanning a pure optimization; the test suite and
 //! `tests/` integration tests enforce it record-for-record.
 
 use crate::exec::{partition_of, ExecConfig, JobOutput, ScanStats};
+use crate::pool::WorkerPool;
 use crate::store::BlockStore;
 use crate::types::MapReduceJob;
-use std::collections::{BTreeMap, HashMap};
+use fxhash::FxHashMap;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Values gathered for one `(job, key)` group on the reduce side: fold
+/// jobs keep a single streamed accumulator, buffering jobs keep the run.
+enum Gathered<V> {
+    One(V),
+    Many(Vec<V>),
+}
+
+fn fold_into<J: MapReduceJob>(job: &J, acc: &mut FxHashMap<J::K, J::V>, k: J::K, v: J::V) {
+    match acc.entry(k) {
+        std::collections::hash_map::Entry::Occupied(mut e) => {
+            job.combine_fold(e.get_mut(), v);
+        }
+        std::collections::hash_map::Entry::Vacant(e) => {
+            e.insert(v);
+        }
+    }
+}
 
 /// Run every job in `jobs` over one shared scan of `store`.
 ///
 /// Returns one [`JobOutput`] per job, in order. Each output's
 /// `stats.blocks_scanned` reports the *shared* scan (the store is read once
 /// in total, not once per job); `map_output_records` is per job.
+///
+/// Spawns one [`WorkerPool`] for the call; to amortize pool creation over
+/// many calls, create a pool once and use [`run_merged_on`].
 ///
 /// # Panics
 /// Panics if `jobs` is empty or `cfg` has zero threads or reducers.
@@ -29,61 +59,119 @@ pub fn run_merged<J: MapReduceJob>(
     store: &BlockStore,
     cfg: &ExecConfig,
 ) -> Vec<JobOutput<J::K, J::Out>> {
-    assert!(!jobs.is_empty(), "merged run needs at least one job");
     assert!(cfg.num_threads > 0, "need at least one thread");
+    let pool = WorkerPool::new(cfg.num_threads);
+    run_merged_on(&pool, jobs, store, cfg)
+}
+
+/// Run a shared scan on an existing pool (thread creation stays O(pools)
+/// no matter how many merged batches run). `cfg.num_threads` is ignored;
+/// the phases fan out to the pool's worker count.
+///
+/// # Panics
+/// Panics if `jobs` is empty or `cfg.num_reducers` is zero.
+pub fn run_merged_on<J: MapReduceJob>(
+    pool: &WorkerPool,
+    jobs: &[&J],
+    store: &BlockStore,
+    cfg: &ExecConfig,
+) -> Vec<JobOutput<J::K, J::Out>> {
+    assert!(!jobs.is_empty(), "merged run needs at least one job");
     assert!(cfg.num_reducers > 0, "need at least one reducer");
 
     let next_block = AtomicUsize::new(0);
     let num_blocks = store.num_blocks();
     let num_jobs = jobs.len();
+    let num_threads = pool.num_threads();
+
+    let fold_flags: Vec<bool> = jobs.iter().map(|j| j.combine_is_fold()).collect();
+    // Jobs that share the tokenization pass vs. jobs that see whole lines.
+    let token_jobs: Vec<usize> = (0..num_jobs).filter(|&ji| jobs[ji].map_is_per_token()).collect();
+    let line_jobs: Vec<usize> = (0..num_jobs).filter(|&ji| !jobs[ji].map_is_per_token()).collect();
 
     // ---- shared map phase: tag tuples with their job index ----
     type Tagged<K, V> = (usize, K, V);
     type MapOut<K, V> = (Vec<Vec<Tagged<K, V>>>, Vec<u64>, u64);
-    let worker_outputs: Vec<MapOut<J::K, J::V>> = crossbeam::scope(|s| {
-        let handles: Vec<_> = (0..cfg.num_threads)
-            .map(|_| {
-                let next_block = &next_block;
-                s.spawn(move |_| {
-                    let mut partitions: Vec<Vec<Tagged<J::K, J::V>>> =
-                        (0..cfg.num_reducers).map(|_| Vec::new()).collect();
-                    let mut emitted = vec![0u64; num_jobs];
-                    let mut bytes = 0u64;
-                    loop {
-                        let idx = next_block.fetch_add(1, Ordering::Relaxed);
-                        if idx >= num_blocks {
-                            break;
-                        }
-                        let block = store.block(idx);
-                        bytes += block.len() as u64;
-                        let mut local: HashMap<(usize, J::K), Vec<J::V>> = HashMap::new();
-                        // One pass over the records; every job maps each one.
-                        for line in block.lines() {
-                            for (ji, job) in jobs.iter().enumerate() {
-                                job.map(line, &mut |k, v| {
-                                    emitted[ji] += 1;
-                                    local.entry((ji, k)).or_default().push(v);
+    let worker_outputs: Vec<MapOut<J::K, J::V>> = pool.broadcast(num_threads, &|_| {
+        let mut partitions: Vec<Vec<Tagged<J::K, J::V>>> =
+            (0..cfg.num_reducers).map(|_| Vec::new()).collect();
+        let mut emitted = vec![0u64; num_jobs];
+        let mut bytes = 0u64;
+        // Fold jobs stream into one accumulator per key for the worker's
+        // whole run; buffering jobs group per block and combine at block end.
+        let mut fold_accs: Vec<FxHashMap<J::K, J::V>> =
+            (0..num_jobs).map(|_| FxHashMap::default()).collect();
+        let mut bufs: Vec<FxHashMap<J::K, Vec<J::V>>> =
+            (0..num_jobs).map(|_| FxHashMap::default()).collect();
+        loop {
+            let idx = next_block.fetch_add(1, Ordering::Relaxed);
+            if idx >= num_blocks {
+                break;
+            }
+            let block = store.block(idx);
+            bytes += block.len() as u64;
+            // One pass over the records; every job maps each one. Token
+            // jobs share a single tokenization of the line.
+            for line in block.lines() {
+                if !token_jobs.is_empty() {
+                    for token in line.split_whitespace() {
+                        for &ji in &token_jobs {
+                            let job = jobs[ji];
+                            let cnt = &mut emitted[ji];
+                            if fold_flags[ji] {
+                                let acc = &mut fold_accs[ji];
+                                job.map_token(token, &mut |k, v| {
+                                    *cnt += 1;
+                                    fold_into(job, acc, k, v);
+                                });
+                            } else {
+                                let buf = &mut bufs[ji];
+                                job.map_token(token, &mut |k, v| {
+                                    *cnt += 1;
+                                    buf.entry(k).or_default().push(v);
                                 });
                             }
                         }
-                        for ((ji, k), vs) in local {
-                            let folded = jobs[ji].combine(&k, vs);
-                            let p = partition_of(&k, cfg.num_reducers);
-                            for v in folded {
-                                partitions[p].push((ji, k.clone(), v));
-                            }
-                        }
                     }
-                    (partitions, emitted, bytes)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("map worker panicked"))
-            .collect()
-    })
-    .expect("map scope panicked");
+                }
+                for &ji in &line_jobs {
+                    let job = jobs[ji];
+                    let cnt = &mut emitted[ji];
+                    if fold_flags[ji] {
+                        let acc = &mut fold_accs[ji];
+                        job.map(line, &mut |k, v| {
+                            *cnt += 1;
+                            fold_into(job, acc, k, v);
+                        });
+                    } else {
+                        let buf = &mut bufs[ji];
+                        job.map(line, &mut |k, v| {
+                            *cnt += 1;
+                            buf.entry(k).or_default().push(v);
+                        });
+                    }
+                }
+            }
+            // Flush buffering jobs through their combiner at block end.
+            for (ji, buf) in bufs.iter_mut().enumerate() {
+                for (k, vs) in buf.drain() {
+                    let folded = jobs[ji].combine(&k, vs);
+                    let p = partition_of(&k, cfg.num_reducers);
+                    for v in folded {
+                        partitions[p].push((ji, k.clone(), v));
+                    }
+                }
+            }
+        }
+        // Flush fold accumulators: one record per key for the whole worker.
+        for (ji, acc) in fold_accs.into_iter().enumerate() {
+            for (k, v) in acc {
+                let p = partition_of(&k, cfg.num_reducers);
+                partitions[p].push((ji, k, v));
+            }
+        }
+        (partitions, emitted, bytes)
+    });
 
     // ---- shuffle ----
     let mut shuffled: Vec<Vec<Tagged<J::K, J::V>>> =
@@ -100,42 +188,51 @@ pub fn run_merged<J: MapReduceJob>(
         }
     }
 
-    // ---- reduce phase: group by (job, key) ----
+    // ---- reduce phase: group by (job, key), moving records ----
     let next_partition = AtomicUsize::new(0);
+    let num_partitions = shuffled.len();
+    type LockedPartition<J> =
+        Mutex<Vec<Tagged<<J as MapReduceJob>::K, <J as MapReduceJob>::V>>>;
+    let shuffled: Vec<LockedPartition<J>> = shuffled.into_iter().map(Mutex::new).collect();
     let shuffled = &shuffled;
-    let jobs_ref = jobs;
-    let reduced: Vec<Vec<BTreeMap<J::K, J::Out>>> = crossbeam::scope(|s| {
-        let handles: Vec<_> = (0..cfg.num_threads)
-            .map(|_| {
-                let next_partition = &next_partition;
-                s.spawn(move |_| {
-                    let mut out: Vec<BTreeMap<J::K, J::Out>> =
-                        (0..num_jobs).map(|_| BTreeMap::new()).collect();
-                    loop {
-                        let p = next_partition.fetch_add(1, Ordering::Relaxed);
-                        if p >= shuffled.len() {
-                            break;
-                        }
-                        let mut grouped: BTreeMap<(usize, &J::K), Vec<J::V>> = BTreeMap::new();
-                        for (ji, k, v) in &shuffled[p] {
-                            grouped.entry((*ji, k)).or_default().push(v.clone());
-                        }
-                        for ((ji, k), vs) in grouped {
-                            if let Some(o) = jobs_ref[ji].reduce(k, &vs) {
-                                out[ji].insert(k.clone(), o);
-                            }
+    let fold_flags = &fold_flags;
+    let reduced: Vec<Vec<BTreeMap<J::K, J::Out>>> = pool.broadcast(num_threads, &|_| {
+        let mut out: Vec<BTreeMap<J::K, J::Out>> =
+            (0..num_jobs).map(|_| BTreeMap::new()).collect();
+        loop {
+            let p = next_partition.fetch_add(1, Ordering::Relaxed);
+            if p >= num_partitions {
+                break;
+            }
+            let part = std::mem::take(&mut *shuffled[p].lock());
+            let mut grouped: BTreeMap<(usize, J::K), Gathered<J::V>> = BTreeMap::new();
+            for (ji, k, v) in part {
+                match grouped.entry((ji, k)) {
+                    std::collections::btree_map::Entry::Occupied(mut e) => match e.get_mut() {
+                        Gathered::One(acc) => jobs[ji].combine_fold(acc, v),
+                        Gathered::Many(vs) => vs.push(v),
+                    },
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        if fold_flags[ji] {
+                            e.insert(Gathered::One(v));
+                        } else {
+                            e.insert(Gathered::Many(vec![v]));
                         }
                     }
-                    out
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("reduce worker panicked"))
-            .collect()
-    })
-    .expect("reduce scope panicked");
+                }
+            }
+            for ((ji, k), gathered) in grouped {
+                let reduced = match gathered {
+                    Gathered::One(v) => jobs[ji].reduce(&k, std::slice::from_ref(&v)),
+                    Gathered::Many(vs) => jobs[ji].reduce(&k, &vs),
+                };
+                if let Some(o) = reduced {
+                    out[ji].insert(k, o);
+                }
+            }
+        }
+        out
+    });
 
     let mut records: Vec<BTreeMap<J::K, J::Out>> =
         (0..num_jobs).map(|_| BTreeMap::new()).collect();
@@ -226,6 +323,24 @@ mod tests {
         let solo = run_job(&j, &store(), &cfg());
         assert_eq!(merged.len(), 1);
         assert_eq!(merged[0].records, solo.records);
+    }
+
+    #[test]
+    fn merged_on_shared_pool_equals_fresh_pools() {
+        let jobs = [
+            PrefixCount { prefix: "a".into() },
+            PrefixCount { prefix: "ga".into() },
+        ];
+        let refs: Vec<&PrefixCount> = jobs.iter().collect();
+        let s = store();
+        let pool = WorkerPool::new(3);
+        let on_pool = run_merged_on(&pool, &refs, &s, &cfg());
+        let fresh = run_merged(&refs, &s, &cfg());
+        for (a, b) in on_pool.iter().zip(&fresh) {
+            assert_eq!(a.records, b.records);
+            assert_eq!(a.stats, b.stats);
+        }
+        assert_eq!(pool.threads_spawned(), 3);
     }
 
     #[test]

@@ -27,6 +27,46 @@ pub trait MapReduceJob: Send + Sync {
     /// Reduce all values of one key to the final output value; returning
     /// `None` suppresses the key from the output.
     fn reduce(&self, key: &Self::K, values: &[Self::V]) -> Option<Self::Out>;
+
+    /// Declare that [`combine`](Self::combine) is a streaming **fold**: it
+    /// merges any run of values into exactly one value via an associative,
+    /// commutative pairwise merge ([`combine_fold`](Self::combine_fold)),
+    /// independent of the key grouping the engine chose.
+    ///
+    /// Fold-declared jobs let the engines keep **one accumulator per key**
+    /// on the map path (and in the shared-scan server's persistent worker
+    /// state) instead of buffering a `Vec<V>` per key and combining later —
+    /// no per-value allocation, no deferred combine pass. Outputs must be
+    /// identical either way; the equivalence tests enforce it.
+    fn combine_is_fold(&self) -> bool {
+        false
+    }
+
+    /// Pairwise merge used when [`combine_is_fold`](Self::combine_is_fold)
+    /// is true: fold `next` into `acc`. Must agree with
+    /// [`combine`](Self::combine) (`combine(k, vec![a, b]) ==
+    /// vec![fold(a, b)]`) and be associative and commutative, because the
+    /// engines fold in scan order, which varies with threading.
+    fn combine_fold(&self, _acc: &mut Self::V, _next: Self::V) {
+        unimplemented!("combine_fold requires combine_is_fold() == true")
+    }
+
+    /// Declare that [`map`](Self::map) is equivalent to running
+    /// [`map_token`](Self::map_token) over each whitespace token of the
+    /// line. Shared scans (merged runs and the scan server) then tokenize
+    /// each line **once for all jobs** instead of once per job — sharing
+    /// the parse, not just the read, which is where the scan time goes
+    /// once I/O is shared.
+    fn map_is_per_token(&self) -> bool {
+        false
+    }
+
+    /// Per-token map used when [`map_is_per_token`](Self::map_is_per_token)
+    /// is true. Must agree with [`map`](Self::map):
+    /// `map(line)` ≡ `line.split_whitespace().for_each(|t| map_token(t))`.
+    fn map_token(&self, _token: &str, _emit: &mut dyn FnMut(Self::K, Self::V)) {
+        unimplemented!("map_token requires map_is_per_token() == true")
+    }
 }
 
 #[cfg(test)]
@@ -59,6 +99,24 @@ pub(crate) mod test_jobs {
 
         fn reduce(&self, _key: &String, values: &[i64]) -> Option<i64> {
             Some(values.iter().sum())
+        }
+
+        fn combine_is_fold(&self) -> bool {
+            true
+        }
+
+        fn combine_fold(&self, acc: &mut i64, next: i64) {
+            *acc += next;
+        }
+
+        fn map_is_per_token(&self) -> bool {
+            true
+        }
+
+        fn map_token(&self, token: &str, emit: &mut dyn FnMut(String, i64)) {
+            if token.starts_with(&self.prefix) {
+                emit(token.to_string(), 1);
+            }
         }
     }
 }

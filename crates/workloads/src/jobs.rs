@@ -80,6 +80,24 @@ impl MapReduceJob for PatternWordCount {
     fn reduce(&self, _key: &String, values: &[i64]) -> Option<i64> {
         Some(values.iter().sum())
     }
+
+    fn combine_is_fold(&self) -> bool {
+        true
+    }
+
+    fn combine_fold(&self, acc: &mut i64, next: i64) {
+        *acc += next;
+    }
+
+    fn map_is_per_token(&self) -> bool {
+        true
+    }
+
+    fn map_token(&self, token: &str, emit: &mut dyn FnMut(String, i64)) {
+        if self.pattern.matches(token) {
+            emit(token.to_string(), 1);
+        }
+    }
 }
 
 /// The SQL selection of Section V-G:
@@ -159,6 +177,16 @@ impl MapReduceJob for GrepJob {
     fn reduce(&self, _key: &String, values: &[i64]) -> Option<i64> {
         Some(values.iter().sum())
     }
+
+    // Grep is line-based (no per-token map), but its count combiner is a
+    // streaming fold.
+    fn combine_is_fold(&self) -> bool {
+        true
+    }
+
+    fn combine_fold(&self, acc: &mut i64, next: i64) {
+        *acc += next;
+    }
 }
 
 /// Word-length histogram: a tiny-key-space aggregation where the combiner
@@ -184,6 +212,22 @@ impl MapReduceJob for WordLengthHistogram {
 
     fn reduce(&self, _key: &usize, values: &[i64]) -> Option<i64> {
         Some(values.iter().sum())
+    }
+
+    fn combine_is_fold(&self) -> bool {
+        true
+    }
+
+    fn combine_fold(&self, acc: &mut i64, next: i64) {
+        *acc += next;
+    }
+
+    fn map_is_per_token(&self) -> bool {
+        true
+    }
+
+    fn map_token(&self, token: &str, emit: &mut dyn FnMut(usize, i64)) {
+        emit(token.len(), 1);
     }
 }
 

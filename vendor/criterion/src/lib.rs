@@ -136,7 +136,7 @@ impl<'a> BenchmarkGroup<'a> {
                         format!("  ({:.1} Melem/s)", n as f64 / ns * 1e3)
                     }
                     Throughput::Bytes(n) => {
-                        format!("  ({:.1} MiB/s)", n as f64 / ns * 1e9 / (1024.0 * 1024.0) / 1e6)
+                        format!("  ({:.1} MiB/s)", n as f64 / ns * 1e9 / (1024.0 * 1024.0))
                     }
                 });
                 println!("{label:<60} {ns:>14.1} ns/iter{}", rate.unwrap_or_default());

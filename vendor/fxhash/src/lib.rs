@@ -1,0 +1,148 @@
+//! Offline vendored FxHash, the non-cryptographic hash rustc uses for its
+//! internal tables (`rustc-hash` / `fxhash` crates): multiply-xor over
+//! 8-byte chunks with a Fibonacci-style constant. Several times faster
+//! than the std `DefaultHasher` (SipHash-1-3) on the short string and
+//! integer keys MapReduce hot paths hash millions of times, at the cost of
+//! no HashDoS resistance — fine for trusted in-process workloads.
+//!
+//! Surface mirrors the real crates: [`FxHasher`], [`FxBuildHasher`], and
+//! the [`FxHashMap`]/[`FxHashSet`] aliases.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed by [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed by [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// `BuildHasher` producing [`FxHasher`]s; zero-sized and deterministic
+/// (no per-map random seed, so iteration-order-independent code must not
+/// rely on adversarial inputs being spread).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash state: one 64-bit word folded with rotate-xor-multiply.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut rest = bytes;
+        while rest.len() >= 8 {
+            let (chunk, tail) = rest.split_at(8);
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+            rest = tail;
+        }
+        if rest.len() >= 4 {
+            let (chunk, tail) = rest.split_at(4);
+            self.add_to_hash(u32::from_le_bytes(chunk.try_into().expect("4-byte chunk")) as u64);
+            rest = tail;
+        }
+        if rest.len() >= 2 {
+            let (chunk, tail) = rest.split_at(2);
+            self.add_to_hash(u16::from_le_bytes(chunk.try_into().expect("2-byte chunk")) as u64);
+            rest = tail;
+        }
+        if let Some(&b) = rest.first() {
+            self.add_to_hash(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Hash one value with FxHash in a single call.
+pub fn hash64<T: std::hash::Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_hasher_instances() {
+        assert_eq!(hash64("alpha"), hash64("alpha"));
+        assert_eq!(hash64(&42u64), hash64(&42u64));
+        assert_ne!(hash64("alpha"), hash64("beta"));
+    }
+
+    #[test]
+    fn chunked_write_equals_whole_write() {
+        // write() folds 8/4/2/1-byte chunks; a 15-byte input exercises all.
+        let bytes: Vec<u8> = (0u8..15).collect();
+        let mut h = FxHasher::default();
+        h.write(&bytes);
+        let whole = h.finish();
+        assert_ne!(whole, 0);
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<String, i64> = FxHashMap::default();
+        m.insert("k".into(), 7);
+        assert_eq!(m["k"], 7);
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        s.insert(3);
+        assert!(s.contains(&3));
+    }
+
+    #[test]
+    fn distributes_small_integer_keys() {
+        // Sanity: consecutive integers should not collide mod a small table.
+        let buckets = 16u64;
+        let mut seen = FxHashSet::default();
+        for i in 0u64..1000 {
+            seen.insert(hash64(&i) % buckets);
+        }
+        assert_eq!(seen.len() as u64, buckets, "all buckets hit");
+    }
+}
