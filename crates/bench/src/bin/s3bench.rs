@@ -15,7 +15,7 @@
 //! cargo run --release -p s3-bench --bin s3bench -- [--quick] [--out PATH]
 //! ```
 
-use s3_engine::{run_job, BlockStore, ExecConfig, SharedScanServer};
+use s3_engine::{run_job, BlockStore, ExecConfig, Obs, SharedScanServer};
 use s3_sim::SimRng;
 use s3_workloads::jobs::PatternWordCount;
 use s3_workloads::text::TextGen;
@@ -116,6 +116,28 @@ fn bench_admission_latency(store: &BlockStore, repeats: usize) -> f64 {
     median_ms(samples)
 }
 
+/// One observed shared-scan revolution (identical workload to
+/// [`bench_shared_scan`], outside the timed samples) whose `engine.*` /
+/// `pool.*` metrics snapshot is embedded in the report. The snapshot
+/// carries its own schema tag (`s3obs-metrics/v1`) in an additive field,
+/// so readers of `s3bench-engine/v1` are unaffected.
+fn capture_metrics_snapshot(store: &BlockStore) -> serde_json::Value {
+    let obs = Obs::new();
+    let server =
+        SharedScanServer::new_observed(store.clone(), BLOCKS_PER_SEGMENT, THREADS, &obs);
+    let handles: Vec<_> = prefixes(SHARED_JOBS)
+        .into_iter()
+        .map(|p| server.submit(PatternWordCount::prefix(p)))
+        .collect();
+    for h in handles {
+        h.wait();
+    }
+    server.shutdown();
+    let snapshot = obs.snapshot().expect("Obs::new is on");
+    let text = serde_json::to_string(&snapshot).expect("snapshot serializes");
+    serde_json::from_str(&text).expect("snapshot round-trips")
+}
+
 fn main() {
     let mut quick = false;
     let mut out_path = String::from("BENCH_engine.json");
@@ -151,6 +173,9 @@ fn main() {
     eprintln!("s3bench: admission latency under a live revolution...");
     let admission_ms = bench_admission_latency(&store, repeats);
     eprintln!("  admission_latency     {admission_ms:>10.2} ms");
+
+    eprintln!("s3bench: capturing telemetry snapshot (observed shared scan)...");
+    let metrics = capture_metrics_snapshot(&store);
 
     let mb = store.total_bytes() as f64 / (1 << 20) as f64;
     let speedup = |base: f64, cur: f64| {
@@ -192,6 +217,7 @@ fn main() {
             "shared_scan_bps1": (speedup(BASELINE_SHARED_SCAN_BPS1_MS, shared_scan_ms)),
             "admission_latency": (speedup(BASELINE_ADMISSION_LATENCY_MS, admission_ms)),
         },
+        "metrics": metrics,
     });
     let text = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out_path, text + "\n").expect("write BENCH_engine.json");

@@ -7,6 +7,8 @@ use crate::store::BlockStore;
 use crate::types::MapReduceJob;
 use fxhash::{FxHashMap, FxHasher};
 use parking_lot::Mutex;
+use s3_obs::trace::Ids;
+use s3_obs::Obs;
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -87,7 +89,24 @@ pub fn run_job_on<J: MapReduceJob>(
     store: &BlockStore,
     cfg: &ExecConfig,
 ) -> JobOutput<J::K, J::Out> {
+    run_job_observed(pool, job, store, cfg, &Obs::off())
+}
+
+/// [`run_job_on`] with telemetry: records `map_phase`/`reduce_phase` spans
+/// plus the `engine.*` scan, shuffle, and combiner counters into `obs`.
+/// Passing [`Obs::off`] is exactly [`run_job_on`] — one branch per phase.
+///
+/// # Panics
+/// Panics if `cfg.num_reducers` is zero.
+pub fn run_job_observed<J: MapReduceJob>(
+    pool: &WorkerPool,
+    job: &J,
+    store: &BlockStore,
+    cfg: &ExecConfig,
+    obs: &Obs,
+) -> JobOutput<J::K, J::Out> {
     assert!(cfg.num_reducers > 0, "need at least one reducer");
+    let core = obs.core();
 
     let next_block = AtomicUsize::new(0);
     let num_blocks = store.num_blocks();
@@ -95,6 +114,7 @@ pub fn run_job_on<J: MapReduceJob>(
     let fold = job.combine_is_fold();
 
     // ---- map phase ----
+    let map_t0 = core.map(|c| c.tracer.now_us());
     type MapOut<K, V> = (Vec<Vec<(K, V)>>, u64, u64);
     let worker_outputs: Vec<MapOut<J::K, J::V>> = pool.broadcast(num_threads, &|_| {
         let mut partitions: Vec<Vec<(J::K, J::V)>> =
@@ -177,8 +197,23 @@ pub fn run_job_on<J: MapReduceJob>(
             shuffled[p].append(&mut recs);
         }
     }
+    if let (Some(c), Some(t0)) = (core, map_t0) {
+        c.tracer
+            .span("map_phase", t0, Ids::none().jobs(num_threads as u64));
+        let shuffle_records: u64 = shuffled.iter().map(|p| p.len() as u64).sum();
+        let m = &c.metrics;
+        m.counter("engine.map_records").add(map_output_records);
+        m.counter("engine.blocks_scanned").add(num_blocks as u64);
+        m.counter("engine.bytes_scanned").add(bytes_scanned);
+        m.counter("engine.shuffle_records").add(shuffle_records);
+        // Combiner effectiveness, post hoc: every emitted record the
+        // map-side combine absorbed is one record the shuffle never saw.
+        m.counter("engine.combiner_fold_hits")
+            .add(map_output_records.saturating_sub(shuffle_records));
+    }
 
     // ---- reduce phase: workers take partitions by move ----
+    let reduce_t0 = core.map(|c| c.tracer.now_us());
     let next_partition = AtomicUsize::new(0);
     let num_partitions = shuffled.len();
     type LockedPartition<J> =
@@ -201,6 +236,10 @@ pub fn run_job_on<J: MapReduceJob>(
     let mut records = BTreeMap::new();
     for part in reduced {
         records.extend(part);
+    }
+    if let (Some(c), Some(t0)) = (core, reduce_t0) {
+        c.tracer
+            .span("reduce_phase", t0, Ids::none().jobs(num_partitions as u64));
     }
     let stats = ScanStats {
         blocks_scanned: num_blocks as u64,

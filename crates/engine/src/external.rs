@@ -19,6 +19,8 @@ use crate::exec::{partition_of, ExecConfig, JobOutput, ScanStats};
 use crate::pool::WorkerPool;
 use crate::store::BlockStore;
 use crate::types::MapReduceJob;
+use s3_obs::trace::Ids;
+use s3_obs::Obs;
 use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
@@ -109,12 +111,37 @@ where
     J::K: Serialize + DeserializeOwned,
     J::V: Serialize + DeserializeOwned,
 {
+    run_job_external_observed(job, store, cfg, &Obs::off())
+}
+
+/// [`run_job_external`] with telemetry: records a `spill` span per sorted
+/// run (the `n` id carries its byte size), a `merge_partition` span per
+/// reduce-side merge, and the `engine.shuffle_bytes` / `engine.spill_runs`
+/// counters into `obs`. Passing [`Obs::off`] is exactly
+/// [`run_job_external`].
+///
+/// # Errors
+/// Propagates I/O errors from the spill directory.
+///
+/// # Panics
+/// Panics on zero threads/reducers/spill size.
+pub fn run_job_external_observed<J>(
+    job: &J,
+    store: &BlockStore,
+    cfg: &ExternalConfig,
+    obs: &Obs,
+) -> std::io::Result<ExternalOutput<J::K, J::Out>>
+where
+    J: MapReduceJob,
+    J::K: Serialize + DeserializeOwned,
+    J::V: Serialize + DeserializeOwned,
+{
     assert!(cfg.exec.num_threads > 0, "need at least one thread");
     assert!(cfg.exec.num_reducers > 0, "need at least one reducer");
     assert!(cfg.spill_records > 0, "spill buffer must hold records");
 
     let dir = make_run_dir(cfg)?;
-    let result = run_inner(job, store, cfg, &dir);
+    let result = run_inner(job, store, cfg, &dir, obs);
     let _ = std::fs::remove_dir_all(&dir);
     result
 }
@@ -124,12 +151,14 @@ fn run_inner<J>(
     store: &BlockStore,
     cfg: &ExternalConfig,
     dir: &std::path::Path,
+    obs: &Obs,
 ) -> std::io::Result<ExternalOutput<J::K, J::Out>>
 where
     J: MapReduceJob,
     J::K: Serialize + DeserializeOwned,
     J::V: Serialize + DeserializeOwned,
 {
+    let core = obs.core();
     let num_blocks = store.num_blocks();
     let next_block = AtomicUsize::new(0);
     let spill_counter = AtomicUsize::new(0);
@@ -151,6 +180,7 @@ where
                 if buffer.is_empty() {
                     return Ok(());
                 }
+                let spill_t0 = core.map(|c| c.tracer.now_us());
                 buffer.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
                 let id = spill_counter.fetch_add(1, Ordering::Relaxed);
                 let path = dir.join(format!("run-{id}.jsonl"));
@@ -183,6 +213,9 @@ where
                 drop(drain);
                 w.flush()?;
                 spill_bytes.fetch_add(written, Ordering::Relaxed);
+                if let (Some(c), Some(t0)) = (core, spill_t0) {
+                    c.tracer.span("spill", t0, Ids::none().jobs(written));
+                }
                 runs.push(path);
                 Ok(())
             };
@@ -222,11 +255,26 @@ where
         spills: all_runs.len() as u64,
         spill_bytes: spill_bytes.load(Ordering::Relaxed),
     };
+    if let Some(c) = core {
+        // Spill files *are* this engine's shuffle: every intermediate byte
+        // crossing from map to reduce goes through them.
+        let m = &c.metrics;
+        m.counter("engine.shuffle_bytes").add(stats.spill_bytes);
+        m.counter("engine.spill_runs").add(stats.spills);
+        m.counter("engine.map_records").add(map_output_records);
+        m.counter("engine.blocks_scanned").add(num_blocks as u64);
+        m.counter("engine.bytes_scanned").add(bytes_scanned);
+    }
 
     // ---- reduce phase: per partition, k-way merge of the sorted runs ----
     let mut records: BTreeMap<J::K, J::Out> = BTreeMap::new();
     for partition in 0..cfg.exec.num_reducers as u32 {
+        let merge_t0 = core.map(|c| c.tracer.now_us());
         merge_partition(job, &all_runs, partition, &mut records)?;
+        if let (Some(c), Some(t0)) = (core, merge_t0) {
+            c.tracer
+                .span("merge_partition", t0, Ids::none().jobs(partition as u64));
+        }
     }
 
     let out = JobOutput {
@@ -344,6 +392,29 @@ where
     J::K: Serialize + DeserializeOwned,
     J::V: Serialize + DeserializeOwned,
 {
+    run_merged_external_observed(jobs, store, cfg, &Obs::off())
+}
+
+/// [`run_merged_external`] with telemetry — the merged-scan counterpart of
+/// [`run_job_external_observed`], recording the same spans and counters
+/// for the single shared spilling pass.
+///
+/// # Errors
+/// Propagates I/O errors from the spill directory.
+///
+/// # Panics
+/// Panics on an empty job list or zero threads/reducers/spill size.
+pub fn run_merged_external_observed<J>(
+    jobs: &[&J],
+    store: &BlockStore,
+    cfg: &ExternalConfig,
+    obs: &Obs,
+) -> std::io::Result<MergedExternalOutput<J::K, J::Out>>
+where
+    J: MapReduceJob,
+    J::K: Serialize + DeserializeOwned,
+    J::V: Serialize + DeserializeOwned,
+{
     assert!(!jobs.is_empty(), "merged run needs at least one job");
     // Wrap each job's key as (job_index, key): the tagged-tuple encoding,
     // expressed through the single-job external runner.
@@ -366,7 +437,7 @@ where
     }
 
     let tagged = Tagged(jobs);
-    let (merged, spills) = run_job_external(&tagged, store, cfg)?;
+    let (merged, spills) = run_job_external_observed(&tagged, store, cfg, obs)?;
 
     // Split the tagged output back into per-job relations; per-job map
     // record counts are not separable through the tagged encoding, so each

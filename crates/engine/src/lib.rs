@@ -20,6 +20,18 @@
 //! The execution shape mirrors Hadoop: map workers pull blocks, partition
 //! their output by key hash, an optional combiner folds map-side, and
 //! reduce workers process partitions.
+//!
+//! ## Observability
+//!
+//! Every entry point has an `*_observed` variant taking an [`Obs`] handle
+//! (from the `s3-obs` crate, re-exported here): [`run_job_observed`],
+//! [`run_merged_observed`], [`run_job_external_observed`],
+//! [`SharedScanServer::new_observed`], and
+//! [`WorkerPool::new_observed`](pool::WorkerPool::new_observed). They
+//! record `engine.*` counters/gauges/histograms into the handle's metrics
+//! registry and spans/instants into its trace recorder, exportable as a
+//! Perfetto-loadable Chrome trace. The plain variants are the observed
+//! ones with [`Obs::off`] — telemetry disabled costs one branch per site.
 
 pub mod exec;
 pub mod external;
@@ -29,10 +41,14 @@ pub mod shared;
 pub mod store;
 pub mod types;
 
-pub use exec::{run_job, run_job_on, ExecConfig, JobOutput, ScanStats};
-pub use external::{run_job_external, run_merged_external, ExternalConfig, SpillStats};
+pub use exec::{run_job, run_job_observed, run_job_on, ExecConfig, JobOutput, ScanStats};
+pub use external::{
+    run_job_external, run_job_external_observed, run_merged_external,
+    run_merged_external_observed, ExternalConfig, SpillStats,
+};
 pub use pool::WorkerPool;
+pub use s3_obs::Obs;
 pub use scan_server::{JobHandle, SharedScanServer};
-pub use shared::{run_merged, run_merged_on};
+pub use shared::{run_merged, run_merged_observed, run_merged_on};
 pub use store::BlockStore;
 pub use types::MapReduceJob;

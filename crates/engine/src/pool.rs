@@ -21,6 +21,7 @@
 //!   the workers, so detached work is never lost on shutdown.
 
 use parking_lot::{Condvar, Mutex};
+use s3_obs::{Counter, Gauge, Obs};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -34,6 +35,16 @@ struct QueueState {
     shutdown: bool,
 }
 
+/// Pre-resolved instruments of an observed pool (`pool.<name>.*`): the
+/// queued-task gauge and the busy-time counter the `s3trace` summary
+/// derives utilization from. Resolved once at pool construction; the
+/// worker hot path only touches the `Arc`s.
+struct PoolObs {
+    queue_depth: Arc<Gauge>,
+    busy_us: Arc<Counter>,
+    tasks: Arc<Counter>,
+}
+
 struct PoolShared {
     queue: Mutex<QueueState>,
     /// Workers park here waiting for tasks.
@@ -42,6 +53,8 @@ struct PoolShared {
     executed: AtomicU64,
     /// Detached tasks that panicked (broadcast panics re-raise instead).
     panicked: AtomicU64,
+    /// Telemetry, if the pool was built with [`WorkerPool::new_observed`].
+    obs: Option<PoolObs>,
 }
 
 /// A fixed-size pool of persistent worker threads.
@@ -59,7 +72,25 @@ impl WorkerPool {
     /// # Panics
     /// Panics if `num_threads` is zero.
     pub fn new(num_threads: usize) -> Self {
+        WorkerPool::new_observed(num_threads, "worker", &Obs::off())
+    }
+
+    /// Spawn an **observed** pool: when `obs` is on, the pool registers
+    /// `pool.<name>.queue_depth` (tasks enqueued but not yet running),
+    /// `pool.<name>.busy_us` (cumulative worker time spent inside tasks;
+    /// utilization = busy_us / (wall × workers)), and `pool.<name>.tasks`
+    /// (tasks run). Inline `broadcast(1, …)` work runs on the caller and
+    /// is deliberately **not** counted as worker busy time.
+    ///
+    /// # Panics
+    /// Panics if `num_threads` is zero.
+    pub fn new_observed(num_threads: usize, name: &str, obs: &Obs) -> Self {
         assert!(num_threads > 0, "pool needs at least one worker");
+        let pool_obs = obs.core().map(|core| PoolObs {
+            queue_depth: core.metrics.gauge(&format!("pool.{name}.queue_depth")),
+            busy_us: core.metrics.counter(&format!("pool.{name}.busy_us")),
+            tasks: core.metrics.counter(&format!("pool.{name}.tasks")),
+        });
         let shared = Arc::new(PoolShared {
             queue: Mutex::new(QueueState {
                 tasks: VecDeque::new(),
@@ -68,6 +99,7 @@ impl WorkerPool {
             work_cv: Condvar::new(),
             executed: AtomicU64::new(0),
             panicked: AtomicU64::new(0),
+            obs: pool_obs,
         });
         let workers = (0..num_threads)
             .map(|i| {
@@ -112,6 +144,9 @@ impl WorkerPool {
     /// Fire-and-forget an owned task. Queued tasks are drained (run to
     /// completion) before `Drop` joins the workers.
     pub fn execute(&self, task: impl FnOnce() + Send + 'static) {
+        if let Some(obs) = &self.shared.obs {
+            obs.queue_depth.add(1);
+        }
         let mut q = self.shared.queue.lock();
         q.tasks.push_back(Box::new(task));
         drop(q);
@@ -154,6 +189,9 @@ impl WorkerPool {
         {
             let results = &results;
             let panic_payload = &panic_payload;
+            if let Some(obs) = &self.shared.obs {
+                obs.queue_depth.add(fan_out as i64);
+            }
             let mut q = self.shared.queue.lock();
             for i in 0..fan_out {
                 let latch = Arc::clone(&latch);
@@ -227,11 +265,22 @@ fn worker_loop(shared: Arc<PoolShared>) {
                 shared.work_cv.wait(&mut q);
             }
         };
+        let t0 = shared
+            .obs
+            .as_ref()
+            .map(|obs| {
+                obs.queue_depth.add(-1);
+                std::time::Instant::now()
+            });
         // Broadcast tasks handle their own panics (and re-raise on the
         // caller); this catch keeps a panicking detached task from killing
         // the worker and losing the rest of the queue.
         if catch_unwind(AssertUnwindSafe(task)).is_err() {
             shared.panicked.fetch_add(1, Ordering::Relaxed);
+        }
+        if let (Some(obs), Some(t0)) = (&shared.obs, t0) {
+            obs.busy_us.add(t0.elapsed().as_micros() as u64);
+            obs.tasks.inc();
         }
         shared.executed.fetch_add(1, Ordering::Relaxed);
     }
@@ -319,6 +368,28 @@ mod tests {
         let out = pool.broadcast(2, &|i| i);
         assert_eq!(out, vec![0, 1]);
         assert_eq!(pool.tasks_panicked(), 1);
+    }
+
+    #[test]
+    fn observed_pool_counts_tasks_and_busy_time() {
+        let obs = Obs::new();
+        let pool = WorkerPool::new_observed(2, "test", &obs);
+        pool.broadcast(4, &|_| std::thread::sleep(std::time::Duration::from_millis(2)));
+        pool.execute(|| std::thread::sleep(std::time::Duration::from_millis(2)));
+        drop(pool); // drains the detached task
+        let snap = obs.snapshot().unwrap();
+        assert_eq!(snap.counters["pool.test.tasks"], 5);
+        assert!(snap.counters["pool.test.busy_us"] >= 5 * 2_000);
+        assert_eq!(snap.gauges["pool.test.queue_depth"], 0, "drained");
+    }
+
+    #[test]
+    fn unobserved_pool_registers_nothing() {
+        let obs = Obs::new();
+        let pool = WorkerPool::new(2);
+        pool.broadcast(4, &|i| i);
+        drop(pool);
+        assert!(obs.snapshot().unwrap().counters.is_empty());
     }
 
     #[test]

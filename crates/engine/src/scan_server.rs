@@ -53,10 +53,64 @@ use crate::store::BlockStore;
 use crate::types::MapReduceJob;
 use fxhash::FxHashMap;
 use parking_lot::{Condvar, Mutex};
+use s3_obs::trace::Ids;
+use s3_obs::{Counter, Gauge, Histogram, Obs, TraceRecorder};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// The server's pre-resolved instruments (all under `engine.*`; see the
+/// README "Observability" section for the full catalog). Present only on
+/// servers built with [`SharedScanServer::new_observed`], so the
+/// unobserved hot path pays one `Option` check per instrumentation site.
+struct ServerObs {
+    obs: Obs,
+    jobs_submitted: Arc<Counter>,
+    jobs_completed: Arc<Counter>,
+    segments: Arc<Counter>,
+    blocks: Arc<Counter>,
+    bytes: Arc<Counter>,
+    map_records: Arc<Counter>,
+    fold_hits: Arc<Counter>,
+    active_jobs: Arc<Gauge>,
+    /// Gap between consecutive segment-scan starts while jobs are active.
+    cadence: Arc<Histogram>,
+    /// Duration of one segment scan.
+    seg_scan: Arc<Histogram>,
+    /// Submit → start of the first segment scan that includes the job.
+    admission: Arc<Histogram>,
+    /// Submit → output published.
+    job_latency: Arc<Histogram>,
+    /// Duration of one reduce-pool finalization shard.
+    reduce_shard: Arc<Histogram>,
+}
+
+impl ServerObs {
+    fn new(obs: &Obs) -> Option<Arc<ServerObs>> {
+        let m = &obs.core()?.metrics;
+        Some(Arc::new(ServerObs {
+            obs: obs.clone(),
+            jobs_submitted: m.counter("engine.jobs_submitted"),
+            jobs_completed: m.counter("engine.jobs_completed"),
+            segments: m.counter("engine.segments_scanned"),
+            blocks: m.counter("engine.blocks_scanned"),
+            bytes: m.counter("engine.bytes_scanned"),
+            map_records: m.counter("engine.map_records"),
+            fold_hits: m.counter("engine.combiner_fold_hits"),
+            active_jobs: m.gauge("engine.active_jobs"),
+            cadence: m.histogram("engine.segment_cadence_us"),
+            seg_scan: m.histogram("engine.segment_scan_us"),
+            admission: m.histogram("engine.admission_latency_us"),
+            job_latency: m.histogram("engine.job_latency_us"),
+            reduce_shard: m.histogram("engine.reduce_shard_us"),
+        }))
+    }
+
+    fn tracer(&self) -> &TraceRecorder {
+        &self.obs.core().expect("ServerObs only exists when on").tracer
+    }
+}
 
 /// Map-side accumulator for one job on one worker: fold jobs stream into
 /// one value per key, buffering jobs keep the runs for a later combine.
@@ -109,6 +163,10 @@ struct ActiveJob<J: MapReduceJob> {
     blocks_seen: u64,
     /// Bytes this job's revolution has actually covered.
     bytes_seen: u64,
+    /// Submission instant in tracer microseconds (0 when unobserved).
+    submitted_us: u64,
+    /// Whether the admission latency has been recorded yet.
+    admitted: bool,
 }
 
 /// Shared completion slot a [`JobHandle`] waits on.
@@ -152,6 +210,12 @@ struct ServerShared<J: MapReduceJob> {
     wakeup: Condvar,
     shutdown: AtomicBool,
     next_job_id: AtomicU64,
+    // The three counters below are pure instrumentation: monotonic totals
+    // that synchronize nothing and order nothing. Every access is
+    // `Ordering::Relaxed` — readers may observe a total that is a few
+    // in-flight increments stale, never a torn or decreasing one. (They
+    // previously mixed SeqCst loads, paying fence costs for no guarantee
+    // the callers used.)
     /// Total block scans performed (shared scans count once).
     blocks_scanned: AtomicU64,
     /// Total segment iterations executed.
@@ -159,6 +223,8 @@ struct ServerShared<J: MapReduceJob> {
     /// Worker threads the coordinator's pools have spawned (set once at
     /// startup; never grows, which is the point).
     pool_threads_spawned: AtomicU64,
+    /// Telemetry, when built via [`SharedScanServer::new_observed`].
+    obs: Option<Arc<ServerObs>>,
 }
 
 /// A long-running shared-scan service over one block store.
@@ -180,6 +246,23 @@ impl<J: MapReduceJob + 'static> SharedScanServer<J> {
     /// # Panics
     /// Panics if `blocks_per_segment` or `num_threads` is zero.
     pub fn new(store: BlockStore, blocks_per_segment: usize, num_threads: usize) -> Self {
+        SharedScanServer::new_observed(store, blocks_per_segment, num_threads, &Obs::off())
+    }
+
+    /// Start an **observed** server: every submit/admission/segment
+    /// scan/reduce shard/completion records into `obs`'s metrics registry
+    /// and trace recorder (see the README "Observability" section for the
+    /// instrument and span catalog). Passing [`Obs::off`] is exactly
+    /// [`SharedScanServer::new`].
+    ///
+    /// # Panics
+    /// Panics if `blocks_per_segment` or `num_threads` is zero.
+    pub fn new_observed(
+        store: BlockStore,
+        blocks_per_segment: usize,
+        num_threads: usize,
+        obs: &Obs,
+    ) -> Self {
         assert!(blocks_per_segment > 0, "segments need at least one block");
         assert!(num_threads > 0, "need at least one worker");
         let n = store.num_blocks();
@@ -202,6 +285,7 @@ impl<J: MapReduceJob + 'static> SharedScanServer<J> {
             blocks_scanned: AtomicU64::new(0),
             iterations: AtomicU64::new(0),
             pool_threads_spawned: AtomicU64::new(0),
+            obs: ServerObs::new(obs),
         });
 
         let coord_shared = Arc::clone(&shared);
@@ -238,7 +322,7 @@ impl<J: MapReduceJob + 'static> SharedScanServer<J> {
     /// how many jobs or segment iterations the server executes; the
     /// instrumentation tests assert thread creation is O(servers).
     pub fn pool_threads_spawned(&self) -> u64 {
-        self.shared.pool_threads_spawned.load(Ordering::SeqCst)
+        self.shared.pool_threads_spawned.load(Ordering::Relaxed)
     }
 
     /// Submit a job; it joins the scan at the next segment boundary.
@@ -247,13 +331,24 @@ impl<J: MapReduceJob + 'static> SharedScanServer<J> {
             done: Mutex::new(None),
             cv: Condvar::new(),
         });
+        let id = self.shared.next_job_id.fetch_add(1, Ordering::Relaxed);
+        let submitted_us = match &self.shared.obs {
+            Some(o) => {
+                o.jobs_submitted.inc();
+                o.tracer().instant("submit", Ids::job(id));
+                o.tracer().now_us()
+            }
+            None => 0,
+        };
         let active = ActiveJob {
-            id: self.shared.next_job_id.fetch_add(1, Ordering::Relaxed),
+            id,
             job: Arc::new(job),
             handle: Arc::clone(&state),
             segments_remaining: self.num_segments(),
             blocks_seen: 0,
             bytes_seen: 0,
+            submitted_us,
+            admitted: false,
         };
         self.shared.pending.lock().push(active);
         self.shared.wakeup.notify_all();
@@ -296,11 +391,16 @@ fn coordinator_loop<J: MapReduceJob + 'static>(shared: Arc<ServerShared<J>>, num
     // Both pools live exactly as long as the coordinator: when this
     // function returns, their Drop impls drain any queued finalization
     // tasks before joining the workers, so shutdown never loses outputs.
-    let scan_pool = WorkerPool::new(num_threads);
-    let reduce_pool = WorkerPool::new(num_threads);
+    let obs_handle = shared
+        .obs
+        .as_ref()
+        .map(|o| o.obs.clone())
+        .unwrap_or_default();
+    let scan_pool = WorkerPool::new_observed(num_threads, "scan", &obs_handle);
+    let reduce_pool = WorkerPool::new_observed(num_threads, "reduce", &obs_handle);
     shared.pool_threads_spawned.store(
         scan_pool.threads_spawned() + reduce_pool.threads_spawned(),
-        Ordering::SeqCst,
+        Ordering::Relaxed,
     );
     // One slot per scan worker: each worker's per-job accumulators persist
     // across every segment of a job's revolution, so there is no
@@ -310,6 +410,9 @@ fn coordinator_loop<J: MapReduceJob + 'static>(shared: Arc<ServerShared<J>>, num
     let num_segments = shared.cuts.len() - 1;
     let mut cursor = 0usize; // next segment to scan
     let mut active: Vec<ActiveJob<J>> = Vec::new();
+    // Start of the previous segment scan, for the cadence histogram; reset
+    // across idle periods so waiting for work never counts as a gap.
+    let mut last_seg_start_us: Option<u64> = None;
 
     loop {
         // Admit newly submitted jobs at this segment boundary (the paper's
@@ -318,9 +421,13 @@ fn coordinator_loop<J: MapReduceJob + 'static>(shared: Arc<ServerShared<J>>, num
             let mut pending = shared.pending.lock();
             active.append(&mut pending);
             if active.is_empty() {
+                if let Some(o) = &shared.obs {
+                    o.active_jobs.set(0);
+                }
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
+                last_seg_start_us = None;
                 // Idle: park until a submission or shutdown.
                 shared.wakeup.wait(&mut pending);
                 active.append(&mut pending);
@@ -330,12 +437,35 @@ fn coordinator_loop<J: MapReduceJob + 'static>(shared: Arc<ServerShared<J>>, num
 
         // One iteration of Algorithm 1: merged sub-job over the cursor's
         // segment for every active job.
+        let seg_t0 = shared.obs.as_ref().map(|o| {
+            let now = o.tracer().now_us();
+            if let Some(prev) = last_seg_start_us {
+                o.cadence.record(now.saturating_sub(prev));
+            }
+            last_seg_start_us = Some(now);
+            // Admission: the job's revolution starts with this segment.
+            for a in active.iter_mut().filter(|a| !a.admitted) {
+                a.admitted = true;
+                o.admission.record(now.saturating_sub(a.submitted_us));
+                o.tracer().instant("admit", Ids::job(a.id).jobs(cursor as u64));
+            }
+            o.active_jobs.set(active.len() as i64);
+            now
+        });
         let (start, end) = (shared.cuts[cursor], shared.cuts[cursor + 1]);
         scan_segment(&shared, &active, &slots, start, end, &scan_pool);
         let seg_blocks = (end - start) as u64;
         let seg_bytes = shared.byte_cuts[end] - shared.byte_cuts[start];
         shared.blocks_scanned.fetch_add(seg_blocks, Ordering::Relaxed);
         shared.iterations.fetch_add(1, Ordering::Relaxed);
+        if let (Some(o), Some(t0)) = (&shared.obs, seg_t0) {
+            o.tracer()
+                .span("segment", t0, Ids::seg(cursor as u64).jobs(active.len() as u64));
+            o.seg_scan.record(o.tracer().now_us().saturating_sub(t0));
+            o.segments.inc();
+            o.blocks.add(seg_blocks);
+            o.bytes.add(seg_bytes);
+        }
         for a in &mut active {
             a.blocks_seen += seg_blocks;
             a.bytes_seen += seg_bytes;
@@ -349,7 +479,7 @@ fn coordinator_loop<J: MapReduceJob + 'static>(shared: Arc<ServerShared<J>>, num
             active[i].segments_remaining -= 1;
             if active[i].segments_remaining == 0 {
                 let finished = active.swap_remove(i);
-                finish_job(&slots, &reduce_pool, finished);
+                finish_job(&slots, &reduce_pool, finished, shared.obs.clone());
             } else {
                 i += 1;
             }
@@ -439,10 +569,13 @@ fn scan_segment<J: MapReduceJob + 'static>(
 /// Finalization context shared by one finished job's reduce-pool tasks.
 struct FinishCtx<J: MapReduceJob> {
     job: Arc<J>,
+    job_id: u64,
+    submitted_us: u64,
     handle: Arc<HandleState<J::K, J::Out>>,
     state: Mutex<FinishState<J>>,
     remaining: AtomicUsize,
     stats: ScanStats,
+    obs: Option<Arc<ServerObs>>,
 }
 
 struct FinishState<J: MapReduceJob> {
@@ -463,21 +596,41 @@ fn finish_job<J: MapReduceJob + 'static>(
     slots: &[Mutex<Slot<J>>],
     reduce_pool: &WorkerPool,
     job: ActiveJob<J>,
+    obs: Option<Arc<ServerObs>>,
 ) {
     let mut partials: Vec<JobAcc<J>> = Vec::new();
     let mut map_output_records = 0u64;
+    let mut distinct_fold_keys = 0u64;
+    let mut folded = false;
     for slot in slots {
         let mut slot = slot.lock();
         if let Some(p) = slot.iter().position(|(id, _)| *id == job.id) {
             let (_, partial) = slot.swap_remove(p);
             map_output_records += partial.emitted;
+            if let JobAcc::Fold(m) = &partial.acc {
+                distinct_fold_keys += m.len() as u64;
+                folded = true;
+            }
             partials.push(partial.acc);
+        }
+    }
+    if let Some(o) = &obs {
+        o.map_records.add(map_output_records);
+        if folded {
+            // A fold combiner collapses every repeat of a key into the
+            // worker's single accumulator, so hits are simply the emitted
+            // records the accumulators absorbed: emitted − distinct keys.
+            // Counted here, post hoc, for zero cost on the map hot path.
+            o.fold_hits
+                .add(map_output_records.saturating_sub(distinct_fold_keys));
         }
     }
 
     let nshards = reduce_pool.num_threads();
     let ctx = Arc::new(FinishCtx {
         job: job.job,
+        job_id: job.id,
+        submitted_us: job.submitted_us,
         handle: job.handle,
         state: Mutex::new(FinishState {
             sharded: false,
@@ -492,6 +645,7 @@ fn finish_job<J: MapReduceJob + 'static>(
             map_output_records,
             reduce_output_records: 0, // filled at publish
         },
+        obs,
     });
     for s in 0..nshards {
         let ctx = Arc::clone(&ctx);
@@ -500,6 +654,7 @@ fn finish_job<J: MapReduceJob + 'static>(
 }
 
 fn run_finish_shard<J: MapReduceJob + 'static>(ctx: Arc<FinishCtx<J>>, s: usize, nshards: usize) {
+    let shard_t0 = ctx.obs.as_ref().map(|o| o.tracer().now_us());
     let bucket = {
         let mut st = ctx.state.lock();
         if !st.sharded {
@@ -556,6 +711,11 @@ fn run_finish_shard<J: MapReduceJob + 'static>(ctx: Arc<FinishCtx<J>>, s: usize,
         }
     }
     ctx.state.lock().parts[s] = Some(part);
+    if let (Some(o), Some(t0)) = (&ctx.obs, shard_t0) {
+        o.tracer()
+            .span("reduce_shard", t0, Ids::job(ctx.job_id).jobs(s as u64));
+        o.reduce_shard.record(o.tracer().now_us().saturating_sub(t0));
+    }
 
     if ctx.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
         // Last shard to finish merges and publishes.
@@ -570,6 +730,12 @@ fn run_finish_shard<J: MapReduceJob + 'static>(ctx: Arc<FinishCtx<J>>, s: usize,
         let mut guard = ctx.handle.done.lock();
         *guard = Some(output);
         ctx.handle.cv.notify_all();
+        if let Some(o) = &ctx.obs {
+            o.jobs_completed.inc();
+            o.job_latency
+                .record(o.tracer().now_us().saturating_sub(ctx.submitted_us));
+            o.tracer().instant("job_done", Ids::job(ctx.job_id));
+        }
     }
 }
 

@@ -22,6 +22,8 @@ use crate::store::BlockStore;
 use crate::types::MapReduceJob;
 use fxhash::FxHashMap;
 use parking_lot::Mutex;
+use s3_obs::trace::Ids;
+use s3_obs::Obs;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -76,8 +78,26 @@ pub fn run_merged_on<J: MapReduceJob>(
     store: &BlockStore,
     cfg: &ExecConfig,
 ) -> Vec<JobOutput<J::K, J::Out>> {
+    run_merged_observed(pool, jobs, store, cfg, &Obs::off())
+}
+
+/// [`run_merged_on`] with telemetry: records `merged_map_phase` /
+/// `merged_reduce_phase` spans (the `n` id carries the merged job count)
+/// plus the `engine.*` scan, shuffle, and combiner counters into `obs`.
+/// Passing [`Obs::off`] is exactly [`run_merged_on`].
+///
+/// # Panics
+/// Panics if `jobs` is empty or `cfg.num_reducers` is zero.
+pub fn run_merged_observed<J: MapReduceJob>(
+    pool: &WorkerPool,
+    jobs: &[&J],
+    store: &BlockStore,
+    cfg: &ExecConfig,
+    obs: &Obs,
+) -> Vec<JobOutput<J::K, J::Out>> {
     assert!(!jobs.is_empty(), "merged run needs at least one job");
     assert!(cfg.num_reducers > 0, "need at least one reducer");
+    let core = obs.core();
 
     let next_block = AtomicUsize::new(0);
     let num_blocks = store.num_blocks();
@@ -90,6 +110,7 @@ pub fn run_merged_on<J: MapReduceJob>(
     let line_jobs: Vec<usize> = (0..num_jobs).filter(|&ji| !jobs[ji].map_is_per_token()).collect();
 
     // ---- shared map phase: tag tuples with their job index ----
+    let map_t0 = core.map(|c| c.tracer.now_us());
     type Tagged<K, V> = (usize, K, V);
     type MapOut<K, V> = (Vec<Vec<Tagged<K, V>>>, Vec<u64>, u64);
     let worker_outputs: Vec<MapOut<J::K, J::V>> = pool.broadcast(num_threads, &|_| {
@@ -187,8 +208,22 @@ pub fn run_merged_on<J: MapReduceJob>(
             shuffled[p].append(&mut recs);
         }
     }
+    if let (Some(c), Some(t0)) = (core, map_t0) {
+        c.tracer
+            .span("merged_map_phase", t0, Ids::none().jobs(num_jobs as u64));
+        let emitted_total: u64 = per_job_emitted.iter().sum();
+        let shuffle_records: u64 = shuffled.iter().map(|p| p.len() as u64).sum();
+        let m = &c.metrics;
+        m.counter("engine.map_records").add(emitted_total);
+        m.counter("engine.blocks_scanned").add(num_blocks as u64);
+        m.counter("engine.bytes_scanned").add(bytes_scanned);
+        m.counter("engine.shuffle_records").add(shuffle_records);
+        m.counter("engine.combiner_fold_hits")
+            .add(emitted_total.saturating_sub(shuffle_records));
+    }
 
     // ---- reduce phase: group by (job, key), moving records ----
+    let reduce_t0 = core.map(|c| c.tracer.now_us());
     let next_partition = AtomicUsize::new(0);
     let num_partitions = shuffled.len();
     type LockedPartition<J> =
@@ -240,6 +275,10 @@ pub fn run_merged_on<J: MapReduceJob>(
         for (ji, part) in worker.into_iter().enumerate() {
             records[ji].extend(part);
         }
+    }
+    if let (Some(c), Some(t0)) = (core, reduce_t0) {
+        c.tracer
+            .span("merged_reduce_phase", t0, Ids::none().jobs(num_jobs as u64));
     }
 
     records

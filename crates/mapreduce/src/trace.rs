@@ -6,10 +6,18 @@
 //! of *when* and *where* work ran — e.g. "no two maps of one batch
 //! overlapped on one slot", or "S³'s sub-jobs never overlap their map
 //! phases".
+//!
+//! [`Trace::to_obs_events`] converts a simulator trace into the `s3-obs`
+//! event schema, so sim traces and real-engine traces export to
+//! Perfetto/`chrome://tracing` through the **same** converter
+//! (`s3_obs::chrome`): one track per simulated node, map/reduce intervals
+//! as spans, lifecycle points as instants.
 
 use crate::batch::BatchKey;
 use crate::job::JobId;
 use s3_cluster::NodeId;
+use s3_obs::chrome::{engine_event_to_chrome, ChromeEvent};
+use s3_obs::trace::{Event as ObsEvent, Ids, Phase, NO_ID};
 use s3_sim::SimTime;
 use serde::{Deserialize, Serialize};
 
@@ -155,6 +163,112 @@ impl Trace {
         (busy / span).min(1.0)
     }
 
+    /// Convert this sim trace into `s3-obs` events (simulated seconds
+    /// become microseconds of trace time): map/reduce task intervals pair
+    /// into spans named `map`/`reduce` (`map_failed`/`reduce_failed` when
+    /// the attempt was lost), lifecycle and scheduler events become
+    /// instants. Track ids are `node + 1`; track 0 carries node-less
+    /// lifecycle events. Each event's ids hold the first involved job, the
+    /// scanned block (as `seg`), and the sharing-job count (as `n`).
+    pub fn to_obs_events(&self) -> Vec<ObsEvent> {
+        fn us(t: SimTime) -> u64 {
+            (t.as_secs_f64() * 1e6).round() as u64
+        }
+        fn ids_of(e: &TraceEvent) -> Ids {
+            Ids {
+                job: e.jobs.first().map_or(NO_ID, |j| j.0 as u64),
+                seg: e.block.map_or(NO_ID, |b| b.0 as u64),
+                n: e.jobs.len() as u64,
+            }
+        }
+        fn tid_of(e: &TraceEvent) -> u64 {
+            e.node.map_or(0, |n| n.0 as u64 + 1)
+        }
+        let instant = |e: &TraceEvent, name: &'static str| ObsEvent {
+            ts_us: us(e.at),
+            dur_us: 0,
+            name,
+            ph: Phase::Instant,
+            tid: tid_of(e),
+            ids: ids_of(e),
+        };
+
+        let mut out = Vec::new();
+        // Per-node stacks of open task starts, map and reduce separately.
+        let mut open_maps: Vec<Vec<&TraceEvent>> = Vec::new();
+        let mut open_reduces: Vec<Vec<&TraceEvent>> = Vec::new();
+        let close = |open: &mut Vec<Vec<&TraceEvent>>,
+                         e: &TraceEvent,
+                         name: &'static str,
+                         out: &mut Vec<ObsEvent>| {
+            let node = e.node.expect("task events carry a node").0 as usize;
+            if let Some(start) = open.get_mut(node).and_then(Vec::pop) {
+                out.push(ObsEvent {
+                    ts_us: us(start.at),
+                    dur_us: us(e.at).saturating_sub(us(start.at)),
+                    name,
+                    ph: Phase::Span,
+                    tid: tid_of(start),
+                    ids: ids_of(start),
+                });
+            }
+        };
+        for e in &self.events {
+            match e.kind {
+                TraceKind::JobSubmitted => out.push(instant(e, "job_submitted")),
+                TraceKind::JobCompleted => out.push(instant(e, "job_completed")),
+                TraceKind::MapStart | TraceKind::ReduceStart => {
+                    let node = e.node.expect("task events carry a node").0 as usize;
+                    let open = if e.kind == TraceKind::MapStart {
+                        &mut open_maps
+                    } else {
+                        &mut open_reduces
+                    };
+                    if open.len() <= node {
+                        open.resize_with(node + 1, Vec::new);
+                    }
+                    open[node].push(e);
+                }
+                TraceKind::MapEnd => close(&mut open_maps, e, "map", &mut out),
+                TraceKind::MapFailed => close(&mut open_maps, e, "map_failed", &mut out),
+                TraceKind::ReduceEnd => close(&mut open_reduces, e, "reduce", &mut out),
+                TraceKind::ReduceFailed => {
+                    close(&mut open_reduces, e, "reduce_failed", &mut out);
+                }
+                TraceKind::SlotExcluded => out.push(instant(e, "slot_excluded")),
+                TraceKind::SlotReadmitted => out.push(instant(e, "slot_readmitted")),
+                TraceKind::SubJobAdjusted => out.push(instant(e, "subjob_adjusted")),
+            }
+        }
+        out.sort_by_key(|e| (e.ts_us, e.tid));
+        out
+    }
+
+    /// This trace as Chrome trace events under process `pid`, through the
+    /// same converter the real engine's traces use. Includes
+    /// process/thread-name metadata so Perfetto labels the node tracks.
+    pub fn to_chrome_events(&self, pid: u64) -> Vec<ChromeEvent> {
+        let obs_events = self.to_obs_events();
+        let mut out = vec![ChromeEvent::process_name(pid, "s3-sim")];
+        let mut named: Vec<u64> = Vec::new();
+        for e in &obs_events {
+            if !named.contains(&e.tid) {
+                named.push(e.tid);
+            }
+        }
+        named.sort_unstable();
+        for tid in named {
+            let label = if tid == 0 {
+                "lifecycle".to_string()
+            } else {
+                format!("node{}", tid - 1)
+            };
+            out.push(ChromeEvent::thread_name(pid, tid, &label));
+        }
+        out.extend(obs_events.iter().map(|e| engine_event_to_chrome(e, pid, "sim")));
+        out
+    }
+
     /// Render an ASCII timeline: one row per node, time bucketed into
     /// `width` columns; `M` = map busy, `R` = reduce busy, `B` = both,
     /// `.` = idle.
@@ -262,6 +376,45 @@ mod tests {
         let t = Trace::new();
         assert_eq!(t.render_timeline(&[NodeId(0)], 5), "(empty trace)\n");
         assert_eq!(t.map_utilization_of(NodeId(0)), 0.0);
+    }
+
+    #[test]
+    fn obs_conversion_pairs_tasks_into_spans() {
+        let mut t = Trace::new();
+        t.push(ev(0, TraceKind::JobSubmitted, None));
+        t.push(ev(1, TraceKind::MapStart, Some(2)));
+        t.push(ev(4, TraceKind::MapEnd, Some(2)));
+        t.push(ev(4, TraceKind::ReduceStart, Some(2)));
+        t.push(ev(6, TraceKind::ReduceFailed, Some(2)));
+        t.push(ev(9, TraceKind::JobCompleted, None));
+        let evs = t.to_obs_events();
+        let map = evs.iter().find(|e| e.name == "map").unwrap();
+        assert_eq!(map.ph, Phase::Span);
+        assert_eq!(map.ts_us, 1_000_000);
+        assert_eq!(map.dur_us, 3_000_000);
+        assert_eq!(map.tid, 3, "node 2 renders on track 3");
+        assert_eq!(map.ids.job, 0);
+        let failed = evs.iter().find(|e| e.name == "reduce_failed").unwrap();
+        assert_eq!(failed.dur_us, 2_000_000);
+        assert!(evs.iter().any(|e| e.name == "job_submitted" && e.tid == 0));
+        assert!(evs.iter().any(|e| e.name == "job_completed"));
+        assert!(evs.windows(2).all(|w| w[0].ts_us <= w[1].ts_us));
+    }
+
+    #[test]
+    fn chrome_export_validates_against_schema() {
+        let mut t = Trace::new();
+        t.push(ev(0, TraceKind::JobSubmitted, None));
+        t.push(ev(0, TraceKind::MapStart, Some(0)));
+        t.push(ev(2, TraceKind::MapEnd, Some(0)));
+        t.push(ev(3, TraceKind::JobCompleted, None));
+        let chrome = t.to_chrome_events(7);
+        let mut buf = Vec::new();
+        s3_obs::chrome::write_chrome_trace(&mut buf, &chrome).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let n = s3_obs::chrome::validate_chrome_trace(&text).unwrap();
+        // 2 lifecycle instants + 1 map span + process_name + 2 thread_names.
+        assert_eq!(n, 6);
     }
 
     #[test]

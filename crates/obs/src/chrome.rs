@@ -1,0 +1,265 @@
+//! Chrome trace-event export: the shared schema engine traces and
+//! simulator traces both serialize through.
+//!
+//! The output is the Chrome trace-event **JSON array format** written one
+//! event per line — streaming-friendly like JSONL, yet strictly valid JSON
+//! that loads directly in Perfetto (<https://ui.perfetto.dev>) or
+//! `chrome://tracing`:
+//!
+//! ```text
+//! [
+//! {"name":"process_name","ph":"M","pid":1,"tid":0,"ts":0.0,"args":{"name":"s3-engine"}},
+//! {"name":"segment","ph":"X","pid":1,"tid":1,"ts":120.0,"dur":835.0,"args":{"seg":4}},
+//! {"name":"submit","ph":"i","s":"t","pid":1,"tid":2,"ts":130.0,"args":{"job":0}}
+//! ]
+//! ```
+//!
+//! [`validate_chrome_trace`] is the schema check CI's trace-smoke job and
+//! the tests run over emitted files.
+
+use crate::trace::{Event, Ids, Phase, NO_ID};
+use serde_json::Value;
+use std::io::Write;
+
+/// One event in Chrome trace-event form, ready to serialize.
+#[derive(Debug, Clone)]
+pub struct ChromeEvent {
+    /// Display name.
+    pub name: String,
+    /// Category (used by Perfetto's filter box).
+    pub cat: String,
+    /// Phase: `'X'` complete span, `'B'`/`'E'` begin/end, `'i'` instant,
+    /// `'M'` metadata, `'C'` counter.
+    pub ph: char,
+    /// Timestamp in microseconds.
+    pub ts: f64,
+    /// Duration in microseconds (`Some` only for `'X'`).
+    pub dur: Option<f64>,
+    /// Process id (one logical process per exporter).
+    pub pid: u64,
+    /// Thread/track id.
+    pub tid: u64,
+    /// Free-form arguments shown in the Perfetto detail pane.
+    pub args: Vec<(String, Value)>,
+}
+
+impl ChromeEvent {
+    /// A metadata event naming the process `pid`.
+    pub fn process_name(pid: u64, name: &str) -> Self {
+        ChromeEvent::metadata(pid, 0, "process_name", name)
+    }
+
+    /// A metadata event naming thread `tid` of process `pid`.
+    pub fn thread_name(pid: u64, tid: u64, name: &str) -> Self {
+        ChromeEvent::metadata(pid, tid, "thread_name", name)
+    }
+
+    fn metadata(pid: u64, tid: u64, kind: &str, name: &str) -> Self {
+        ChromeEvent {
+            name: kind.to_string(),
+            cat: "__metadata".to_string(),
+            ph: 'M',
+            ts: 0.0,
+            dur: None,
+            pid,
+            tid,
+            args: vec![("name".to_string(), Value::String(name.to_string()))],
+        }
+    }
+
+    fn to_json(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = vec![
+            ("name".to_string(), Value::String(self.name.clone())),
+            ("cat".to_string(), Value::String(self.cat.clone())),
+            ("ph".to_string(), Value::String(self.ph.to_string())),
+            ("ts".to_string(), Value::from(self.ts)),
+            ("pid".to_string(), Value::from(self.pid)),
+            ("tid".to_string(), Value::from(self.tid)),
+        ];
+        if let Some(dur) = self.dur {
+            fields.push(("dur".to_string(), Value::from(dur)));
+        }
+        if self.ph == 'i' {
+            // Instant scope: thread-level keeps the marker on its track.
+            fields.push(("s".to_string(), Value::String("t".to_string())));
+        }
+        if !self.args.is_empty() {
+            fields.push(("args".to_string(), Value::Object(self.args.clone())));
+        }
+        Value::Object(fields)
+    }
+}
+
+/// Convert one engine [`Event`] into the shared schema. `pid` labels the
+/// exporting component (servers use 1).
+pub fn engine_event_to_chrome(ev: &Event, pid: u64, cat: &str) -> ChromeEvent {
+    let mut args: Vec<(String, Value)> = Vec::new();
+    let Ids { job, seg, n } = ev.ids;
+    if job != NO_ID {
+        args.push(("job".to_string(), Value::from(job)));
+    }
+    if seg != NO_ID {
+        args.push(("seg".to_string(), Value::from(seg)));
+    }
+    if n != NO_ID {
+        args.push(("n".to_string(), Value::from(n)));
+    }
+    ChromeEvent {
+        name: ev.name.to_string(),
+        cat: cat.to_string(),
+        ph: match ev.ph {
+            Phase::Span => 'X',
+            Phase::Instant => 'i',
+        },
+        ts: ev.ts_us as f64,
+        dur: match ev.ph {
+            Phase::Span => Some(ev.dur_us as f64),
+            Phase::Instant => None,
+        },
+        pid,
+        tid: ev.tid,
+        args,
+    }
+}
+
+/// Write `events` as a Chrome trace-event JSON array, one event per line.
+///
+/// # Errors
+/// Propagates writer errors.
+pub fn write_chrome_trace<W: Write>(mut w: W, events: &[ChromeEvent]) -> std::io::Result<()> {
+    writeln!(w, "[")?;
+    for (i, ev) in events.iter().enumerate() {
+        let line = serde_json::to_string(&ev.to_json()).expect("events serialize");
+        let sep = if i + 1 == events.len() { "" } else { "," };
+        writeln!(w, "{line}{sep}")?;
+    }
+    writeln!(w, "]")?;
+    Ok(())
+}
+
+fn is_number(v: &Value) -> bool {
+    matches!(v, Value::Number(_))
+}
+
+/// Validate `text` against the Chrome trace-event schema: a JSON array
+/// whose entries carry `name`, `ph` (a known phase), numeric `ts`, `pid`,
+/// and `tid`, with `'X'` events also carrying a numeric `dur`.
+///
+/// Returns the number of events.
+///
+/// # Errors
+/// Returns a description of the first violation.
+pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    let v: Value = serde_json::from_str(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let arr = v.as_array().ok_or("top level must be a JSON array")?;
+    for (i, ev) in arr.iter().enumerate() {
+        if !matches!(ev, Value::Object(_)) {
+            return Err(format!("event {i} is not an object"));
+        }
+        for field in ["name", "ph", "ts", "pid", "tid"] {
+            if ev.get(field).is_none() {
+                return Err(format!("event {i} is missing {field:?}"));
+            }
+        }
+        let ph = ev["ph"]
+            .as_str()
+            .ok_or(format!("event {i}: ph not a string"))?;
+        if !matches!(ph, "X" | "B" | "E" | "i" | "I" | "M" | "C") {
+            return Err(format!("event {i}: unknown phase {ph:?}"));
+        }
+        if !is_number(&ev["ts"]) {
+            return Err(format!("event {i}: ts must be a number"));
+        }
+        if ph == "X" && !ev.get("dur").is_some_and(is_number) {
+            return Err(format!("event {i}: X event needs a numeric dur"));
+        }
+        if !is_number(&ev["pid"]) || !is_number(&ev["tid"]) {
+            return Err(format!("event {i}: pid/tid must be numbers"));
+        }
+    }
+    Ok(arr.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<ChromeEvent> {
+        let ev = Event {
+            ts_us: 10,
+            dur_us: 25,
+            name: "segment",
+            ph: Phase::Span,
+            tid: 3,
+            ids: Ids::seg(7).jobs(2),
+        };
+        let inst = Event {
+            ts_us: 12,
+            dur_us: 0,
+            name: "submit",
+            ph: Phase::Instant,
+            tid: 1,
+            ids: Ids::job(0),
+        };
+        vec![
+            ChromeEvent::process_name(1, "s3-engine"),
+            engine_event_to_chrome(&ev, 1, "engine"),
+            engine_event_to_chrome(&inst, 1, "engine"),
+        ]
+    }
+
+    #[test]
+    fn writer_output_validates() {
+        let mut buf = Vec::new();
+        write_chrome_trace(&mut buf, &sample_events()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(validate_chrome_trace(&text).unwrap(), 3);
+        // One event per line, bracketed.
+        assert!(text.starts_with("[\n"));
+        assert!(text.trim_end().ends_with(']'));
+        assert_eq!(text.lines().count(), 5);
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let mut buf = Vec::new();
+        write_chrome_trace(&mut buf, &[]).unwrap();
+        assert_eq!(
+            validate_chrome_trace(std::str::from_utf8(&buf).unwrap()).unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn span_conversion_carries_ids_and_duration() {
+        let evs = sample_events();
+        let seg = &evs[1];
+        assert_eq!(seg.ph, 'X');
+        assert_eq!(seg.dur, Some(25.0));
+        let json = seg.to_json();
+        assert_eq!(json["args"]["seg"].as_u64(), Some(7));
+        assert_eq!(json["args"]["n"].as_u64(), Some(2));
+        let sub = evs[2].to_json();
+        assert_eq!(sub["args"]["job"].as_u64(), Some(0));
+        assert!(sub["args"].get("seg").is_none());
+        assert_eq!(sub["s"].as_str(), Some("t"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_events() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace(r#"[{"name":"x"}]"#).is_err());
+        assert!(
+            validate_chrome_trace(r#"[{"name":"x","ph":"Z","ts":0,"pid":0,"tid":0}]"#).is_err()
+        );
+        assert!(
+            validate_chrome_trace(r#"[{"name":"x","ph":"X","ts":0,"pid":0,"tid":0}]"#).is_err(),
+            "X without dur must fail"
+        );
+        assert_eq!(
+            validate_chrome_trace(r#"[{"name":"x","ph":"i","ts":0,"pid":0,"tid":0}]"#).unwrap(),
+            1
+        );
+    }
+}

@@ -1,0 +1,503 @@
+//! Lock-free metrics: named counters, gauges, and fixed-bucket histograms.
+//!
+//! The hot path never takes a lock and never allocates: a write is one
+//! relaxed `fetch_add` (plus a `fetch_max` for histograms) on a
+//! cache-line-padded cell owned by the calling thread's **shard**. Reads
+//! aggregate across shards, so `get()`/`snapshot()` are linear in the
+//! shard count — cheap, but meant for polling and reports, not for inner
+//! loops.
+//!
+//! The [`Registry`] maps names to instruments under a mutex, but that lock
+//! is only touched at *registration* (get-or-create). Instrumented code
+//! resolves its instruments once at setup, holds the `Arc`s, and then
+//! records lock-free forever after. Relaxed ordering is deliberate
+//! throughout: these are statistics, not synchronization — readers may see
+//! a value that is a few in-flight increments stale, never a torn one.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Number of per-thread shards in counters and histograms. A power of two;
+/// threads are assigned shards round-robin, so up to `SHARDS` threads
+/// write contention-free and larger pools wrap around.
+pub const SHARDS: usize = 16;
+
+/// Round-robin shard index of the calling thread, assigned on first use
+/// and cached in a thread-local.
+fn shard_id() -> usize {
+    use std::cell::Cell;
+    thread_local! {
+        static SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    SHARD.with(|s| {
+        let v = s.get();
+        if v != usize::MAX {
+            return v;
+        }
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let v = NEXT.fetch_add(1, Ordering::Relaxed) % SHARDS;
+        s.set(v);
+        v
+    })
+}
+
+/// One atomic on its own cache line, so shards never false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct Cell64(AtomicU64);
+
+/// A monotonically increasing counter, sharded per thread.
+pub struct Counter {
+    cells: Vec<Cell64>,
+}
+
+impl Counter {
+    fn new() -> Self {
+        Counter {
+            cells: (0..SHARDS).map(|_| Cell64::default()).collect(),
+        }
+    }
+
+    /// Add `n` (one relaxed RMW on this thread's shard).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cells[shard_id()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current total, summed over shards.
+    pub fn get(&self) -> u64 {
+        self.cells.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// An instantaneous signed value (queue depth, active jobs). A single
+/// atomic — gauge updates are orders of magnitude rarer than counter
+/// bumps, so sharding would only slow the read side.
+pub struct Gauge {
+    value: AtomicU64, // i64 stored as two's-complement bits
+}
+
+impl Gauge {
+    fn new() -> Self {
+        Gauge {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Set the value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v as u64, Ordering::Relaxed);
+    }
+
+    /// Add a (possibly negative) delta.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta as u64, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed) as i64
+    }
+}
+
+/// Default histogram bounds: exponential microsecond buckets from 1 µs to
+/// ~67 s (doubling), which covers segment cadences, admission latencies,
+/// and reduce-shard times at ~2× resolution.
+pub fn default_us_bounds() -> Vec<u64> {
+    (0..27).map(|i| 1u64 << i).collect()
+}
+
+/// Per-shard histogram cells: bucket counts plus sum/count/max.
+struct HistShard {
+    buckets: Vec<AtomicU64>, // bounds.len() + 1 (last = overflow)
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A fixed-bucket histogram, sharded per thread.
+///
+/// `bounds` are inclusive upper edges (`value <= bounds[i]` lands in
+/// bucket `i`); values above the last bound land in an overflow bucket.
+/// Quantiles are estimated from the aggregated bucket counts by linear
+/// interpolation inside the containing bucket.
+pub struct Histogram {
+    bounds: Vec<u64>,
+    shards: Vec<HistShard>,
+}
+
+impl Histogram {
+    fn new(bounds: Vec<u64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let shards = (0..SHARDS)
+            .map(|_| HistShard {
+                buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                max: AtomicU64::new(0),
+            })
+            .collect();
+        Histogram { bounds, shards }
+    }
+
+    /// Record one observation (relaxed RMWs on this thread's shard; zero
+    /// allocation).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let b = self.bounds.partition_point(|&bound| bound < value);
+        let shard = &self.shards[shard_id()];
+        shard.buckets[b].fetch_add(1, Ordering::Relaxed);
+        shard.count.fetch_add(1, Ordering::Relaxed);
+        shard.sum.fetch_add(value, Ordering::Relaxed);
+        shard.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.count.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.sum.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Aggregate the shards into a serializable snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = vec![0u64; self.bounds.len() + 1];
+        let mut count = 0u64;
+        let mut sum = 0u64;
+        let mut max = 0u64;
+        for s in &self.shards {
+            for (agg, b) in buckets.iter_mut().zip(&s.buckets) {
+                *agg += b.load(Ordering::Relaxed);
+            }
+            count += s.count.load(Ordering::Relaxed);
+            sum += s.sum.load(Ordering::Relaxed);
+            max = max.max(s.max.load(Ordering::Relaxed));
+        }
+        let quantile = |q: f64| -> f64 {
+            if count == 0 {
+                return 0.0;
+            }
+            let rank = q * count as f64;
+            let mut seen = 0u64;
+            for (i, &c) in buckets.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                if seen as f64 + c as f64 >= rank {
+                    // Interpolate inside bucket i: [lo, hi].
+                    let lo = if i == 0 { 0 } else { self.bounds[i - 1] } as f64;
+                    let hi = if i < self.bounds.len() {
+                        self.bounds[i] as f64
+                    } else {
+                        max as f64 // overflow bucket: cap at observed max
+                    };
+                    let frac = ((rank - seen as f64) / c as f64).clamp(0.0, 1.0);
+                    return (lo + (hi - lo) * frac).min(max as f64);
+                }
+                seen += c;
+            }
+            max as f64
+        };
+        HistogramSnapshot {
+            count,
+            sum,
+            max,
+            p50: quantile(0.50),
+            p95: quantile(0.95),
+            p99: quantile(0.99),
+            buckets: self
+                .bounds
+                .iter()
+                .map(|&le| le.to_string())
+                .chain(std::iter::once("+inf".into()))
+                .zip(buckets)
+                .filter(|&(_, c)| c > 0)
+                .map(|(le, count)| BucketCount { le, count })
+                .collect(),
+        }
+    }
+}
+
+/// One non-empty histogram bucket in a snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct BucketCount {
+    /// Inclusive upper edge (`"+inf"` for the overflow bucket).
+    pub le: String,
+    /// Observations in this bucket.
+    pub count: u64,
+}
+
+/// Aggregated view of one histogram.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 95th percentile.
+    pub p95: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+    /// Non-empty buckets, in bound order.
+    pub buckets: Vec<BucketCount>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Schema tag written into every [`MetricsSnapshot`].
+pub const SNAPSHOT_SCHEMA: &str = "s3obs-metrics/v1";
+
+/// A serializable point-in-time aggregate of one registry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Snapshot schema version ([`SNAPSHOT_SCHEMA`]).
+    pub schema: String,
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram aggregates by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A registry of named instruments.
+///
+/// Registration (get-or-create by name) takes a mutex; recording through
+/// the returned `Arc`s is lock-free. Re-registering a name returns the
+/// existing instrument, so concurrent setup is safe; registering one name
+/// as two different instrument kinds panics.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Vec<(String, Instrument)>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn get_or_insert<T>(
+        &self,
+        name: &str,
+        kind: &str,
+        make: impl FnOnce() -> Instrument,
+        project: impl Fn(&Instrument) -> Option<Arc<T>>,
+    ) -> Arc<T> {
+        let mut inner = self.inner.lock();
+        if let Some((_, inst)) = inner.iter().find(|(n, _)| n == name) {
+            return project(inst)
+                .unwrap_or_else(|| panic!("instrument {name:?} already registered as a non-{kind}"));
+        }
+        let inst = make();
+        let out = project(&inst).expect("just-made instrument matches its kind");
+        inner.push((name.to_string(), inst));
+        out
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.get_or_insert(
+            name,
+            "counter",
+            || Instrument::Counter(Arc::new(Counter::new())),
+            |i| match i {
+                Instrument::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.get_or_insert(
+            name,
+            "gauge",
+            || Instrument::Gauge(Arc::new(Gauge::new())),
+            |i| match i {
+                Instrument::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Get or create the histogram `name` with the default exponential
+    /// microsecond bounds.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with_bounds(name, default_us_bounds())
+    }
+
+    /// Get or create the histogram `name`; `bounds` apply only on first
+    /// registration.
+    pub fn histogram_with_bounds(&self, name: &str, bounds: Vec<u64>) -> Arc<Histogram> {
+        self.get_or_insert(
+            name,
+            "histogram",
+            || Instrument::Histogram(Arc::new(Histogram::new(bounds))),
+            |i| match i {
+                Instrument::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Aggregate every instrument into a serializable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock();
+        let mut snap = MetricsSnapshot {
+            schema: SNAPSHOT_SCHEMA.to_string(),
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+        };
+        for (name, inst) in inner.iter() {
+            match inst {
+                Instrument::Counter(c) => {
+                    snap.counters.insert(name.clone(), c.get());
+                }
+                Instrument::Gauge(g) => {
+                    snap.gauges.insert(name.clone(), g.get());
+                }
+                Instrument::Histogram(h) => {
+                    snap.histograms.insert(name.clone(), h.snapshot());
+                }
+            }
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let c = Arc::new(Counter::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn gauge_tracks_deltas() {
+        let g = Gauge::new();
+        g.add(5);
+        g.add(-8);
+        assert_eq!(g.get(), -3);
+        g.set(7);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::new(vec![10, 100, 1000]);
+        for v in [1, 5, 9, 50, 75, 200, 5000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 5340);
+        let s = h.snapshot();
+        assert_eq!(s.max, 5000);
+        assert!(s.p50 <= 100.0, "median in the low buckets: {}", s.p50);
+        assert!(s.p99 > 100.0, "p99 in the tail: {}", s.p99);
+        let total: u64 = s.buckets.iter().map(|b| b.count).sum();
+        assert_eq!(total, 7);
+        assert!(s.buckets.iter().any(|b| b.le == "+inf" && b.count == 1));
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_zero() {
+        let h = Histogram::new(default_us_bounds());
+        let s = h.snapshot();
+        assert_eq!((s.count, s.sum, s.max), (0, 0, 0));
+        assert_eq!(s.p50, 0.0);
+        assert!(s.buckets.is_empty());
+    }
+
+    #[test]
+    fn registry_get_or_create_is_idempotent() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.add(1);
+        b.add(2);
+        assert_eq!(r.counter("x").get(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn registry_rejects_kind_mismatch() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_serializes_round_trip() {
+        let r = Registry::new();
+        r.counter("c").add(4);
+        r.gauge("g").set(-2);
+        r.histogram("h").record(37);
+        let snap = r.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.counters["c"], 4);
+        assert_eq!(back.gauges["g"], -2);
+        assert_eq!(back.histograms["h"].count, 1);
+        assert_eq!(back.schema, SNAPSHOT_SCHEMA);
+    }
+}

@@ -1,0 +1,299 @@
+//! Structured runtime tracing: a sharded ring-buffer recorder of spans and
+//! instants with thread/job/segment ids.
+//!
+//! Recording is designed for the engine's hot loops:
+//!
+//! - the enabled check is one relaxed atomic load;
+//! - an event is a fixed-size `Copy` struct (`&'static str` name, numeric
+//!   ids) — no allocation, no formatting;
+//! - events land in one of [`crate::metrics::SHARDS`] fixed-capacity ring
+//!   buffers keyed by the calling thread, so writers rarely contend; a
+//!   full ring overwrites its oldest event and counts the drop.
+//!
+//! [`TraceRecorder::drain`] merges the shards into one time-ordered
+//! `Vec<Event>`; [`crate::chrome`] turns that into a Perfetto-loadable
+//! file.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Sentinel for "no id" in [`Ids`] fields.
+pub const NO_ID: u64 = u64::MAX;
+
+/// Default ring capacity per shard (events retained ≈ this × shard count).
+pub const DEFAULT_SHARD_CAPACITY: usize = 65_536;
+
+/// Event kind, mapping onto Chrome trace-event phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// A completed interval (`ph: "X"` — start + duration).
+    Span,
+    /// A point event (`ph: "i"`).
+    Instant,
+}
+
+/// Identity attached to an event. All fields default to [`NO_ID`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Ids {
+    /// Job id, or [`NO_ID`].
+    pub job: u64,
+    /// Segment index, or [`NO_ID`].
+    pub seg: u64,
+    /// Free-form count (active jobs in a segment span, bytes in a spill
+    /// span…), or [`NO_ID`].
+    pub n: u64,
+}
+
+impl Ids {
+    /// No ids at all.
+    pub fn none() -> Self {
+        Ids {
+            job: NO_ID,
+            seg: NO_ID,
+            n: NO_ID,
+        }
+    }
+
+    /// Ids for a job-scoped event.
+    pub fn job(job: u64) -> Self {
+        Ids { job, ..Ids::none() }
+    }
+
+    /// Ids for a segment-scoped event.
+    pub fn seg(seg: u64) -> Self {
+        Ids { seg, ..Ids::none() }
+    }
+
+    /// Attach a free-form count.
+    pub fn jobs(mut self, n: u64) -> Self {
+        self.n = n;
+        self
+    }
+}
+
+/// One recorded event. Fixed-size and `Copy`: recording never allocates.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// Microseconds since the recorder's epoch.
+    pub ts_us: u64,
+    /// Span duration in microseconds (0 for instants).
+    pub dur_us: u64,
+    /// Static event name (`"segment"`, `"submit"`, …).
+    pub name: &'static str,
+    /// Span or instant.
+    pub ph: Phase,
+    /// Small per-thread track id (see [`TraceRecorder::thread_tid`]).
+    pub tid: u64,
+    /// Job/segment/count identity.
+    pub ids: Ids,
+}
+
+struct Ring {
+    buf: Vec<Event>,
+    /// Next write position (buf wraps once len == capacity).
+    head: usize,
+}
+
+/// The recorder: an enable flag, an epoch, and the sharded rings.
+pub struct TraceRecorder {
+    enabled: AtomicBool,
+    epoch: Instant,
+    capacity: usize,
+    shards: Vec<Mutex<Ring>>,
+    dropped: AtomicU64,
+}
+
+/// Small dense per-thread track id, assigned on first use. Distinct from
+/// the metrics shard id: tids must be unique per thread (they name
+/// Perfetto tracks), while shards may be shared.
+fn thread_tid() -> u64 {
+    use std::cell::Cell;
+    thread_local! {
+        static TID: Cell<u64> = const { Cell::new(u64::MAX) };
+    }
+    TID.with(|t| {
+        let v = t.get();
+        if v != u64::MAX {
+            return v;
+        }
+        static NEXT: AtomicUsize = AtomicUsize::new(1);
+        let v = NEXT.fetch_add(1, Ordering::Relaxed) as u64;
+        t.set(v);
+        v
+    })
+}
+
+impl TraceRecorder {
+    /// A recorder with `capacity` events per shard, enabled.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring needs capacity");
+        TraceRecorder {
+            enabled: AtomicBool::new(true),
+            epoch: Instant::now(),
+            capacity,
+            shards: (0..crate::metrics::SHARDS)
+                .map(|_| {
+                    Mutex::new(Ring {
+                        buf: Vec::new(),
+                        head: 0,
+                    })
+                })
+                .collect(),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether recording is on (one relaxed load — the cost of a disabled
+    /// recorder).
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn recording on or off. Off drops new events but keeps what the
+    /// rings already hold.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Microseconds since this recorder's epoch (monotonic).
+    #[inline]
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// The calling thread's stable track id.
+    pub fn thread_tid(&self) -> u64 {
+        thread_tid()
+    }
+
+    /// Events overwritten because a shard ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn push(&self, ev: Event) {
+        // Shard by tid so one thread's events stay ordered within a ring.
+        let mut ring = self.shards[(ev.tid as usize) % self.shards.len()].lock();
+        if ring.buf.len() < self.capacity {
+            ring.buf.push(ev);
+            ring.head = ring.buf.len() % self.capacity;
+        } else {
+            let head = ring.head;
+            ring.buf[head] = ev;
+            ring.head = (head + 1) % self.capacity;
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record an instant event on the calling thread.
+    #[inline]
+    pub fn instant(&self, name: &'static str, ids: Ids) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.push(Event {
+            ts_us: self.now_us(),
+            dur_us: 0,
+            name,
+            ph: Phase::Instant,
+            tid: thread_tid(),
+            ids,
+        });
+    }
+
+    /// Record a completed span that started at `start_us` (from
+    /// [`TraceRecorder::now_us`]) and ends now, on the calling thread.
+    #[inline]
+    pub fn span(&self, name: &'static str, start_us: u64, ids: Ids) {
+        if !self.is_enabled() {
+            return;
+        }
+        let now = self.now_us();
+        self.push(Event {
+            ts_us: start_us,
+            dur_us: now.saturating_sub(start_us),
+            name,
+            ph: Phase::Span,
+            tid: thread_tid(),
+            ids,
+        });
+    }
+
+    /// Take every recorded event, time-ordered; the rings are left empty.
+    pub fn drain(&self) -> Vec<Event> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let mut ring = shard.lock();
+            out.append(&mut ring.buf);
+            ring.head = 0;
+        }
+        out.sort_by_key(|e| (e.ts_us, e.tid));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_and_instants_drain_in_time_order() {
+        let t = TraceRecorder::new(64);
+        let s0 = t.now_us();
+        t.instant("a", Ids::job(1));
+        t.span("b", s0, Ids::seg(2).jobs(3));
+        let evs = t.drain();
+        assert_eq!(evs.len(), 2);
+        assert!(evs.windows(2).all(|w| w[0].ts_us <= w[1].ts_us));
+        let span = evs.iter().find(|e| e.name == "b").unwrap();
+        assert_eq!(span.ph, Phase::Span);
+        assert_eq!(span.ids.seg, 2);
+        assert_eq!(span.ids.n, 3);
+        assert!(t.drain().is_empty(), "drain empties the rings");
+    }
+
+    #[test]
+    fn disabled_recorder_drops_events() {
+        let t = TraceRecorder::new(64);
+        t.set_enabled(false);
+        t.instant("x", Ids::none());
+        assert!(t.drain().is_empty());
+        t.set_enabled(true);
+        t.instant("y", Ids::none());
+        assert_eq!(t.drain().len(), 1);
+    }
+
+    #[test]
+    fn full_ring_overwrites_oldest_and_counts_drops() {
+        let t = TraceRecorder::new(4);
+        for _ in 0..10 {
+            t.instant("e", Ids::none());
+        }
+        // All events land on one thread => one shard => capacity 4.
+        assert_eq!(t.drain().len(), 4);
+        assert_eq!(t.dropped(), 6);
+    }
+
+    #[test]
+    fn concurrent_recording_keeps_every_event_under_capacity() {
+        let t = std::sync::Arc::new(TraceRecorder::new(10_000));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let t = std::sync::Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        t.instant("e", Ids::none());
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert_eq!(t.drain().len(), 4000);
+        assert_eq!(t.dropped(), 0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests of the lock-free registry: concurrent recording from
+//! many threads must aggregate to exactly what serial recording would —
+//! no lost increments, no torn reads, regardless of how observations land
+//! on the shards.
+
+use proptest::prelude::*;
+use s3_obs::{Obs, Registry};
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// N threads hammering one counter and one histogram concurrently
+    /// equals the serial sum of their contributions.
+    #[test]
+    fn concurrent_recording_equals_serial_sum(
+        per_thread in prop::collection::vec(
+            prop::collection::vec(1u64..2_000, 1..200),
+            1..8,
+        ),
+    ) {
+        let reg = Arc::new(Registry::new());
+        let threads: Vec<_> = per_thread
+            .iter()
+            .cloned()
+            .map(|values| {
+                let reg = Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    let c = reg.counter("hits");
+                    let h = reg.histogram("lat_us");
+                    let g = reg.gauge("level");
+                    for &v in &values {
+                        c.add(v);
+                        h.record(v);
+                        g.add(v as i64);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("recorder thread");
+        }
+
+        let serial_sum: u64 = per_thread.iter().flatten().sum();
+        let serial_count: u64 = per_thread.iter().map(|v| v.len() as u64).sum();
+        let serial_max: u64 = per_thread.iter().flatten().copied().max().unwrap_or(0);
+
+        prop_assert_eq!(reg.counter("hits").get(), serial_sum);
+        prop_assert_eq!(reg.gauge("level").get(), serial_sum as i64);
+        let snap = reg.histogram("lat_us").snapshot();
+        prop_assert_eq!(snap.count, serial_count);
+        prop_assert_eq!(snap.sum, serial_sum);
+        prop_assert_eq!(snap.max, serial_max);
+        let bucketed: u64 = snap.buckets.iter().map(|b| b.count).sum();
+        prop_assert_eq!(bucketed, serial_count, "every observation lands in a bucket");
+    }
+
+    /// Snapshots taken mid-hammer never tear: every observed total is a
+    /// valid prefix (monotonically non-decreasing, internally consistent).
+    #[test]
+    fn snapshots_under_concurrency_are_consistent(
+        n in 200usize..2_000,
+    ) {
+        let obs = Obs::new();
+        let writer = {
+            let obs = obs.clone();
+            std::thread::spawn(move || {
+                let m = &obs.core().expect("on").metrics;
+                let c = m.counter("ticks");
+                let h = m.histogram("work_us");
+                for i in 0..n {
+                    c.inc();
+                    h.record(i as u64 % 500 + 1);
+                }
+            })
+        };
+        let mut last = 0u64;
+        loop {
+            let snap = obs.snapshot().expect("on");
+            let ticks = snap.counters.get("ticks").copied().unwrap_or(0);
+            prop_assert!(ticks >= last, "counter went backwards: {} -> {}", last, ticks);
+            prop_assert!(ticks <= n as u64);
+            if let Some(h) = snap.histograms.get("work_us") {
+                prop_assert!(h.sum >= h.count, "every recorded value is >= 1");
+                prop_assert!(h.count <= n as u64);
+            }
+            last = ticks;
+            if writer.is_finished() {
+                break;
+            }
+        }
+        writer.join().expect("writer thread");
+        let end = obs.snapshot().expect("on");
+        prop_assert_eq!(end.counters["ticks"], n as u64);
+        prop_assert_eq!(end.histograms["work_us"].count, n as u64);
+    }
+}

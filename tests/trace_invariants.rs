@@ -174,3 +174,35 @@ fn timeline_renders_at_cluster_scale() {
     assert_eq!(s.lines().count(), 41); // header + one row per node
     assert!(s.contains('M'));
 }
+
+#[test]
+fn converted_sim_trace_is_complete_and_schema_valid() {
+    // Completeness through the shared s3-obs converter: every MapStart
+    // pairs into a closed span (MapEnd or MapFailed — no dangling starts),
+    // every submitted job reaches its terminal JobCompleted instant, and
+    // the exported file passes the Chrome trace-event schema check.
+    for mut s in schedulers() {
+        let (m, trace) = traced_run(s.as_mut(), &[0.0, 20.0, 40.0]);
+        let starts = trace.of_kind(TraceKind::MapStart).count()
+            + trace.of_kind(TraceKind::ReduceStart).count();
+        let events = trace.to_obs_events();
+        let spans = events
+            .iter()
+            .filter(|e| {
+                matches!(e.name, "map" | "map_failed" | "reduce" | "reduce_failed")
+            })
+            .count();
+        assert_eq!(spans, starts, "{}: every task start closes a span", m.scheduler);
+        let submitted = events.iter().filter(|e| e.name == "job_submitted").count();
+        let completed = events.iter().filter(|e| e.name == "job_completed").count();
+        assert_eq!(submitted, 3, "{}", m.scheduler);
+        assert_eq!(completed, submitted, "{}: every job reaches a terminal event", m.scheduler);
+
+        let chrome = trace.to_chrome_events(1);
+        let mut buf = Vec::new();
+        s3_obs::chrome::write_chrome_trace(&mut buf, &chrome).expect("serialize");
+        let n = s3_obs::chrome::validate_chrome_trace(std::str::from_utf8(&buf).expect("utf8"))
+            .expect("schema-valid");
+        assert_eq!(n, chrome.len(), "{}", m.scheduler);
+    }
+}

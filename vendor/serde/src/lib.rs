@@ -399,7 +399,7 @@ mod tests {
             String::from_content(&"hi".to_string().to_content()).unwrap(),
             "hi"
         );
-        assert_eq!(bool::from_content(&true.to_content()).unwrap(), true);
+        assert!(bool::from_content(&true.to_content()).unwrap());
         assert_eq!(Option::<u32>::from_content(&Content::Null).unwrap(), None);
     }
 
