@@ -55,7 +55,7 @@ fn bench_engine_runtime(c: &mut Criterion) {
                 .into_iter()
                 .map(|p| server.submit(PatternWordCount::prefix(p)))
                 .collect();
-            let outs: Vec<_> = handles.into_iter().map(|h| h.wait()).collect();
+            let outs: Vec<_> = handles.into_iter().map(|h| h.wait().expect("job completed")).collect();
             server.shutdown();
             outs
         });
@@ -69,8 +69,8 @@ fn bench_engine_runtime(c: &mut Criterion) {
                 std::thread::sleep(Duration::from_micros(200));
             }
             let probe = server.submit(PatternWordCount::prefix("qa"));
-            let out = probe.wait();
-            background.wait();
+            let out = probe.wait().expect("job completed");
+            background.wait().expect("job completed");
             server.shutdown();
             out
         });

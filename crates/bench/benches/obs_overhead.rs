@@ -43,7 +43,7 @@ fn shared_scan(store: &BlockStore, obs: &Obs) {
         .map(|p| server.submit(PatternWordCount::prefix(p)))
         .collect();
     for h in handles {
-        h.wait();
+        h.wait().expect("job completed");
     }
     server.shutdown();
 }

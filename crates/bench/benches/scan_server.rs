@@ -33,7 +33,7 @@ fn bench_server(c: &mut Criterion) {
                     .into_iter()
                     .map(|p| server.submit(PatternWordCount::prefix(p)))
                     .collect();
-                let outs: Vec<_> = handles.into_iter().map(|h| h.wait()).collect();
+                let outs: Vec<_> = handles.into_iter().map(|h| h.wait().expect("job completed")).collect();
                 server.shutdown();
                 outs
             });

@@ -85,7 +85,7 @@ fn bench_shared_scan(store: &BlockStore, repeats: usize) -> f64 {
                     .map(|p| server.submit(PatternWordCount::prefix(p)))
                     .collect();
                 for h in handles {
-                    h.wait();
+                    h.wait().expect("job completed");
                 }
                 server.shutdown();
             })
@@ -106,9 +106,9 @@ fn bench_admission_latency(store: &BlockStore, repeats: usize) -> f64 {
             }
             let t0 = Instant::now();
             let probe = server.submit(PatternWordCount::prefix("qa"));
-            probe.wait();
+            probe.wait().expect("job completed");
             let ms = t0.elapsed().as_secs_f64() * 1e3;
-            background.wait();
+            background.wait().expect("job completed");
             server.shutdown();
             ms
         })
@@ -130,7 +130,7 @@ fn capture_metrics_snapshot(store: &BlockStore) -> serde_json::Value {
         .map(|p| server.submit(PatternWordCount::prefix(p)))
         .collect();
     for h in handles {
-        h.wait();
+        h.wait().expect("job completed");
     }
     server.shutdown();
     let snapshot = obs.snapshot().expect("Obs::new is on");

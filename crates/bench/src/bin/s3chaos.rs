@@ -23,8 +23,20 @@
 //! is automatically minimized by dropping faults while the failure
 //! persists.
 //!
+//! `s3chaos engine` applies the same discipline to the *real* engine: for
+//! every seed a [`FaultPlan`](s3_engine::FaultPlan) of stragglers, task
+//! drops, map/reduce panics and coordinator death is injected into a live
+//! [`SharedScanServer`](s3_engine::SharedScanServer) running seeded
+//! wordcount jobs, and the run is checked against an exact oracle —
+//! panicked jobs quarantine, killed-coordinator runs abort every
+//! unresolved handle, every surviving job's output is byte-identical to
+//! running it solo — plus the engine trace invariants
+//! ([`check_engine_events`](s3_mapreduce::check_engine_events)) and a
+//! run-twice replay-identity proof.
+//!
 //! ```text
 //! s3chaos [--seeds N] [--seed K] [--verbose]
+//! s3chaos engine [--seeds N] [--seed K] [--verbose]
 //! ```
 
 use s3_cluster::{ChaosConfig, ChaosPlan, ClusterTopology, NodeId};
@@ -51,24 +63,30 @@ fn usage() -> ! {
          USAGE:\n  s3chaos [--seeds N]     fuzz seeds 0..N (default 200)\n  \
          s3chaos --seed K        replay one seed in detail (plan, metrics,\n  \
          \x20                       digests, byte-for-byte reproduction proof)\n  \
-         s3chaos --verbose       one line per seed during a sweep"
+         s3chaos --verbose       one line per seed during a sweep\n  \
+         s3chaos engine [...]    same flags, but fuzz the real shared-scan\n  \
+         \x20                       engine (default 100 seeds)"
     );
     std::process::exit(2)
 }
 
 struct Args {
+    engine: bool,
     seeds: u64,
     seed: Option<u64>,
     verbose: bool,
 }
 
 fn parse_args() -> Args {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let engine = raw.first().map(String::as_str) == Some("engine");
     let mut args = Args {
-        seeds: 200,
+        engine,
+        seeds: if engine { 100 } else { 200 },
         seed: None,
         verbose: false,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = raw.into_iter().skip(usize::from(engine));
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--seeds" => {
@@ -353,8 +371,354 @@ fn replay_one(seed: u64, cluster: &ClusterTopology, dataset: &Dataset, plan: &Ch
     ok
 }
 
+/// Fuzzer over the real shared-scan engine: seeded jobs + a seeded
+/// [`s3_engine::FaultPlan`] against a live server, checked against an
+/// exact per-job outcome oracle, the engine trace invariants, the metrics
+/// accounting identity, and a run-twice replay proof.
+mod engine_fuzz {
+    use s3_engine::{
+        run_job, BlockStore, EngineChaosConfig, EngineFault, ExecConfig, FaultPlan, FtConfig,
+        Obs, ServerConfig, SharedScanServer,
+    };
+    use s3_mapreduce::check_engine_events;
+    use s3_sim::SimRng;
+    use s3_workloads::jobs::PatternWordCount;
+    use s3_workloads::text::TextGen;
+    use std::collections::BTreeMap;
+    use std::time::{Duration, Instant};
+
+    const BLOCKS_PER_SEGMENT: usize = 4;
+    /// Per-seed jobs draw their prefix filters from this pool.
+    const JOB_PREFIXES: [&str; 8] = ["", "a", "ba", "d", "ga", "ma", "s", "ta"];
+    /// Salt separating the job-mix stream from the fault-plan stream.
+    const JOB_SALT: u64 = 0x00E6_61FE_C0DE_F00D;
+    /// A handle not resolving within this bound is reported as a hang.
+    const WAIT_BOUND: Duration = Duration::from_secs(30);
+
+    /// The immutable world every seed runs against: one corpus, one
+    /// chaos envelope, and per-prefix solo reference outputs.
+    pub struct World {
+        store: BlockStore,
+        cfg: EngineChaosConfig,
+        num_segments: u64,
+        solo: BTreeMap<&'static str, BTreeMap<String, i64>>,
+    }
+
+    pub fn build_world() -> World {
+        let text = TextGen::paper_like().generate(&mut SimRng::seed_from_u64(7), 96 << 10);
+        let store = BlockStore::from_text(&text, 2048);
+        let num_segments = store.num_blocks().div_ceil(BLOCKS_PER_SEGMENT) as u64;
+        // Fault times are drawn from one revolution, so with gang
+        // admission every generated map panic and coordinator kill
+        // actually lands — the oracle below is exact, never vacuous.
+        let cfg = EngineChaosConfig {
+            horizon_iters: num_segments,
+            ..EngineChaosConfig::default()
+        };
+        let solo = JOB_PREFIXES
+            .iter()
+            .map(|p| {
+                let out = run_job(
+                    &PatternWordCount::prefix(*p),
+                    &store,
+                    &ExecConfig {
+                        num_threads: 1,
+                        num_reducers: 4,
+                    },
+                );
+                (*p, out.records)
+            })
+            .collect();
+        World {
+            store,
+            cfg,
+            num_segments,
+            solo,
+        }
+    }
+
+    pub fn plan_for(world: &World, seed: u64) -> FaultPlan {
+        FaultPlan::generate(seed, &world.cfg)
+    }
+
+    fn prefixes_for(world: &World, seed: u64) -> Vec<&'static str> {
+        let mut rng = SimRng::seed_from_u64(seed ^ JOB_SALT);
+        (0..world.cfg.num_jobs)
+            .map(|_| JOB_PREFIXES[rng.index(JOB_PREFIXES.len())])
+            .collect()
+    }
+
+    /// What the plan dictates for each job, derived exactly: with gang
+    /// admission at iteration 0, job `j`'s `segments_done` equals the
+    /// global iteration, a `PanicMap { after_segments: s }` fires during
+    /// iteration `s`, and a `KillCoordinator { at_iter: k }` fires at the
+    /// top of iteration `k` — so the panic lands iff `s < k`.
+    fn expected_outcomes(world: &World, plan: &FaultPlan) -> Vec<&'static str> {
+        let kill = plan
+            .faults
+            .iter()
+            .find_map(|f| match f {
+                EngineFault::KillCoordinator { at_iter } => Some(*at_iter),
+                _ => None,
+            })
+            .filter(|k| *k < world.num_segments);
+        (0..world.cfg.num_jobs)
+            .map(|j| {
+                let map_panic = plan.faults.iter().find_map(|f| match f {
+                    EngineFault::PanicMap {
+                        job,
+                        after_segments,
+                    } if *job == j => Some(*after_segments),
+                    _ => None,
+                });
+                let reduce_panic = plan.faults.iter().any(|f| {
+                    matches!(f, EngineFault::PanicReduce { job, .. } if *job == j)
+                });
+                match (map_panic, kill) {
+                    (Some(s), Some(k)) if s < k => "panicked",
+                    (Some(_), None) => "panicked",
+                    (_, Some(_)) => "aborted",
+                    (None, None) if reduce_panic => "panicked",
+                    (None, None) => "ok",
+                }
+            })
+            .collect()
+    }
+
+    /// One engine run under `plan`: per-job outcome summaries (the
+    /// replay fingerprint) plus every oracle / invariant / accounting
+    /// failure found.
+    pub fn run_checked(world: &World, seed: u64, plan: &FaultPlan) -> (Vec<String>, Vec<String>) {
+        let prefixes = prefixes_for(world, seed);
+        let expected = expected_outcomes(world, plan);
+        let mut violations = Vec::new();
+
+        let mut cfg = ServerConfig::new(BLOCKS_PER_SEGMENT, world.cfg.num_workers);
+        cfg.obs = Obs::new();
+        cfg.ft = FtConfig {
+            deadline_floor: Duration::from_millis(3),
+            ..FtConfig::resilient()
+        };
+        cfg.faults = Some(plan.clone());
+        let obs = cfg.obs.clone();
+        let server = SharedScanServer::with_config(world.store.clone(), cfg);
+        let handles = server.submit_all(
+            prefixes
+                .iter()
+                .map(|p| PatternWordCount::prefix(*p))
+                .collect(),
+        );
+
+        // Bounded resolution: the fuzzer must detect a hang, not inherit
+        // it. On timeout the server is leaked rather than dropped (drop
+        // would block on the same hang).
+        let deadline = Instant::now() + WAIT_BOUND;
+        let mut summaries = Vec::with_capacity(handles.len());
+        for (i, h) in handles.into_iter().enumerate() {
+            let result = loop {
+                if let Some(r) = h.try_take() {
+                    break Some(r);
+                }
+                if Instant::now() >= deadline {
+                    break None;
+                }
+                std::thread::sleep(Duration::from_micros(500));
+            };
+            let Some(result) = result else {
+                violations.push(format!("job {i}: handle unresolved after {WAIT_BOUND:?}"));
+                std::mem::forget(server);
+                return (summaries, violations);
+            };
+            let (summary, outcome) = match &result {
+                Ok(out) => {
+                    let json = serde_json::to_string(&out.records).expect("serialize records");
+                    if out.records != world.solo[prefixes[i]] {
+                        violations.push(format!(
+                            "job {i} (prefix {:?}): output differs from solo run",
+                            prefixes[i]
+                        ));
+                    }
+                    (format!("ok:{json}"), "ok")
+                }
+                Err(s3_engine::JobError::Panicked(msg)) => {
+                    (format!("panicked:{msg}"), "panicked")
+                }
+                Err(s3_engine::JobError::Aborted) => ("aborted".to_string(), "aborted"),
+            };
+            if outcome != expected[i] {
+                violations.push(format!(
+                    "job {i} (prefix {:?}): {outcome}, oracle says {}",
+                    prefixes[i], expected[i]
+                ));
+            }
+            summaries.push(summary);
+        }
+        server.shutdown();
+
+        // Engine trace invariants: unique terminal per job, single
+        // admission, paired exclusion windows.
+        let core = obs.core().expect("observed");
+        let events = core.tracer.drain();
+        if core.tracer.dropped() > 0 {
+            violations.push(format!("trace dropped {} events", core.tracer.dropped()));
+        }
+        violations.extend(check_engine_events(&events).into_iter().map(|v| v.to_string()));
+
+        // Metrics accounting: every submitted job is in exactly one
+        // terminal bucket, and the buckets match the oracle.
+        let snap = obs.snapshot().expect("observed");
+        let (sub, done, quar, abort) = (
+            snap.counter("engine.jobs_submitted"),
+            snap.counter("engine.jobs_completed"),
+            snap.counter("engine.jobs_quarantined"),
+            snap.counter("engine.jobs_aborted"),
+        );
+        if sub != done + quar + abort {
+            violations.push(format!(
+                "metrics: {sub} submitted != {done} completed + {quar} quarantined + {abort} aborted"
+            ));
+        }
+        let count = |what: &str| expected.iter().filter(|o| **o == what).count() as u64;
+        if (done, quar, abort) != (count("ok"), count("panicked"), count("aborted")) {
+            violations.push(format!(
+                "metrics: (done, quarantined, aborted) = ({done}, {quar}, {abort}), oracle says \
+                 ({}, {}, {})",
+                count("ok"),
+                count("panicked"),
+                count("aborted")
+            ));
+        }
+        (summaries, violations)
+    }
+
+    /// All failures of one seed: a checked run plus replay identity (the
+    /// second run must produce byte-identical per-job summaries).
+    pub fn seed_failures(world: &World, seed: u64, plan: &FaultPlan) -> Vec<String> {
+        let (first, mut failures) = run_checked(world, seed, plan);
+        let (second, _) = run_checked(world, seed, plan);
+        if first != second {
+            failures.push("replay: re-run produced different per-job outcomes".into());
+        }
+        failures
+    }
+
+    /// Shrink a failing plan as the simulator fuzzer does: drop any fault
+    /// whose removal keeps the seed failing, to a local minimum.
+    pub fn minimize_plan(world: &World, seed: u64, plan: &FaultPlan) -> FaultPlan {
+        let mut current = plan.clone();
+        loop {
+            let mut reduced = false;
+            for i in 0..current.len() {
+                let candidate = current.without_fault(i);
+                if !seed_failures(world, seed, &candidate).is_empty() {
+                    current = candidate;
+                    reduced = true;
+                    break;
+                }
+            }
+            if !reduced {
+                return current;
+            }
+        }
+    }
+
+    pub fn replay_one(world: &World, seed: u64) -> bool {
+        let plan = plan_for(world, seed);
+        println!(
+            "seed {seed}: {} job(s) over {} segments, fault plan:\n{}",
+            world.cfg.num_jobs,
+            world.num_segments,
+            plan.describe()
+        );
+        let (first, failures) = run_checked(world, seed, &plan);
+        let (second, _) = run_checked(world, seed, &plan);
+        for (i, s) in first.iter().enumerate() {
+            let shown = if s.len() > 72 { &s[..72] } else { s };
+            println!("  job {i}: {shown}{}", if s.len() > 72 { "..." } else { "" });
+        }
+        let repro = if first == second {
+            "byte-identical"
+        } else {
+            "MISMATCH"
+        };
+        println!("  replay: {repro}");
+        for f in &failures {
+            println!("  {f}");
+        }
+        failures.is_empty() && first == second
+    }
+}
+
+fn engine_main(args: &Args) -> ExitCode {
+    // Injected panics are the point of the exercise: the engine catches
+    // and quarantines them, so keep their backtraces off stderr. Anything
+    // else still reports through the default hook.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        if !msg.starts_with("injected") {
+            default_hook(info);
+        }
+    }));
+    let world = engine_fuzz::build_world();
+    if let Some(seed) = args.seed {
+        return if engine_fuzz::replay_one(&world, seed) {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+    println!("s3chaos engine: fuzzing seeds 0..{} over the shared-scan server", args.seeds);
+    let mut failed_seeds = 0u64;
+    for seed in 0..args.seeds {
+        let plan = engine_fuzz::plan_for(&world, seed);
+        let failures = engine_fuzz::seed_failures(&world, seed, &plan);
+        if failures.is_empty() {
+            if args.verbose {
+                println!("seed {seed}: ok ({} fault(s))", plan.len());
+            }
+        } else {
+            failed_seeds += 1;
+            println!("seed {seed}: FAILED");
+            println!(" fault plan:\n{}", plan.describe());
+            for f in &failures {
+                println!("  {f}");
+            }
+            let minimal = engine_fuzz::minimize_plan(&world, seed, &plan);
+            if minimal.len() < plan.len() {
+                println!(
+                    " minimized to {} fault(s):\n{}",
+                    minimal.len(),
+                    minimal.describe()
+                );
+            } else {
+                println!(" plan is already minimal");
+            }
+            println!(" replay with: s3chaos engine --seed {seed}");
+        }
+    }
+    println!(
+        "s3chaos engine: {}/{} seeds clean",
+        args.seeds - failed_seeds,
+        args.seeds
+    );
+    if failed_seeds == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
+    if args.engine {
+        return engine_main(&args);
+    }
     let cluster = ClusterTopology::paper_cluster();
     // 4 blocks per node (160 total): big enough for several S³ sub-jobs,
     // small enough to fuzz hundreds of seeds quickly.

@@ -110,9 +110,9 @@ fn run_engine(args: &[String]) {
     }
     let probe = server.submit(PatternWordCount::prefix("qa"));
     for h in handles {
-        h.wait();
+        h.wait().expect("job completed");
     }
-    probe.wait();
+    probe.wait().expect("job completed");
     let wall_us = wall_t0.elapsed().as_micros() as u64;
     server.shutdown();
 

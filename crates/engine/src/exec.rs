@@ -49,7 +49,11 @@ pub struct ScanStats {
 }
 
 /// The result of one job: its output relation plus counters.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares records and stats — with [`crate::JobResult`]'s
+/// `Result` wrapper this lets tests and the chaos fuzzer assert whole
+/// outcomes (`Ok(output)` vs `Err(JobError::…)`) directly.
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobOutput<K: Ord, Out> {
     /// Final key → output value, totally ordered for easy comparison.
     pub records: BTreeMap<K, Out>,

@@ -33,8 +33,20 @@
 //! Perfetto-loadable Chrome trace. The plain variants are the observed
 //! ones with [`Obs::off`] — telemetry disabled costs one branch per site.
 
+//!
+//! ## Fault tolerance
+//!
+//! The shared-scan server quarantines panicking jobs (each failure is
+//! individual — see [`JobError`]), optionally runs segments as retryable
+//! per-block tasks with deadline-based speculative re-execution and
+//! slow-worker exclusion ([`FtConfig::resilient`]), and accepts a seeded
+//! [`FaultPlan`] that injects delays, drops, panics, and coordinator
+//! death deterministically — the engine-level mirror of the simulator's
+//! `s3-cluster` chaos harness.
+
 pub mod exec;
 pub mod external;
+pub mod fault;
 pub mod pool;
 pub mod scan_server;
 pub mod shared;
@@ -46,9 +58,10 @@ pub use external::{
     run_job_external, run_job_external_observed, run_merged_external,
     run_merged_external_observed, ExternalConfig, SpillStats,
 };
+pub use fault::{ArmedFaults, EngineChaosConfig, EngineFault, FaultPlan, FtConfig};
 pub use pool::WorkerPool;
 pub use s3_obs::Obs;
-pub use scan_server::{JobHandle, SharedScanServer};
+pub use scan_server::{JobHandle, ServerConfig, SharedScanServer};
 pub use shared::{run_merged, run_merged_observed, run_merged_on};
 pub use store::BlockStore;
-pub use types::MapReduceJob;
+pub use types::{JobError, JobResult, MapReduceJob};

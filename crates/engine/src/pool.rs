@@ -43,6 +43,7 @@ struct PoolObs {
     queue_depth: Arc<Gauge>,
     busy_us: Arc<Counter>,
     tasks: Arc<Counter>,
+    tasks_panicked: Arc<Counter>,
 }
 
 struct PoolShared {
@@ -78,9 +79,12 @@ impl WorkerPool {
     /// Spawn an **observed** pool: when `obs` is on, the pool registers
     /// `pool.<name>.queue_depth` (tasks enqueued but not yet running),
     /// `pool.<name>.busy_us` (cumulative worker time spent inside tasks;
-    /// utilization = busy_us / (wall × workers)), and `pool.<name>.tasks`
-    /// (tasks run). Inline `broadcast(1, …)` work runs on the caller and
-    /// is deliberately **not** counted as worker busy time.
+    /// utilization = busy_us / (wall × workers)), `pool.<name>.tasks`
+    /// (tasks run), and `pool.<name>.tasks_panicked` (detached tasks whose
+    /// panic the worker loop swallowed — the metrics-registry view of
+    /// [`WorkerPool::tasks_panicked`]). Inline `broadcast(1, …)` work runs
+    /// on the caller and is deliberately **not** counted as worker busy
+    /// time.
     ///
     /// # Panics
     /// Panics if `num_threads` is zero.
@@ -90,6 +94,7 @@ impl WorkerPool {
             queue_depth: core.metrics.gauge(&format!("pool.{name}.queue_depth")),
             busy_us: core.metrics.counter(&format!("pool.{name}.busy_us")),
             tasks: core.metrics.counter(&format!("pool.{name}.tasks")),
+            tasks_panicked: core.metrics.counter(&format!("pool.{name}.tasks_panicked")),
         });
         let shared = Arc::new(PoolShared {
             queue: Mutex::new(QueueState {
@@ -277,6 +282,9 @@ fn worker_loop(shared: Arc<PoolShared>) {
         // the worker and losing the rest of the queue.
         if catch_unwind(AssertUnwindSafe(task)).is_err() {
             shared.panicked.fetch_add(1, Ordering::Relaxed);
+            if let Some(obs) = &shared.obs {
+                obs.tasks_panicked.inc();
+            }
         }
         if let (Some(obs), Some(t0)) = (&shared.obs, t0) {
             obs.busy_us.add(t0.elapsed().as_micros() as u64);
@@ -381,6 +389,22 @@ mod tests {
         assert_eq!(snap.counters["pool.test.tasks"], 5);
         assert!(snap.counters["pool.test.busy_us"] >= 5 * 2_000);
         assert_eq!(snap.gauges["pool.test.queue_depth"], 0, "drained");
+        assert_eq!(snap.counters["pool.test.tasks_panicked"], 0);
+    }
+
+    #[test]
+    fn observed_pool_exports_panicked_tasks() {
+        let obs = Obs::new();
+        let pool = WorkerPool::new_observed(1, "test", &obs);
+        pool.execute(|| panic!("detached boom"));
+        pool.execute(|| {});
+        // Broadcast panics re-raise on the caller and must NOT count.
+        let r = catch_unwind(AssertUnwindSafe(|| pool.broadcast(2, &|_| panic!("b"))));
+        assert!(r.is_err());
+        drop(pool);
+        let snap = obs.snapshot().unwrap();
+        assert_eq!(snap.counters["pool.test.tasks_panicked"], 1);
+        assert_eq!(snap.counter("pool.test.tasks_panicked"), 1);
     }
 
     #[test]

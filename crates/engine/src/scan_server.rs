@@ -27,6 +27,25 @@
 //! [`MapReduceJob::combine_fold`] when the job declares a fold combiner),
 //! so segments no longer pay a merge-into-coordinator step.
 //!
+//! ## Fault tolerance
+//!
+//! User code is untrusted: a `map`/`combine`/`reduce` that panics fails
+//! **its own job** — the handle resolves to
+//! [`JobError::Panicked`](crate::JobError::Panicked) carrying the panic
+//! message — while the shared scan and every co-riding job continue
+//! (quarantine, always on). A server configured with
+//! [`FtConfig::resilient`] additionally runs each segment as per-block
+//! **claim/commit tasks**: every claim carries a deadline derived from an
+//! EWMA of recent block-scan times, claims that miss it are speculatively
+//! re-executed on another worker with first-result-wins idempotent commit,
+//! and workers that repeatedly miss deadlines are excluded for a window of
+//! iterations then readmitted — the engine analogue of the paper's
+//! periodic slot checking and slow-TaskTracker exclusion (Section IV-D).
+//! If the runtime itself dies (an injected [`FaultPlan`] coordinator kill,
+//! or server shutdown racing a submit), every unresolved handle returns
+//! [`JobError::Aborted`](crate::JobError::Aborted) — a handle never hangs
+//! and a job is never silently lost.
+//!
 //! ```
 //! use s3_engine::{BlockStore, MapReduceJob, SharedScanServer};
 //!
@@ -42,23 +61,26 @@
 //! let store = BlockStore::from_text("a b a\nc a b\n", 6);
 //! let server = SharedScanServer::new(store, 1, 2);
 //! let h = server.submit(Count);
-//! let out = h.wait();
+//! let out = h.wait().expect("job ran to completion");
 //! assert_eq!(out.records["a"], 3);
 //! server.shutdown();
 //! ```
 
 use crate::exec::{JobOutput, ScanStats};
+use crate::fault::{ArmedFaults, FaultPlan, FtConfig};
 use crate::pool::WorkerPool;
 use crate::store::BlockStore;
-use crate::types::MapReduceJob;
+use crate::types::{JobError, JobResult, MapReduceJob};
 use fxhash::FxHashMap;
 use parking_lot::{Condvar, Mutex};
 use s3_obs::trace::Ids;
 use s3_obs::{Counter, Gauge, Histogram, Obs, TraceRecorder};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// The server's pre-resolved instruments (all under `engine.*`; see the
 /// README "Observability" section for the full catalog). Present only on
@@ -68,12 +90,25 @@ struct ServerObs {
     obs: Obs,
     jobs_submitted: Arc<Counter>,
     jobs_completed: Arc<Counter>,
+    /// Jobs failed individually because their own map/combine/reduce
+    /// panicked, while the scan continued for everyone else.
+    jobs_quarantined: Arc<Counter>,
+    /// Jobs failed because the runtime went away before they finished.
+    jobs_aborted: Arc<Counter>,
+    /// Expired block claims re-executed on another worker.
+    tasks_speculated: Arc<Counter>,
+    /// Speculative re-executions that won the first-result-wins commit.
+    speculation_wins: Arc<Counter>,
+    /// Exclusion events (a worker may be excluded more than once).
+    workers_excluded: Arc<Counter>,
     segments: Arc<Counter>,
     blocks: Arc<Counter>,
     bytes: Arc<Counter>,
     map_records: Arc<Counter>,
     fold_hits: Arc<Counter>,
     active_jobs: Arc<Gauge>,
+    /// Workers currently sitting out an exclusion window.
+    excluded_workers: Arc<Gauge>,
     /// Gap between consecutive segment-scan starts while jobs are active.
     cadence: Arc<Histogram>,
     /// Duration of one segment scan.
@@ -84,6 +119,9 @@ struct ServerObs {
     job_latency: Arc<Histogram>,
     /// Duration of one reduce-pool finalization shard.
     reduce_shard: Arc<Histogram>,
+    /// Speculative claim → winning commit: how long a lost/stalled block
+    /// took to recover once the deadline flagged it.
+    recovery_us: Arc<Histogram>,
 }
 
 impl ServerObs {
@@ -93,17 +131,24 @@ impl ServerObs {
             obs: obs.clone(),
             jobs_submitted: m.counter("engine.jobs_submitted"),
             jobs_completed: m.counter("engine.jobs_completed"),
+            jobs_quarantined: m.counter("engine.jobs_quarantined"),
+            jobs_aborted: m.counter("engine.jobs_aborted"),
+            tasks_speculated: m.counter("engine.tasks_speculated"),
+            speculation_wins: m.counter("engine.speculation_wins"),
+            workers_excluded: m.counter("engine.workers_excluded"),
             segments: m.counter("engine.segments_scanned"),
             blocks: m.counter("engine.blocks_scanned"),
             bytes: m.counter("engine.bytes_scanned"),
             map_records: m.counter("engine.map_records"),
             fold_hits: m.counter("engine.combiner_fold_hits"),
             active_jobs: m.gauge("engine.active_jobs"),
+            excluded_workers: m.gauge("engine.excluded_workers"),
             cadence: m.histogram("engine.segment_cadence_us"),
             seg_scan: m.histogram("engine.segment_scan_us"),
             admission: m.histogram("engine.admission_latency_us"),
             job_latency: m.histogram("engine.job_latency_us"),
             reduce_shard: m.histogram("engine.reduce_shard_us"),
+            recovery_us: m.histogram("engine.recovery_us"),
         }))
     }
 
@@ -141,6 +186,31 @@ impl<J: MapReduceJob> JobAcc<J> {
             JobAcc::Buf(map) => map.entry(k).or_default().push(v),
         }
     }
+
+    /// Merge a committed block-local accumulator into this (persistent)
+    /// one — the speculative scan path's idempotent-commit step.
+    fn merge(&mut self, job: &J, other: JobAcc<J>) {
+        match (self, other) {
+            (JobAcc::Fold(m), JobAcc::Fold(o)) => {
+                for (k, v) in o {
+                    match m.entry(k) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            job.combine_fold(e.get_mut(), v);
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(v);
+                        }
+                    }
+                }
+            }
+            (JobAcc::Buf(m), JobAcc::Buf(o)) => {
+                for (k, mut vs) in o {
+                    m.entry(k).or_default().append(&mut vs);
+                }
+            }
+            _ => unreachable!("accumulator kinds are fixed per job"),
+        }
+    }
 }
 
 /// One worker's accumulated state for one job over the revolution so far.
@@ -152,13 +222,107 @@ struct JobPartial<J: MapReduceJob> {
 /// Per-worker slot: the partials of every job this worker has scanned for.
 type Slot<J> = Vec<(u64, JobPartial<J>)>;
 
+/// Sticky record of a job's own code having panicked. Shared between the
+/// scan workers (who record), the coordinator (who quarantines), and the
+/// reduce shards (who fail the finalization).
+struct JobFailure {
+    failed: AtomicBool,
+    msg: Mutex<Option<String>>,
+}
+
+impl JobFailure {
+    fn new() -> Arc<Self> {
+        Arc::new(JobFailure {
+            failed: AtomicBool::new(false),
+            msg: Mutex::new(None),
+        })
+    }
+
+    fn failed(&self) -> bool {
+        self.failed.load(Ordering::Acquire)
+    }
+
+    /// Record a panic payload; the first recorded message wins.
+    fn record(&self, payload: Box<dyn std::any::Any + Send>) {
+        let msg = payload_to_string(payload);
+        let mut guard = self.msg.lock();
+        if guard.is_none() {
+            *guard = Some(msg);
+        }
+        drop(guard);
+        self.failed.store(true, Ordering::Release);
+    }
+
+    fn message(&self) -> String {
+        self.msg.lock().clone().unwrap_or_else(|| "job panicked".into())
+    }
+}
+
+fn payload_to_string(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".into()
+    }
+}
+
+/// Shared completion slot a [`JobHandle`] waits on.
+struct HandleState<K: Ord, Out> {
+    done: Mutex<Option<JobResult<K, Out>>>,
+    cv: Condvar,
+}
+
+/// Publish-once guard for one job's result. Whoever ends the job —
+/// the last reduce shard (success), the quarantine sweep (panic), or the
+/// coordinator's exit path (abort) — publishes through it; if it is
+/// dropped without a publish (coordinator unwound, accumulator lost), its
+/// `Drop` publishes [`JobError::Aborted`], so a [`JobHandle`] can never
+/// hang on a job the runtime forgot.
+struct Completion<K: Ord, Out> {
+    state: Arc<HandleState<K, Out>>,
+    published: AtomicBool,
+}
+
+impl<K: Ord, Out> Completion<K, Out> {
+    fn new(state: Arc<HandleState<K, Out>>) -> Self {
+        Completion {
+            state,
+            published: AtomicBool::new(false),
+        }
+    }
+
+    /// First publish wins; later calls (including the `Drop` fallback) are
+    /// no-ops.
+    fn publish(&self, result: JobResult<K, Out>) {
+        if self.published.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let mut guard = self.state.done.lock();
+        *guard = Some(result);
+        self.state.cv.notify_all();
+    }
+}
+
+impl<K: Ord, Out> Drop for Completion<K, Out> {
+    fn drop(&mut self) {
+        self.publish(Err(JobError::Aborted));
+    }
+}
+
 /// State of one job inside the server.
 struct ActiveJob<J: MapReduceJob> {
     id: u64,
     job: Arc<J>,
-    handle: Arc<HandleState<J::K, J::Out>>,
+    completion: Completion<J::K, J::Out>,
+    failure: Arc<JobFailure>,
     /// Segments still to process (counts down from the segment count).
     segments_remaining: usize,
+    /// Segments of this job's own revolution already completed (keys
+    /// injected map panics deterministically, independent of admission
+    /// timing).
+    segments_done: u64,
     /// Blocks this job's revolution has actually covered.
     blocks_seen: u64,
     /// Bytes this job's revolution has actually covered.
@@ -169,21 +333,17 @@ struct ActiveJob<J: MapReduceJob> {
     admitted: bool,
 }
 
-/// Shared completion slot a [`JobHandle`] waits on.
-struct HandleState<K: Ord, Out> {
-    done: Mutex<Option<JobOutput<K, Out>>>,
-    cv: Condvar,
-}
-
-/// A ticket for a submitted job; [`JobHandle::wait`] blocks until the job's
-/// revolution completes and returns its output.
+/// A ticket for a submitted job; [`JobHandle::wait`] blocks until the
+/// job's revolution completes (or fails) and returns the result.
 pub struct JobHandle<K: Ord, Out> {
     state: Arc<HandleState<K, Out>>,
 }
 
 impl<K: Ord, Out> JobHandle<K, Out> {
-    /// Block until the job finishes; returns its output relation and stats.
-    pub fn wait(self) -> JobOutput<K, Out> {
+    /// Block until the job resolves: its output relation and stats on
+    /// success, or the [`JobError`] that ended it. Never hangs — a job
+    /// whose runtime disappears resolves to [`JobError::Aborted`].
+    pub fn wait(self) -> JobResult<K, Out> {
         let mut guard = self.state.done.lock();
         loop {
             if let Some(out) = guard.take() {
@@ -194,8 +354,37 @@ impl<K: Ord, Out> JobHandle<K, Out> {
     }
 
     /// Non-blocking poll.
-    pub fn try_take(&self) -> Option<JobOutput<K, Out>> {
+    pub fn try_take(&self) -> Option<JobResult<K, Out>> {
         self.state.done.lock().take()
+    }
+}
+
+/// Full construction parameters of a [`SharedScanServer`].
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Blocks per segment of the circular scan.
+    pub blocks_per_segment: usize,
+    /// Scan-pool width (the reduce pool matches it).
+    pub num_threads: usize,
+    /// Telemetry handle; [`Obs::off`] disables all recording.
+    pub obs: Obs,
+    /// Fault-tolerance parameters (speculation, deadlines, exclusion).
+    pub ft: FtConfig,
+    /// Deterministic fault injection, for tests and the chaos fuzzer.
+    pub faults: Option<FaultPlan>,
+}
+
+impl ServerConfig {
+    /// The default configuration: unobserved, quarantine only (no
+    /// speculation), no injected faults.
+    pub fn new(blocks_per_segment: usize, num_threads: usize) -> Self {
+        ServerConfig {
+            blocks_per_segment,
+            num_threads,
+            obs: Obs::off(),
+            ft: FtConfig::default(),
+            faults: None,
+        }
     }
 }
 
@@ -213,9 +402,7 @@ struct ServerShared<J: MapReduceJob> {
     // The three counters below are pure instrumentation: monotonic totals
     // that synchronize nothing and order nothing. Every access is
     // `Ordering::Relaxed` — readers may observe a total that is a few
-    // in-flight increments stale, never a torn or decreasing one. (They
-    // previously mixed SeqCst loads, paying fence costs for no guarantee
-    // the callers used.)
+    // in-flight increments stale, never a torn or decreasing one.
     /// Total block scans performed (shared scans count once).
     blocks_scanned: AtomicU64,
     /// Total segment iterations executed.
@@ -223,6 +410,15 @@ struct ServerShared<J: MapReduceJob> {
     /// Worker threads the coordinator's pools have spawned (set once at
     /// startup; never grows, which is the point).
     pool_threads_spawned: AtomicU64,
+    /// Fault-tolerance parameters.
+    ft: FtConfig,
+    /// Injected faults, armed for this server's lifetime.
+    faults: Option<Arc<ArmedFaults>>,
+    /// EWMA of block-scan time (µs); drives the speculative deadline.
+    ewma_block_us: AtomicU64,
+    /// Consecutive deadline misses per virtual worker; reset by an
+    /// in-deadline commit, drives exclusion.
+    misses: Vec<AtomicU32>,
     /// Telemetry, when built via [`SharedScanServer::new_observed`].
     obs: Option<Arc<ServerObs>>,
 }
@@ -246,7 +442,7 @@ impl<J: MapReduceJob + 'static> SharedScanServer<J> {
     /// # Panics
     /// Panics if `blocks_per_segment` or `num_threads` is zero.
     pub fn new(store: BlockStore, blocks_per_segment: usize, num_threads: usize) -> Self {
-        SharedScanServer::new_observed(store, blocks_per_segment, num_threads, &Obs::off())
+        SharedScanServer::with_config(store, ServerConfig::new(blocks_per_segment, num_threads))
     }
 
     /// Start an **observed** server: every submit/admission/segment
@@ -263,10 +459,23 @@ impl<J: MapReduceJob + 'static> SharedScanServer<J> {
         num_threads: usize,
         obs: &Obs,
     ) -> Self {
-        assert!(blocks_per_segment > 0, "segments need at least one block");
-        assert!(num_threads > 0, "need at least one worker");
+        let mut cfg = ServerConfig::new(blocks_per_segment, num_threads);
+        cfg.obs = obs.clone();
+        SharedScanServer::with_config(store, cfg)
+    }
+
+    /// Start a server from a full [`ServerConfig`] — the entry point for
+    /// speculative execution ([`FtConfig::resilient`]) and deterministic
+    /// fault injection ([`FaultPlan`]).
+    ///
+    /// # Panics
+    /// Panics if `blocks_per_segment` or `num_threads` is zero.
+    pub fn with_config(store: BlockStore, config: ServerConfig) -> Self {
+        assert!(config.blocks_per_segment > 0, "segments need at least one block");
+        assert!(config.num_threads > 0, "need at least one worker");
+        let num_threads = config.num_threads;
         let n = store.num_blocks();
-        let mut cuts: Vec<usize> = (0..n).step_by(blocks_per_segment).collect();
+        let mut cuts: Vec<usize> = (0..n).step_by(config.blocks_per_segment).collect();
         cuts.push(n);
         let mut byte_cuts = Vec::with_capacity(n + 1);
         byte_cuts.push(0u64);
@@ -285,7 +494,11 @@ impl<J: MapReduceJob + 'static> SharedScanServer<J> {
             blocks_scanned: AtomicU64::new(0),
             iterations: AtomicU64::new(0),
             pool_threads_spawned: AtomicU64::new(0),
-            obs: ServerObs::new(obs),
+            ft: config.ft,
+            faults: config.faults.as_ref().map(|p| p.arm()),
+            ewma_block_us: AtomicU64::new(0),
+            misses: (0..num_threads).map(|_| AtomicU32::new(0)).collect(),
+            obs: ServerObs::new(&config.obs),
         });
 
         let coord_shared = Arc::clone(&shared);
@@ -306,7 +519,8 @@ impl<J: MapReduceJob + 'static> SharedScanServer<J> {
     }
 
     /// Total block scans performed so far (a scan shared by k jobs counts
-    /// once — that is the point).
+    /// once — that is the point). Speculative re-executions are not
+    /// counted either; `engine.tasks_speculated` tracks those.
     pub fn blocks_scanned(&self) -> u64 {
         self.shared.blocks_scanned.load(Ordering::Relaxed)
     }
@@ -327,43 +541,73 @@ impl<J: MapReduceJob + 'static> SharedScanServer<J> {
 
     /// Submit a job; it joins the scan at the next segment boundary.
     pub fn submit(&self, job: J) -> JobHandle<J::K, J::Out> {
-        let state = Arc::new(HandleState {
-            done: Mutex::new(None),
-            cv: Condvar::new(),
-        });
-        let id = self.shared.next_job_id.fetch_add(1, Ordering::Relaxed);
-        let submitted_us = match &self.shared.obs {
-            Some(o) => {
-                o.jobs_submitted.inc();
-                o.tracer().instant("submit", Ids::job(id));
-                o.tracer().now_us()
-            }
-            None => 0,
-        };
-        let active = ActiveJob {
-            id,
-            job: Arc::new(job),
-            handle: Arc::clone(&state),
-            segments_remaining: self.num_segments(),
-            blocks_seen: 0,
-            bytes_seen: 0,
-            submitted_us,
-            admitted: false,
-        };
-        self.shared.pending.lock().push(active);
+        self.submit_all(vec![job])
+            .pop()
+            .expect("one job in, one handle out")
+    }
+
+    /// Submit a batch of jobs under one pending-queue lock, so the whole
+    /// batch is admitted at the *same* segment boundary. Individual
+    /// [`SharedScanServer::submit`] calls in a loop may split across
+    /// boundaries depending on scan timing; gang submission makes
+    /// admission — and therefore a faulted run's outcome — deterministic,
+    /// which the chaos fuzzer's byte-identical replay relies on.
+    pub fn submit_all(&self, jobs: Vec<J>) -> Vec<JobHandle<J::K, J::Out>> {
+        let mut handles = Vec::with_capacity(jobs.len());
+        let mut batch = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            let state = Arc::new(HandleState {
+                done: Mutex::new(None),
+                cv: Condvar::new(),
+            });
+            let id = self.shared.next_job_id.fetch_add(1, Ordering::Relaxed);
+            let submitted_us = match &self.shared.obs {
+                Some(o) => {
+                    o.jobs_submitted.inc();
+                    o.tracer().instant("submit", Ids::job(id));
+                    o.tracer().now_us()
+                }
+                None => 0,
+            };
+            batch.push(ActiveJob {
+                id,
+                job: Arc::new(job),
+                completion: Completion::new(Arc::clone(&state)),
+                failure: JobFailure::new(),
+                segments_remaining: self.num_segments(),
+                segments_done: 0,
+                blocks_seen: 0,
+                bytes_seen: 0,
+                submitted_us,
+                admitted: false,
+            });
+            handles.push(JobHandle { state });
+        }
+        self.shared.pending.lock().append(&mut batch);
         self.shared.wakeup.notify_all();
-        JobHandle { state }
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            // The coordinator may already be gone (e.g. killed by an
+            // injected fault). Fail anything it will never pick up rather
+            // than letting the handles hang.
+            Self::drain_pending(&self.shared);
+        }
+        handles
     }
 
     /// Stop accepting useful work and join the coordinator once all
-    /// submitted jobs have completed. Finalization tasks already queued on
+    /// submitted jobs have resolved. Finalization tasks already queued on
     /// the reduce pool are drained before this returns, so every submitted
-    /// job's output is published.
+    /// job's handle resolves — with its output, or with the [`JobError`]
+    /// that ended it. Never panics, even if the coordinator died.
     pub fn shutdown(mut self) {
         Self::signal_shutdown(&self.shared);
         if let Some(h) = self.coordinator.take() {
-            h.join().expect("coordinator panicked");
+            // A coordinator killed by an injected fault (or a runtime bug)
+            // must not take the caller down with it; its jobs were already
+            // failed with `JobError::Aborted`.
+            let _ = h.join();
         }
+        Self::drain_pending(&self.shared);
     }
 
     /// Set the shutdown flag and wake the coordinator without losing the
@@ -376,6 +620,16 @@ impl<J: MapReduceJob + 'static> SharedScanServer<J> {
         let _pending = shared.pending.lock();
         shared.wakeup.notify_all();
     }
+
+    /// Abort any jobs still sitting in the pending queue (a submit that
+    /// raced coordinator death); their handles resolve to
+    /// [`JobError::Aborted`] instead of hanging.
+    fn drain_pending(shared: &Arc<ServerShared<J>>) {
+        let orphans = std::mem::take(&mut *shared.pending.lock());
+        for a in orphans {
+            abort_job(a, &shared.obs);
+        }
+    }
 }
 
 impl<J: MapReduceJob + 'static> Drop for SharedScanServer<J> {
@@ -384,6 +638,29 @@ impl<J: MapReduceJob + 'static> Drop for SharedScanServer<J> {
         if let Some(h) = self.coordinator.take() {
             let _ = h.join();
         }
+        Self::drain_pending(&self.shared);
+    }
+}
+
+/// Resolve a job's handle with [`JobError::Aborted`].
+fn abort_job<J: MapReduceJob>(job: ActiveJob<J>, obs: &Option<Arc<ServerObs>>) {
+    job.completion.publish(Err(JobError::Aborted));
+    if let Some(o) = obs {
+        o.jobs_aborted.inc();
+        o.tracer().instant("job_aborted", Ids::job(job.id));
+    }
+}
+
+/// Coordinator exit: whatever the cause (clean shutdown, injected kill),
+/// mark the server dead and resolve every job it will never finish.
+fn coordinator_exit<J: MapReduceJob>(shared: &ServerShared<J>, active: Vec<ActiveJob<J>>) {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    for a in active {
+        abort_job(a, &shared.obs);
+    }
+    let pending = std::mem::take(&mut *shared.pending.lock());
+    for a in pending {
+        abort_job(a, &shared.obs);
     }
 }
 
@@ -404,8 +681,13 @@ fn coordinator_loop<J: MapReduceJob + 'static>(shared: Arc<ServerShared<J>>, num
     );
     // One slot per scan worker: each worker's per-job accumulators persist
     // across every segment of a job's revolution, so there is no
-    // merge-into-coordinator step at segment end.
-    let slots: Vec<Mutex<Slot<J>>> = (0..num_threads).map(|_| Mutex::new(Vec::new())).collect();
+    // merge-into-coordinator step at segment end. Arc'd because the
+    // speculative scan path hands detached (`'static`) tasks to the pool.
+    let slots: Arc<Vec<Mutex<Slot<J>>>> =
+        Arc::new((0..num_threads).map(|_| Mutex::new(Vec::new())).collect());
+    // Exclusion windows: `Some(iter)` means the worker sits out until that
+    // global iteration (speculative mode only).
+    let mut excluded_until: Vec<Option<u64>> = vec![None; num_threads];
 
     let num_segments = shared.cuts.len() - 1;
     let mut cursor = 0usize; // next segment to scan
@@ -425,6 +707,8 @@ fn coordinator_loop<J: MapReduceJob + 'static>(shared: Arc<ServerShared<J>>, num
                     o.active_jobs.set(0);
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
+                    drop(pending);
+                    coordinator_exit(&shared, active);
                     return;
                 }
                 last_seg_start_us = None;
@@ -433,6 +717,22 @@ fn coordinator_loop<J: MapReduceJob + 'static>(shared: Arc<ServerShared<J>>, num
                 active.append(&mut pending);
                 continue;
             }
+        }
+
+        let iter = shared.iterations.load(Ordering::Relaxed);
+        // Injected coordinator death: the worst case quarantine cannot
+        // contain. Every unresolved job aborts; no handle hangs.
+        if let Some(f) = &shared.faults {
+            if f.kills_coordinator(iter) {
+                if let Some(o) = &shared.obs {
+                    o.tracer().instant("coordinator_killed", Ids::none().jobs(iter));
+                }
+                coordinator_exit(&shared, std::mem::take(&mut active));
+                return;
+            }
+        }
+        if shared.ft.speculation {
+            refresh_exclusions(&shared, iter, &mut excluded_until);
         }
 
         // One iteration of Algorithm 1: merged sub-job over the cursor's
@@ -453,7 +753,20 @@ fn coordinator_loop<J: MapReduceJob + 'static>(shared: Arc<ServerShared<J>>, num
             now
         });
         let (start, end) = (shared.cuts[cursor], shared.cuts[cursor + 1]);
-        scan_segment(&shared, &active, &slots, start, end, &scan_pool);
+        if shared.ft.speculation {
+            scan_segment_speculative(
+                &shared,
+                &active,
+                &slots,
+                start,
+                end,
+                &scan_pool,
+                iter,
+                &excluded_until,
+            );
+        } else {
+            scan_segment(&shared, &active, &slots, start, end, &scan_pool, iter);
+        }
         let seg_blocks = (end - start) as u64;
         let seg_bytes = shared.byte_cuts[end] - shared.byte_cuts[start];
         shared.blocks_scanned.fetch_add(seg_blocks, Ordering::Relaxed);
@@ -472,14 +785,37 @@ fn coordinator_loop<J: MapReduceJob + 'static>(shared: Arc<ServerShared<J>>, num
         }
         cursor = (cursor + 1) % num_segments;
 
+        // Quarantine sweep: jobs whose own code panicked this segment fail
+        // individually — partial state purged, handle resolved with the
+        // panic message — while everyone else keeps scanning.
+        let mut i = 0;
+        while i < active.len() {
+            if active[i].failure.failed() {
+                let failed = active.swap_remove(i);
+                for slot in slots.iter() {
+                    slot.lock().retain(|(id, _)| *id != failed.id);
+                }
+                if let Some(o) = &shared.obs {
+                    o.jobs_quarantined.inc();
+                    o.tracer().instant("quarantine", Ids::job(failed.id));
+                }
+                failed
+                    .completion
+                    .publish(Err(JobError::Panicked(failed.failure.message())));
+            } else {
+                i += 1;
+            }
+        }
+
         // Jobs that completed a full revolution: hand their accumulated
         // state to the reduce pool and keep scanning without waiting.
         let mut i = 0;
         while i < active.len() {
             active[i].segments_remaining -= 1;
+            active[i].segments_done += 1;
             if active[i].segments_remaining == 0 {
                 let finished = active.swap_remove(i);
-                finish_job(&slots, &reduce_pool, finished, shared.obs.clone());
+                finish_job(&slots, &reduce_pool, finished, &shared);
             } else {
                 i += 1;
             }
@@ -487,10 +823,52 @@ fn coordinator_loop<J: MapReduceJob + 'static>(shared: Arc<ServerShared<J>>, num
     }
 }
 
-/// Scan one segment once, running every active job's map over each record
-/// on the persistent scan pool. Jobs declaring
+/// Readmit workers whose exclusion window expired; exclude workers whose
+/// consecutive deadline misses crossed the threshold. Never excludes the
+/// last active worker — the scan must always be able to make progress.
+fn refresh_exclusions<J: MapReduceJob>(
+    shared: &ServerShared<J>,
+    iter: u64,
+    excluded_until: &mut [Option<u64>],
+) {
+    for (wi, window) in excluded_until.iter_mut().enumerate() {
+        if let Some(until) = *window {
+            if iter >= until {
+                *window = None;
+                shared.misses[wi].store(0, Ordering::Relaxed);
+                if let Some(o) = &shared.obs {
+                    o.excluded_workers.add(-1);
+                    o.tracer().instant("slot_readmitted", Ids::none().jobs(wi as u64));
+                }
+            }
+        }
+    }
+    let mut active_workers = excluded_until.iter().filter(|e| e.is_none()).count();
+    for (wi, window) in excluded_until.iter_mut().enumerate() {
+        if active_workers <= 1 {
+            break;
+        }
+        if window.is_none()
+            && shared.misses[wi].load(Ordering::Relaxed) >= shared.ft.exclusion_threshold
+        {
+            *window = Some(iter + shared.ft.exclusion_window_iters);
+            active_workers -= 1;
+            if let Some(o) = &shared.obs {
+                o.workers_excluded.inc();
+                o.excluded_workers.add(1);
+                o.tracer().instant("slot_excluded", Ids::none().jobs(wi as u64));
+            }
+        }
+    }
+}
+
+/// Scan one segment once, running every active job's map over each block
+/// on the persistent scan pool (the cooperative path: one shared block
+/// cursor, no retry). Jobs declaring
 /// [`map_is_per_token`](MapReduceJob::map_is_per_token) share one
-/// tokenization of each line.
+/// tokenization of each block. Each job's work on each block runs under
+/// `catch_unwind`, so a panicking map marks **that job** failed and the
+/// scan continues for the rest.
 fn scan_segment<J: MapReduceJob + 'static>(
     shared: &ServerShared<J>,
     active: &[ActiveJob<J>],
@@ -498,19 +876,17 @@ fn scan_segment<J: MapReduceJob + 'static>(
     start: usize,
     end: usize,
     pool: &WorkerPool,
+    iter: u64,
 ) {
     if active.is_empty() || start == end {
         return;
     }
     let next = AtomicUsize::new(start);
     let store = &shared.store;
+    let faults = shared.faults.as_deref();
     // A one-block segment runs inline on the coordinator (fan_out 1 —
     // zero cross-thread handoff); wider segments fan out over the pool.
     let fan_out = pool.num_threads().min(end - start);
-    let token_pos: Vec<usize> =
-        (0..active.len()).filter(|&i| active[i].job.map_is_per_token()).collect();
-    let line_pos: Vec<usize> =
-        (0..active.len()).filter(|&i| !active[i].job.map_is_per_token()).collect();
 
     pool.broadcast(fan_out, &|wi| {
         let mut slot = slots[wi].lock();
@@ -533,37 +909,422 @@ fn scan_segment<J: MapReduceJob + 'static>(
                 }
             })
             .collect();
+        let mut tokens: Vec<&str> = Vec::new();
         loop {
             let idx = next.fetch_add(1, Ordering::Relaxed);
             if idx >= end {
                 break;
             }
+            if let Some(f) = faults {
+                let d = f.map_delay_us(wi, iter);
+                if d > 0 {
+                    std::thread::sleep(Duration::from_micros(d));
+                }
+            }
             let block = store.block(idx);
-            for line in block.lines() {
-                if !token_pos.is_empty() {
-                    // One tokenization pass shared by every token job.
-                    for token in line.split_whitespace() {
-                        for &pos in &token_pos {
-                            let job = &*active[pos].job;
-                            let JobPartial { emitted, acc } = &mut slot[idxs[pos]].1;
-                            job.map_token(token, &mut |k, v| {
+            tokens.clear();
+            let mut tokenized = false;
+            for (pos, a) in active.iter().enumerate() {
+                if a.failure.failed() {
+                    continue;
+                }
+                let job = &*a.job;
+                let per_token = job.map_is_per_token();
+                let JobPartial { emitted, acc } = &mut slot[idxs[pos]].1;
+                // Quarantine granularity: one (job, block) unit. A panic
+                // may leave this job's partial half-updated for the block;
+                // that is fine — a failed job's state is purged, never
+                // published.
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    if let Some(f) = faults {
+                        if f.panics_map(a.id, a.segments_done) {
+                            panic!("injected map panic (job {})", a.id);
+                        }
+                    }
+                    if per_token {
+                        if !tokenized {
+                            // One tokenization shared by every token job.
+                            tokens.extend(block.split_whitespace());
+                            tokenized = true;
+                        }
+                        for tk in &tokens {
+                            job.map_token(tk, &mut |k, v| {
+                                *emitted += 1;
+                                acc.push(job, k, v);
+                            });
+                        }
+                    } else {
+                        for line in block.lines() {
+                            job.map(line, &mut |k, v| {
                                 *emitted += 1;
                                 acc.push(job, k, v);
                             });
                         }
                     }
-                }
-                for &pos in &line_pos {
-                    let job = &*active[pos].job;
-                    let JobPartial { emitted, acc } = &mut slot[idxs[pos]].1;
-                    job.map(line, &mut |k, v| {
-                        *emitted += 1;
-                        acc.push(job, k, v);
-                    });
+                }));
+                if let Err(p) = result {
+                    a.failure.record(p);
                 }
             }
         }
     });
+}
+
+/// Block-claim state for the speculative path. `state` encodes the claim:
+/// 0 = unclaimed, [`COMMITTED`] = committed, anything else is a claim
+/// token whose low 48 bits are the claim timestamp (µs since the segment
+/// epoch) — a speculator can tell an expired claim from the token alone.
+struct BlockTask {
+    state: AtomicU64,
+    /// Virtual worker holding the current claim (for miss accounting).
+    owner: AtomicUsize,
+    attempts: AtomicU64,
+}
+
+const COMMITTED: u64 = u64::MAX;
+const TS_MASK: u64 = (1 << 48) - 1;
+
+/// One job's snapshot inside a speculative segment run.
+struct SegJob<J: MapReduceJob> {
+    id: u64,
+    job: Arc<J>,
+    failure: Arc<JobFailure>,
+    segments_done: u64,
+}
+
+/// Everything a speculative segment's detached worker tasks share.
+struct SegmentRun<J: MapReduceJob> {
+    shared: Arc<ServerShared<J>>,
+    slots: Arc<Vec<Mutex<Slot<J>>>>,
+    jobs: Vec<SegJob<J>>,
+    tasks: Vec<BlockTask>,
+    /// First block index of the segment.
+    start: usize,
+    iter: u64,
+    deadline_us: u64,
+    committed: AtomicUsize,
+    next_seq: AtomicU64,
+    epoch: Instant,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+impl<J: MapReduceJob> SegmentRun<J> {
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// A fresh claim token: unique (sequence in the high bits, never 0 or
+    /// all-ones) and carrying its own timestamp (low 48 bits).
+    fn make_token(&self) -> u64 {
+        let seq = (self.next_seq.fetch_add(1, Ordering::Relaxed) & 0x7FFF) + 1;
+        (seq << 48) | (self.now_us() & TS_MASK)
+    }
+
+    /// Claim a block for worker `wi`: an unclaimed block if any (workers
+    /// start their search at staggered offsets to spread contention),
+    /// otherwise speculate on an expired claim. `None` means nothing is
+    /// claimable right now.
+    fn claim(&self, wi: usize) -> Option<(usize, u64, bool)> {
+        let n = self.tasks.len();
+        let hint = (wi * n) / self.shared.misses.len().max(1);
+        for off in 0..n {
+            let ti = (hint + off) % n;
+            let t = &self.tasks[ti];
+            if t.state.load(Ordering::Relaxed) == 0 {
+                let token = self.make_token();
+                if t
+                    .state
+                    .compare_exchange(0, token, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    t.owner.store(wi, Ordering::Relaxed);
+                    t.attempts.fetch_add(1, Ordering::Relaxed);
+                    return Some((ti, token, false));
+                }
+            }
+        }
+        // No unclaimed block: look for a claim past its deadline — a
+        // stalled or lost task — and re-execute it (the paper's
+        // slot-checking recovery, per block).
+        let now = self.now_us();
+        for (ti, t) in self.tasks.iter().enumerate() {
+            let s = t.state.load(Ordering::Relaxed);
+            if s != 0 && s != COMMITTED && now.saturating_sub(s & TS_MASK) > self.deadline_us {
+                let token = self.make_token();
+                if t
+                    .state
+                    .compare_exchange(s, token, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    let victim = t.owner.load(Ordering::Relaxed).min(self.shared.misses.len() - 1);
+                    t.owner.store(wi, Ordering::Relaxed);
+                    t.attempts.fetch_add(1, Ordering::Relaxed);
+                    self.shared.misses[victim].fetch_add(1, Ordering::Relaxed);
+                    if let Some(o) = &self.shared.obs {
+                        o.tasks_speculated.inc();
+                        o.tracer().instant(
+                            "speculate",
+                            Ids::seg((self.start + ti) as u64).jobs(victim as u64),
+                        );
+                    }
+                    return Some((ti, token, true));
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Scan one segment with retryable per-block tasks: claim → process →
+/// first-result-wins commit, with deadline-based speculation. The
+/// coordinator waits for every block to **commit**, not for every worker
+/// to return — a stalled worker never wedges the segment cadence; its
+/// blocks get speculated and it exits on its own once it notices the
+/// segment is done.
+#[allow(clippy::too_many_arguments)]
+fn scan_segment_speculative<J: MapReduceJob + 'static>(
+    shared: &Arc<ServerShared<J>>,
+    active: &[ActiveJob<J>],
+    slots: &Arc<Vec<Mutex<Slot<J>>>>,
+    start: usize,
+    end: usize,
+    pool: &WorkerPool,
+    iter: u64,
+    excluded_until: &[Option<u64>],
+) {
+    if active.is_empty() || start == end {
+        return;
+    }
+    let nblocks = end - start;
+    let ewma = shared.ewma_block_us.load(Ordering::Relaxed);
+    let floor = shared.ft.deadline_floor.as_micros() as u64;
+    let deadline_us = if ewma == 0 {
+        floor
+    } else {
+        floor.max((ewma as f64 * shared.ft.deadline_slack) as u64)
+    };
+    let run = Arc::new(SegmentRun {
+        shared: Arc::clone(shared),
+        slots: Arc::clone(slots),
+        jobs: active
+            .iter()
+            .map(|a| SegJob {
+                id: a.id,
+                job: Arc::clone(&a.job),
+                failure: Arc::clone(&a.failure),
+                segments_done: a.segments_done,
+            })
+            .collect(),
+        tasks: (0..nblocks)
+            .map(|_| BlockTask {
+                state: AtomicU64::new(0),
+                owner: AtomicUsize::new(0),
+                attempts: AtomicU64::new(0),
+            })
+            .collect(),
+        start,
+        iter,
+        deadline_us,
+        committed: AtomicUsize::new(0),
+        next_seq: AtomicU64::new(0),
+        epoch: Instant::now(),
+        done: Mutex::new(false),
+        done_cv: Condvar::new(),
+    });
+    // Excluded workers sit this segment out entirely; `refresh_exclusions`
+    // guarantees at least one worker stays in.
+    let workers: Vec<usize> = (0..pool.num_threads())
+        .filter(|&wi| excluded_until[wi].is_none())
+        .take(nblocks)
+        .collect();
+    debug_assert!(!workers.is_empty());
+    for &wi in &workers {
+        let run = Arc::clone(&run);
+        pool.execute(move || seg_worker(run, wi));
+    }
+    let mut done = run.done.lock();
+    while !*done {
+        run.done_cv.wait(&mut done);
+    }
+}
+
+/// One virtual worker of a speculative segment run.
+fn seg_worker<J: MapReduceJob + 'static>(run: Arc<SegmentRun<J>>, wi: usize) {
+    let nblocks = run.tasks.len();
+    let wait_step = Duration::from_micros((run.deadline_us / 4).clamp(200, 2_000));
+    loop {
+        if run.committed.load(Ordering::Acquire) >= nblocks {
+            break;
+        }
+        let Some((ti, token, speculative)) = run.claim(wi) else {
+            // Nothing claimable: either the segment is about to finish or
+            // some claim will expire — wait a beat and re-check.
+            let mut done = run.done.lock();
+            if *done {
+                break;
+            }
+            run.done_cv.wait_for(&mut done, wait_step);
+            continue;
+        };
+        if let Some(f) = &run.shared.faults {
+            let d = f.map_delay_us(wi, run.iter);
+            if d > 0 {
+                std::thread::sleep(Duration::from_micros(d));
+            }
+        }
+        let t_start = run.now_us();
+        let locals = process_block(&run, run.start + ti);
+        if let Some(f) = &run.shared.faults {
+            if f.drops_task(wi, run.iter) {
+                // A lost task: the work happened but is never committed.
+                // The claim expires and deadline-based speculation — by
+                // another worker, or this one on a later pass — recovers
+                // the block. Recovery works even with a single worker.
+                continue;
+            }
+        }
+        // First-result-wins, idempotent commit: whoever finishes first
+        // commits, even if a speculator has since re-claimed the block.
+        // Exactly one CAS to COMMITTED ever succeeds, so each block's
+        // results enter the accumulators exactly once.
+        let task = &run.tasks[ti];
+        let won = loop {
+            let s = task.state.load(Ordering::Acquire);
+            if s == COMMITTED {
+                break false;
+            }
+            if task
+                .state
+                .compare_exchange(s, COMMITTED, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                break true;
+            }
+        };
+        if !won {
+            continue; // someone else's result landed first; discard ours
+        }
+        merge_locals(&run, wi, locals);
+        let now = run.now_us();
+        let elapsed = now.saturating_sub(t_start);
+        let prev = run.shared.ewma_block_us.load(Ordering::Relaxed);
+        let next = if prev == 0 { elapsed.max(1) } else { (prev * 7 + elapsed) / 8 };
+        run.shared.ewma_block_us.store(next.max(1), Ordering::Relaxed);
+        if speculative {
+            if let Some(o) = &run.shared.obs {
+                o.speculation_wins.inc();
+                o.recovery_us.record(now.saturating_sub(token & TS_MASK));
+            }
+        } else if elapsed <= run.deadline_us {
+            // An in-deadline commit clears the worker's miss streak.
+            run.shared.misses[wi].store(0, Ordering::Relaxed);
+        }
+        let done_count = run.committed.fetch_add(1, Ordering::AcqRel) + 1;
+        if done_count >= nblocks {
+            let mut done = run.done.lock();
+            *done = true;
+            run.done_cv.notify_all();
+        }
+    }
+}
+
+/// Run every (non-failed) job's map over one block into block-local
+/// accumulators. Per-(job, block) `catch_unwind`, same as the cooperative
+/// path. Returns one partial per job (`None` = job already failed, or
+/// failed here).
+fn process_block<J: MapReduceJob + 'static>(
+    run: &SegmentRun<J>,
+    block_idx: usize,
+) -> Vec<Option<JobPartial<J>>> {
+    let block = run.shared.store.block(block_idx);
+    let mut tokens: Vec<&str> = Vec::new();
+    let mut tokenized = false;
+    let mut out = Vec::with_capacity(run.jobs.len());
+    for sj in &run.jobs {
+        if sj.failure.failed() {
+            out.push(None);
+            continue;
+        }
+        let job = &*sj.job;
+        let per_token = job.map_is_per_token();
+        let mut partial = JobPartial {
+            emitted: 0,
+            acc: JobAcc::new(job.combine_is_fold()),
+        };
+        let result = {
+            let partial = &mut partial;
+            catch_unwind(AssertUnwindSafe(|| {
+                if let Some(f) = &run.shared.faults {
+                    if f.panics_map(sj.id, sj.segments_done) {
+                        panic!("injected map panic (job {})", sj.id);
+                    }
+                }
+                if per_token {
+                    if !tokenized {
+                        tokens.extend(block.split_whitespace());
+                        tokenized = true;
+                    }
+                    for tk in &tokens {
+                        job.map_token(tk, &mut |k, v| {
+                            partial.emitted += 1;
+                            partial.acc.push(job, k, v);
+                        });
+                    }
+                } else {
+                    for line in block.lines() {
+                        job.map(line, &mut |k, v| {
+                            partial.emitted += 1;
+                            partial.acc.push(job, k, v);
+                        });
+                    }
+                }
+            }))
+        };
+        match result {
+            Ok(()) => out.push(Some(partial)),
+            Err(p) => {
+                sj.failure.record(p);
+                out.push(None);
+            }
+        }
+    }
+    out
+}
+
+/// Fold a committed block's local accumulators into the worker's
+/// persistent slot. Runs user `combine_fold`, so it is caught per job too.
+fn merge_locals<J: MapReduceJob + 'static>(
+    run: &SegmentRun<J>,
+    wi: usize,
+    locals: Vec<Option<JobPartial<J>>>,
+) {
+    let mut slot = run.slots[wi].lock();
+    for (sj, local) in run.jobs.iter().zip(locals) {
+        let Some(local) = local else { continue };
+        if sj.failure.failed() {
+            continue;
+        }
+        let p = match slot.iter().position(|(id, _)| *id == sj.id) {
+            Some(p) => p,
+            None => {
+                slot.push((
+                    sj.id,
+                    JobPartial {
+                        emitted: 0,
+                        acc: JobAcc::new(sj.job.combine_is_fold()),
+                    },
+                ));
+                slot.len() - 1
+            }
+        };
+        let entry = &mut slot[p].1;
+        entry.emitted += local.emitted;
+        let result = catch_unwind(AssertUnwindSafe(|| entry.acc.merge(&*sj.job, local.acc)));
+        if let Err(p) = result {
+            sj.failure.record(p);
+        }
+    }
 }
 
 /// Finalization context shared by one finished job's reduce-pool tasks.
@@ -571,7 +1332,9 @@ struct FinishCtx<J: MapReduceJob> {
     job: Arc<J>,
     job_id: u64,
     submitted_us: u64,
-    handle: Arc<HandleState<J::K, J::Out>>,
+    completion: Completion<J::K, J::Out>,
+    failure: Arc<JobFailure>,
+    faults: Option<Arc<ArmedFaults>>,
     state: Mutex<FinishState<J>>,
     remaining: AtomicUsize,
     stats: ScanStats,
@@ -591,12 +1354,12 @@ struct FinishState<J: MapReduceJob> {
 /// Collect the finished job's worker partials (cheap: map moves, no record
 /// touches) and queue its combine+reduce on the reduce pool, sharded by
 /// key hash. The coordinator returns to scanning immediately; the last
-/// shard task to finish publishes the output and wakes the handle.
+/// shard task to finish publishes the result and wakes the handle.
 fn finish_job<J: MapReduceJob + 'static>(
     slots: &[Mutex<Slot<J>>],
     reduce_pool: &WorkerPool,
     job: ActiveJob<J>,
-    obs: Option<Arc<ServerObs>>,
+    shared: &Arc<ServerShared<J>>,
 ) {
     let mut partials: Vec<JobAcc<J>> = Vec::new();
     let mut map_output_records = 0u64;
@@ -614,6 +1377,7 @@ fn finish_job<J: MapReduceJob + 'static>(
             partials.push(partial.acc);
         }
     }
+    let obs = shared.obs.clone();
     if let Some(o) = &obs {
         o.map_records.add(map_output_records);
         if folded {
@@ -631,7 +1395,9 @@ fn finish_job<J: MapReduceJob + 'static>(
         job: job.job,
         job_id: job.id,
         submitted_us: job.submitted_us,
-        handle: job.handle,
+        completion: job.completion,
+        failure: job.failure,
+        faults: shared.faults.clone(),
         state: Mutex::new(FinishState {
             sharded: false,
             partials,
@@ -653,8 +1419,23 @@ fn finish_job<J: MapReduceJob + 'static>(
     }
 }
 
-fn run_finish_shard<J: MapReduceJob + 'static>(ctx: Arc<FinishCtx<J>>, s: usize, nshards: usize) {
-    let shard_t0 = ctx.obs.as_ref().map(|o| o.tracer().now_us());
+/// The combine+reduce work of one finalization shard, running user code
+/// (combine / combine_fold via bucket merging, reduce): extracted so
+/// [`run_finish_shard`] can run it under `catch_unwind`.
+fn finish_shard_inner<J: MapReduceJob + 'static>(
+    ctx: &FinishCtx<J>,
+    s: usize,
+    nshards: usize,
+) -> BTreeMap<J::K, J::Out> {
+    if let Some(f) = &ctx.faults {
+        let d = f.reduce_delay_us(ctx.job_id, s);
+        if d > 0 {
+            std::thread::sleep(Duration::from_micros(d));
+        }
+        if f.panics_reduce(ctx.job_id, s) {
+            panic!("injected reduce panic (job {} shard {s})", ctx.job_id);
+        }
+    }
     let bucket = {
         let mut st = ctx.state.lock();
         if !st.sharded {
@@ -710,6 +1491,21 @@ fn run_finish_shard<J: MapReduceJob + 'static>(ctx: Arc<FinishCtx<J>>, s: usize,
             }
         }
     }
+    part
+}
+
+fn run_finish_shard<J: MapReduceJob + 'static>(ctx: Arc<FinishCtx<J>>, s: usize, nshards: usize) {
+    let shard_t0 = ctx.obs.as_ref().map(|o| o.tracer().now_us());
+    // A panicking combine/reduce fails this job alone: the shard still
+    // completes (with an empty part), `remaining` still counts down, and
+    // the last shard publishes the failure instead of an output.
+    let part = match catch_unwind(AssertUnwindSafe(|| finish_shard_inner(&ctx, s, nshards))) {
+        Ok(part) => part,
+        Err(p) => {
+            ctx.failure.record(p);
+            BTreeMap::new()
+        }
+    };
     ctx.state.lock().parts[s] = Some(part);
     if let (Some(o), Some(t0)) = (&ctx.obs, shard_t0) {
         o.tracer()
@@ -719,6 +1515,15 @@ fn run_finish_shard<J: MapReduceJob + 'static>(ctx: Arc<FinishCtx<J>>, s: usize,
 
     if ctx.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
         // Last shard to finish merges and publishes.
+        if ctx.failure.failed() {
+            if let Some(o) = &ctx.obs {
+                o.jobs_quarantined.inc();
+                o.tracer().instant("quarantine", Ids::job(ctx.job_id));
+            }
+            ctx.completion
+                .publish(Err(JobError::Panicked(ctx.failure.message())));
+            return;
+        }
         let parts = std::mem::take(&mut ctx.state.lock().parts);
         let mut records = BTreeMap::new();
         for p in parts {
@@ -727,9 +1532,7 @@ fn run_finish_shard<J: MapReduceJob + 'static>(ctx: Arc<FinishCtx<J>>, s: usize,
         let mut stats = ctx.stats;
         stats.reduce_output_records = records.len() as u64;
         let output = JobOutput { records, stats };
-        let mut guard = ctx.handle.done.lock();
-        *guard = Some(output);
-        ctx.handle.cv.notify_all();
+        ctx.completion.publish(Ok(output));
         if let Some(o) = &ctx.obs {
             o.jobs_completed.inc();
             o.job_latency
@@ -743,6 +1546,7 @@ fn run_finish_shard<J: MapReduceJob + 'static>(ctx: Arc<FinishCtx<J>>, s: usize,
 mod tests {
     use super::*;
     use crate::exec::{run_job, ExecConfig};
+    use crate::fault::EngineFault;
     use crate::types::test_jobs::PrefixCount;
 
     fn store() -> BlockStore {
@@ -757,7 +1561,7 @@ mod tests {
         let s = store();
         let server = SharedScanServer::new(s.clone(), 2, 3);
         let h = server.submit(PrefixCount { prefix: "".into() });
-        let out = h.wait();
+        let out = h.wait().expect("job completed");
         let solo = run_job(&PrefixCount { prefix: "".into() }, &s, &ExecConfig::default());
         assert_eq!(out.records, solo.records);
         assert_eq!(out.stats.map_output_records, solo.stats.map_output_records);
@@ -775,7 +1579,7 @@ mod tests {
             .map(|p| server.submit(PrefixCount { prefix: p.to_string() }))
             .collect();
         for (p, h) in ["a", "b", "g", "d", ""].iter().zip(handles) {
-            let out = h.wait();
+            let out = h.wait().expect("job completed");
             let solo = run_job(
                 &PrefixCount { prefix: p.to_string() },
                 &s,
@@ -801,8 +1605,8 @@ mod tests {
         // Give the scan a moment to advance before the second job arrives.
         std::thread::sleep(std::time::Duration::from_millis(5));
         let second = server.submit(PrefixCount { prefix: "ga".into() });
-        let out1 = first.wait();
-        let out2 = second.wait();
+        let out1 = first.wait().expect("job completed");
+        let out2 = second.wait().expect("job completed");
         let solo2 = run_job(
             &PrefixCount { prefix: "ga".into() },
             &s,
@@ -825,7 +1629,7 @@ mod tests {
             joins.push(std::thread::spawn(move || {
                 let prefix = ["a", "b", "g"][i % 3].to_string();
                 let h = server.submit(PrefixCount { prefix: prefix.clone() });
-                let out = h.wait();
+                let out = h.wait().expect("job completed");
                 let solo = run_job(&PrefixCount { prefix }, &s, &ExecConfig::default());
                 assert_eq!(out.records, solo.records);
             }));
@@ -847,7 +1651,7 @@ mod tests {
         let mut got = None;
         for _ in 0..10_000 {
             if let Some(out) = h.try_take() {
-                got = Some(out);
+                got = Some(out.expect("job completed"));
                 break;
             }
             std::thread::sleep(std::time::Duration::from_millis(1));
@@ -883,10 +1687,162 @@ mod tests {
         let total_blocks = s.num_blocks() as u64;
         let server = SharedScanServer::new(s, 3, 2);
         let h = server.submit(PrefixCount { prefix: "".into() });
-        let out = h.wait();
+        let out = h.wait().expect("job completed");
         // One full revolution covers exactly the store, summed per segment.
         assert_eq!(out.stats.bytes_scanned, total_bytes);
         assert_eq!(out.stats.blocks_scanned, total_blocks);
+        server.shutdown();
+    }
+
+    #[test]
+    fn speculative_path_matches_run_job() {
+        let s = store();
+        let mut cfg = ServerConfig::new(2, 3);
+        cfg.ft = FtConfig::resilient();
+        cfg.ft.deadline_floor = Duration::from_millis(3);
+        let server = SharedScanServer::with_config(s.clone(), cfg);
+        let handles = server.submit_all(vec![
+            PrefixCount { prefix: "a".into() },
+            PrefixCount { prefix: "".into() },
+            PrefixCount { prefix: "ga".into() },
+        ]);
+        for (p, h) in ["a", "", "ga"].iter().zip(handles) {
+            let out = h.wait().expect("job completed");
+            let solo = run_job(
+                &PrefixCount { prefix: p.to_string() },
+                &s,
+                &ExecConfig::default(),
+            );
+            assert_eq!(out.records, solo.records, "prefix {p:?}");
+            assert_eq!(out.stats.map_output_records, solo.stats.map_output_records);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn injected_map_panic_quarantines_that_job_alone() {
+        let s = store();
+        let obs = Obs::new();
+        let mut cfg = ServerConfig::new(2, 3);
+        cfg.obs = obs.clone();
+        cfg.faults = Some(FaultPlan {
+            faults: vec![EngineFault::PanicMap {
+                job: 0,
+                after_segments: 1,
+            }],
+        });
+        let server = SharedScanServer::with_config(s.clone(), cfg);
+        let handles = server.submit_all(vec![
+            PrefixCount { prefix: "a".into() },
+            PrefixCount { prefix: "b".into() },
+        ]);
+        let mut it = handles.into_iter();
+        let doomed = it.next().unwrap().wait();
+        let survivor = it.next().unwrap().wait().expect("co-rider unaffected");
+        match doomed {
+            Err(JobError::Panicked(msg)) => assert!(msg.contains("injected map panic")),
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        let solo = run_job(
+            &PrefixCount { prefix: "b".into() },
+            &s,
+            &ExecConfig::default(),
+        );
+        assert_eq!(survivor.records, solo.records);
+        server.shutdown();
+        let snap = obs.snapshot().unwrap();
+        assert_eq!(snap.counter("engine.jobs_quarantined"), 1);
+        assert_eq!(snap.counter("engine.jobs_completed"), 1);
+    }
+
+    #[test]
+    fn injected_reduce_panic_fails_only_that_job() {
+        let s = store();
+        let obs = Obs::new();
+        let mut cfg = ServerConfig::new(4, 2);
+        cfg.obs = obs.clone();
+        cfg.faults = Some(FaultPlan {
+            faults: vec![EngineFault::PanicReduce { job: 1, shard: 0 }],
+        });
+        let server = SharedScanServer::with_config(s.clone(), cfg);
+        let handles = server.submit_all(vec![
+            PrefixCount { prefix: "a".into() },
+            PrefixCount { prefix: "b".into() },
+        ]);
+        let mut it = handles.into_iter();
+        let ok = it.next().unwrap().wait().expect("unfaulted job completes");
+        let failed = it.next().unwrap().wait();
+        let solo = run_job(
+            &PrefixCount { prefix: "a".into() },
+            &s,
+            &ExecConfig::default(),
+        );
+        assert_eq!(ok.records, solo.records);
+        match failed {
+            Err(JobError::Panicked(msg)) => assert!(msg.contains("injected reduce panic")),
+            other => panic!("expected reduce quarantine, got {other:?}"),
+        }
+        server.shutdown();
+        assert_eq!(obs.snapshot().unwrap().counter("engine.jobs_quarantined"), 1);
+    }
+
+    #[test]
+    fn killed_coordinator_aborts_every_job_without_hanging() {
+        let s = store();
+        let obs = Obs::new();
+        let mut cfg = ServerConfig::new(1, 2);
+        cfg.obs = obs.clone();
+        cfg.faults = Some(FaultPlan {
+            faults: vec![EngineFault::KillCoordinator { at_iter: 1 }],
+        });
+        let server = SharedScanServer::with_config(s, cfg);
+        let handles = server.submit_all(vec![
+            PrefixCount { prefix: "a".into() },
+            PrefixCount { prefix: "b".into() },
+            PrefixCount { prefix: "".into() },
+        ]);
+        for h in handles {
+            assert_eq!(h.wait(), Err(JobError::Aborted));
+        }
+        // Shutdown after coordinator death must not panic or hang.
+        server.shutdown();
+        assert_eq!(obs.snapshot().unwrap().counter("engine.jobs_aborted"), 3);
+    }
+
+    #[test]
+    fn user_map_panic_is_quarantined() {
+        // A genuinely panicking user job (no fault injection): the panic
+        // payload flows through to the handle.
+        struct Bomb {
+            arm: bool,
+        }
+        impl MapReduceJob for Bomb {
+            type K = String;
+            type V = i64;
+            type Out = i64;
+            fn map(&self, line: &str, emit: &mut dyn FnMut(String, i64)) {
+                if self.arm && line.contains("gamma") {
+                    panic!("boom on gamma");
+                }
+                for w in line.split_whitespace() {
+                    emit(w.to_string(), 1);
+                }
+            }
+            fn reduce(&self, _k: &String, v: &[i64]) -> Option<i64> {
+                Some(v.iter().sum())
+            }
+        }
+        let s = store();
+        let server = SharedScanServer::new(s.clone(), 2, 3);
+        let handles = server.submit_all(vec![Bomb { arm: true }, Bomb { arm: false }]);
+        let mut it = handles.into_iter();
+        match it.next().unwrap().wait() {
+            Err(JobError::Panicked(msg)) => assert!(msg.contains("boom on gamma"), "{msg}"),
+            other => panic!("expected panic quarantine, got {other:?}"),
+        }
+        let survivor = it.next().unwrap().wait().expect("co-rider survives");
+        let solo = run_job(&Bomb { arm: false }, &s, &ExecConfig::default());
+        assert_eq!(survivor.records, solo.records);
         server.shutdown();
     }
 }

@@ -1,6 +1,43 @@
-//! The job interface: user-defined map, combine, and reduce logic.
+//! The job interface: user-defined map, combine, and reduce logic — and
+//! the error type a job can fail with when it runs on the fault-tolerant
+//! shared-scan server.
 
 use std::hash::Hash;
+
+/// Why a job submitted to the shared-scan server produced no output.
+///
+/// User code is untrusted from the runtime's point of view: a `map`,
+/// `combine`, or `reduce` that panics fails *its own job* with
+/// [`JobError::Panicked`] (carrying the panic payload) while the shared
+/// scan and every co-riding job continue. [`JobError::Aborted`] means the
+/// runtime shut down — the coordinator died or the server was shut down —
+/// before the job's revolution completed; it is never silently lost and
+/// its handle never hangs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The job's own map/combine/reduce panicked; the payload's message.
+    /// The job was quarantined — removed from the scan with its partial
+    /// state discarded — without disturbing any other job.
+    Panicked(String),
+    /// The runtime went away before the job finished (server shutdown or
+    /// coordinator death), so the job's output will never be produced.
+    Aborted,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
+            JobError::Aborted => write!(f, "job aborted: runtime shut down before completion"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// What a [`crate::JobHandle`] resolves to: the job's output relation, or
+/// the reason it failed.
+pub type JobResult<K, Out> = Result<crate::exec::JobOutput<K, Out>, JobError>;
 
 /// A MapReduce job over newline-delimited text blocks.
 ///

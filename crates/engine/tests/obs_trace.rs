@@ -49,7 +49,7 @@ fn every_submitted_job_reaches_a_terminal_event() {
     let server = SharedScanServer::new_observed(store(), 2, 3, &obs);
     let handles: Vec<_> = (0..JOBS).map(|_| server.submit(Count)).collect();
     for h in handles {
-        h.wait();
+        h.wait().expect("job completed");
     }
     let iterations = server.iterations();
     let blocks_scanned = server.blocks_scanned();
@@ -110,6 +110,13 @@ fn every_submitted_job_reaches_a_terminal_event() {
     );
     assert_eq!(snap.gauges["engine.active_jobs"], 0, "all jobs drained");
 
+    // The server's named pools export panic counters; a healthy run has
+    // zero panicked tasks and zero quarantined jobs.
+    assert_eq!(snap.counter("pool.scan.tasks_panicked"), 0);
+    assert_eq!(snap.counter("pool.reduce.tasks_panicked"), 0);
+    assert_eq!(snap.counter("engine.jobs_quarantined"), 0);
+    assert_eq!(snap.counter("engine.jobs_aborted"), 0);
+
     // The drained trace exports to a schema-valid Chrome trace.
     let mut chrome = vec![ChromeEvent::process_name(1, "s3-engine")];
     chrome.extend(events.iter().map(|e| engine_event_to_chrome(e, 1, "engine")));
@@ -123,7 +130,7 @@ fn every_submitted_job_reaches_a_terminal_event() {
 fn unobserved_server_records_nothing_and_costs_no_instruments() {
     let obs = Obs::off();
     let server = SharedScanServer::new_observed(store(), 2, 2, &obs);
-    server.submit(Count).wait();
+    server.submit(Count).wait().expect("job completed");
     server.shutdown();
     assert!(obs.snapshot().is_none(), "Obs::off has no registry");
 }

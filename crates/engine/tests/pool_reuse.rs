@@ -127,7 +127,7 @@ fn outputs_identical_across_thread_counts() {
             .map(|p| server.submit(Count(p.to_string())))
             .collect();
         for ((p, base), h) in prefixes.iter().zip(&reference).zip(handles) {
-            let out = h.wait();
+            let out = h.wait().expect("job completed");
             assert_eq!(out.records, base.records, "server threads={threads} p={p:?}");
             assert_eq!(out.stats.map_output_records, base.stats.map_output_records);
         }
@@ -144,7 +144,10 @@ fn server_thread_creation_is_constant() {
     let num_threads = 3;
     let server = SharedScanServer::new(s.clone(), 1, num_threads);
 
-    let first = server.submit(Count(String::new())).wait();
+    let first = server
+        .submit(Count(String::new()))
+        .wait()
+        .expect("job completed");
     let spawned_after_one = server.pool_threads_spawned();
     assert_eq!(
         spawned_after_one,
@@ -153,7 +156,10 @@ fn server_thread_creation_is_constant() {
     );
 
     for p in ["a", "be", "ga", "de", ""] {
-        let out = server.submit(Count(p.to_string())).wait();
+        let out = server
+            .submit(Count(p.to_string()))
+            .wait()
+            .expect("job completed");
         if p.is_empty() {
             assert_eq!(out.records, first.records);
         }
@@ -194,7 +200,7 @@ fn heavy_reduce_does_not_stall_the_scan() {
     });
 
     let t0 = Instant::now();
-    let light_out = light.wait();
+    let light_out = light.wait().expect("job completed");
     let light_wait = t0.elapsed();
     assert_eq!(light_out.records["total"], expected_total);
 
@@ -208,7 +214,7 @@ fn heavy_reduce_does_not_stall_the_scan() {
         "heavy reduce should still be running when the light job completes \
          (light waited {light_wait:?})"
     );
-    let heavy_out = heavy.wait();
+    let heavy_out = heavy.wait().expect("job completed");
     assert_eq!(heavy_out.records["total"], expected_total);
     server.shutdown();
 }
@@ -242,7 +248,8 @@ fn chaos_rapid_create_submit_shutdown_never_hangs_or_loses_outputs() {
         for (i, h) in handles.into_iter().enumerate() {
             let out = h
                 .try_take()
-                .unwrap_or_else(|| panic!("seed {seed}: job {i} lost its output at shutdown"));
+                .unwrap_or_else(|| panic!("seed {seed}: job {i} lost its output at shutdown"))
+                .expect("job completed");
             assert_eq!(out.records, expected.records, "seed {seed}: job {i}");
         }
     }
@@ -268,7 +275,8 @@ fn shutdown_drains_every_queued_finalization() {
     for (i, h) in handles.into_iter().enumerate() {
         let out = h
             .try_take()
-            .unwrap_or_else(|| panic!("job {i} lost its output at shutdown"));
+            .unwrap_or_else(|| panic!("job {i} lost its output at shutdown"))
+            .expect("job completed");
         assert_eq!(out.records, reference.records, "job {i}");
     }
 }

@@ -28,11 +28,19 @@
 //!    of the file's block sequence — batches only merge sub-jobs targeting
 //!    the same segment.
 
+//!
+//! [`check_engine_events`] applies the same discipline to the *real*
+//! engine: it checks a drained `s3-obs` trace from a
+//! `s3_engine::SharedScanServer` run — possibly one with injected faults —
+//! for the engine-level safety properties (unique terminal outcome per
+//! job, single admission, well-paired worker exclusion).
+
 use crate::batch::BatchKey;
 use crate::job::{JobId, JobRequest};
 use crate::trace::{Trace, TraceEvent, TraceKind};
 use s3_cluster::{ClusterTopology, FailureSchedule, NodeId};
 use s3_dfs::{BlockId, Dfs, FileId};
+use s3_obs::trace::{Event as ObsEvent, NO_ID};
 use s3_sim::SimTime;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -435,6 +443,134 @@ impl InvariantChecker<'_> {
     }
 }
 
+/// Check a drained `s3-obs` engine trace (from a
+/// `s3_engine::SharedScanServer` run, faulty or not) for the engine-level
+/// safety invariants. Empty result means all hold.
+///
+/// 1. **Unique terminal** — every `submit` reaches exactly one terminal
+///    event (`job_done`, `quarantine`, or `job_aborted`), no earlier than
+///    its submission; no terminal names an unsubmitted job.
+/// 2. **Single admission** — a job is admitted at most once, and a job
+///    that finished cleanly (`job_done`) or panicked mid-scan
+///    (`quarantine`) was admitted exactly once. Only `job_aborted` may
+///    hit a never-admitted job (shutdown raced the submit).
+/// 3. **Paired exclusion** — per worker, `slot_excluded` and
+///    `slot_readmitted` strictly alternate starting with an exclusion.
+pub fn check_engine_events(events: &[ObsEvent]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let at = |ts_us: u64| SimTime::from_micros(ts_us);
+
+    // Per job id: (submit ts, admits, job_done, quarantine, job_aborted).
+    #[derive(Default)]
+    struct JobView {
+        submit: Option<u64>,
+        admits: u32,
+        done: u32,
+        quarantined: u32,
+        aborted: u32,
+        first_terminal_ts: Option<u64>,
+    }
+    let mut jobs: BTreeMap<u64, JobView> = BTreeMap::new();
+    let mut excluded: BTreeSet<u64> = BTreeSet::new();
+    for e in events {
+        match e.name {
+            "submit" | "admit" | "job_done" | "quarantine" | "job_aborted" => {
+                if e.ids.job == NO_ID {
+                    out.push(Violation {
+                        invariant: "engine-terminal",
+                        at: at(e.ts_us),
+                        detail: format!("{:?} event without a job id", e.name),
+                    });
+                    continue;
+                }
+                let v = jobs.entry(e.ids.job).or_default();
+                match e.name {
+                    "submit" => v.submit = Some(v.submit.unwrap_or(e.ts_us)),
+                    "admit" => v.admits += 1,
+                    "job_done" => v.done += 1,
+                    "quarantine" => v.quarantined += 1,
+                    "job_aborted" => v.aborted += 1,
+                    _ => unreachable!(),
+                }
+                if matches!(e.name, "job_done" | "quarantine" | "job_aborted")
+                    && v.first_terminal_ts.is_none()
+                {
+                    v.first_terminal_ts = Some(e.ts_us);
+                }
+            }
+            // Worker exclusion events carry the worker index in `ids.n`.
+            "slot_excluded" if !excluded.insert(e.ids.n) => {
+                out.push(Violation {
+                    invariant: "engine-exclusion",
+                    at: at(e.ts_us),
+                    detail: format!("worker {} excluded twice", e.ids.n),
+                });
+            }
+            "slot_readmitted" if !excluded.remove(&e.ids.n) => {
+                out.push(Violation {
+                    invariant: "engine-exclusion",
+                    at: at(e.ts_us),
+                    detail: format!("worker {} readmitted but was not excluded", e.ids.n),
+                });
+            }
+            _ => {}
+        }
+    }
+
+    for (id, v) in &jobs {
+        let terminals = v.done + v.quarantined + v.aborted;
+        match v.submit {
+            None => {
+                out.push(Violation {
+                    invariant: "engine-terminal",
+                    at: SimTime::ZERO,
+                    detail: format!("job {id} has events but was never submitted"),
+                });
+                continue;
+            }
+            Some(submit_ts) => {
+                if terminals != 1 {
+                    out.push(Violation {
+                        invariant: "engine-terminal",
+                        at: SimTime::ZERO,
+                        detail: format!(
+                            "job {id} reached {terminals} terminal events \
+                             ({} done, {} quarantined, {} aborted); expected exactly 1",
+                            v.done, v.quarantined, v.aborted
+                        ),
+                    });
+                }
+                if let Some(term_ts) = v.first_terminal_ts {
+                    if term_ts < submit_ts {
+                        out.push(Violation {
+                            invariant: "engine-terminal",
+                            at: at(term_ts),
+                            detail: format!("job {id} terminal precedes its submission"),
+                        });
+                    }
+                }
+            }
+        }
+        if v.admits > 1 {
+            out.push(Violation {
+                invariant: "engine-admission",
+                at: SimTime::ZERO,
+                detail: format!("job {id} admitted {} times", v.admits),
+            });
+        }
+        if v.admits == 0 && (v.done > 0 || v.quarantined > 0) {
+            out.push(Violation {
+                invariant: "engine-admission",
+                at: SimTime::ZERO,
+                detail: format!(
+                    "job {id} reached a scanning terminal without ever being admitted"
+                ),
+            });
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -780,6 +916,122 @@ mod tests {
             .collect();
         assert_eq!(contiguity.len(), 1, "only batch 0 is split: {violations:?}");
         assert!(contiguity[0].detail.contains("BatchKey(0)"), "{contiguity:?}");
+    }
+
+    mod engine_events {
+        use super::super::check_engine_events;
+        use s3_obs::trace::{Event, Ids, Phase};
+
+        fn ev(ts_us: u64, name: &'static str, ids: Ids) -> Event {
+            Event {
+                ts_us,
+                dur_us: 0,
+                name,
+                ph: Phase::Instant,
+                tid: 0,
+                ids,
+            }
+        }
+
+        #[test]
+        fn clean_and_faulty_lifecycles_pass() {
+            // Job 0 completes, job 1 is quarantined mid-scan, job 2 is
+            // aborted before admission; worker 1 is excluded then
+            // readmitted. All legal.
+            let events = vec![
+                ev(0, "submit", Ids::job(0)),
+                ev(1, "submit", Ids::job(1)),
+                ev(2, "submit", Ids::job(2)),
+                ev(3, "admit", Ids::job(0).jobs(0)),
+                ev(3, "admit", Ids::job(1).jobs(0)),
+                ev(4, "slot_excluded", Ids::none().jobs(1)),
+                ev(5, "quarantine", Ids::job(1)),
+                ev(6, "slot_readmitted", Ids::none().jobs(1)),
+                ev(7, "job_done", Ids::job(0)),
+                ev(8, "job_aborted", Ids::job(2)),
+            ];
+            assert_eq!(check_engine_events(&events), vec![]);
+        }
+
+        #[test]
+        fn missing_terminal_is_flagged() {
+            let events = vec![
+                ev(0, "submit", Ids::job(0)),
+                ev(1, "admit", Ids::job(0).jobs(0)),
+            ];
+            let v = check_engine_events(&events);
+            assert!(
+                v.iter().any(|v| v.invariant == "engine-terminal"
+                    && v.detail.contains("0 terminal")),
+                "{v:?}"
+            );
+        }
+
+        #[test]
+        fn double_terminal_is_flagged() {
+            let events = vec![
+                ev(0, "submit", Ids::job(0)),
+                ev(1, "admit", Ids::job(0).jobs(0)),
+                ev(2, "job_done", Ids::job(0)),
+                ev(3, "job_aborted", Ids::job(0)),
+            ];
+            let v = check_engine_events(&events);
+            assert!(
+                v.iter().any(|v| v.invariant == "engine-terminal"
+                    && v.detail.contains("2 terminal")),
+                "{v:?}"
+            );
+        }
+
+        #[test]
+        fn done_without_admission_is_flagged() {
+            let events = vec![
+                ev(0, "submit", Ids::job(0)),
+                ev(1, "job_done", Ids::job(0)),
+            ];
+            let v = check_engine_events(&events);
+            assert!(
+                v.iter().any(|v| v.invariant == "engine-admission"),
+                "{v:?}"
+            );
+            // ...but an abort without admission is the shutdown race, legal.
+            let events = vec![
+                ev(0, "submit", Ids::job(0)),
+                ev(1, "job_aborted", Ids::job(0)),
+            ];
+            assert_eq!(check_engine_events(&events), vec![]);
+        }
+
+        #[test]
+        fn unpaired_exclusion_is_flagged() {
+            let events = vec![
+                ev(0, "slot_excluded", Ids::none().jobs(2)),
+                ev(1, "slot_excluded", Ids::none().jobs(2)),
+                ev(2, "slot_readmitted", Ids::none().jobs(3)),
+            ];
+            let v = check_engine_events(&events);
+            assert!(
+                v.iter().any(|v| v.invariant == "engine-exclusion"
+                    && v.detail.contains("excluded twice")),
+                "{v:?}"
+            );
+            assert!(
+                v.iter().any(|v| v.invariant == "engine-exclusion"
+                    && v.detail.contains("was not excluded")),
+                "{v:?}"
+            );
+        }
+
+        #[test]
+        fn terminal_for_unknown_job_is_flagged() {
+            let events = vec![ev(0, "job_done", Ids::job(9))];
+            let v = check_engine_events(&events);
+            assert!(
+                v.iter().any(|v| v.invariant == "engine-terminal"
+                    && v.detail.contains("never submitted")),
+                "{v:?}"
+            );
+        }
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub use batch::{Batch, BatchKey};
 pub use cost::CostModel;
 pub use engine::{simulate, simulate_traced, EngineConfig, SimError, SpeculationConfig};
 pub use job::{JobId, JobProfile, JobRequest, JobTable, Priority};
-pub use invariants::{InvariantChecker, Violation};
+pub use invariants::{check_engine_events, InvariantChecker, Violation};
 pub use metrics::{JobOutcome, RunMetrics};
 pub use scheduler::{SchedCtx, SchedNote, Scheduler};
 pub use task::{Locality, MapTaskSpec, ReduceTaskSpec};

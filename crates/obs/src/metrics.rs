@@ -296,6 +296,23 @@ pub struct MetricsSnapshot {
     pub histograms: BTreeMap<String, HistogramSnapshot>,
 }
 
+impl MetricsSnapshot {
+    /// Counter total by name, defaulting to 0 for counters never touched.
+    ///
+    /// Instruments register lazily on first use, so a recovery counter
+    /// like `engine.jobs_quarantined` is absent from a snapshot of a run
+    /// with no faults; assertions and fuzzer oracles want "absent == 0"
+    /// rather than a map lookup panic.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value by name, defaulting to 0 when never touched.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+}
+
 enum Instrument {
     Counter(Arc<Counter>),
     Gauge(Arc<Gauge>),

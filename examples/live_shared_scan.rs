@@ -45,7 +45,7 @@ fn main() {
         "job", "submitted", "completed", "response", "out keys"
     );
     for (p, submitted, h) in handles {
-        let out = h.wait();
+        let out = h.wait().expect("job completed");
         let completed = t0.elapsed();
         println!(
             "{:<8} {:>11.0?} {:>11.0?} {:>11.0?} {:>10}",

@@ -69,7 +69,7 @@ fn main() {
         std::thread::sleep(Duration::from_millis(30));
     }
     for h in handles {
-        h.wait();
+        h.wait().expect("job completed");
     }
     stop.store(true, Ordering::Relaxed);
     monitor.join().expect("monitor thread");

@@ -64,6 +64,17 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     }
 }
 
+/// Whether a [`Condvar::wait_for`] returned because its timeout elapsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True when the wait ended by timeout rather than a notification.
+    pub fn timed_out(self) -> bool {
+        self.0
+    }
+}
+
 /// Condition variable working with [`MutexGuard`] by mutable reference.
 pub struct Condvar {
     inner: std::sync::Condvar,
@@ -84,6 +95,23 @@ impl Condvar {
             .wait(std_guard)
             .unwrap_or_else(|e| e.into_inner());
         guard.inner = Some(std_guard);
+    }
+
+    /// As [`Condvar::wait`], but give up after `timeout`. Returns a
+    /// [`WaitTimeoutResult`] telling whether the wait timed out (as in
+    /// parking_lot; spurious wakeups possible either way).
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let std_guard = guard.inner.take().expect("guard present outside wait");
+        let (std_guard, result) = self
+            .inner
+            .wait_timeout(std_guard, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(std_guard);
+        WaitTimeoutResult(result.timed_out())
     }
 
     /// Wake one waiter.
