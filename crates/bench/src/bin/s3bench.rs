@@ -9,13 +9,20 @@
 //!   concurrent jobs at `blocks_per_segment = 1` (the smallest segments,
 //!   where per-iteration fixed costs dominate);
 //! - **admission_latency_ms** — submit-to-complete latency of a probe job
-//!   submitted while a revolution is already live.
+//!   submitted while a revolution is already live;
+//! - **adaptive vs fixed** — the same shared workload under a persistent
+//!   1 ms/block straggler, with fixed one-block segments vs adaptive
+//!   sizing (the paper's dynamic sub-job adjustment) that can grow
+//!   segments up to 32 blocks as the measured cadence allows.
 //!
 //! ```text
 //! cargo run --release -p s3-bench --bin s3bench -- [--quick] [--out PATH]
 //! ```
 
-use s3_engine::{run_job, BlockStore, ExecConfig, Obs, SharedScanServer};
+use s3_engine::{
+    run_job, AdaptiveConfig, BlockStore, EngineFault, ExecConfig, FaultPlan, FtConfig, Obs,
+    ServerConfig, SharedScanServer,
+};
 use s3_sim::SimRng;
 use s3_workloads::jobs::PatternWordCount;
 use s3_workloads::text::TextGen;
@@ -28,6 +35,11 @@ const THREADS: usize = 2;
 const REDUCERS: usize = 8;
 const SHARED_JOBS: usize = 4;
 const BLOCKS_PER_SEGMENT: usize = 1;
+/// Adaptive sizing may grow segments up to this many blocks in the
+/// adaptive-vs-fixed comparison.
+const ADAPTIVE_MAX_BPS: usize = 32;
+/// Injected per-block straggler delay for the comparison.
+const STRAGGLER_DELAY_US: u64 = 1_000;
 
 /// Pre-PR baseline, measured with this same harness at commit 299ce47
 /// (crossbeam::scope spawning `num_threads` OS threads on every segment
@@ -116,6 +128,51 @@ fn bench_admission_latency(store: &BlockStore, repeats: usize) -> f64 {
     median_ms(samples)
 }
 
+/// The same `SHARED_JOBS`-way shared revolution under a persistent
+/// straggler, with fixed one-block segments or adaptive sizing. Fixed
+/// mode pays the straggler (and the per-iteration fixed cost) on every
+/// block it claims; adaptive mode grows segments toward
+/// [`ADAPTIVE_MAX_BPS`] so healthy workers absorb more of each wave.
+fn bench_straggler(store: &BlockStore, repeats: usize, adaptive: bool) -> f64 {
+    let samples = (0..repeats)
+        .map(|_| {
+            time_ms(|| {
+                let mut cfg = ServerConfig::new(BLOCKS_PER_SEGMENT, THREADS);
+                cfg.ft = FtConfig {
+                    deadline_floor: Duration::from_millis(3),
+                    ..FtConfig::resilient()
+                };
+                cfg.faults = Some(FaultPlan {
+                    faults: vec![EngineFault::SlowWorker {
+                        worker: 0,
+                        from_iter: 0,
+                        until_iter: u64::MAX,
+                        delay_us: STRAGGLER_DELAY_US,
+                    }],
+                });
+                if adaptive {
+                    cfg.adaptive = AdaptiveConfig {
+                        enabled: true,
+                        target_cadence: Duration::from_millis(2),
+                        min_blocks_per_segment: 1,
+                        max_blocks_per_segment: ADAPTIVE_MAX_BPS,
+                    };
+                }
+                let server = SharedScanServer::with_config(store.clone(), cfg);
+                let handles: Vec<_> = prefixes(SHARED_JOBS)
+                    .into_iter()
+                    .map(|p| server.submit(PatternWordCount::prefix(p)))
+                    .collect();
+                for h in handles {
+                    h.wait().expect("job completed");
+                }
+                server.shutdown();
+            })
+        })
+        .collect();
+    median_ms(samples)
+}
+
 /// One observed shared-scan revolution (identical workload to
 /// [`bench_shared_scan`], outside the timed samples) whose `engine.*` /
 /// `pool.*` metrics snapshot is embedded in the report. The snapshot
@@ -174,6 +231,15 @@ fn main() {
     let admission_ms = bench_admission_latency(&store, repeats);
     eprintln!("  admission_latency     {admission_ms:>10.2} ms");
 
+    eprintln!(
+        "s3bench: {SHARED_JOBS}-way shared scan under a {STRAGGLER_DELAY_US} µs/block \
+         straggler, fixed bps={BLOCKS_PER_SEGMENT} vs adaptive (max {ADAPTIVE_MAX_BPS})..."
+    );
+    let fixed_straggler_ms = bench_straggler(&store, repeats, false);
+    eprintln!("  fixed_straggler       {fixed_straggler_ms:>10.2} ms");
+    let adaptive_straggler_ms = bench_straggler(&store, repeats, true);
+    eprintln!("  adaptive_straggler    {adaptive_straggler_ms:>10.2} ms");
+
     eprintln!("s3bench: capturing telemetry snapshot (observed shared scan)...");
     let metrics = capture_metrics_snapshot(&store);
 
@@ -216,6 +282,14 @@ fn main() {
             "single_job": (speedup(BASELINE_SINGLE_JOB_MS, single_job_ms)),
             "shared_scan_bps1": (speedup(BASELINE_SHARED_SCAN_BPS1_MS, shared_scan_ms)),
             "admission_latency": (speedup(BASELINE_ADMISSION_LATENCY_MS, admission_ms)),
+        },
+        "adaptive_vs_fixed": {
+            "note": "shared revolution under a persistent straggler; adaptive = dynamic sub-job adjustment, base/min 1 block, max 32",
+            "straggler_delay_us": STRAGGLER_DELAY_US,
+            "adaptive_max_blocks_per_segment": ADAPTIVE_MAX_BPS,
+            "fixed_straggler_ms": fixed_straggler_ms,
+            "adaptive_straggler_ms": adaptive_straggler_ms,
+            "speedup": (speedup(fixed_straggler_ms, adaptive_straggler_ms)),
         },
         "metrics": metrics,
     });

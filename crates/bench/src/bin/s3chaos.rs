@@ -34,9 +34,18 @@
 //! ([`check_engine_events`](s3_mapreduce::check_engine_events)) and a
 //! run-twice replay-identity proof.
 //!
+//! `s3chaos engine --adaptive` runs the engine fuzzer with adaptive
+//! segment sizing on and every plan guaranteed at least one straggler, so
+//! segment boundaries actually move mid-scan; plans keep only the
+//! outcome-neutral faults (stragglers, drops, reduce faults) because
+//! iteration-indexed map panics and coordinator kills land on different
+//! blocks once segment sizes drift. Each seed must additionally emit at
+//! least one `segment_resized` event, and every resize must stay inside
+//! the configured clamp.
+//!
 //! ```text
 //! s3chaos [--seeds N] [--seed K] [--verbose]
-//! s3chaos engine [--seeds N] [--seed K] [--verbose]
+//! s3chaos engine [--adaptive] [--seeds N] [--seed K] [--verbose]
 //! ```
 
 use s3_cluster::{ChaosConfig, ChaosPlan, ClusterTopology, NodeId};
@@ -65,13 +74,16 @@ fn usage() -> ! {
          \x20                       digests, byte-for-byte reproduction proof)\n  \
          s3chaos --verbose       one line per seed during a sweep\n  \
          s3chaos engine [...]    same flags, but fuzz the real shared-scan\n  \
-         \x20                       engine (default 100 seeds)"
+         \x20                       engine (default 100 seeds)\n  \
+         s3chaos engine --adaptive  engine fuzzing with adaptive segment\n  \
+         \x20                       sizing on (outcome-neutral faults only)"
     );
     std::process::exit(2)
 }
 
 struct Args {
     engine: bool,
+    adaptive: bool,
     seeds: u64,
     seed: Option<u64>,
     verbose: bool,
@@ -82,6 +94,7 @@ fn parse_args() -> Args {
     let engine = raw.first().map(String::as_str) == Some("engine");
     let mut args = Args {
         engine,
+        adaptive: false,
         seeds: if engine { 100 } else { 200 },
         seed: None,
         verbose: false,
@@ -96,9 +109,13 @@ fn parse_args() -> Args {
                 args.seed =
                     Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
             }
+            "--adaptive" => args.adaptive = true,
             "--verbose" | "-v" => args.verbose = true,
             _ => usage(),
         }
+    }
+    if args.adaptive && !args.engine {
+        usage()
     }
     args
 }
@@ -377,8 +394,8 @@ fn replay_one(seed: u64, cluster: &ClusterTopology, dataset: &Dataset, plan: &Ch
 /// accounting identity, and a run-twice replay proof.
 mod engine_fuzz {
     use s3_engine::{
-        run_job, BlockStore, EngineChaosConfig, EngineFault, ExecConfig, FaultPlan, FtConfig,
-        Obs, ServerConfig, SharedScanServer,
+        run_job, AdaptiveConfig, BlockStore, EngineChaosConfig, EngineFault, ExecConfig,
+        FaultPlan, FtConfig, Obs, ServerConfig, SharedScanServer,
     };
     use s3_mapreduce::check_engine_events;
     use s3_sim::SimRng;
@@ -388,6 +405,10 @@ mod engine_fuzz {
     use std::time::{Duration, Instant};
 
     const BLOCKS_PER_SEGMENT: usize = 4;
+    /// Clamp window for `--adaptive` runs; every `segment_resized` event
+    /// must land inside it.
+    const ADAPTIVE_MIN_BPS: usize = 1;
+    const ADAPTIVE_MAX_BPS: usize = 8;
     /// Per-seed jobs draw their prefix filters from this pool.
     const JOB_PREFIXES: [&str; 8] = ["", "a", "ba", "d", "ga", "ma", "s", "ta"];
     /// Salt separating the job-mix stream from the fault-plan stream.
@@ -401,19 +422,37 @@ mod engine_fuzz {
         store: BlockStore,
         cfg: EngineChaosConfig,
         num_segments: u64,
+        adaptive: bool,
         solo: BTreeMap<&'static str, BTreeMap<String, i64>>,
     }
 
-    pub fn build_world() -> World {
+    pub fn build_world(adaptive: bool) -> World {
         let text = TextGen::paper_like().generate(&mut SimRng::seed_from_u64(7), 96 << 10);
         let store = BlockStore::from_text(&text, 2048);
         let num_segments = store.num_blocks().div_ceil(BLOCKS_PER_SEGMENT) as u64;
         // Fault times are drawn from one revolution, so with gang
         // admission every generated map panic and coordinator kill
         // actually lands — the oracle below is exact, never vacuous.
-        let cfg = EngineChaosConfig {
-            horizon_iters: num_segments,
-            ..EngineChaosConfig::default()
+        let cfg = if adaptive {
+            // Adaptive sizing moves how many blocks one iteration covers,
+            // which shifts where iteration-indexed faults land. That is
+            // harmless for outcome-neutral faults (stragglers, drops,
+            // reduce faults — reduce faults key on job, not iteration)
+            // but would make the map-panic / coordinator-kill oracle
+            // guesswork, so those are zeroed. One straggler minimum
+            // guarantees every plan perturbs the measured scan cost.
+            EngineChaosConfig {
+                horizon_iters: num_segments,
+                min_slow: 1,
+                max_map_panics: 0,
+                coordinator_kill_prob: 0.0,
+                ..EngineChaosConfig::default()
+            }
+        } else {
+            EngineChaosConfig {
+                horizon_iters: num_segments,
+                ..EngineChaosConfig::default()
+            }
         };
         let solo = JOB_PREFIXES
             .iter()
@@ -433,6 +472,7 @@ mod engine_fuzz {
             store,
             cfg,
             num_segments,
+            adaptive,
             solo,
         }
     }
@@ -499,6 +539,14 @@ mod engine_fuzz {
             deadline_floor: Duration::from_millis(3),
             ..FtConfig::resilient()
         };
+        if world.adaptive {
+            cfg.adaptive = AdaptiveConfig {
+                enabled: true,
+                target_cadence: Duration::from_millis(2),
+                min_blocks_per_segment: ADAPTIVE_MIN_BPS,
+                max_blocks_per_segment: ADAPTIVE_MAX_BPS,
+            };
+        }
         cfg.faults = Some(plan.clone());
         let obs = cfg.obs.clone();
         let server = SharedScanServer::with_config(world.store.clone(), cfg);
@@ -563,6 +611,26 @@ mod engine_fuzz {
             violations.push(format!("trace dropped {} events", core.tracer.dropped()));
         }
         violations.extend(check_engine_events(&events).into_iter().map(|v| v.to_string()));
+
+        // Adaptive mode: the guaranteed straggler must move the segment
+        // size at least once, and every resize must land in the clamp.
+        if world.adaptive {
+            let resizes: Vec<_> = events.iter().filter(|e| e.name == "segment_resized").collect();
+            if resizes.is_empty() {
+                violations.push(
+                    "adaptive: no segment_resized event despite a guaranteed straggler".into(),
+                );
+            }
+            for ev in resizes {
+                let new = ev.ids.seg as usize;
+                if !(ADAPTIVE_MIN_BPS..=ADAPTIVE_MAX_BPS).contains(&new) {
+                    violations.push(format!(
+                        "adaptive: resize to {new} escapes the clamp \
+                         [{ADAPTIVE_MIN_BPS}, {ADAPTIVE_MAX_BPS}]"
+                    ));
+                }
+            }
+        }
 
         // Metrics accounting: every submitted job is in exactly one
         // terminal bucket, and the buckets match the oracle.
@@ -665,7 +733,7 @@ fn engine_main(args: &Args) -> ExitCode {
             default_hook(info);
         }
     }));
-    let world = engine_fuzz::build_world();
+    let world = engine_fuzz::build_world(args.adaptive);
     if let Some(seed) = args.seed {
         return if engine_fuzz::replay_one(&world, seed) {
             ExitCode::SUCCESS
@@ -673,7 +741,15 @@ fn engine_main(args: &Args) -> ExitCode {
             ExitCode::FAILURE
         };
     }
-    println!("s3chaos engine: fuzzing seeds 0..{} over the shared-scan server", args.seeds);
+    println!(
+        "s3chaos engine: fuzzing seeds 0..{} over the shared-scan server{}",
+        args.seeds,
+        if args.adaptive {
+            " (adaptive segment sizing)"
+        } else {
+            ""
+        }
+    );
     let mut failed_seeds = 0u64;
     for seed in 0..args.seeds {
         let plan = engine_fuzz::plan_for(&world, seed);

@@ -183,6 +183,9 @@ pub struct EngineChaosConfig {
     pub horizon_iters: u64,
     /// Reduce shards per job (the server's reduce-pool width).
     pub num_shards: usize,
+    /// Minimum stragglers per plan (default 0; the adaptive-mode fuzzer
+    /// raises it to guarantee every plan perturbs the measured scan cost).
+    pub min_slow: u32,
     /// Maximum straggler / drop / map-panic / reduce-fault counts.
     pub max_slow: u32,
     /// Maximum dropped tasks per plan.
@@ -204,6 +207,7 @@ impl Default for EngineChaosConfig {
             num_jobs: 4,
             horizon_iters: 40,
             num_shards: 3,
+            min_slow: 0,
             max_slow: 2,
             max_drops: 2,
             max_map_panics: 2,
@@ -229,7 +233,10 @@ impl FaultPlan {
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut faults = Vec::new();
 
-        let n_slow = rng.gen_range(0..=cfg.max_slow);
+        // `min_slow == 0` (the default) draws from `0..=max_slow`, the
+        // exact historical range — existing seeds reproduce byte-identical
+        // plans.
+        let n_slow = rng.gen_range(cfg.min_slow..=cfg.max_slow.max(cfg.min_slow));
         for _ in 0..n_slow {
             let from_iter = rng.gen_range(0..cfg.horizon_iters.max(1));
             faults.push(EngineFault::SlowWorker {
@@ -555,6 +562,23 @@ mod tests {
                     EngineFault::KillCoordinator { .. } => {}
                 }
             }
+        }
+    }
+
+    #[test]
+    fn min_slow_guarantees_a_straggler_in_every_plan() {
+        let cfg = EngineChaosConfig {
+            min_slow: 1,
+            ..EngineChaosConfig::default()
+        };
+        for seed in 0..100 {
+            let plan = FaultPlan::generate(seed, &cfg);
+            let stragglers = plan
+                .faults
+                .iter()
+                .filter(|f| matches!(f, EngineFault::SlowWorker { .. }))
+                .count();
+            assert!(stragglers >= 1, "seed {seed} generated no straggler");
         }
     }
 

@@ -43,6 +43,15 @@
 //! [`FaultPlan`] that injects delays, drops, panics, and coordinator
 //! death deterministically — the engine-level mirror of the simulator's
 //! `s3-cluster` chaos harness.
+//!
+//! ## Adaptive segments
+//!
+//! With [`AdaptiveConfig::enabled`] the server ports the paper's *dynamic
+//! sub-job adjustment* to the live engine: segment boundaries are
+//! recomputed at runtime from an EWMA of measured scan cost and the
+//! current non-excluded worker count, so one segment keeps filling one
+//! map wave as conditions drift — without ever changing job outputs
+//! (resized revolutions stay byte-identical to solo runs).
 
 pub mod exec;
 pub mod external;
@@ -61,7 +70,7 @@ pub use external::{
 pub use fault::{ArmedFaults, EngineChaosConfig, EngineFault, FaultPlan, FtConfig};
 pub use pool::WorkerPool;
 pub use s3_obs::Obs;
-pub use scan_server::{JobHandle, ServerConfig, SharedScanServer};
+pub use scan_server::{AdaptiveConfig, JobHandle, ServerConfig, SharedScanServer};
 pub use shared::{run_merged, run_merged_observed, run_merged_on};
 pub use store::BlockStore;
 pub use types::{JobError, JobResult, MapReduceJob};

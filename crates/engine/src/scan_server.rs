@@ -109,6 +109,10 @@ struct ServerObs {
     active_jobs: Arc<Gauge>,
     /// Workers currently sitting out an exclusion window.
     excluded_workers: Arc<Gauge>,
+    /// Adaptive boundary recomputations that changed the segment size.
+    segment_resizes: Arc<Counter>,
+    /// Current effective blocks-per-segment of the circular scan.
+    eff_bps: Arc<Gauge>,
     /// Gap between consecutive segment-scan starts while jobs are active.
     cadence: Arc<Histogram>,
     /// Duration of one segment scan.
@@ -143,6 +147,8 @@ impl ServerObs {
             fold_hits: m.counter("engine.combiner_fold_hits"),
             active_jobs: m.gauge("engine.active_jobs"),
             excluded_workers: m.gauge("engine.excluded_workers"),
+            segment_resizes: m.counter("engine.segment_resizes"),
+            eff_bps: m.gauge("engine.effective_blocks_per_segment"),
             cadence: m.histogram("engine.segment_cadence_us"),
             seg_scan: m.histogram("engine.segment_scan_us"),
             admission: m.histogram("engine.admission_latency_us"),
@@ -317,8 +323,13 @@ struct ActiveJob<J: MapReduceJob> {
     job: Arc<J>,
     completion: Completion<J::K, J::Out>,
     failure: Arc<JobFailure>,
-    /// Segments still to process (counts down from the segment count).
-    segments_remaining: usize,
+    /// Blocks of this job's revolution still to scan (counts down from the
+    /// store's block count). Block-denominated because adaptive resizing
+    /// means segments are not all the same size: each segment consumes
+    /// `min(segment_len, blocks_remaining)` and the job finishes when it
+    /// hits zero — exactly one revolution regardless of how boundaries
+    /// moved while it ran.
+    blocks_remaining: usize,
     /// Segments of this job's own revolution already completed (keys
     /// injected map panics deterministically, independent of admission
     /// timing).
@@ -359,10 +370,53 @@ impl<K: Ord, Out> JobHandle<K, Out> {
     }
 }
 
+/// Runtime segment-boundary adaptation — the live-engine port of the
+/// paper's *dynamic sub-job adjustment* (Section IV-B): one segment should
+/// fill one map wave, so when measured scan cost or the usable worker
+/// count drifts, the effective blocks-per-segment is recomputed at the
+/// next segment boundary instead of staying frozen at construction.
+///
+/// The coordinator keeps an EWMA of per-block worker cost (alpha 1/8,
+/// measured around each segment scan) and sizes the next segment as
+/// `workers * target_cadence / cost`, clamped to
+/// `[min_blocks_per_segment, max_blocks_per_segment]`. `workers` is the
+/// current non-excluded worker count, so a slot exclusion shrinks the
+/// wave and a readmission re-grows it. Every change bumps
+/// `engine.segment_resizes`, moves `engine.effective_blocks_per_segment`,
+/// and emits a `segment_resized` trace instant (new size in `ids.seg`,
+/// old size in `ids.n`).
+///
+/// Disabled by default: a server with `enabled == false` scans fixed
+/// segments of `blocks_per_segment` blocks, byte-identical to the
+/// pre-adaptive engine.
+#[derive(Clone, Debug)]
+pub struct AdaptiveConfig {
+    /// Turn runtime resizing on.
+    pub enabled: bool,
+    /// Target wall-clock duration of one segment scan (one map wave).
+    pub target_cadence: Duration,
+    /// Lower clamp on the effective blocks-per-segment.
+    pub min_blocks_per_segment: usize,
+    /// Upper clamp on the effective blocks-per-segment.
+    pub max_blocks_per_segment: usize,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            enabled: false,
+            target_cadence: Duration::from_millis(20),
+            min_blocks_per_segment: 1,
+            max_blocks_per_segment: 64,
+        }
+    }
+}
+
 /// Full construction parameters of a [`SharedScanServer`].
 #[derive(Clone)]
 pub struct ServerConfig {
-    /// Blocks per segment of the circular scan.
+    /// Blocks per segment of the circular scan (the initial effective
+    /// size when [`AdaptiveConfig::enabled`] is set).
     pub blocks_per_segment: usize,
     /// Scan-pool width (the reduce pool matches it).
     pub num_threads: usize,
@@ -372,11 +426,13 @@ pub struct ServerConfig {
     pub ft: FtConfig,
     /// Deterministic fault injection, for tests and the chaos fuzzer.
     pub faults: Option<FaultPlan>,
+    /// Adaptive segment sizing (off by default).
+    pub adaptive: AdaptiveConfig,
 }
 
 impl ServerConfig {
     /// The default configuration: unobserved, quarantine only (no
-    /// speculation), no injected faults.
+    /// speculation), no injected faults, fixed segment boundaries.
     pub fn new(blocks_per_segment: usize, num_threads: usize) -> Self {
         ServerConfig {
             blocks_per_segment,
@@ -384,14 +440,26 @@ impl ServerConfig {
             obs: Obs::off(),
             ft: FtConfig::default(),
             faults: None,
+            adaptive: AdaptiveConfig::default(),
         }
     }
 }
 
 struct ServerShared<J: MapReduceJob> {
     store: BlockStore,
-    /// Segment boundaries: segment `s` covers blocks `cuts[s]..cuts[s+1]`.
-    cuts: Vec<usize>,
+    /// Configured blocks-per-segment: the fixed segment size, or the
+    /// initial effective size when adaptive sizing is on. Segments are
+    /// `[cursor, min(cursor + eff, num_blocks))` — computed from a block
+    /// cursor rather than precomputed cuts, so boundaries can move at
+    /// runtime.
+    base_bps: usize,
+    /// Adaptive segment sizing parameters.
+    adaptive: AdaptiveConfig,
+    /// Current effective blocks-per-segment (coordinator-written mirror
+    /// for [`SharedScanServer::effective_blocks_per_segment`]).
+    eff_blocks: AtomicUsize,
+    /// Boundary recomputations that changed the effective segment size.
+    segment_resizes: AtomicU64,
     /// Byte prefix sums: blocks `a..b` hold `byte_cuts[b] - byte_cuts[a]`
     /// bytes — per-job byte accounting without re-touching the data.
     byte_cuts: Vec<u64>,
@@ -473,19 +541,38 @@ impl<J: MapReduceJob + 'static> SharedScanServer<J> {
     pub fn with_config(store: BlockStore, config: ServerConfig) -> Self {
         assert!(config.blocks_per_segment > 0, "segments need at least one block");
         assert!(config.num_threads > 0, "need at least one worker");
+        if config.adaptive.enabled {
+            assert!(
+                config.adaptive.min_blocks_per_segment > 0,
+                "adaptive segments need at least one block"
+            );
+            assert!(
+                config.adaptive.min_blocks_per_segment <= config.adaptive.max_blocks_per_segment,
+                "adaptive clamp bounds must be ordered"
+            );
+        }
         let num_threads = config.num_threads;
         let n = store.num_blocks();
-        let mut cuts: Vec<usize> = (0..n).step_by(config.blocks_per_segment).collect();
-        cuts.push(n);
         let mut byte_cuts = Vec::with_capacity(n + 1);
         byte_cuts.push(0u64);
         for i in 0..n {
             byte_cuts.push(byte_cuts[i] + store.block(i).len() as u64);
         }
+        let eff0 = if config.adaptive.enabled {
+            config.blocks_per_segment.clamp(
+                config.adaptive.min_blocks_per_segment,
+                config.adaptive.max_blocks_per_segment,
+            )
+        } else {
+            config.blocks_per_segment
+        };
 
         let shared = Arc::new(ServerShared {
             store,
-            cuts,
+            base_bps: config.blocks_per_segment,
+            adaptive: config.adaptive,
+            eff_blocks: AtomicUsize::new(eff0),
+            segment_resizes: AtomicU64::new(0),
             byte_cuts,
             pending: Mutex::new(Vec::new()),
             wakeup: Condvar::new(),
@@ -513,9 +600,25 @@ impl<J: MapReduceJob + 'static> SharedScanServer<J> {
         }
     }
 
-    /// Number of segments in the circular scan.
+    /// Number of segments one revolution takes at the *configured*
+    /// blocks-per-segment (0 for an empty store). With adaptive sizing on,
+    /// the live segment count varies as boundaries move;
+    /// [`SharedScanServer::iterations`] counts what actually ran.
     pub fn num_segments(&self) -> usize {
-        self.shared.cuts.len() - 1
+        self.shared.store.num_blocks().div_ceil(self.shared.base_bps)
+    }
+
+    /// Current effective blocks-per-segment. Equals the configured
+    /// `blocks_per_segment` on a fixed-boundary server; moves within the
+    /// [`AdaptiveConfig`] clamp bounds when adaptive sizing is on.
+    pub fn effective_blocks_per_segment(&self) -> usize {
+        self.shared.eff_blocks.load(Ordering::Relaxed)
+    }
+
+    /// Boundary recomputations that changed the effective segment size so
+    /// far (always 0 on a fixed-boundary server).
+    pub fn segment_resizes(&self) -> u64 {
+        self.shared.segment_resizes.load(Ordering::Relaxed)
     }
 
     /// Total block scans performed so far (a scan shared by k jobs counts
@@ -574,7 +677,7 @@ impl<J: MapReduceJob + 'static> SharedScanServer<J> {
                 job: Arc::new(job),
                 completion: Completion::new(Arc::clone(&state)),
                 failure: JobFailure::new(),
-                segments_remaining: self.num_segments(),
+                blocks_remaining: self.shared.store.num_blocks(),
                 segments_done: 0,
                 blocks_seen: 0,
                 bytes_seen: 0,
@@ -689,8 +792,19 @@ fn coordinator_loop<J: MapReduceJob + 'static>(shared: Arc<ServerShared<J>>, num
     // global iteration (speculative mode only).
     let mut excluded_until: Vec<Option<u64>> = vec![None; num_threads];
 
-    let num_segments = shared.cuts.len() - 1;
-    let mut cursor = 0usize; // next segment to scan
+    let n = shared.store.num_blocks();
+    // Effective blocks-per-segment: fixed at `base_bps`, or re-derived at
+    // segment boundaries when adaptive sizing is on (already clamped by
+    // `with_config`).
+    let mut eff = shared.eff_blocks.load(Ordering::Relaxed);
+    // EWMA of the measured per-block worker cost (µs of one worker's time
+    // per block), the paper's dynamic sub-job adjustment signal. 0.0 means
+    // no measurement yet.
+    let mut ewma_cost_us = 0.0f64;
+    let mut cursor = 0usize; // next block to scan
+    if let Some(o) = &shared.obs {
+        o.eff_bps.set(eff as i64);
+    }
     let mut active: Vec<ActiveJob<J>> = Vec::new();
     // Start of the previous segment scan, for the cadence histogram; reset
     // across idle periods so waiting for work never counts as a gap.
@@ -717,6 +831,23 @@ fn coordinator_loop<J: MapReduceJob + 'static>(shared: Arc<ServerShared<J>>, num
                 active.append(&mut pending);
                 continue;
             }
+        }
+
+        // Degenerate store: there is nothing to scan, so a revolution is
+        // vacuously complete. Resolve each job immediately with an empty
+        // output through the normal reduce path — never hang, never
+        // divide by the zero segment count.
+        if n == 0 {
+            for mut a in active.drain(..) {
+                if let Some(o) = &shared.obs {
+                    let now = o.tracer().now_us();
+                    a.admitted = true;
+                    o.admission.record(now.saturating_sub(a.submitted_us));
+                    o.tracer().instant("admit", Ids::job(a.id).jobs(0));
+                }
+                finish_job(&slots, &reduce_pool, a, &shared);
+            }
+            continue;
         }
 
         let iter = shared.iterations.load(Ordering::Relaxed);
@@ -752,7 +883,28 @@ fn coordinator_loop<J: MapReduceJob + 'static>(shared: Arc<ServerShared<J>>, num
             o.active_jobs.set(active.len() as i64);
             now
         });
-        let (start, end) = (shared.cuts[cursor], shared.cuts[cursor + 1]);
+        // This iteration's segment: `eff` blocks from the cursor, clipped
+        // at the end of the file (the wrap happens at the next boundary,
+        // so a segment is always one contiguous block range).
+        let (start, end) = (cursor, (cursor + eff).min(n));
+        let seg_len = end - start;
+        // Per-job scan limit: a job admitted mid-revolution may need fewer
+        // blocks than the segment holds once boundaries have moved — its
+        // unseen region is always the contiguous run starting at `start`,
+        // so capping at `start + min(seg_len, blocks_remaining)` scans
+        // each of its blocks exactly once and never re-scans past its
+        // admission point.
+        let limits: Vec<usize> = active
+            .iter()
+            .map(|a| start + a.blocks_remaining.min(seg_len))
+            .collect();
+        // Workers this wave can actually use, for the cost model below.
+        let avail_workers = if shared.ft.speculation {
+            excluded_until.iter().filter(|e| e.is_none()).count().max(1)
+        } else {
+            num_threads
+        };
+        let scan_t0 = Instant::now();
         if shared.ft.speculation {
             scan_segment_speculative(
                 &shared,
@@ -760,30 +912,65 @@ fn coordinator_loop<J: MapReduceJob + 'static>(shared: Arc<ServerShared<J>>, num
                 &slots,
                 start,
                 end,
+                &limits,
                 &scan_pool,
                 iter,
                 &excluded_until,
             );
         } else {
-            scan_segment(&shared, &active, &slots, start, end, &scan_pool, iter);
+            scan_segment(&shared, &active, &slots, start, end, &limits, &scan_pool, iter);
         }
-        let seg_blocks = (end - start) as u64;
+        let scan_elapsed_us = scan_t0.elapsed().as_micros() as u64;
+        let seg_blocks = seg_len as u64;
         let seg_bytes = shared.byte_cuts[end] - shared.byte_cuts[start];
         shared.blocks_scanned.fetch_add(seg_blocks, Ordering::Relaxed);
         shared.iterations.fetch_add(1, Ordering::Relaxed);
         if let (Some(o), Some(t0)) = (&shared.obs, seg_t0) {
+            // Segment spans carry their block range — start in `ids.seg`,
+            // length in `ids.n` — so the trace invariants can prove the
+            // (possibly resized) boundaries still partition the file.
             o.tracer()
-                .span("segment", t0, Ids::seg(cursor as u64).jobs(active.len() as u64));
+                .span("segment", t0, Ids::seg(start as u64).jobs(seg_len as u64));
             o.seg_scan.record(o.tracer().now_us().saturating_sub(t0));
             o.segments.inc();
             o.blocks.add(seg_blocks);
             o.bytes.add(seg_bytes);
         }
-        for a in &mut active {
-            a.blocks_seen += seg_blocks;
-            a.bytes_seen += seg_bytes;
+        for (a, &limit) in active.iter_mut().zip(&limits) {
+            let take = limit - start;
+            a.blocks_remaining -= take;
+            a.blocks_seen += take as u64;
+            a.bytes_seen += shared.byte_cuts[limit] - shared.byte_cuts[start];
         }
-        cursor = (cursor + 1) % num_segments;
+        cursor = end % n;
+
+        // Dynamic sub-job adjustment (paper Section IV-B), live: fold this
+        // segment's measured cost into the EWMA and re-derive the segment
+        // size that makes one segment fill one `target_cadence` map wave
+        // on the workers currently available.
+        if shared.adaptive.enabled {
+            let used_workers = avail_workers.min(seg_len).max(1);
+            let cost = (scan_elapsed_us.max(1) as f64) * used_workers as f64 / seg_len as f64;
+            ewma_cost_us = if ewma_cost_us <= 0.0 {
+                cost
+            } else {
+                (ewma_cost_us * 7.0 + cost) / 8.0
+            };
+            let new = next_segment_size(eff, ewma_cost_us, avail_workers, &shared.adaptive);
+            if new != eff {
+                let old = eff;
+                eff = new;
+                shared.eff_blocks.store(new, Ordering::Relaxed);
+                shared.segment_resizes.fetch_add(1, Ordering::Relaxed);
+                if let Some(o) = &shared.obs {
+                    o.segment_resizes.inc();
+                    o.eff_bps.set(new as i64);
+                    // New size in `ids.seg`, old size in `ids.n`.
+                    o.tracer()
+                        .instant("segment_resized", Ids::seg(new as u64).jobs(old as u64));
+                }
+            }
+        }
 
         // Quarantine sweep: jobs whose own code panicked this segment fail
         // individually — partial state purged, handle resolved with the
@@ -809,11 +996,12 @@ fn coordinator_loop<J: MapReduceJob + 'static>(shared: Arc<ServerShared<J>>, num
 
         // Jobs that completed a full revolution: hand their accumulated
         // state to the reduce pool and keep scanning without waiting.
+        // (`blocks_remaining` was decremented above, before the quarantine
+        // sweep could reorder `active` relative to `limits`.)
         let mut i = 0;
         while i < active.len() {
-            active[i].segments_remaining -= 1;
             active[i].segments_done += 1;
-            if active[i].segments_remaining == 0 {
+            if active[i].blocks_remaining == 0 {
                 let finished = active.swap_remove(i);
                 finish_job(&slots, &reduce_pool, finished, &shared);
             } else {
@@ -821,6 +1009,28 @@ fn coordinator_loop<J: MapReduceJob + 'static>(shared: Arc<ServerShared<J>>, num
             }
         }
     }
+}
+
+/// The adaptive sizing policy, pure so the clamp/shrink/re-grow behavior
+/// can be unit-tested without a live server: the segment size that makes
+/// one segment scan take [`AdaptiveConfig::target_cadence`] given the
+/// EWMA per-block worker cost and the workers available, clamped to the
+/// configured bounds. With no measurement yet the current size is kept
+/// (clamped).
+fn next_segment_size(
+    current: usize,
+    ewma_cost_us: f64,
+    workers: usize,
+    cfg: &AdaptiveConfig,
+) -> usize {
+    let lo = cfg.min_blocks_per_segment;
+    let hi = cfg.max_blocks_per_segment;
+    if ewma_cost_us <= 0.0 || workers == 0 {
+        return current.clamp(lo, hi);
+    }
+    let target_us = cfg.target_cadence.as_micros() as f64;
+    let ideal = (workers as f64 * target_us / ewma_cost_us).round();
+    (ideal.max(1.0) as usize).clamp(lo, hi)
 }
 
 /// Readmit workers whose exclusion window expired; exclude workers whose
@@ -868,13 +1078,16 @@ fn refresh_exclusions<J: MapReduceJob>(
 /// [`map_is_per_token`](MapReduceJob::map_is_per_token) share one
 /// tokenization of each block. Each job's work on each block runs under
 /// `catch_unwind`, so a panicking map marks **that job** failed and the
-/// scan continues for the rest.
+/// scan continues for the rest. `limits[pos]` is the first block index
+/// job `pos` must *not* see (its revolution ends inside this segment).
+#[allow(clippy::too_many_arguments)]
 fn scan_segment<J: MapReduceJob + 'static>(
     shared: &ServerShared<J>,
     active: &[ActiveJob<J>],
     slots: &[Mutex<Slot<J>>],
     start: usize,
     end: usize,
+    limits: &[usize],
     pool: &WorkerPool,
     iter: u64,
 ) {
@@ -925,6 +1138,11 @@ fn scan_segment<J: MapReduceJob + 'static>(
             tokens.clear();
             let mut tokenized = false;
             for (pos, a) in active.iter().enumerate() {
+                // Past this job's per-segment limit: the block belongs to
+                // the segment but not to this job's revolution.
+                if idx >= limits[pos] {
+                    continue;
+                }
                 if a.failure.failed() {
                     continue;
                 }
@@ -990,6 +1208,9 @@ struct SegJob<J: MapReduceJob> {
     job: Arc<J>,
     failure: Arc<JobFailure>,
     segments_done: u64,
+    /// First block index this job must *not* see (its revolution ends
+    /// inside this segment).
+    limit: usize,
 }
 
 /// Everything a speculative segment's detached worker tasks share.
@@ -1001,7 +1222,14 @@ struct SegmentRun<J: MapReduceJob> {
     /// First block index of the segment.
     start: usize,
     iter: u64,
-    deadline_us: u64,
+    /// Claim-expiry deadline (µs). Atomic because workers refresh it from
+    /// the block-time EWMA as commits land — on the very first segment the
+    /// EWMA starts empty and the deadline opens at `deadline_floor`, so
+    /// without the refresh a revolution-one straggler would be judged
+    /// against the floor alone (the cold-start bug); the first committed
+    /// block tightens it to `max(floor, ewma * slack)` for every claim
+    /// check that follows.
+    deadline_us: AtomicU64,
     committed: AtomicUsize,
     next_seq: AtomicU64,
     epoch: Instant,
@@ -1048,9 +1276,10 @@ impl<J: MapReduceJob> SegmentRun<J> {
         // stalled or lost task — and re-execute it (the paper's
         // slot-checking recovery, per block).
         let now = self.now_us();
+        let deadline_us = self.deadline_us.load(Ordering::Relaxed);
         for (ti, t) in self.tasks.iter().enumerate() {
             let s = t.state.load(Ordering::Relaxed);
-            if s != 0 && s != COMMITTED && now.saturating_sub(s & TS_MASK) > self.deadline_us {
+            if s != 0 && s != COMMITTED && now.saturating_sub(s & TS_MASK) > deadline_us {
                 let token = self.make_token();
                 if t
                     .state
@@ -1089,6 +1318,7 @@ fn scan_segment_speculative<J: MapReduceJob + 'static>(
     slots: &Arc<Vec<Mutex<Slot<J>>>>,
     start: usize,
     end: usize,
+    limits: &[usize],
     pool: &WorkerPool,
     iter: u64,
     excluded_until: &[Option<u64>],
@@ -1109,11 +1339,13 @@ fn scan_segment_speculative<J: MapReduceJob + 'static>(
         slots: Arc::clone(slots),
         jobs: active
             .iter()
-            .map(|a| SegJob {
+            .zip(limits)
+            .map(|(a, &limit)| SegJob {
                 id: a.id,
                 job: Arc::clone(&a.job),
                 failure: Arc::clone(&a.failure),
                 segments_done: a.segments_done,
+                limit,
             })
             .collect(),
         tasks: (0..nblocks)
@@ -1125,7 +1357,7 @@ fn scan_segment_speculative<J: MapReduceJob + 'static>(
             .collect(),
         start,
         iter,
-        deadline_us,
+        deadline_us: AtomicU64::new(deadline_us),
         committed: AtomicUsize::new(0),
         next_seq: AtomicU64::new(0),
         epoch: Instant::now(),
@@ -1152,14 +1384,18 @@ fn scan_segment_speculative<J: MapReduceJob + 'static>(
 /// One virtual worker of a speculative segment run.
 fn seg_worker<J: MapReduceJob + 'static>(run: Arc<SegmentRun<J>>, wi: usize) {
     let nblocks = run.tasks.len();
-    let wait_step = Duration::from_micros((run.deadline_us / 4).clamp(200, 2_000));
     loop {
         if run.committed.load(Ordering::Acquire) >= nblocks {
             break;
         }
         let Some((ti, token, speculative)) = run.claim(wi) else {
             // Nothing claimable: either the segment is about to finish or
-            // some claim will expire — wait a beat and re-check.
+            // some claim will expire — wait a beat and re-check. Recomputed
+            // each pass because commits tighten the deadline as the EWMA
+            // warms up.
+            let wait_step = Duration::from_micros(
+                (run.deadline_us.load(Ordering::Relaxed) / 4).clamp(200, 2_000),
+            );
             let mut done = run.done.lock();
             if *done {
                 break;
@@ -1211,12 +1447,22 @@ fn seg_worker<J: MapReduceJob + 'static>(run: Arc<SegmentRun<J>>, wi: usize) {
         let prev = run.shared.ewma_block_us.load(Ordering::Relaxed);
         let next = if prev == 0 { elapsed.max(1) } else { (prev * 7 + elapsed) / 8 };
         run.shared.ewma_block_us.store(next.max(1), Ordering::Relaxed);
+        // Refresh the segment's deadline from the updated EWMA. On the
+        // first revolution this is what seeds the deadline at all: the
+        // segment opened at the bare floor (EWMA empty), so the first
+        // commit immediately makes stragglers detectable instead of
+        // leaving the whole segment on the cold-start floor.
+        let floor = run.shared.ft.deadline_floor.as_micros() as u64;
+        run.deadline_us.store(
+            floor.max((next.max(1) as f64 * run.shared.ft.deadline_slack) as u64),
+            Ordering::Relaxed,
+        );
         if speculative {
             if let Some(o) = &run.shared.obs {
                 o.speculation_wins.inc();
                 o.recovery_us.record(now.saturating_sub(token & TS_MASK));
             }
-        } else if elapsed <= run.deadline_us {
+        } else if elapsed <= run.deadline_us.load(Ordering::Relaxed) {
             // An in-deadline commit clears the worker's miss streak.
             run.shared.misses[wi].store(0, Ordering::Relaxed);
         }
@@ -1242,6 +1488,12 @@ fn process_block<J: MapReduceJob + 'static>(
     let mut tokenized = false;
     let mut out = Vec::with_capacity(run.jobs.len());
     for sj in &run.jobs {
+        // Past this job's per-segment limit: the block belongs to the
+        // segment but not to this job's revolution.
+        if block_idx >= sj.limit {
+            out.push(None);
+            continue;
+        }
         if sj.failure.failed() {
             out.push(None);
             continue;
@@ -1807,6 +2059,82 @@ mod tests {
         // Shutdown after coordinator death must not panic or hang.
         server.shutdown();
         assert_eq!(obs.snapshot().unwrap().counter("engine.jobs_aborted"), 3);
+    }
+
+    #[test]
+    fn next_segment_size_clamps_shrinks_and_regrows() {
+        let cfg = AdaptiveConfig {
+            enabled: true,
+            target_cadence: Duration::from_micros(1_000),
+            min_blocks_per_segment: 2,
+            max_blocks_per_segment: 16,
+        };
+        // No measurement yet: keep the current size, clamped into bounds.
+        assert_eq!(next_segment_size(4, 0.0, 3, &cfg), 4);
+        assert_eq!(next_segment_size(1, 0.0, 3, &cfg), 2);
+        assert_eq!(next_segment_size(64, 0.0, 3, &cfg), 16);
+        // 250µs/block on 2 workers against a 1ms wave: 8 blocks.
+        assert_eq!(next_segment_size(4, 250.0, 2, &cfg), 8);
+        // Losing a worker halves the wave.
+        assert_eq!(next_segment_size(8, 250.0, 1, &cfg), 4);
+        // Very slow blocks shrink to the min clamp; very fast blocks
+        // re-grow to the max clamp — never outside either bound.
+        assert_eq!(next_segment_size(8, 1_000_000.0, 2, &cfg), 2);
+        assert_eq!(next_segment_size(2, 1.0, 2, &cfg), 16);
+        // Degenerate worker count: keep the current size.
+        assert_eq!(next_segment_size(8, 250.0, 0, &cfg), 8);
+    }
+
+    #[test]
+    fn oversized_segment_reports_exact_stats() {
+        // blocks_per_segment > num_blocks: one short segment per
+        // revolution, with stats covering exactly the store.
+        let text = "alpha beta alpha\nbeta gamma delta alpha\ngamma beta\n".repeat(20);
+        let s = BlockStore::from_text(&text, 256);
+        let n = s.num_blocks();
+        assert!(n > 1);
+        let server = SharedScanServer::new(s.clone(), n + 7, 2);
+        assert_eq!(server.num_segments(), 1);
+        let h = server.submit(PrefixCount { prefix: "".into() });
+        let out = h.wait().expect("job completed");
+        assert_eq!(out.stats.blocks_scanned, n as u64);
+        assert_eq!(out.stats.bytes_scanned, s.total_bytes() as u64);
+        let solo = run_job(&PrefixCount { prefix: "".into() }, &s, &ExecConfig::default());
+        assert_eq!(out.records, solo.records);
+        server.shutdown();
+    }
+
+    #[test]
+    fn adaptive_shrinks_from_an_oversized_segment_and_stays_exact() {
+        // Start oversized (eff > num_blocks, so the first segment clips to
+        // the whole store) with a sub-microsecond-impossible cadence
+        // target, so the policy must shrink; outputs stay byte-identical
+        // throughout and the effective size never leaves the clamp.
+        let text = "alpha beta alpha\nbeta gamma delta alpha\ngamma beta\n".repeat(200);
+        let s = BlockStore::from_text(&text, 512);
+        let n = s.num_blocks();
+        let mut cfg = ServerConfig::new(n + 3, 2);
+        cfg.adaptive = AdaptiveConfig {
+            enabled: true,
+            target_cadence: Duration::from_micros(1),
+            min_blocks_per_segment: 1,
+            max_blocks_per_segment: n + 10,
+        };
+        let server = SharedScanServer::with_config(s.clone(), cfg);
+        let solo = run_job(&PrefixCount { prefix: "".into() }, &s, &ExecConfig::default());
+        for _ in 0..4 {
+            let h = server.submit(PrefixCount { prefix: "".into() });
+            let out = h.wait().expect("job completed");
+            assert_eq!(out.records, solo.records);
+            assert_eq!(out.stats.blocks_scanned, n as u64);
+            let eff = server.effective_blocks_per_segment();
+            assert!((1..=n + 10).contains(&eff), "eff {eff} escaped the clamp");
+        }
+        assert!(
+            server.segment_resizes() >= 1,
+            "an unreachable cadence target must force at least one shrink"
+        );
+        server.shutdown();
     }
 
     #[test]

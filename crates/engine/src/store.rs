@@ -13,12 +13,10 @@ pub struct BlockStore {
 }
 
 impl BlockStore {
-    /// Build from explicit blocks.
-    ///
-    /// # Panics
-    /// Panics if `blocks` is empty.
+    /// Build from explicit blocks. An empty store is valid: it models a
+    /// zero-length file, and a [`crate::SharedScanServer`] over one
+    /// resolves every submitted job immediately with empty output.
     pub fn new(blocks: Vec<String>) -> Self {
-        assert!(!blocks.is_empty(), "block store cannot be empty");
         BlockStore {
             blocks: Arc::new(blocks),
         }
@@ -30,10 +28,10 @@ impl BlockStore {
     /// post-alignment view).
     ///
     /// # Panics
-    /// Panics if `block_bytes` is zero or `text` is empty.
+    /// Panics if `block_bytes` is zero. Empty `text` yields an empty
+    /// (zero-block) store.
     pub fn from_text(text: &str, block_bytes: usize) -> Self {
         assert!(block_bytes > 0, "block size must be positive");
-        assert!(!text.is_empty(), "cannot build a store from empty text");
         let mut blocks = Vec::new();
         let mut current = String::with_capacity(block_bytes + 128);
         for line in text.lines() {
@@ -104,8 +102,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "empty")]
-    fn empty_store_panics() {
-        BlockStore::new(vec![]);
+    fn empty_store_is_a_zero_length_file() {
+        let store = BlockStore::new(vec![]);
+        assert_eq!(store.num_blocks(), 0);
+        assert_eq!(store.total_bytes(), 0);
+        assert_eq!(store.iter().count(), 0);
+        let from_text = BlockStore::from_text("", 64);
+        assert_eq!(from_text.num_blocks(), 0);
     }
 }

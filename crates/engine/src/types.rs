@@ -44,6 +44,12 @@ pub type JobResult<K, Out> = Result<crate::exec::JobOutput<K, Out>, JobError>;
 /// `K`/`V` are the intermediate key/value types. Jobs merged into one
 /// shared scan must share `K`/`V` (as MRShare requires jobs to agree on
 /// their intermediate schema to share a scan).
+///
+/// Job code must not assume anything about segmentation: under a
+/// [`crate::SharedScanServer`] with [`crate::AdaptiveConfig`] enabled,
+/// segment sizes vary at runtime (the paper's dynamic sub-job
+/// adjustment), and a job's revolution is guaranteed only to cover every
+/// block exactly once — in an order and grouping the runtime chooses.
 pub trait MapReduceJob: Send + Sync {
     /// Intermediate (and output) key.
     type K: Clone + Ord + Hash + Send + Sync;

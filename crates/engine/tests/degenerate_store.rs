@@ -1,0 +1,170 @@
+//! Degenerate-store hardening for the shared-scan server: a zero-block
+//! store (a zero-length file) and a one-block store must work on both
+//! scan paths, with and without adaptive sizing — jobs resolve with
+//! exact (possibly empty) output, exact stats, and never hang or panic.
+
+use s3_engine::{
+    run_job, AdaptiveConfig, BlockStore, ExecConfig, FtConfig, MapReduceJob, Obs, ServerConfig,
+    SharedScanServer,
+};
+use std::time::Duration;
+
+/// Plain word count.
+struct Count;
+
+impl MapReduceJob for Count {
+    type K = String;
+    type V = i64;
+    type Out = i64;
+    fn map(&self, line: &str, emit: &mut dyn FnMut(String, i64)) {
+        for w in line.split_whitespace() {
+            emit(w.to_string(), 1);
+        }
+    }
+    fn reduce(&self, _k: &String, v: &[i64]) -> Option<i64> {
+        Some(v.iter().sum())
+    }
+}
+
+fn configs() -> Vec<(&'static str, ServerConfig)> {
+    let mut out = Vec::new();
+    for adaptive in [false, true] {
+        for speculation in [false, true] {
+            let mut cfg = ServerConfig::new(2, 2);
+            cfg.obs = Obs::new();
+            if speculation {
+                cfg.ft = FtConfig {
+                    deadline_floor: Duration::from_millis(3),
+                    ..FtConfig::resilient()
+                };
+            }
+            if adaptive {
+                cfg.adaptive = AdaptiveConfig {
+                    enabled: true,
+                    target_cadence: Duration::from_millis(1),
+                    min_blocks_per_segment: 1,
+                    max_blocks_per_segment: 4,
+                };
+            }
+            let name: &'static str = match (adaptive, speculation) {
+                (false, false) => "fixed/cooperative",
+                (false, true) => "fixed/speculative",
+                (true, false) => "adaptive/cooperative",
+                (true, true) => "adaptive/speculative",
+            };
+            out.push((name, cfg));
+        }
+    }
+    out
+}
+
+/// Satellite (a): submitting to a server over an empty store must resolve
+/// immediately with empty output — no panic building segment cuts, no
+/// handle hanging on a revolution that can never scan anything.
+#[test]
+fn empty_store_resolves_jobs_with_empty_output() {
+    for (name, cfg) in configs() {
+        let obs = cfg.obs.clone();
+        let server = SharedScanServer::with_config(BlockStore::new(vec![]), cfg);
+        assert_eq!(server.num_segments(), 0, "{name}");
+        let handles = server.submit_all(vec![Count, Count, Count]);
+        for h in handles {
+            let out = h.wait().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(out.records.is_empty(), "{name}: no input, no output");
+            assert_eq!(out.stats.blocks_scanned, 0, "{name}");
+            assert_eq!(out.stats.bytes_scanned, 0, "{name}");
+            assert_eq!(out.stats.map_output_records, 0, "{name}");
+        }
+        server.shutdown();
+        let snap = obs.snapshot().expect("observed");
+        assert_eq!(snap.counter("engine.jobs_completed"), 3, "{name}");
+        assert_eq!(snap.counter("engine.jobs_quarantined"), 0, "{name}");
+    }
+}
+
+/// A one-block store: the smallest non-empty revolution. Output and stats
+/// must match a solo run exactly on every path.
+#[test]
+fn one_block_store_scans_exactly_once() {
+    let s = BlockStore::from_text("alpha beta alpha\n", 1024);
+    assert_eq!(s.num_blocks(), 1);
+    let reference = run_job(
+        &Count,
+        &s,
+        &ExecConfig {
+            num_threads: 1,
+            num_reducers: 2,
+        },
+    );
+
+    for (name, cfg) in configs() {
+        let server = SharedScanServer::with_config(s.clone(), cfg);
+        let out = server
+            .submit(Count)
+            .wait()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(out.records, reference.records, "{name}");
+        assert_eq!(out.stats.blocks_scanned, 1, "{name}");
+        assert_eq!(
+            out.stats.bytes_scanned, reference.stats.bytes_scanned,
+            "{name}"
+        );
+        server.shutdown();
+    }
+}
+
+/// Satellite (e): `blocks_per_segment` far larger than the block count.
+/// The single oversized segment must report exact stats, and an adaptive
+/// server must be able to shrink out of it and later re-grow without
+/// double-scanning any block.
+#[test]
+fn oversized_segment_config_is_exact_on_both_paths() {
+    let s = BlockStore::from_text(&"gamma delta epsilon\n".repeat(200), 512);
+    let n = s.num_blocks();
+    assert!(n > 1);
+    let reference = run_job(
+        &Count,
+        &s,
+        &ExecConfig {
+            num_threads: 1,
+            num_reducers: 2,
+        },
+    );
+
+    for speculation in [false, true] {
+        for adaptive in [false, true] {
+            let mut cfg = ServerConfig::new(n + 9, 2);
+            cfg.obs = Obs::new();
+            if speculation {
+                cfg.ft = FtConfig {
+                    deadline_floor: Duration::from_millis(3),
+                    ..FtConfig::resilient()
+                };
+            }
+            if adaptive {
+                cfg.adaptive = AdaptiveConfig {
+                    enabled: true,
+                    target_cadence: Duration::from_micros(200),
+                    min_blocks_per_segment: 1,
+                    max_blocks_per_segment: n + 9,
+                };
+            }
+            let server = SharedScanServer::with_config(s.clone(), cfg);
+            assert_eq!(server.num_segments(), 1);
+            // Several sequential jobs so an adaptive server crosses many
+            // boundaries (shrinking, then re-growing as cost settles).
+            for round in 0..4 {
+                let out = server.submit(Count).wait().unwrap_or_else(|e| {
+                    panic!("spec {speculation} adaptive {adaptive} round {round}: {e}")
+                });
+                assert_eq!(
+                    out.records, reference.records,
+                    "spec {speculation} adaptive {adaptive} round {round}"
+                );
+                assert_eq!(out.stats.blocks_scanned as usize, n);
+                assert_eq!(out.stats.bytes_scanned, reference.stats.bytes_scanned);
+            }
+            server.shutdown();
+        }
+    }
+}

@@ -14,8 +14,8 @@
 //!   the shutdown flag.
 
 use s3_engine::{
-    run_job, BlockStore, EngineFault, ExecConfig, FaultPlan, FtConfig, JobError, MapReduceJob,
-    Obs, ServerConfig, SharedScanServer,
+    run_job, AdaptiveConfig, BlockStore, EngineChaosConfig, EngineFault, ExecConfig, FaultPlan,
+    FtConfig, JobError, MapReduceJob, Obs, ServerConfig, SharedScanServer,
 };
 use std::time::Duration;
 
@@ -200,6 +200,154 @@ fn straggler_triggers_speculation_with_exact_output() {
         snap.counters
     );
     assert_eq!(snap.counter("engine.jobs_quarantined"), 0);
+}
+
+/// A job whose `map` genuinely takes a while — every call sleeps — so the
+/// speculative path's per-block cost EWMA sees multi-millisecond blocks.
+struct Sleepy;
+
+impl MapReduceJob for Sleepy {
+    type K = String;
+    type V = i64;
+    type Out = i64;
+    fn map(&self, line: &str, emit: &mut dyn FnMut(String, i64)) {
+        std::thread::sleep(Duration::from_millis(5));
+        for w in line.split_whitespace() {
+            emit(w.to_string(), 1);
+        }
+    }
+    fn reduce(&self, _k: &String, v: &[i64]) -> Option<i64> {
+        Some(v.iter().sum())
+    }
+}
+
+/// Satellite (b) regression: the speculative deadline must warm up from
+/// the first committed blocks instead of running a whole segment at the
+/// configured floor. Six genuinely-slow blocks (5 ms each) under a 2 ms
+/// floor: with a cold deadline the tail block's claim looks expired the
+/// moment the other worker goes idle, so it gets speculated; with the
+/// warm-up fix the deadline is refreshed to ≈ EWMA × slack (≈ 40 ms)
+/// after the first commit, and no speculation ever fires.
+#[test]
+fn warm_deadline_prevents_cold_start_speculation() {
+    let s = BlockStore::new(
+        (0..6)
+            .map(|i| format!("word{i} word{i} tail\n"))
+            .collect(),
+    );
+    let reference = run_job(
+        &Sleepy,
+        &s,
+        &ExecConfig {
+            num_threads: 1,
+            num_reducers: 2,
+        },
+    )
+    .records;
+
+    // One segment of all 6 blocks, 2 workers: the segment starts with an
+    // empty EWMA, which is exactly the cold-start window under test.
+    let mut cfg = ServerConfig::new(6, 2);
+    cfg.obs = Obs::new();
+    cfg.ft = FtConfig {
+        deadline_floor: Duration::from_millis(2),
+        deadline_slack: 8.0,
+        ..FtConfig::resilient()
+    };
+    let obs = cfg.obs.clone();
+    let server = SharedScanServer::with_config(s, cfg);
+    let out = server.submit(Sleepy).wait().expect("job completed");
+    assert_eq!(out.records, reference);
+    server.shutdown();
+
+    let snap = obs.snapshot().expect("observed");
+    assert_eq!(
+        snap.counter("engine.tasks_speculated"),
+        0,
+        "healthy slow blocks must not be speculated once the deadline \
+         warms up from the first commits: {:?}",
+        snap.counters
+    );
+}
+
+/// Satellite (d) for the adaptive tentpole: a 50-seed chaos sweep with
+/// adaptive sizing on and every plan guaranteed at least one straggler
+/// (`min_slow: 1`). Segment boundaries move mid-scan — every seed must
+/// emit at least one `segment_resized`, every resize must land inside the
+/// configured clamp, and all four jobs' outputs must stay byte-identical
+/// to their solo runs.
+#[test]
+fn adaptive_resizing_under_chaos_stays_byte_identical() {
+    let s = store();
+    let references: Vec<_> = PREFIXES.iter().map(|p| solo(p, &s)).collect();
+    let chaos = EngineChaosConfig {
+        num_workers: 3,
+        num_jobs: PREFIXES.len() as u64,
+        horizon_iters: s.num_blocks().div_ceil(4) as u64,
+        // Adaptive sizing changes how many blocks each segment iteration
+        // covers, so iteration-indexed faults fire at different blocks
+        // than in a fixed-size run — which is fine for slow/drop faults
+        // (outcome-neutral) but would make panics and coordinator kills
+        // nondeterministic oracles. Keep only the neutral faults.
+        min_slow: 1,
+        max_map_panics: 0,
+        max_reduce_faults: 0,
+        coordinator_kill_prob: 0.0,
+        ..EngineChaosConfig::default()
+    };
+    const MIN_BPS: u64 = 1;
+    const MAX_BPS: u64 = 8;
+
+    for seed in 0u64..50 {
+        let plan = FaultPlan::generate(seed, &chaos);
+        let mut cfg = ServerConfig::new(4, 3);
+        cfg.obs = Obs::new();
+        cfg.ft = FtConfig {
+            deadline_floor: Duration::from_millis(3),
+            ..FtConfig::resilient()
+        };
+        cfg.adaptive = AdaptiveConfig {
+            enabled: true,
+            target_cadence: Duration::from_millis(2),
+            min_blocks_per_segment: MIN_BPS as usize,
+            max_blocks_per_segment: MAX_BPS as usize,
+        };
+        cfg.faults = Some(plan);
+        let obs = cfg.obs.clone();
+        let server = SharedScanServer::with_config(s.clone(), cfg);
+        let handles = server.submit_all(PREFIXES.iter().map(|p| Count(p.to_string())).collect());
+        for (i, (h, reference)) in handles.into_iter().zip(&references).enumerate() {
+            let out = h.wait().unwrap_or_else(|e| {
+                panic!("seed {seed}: job {i} failed under neutral faults: {e}")
+            });
+            assert_eq!(
+                &out.records, reference,
+                "seed {seed}: job {i} differs from solo while segments resized"
+            );
+        }
+        server.shutdown();
+
+        let snap = obs.snapshot().expect("observed");
+        assert!(
+            snap.counter("engine.segment_resizes") >= 1,
+            "seed {seed}: the straggler must perturb measured cost enough \
+             to move the segment size at least once: {:?}",
+            snap.counters
+        );
+        let core = obs.core().expect("observed");
+        let events = core.tracer.drain();
+        for ev in events.iter().filter(|e| e.name == "segment_resized") {
+            assert!(
+                (MIN_BPS..=MAX_BPS).contains(&ev.ids.seg),
+                "seed {seed}: resize to {} escapes the clamp [{MIN_BPS}, {MAX_BPS}]",
+                ev.ids.seg
+            );
+            assert_ne!(
+                ev.ids.seg, ev.ids.n,
+                "seed {seed}: degenerate resize to the current size"
+            );
+        }
+    }
 }
 
 /// Satellite (c): `shutdown()` resolves every outstanding handle. Jobs

@@ -86,13 +86,16 @@ fn every_submitted_job_reaches_a_terminal_event() {
     }
 
     // Segment spans agree with the server's iteration counter, and every
-    // span is well-formed (a duration, a segment id, an active-job count).
+    // span is well-formed. A segment span's ids carry the block range it
+    // scanned — `seg` is the starting block, `n` the block count — so the
+    // resize invariant in `s3-mapreduce::invariants` can re-derive the
+    // partition; a scanned segment always covers at least one block.
     let segments = named(&events, "segment");
     assert_eq!(segments.len() as u64, iterations);
     for seg in &segments {
         assert_eq!(seg.ph, Phase::Span);
         assert_ne!(seg.ids.seg, NO_ID);
-        assert!(seg.ids.n >= 1, "a scanned segment had active jobs");
+        assert!(seg.ids.n >= 1, "a scanned segment covers at least one block");
     }
 
     // Metrics totals agree with the server's own counters.

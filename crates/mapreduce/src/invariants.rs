@@ -456,6 +456,18 @@ impl InvariantChecker<'_> {
 ///    hit a never-admitted job (shutdown raced the submit).
 /// 3. **Paired exclusion** — per worker, `slot_excluded` and
 ///    `slot_readmitted` strictly alternate starting with an exclusion.
+/// 4. **Partition** — `segment` spans (start block in `ids.seg`, length
+///    in `ids.n`) chain contiguously from block 0, wrapping to 0 exactly
+///    at the furthest block ever scanned: resized or not, a revolution
+///    covers each block exactly once.
+/// 5. **Resize** — every `segment_resized` instant (new size in
+///    `ids.seg`, old in `ids.n`) changes the size to a nonzero value, and
+///    each subsequent segment's length equals the effective size clipped
+///    at the end of the file.
+///
+/// The trace must be complete (no ring-buffer overwrites — check the
+/// recorder's dropped counter first): the partition check anchors at
+/// block 0.
 pub fn check_engine_events(events: &[ObsEvent]) -> Vec<Violation> {
     let mut out = Vec::new();
     let at = |ts_us: u64| SimTime::from_micros(ts_us);
@@ -514,6 +526,84 @@ pub fn check_engine_events(events: &[ObsEvent]) -> Vec<Violation> {
                 });
             }
             _ => {}
+        }
+    }
+
+    // Partition + resize: replay the segment chain. Segment spans carry
+    // (start block, length); `segment_resized` instants carry (new, old)
+    // effective sizes. The file's block count is not in the trace, so it
+    // is derived as the furthest segment end ever observed.
+    let mut nstar: u64 = 0;
+    for e in events {
+        if e.name == "segment" && e.ids.seg != NO_ID && e.ids.n != NO_ID {
+            nstar = nstar.max(e.ids.seg + e.ids.n);
+        }
+    }
+    if nstar > 0 {
+        let mut expected: u64 = 0;
+        let mut cur_eff: Option<u64> = None;
+        for e in events {
+            match e.name {
+                "segment" if e.ids.seg != NO_ID && e.ids.n != NO_ID => {
+                    let (start, len) = (e.ids.seg, e.ids.n);
+                    if len == 0 {
+                        out.push(Violation {
+                            invariant: "engine-partition",
+                            at: at(e.ts_us),
+                            detail: format!("empty segment at block {start}"),
+                        });
+                        continue;
+                    }
+                    if start != expected {
+                        out.push(Violation {
+                            invariant: "engine-partition",
+                            at: at(e.ts_us),
+                            detail: format!(
+                                "segment starts at block {start}, expected {expected}: \
+                                 a revolution must cover each block exactly once"
+                            ),
+                        });
+                    }
+                    // Resync from the observed segment so one bad boundary
+                    // does not cascade into a violation per segment.
+                    expected = start + len;
+                    if expected >= nstar {
+                        expected = 0;
+                    }
+                    if let Some(eff) = cur_eff {
+                        let want = eff.min(nstar - start.min(nstar));
+                        if len != want {
+                            out.push(Violation {
+                                invariant: "engine-resize",
+                                at: at(e.ts_us),
+                                detail: format!(
+                                    "segment at block {start} spans {len} blocks; effective \
+                                     size {eff} over {nstar} blocks requires {want}"
+                                ),
+                            });
+                        }
+                    }
+                }
+                "segment_resized" => {
+                    let (new, old) = (e.ids.seg, e.ids.n);
+                    if new == NO_ID || old == NO_ID || new == 0 {
+                        out.push(Violation {
+                            invariant: "engine-resize",
+                            at: at(e.ts_us),
+                            detail: format!("malformed segment_resized ({new} from {old})"),
+                        });
+                    } else if new == old {
+                        out.push(Violation {
+                            invariant: "engine-resize",
+                            at: at(e.ts_us),
+                            detail: format!("segment_resized to its current size {new}"),
+                        });
+                    } else {
+                        cur_eff = Some(new);
+                    }
+                }
+                _ => {}
+            }
         }
     }
 
@@ -933,6 +1023,18 @@ mod tests {
             }
         }
 
+        /// A segment span: start block in `ids.seg`, length in `ids.n`.
+        fn seg(ts_us: u64, start: u64, len: u64) -> Event {
+            Event {
+                ts_us,
+                dur_us: 1,
+                name: "segment",
+                ph: Phase::Span,
+                tid: 0,
+                ids: Ids::seg(start).jobs(len),
+            }
+        }
+
         #[test]
         fn clean_and_faulty_lifecycles_pass() {
             // Job 0 completes, job 1 is quarantined mid-scan, job 2 is
@@ -1018,6 +1120,71 @@ mod tests {
             assert!(
                 v.iter().any(|v| v.invariant == "engine-exclusion"
                     && v.detail.contains("was not excluded")),
+                "{v:?}"
+            );
+        }
+
+        #[test]
+        fn resized_partition_that_still_covers_the_file_passes() {
+            // A 10-block file: two 4-block segments, a resize to 2, a
+            // clipped tail, then the wrap — every block exactly once.
+            let events = vec![
+                seg(0, 0, 4),
+                seg(1, 4, 4),
+                ev(2, "segment_resized", Ids::seg(2).jobs(4)),
+                seg(3, 8, 2),
+                seg(4, 0, 2),
+                seg(5, 2, 2),
+            ];
+            assert_eq!(check_engine_events(&events), vec![]);
+        }
+
+        #[test]
+        fn broken_segment_chain_is_flagged() {
+            // Blocks 4..6 are skipped: the revolution no longer covers the
+            // file exactly once.
+            let events = vec![seg(0, 0, 4), seg(1, 6, 4)];
+            let v = check_engine_events(&events);
+            assert!(
+                v.iter().any(|v| v.invariant == "engine-partition"
+                    && v.detail.contains("expected 4")),
+                "{v:?}"
+            );
+        }
+
+        #[test]
+        fn post_resize_segment_with_stale_length_is_flagged() {
+            // The server announced a resize to 2 but kept cutting 4-block
+            // segments.
+            let events = vec![
+                seg(0, 0, 4),
+                ev(1, "segment_resized", Ids::seg(2).jobs(4)),
+                seg(2, 4, 4),
+            ];
+            let v = check_engine_events(&events);
+            assert!(
+                v.iter().any(|v| v.invariant == "engine-resize"
+                    && v.detail.contains("requires 2")),
+                "{v:?}"
+            );
+        }
+
+        #[test]
+        fn degenerate_resizes_are_flagged() {
+            let events = vec![
+                seg(0, 0, 4),
+                ev(1, "segment_resized", Ids::seg(4).jobs(4)),
+                ev(2, "segment_resized", Ids::seg(0).jobs(4)),
+            ];
+            let v = check_engine_events(&events);
+            assert!(
+                v.iter().any(|v| v.invariant == "engine-resize"
+                    && v.detail.contains("current size 4")),
+                "{v:?}"
+            );
+            assert!(
+                v.iter().any(|v| v.invariant == "engine-resize"
+                    && v.detail.contains("malformed")),
                 "{v:?}"
             );
         }
