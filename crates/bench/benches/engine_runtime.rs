@@ -10,9 +10,18 @@
 //!   revolution, measured end to end (server start, background job,
 //!   probe, drain). `s3bench` isolates the probe's submit-to-complete
 //!   interval; this bench tracks the whole scenario over time.
+//!
+//! Plus `assist_threads/t{1,2,4,8,16}`: the shared revolution at
+//! four-block segments with work-assisting block claims on, swept across
+//! worker-thread counts, so the claim loop's coordination cost (one
+//! `fetch_add` per block, plus tail re-execution) is visible as the
+//! worker set — and with it contention on the claim cursor — grows past
+//! the core count.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use s3_engine::{run_job, BlockStore, ExecConfig, SharedScanServer};
+use s3_engine::{
+    run_job, BlockStore, ExecConfig, FtConfig, ServerConfig, SharedScanServer,
+};
 use s3_sim::SimRng;
 use s3_workloads::jobs::PatternWordCount;
 use s3_workloads::text::TextGen;
@@ -79,5 +88,37 @@ fn bench_engine_runtime(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_engine_runtime);
+/// Thread sweep over the work-assisting shared scan: 4 jobs, 4-block
+/// segments, `FtConfig::resilient()` with assist on (the default), at
+/// 1/2/4/8/16 virtual workers.
+fn bench_assist_thread_sweep(c: &mut Criterion) {
+    let store = corpus();
+    let mut g = c.benchmark_group("assist_threads");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(store.total_bytes() as u64));
+
+    for threads in [1usize, 2, 4, 8, 16] {
+        g.bench_function(format!("t{threads}"), |b| {
+            b.iter(|| {
+                let mut cfg = ServerConfig::new(4, threads);
+                cfg.ft = FtConfig::resilient();
+                let server = SharedScanServer::with_config(store.clone(), cfg);
+                let handles: Vec<_> = prefixes(SHARED_JOBS)
+                    .into_iter()
+                    .map(|p| server.submit(PatternWordCount::prefix(p)))
+                    .collect();
+                let outs: Vec<_> = handles
+                    .into_iter()
+                    .map(|h| h.wait().expect("job completed"))
+                    .collect();
+                server.shutdown();
+                outs
+            });
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine_runtime, bench_assist_thread_sweep);
 criterion_main!(benches);

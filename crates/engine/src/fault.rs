@@ -36,6 +36,15 @@ pub struct FtConfig {
     /// but a lost or stalled task stalls the whole scan. Panic quarantine
     /// is always on, independent of this flag.
     pub speculation: bool,
+    /// With [`speculation`](FtConfig::speculation) on, workers that drain
+    /// the segment's claim cursor immediately **assist** the slow tail:
+    /// they re-execute still-uncommitted blocks right away (first result
+    /// wins) instead of waiting for an EWMA deadline to expire. Deadline
+    /// expiry remains the crash-recovery fallback and still drives the
+    /// exclusion policy. Off, the tail falls back to pure deadline-based
+    /// speculation (the legacy behavior). Ignored when `speculation` is
+    /// off.
+    pub assist: bool,
     /// Lower bound on a block task's deadline, whatever the EWMA says.
     pub deadline_floor: Duration,
     /// Deadline = max(floor, EWMA of recent block-scan times × this).
@@ -53,6 +62,7 @@ impl Default for FtConfig {
     fn default() -> Self {
         FtConfig {
             speculation: false,
+            assist: true,
             deadline_floor: Duration::from_millis(25),
             deadline_slack: 8.0,
             exclusion_threshold: 2,

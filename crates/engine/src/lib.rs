@@ -38,11 +38,14 @@
 //!
 //! The shared-scan server quarantines panicking jobs (each failure is
 //! individual — see [`JobError`]), optionally runs segments as retryable
-//! per-block tasks with deadline-based speculative re-execution and
-//! slow-worker exclusion ([`FtConfig::resilient`]), and accepts a seeded
-//! [`FaultPlan`] that injects delays, drops, panics, and coordinator
-//! death deterministically — the engine-level mirror of the simulator's
-//! `s3-cluster` chaos harness.
+//! per-block tasks scheduled by a **work-assisting claim loop** — fresh
+//! claims come off one packed [`WorkProgress`](pool::WorkProgress) atomic
+//! and idle workers immediately re-execute the slow tail, with
+//! deadline-based speculation and slow-worker exclusion kept as the
+//! crash-recovery fallback ([`FtConfig::resilient`]) — and accepts a
+//! seeded [`FaultPlan`] that injects delays, drops, panics, and
+//! coordinator death deterministically — the engine-level mirror of the
+//! simulator's `s3-cluster` chaos harness.
 //!
 //! ## Adaptive segments
 //!
@@ -68,7 +71,7 @@ pub use external::{
     run_merged_external_observed, ExternalConfig, SpillStats,
 };
 pub use fault::{ArmedFaults, EngineChaosConfig, EngineFault, FaultPlan, FtConfig};
-pub use pool::WorkerPool;
+pub use pool::{BlockClaims, WorkProgress, WorkerPool};
 pub use s3_obs::Obs;
 pub use scan_server::{AdaptiveConfig, JobHandle, ServerConfig, SharedScanServer};
 pub use shared::{run_merged, run_merged_observed, run_merged_on};

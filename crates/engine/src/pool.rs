@@ -294,10 +294,213 @@ fn worker_loop(shared: Arc<PoolShared>) {
     }
 }
 
+/// Shared progress over a fixed set of blocks, packed into **one** atomic
+/// word: the low 32 bits are the claim cursor (bumped by [`claim`]), the
+/// high 32 bits count completed blocks (bumped by [`complete`]). This is
+/// the heart of work-assisting segment scheduling: workers take the next
+/// unscanned block with a single `fetch_add` — no per-worker task lists,
+/// no CAS retry loops — and a worker that drains the cursor can read, from
+/// the same word, whether a tail of claimed-but-unfinished blocks remains
+/// worth assisting.
+///
+/// The claim cursor may overshoot `total` (each worker that finds the
+/// cursor exhausted bumps it once past the end), so [`claimed`] caps at
+/// `total` while [`claim_attempts`] exposes the raw count for
+/// coordination-cost instrumentation.
+///
+/// [`claim`]: WorkProgress::claim
+/// [`complete`]: WorkProgress::complete
+/// [`claimed`]: WorkProgress::claimed
+/// [`claim_attempts`]: WorkProgress::claim_attempts
+pub struct WorkProgress {
+    packed: AtomicU64,
+    total: u32,
+}
+
+const COMPLETED_ONE: u64 = 1 << 32;
+const CLAIM_MASK: u64 = (1 << 32) - 1;
+
+impl WorkProgress {
+    /// Progress tracker over `total` blocks, none claimed or completed.
+    ///
+    /// # Panics
+    /// Panics if `total` does not fit the 32-bit claim counter.
+    pub fn new(total: usize) -> Self {
+        assert!(
+            total < u32::MAX as usize,
+            "block count {total} exceeds the packed 32-bit claim counter"
+        );
+        WorkProgress {
+            packed: AtomicU64::new(0),
+            total: total as u32,
+        }
+    }
+
+    /// Claim the next unscanned block. Returns its index, or `None` once
+    /// every block has been claimed. One `fetch_add`, no retry loop; each
+    /// index in `0..total` is handed out exactly once across all callers.
+    pub fn claim(&self) -> Option<usize> {
+        let idx = self.packed.fetch_add(1, Ordering::AcqRel) & CLAIM_MASK;
+        if idx < self.total as u64 {
+            Some(idx as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Record one block finished. Returns `(completed, all_done)` where
+    /// `completed` counts blocks finished so far (including this one) —
+    /// the caller observing `all_done` is the **last** completer and owns
+    /// any end-of-segment notification.
+    pub fn complete(&self) -> (u64, bool) {
+        let prev = self.packed.fetch_add(COMPLETED_ONE, Ordering::AcqRel);
+        let completed = (prev >> 32) + 1;
+        (completed, completed == self.total as u64)
+    }
+
+    /// Blocks claimed so far, capped at `total` (the cursor itself may
+    /// overshoot; see [`WorkProgress::claim_attempts`]).
+    pub fn claimed(&self) -> u64 {
+        (self.packed.load(Ordering::Acquire) & CLAIM_MASK).min(self.total as u64)
+    }
+
+    /// Blocks completed so far.
+    pub fn completed(&self) -> u64 {
+        self.packed.load(Ordering::Acquire) >> 32
+    }
+
+    /// Raw claim-cursor value: every atomic claim operation ever issued,
+    /// including the bounded overshoot from workers discovering the cursor
+    /// is exhausted. The coordination cost of the segment in one number —
+    /// a solo scan must keep this at zero.
+    pub fn claim_attempts(&self) -> u64 {
+        self.packed.load(Ordering::Acquire) & CLAIM_MASK
+    }
+
+    /// Whether every block has been completed.
+    pub fn is_done(&self) -> bool {
+        self.completed() == self.total as u64
+    }
+
+    /// Number of blocks tracked.
+    pub fn total(&self) -> usize {
+        self.total as usize
+    }
+}
+
+/// A claim source for one scan task: either a private solo range (zero
+/// atomic operations — the single-worker fast path) or a [`WorkProgress`]
+/// shared with sibling workers. Constructed *inside* each broadcast task
+/// so the solo counter never needs to be `Sync`.
+pub enum BlockClaims<'a> {
+    /// Private cursor over `0..total`; no coordination.
+    Solo {
+        /// Next index to hand out.
+        next: usize,
+        /// One past the last index.
+        total: usize,
+    },
+    /// Cursor shared with sibling workers via atomic claims.
+    Shared(&'a WorkProgress),
+}
+
+impl<'a> BlockClaims<'a> {
+    /// Solo claims over `0..total` — no atomics, for a lone worker.
+    pub fn solo(total: usize) -> Self {
+        BlockClaims::Solo { next: 0, total }
+    }
+
+    /// Claims shared with sibling workers through `progress`.
+    pub fn shared(progress: &'a WorkProgress) -> Self {
+        BlockClaims::Shared(progress)
+    }
+
+    /// Claim the next block index, or `None` when the range is exhausted.
+    pub fn claim(&mut self) -> Option<usize> {
+        match self {
+            BlockClaims::Solo { next, total } => {
+                if *next < *total {
+                    let i = *next;
+                    *next += 1;
+                    Some(i)
+                } else {
+                    None
+                }
+            }
+            BlockClaims::Shared(p) => p.claim(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn work_progress_claims_each_block_exactly_once_under_contention() {
+        // Hammer one WorkProgress from many threads; every index must be
+        // handed out exactly once and the completion counter must converge
+        // to the total with exactly one all_done observation.
+        const TOTAL: usize = 10_000;
+        const THREADS: usize = 8;
+        let progress = WorkProgress::new(TOTAL);
+        let seen: Vec<AtomicUsize> = (0..TOTAL).map(|_| AtomicUsize::new(0)).collect();
+        let all_done_seen = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    while let Some(i) = progress.claim() {
+                        seen[i].fetch_add(1, Ordering::SeqCst);
+                        let (_, all) = progress.complete();
+                        if all {
+                            all_done_seen.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                });
+            }
+        });
+        for (i, s) in seen.iter().enumerate() {
+            assert_eq!(s.load(Ordering::SeqCst), 1, "block {i} claimed once");
+        }
+        assert_eq!(progress.claimed(), TOTAL as u64);
+        assert_eq!(progress.completed(), TOTAL as u64);
+        assert!(progress.is_done());
+        assert_eq!(all_done_seen.load(Ordering::SeqCst), 1, "one last completer");
+        // Overshoot is bounded: each thread bumps the cursor at most once
+        // past the end before seeing None.
+        let overshoot = progress.claim_attempts() - TOTAL as u64;
+        assert!(overshoot <= THREADS as u64, "overshoot {overshoot}");
+    }
+
+    #[test]
+    fn work_progress_empty_set_is_immediately_exhausted() {
+        let progress = WorkProgress::new(0);
+        assert!(progress.claim().is_none());
+        assert!(progress.is_done());
+        assert_eq!(progress.claimed(), 0);
+    }
+
+    #[test]
+    fn solo_claims_cover_the_range_without_touching_shared_state() {
+        let mut claims = BlockClaims::solo(3);
+        assert_eq!(claims.claim(), Some(0));
+        assert_eq!(claims.claim(), Some(1));
+        assert_eq!(claims.claim(), Some(2));
+        assert_eq!(claims.claim(), None);
+        assert_eq!(claims.claim(), None, "stays exhausted");
+    }
+
+    #[test]
+    fn shared_claims_delegate_to_the_progress_word() {
+        let progress = WorkProgress::new(2);
+        let mut a = BlockClaims::shared(&progress);
+        let mut b = BlockClaims::shared(&progress);
+        assert_eq!(a.claim(), Some(0));
+        assert_eq!(b.claim(), Some(1));
+        assert_eq!(a.claim(), None);
+        assert!(progress.claim_attempts() >= 2);
+    }
 
     #[test]
     fn broadcast_returns_results_in_index_order() {

@@ -35,12 +35,18 @@
 //! message — while the shared scan and every co-riding job continue
 //! (quarantine, always on). A server configured with
 //! [`FtConfig::resilient`] additionally runs each segment as per-block
-//! **claim/commit tasks**: every claim carries a deadline derived from an
-//! EWMA of recent block-scan times, claims that miss it are speculatively
-//! re-executed on another worker with first-result-wins idempotent commit,
-//! and workers that repeatedly miss deadlines are excluded for a window of
-//! iterations then readmitted — the engine analogue of the paper's
-//! periodic slot checking and slow-TaskTracker exclusion (Section IV-D).
+//! **claim/commit tasks** scheduled by a work-assisting loop: one packed
+//! atomic per segment hands out fresh claims with a single `fetch_add`
+//! each, and workers that drain the cursor immediately re-execute the
+//! still-uncommitted tail (first result wins, idempotent commit) instead
+//! of idling — a lost or straggling block is recovered in block-scan time
+//! rather than after an EWMA deadline. The deadline machinery remains as
+//! the crash-recovery fallback (and the sole tail trigger with
+//! [`FtConfig::assist`] off): claims past `max(floor, ewma × slack)` mark
+//! their owner slow, and workers that repeatedly miss deadlines are
+//! excluded for a window of iterations then readmitted — the engine
+//! analogue of the paper's periodic slot checking and slow-TaskTracker
+//! exclusion (Section IV-D).
 //! If the runtime itself dies (an injected [`FaultPlan`] coordinator kill,
 //! or server shutdown racing a submit), every unresolved handle returns
 //! [`JobError::Aborted`](crate::JobError::Aborted) — a handle never hangs
@@ -68,7 +74,7 @@
 
 use crate::exec::{JobOutput, ScanStats};
 use crate::fault::{ArmedFaults, FaultPlan, FtConfig};
-use crate::pool::WorkerPool;
+use crate::pool::{BlockClaims, WorkProgress, WorkerPool};
 use crate::store::BlockStore;
 use crate::types::{JobError, JobResult, MapReduceJob};
 use fxhash::FxHashMap;
@@ -95,10 +101,15 @@ struct ServerObs {
     jobs_quarantined: Arc<Counter>,
     /// Jobs failed because the runtime went away before they finished.
     jobs_aborted: Arc<Counter>,
-    /// Expired block claims re-executed on another worker.
+    /// Tail blocks re-executed by another worker: work-assisting
+    /// re-executions plus legacy deadline speculation.
     tasks_speculated: Arc<Counter>,
-    /// Speculative re-executions that won the first-result-wins commit.
+    /// Tail re-executions that won the first-result-wins commit.
     speculation_wins: Arc<Counter>,
+    /// Blocks whose winning commit came from an **assisting** worker — one
+    /// that drained the segment's claim cursor and re-executed the slow
+    /// tail instead of waiting for a deadline.
+    blocks_assisted: Arc<Counter>,
     /// Exclusion events (a worker may be excluded more than once).
     workers_excluded: Arc<Counter>,
     segments: Arc<Counter>,
@@ -113,6 +124,9 @@ struct ServerObs {
     segment_resizes: Arc<Counter>,
     /// Current effective blocks-per-segment of the circular scan.
     eff_bps: Arc<Gauge>,
+    /// Assisted commits per 10 000 blocks scanned (basis points), updated
+    /// at every segment boundary.
+    assist_ratio: Arc<Gauge>,
     /// Gap between consecutive segment-scan starts while jobs are active.
     cadence: Arc<Histogram>,
     /// Duration of one segment scan.
@@ -139,6 +153,7 @@ impl ServerObs {
             jobs_aborted: m.counter("engine.jobs_aborted"),
             tasks_speculated: m.counter("engine.tasks_speculated"),
             speculation_wins: m.counter("engine.speculation_wins"),
+            blocks_assisted: m.counter("engine.blocks_assisted"),
             workers_excluded: m.counter("engine.workers_excluded"),
             segments: m.counter("engine.segments_scanned"),
             blocks: m.counter("engine.blocks_scanned"),
@@ -149,6 +164,7 @@ impl ServerObs {
             excluded_workers: m.gauge("engine.excluded_workers"),
             segment_resizes: m.counter("engine.segment_resizes"),
             eff_bps: m.gauge("engine.effective_blocks_per_segment"),
+            assist_ratio: m.gauge("engine.assist_ratio"),
             cadence: m.histogram("engine.segment_cadence_us"),
             seg_scan: m.histogram("engine.segment_scan_us"),
             admission: m.histogram("engine.admission_latency_us"),
@@ -478,6 +494,12 @@ struct ServerShared<J: MapReduceJob> {
     /// Worker threads the coordinator's pools have spawned (set once at
     /// startup; never grows, which is the point).
     pool_threads_spawned: AtomicU64,
+    /// Atomic claim operations issued by segment claim cursors — the
+    /// coordination cost of block scheduling. Stays 0 while every segment
+    /// runs the solo-worker fast path.
+    claim_ops: AtomicU64,
+    /// Blocks whose winning commit came from an assisting worker.
+    blocks_assisted: AtomicU64,
     /// Fault-tolerance parameters.
     ft: FtConfig,
     /// Injected faults, armed for this server's lifetime.
@@ -581,6 +603,8 @@ impl<J: MapReduceJob + 'static> SharedScanServer<J> {
             blocks_scanned: AtomicU64::new(0),
             iterations: AtomicU64::new(0),
             pool_threads_spawned: AtomicU64::new(0),
+            claim_ops: AtomicU64::new(0),
+            blocks_assisted: AtomicU64::new(0),
             ft: config.ft,
             faults: config.faults.as_ref().map(|p| p.arm()),
             ewma_block_us: AtomicU64::new(0),
@@ -631,6 +655,23 @@ impl<J: MapReduceJob + 'static> SharedScanServer<J> {
     /// Segment iterations executed so far.
     pub fn iterations(&self) -> u64 {
         self.shared.iterations.load(Ordering::Relaxed)
+    }
+
+    /// Atomic claim operations segment scans have issued so far — the
+    /// coordination cost of block scheduling in one number. A segment
+    /// scanned by a single worker takes the solo fast path and issues
+    /// none, so this stays 0 for one-thread servers, one-block segments,
+    /// and stores no larger than a segment (the degenerate-store tests
+    /// pin exactly that).
+    pub fn claim_ops(&self) -> u64 {
+        self.shared.claim_ops.load(Ordering::Relaxed)
+    }
+
+    /// Blocks whose winning commit came from a work-assisting tail
+    /// re-execution (0 unless [`FtConfig::resilient`] with
+    /// [`assist`](FtConfig::assist) on ever had a slow tail).
+    pub fn blocks_assisted(&self) -> u64 {
+        self.shared.blocks_assisted.load(Ordering::Relaxed)
     }
 
     /// Worker threads this server's pools have spawned over the server's
@@ -905,8 +946,8 @@ fn coordinator_loop<J: MapReduceJob + 'static>(shared: Arc<ServerShared<J>>, num
             num_threads
         };
         let scan_t0 = Instant::now();
-        if shared.ft.speculation {
-            scan_segment_speculative(
+        let claims = if shared.ft.speculation {
+            scan_segment_resilient(
                 &shared,
                 &active,
                 &slots,
@@ -916,25 +957,42 @@ fn coordinator_loop<J: MapReduceJob + 'static>(shared: Arc<ServerShared<J>>, num
                 &scan_pool,
                 iter,
                 &excluded_until,
-            );
+            )
         } else {
-            scan_segment(&shared, &active, &slots, start, end, &limits, &scan_pool, iter);
-        }
+            scan_segment(&shared, &active, &slots, start, end, &limits, &scan_pool, iter)
+        };
         let scan_elapsed_us = scan_t0.elapsed().as_micros() as u64;
         let seg_blocks = seg_len as u64;
         let seg_bytes = shared.byte_cuts[end] - shared.byte_cuts[start];
         shared.blocks_scanned.fetch_add(seg_blocks, Ordering::Relaxed);
         shared.iterations.fetch_add(1, Ordering::Relaxed);
+        shared.claim_ops.fetch_add(claims.claim_ops, Ordering::Relaxed);
         if let (Some(o), Some(t0)) = (&shared.obs, seg_t0) {
             // Segment spans carry their block range — start in `ids.seg`,
             // length in `ids.n` — so the trace invariants can prove the
             // (possibly resized) boundaries still partition the file.
             o.tracer()
                 .span("segment", t0, Ids::seg(start as u64).jobs(seg_len as u64));
+            // Claim-protocol accounting for the same segment: block-range
+            // start in `ids.job`, blocks claimed in `ids.seg`, blocks
+            // completed in `ids.n`. `check_engine_events` pairs each
+            // segment span with this instant to prove every block was
+            // claimed and completed exactly once.
+            o.tracer().instant(
+                "segment_claims",
+                Ids {
+                    job: start as u64,
+                    seg: claims.claimed,
+                    n: claims.completed,
+                },
+            );
             o.seg_scan.record(o.tracer().now_us().saturating_sub(t0));
             o.segments.inc();
             o.blocks.add(seg_blocks);
             o.bytes.add(seg_bytes);
+            let assisted = shared.blocks_assisted.load(Ordering::Relaxed);
+            let scanned = shared.blocks_scanned.load(Ordering::Relaxed).max(1);
+            o.assist_ratio.set((assisted.saturating_mul(10_000) / scanned) as i64);
         }
         for (a, &limit) in active.iter_mut().zip(&limits) {
             let take = limit - start;
@@ -1072,9 +1130,19 @@ fn refresh_exclusions<J: MapReduceJob>(
     }
 }
 
+/// Claim accounting of one segment scan, reported by both scan paths:
+/// blocks claimed and completed (for the `segment_claims` trace instant
+/// the exactly-once invariant checks) and the raw atomic claim operations
+/// issued (for [`SharedScanServer::claim_ops`] — 0 on the solo fast path).
+struct SegClaims {
+    claimed: u64,
+    completed: u64,
+    claim_ops: u64,
+}
+
 /// Scan one segment once, running every active job's map over each block
-/// on the persistent scan pool (the cooperative path: one shared block
-/// cursor, no retry). Jobs declaring
+/// on the persistent scan pool (the cooperative path: a shared
+/// [`WorkProgress`] claim cursor, no retry). Jobs declaring
 /// [`map_is_per_token`](MapReduceJob::map_is_per_token) share one
 /// tokenization of each block. Each job's work on each block runs under
 /// `catch_unwind`, so a panicking map marks **that job** failed and the
@@ -1090,18 +1158,28 @@ fn scan_segment<J: MapReduceJob + 'static>(
     limits: &[usize],
     pool: &WorkerPool,
     iter: u64,
-) {
+) -> SegClaims {
     if active.is_empty() || start == end {
-        return;
+        return SegClaims { claimed: 0, completed: 0, claim_ops: 0 };
     }
-    let next = AtomicUsize::new(start);
+    let nblocks = end - start;
     let store = &shared.store;
     let faults = shared.faults.as_deref();
     // A one-block segment runs inline on the coordinator (fan_out 1 —
     // zero cross-thread handoff); wider segments fan out over the pool.
-    let fan_out = pool.num_threads().min(end - start);
+    let fan_out = pool.num_threads().min(nblocks);
+    // A lone worker scans from a private cursor — the shared progress word
+    // is only touched when siblings actually race for blocks, so the solo
+    // fast path takes zero claim coordination.
+    let solo = fan_out == 1;
+    let progress = WorkProgress::new(nblocks);
 
     pool.broadcast(fan_out, &|wi| {
+        let mut claims = if solo {
+            BlockClaims::solo(nblocks)
+        } else {
+            BlockClaims::shared(&progress)
+        };
         let mut slot = slots[wi].lock();
         // Index of each active job's partial in this worker's slot,
         // creating partials for jobs this worker has not seen yet.
@@ -1123,11 +1201,8 @@ fn scan_segment<J: MapReduceJob + 'static>(
             })
             .collect();
         let mut tokens: Vec<&str> = Vec::new();
-        loop {
-            let idx = next.fetch_add(1, Ordering::Relaxed);
-            if idx >= end {
-                break;
-            }
+        while let Some(li) = claims.claim() {
+            let idx = start + li;
             if let Some(f) = faults {
                 let d = f.map_delay_us(wi, iter);
                 if d > 0 {
@@ -1184,23 +1259,47 @@ fn scan_segment<J: MapReduceJob + 'static>(
                     a.failure.record(p);
                 }
             }
+            if !solo {
+                progress.complete();
+            }
         }
     });
+    if solo {
+        // The lone worker provably covered every block; report the full
+        // count without ever having touched the shared word.
+        SegClaims {
+            claimed: nblocks as u64,
+            completed: nblocks as u64,
+            claim_ops: 0,
+        }
+    } else {
+        SegClaims {
+            claimed: progress.claimed(),
+            completed: progress.completed(),
+            claim_ops: progress.claim_attempts(),
+        }
+    }
 }
 
-/// Block-claim state for the speculative path. `state` encodes the claim:
-/// 0 = unclaimed, [`COMMITTED`] = committed, anything else is a claim
-/// token whose low 48 bits are the claim timestamp (µs since the segment
-/// epoch) — a speculator can tell an expired claim from the token alone.
+/// Per-block commit state for the resilient path. `claim` records the
+/// most recent claim for recovery accounting: 0 = not yet claimed,
+/// otherwise `((worker + 1) << 48) | timestamp_µs` — an assisting worker
+/// reads the victim and the claim's age from the one word. `committed` is
+/// the first-result-wins commit flag: exactly one `swap(true)` ever
+/// returns `false`, so each block's results enter the accumulators
+/// exactly once no matter how many workers re-executed it.
 struct BlockTask {
-    state: AtomicU64,
-    /// Virtual worker holding the current claim (for miss accounting).
-    owner: AtomicUsize,
-    attempts: AtomicU64,
+    claim: AtomicU64,
+    committed: AtomicBool,
 }
 
-const COMMITTED: u64 = u64::MAX;
 const TS_MASK: u64 = (1 << 48) - 1;
+
+/// Pack a claim word: owner in the high bits (`+1` so the word is never 0,
+/// which means "not yet claimed"), timestamp in the low 48.
+fn claim_word(wi: usize, now_us: u64) -> u64 {
+    ((wi as u64 + 1) << 48) | (now_us & TS_MASK)
+}
 
 /// One job's snapshot inside a speculative segment run.
 struct SegJob<J: MapReduceJob> {
@@ -1213,11 +1312,16 @@ struct SegJob<J: MapReduceJob> {
     limit: usize,
 }
 
-/// Everything a speculative segment's detached worker tasks share.
+/// Everything a resilient segment's detached worker tasks share.
 struct SegmentRun<J: MapReduceJob> {
     shared: Arc<ServerShared<J>>,
     slots: Arc<Vec<Mutex<Slot<J>>>>,
     jobs: Vec<SegJob<J>>,
+    /// Packed (claim cursor, completed count): fresh claims come off this
+    /// word with one `fetch_add` each, and the worker whose commit
+    /// completes the segment observes `all_done` here and owns the
+    /// end-of-segment notification.
+    progress: WorkProgress,
     tasks: Vec<BlockTask>,
     /// First block index of the segment.
     start: usize,
@@ -1228,13 +1332,22 @@ struct SegmentRun<J: MapReduceJob> {
     /// without the refresh a revolution-one straggler would be judged
     /// against the floor alone (the cold-start bug); the first committed
     /// block tightens it to `max(floor, ewma * slack)` for every claim
-    /// check that follows.
+    /// check that follows. With assist on the deadline no longer gates
+    /// tail re-execution — it only drives the miss accounting that feeds
+    /// worker exclusion.
     deadline_us: AtomicU64,
-    committed: AtomicUsize,
-    next_seq: AtomicU64,
     epoch: Instant,
     done: Mutex<bool>,
     done_cv: Condvar,
+}
+
+/// How a worker came to execute a block, for the commit-side accounting.
+enum BlockAttempt {
+    /// Claimed fresh off the segment's cursor.
+    Fresh,
+    /// Re-executed from the uncommitted tail (work-assist or legacy
+    /// deadline speculation); carries the claim word being raced.
+    Reexec(u64),
 }
 
 impl<J: MapReduceJob> SegmentRun<J> {
@@ -1242,77 +1355,77 @@ impl<J: MapReduceJob> SegmentRun<J> {
         self.epoch.elapsed().as_micros() as u64
     }
 
-    /// A fresh claim token: unique (sequence in the high bits, never 0 or
-    /// all-ones) and carrying its own timestamp (low 48 bits).
-    fn make_token(&self) -> u64 {
-        let seq = (self.next_seq.fetch_add(1, Ordering::Relaxed) & 0x7FFF) + 1;
-        (seq << 48) | (self.now_us() & TS_MASK)
-    }
-
-    /// Claim a block for worker `wi`: an unclaimed block if any (workers
-    /// start their search at staggered offsets to spread contention),
-    /// otherwise speculate on an expired claim. `None` means nothing is
-    /// claimable right now.
-    fn claim(&self, wi: usize) -> Option<(usize, u64, bool)> {
+    /// Pick an uncommitted tail block for an idle worker to re-execute, or
+    /// `None` if nothing is eligible right now.
+    ///
+    /// Work-assisting mode (`ft.assist`): any claimed, uncommitted block
+    /// qualifies immediately — the idle worker races the original owner,
+    /// first result wins. The deadline is still consulted, but only for
+    /// the exclusion policy: an expired claim marks its owner slow (once
+    /// per expiry, via a CAS restamp of the claim word).
+    ///
+    /// Legacy mode (`assist` off): only claims past the deadline qualify —
+    /// the paper's slot-checking recovery, per block — and the CAS restamp
+    /// doubles as the race guard, so each expiry is speculated once.
+    fn next_tail_block(&self, wi: usize, hint: usize, assist: bool) -> Option<(usize, u64)> {
         let n = self.tasks.len();
-        let hint = (wi * n) / self.shared.misses.len().max(1);
+        let deadline_us = self.deadline_us.load(Ordering::Relaxed);
         for off in 0..n {
             let ti = (hint + off) % n;
             let t = &self.tasks[ti];
-            if t.state.load(Ordering::Relaxed) == 0 {
-                let token = self.make_token();
-                if t
-                    .state
-                    .compare_exchange(0, token, Ordering::AcqRel, Ordering::Relaxed)
-                    .is_ok()
-                {
-                    t.owner.store(wi, Ordering::Relaxed);
-                    t.attempts.fetch_add(1, Ordering::Relaxed);
-                    return Some((ti, token, false));
-                }
+            if t.committed.load(Ordering::Acquire) {
+                continue;
             }
-        }
-        // No unclaimed block: look for a claim past its deadline — a
-        // stalled or lost task — and re-execute it (the paper's
-        // slot-checking recovery, per block).
-        let now = self.now_us();
-        let deadline_us = self.deadline_us.load(Ordering::Relaxed);
-        for (ti, t) in self.tasks.iter().enumerate() {
-            let s = t.state.load(Ordering::Relaxed);
-            if s != 0 && s != COMMITTED && now.saturating_sub(s & TS_MASK) > deadline_us {
-                let token = self.make_token();
-                if t
-                    .state
-                    .compare_exchange(s, token, Ordering::AcqRel, Ordering::Relaxed)
-                    .is_ok()
-                {
-                    let victim = t.owner.load(Ordering::Relaxed).min(self.shared.misses.len() - 1);
-                    t.owner.store(wi, Ordering::Relaxed);
-                    t.attempts.fetch_add(1, Ordering::Relaxed);
-                    self.shared.misses[victim].fetch_add(1, Ordering::Relaxed);
-                    if let Some(o) = &self.shared.obs {
-                        o.tasks_speculated.inc();
-                        o.tracer().instant(
-                            "speculate",
-                            Ids::seg((self.start + ti) as u64).jobs(victim as u64),
-                        );
-                    }
-                    return Some((ti, token, true));
-                }
+            let claim = t.claim.load(Ordering::Acquire);
+            if claim == 0 {
+                // Claimed off the cursor but the claim word is not stored
+                // yet — the owner is demonstrably live; re-check later.
+                continue;
             }
+            let now = self.now_us();
+            let expired = now.saturating_sub(claim & TS_MASK) > deadline_us;
+            if !assist && !expired {
+                continue;
+            }
+            let restamped = if expired {
+                // One miss per expiry window: whoever restamps the claim
+                // word charges the victim; concurrent racers skip.
+                t.claim
+                    .compare_exchange(claim, claim_word(wi, now), Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+            } else {
+                false
+            };
+            if !assist && !restamped {
+                continue; // legacy path: the restamp *is* the claim
+            }
+            let victim = ((claim >> 48) as usize - 1).min(self.shared.misses.len() - 1);
+            if restamped {
+                self.shared.misses[victim].fetch_add(1, Ordering::Relaxed);
+            }
+            if let Some(o) = &self.shared.obs {
+                o.tasks_speculated.inc();
+                o.tracer().instant(
+                    if assist { "assist" } else { "speculate" },
+                    Ids::seg((self.start + ti) as u64).jobs(victim as u64),
+                );
+            }
+            return Some((ti, claim));
         }
         None
     }
 }
 
 /// Scan one segment with retryable per-block tasks: claim → process →
-/// first-result-wins commit, with deadline-based speculation. The
-/// coordinator waits for every block to **commit**, not for every worker
-/// to return — a stalled worker never wedges the segment cadence; its
-/// blocks get speculated and it exits on its own once it notices the
-/// segment is done.
+/// first-result-wins commit. Fresh claims come off one packed
+/// [`WorkProgress`] word; workers that drain it **assist** the slow tail
+/// immediately ([`FtConfig::assist`]) or fall back to deadline-based
+/// speculation. The coordinator waits for every block to **commit**, not
+/// for every worker to return — a stalled worker never wedges the segment
+/// cadence; its blocks get re-executed and it exits on its own once it
+/// notices the segment is done.
 #[allow(clippy::too_many_arguments)]
-fn scan_segment_speculative<J: MapReduceJob + 'static>(
+fn scan_segment_resilient<J: MapReduceJob + 'static>(
     shared: &Arc<ServerShared<J>>,
     active: &[ActiveJob<J>],
     slots: &Arc<Vec<Mutex<Slot<J>>>>,
@@ -1322,9 +1435,9 @@ fn scan_segment_speculative<J: MapReduceJob + 'static>(
     pool: &WorkerPool,
     iter: u64,
     excluded_until: &[Option<u64>],
-) {
+) -> SegClaims {
     if active.is_empty() || start == end {
-        return;
+        return SegClaims { claimed: 0, completed: 0, claim_ops: 0 };
     }
     let nblocks = end - start;
     let ewma = shared.ewma_block_us.load(Ordering::Relaxed);
@@ -1348,18 +1461,16 @@ fn scan_segment_speculative<J: MapReduceJob + 'static>(
                 limit,
             })
             .collect(),
+        progress: WorkProgress::new(nblocks),
         tasks: (0..nblocks)
             .map(|_| BlockTask {
-                state: AtomicU64::new(0),
-                owner: AtomicUsize::new(0),
-                attempts: AtomicU64::new(0),
+                claim: AtomicU64::new(0),
+                committed: AtomicBool::new(false),
             })
             .collect(),
         start,
         iter,
         deadline_us: AtomicU64::new(deadline_us),
-        committed: AtomicUsize::new(0),
-        next_seq: AtomicU64::new(0),
         epoch: Instant::now(),
         done: Mutex::new(false),
         done_cv: Condvar::new(),
@@ -1379,99 +1490,168 @@ fn scan_segment_speculative<J: MapReduceJob + 'static>(
     while !*done {
         run.done_cv.wait(&mut done);
     }
+    drop(done);
+    // Every block committed exactly once: claimed is provably `nblocks`
+    // (the cursor was drained) and completed counts one winning commit per
+    // block. `claim_attempts` additionally carries the bounded overshoot
+    // of workers discovering the cursor was dry.
+    SegClaims {
+        claimed: run.progress.claimed(),
+        completed: run.progress.completed(),
+        claim_ops: run.progress.claim_attempts(),
+    }
 }
 
-/// One virtual worker of a speculative segment run.
+/// One virtual worker of a resilient segment run: drain fresh claims off
+/// the shared cursor, then work-assist (or deadline-speculate on) the
+/// uncommitted tail until the segment is done.
 fn seg_worker<J: MapReduceJob + 'static>(run: Arc<SegmentRun<J>>, wi: usize) {
-    let nblocks = run.tasks.len();
+    // Phase A — fresh claims: one fetch_add per block, no CAS loops.
+    while let Some(ti) = run.progress.claim() {
+        // Armed map panics fire here, synchronous with the claim, not
+        // inside `process_block`: with work-assisting duplicates in
+        // flight, an in-map check could be consumed by a *losing*
+        // execution that records the failure only after the segment's
+        // last commit, letting the doomed job's publish race its
+        // quarantine. A claim strictly precedes every execution of its
+        // block, so the failure is always recorded before the segment can
+        // report done.
+        fire_armed_map_panics(&run);
+        run.tasks[ti]
+            .claim
+            .store(claim_word(wi, run.now_us()), Ordering::Release);
+        execute_block(&run, wi, ti, BlockAttempt::Fresh);
+    }
+    // Phase B — the cursor is dry; only a claimed-but-uncommitted tail can
+    // remain. Assist it immediately, or (legacy mode) wait for deadlines
+    // to expire. Every pass either executes a real block or parks on the
+    // done condvar, so this never busy-spins.
+    let assist = run.shared.ft.assist;
+    let mut hint = wi;
     loop {
-        if run.committed.load(Ordering::Acquire) >= nblocks {
+        if run.progress.is_done() {
             break;
         }
-        let Some((ti, token, speculative)) = run.claim(wi) else {
-            // Nothing claimable: either the segment is about to finish or
-            // some claim will expire — wait a beat and re-check. Recomputed
-            // each pass because commits tighten the deadline as the EWMA
-            // warms up.
-            let wait_step = Duration::from_micros(
-                (run.deadline_us.load(Ordering::Relaxed) / 4).clamp(200, 2_000),
-            );
-            let mut done = run.done.lock();
-            if *done {
-                break;
+        match run.next_tail_block(wi, hint, assist) {
+            Some((ti, claim)) => {
+                hint = ti + 1;
+                execute_block(&run, wi, ti, BlockAttempt::Reexec(claim));
             }
-            run.done_cv.wait_for(&mut done, wait_step);
-            continue;
-        };
-        if let Some(f) = &run.shared.faults {
-            let d = f.map_delay_us(wi, run.iter);
-            if d > 0 {
-                std::thread::sleep(Duration::from_micros(d));
+            None => {
+                // Nothing eligible right now: the in-flight owners are
+                // live (or, legacy mode, not yet past deadline) — wait a
+                // beat and re-check. Recomputed each pass because commits
+                // tighten the deadline as the EWMA warms up.
+                let wait_step = Duration::from_micros(
+                    (run.deadline_us.load(Ordering::Relaxed) / 4).clamp(200, 2_000),
+                );
+                let mut done = run.done.lock();
+                if *done {
+                    break;
+                }
+                run.done_cv.wait_for(&mut done, wait_step);
             }
         }
-        let t_start = run.now_us();
-        let locals = process_block(&run, run.start + ti);
+    }
+}
+
+/// Fire any injected map panics that are armed for this segment. The
+/// panic is raised and caught right here so the recorded payload is the
+/// same `"injected map panic (job N)"` unwind the cooperative path
+/// produces from inside the map closure.
+fn fire_armed_map_panics<J: MapReduceJob + 'static>(run: &SegmentRun<J>) {
+    let Some(f) = &run.shared.faults else { return };
+    for sj in &run.jobs {
+        if !sj.failure.failed() && f.panics_map(sj.id, sj.segments_done) {
+            let payload = catch_unwind(AssertUnwindSafe(|| -> () {
+                panic!("injected map panic (job {})", sj.id)
+            }))
+            .unwrap_err();
+            sj.failure.record(payload);
+        }
+    }
+}
+
+/// Execute one block attempt end to end: injected delay, map, injected
+/// drop, first-result-wins commit, accumulator merge, EWMA/deadline
+/// refresh, and the win-side accounting for assists and speculation.
+fn execute_block<J: MapReduceJob + 'static>(
+    run: &Arc<SegmentRun<J>>,
+    wi: usize,
+    ti: usize,
+    attempt: BlockAttempt,
+) {
+    if let Some(f) = &run.shared.faults {
+        let d = f.map_delay_us(wi, run.iter);
+        if d > 0 {
+            std::thread::sleep(Duration::from_micros(d));
+        }
+    }
+    let t_start = run.now_us();
+    let locals = process_block(run, run.start + ti);
+    // An armed drop only fires on a *fresh claim* — "the first block the
+    // worker claims" means off the cursor. A re-execution consuming the
+    // one-shot would neutralize it (its result is racing an intact owner
+    // anyway), leaving nothing for the recovery path to prove.
+    if matches!(attempt, BlockAttempt::Fresh) {
         if let Some(f) = &run.shared.faults {
             if f.drops_task(wi, run.iter) {
                 // A lost task: the work happened but is never committed.
-                // The claim expires and deadline-based speculation — by
-                // another worker, or this one on a later pass — recovers
-                // the block. Recovery works even with a single worker.
-                continue;
+                // The tail loop — another worker's, or this one's on a
+                // later pass — recovers the block; with assist on it does
+                // so without waiting out a deadline. Recovery works even
+                // with a single worker.
+                return;
             }
         }
-        // First-result-wins, idempotent commit: whoever finishes first
-        // commits, even if a speculator has since re-claimed the block.
-        // Exactly one CAS to COMMITTED ever succeeds, so each block's
-        // results enter the accumulators exactly once.
-        let task = &run.tasks[ti];
-        let won = loop {
-            let s = task.state.load(Ordering::Acquire);
-            if s == COMMITTED {
-                break false;
+    }
+    // First-result-wins, idempotent commit: exactly one swap ever returns
+    // false, so each block's results enter the accumulators exactly once
+    // however many workers raced to re-execute it.
+    if run.tasks[ti].committed.swap(true, Ordering::AcqRel) {
+        return; // someone else's result landed first; discard ours
+    }
+    merge_locals(run, wi, locals);
+    let now = run.now_us();
+    let elapsed = now.saturating_sub(t_start);
+    let prev = run.shared.ewma_block_us.load(Ordering::Relaxed);
+    let next = if prev == 0 { elapsed.max(1) } else { (prev * 7 + elapsed) / 8 };
+    run.shared.ewma_block_us.store(next.max(1), Ordering::Relaxed);
+    // Refresh the segment's deadline from the updated EWMA. On the first
+    // revolution this is what seeds the deadline at all: the segment
+    // opened at the bare floor (EWMA empty), so the first commit
+    // immediately makes stragglers detectable instead of leaving the
+    // whole segment on the cold-start floor.
+    let floor = run.shared.ft.deadline_floor.as_micros() as u64;
+    run.deadline_us.store(
+        floor.max((next.max(1) as f64 * run.shared.ft.deadline_slack) as u64),
+        Ordering::Relaxed,
+    );
+    match attempt {
+        BlockAttempt::Reexec(claim) => {
+            if run.shared.ft.assist {
+                run.shared.blocks_assisted.fetch_add(1, Ordering::Relaxed);
             }
-            if task
-                .state
-                .compare_exchange(s, COMMITTED, Ordering::AcqRel, Ordering::Relaxed)
-                .is_ok()
-            {
-                break true;
-            }
-        };
-        if !won {
-            continue; // someone else's result landed first; discard ours
-        }
-        merge_locals(&run, wi, locals);
-        let now = run.now_us();
-        let elapsed = now.saturating_sub(t_start);
-        let prev = run.shared.ewma_block_us.load(Ordering::Relaxed);
-        let next = if prev == 0 { elapsed.max(1) } else { (prev * 7 + elapsed) / 8 };
-        run.shared.ewma_block_us.store(next.max(1), Ordering::Relaxed);
-        // Refresh the segment's deadline from the updated EWMA. On the
-        // first revolution this is what seeds the deadline at all: the
-        // segment opened at the bare floor (EWMA empty), so the first
-        // commit immediately makes stragglers detectable instead of
-        // leaving the whole segment on the cold-start floor.
-        let floor = run.shared.ft.deadline_floor.as_micros() as u64;
-        run.deadline_us.store(
-            floor.max((next.max(1) as f64 * run.shared.ft.deadline_slack) as u64),
-            Ordering::Relaxed,
-        );
-        if speculative {
             if let Some(o) = &run.shared.obs {
                 o.speculation_wins.inc();
-                o.recovery_us.record(now.saturating_sub(token & TS_MASK));
+                if run.shared.ft.assist {
+                    o.blocks_assisted.inc();
+                }
+                o.recovery_us.record(now.saturating_sub(claim & TS_MASK));
             }
-        } else if elapsed <= run.deadline_us.load(Ordering::Relaxed) {
-            // An in-deadline commit clears the worker's miss streak.
-            run.shared.misses[wi].store(0, Ordering::Relaxed);
         }
-        let done_count = run.committed.fetch_add(1, Ordering::AcqRel) + 1;
-        if done_count >= nblocks {
-            let mut done = run.done.lock();
-            *done = true;
-            run.done_cv.notify_all();
+        BlockAttempt::Fresh => {
+            if elapsed <= run.deadline_us.load(Ordering::Relaxed) {
+                // An in-deadline commit clears the worker's miss streak.
+                run.shared.misses[wi].store(0, Ordering::Relaxed);
+            }
         }
+    }
+    let (_, all_done) = run.progress.complete();
+    if all_done {
+        let mut done = run.done.lock();
+        *done = true;
+        run.done_cv.notify_all();
     }
 }
 
@@ -1507,11 +1687,6 @@ fn process_block<J: MapReduceJob + 'static>(
         let result = {
             let partial = &mut partial;
             catch_unwind(AssertUnwindSafe(|| {
-                if let Some(f) = &run.shared.faults {
-                    if f.panics_map(sj.id, sj.segments_done) {
-                        panic!("injected map panic (job {})", sj.id);
-                    }
-                }
                 if per_token {
                     if !tokenized {
                         tokens.extend(block.split_whitespace());

