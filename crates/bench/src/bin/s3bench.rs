@@ -59,6 +59,13 @@ const BASELINE_SINGLE_JOB_MS: f64 = 150.08;
 const BASELINE_SHARED_SCAN_BPS1_MS: f64 = 66.93;
 const BASELINE_ADMISSION_LATENCY_MS: f64 = 162.87;
 
+/// Immediately-previous PR's headline numbers (String-based scan path,
+/// measured with this harness at commit 3785dca), for the zero-copy
+/// kernel's end-to-end speedup accounting.
+const PREV_PR_COMMIT: &str = "3785dca";
+const PREV_PR_SINGLE_JOB_MS: f64 = 33.303013;
+const PREV_PR_SHARED_SCAN_BPS1_MS: f64 = 22.603631999999998;
+
 fn corpus() -> BlockStore {
     let gen = TextGen::new(10_000, 1.1);
     let text = gen.generate(&mut SimRng::seed_from_u64(31), CORPUS_BYTES);
@@ -247,6 +254,50 @@ fn segment_tail_json(snap: &s3_obs::MetricsSnapshot) -> serde_json::Value {
     })
 }
 
+/// Single-thread kernel microbenchmarks over the contiguous corpus:
+/// returns (tokenize, newline-find, wordcount-map) throughput in GB/s.
+/// The tokenize pass is the headline — the kernel target is >1 GB/s.
+fn bench_kernel_throughput(store: &BlockStore, repeats: usize) -> (f64, f64, f64) {
+    let data: Vec<u8> = store.iter().flat_map(|b| b.iter().copied()).collect();
+    let gb = data.len() as f64 / 1e9;
+    let gbps = |ms: f64| gb / (ms / 1e3);
+
+    let tokenize_ms = median_ms(
+        (0..repeats)
+            .map(|_| {
+                time_ms(|| {
+                    let mut n = 0usize;
+                    memchr::for_each_token(&data, |tok| n += tok.len());
+                    std::hint::black_box(n);
+                })
+            })
+            .collect(),
+    );
+    let newline_ms = median_ms(
+        (0..repeats)
+            .map(|_| {
+                time_ms(|| {
+                    std::hint::black_box(memchr::count_lines(&data));
+                })
+            })
+            .collect(),
+    );
+    let wordcount_ms = median_ms(
+        (0..repeats)
+            .map(|_| {
+                time_ms(|| {
+                    let mut m: s3_engine::TokenMap<i64> = s3_engine::TokenMap::new();
+                    memchr::for_each_token(&data, |tok| {
+                        m.upsert_within(&data, tok, 1, |a, n| *a += n);
+                    });
+                    std::hint::black_box(m.len());
+                })
+            })
+            .collect(),
+    );
+    (gbps(tokenize_ms), gbps(newline_ms), gbps(wordcount_ms))
+}
+
 /// One observed shared-scan revolution (identical workload to
 /// [`bench_shared_scan`], outside the timed samples) whose `engine.*` /
 /// `pool.*` metrics snapshot is embedded in the report. The snapshot
@@ -323,6 +374,14 @@ fn main() {
     let (assisted_ms, assisted_snap) = bench_tail_recovery(&store, repeats, true);
     eprintln!("  assisted_tail         {assisted_ms:>10.2} ms");
 
+    eprintln!("s3bench: scan-kernel microbench (single thread, contiguous corpus)...");
+    // More repeats: each pass is milliseconds, so medians are cheap.
+    let (tokenize_gbps, newline_gbps, wordcount_gbps) =
+        bench_kernel_throughput(&store, repeats * 3);
+    eprintln!("  kernel_tokenize       {tokenize_gbps:>10.2} GB/s");
+    eprintln!("  kernel_newline_find   {newline_gbps:>10.2} GB/s");
+    eprintln!("  kernel_wordcount_map  {wordcount_gbps:>10.2} GB/s");
+
     eprintln!("s3bench: capturing telemetry snapshot (observed shared scan)...");
     let metrics = capture_metrics_snapshot(&store);
 
@@ -365,6 +424,21 @@ fn main() {
             "single_job": (speedup(BASELINE_SINGLE_JOB_MS, single_job_ms)),
             "shared_scan_bps1": (speedup(BASELINE_SHARED_SCAN_BPS1_MS, shared_scan_ms)),
             "admission_latency": (speedup(BASELINE_ADMISSION_LATENCY_MS, admission_ms)),
+        },
+        "scan_kernel": {
+            "note": "vendored SWAR kernel, one thread over the contiguous corpus; end-to-end speedups are against the previous PR's String-based scan path",
+            "tokenize_gb_per_s": tokenize_gbps,
+            "newline_find_gb_per_s": newline_gbps,
+            "wordcount_map_gb_per_s": wordcount_gbps,
+            "prev_pr": {
+                "commit": PREV_PR_COMMIT,
+                "single_job_ms": PREV_PR_SINGLE_JOB_MS,
+                "shared_scan_bps1_ms": PREV_PR_SHARED_SCAN_BPS1_MS,
+            },
+            "speedup_vs_prev_pr": {
+                "single_job": (speedup(PREV_PR_SINGLE_JOB_MS, single_job_ms)),
+                "shared_scan_bps1": (speedup(PREV_PR_SHARED_SCAN_BPS1_MS, shared_scan_ms)),
+            },
         },
         "adaptive_vs_fixed": {
             "note": "shared revolution under a persistent straggler; adaptive = dynamic sub-job adjustment, base/min 1 block, max 32",

@@ -2,6 +2,7 @@
 //! reduce partitions in parallel — all phases running on a persistent
 //! [`WorkerPool`] instead of respawning OS threads per phase.
 
+use crate::arena::TokenMap;
 use crate::pool::{BlockClaims, WorkProgress, WorkerPool};
 use crate::store::BlockStore;
 use crate::types::MapReduceJob;
@@ -35,6 +36,27 @@ impl Default for ExecConfig {
     }
 }
 
+/// Which scan implementation walks the blocks.
+///
+/// [`ScanPath::Kernel`] is the production path: blocks are borrowed `&[u8]`
+/// slices split by the vendored SWAR kernel (`memchr::lines` /
+/// `memchr::tokens`) and fed to the byte-level job entry points, with the
+/// token-identity arena fast path when the job declares it.
+///
+/// [`ScanPath::Legacy`] is the pre-kernel `String` path kept as the
+/// byte-equality **oracle**: each block is UTF-8-converted (lossily for
+/// invalid bytes) and walked with `str::lines` / `split_whitespace` into the
+/// `&str` job entry points. The equivalence proptests run both and require
+/// byte-identical outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanPath {
+    /// Byte-slice SWAR kernel path (default).
+    #[default]
+    Kernel,
+    /// Legacy `&str` path, kept as the equivalence oracle.
+    Legacy,
+}
+
 /// Counters from one execution.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ScanStats {
@@ -65,6 +87,39 @@ pub(crate) fn partition_of<K: Hash>(key: &K, num_reducers: usize) -> usize {
     let mut h = FxHasher::default();
     key.hash(&mut h);
     (h.finish() % num_reducers as u64) as usize
+}
+
+/// Run one job's map over one block on the chosen scan path.
+///
+/// Kernel: borrowed byte slices through the SWAR line/token iterators into
+/// the byte-level entry points. Legacy: the pre-kernel behavior — UTF-8
+/// convert (lossily if invalid), `str::lines`, `&str` map.
+pub(crate) fn map_block<J: MapReduceJob>(
+    job: &J,
+    block: &[u8],
+    scan_path: ScanPath,
+    emit: &mut dyn FnMut(J::K, J::V),
+) {
+    match scan_path {
+        ScanPath::Kernel => {
+            if job.map_is_per_token() {
+                // Whole-block tokenization is exact for per-token jobs:
+                // `\n`/`\r` are whitespace, so block tokens == the
+                // concatenation of every line's tokens.
+                memchr::for_each_token(block, |tok| job.map_token_bytes(tok, emit));
+            } else {
+                for line in memchr::lines(block) {
+                    job.map_bytes(line, emit);
+                }
+            }
+        }
+        ScanPath::Legacy => {
+            let text = String::from_utf8_lossy(block);
+            for line in text.lines() {
+                job.map(line, emit);
+            }
+        }
+    }
 }
 
 /// Run one job over the whole store.
@@ -109,6 +164,34 @@ pub fn run_job_observed<J: MapReduceJob>(
     cfg: &ExecConfig,
     obs: &Obs,
 ) -> JobOutput<J::K, J::Out> {
+    run_job_path(pool, job, store, cfg, obs, ScanPath::Kernel)
+}
+
+/// Run one job over the legacy `&str` scan path (see [`ScanPath::Legacy`]).
+///
+/// This is the byte-equality oracle: same outputs, same stats, none of the
+/// kernel machinery. Spawns its own pool like [`run_job`].
+///
+/// # Panics
+/// Panics if `cfg` has zero threads or reducers.
+pub fn run_job_legacy<J: MapReduceJob>(
+    job: &J,
+    store: &BlockStore,
+    cfg: &ExecConfig,
+) -> JobOutput<J::K, J::Out> {
+    assert!(cfg.num_threads > 0, "need at least one thread");
+    let pool = WorkerPool::new(cfg.num_threads);
+    run_job_path(&pool, job, store, cfg, &Obs::off(), ScanPath::Legacy)
+}
+
+fn run_job_path<J: MapReduceJob>(
+    pool: &WorkerPool,
+    job: &J,
+    store: &BlockStore,
+    cfg: &ExecConfig,
+    obs: &Obs,
+    scan_path: ScanPath,
+) -> JobOutput<J::K, J::Out> {
     assert!(cfg.num_reducers > 0, "need at least one reducer");
     let core = obs.core();
 
@@ -133,25 +216,47 @@ pub fn run_job_observed<J: MapReduceJob>(
             (0..cfg.num_reducers).map(|_| Vec::new()).collect();
         let mut emitted = 0u64;
         let mut bytes = 0u64;
-        if fold {
-            // One accumulator per key for the worker's whole run: no
-            // per-value buffering, no deferred combine pass.
-            let mut local: FxHashMap<J::K, J::V> = FxHashMap::default();
+        if fold && scan_path == ScanPath::Kernel && job.map_emits_token() {
+            // Token-identity fast path: fold under the raw token bytes in a
+            // per-worker arena; each distinct token's key is built exactly
+            // once, at flush. Tokenizing the whole block (instead of per
+            // line) is exact because `\n`/`\r` are whitespace.
+            let mut local: TokenMap<J::V> = TokenMap::new();
             while let Some(idx) = claims.claim() {
                 let block = store.block(idx);
                 bytes += block.len() as u64;
-                for line in block.lines() {
-                    job.map(line, &mut |k, v| {
+                memchr::for_each_token(block, |tok| {
+                    if let Some(v) = job.token_value(tok) {
                         emitted += 1;
-                        match local.entry(k) {
-                            std::collections::hash_map::Entry::Occupied(mut e) => {
-                                job.combine_fold(e.get_mut(), v);
-                            }
-                            std::collections::hash_map::Entry::Vacant(e) => {
-                                e.insert(v);
-                            }
+                        local.upsert_within(block, tok, v, |acc, next| job.combine_fold(acc, next));
+                    }
+                });
+            }
+            local.drain_into(|tok, v| {
+                let k = job.token_key(tok);
+                let p = partition_of(&k, cfg.num_reducers);
+                partitions[p].push((k, v));
+            });
+        } else if fold {
+            // One accumulator per key for the worker's whole run: no
+            // per-value buffering, no deferred combine pass.
+            let mut local: FxHashMap<J::K, J::V> = FxHashMap::default();
+            {
+                let mut sink = |k: J::K, v: J::V| {
+                    emitted += 1;
+                    match local.entry(k) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            job.combine_fold(e.get_mut(), v);
                         }
-                    });
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(v);
+                        }
+                    }
+                };
+                while let Some(idx) = claims.claim() {
+                    let block = store.block(idx);
+                    bytes += block.len() as u64;
+                    map_block(job, block, scan_path, &mut sink);
                 }
             }
             for (k, v) in local {
@@ -164,12 +269,10 @@ pub fn run_job_observed<J: MapReduceJob>(
                 bytes += block.len() as u64;
                 // Block-local grouping so the combiner can fold.
                 let mut local: FxHashMap<J::K, Vec<J::V>> = FxHashMap::default();
-                for line in block.lines() {
-                    job.map(line, &mut |k, v| {
-                        emitted += 1;
-                        local.entry(k).or_default().push(v);
-                    });
-                }
+                map_block(job, block, scan_path, &mut |k, v| {
+                    emitted += 1;
+                    local.entry(k).or_default().push(v);
+                });
                 for (k, vs) in local {
                     let folded = job.combine(&k, vs);
                     let p = partition_of(&k, cfg.num_reducers);
@@ -224,8 +327,8 @@ pub fn run_job_observed<J: MapReduceJob>(
         Mutex<Vec<(<J as MapReduceJob>::K, <J as MapReduceJob>::V)>>;
     let shuffled: Vec<LockedPartition<J>> = shuffled.into_iter().map(Mutex::new).collect();
     let shuffled = &shuffled;
-    let reduced: Vec<BTreeMap<J::K, J::Out>> = pool.broadcast(num_threads, &|_| {
-        let mut out = BTreeMap::new();
+    let reduced: Vec<Vec<(J::K, J::Out)>> = pool.broadcast(num_threads, &|_| {
+        let mut out = Vec::new();
         loop {
             let p = next_partition.fetch_add(1, Ordering::Relaxed);
             if p >= num_partitions {
@@ -237,10 +340,15 @@ pub fn run_job_observed<J: MapReduceJob>(
         out
     });
 
-    let mut records = BTreeMap::new();
+    // Each key lives in exactly one partition, so the concatenation has no
+    // duplicates: one sort plus a bulk tree build beats per-key ordered
+    // inserts (which re-compare the key at every tree level).
+    let mut flat: Vec<(J::K, J::Out)> = Vec::new();
     for part in reduced {
-        records.extend(part);
+        flat.extend(part);
     }
+    flat.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    let records = BTreeMap::from_iter(flat);
     if let (Some(c), Some(t0)) = (core, reduce_t0) {
         c.tracer
             .span("reduce_phase", t0, Ids::none().jobs(num_partitions as u64));
@@ -255,37 +363,40 @@ pub fn run_job_observed<J: MapReduceJob>(
 }
 
 /// Group one owned partition by key — moving records, never cloning — and
-/// reduce each group into `out`.
+/// reduce each group into `out` (unordered; the caller sorts once).
 fn reduce_partition<J: MapReduceJob>(
     job: &J,
     part: Vec<(J::K, J::V)>,
-    out: &mut BTreeMap<J::K, J::Out>,
+    out: &mut Vec<(J::K, J::Out)>,
 ) {
+    // Group under a hash map — O(1) per record instead of a B-tree's
+    // log-n key compares — and only pay for ordering once, inserting the
+    // surviving (key, output) pairs into the sorted result.
     if job.combine_is_fold() {
-        let mut grouped: BTreeMap<J::K, J::V> = BTreeMap::new();
+        let mut grouped: FxHashMap<J::K, J::V> = FxHashMap::default();
         for (k, v) in part {
             match grouped.entry(k) {
-                std::collections::btree_map::Entry::Occupied(mut e) => {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
                     job.combine_fold(e.get_mut(), v);
                 }
-                std::collections::btree_map::Entry::Vacant(e) => {
+                std::collections::hash_map::Entry::Vacant(e) => {
                     e.insert(v);
                 }
             }
         }
         for (k, v) in grouped {
             if let Some(o) = job.reduce(&k, std::slice::from_ref(&v)) {
-                out.insert(k, o);
+                out.push((k, o));
             }
         }
     } else {
-        let mut grouped: BTreeMap<J::K, Vec<J::V>> = BTreeMap::new();
+        let mut grouped: FxHashMap<J::K, Vec<J::V>> = FxHashMap::default();
         for (k, v) in part {
             grouped.entry(k).or_default().push(v);
         }
         for (k, vs) in grouped {
             if let Some(o) = job.reduce(&k, &vs) {
-                out.insert(k, o);
+                out.push((k, o));
             }
         }
     }

@@ -227,8 +227,8 @@ where
                 }
                 let block = store.block(idx);
                 bytes += block.len() as u64;
-                for line in block.lines() {
-                    job.map(line, &mut |k, v| {
+                for line in memchr::lines(block) {
+                    job.map_bytes(line, &mut |k, v| {
                         emitted += 1;
                         let p = partition_of(&k, cfg.exec.num_reducers) as u32;
                         buffer.push((p, k, v));
@@ -426,6 +426,11 @@ where
         fn map(&self, line: &str, emit: &mut dyn FnMut(Self::K, Self::V)) {
             for (ji, job) in self.0.iter().enumerate() {
                 job.map(line, &mut |k, v| emit((ji, k), v));
+            }
+        }
+        fn map_bytes(&self, line: &[u8], emit: &mut dyn FnMut(Self::K, Self::V)) {
+            for (ji, job) in self.0.iter().enumerate() {
+                job.map_bytes(line, &mut |k, v| emit((ji, k), v));
             }
         }
         fn combine(&self, key: &Self::K, values: Vec<Self::V>) -> Vec<Self::V> {

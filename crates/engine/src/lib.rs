@@ -56,6 +56,7 @@
 //! map wave as conditions drift — without ever changing job outputs
 //! (resized revolutions stay byte-identical to solo runs).
 
+pub mod arena;
 pub mod exec;
 pub mod external;
 pub mod fault;
@@ -65,7 +66,11 @@ pub mod shared;
 pub mod store;
 pub mod types;
 
-pub use exec::{run_job, run_job_observed, run_job_on, ExecConfig, JobOutput, ScanStats};
+pub use arena::TokenMap;
+pub use exec::{
+    run_job, run_job_legacy, run_job_observed, run_job_on, ExecConfig, JobOutput, ScanPath,
+    ScanStats,
+};
 pub use external::{
     run_job_external, run_job_external_observed, run_merged_external,
     run_merged_external_observed, ExternalConfig, SpillStats,
@@ -74,6 +79,6 @@ pub use fault::{ArmedFaults, EngineChaosConfig, EngineFault, FaultPlan, FtConfig
 pub use pool::{BlockClaims, WorkProgress, WorkerPool};
 pub use s3_obs::Obs;
 pub use scan_server::{AdaptiveConfig, JobHandle, ServerConfig, SharedScanServer};
-pub use shared::{run_merged, run_merged_observed, run_merged_on};
-pub use store::BlockStore;
+pub use shared::{run_merged, run_merged_legacy, run_merged_observed, run_merged_on};
+pub use store::{BlockStore, NonUtf8Block};
 pub use types::{JobError, JobResult, MapReduceJob};

@@ -72,7 +72,8 @@
 //! server.shutdown();
 //! ```
 
-use crate::exec::{JobOutput, ScanStats};
+use crate::arena::TokenMap;
+use crate::exec::{JobOutput, ScanPath, ScanStats};
 use crate::fault::{ArmedFaults, FaultPlan, FtConfig};
 use crate::pool::{BlockClaims, WorkProgress, WorkerPool};
 use crate::store::BlockStore;
@@ -180,16 +181,28 @@ impl ServerObs {
 }
 
 /// Map-side accumulator for one job on one worker: fold jobs stream into
-/// one value per key, buffering jobs keep the runs for a later combine.
+/// one value per key, buffering jobs keep the runs for a later combine,
+/// and token-identity fold jobs ([`MapReduceJob::map_emits_token`]) fold
+/// under the raw token bytes in a [`TokenMap`] arena — no key is
+/// materialized until the reduce shards call `token_key` once per distinct
+/// token.
 enum JobAcc<J: MapReduceJob> {
     Fold(FxHashMap<J::K, J::V>),
     Buf(FxHashMap<J::K, Vec<J::V>>),
+    Tok(TokenMap<J::V>),
 }
 
 impl<J: MapReduceJob> JobAcc<J> {
-    fn new(fold: bool) -> Self {
-        if fold {
-            JobAcc::Fold(FxHashMap::default())
+    /// The accumulator kind is a pure function of the job's declared flags
+    /// and the server's scan path, so every worker (and the speculative
+    /// path's block-local accumulators) picks the same variant for a job.
+    fn for_job(job: &J, scan_path: ScanPath) -> Self {
+        if job.combine_is_fold() {
+            if scan_path == ScanPath::Kernel && job.map_emits_token() {
+                JobAcc::Tok(TokenMap::new())
+            } else {
+                JobAcc::Fold(FxHashMap::default())
+            }
         } else {
             JobAcc::Buf(FxHashMap::default())
         }
@@ -206,6 +219,19 @@ impl<J: MapReduceJob> JobAcc<J> {
                 }
             },
             JobAcc::Buf(map) => map.entry(k).or_default().push(v),
+            JobAcc::Tok(_) => unreachable!("token-identity jobs fold via push_token"),
+        }
+    }
+
+    /// Fold one token occurrence into the arena (token-identity jobs only).
+    /// `block` is the buffer the token borrows from (see
+    /// [`TokenMap::upsert_within`]).
+    fn push_token(&mut self, job: &J, block: &[u8], token: &[u8], v: J::V) {
+        match self {
+            JobAcc::Tok(map) => {
+                map.upsert_within(block, token, v, |acc, next| job.combine_fold(acc, next))
+            }
+            _ => unreachable!("push_token requires a token-identity accumulator"),
         }
     }
 
@@ -230,7 +256,87 @@ impl<J: MapReduceJob> JobAcc<J> {
                     m.entry(k).or_default().append(&mut vs);
                 }
             }
+            (JobAcc::Tok(m), JobAcc::Tok(o)) => {
+                m.merge_from(o, |acc, next| job.combine_fold(acc, next));
+            }
             _ => unreachable!("accumulator kinds are fixed per job"),
+        }
+    }
+}
+
+/// Run one job's map over one block into its accumulator.
+///
+/// Kernel path: byte slices through the SWAR iterators. `tokens`/`tokenized`
+/// is the block's shared tokenization cache — filled lazily by the first
+/// per-token job, reused by every other one (the cache must be cleared by
+/// the caller at each new block). Token-identity jobs fold straight into the
+/// arena accumulator.
+///
+/// Legacy path (the byte-equality oracle): lossy `&str` conversion, then
+/// `str::lines` / `split_whitespace` into the `&str` entry points, exactly
+/// as before the kernel existed.
+///
+/// User map code may panic; callers wrap this in their per-(job, block)
+/// `catch_unwind`.
+fn scan_block_for_job<'b, J: MapReduceJob>(
+    job: &J,
+    scan_path: ScanPath,
+    block: &'b [u8],
+    tokens: &mut Vec<&'b [u8]>,
+    tokenized: &mut bool,
+    emitted: &mut u64,
+    acc: &mut JobAcc<J>,
+) {
+    match scan_path {
+        ScanPath::Kernel => {
+            if job.map_is_per_token() {
+                if !*tokenized {
+                    // One tokenization shared by every token job. Whole-block
+                    // tokenization is exact: `\n`/`\r` are whitespace.
+                    memchr::for_each_token(block, |t| tokens.push(t));
+                    *tokenized = true;
+                }
+                if matches!(acc, JobAcc::Tok(_)) {
+                    for tk in tokens.iter() {
+                        if let Some(v) = job.token_value(tk) {
+                            *emitted += 1;
+                            acc.push_token(job, block, tk, v);
+                        }
+                    }
+                } else {
+                    for tk in tokens.iter() {
+                        job.map_token_bytes(tk, &mut |k, v| {
+                            *emitted += 1;
+                            acc.push(job, k, v);
+                        });
+                    }
+                }
+            } else {
+                for line in memchr::lines(block) {
+                    job.map_bytes(line, &mut |k, v| {
+                        *emitted += 1;
+                        acc.push(job, k, v);
+                    });
+                }
+            }
+        }
+        ScanPath::Legacy => {
+            let text = String::from_utf8_lossy(block);
+            if job.map_is_per_token() {
+                for tk in text.split_whitespace() {
+                    job.map_token(tk, &mut |k, v| {
+                        *emitted += 1;
+                        acc.push(job, k, v);
+                    });
+                }
+            } else {
+                for line in text.lines() {
+                    job.map(line, &mut |k, v| {
+                        *emitted += 1;
+                        acc.push(job, k, v);
+                    });
+                }
+            }
         }
     }
 }
@@ -444,11 +550,15 @@ pub struct ServerConfig {
     pub faults: Option<FaultPlan>,
     /// Adaptive segment sizing (off by default).
     pub adaptive: AdaptiveConfig,
+    /// Which scan implementation walks the blocks:
+    /// [`ScanPath::Kernel`] (default) or the legacy `&str` oracle path.
+    pub scan_path: ScanPath,
 }
 
 impl ServerConfig {
     /// The default configuration: unobserved, quarantine only (no
-    /// speculation), no injected faults, fixed segment boundaries.
+    /// speculation), no injected faults, fixed segment boundaries, kernel
+    /// scan path.
     pub fn new(blocks_per_segment: usize, num_threads: usize) -> Self {
         ServerConfig {
             blocks_per_segment,
@@ -457,6 +567,7 @@ impl ServerConfig {
             ft: FtConfig::default(),
             faults: None,
             adaptive: AdaptiveConfig::default(),
+            scan_path: ScanPath::Kernel,
         }
     }
 }
@@ -504,6 +615,8 @@ struct ServerShared<J: MapReduceJob> {
     ft: FtConfig,
     /// Injected faults, armed for this server's lifetime.
     faults: Option<Arc<ArmedFaults>>,
+    /// Which scan implementation walks the blocks (kernel or legacy).
+    scan_path: ScanPath,
     /// EWMA of block-scan time (µs); drives the speculative deadline.
     ewma_block_us: AtomicU64,
     /// Consecutive deadline misses per virtual worker; reset by an
@@ -607,6 +720,7 @@ impl<J: MapReduceJob + 'static> SharedScanServer<J> {
             blocks_assisted: AtomicU64::new(0),
             ft: config.ft,
             faults: config.faults.as_ref().map(|p| p.arm()),
+            scan_path: config.scan_path,
             ewma_block_us: AtomicU64::new(0),
             misses: (0..num_threads).map(|_| AtomicU32::new(0)).collect(),
             obs: ServerObs::new(&config.obs),
@@ -1193,14 +1307,14 @@ fn scan_segment<J: MapReduceJob + 'static>(
                         a.id,
                         JobPartial {
                             emitted: 0,
-                            acc: JobAcc::new(a.job.combine_is_fold()),
+                            acc: JobAcc::for_job(&*a.job, shared.scan_path),
                         },
                     ));
                     slot.len() - 1
                 }
             })
             .collect();
-        let mut tokens: Vec<&str> = Vec::new();
+        let mut tokens: Vec<&[u8]> = Vec::new();
         while let Some(li) = claims.claim() {
             let idx = start + li;
             if let Some(f) = faults {
@@ -1222,7 +1336,6 @@ fn scan_segment<J: MapReduceJob + 'static>(
                     continue;
                 }
                 let job = &*a.job;
-                let per_token = job.map_is_per_token();
                 let JobPartial { emitted, acc } = &mut slot[idxs[pos]].1;
                 // Quarantine granularity: one (job, block) unit. A panic
                 // may leave this job's partial half-updated for the block;
@@ -1234,26 +1347,15 @@ fn scan_segment<J: MapReduceJob + 'static>(
                             panic!("injected map panic (job {})", a.id);
                         }
                     }
-                    if per_token {
-                        if !tokenized {
-                            // One tokenization shared by every token job.
-                            tokens.extend(block.split_whitespace());
-                            tokenized = true;
-                        }
-                        for tk in &tokens {
-                            job.map_token(tk, &mut |k, v| {
-                                *emitted += 1;
-                                acc.push(job, k, v);
-                            });
-                        }
-                    } else {
-                        for line in block.lines() {
-                            job.map(line, &mut |k, v| {
-                                *emitted += 1;
-                                acc.push(job, k, v);
-                            });
-                        }
-                    }
+                    scan_block_for_job(
+                        job,
+                        shared.scan_path,
+                        block,
+                        &mut tokens,
+                        &mut tokenized,
+                        emitted,
+                        acc,
+                    );
                 }));
                 if let Err(p) = result {
                     a.failure.record(p);
@@ -1664,7 +1766,7 @@ fn process_block<J: MapReduceJob + 'static>(
     block_idx: usize,
 ) -> Vec<Option<JobPartial<J>>> {
     let block = run.shared.store.block(block_idx);
-    let mut tokens: Vec<&str> = Vec::new();
+    let mut tokens: Vec<&[u8]> = Vec::new();
     let mut tokenized = false;
     let mut out = Vec::with_capacity(run.jobs.len());
     for sj in &run.jobs {
@@ -1679,33 +1781,22 @@ fn process_block<J: MapReduceJob + 'static>(
             continue;
         }
         let job = &*sj.job;
-        let per_token = job.map_is_per_token();
         let mut partial = JobPartial {
             emitted: 0,
-            acc: JobAcc::new(job.combine_is_fold()),
+            acc: JobAcc::for_job(job, run.shared.scan_path),
         };
         let result = {
             let partial = &mut partial;
             catch_unwind(AssertUnwindSafe(|| {
-                if per_token {
-                    if !tokenized {
-                        tokens.extend(block.split_whitespace());
-                        tokenized = true;
-                    }
-                    for tk in &tokens {
-                        job.map_token(tk, &mut |k, v| {
-                            partial.emitted += 1;
-                            partial.acc.push(job, k, v);
-                        });
-                    }
-                } else {
-                    for line in block.lines() {
-                        job.map(line, &mut |k, v| {
-                            partial.emitted += 1;
-                            partial.acc.push(job, k, v);
-                        });
-                    }
-                }
+                scan_block_for_job(
+                    job,
+                    run.shared.scan_path,
+                    block,
+                    &mut tokens,
+                    &mut tokenized,
+                    &mut partial.emitted,
+                    &mut partial.acc,
+                );
             }))
         };
         match result {
@@ -1739,7 +1830,7 @@ fn merge_locals<J: MapReduceJob + 'static>(
                     sj.id,
                     JobPartial {
                         emitted: 0,
-                        acc: JobAcc::new(sj.job.combine_is_fold()),
+                        acc: JobAcc::for_job(&*sj.job, run.shared.scan_path),
                     },
                 ));
                 slot.len() - 1
@@ -1768,6 +1859,9 @@ struct FinishCtx<J: MapReduceJob> {
     obs: Option<Arc<ServerObs>>,
 }
 
+/// One shard's reduced output: unordered (key, output) pairs.
+type ReducedPart<J> = Vec<(<J as MapReduceJob>::K, <J as MapReduceJob>::Out)>;
+
 struct FinishState<J: MapReduceJob> {
     sharded: bool,
     /// Per-worker accumulators, as collected by the coordinator.
@@ -1775,7 +1869,7 @@ struct FinishState<J: MapReduceJob> {
     /// Key-hash shards, built lazily by the first shard task to run.
     buckets: Vec<Option<JobAcc<J>>>,
     /// Reduced output of each shard.
-    parts: Vec<Option<BTreeMap<J::K, J::Out>>>,
+    parts: Vec<Option<ReducedPart<J>>>,
 }
 
 /// Collect the finished job's worker partials (cheap: map moves, no record
@@ -1797,9 +1891,16 @@ fn finish_job<J: MapReduceJob + 'static>(
         if let Some(p) = slot.iter().position(|(id, _)| *id == job.id) {
             let (_, partial) = slot.swap_remove(p);
             map_output_records += partial.emitted;
-            if let JobAcc::Fold(m) = &partial.acc {
-                distinct_fold_keys += m.len() as u64;
-                folded = true;
+            match &partial.acc {
+                JobAcc::Fold(m) => {
+                    distinct_fold_keys += m.len() as u64;
+                    folded = true;
+                }
+                JobAcc::Tok(m) => {
+                    distinct_fold_keys += m.len() as u64;
+                    folded = true;
+                }
+                JobAcc::Buf(_) => {}
             }
             partials.push(partial.acc);
         }
@@ -1853,7 +1954,7 @@ fn finish_shard_inner<J: MapReduceJob + 'static>(
     ctx: &FinishCtx<J>,
     s: usize,
     nshards: usize,
-) -> BTreeMap<J::K, J::Out> {
+) -> Vec<(J::K, J::Out)> {
     if let Some(f) = &ctx.faults {
         let d = f.reduce_delay_us(ctx.job_id, s);
         if d > 0 {
@@ -1870,7 +1971,17 @@ fn finish_shard_inner<J: MapReduceJob + 'static>(
             // hash — off the coordinator like everything else here.
             let partials = std::mem::take(&mut st.partials);
             let fold = ctx.job.combine_is_fold();
-            let mut buckets: Vec<JobAcc<J>> = (0..nshards).map(|_| JobAcc::new(fold)).collect();
+            // Buckets hold materialized keys, so token-identity partials
+            // shard into plain Fold buckets (the fast path implies fold).
+            let mut buckets: Vec<JobAcc<J>> = (0..nshards)
+                .map(|_| {
+                    if fold {
+                        JobAcc::Fold(FxHashMap::default())
+                    } else {
+                        JobAcc::Buf(FxHashMap::default())
+                    }
+                })
+                .collect();
             for acc in partials {
                 match acc {
                     JobAcc::Fold(map) => {
@@ -1880,12 +1991,21 @@ fn finish_shard_inner<J: MapReduceJob + 'static>(
                             buckets[b].push(&*ctx.job, k, v);
                         }
                     }
+                    JobAcc::Tok(map) => {
+                        // The one place the fast path builds real keys:
+                        // once per distinct token per worker accumulator.
+                        map.drain_into(|tok, v| {
+                            let k = ctx.job.token_key(tok);
+                            let b = (fxhash::hash64(&k) % nshards as u64) as usize;
+                            buckets[b].push(&*ctx.job, k, v);
+                        });
+                    }
                     JobAcc::Buf(map) => {
                         for (k, mut vs) in map {
                             let b = (fxhash::hash64(&k) % nshards as u64) as usize;
                             match &mut buckets[b] {
                                 JobAcc::Buf(m) => m.entry(k).or_default().append(&mut vs),
-                                JobAcc::Fold(_) => unreachable!("bucket kind matches job kind"),
+                                _ => unreachable!("bucket kind matches job kind"),
                             }
                         }
                     }
@@ -1897,14 +2017,15 @@ fn finish_shard_inner<J: MapReduceJob + 'static>(
         st.buckets[s].take()
     };
 
-    // Reduce this shard outside the lock so shards run in parallel.
-    let mut part = BTreeMap::new();
+    // Reduce this shard outside the lock so shards run in parallel. The
+    // part stays unordered — the publisher sorts all shards in one pass.
+    let mut part = Vec::new();
     if let Some(acc) = bucket {
         match acc {
             JobAcc::Fold(map) => {
                 for (k, v) in map {
                     if let Some(o) = ctx.job.reduce(&k, std::slice::from_ref(&v)) {
-                        part.insert(k, o);
+                        part.push((k, o));
                     }
                 }
             }
@@ -1912,10 +2033,11 @@ fn finish_shard_inner<J: MapReduceJob + 'static>(
                 for (k, vs) in map {
                     let folded = ctx.job.combine(&k, vs);
                     if let Some(o) = ctx.job.reduce(&k, &folded) {
-                        part.insert(k, o);
+                        part.push((k, o));
                     }
                 }
             }
+            JobAcc::Tok(_) => unreachable!("buckets hold materialized keys"),
         }
     }
     part
@@ -1930,7 +2052,7 @@ fn run_finish_shard<J: MapReduceJob + 'static>(ctx: Arc<FinishCtx<J>>, s: usize,
         Ok(part) => part,
         Err(p) => {
             ctx.failure.record(p);
-            BTreeMap::new()
+            Vec::new()
         }
     };
     ctx.state.lock().parts[s] = Some(part);
@@ -1952,10 +2074,14 @@ fn run_finish_shard<J: MapReduceJob + 'static>(ctx: Arc<FinishCtx<J>>, s: usize,
             return;
         }
         let parts = std::mem::take(&mut ctx.state.lock().parts);
-        let mut records = BTreeMap::new();
+        // Shards hold disjoint key sets (split by key hash), so the
+        // concatenation is duplicate-free: sort once, bulk-build the tree.
+        let mut flat: Vec<(J::K, J::Out)> = Vec::new();
         for p in parts {
-            records.extend(p.expect("every shard stored its part"));
+            flat.extend(p.expect("every shard stored its part"));
         }
+        flat.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let records = BTreeMap::from_iter(flat);
         let mut stats = ctx.stats;
         stats.reduce_output_records = records.len() as u64;
         let output = JobOutput { records, stats };

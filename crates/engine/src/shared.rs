@@ -16,7 +16,8 @@
 //! is what makes shared scanning a pure optimization; the test suite and
 //! `tests/` integration tests enforce it record-for-record.
 
-use crate::exec::{partition_of, ExecConfig, JobOutput, ScanStats};
+use crate::arena::TokenMap;
+use crate::exec::{partition_of, ExecConfig, JobOutput, ScanPath, ScanStats};
 use crate::pool::WorkerPool;
 use crate::store::BlockStore;
 use crate::types::MapReduceJob;
@@ -95,6 +96,33 @@ pub fn run_merged_observed<J: MapReduceJob>(
     cfg: &ExecConfig,
     obs: &Obs,
 ) -> Vec<JobOutput<J::K, J::Out>> {
+    run_merged_path(pool, jobs, store, cfg, obs, ScanPath::Kernel)
+}
+
+/// Run a shared scan over the legacy `&str` path (see
+/// [`ScanPath::Legacy`](crate::ScanPath::Legacy)) — the byte-equality
+/// oracle for [`run_merged`]. Spawns its own pool.
+///
+/// # Panics
+/// Panics if `jobs` is empty or `cfg` has zero threads or reducers.
+pub fn run_merged_legacy<J: MapReduceJob>(
+    jobs: &[&J],
+    store: &BlockStore,
+    cfg: &ExecConfig,
+) -> Vec<JobOutput<J::K, J::Out>> {
+    assert!(cfg.num_threads > 0, "need at least one thread");
+    let pool = WorkerPool::new(cfg.num_threads);
+    run_merged_path(&pool, jobs, store, cfg, &Obs::off(), ScanPath::Legacy)
+}
+
+fn run_merged_path<J: MapReduceJob>(
+    pool: &WorkerPool,
+    jobs: &[&J],
+    store: &BlockStore,
+    cfg: &ExecConfig,
+    obs: &Obs,
+    scan_path: ScanPath,
+) -> Vec<JobOutput<J::K, J::Out>> {
     assert!(!jobs.is_empty(), "merged run needs at least one job");
     assert!(cfg.num_reducers > 0, "need at least one reducer");
     let core = obs.core();
@@ -108,6 +136,14 @@ pub fn run_merged_observed<J: MapReduceJob>(
     // Jobs that share the tokenization pass vs. jobs that see whole lines.
     let token_jobs: Vec<usize> = (0..num_jobs).filter(|&ji| jobs[ji].map_is_per_token()).collect();
     let line_jobs: Vec<usize> = (0..num_jobs).filter(|&ji| !jobs[ji].map_is_per_token()).collect();
+    // Token-identity fast path (kernel only): fold under raw token bytes in
+    // a per-worker arena, building each distinct key once at flush.
+    let fast_flags: Vec<bool> = (0..num_jobs)
+        .map(|ji| {
+            scan_path == ScanPath::Kernel && fold_flags[ji] && jobs[ji].map_emits_token()
+        })
+        .collect();
+    let fast_flags = &fast_flags;
 
     // ---- shared map phase: tag tuples with their job index ----
     let map_t0 = core.map(|c| c.tracer.now_us());
@@ -124,6 +160,7 @@ pub fn run_merged_observed<J: MapReduceJob>(
             (0..num_jobs).map(|_| FxHashMap::default()).collect();
         let mut bufs: Vec<FxHashMap<J::K, Vec<J::V>>> =
             (0..num_jobs).map(|_| FxHashMap::default()).collect();
+        let mut tok_maps: Vec<TokenMap<J::V>> = (0..num_jobs).map(|_| TokenMap::new()).collect();
         loop {
             let idx = next_block.fetch_add(1, Ordering::Relaxed);
             if idx >= num_blocks {
@@ -131,45 +168,105 @@ pub fn run_merged_observed<J: MapReduceJob>(
             }
             let block = store.block(idx);
             bytes += block.len() as u64;
-            // One pass over the records; every job maps each one. Token
-            // jobs share a single tokenization of the line.
-            for line in block.lines() {
-                if !token_jobs.is_empty() {
-                    for token in line.split_whitespace() {
-                        for &ji in &token_jobs {
+            match scan_path {
+                ScanPath::Kernel => {
+                    // One pass over the records; every job maps each one.
+                    // Token jobs share a single tokenization of the whole
+                    // block (exact: `\n`/`\r` are whitespace, so block
+                    // tokens == every line's tokens concatenated).
+                    if !token_jobs.is_empty() {
+                        memchr::for_each_token(block, |token| {
+                            for &ji in &token_jobs {
+                                let job = jobs[ji];
+                                let cnt = &mut emitted[ji];
+                                if fast_flags[ji] {
+                                    if let Some(v) = job.token_value(token) {
+                                        *cnt += 1;
+                                        tok_maps[ji].upsert_within(block, token, v, |acc, next| {
+                                            job.combine_fold(acc, next)
+                                        });
+                                    }
+                                } else if fold_flags[ji] {
+                                    let acc = &mut fold_accs[ji];
+                                    job.map_token_bytes(token, &mut |k, v| {
+                                        *cnt += 1;
+                                        fold_into(job, acc, k, v);
+                                    });
+                                } else {
+                                    let buf = &mut bufs[ji];
+                                    job.map_token_bytes(token, &mut |k, v| {
+                                        *cnt += 1;
+                                        buf.entry(k).or_default().push(v);
+                                    });
+                                }
+                            }
+                        });
+                    }
+                    if !line_jobs.is_empty() {
+                        for line in memchr::lines(block) {
+                            for &ji in &line_jobs {
+                                let job = jobs[ji];
+                                let cnt = &mut emitted[ji];
+                                if fold_flags[ji] {
+                                    let acc = &mut fold_accs[ji];
+                                    job.map_bytes(line, &mut |k, v| {
+                                        *cnt += 1;
+                                        fold_into(job, acc, k, v);
+                                    });
+                                } else {
+                                    let buf = &mut bufs[ji];
+                                    job.map_bytes(line, &mut |k, v| {
+                                        *cnt += 1;
+                                        buf.entry(k).or_default().push(v);
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+                ScanPath::Legacy => {
+                    // Pre-kernel behavior, kept as the oracle: `&str` lines,
+                    // per-line shared tokenization.
+                    let text = String::from_utf8_lossy(block);
+                    for line in text.lines() {
+                        if !token_jobs.is_empty() {
+                            for token in line.split_whitespace() {
+                                for &ji in &token_jobs {
+                                    let job = jobs[ji];
+                                    let cnt = &mut emitted[ji];
+                                    if fold_flags[ji] {
+                                        let acc = &mut fold_accs[ji];
+                                        job.map_token(token, &mut |k, v| {
+                                            *cnt += 1;
+                                            fold_into(job, acc, k, v);
+                                        });
+                                    } else {
+                                        let buf = &mut bufs[ji];
+                                        job.map_token(token, &mut |k, v| {
+                                            *cnt += 1;
+                                            buf.entry(k).or_default().push(v);
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                        for &ji in &line_jobs {
                             let job = jobs[ji];
                             let cnt = &mut emitted[ji];
                             if fold_flags[ji] {
                                 let acc = &mut fold_accs[ji];
-                                job.map_token(token, &mut |k, v| {
+                                job.map(line, &mut |k, v| {
                                     *cnt += 1;
                                     fold_into(job, acc, k, v);
                                 });
                             } else {
                                 let buf = &mut bufs[ji];
-                                job.map_token(token, &mut |k, v| {
+                                job.map(line, &mut |k, v| {
                                     *cnt += 1;
                                     buf.entry(k).or_default().push(v);
                                 });
                             }
                         }
-                    }
-                }
-                for &ji in &line_jobs {
-                    let job = jobs[ji];
-                    let cnt = &mut emitted[ji];
-                    if fold_flags[ji] {
-                        let acc = &mut fold_accs[ji];
-                        job.map(line, &mut |k, v| {
-                            *cnt += 1;
-                            fold_into(job, acc, k, v);
-                        });
-                    } else {
-                        let buf = &mut bufs[ji];
-                        job.map(line, &mut |k, v| {
-                            *cnt += 1;
-                            buf.entry(k).or_default().push(v);
-                        });
                     }
                 }
             }
@@ -190,6 +287,15 @@ pub fn run_merged_observed<J: MapReduceJob>(
                 let p = partition_of(&k, cfg.num_reducers);
                 partitions[p].push((ji, k, v));
             }
+        }
+        // Flush arena maps: build each distinct token's key exactly once.
+        for (ji, m) in tok_maps.into_iter().enumerate() {
+            let job = jobs[ji];
+            m.drain_into(|tok, v| {
+                let k = job.token_key(tok);
+                let p = partition_of(&k, cfg.num_reducers);
+                partitions[p].push((ji, k, v));
+            });
         }
         (partitions, emitted, bytes)
     });
@@ -231,23 +337,26 @@ pub fn run_merged_observed<J: MapReduceJob>(
     let shuffled: Vec<LockedPartition<J>> = shuffled.into_iter().map(Mutex::new).collect();
     let shuffled = &shuffled;
     let fold_flags = &fold_flags;
-    let reduced: Vec<Vec<BTreeMap<J::K, J::Out>>> = pool.broadcast(num_threads, &|_| {
-        let mut out: Vec<BTreeMap<J::K, J::Out>> =
-            (0..num_jobs).map(|_| BTreeMap::new()).collect();
+    // One unordered (key, output) part per job, per reduce worker.
+    type ReducedParts<J> = Vec<Vec<(<J as MapReduceJob>::K, <J as MapReduceJob>::Out)>>;
+    let reduced: Vec<ReducedParts<J>> = pool.broadcast(num_threads, &|_| {
+        let mut out: ReducedParts<J> = (0..num_jobs).map(|_| Vec::new()).collect();
         loop {
             let p = next_partition.fetch_add(1, Ordering::Relaxed);
             if p >= num_partitions {
                 break;
             }
             let part = std::mem::take(&mut *shuffled[p].lock());
-            let mut grouped: BTreeMap<(usize, J::K), Gathered<J::V>> = BTreeMap::new();
+            // Hash-map grouping (O(1) per record, no log-n key compares);
+            // ordering is paid once on insertion into the sorted output.
+            let mut grouped: FxHashMap<(usize, J::K), Gathered<J::V>> = FxHashMap::default();
             for (ji, k, v) in part {
                 match grouped.entry((ji, k)) {
-                    std::collections::btree_map::Entry::Occupied(mut e) => match e.get_mut() {
+                    std::collections::hash_map::Entry::Occupied(mut e) => match e.get_mut() {
                         Gathered::One(acc) => jobs[ji].combine_fold(acc, v),
                         Gathered::Many(vs) => vs.push(v),
                     },
-                    std::collections::btree_map::Entry::Vacant(e) => {
+                    std::collections::hash_map::Entry::Vacant(e) => {
                         if fold_flags[ji] {
                             e.insert(Gathered::One(v));
                         } else {
@@ -262,19 +371,25 @@ pub fn run_merged_observed<J: MapReduceJob>(
                     Gathered::Many(vs) => jobs[ji].reduce(&k, &vs),
                 };
                 if let Some(o) = reduced {
-                    out[ji].insert(k, o);
+                    out[ji].push((k, o));
                 }
             }
         }
         out
     });
 
-    let mut records: Vec<BTreeMap<J::K, J::Out>> =
-        (0..num_jobs).map(|_| BTreeMap::new()).collect();
+    // Per job: concatenate every worker's (duplicate-free) part, sort once,
+    // bulk-build the ordered output.
+    let mut flat: Vec<Vec<(J::K, J::Out)>> = (0..num_jobs).map(|_| Vec::new()).collect();
     for worker in reduced {
         for (ji, part) in worker.into_iter().enumerate() {
-            records[ji].extend(part);
+            flat[ji].extend(part);
         }
+    }
+    let mut records: Vec<BTreeMap<J::K, J::Out>> = Vec::with_capacity(num_jobs);
+    for mut part in flat {
+        part.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        records.push(BTreeMap::from_iter(part));
     }
     if let (Some(c), Some(t0)) = (core, reduce_t0) {
         c.tracer

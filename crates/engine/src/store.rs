@@ -1,25 +1,68 @@
 //! The in-memory block store the real engine scans.
 //!
 //! Mirrors the HDFS view at a small scale: a file is a sequence of blocks,
-//! each a chunk of newline-delimited text. Blocks are the unit of map-task
+//! each a chunk of newline-delimited data. Blocks are the unit of map-task
 //! input and of shared scanning.
+//!
+//! Storage is one contiguous `Arc<[u8]>` plus a block-offset index, so
+//! [`BlockStore::block`] hands out a borrowed `&[u8]` slice with no per-block
+//! heap object and no copy. Blocks are byte slices — the store accepts
+//! arbitrary bytes, including invalid UTF-8; the [`BlockStore::block_str`]
+//! shim recovers the old `&str` view with a typed error instead of a panic.
 
 use std::sync::Arc;
 
-/// An immutable, shareable sequence of text blocks.
+/// An immutable, shareable sequence of byte blocks backed by one contiguous
+/// allocation.
 #[derive(Debug, Clone)]
 pub struct BlockStore {
-    blocks: Arc<Vec<String>>,
+    /// All block payloads, concatenated in block order.
+    data: Arc<[u8]>,
+    /// `cuts[i]..cuts[i+1]` is block `i`; always `num_blocks + 1` entries
+    /// starting at 0 and ending at `data.len()`.
+    cuts: Arc<[usize]>,
 }
 
+/// Typed error returned by [`BlockStore::block_str`] when a block is not
+/// valid UTF-8.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NonUtf8Block {
+    /// Index of the offending block.
+    pub block: usize,
+    /// Number of leading bytes of the block that are valid UTF-8.
+    pub valid_up_to: usize,
+}
+
+impl std::fmt::Display for NonUtf8Block {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "block {} is not valid UTF-8 (valid up to byte {})",
+            self.block, self.valid_up_to
+        )
+    }
+}
+
+impl std::error::Error for NonUtf8Block {}
+
 impl BlockStore {
-    /// Build from explicit blocks. An empty store is valid: it models a
+    /// Build from explicit text blocks. An empty store is valid: it models a
     /// zero-length file, and a [`crate::SharedScanServer`] over one
     /// resolves every submitted job immediately with empty output.
     pub fn new(blocks: Vec<String>) -> Self {
-        BlockStore {
-            blocks: Arc::new(blocks),
+        Self::from_byte_blocks(blocks.into_iter().map(String::into_bytes).collect())
+    }
+
+    /// Build from explicit byte blocks; the payloads may be arbitrary bytes.
+    pub fn from_byte_blocks(blocks: Vec<Vec<u8>>) -> Self {
+        let mut cuts = Vec::with_capacity(blocks.len() + 1);
+        let mut data = Vec::with_capacity(blocks.iter().map(Vec::len).sum());
+        cuts.push(0);
+        for b in &blocks {
+            data.extend_from_slice(b);
+            cuts.push(data.len());
         }
+        BlockStore { data: data.into(), cuts: cuts.into() }
     }
 
     /// Split one text into blocks of roughly `block_bytes` bytes, breaking
@@ -31,40 +74,66 @@ impl BlockStore {
     /// Panics if `block_bytes` is zero. Empty `text` yields an empty
     /// (zero-block) store.
     pub fn from_text(text: &str, block_bytes: usize) -> Self {
+        Self::from_bytes(text.as_bytes(), block_bytes)
+    }
+
+    /// Byte-level [`BlockStore::from_text`]: splits at `\n` boundaries, with
+    /// the same block sizing, but accepts arbitrary (possibly non-UTF-8)
+    /// bytes.
+    ///
+    /// # Panics
+    /// Panics if `block_bytes` is zero.
+    pub fn from_bytes(bytes: &[u8], block_bytes: usize) -> Self {
         assert!(block_bytes > 0, "block size must be positive");
-        let mut blocks = Vec::new();
-        let mut current = String::with_capacity(block_bytes + 128);
-        for line in text.lines() {
-            current.push_str(line);
-            current.push('\n');
-            if current.len() >= block_bytes {
-                blocks.push(std::mem::take(&mut current));
+        let mut cuts = vec![0usize];
+        let mut data = Vec::with_capacity(bytes.len() + 1);
+        for line in memchr::lines(bytes) {
+            data.extend_from_slice(line);
+            data.push(b'\n');
+            if data.len() - cuts.last().unwrap() >= block_bytes {
+                cuts.push(data.len());
             }
         }
-        if !current.is_empty() {
-            blocks.push(current);
+        if *cuts.last().unwrap() != data.len() {
+            cuts.push(data.len());
         }
-        BlockStore::new(blocks)
+        BlockStore { data: data.into(), cuts: cuts.into() }
     }
 
     /// Number of blocks.
     pub fn num_blocks(&self) -> usize {
-        self.blocks.len()
+        self.cuts.len() - 1
     }
 
-    /// A block's text.
-    pub fn block(&self, idx: usize) -> &str {
-        &self.blocks[idx]
+    /// A block's bytes, borrowed straight from the contiguous backing store.
+    pub fn block(&self, idx: usize) -> &[u8] {
+        &self.data[self.cuts[idx]..self.cuts[idx + 1]]
+    }
+
+    /// A block's text — the migration shim for `str`-level consumers.
+    ///
+    /// Returns a typed [`NonUtf8Block`] error (instead of panicking) when the
+    /// block holds invalid UTF-8.
+    pub fn block_str(&self, idx: usize) -> Result<&str, NonUtf8Block> {
+        std::str::from_utf8(self.block(idx))
+            .map_err(|e| NonUtf8Block { block: idx, valid_up_to: e.valid_up_to() })
+    }
+
+    /// Byte offset of the start of each block plus a final total-length
+    /// entry: `num_blocks() + 1` monotone values starting at 0. Useful for
+    /// exact per-revolution byte accounting without re-summing block lengths.
+    pub fn block_offsets(&self) -> &[usize] {
+        &self.cuts
     }
 
     /// Total bytes across all blocks.
     pub fn total_bytes(&self) -> usize {
-        self.blocks.iter().map(|b| b.len()).sum()
+        self.data.len()
     }
 
     /// Iterate over blocks in order.
-    pub fn iter(&self) -> impl Iterator<Item = &str> {
-        self.blocks.iter().map(|s| s.as_str())
+    pub fn iter(&self) -> impl Iterator<Item = &[u8]> {
+        (0..self.num_blocks()).map(|i| self.block(i))
     }
 }
 
@@ -77,14 +146,15 @@ mod tests {
         let text = "aaaa\nbbbb\ncccc\ndddd\n";
         let store = BlockStore::from_text(text, 8);
         assert!(store.num_blocks() >= 2);
-        for b in store.iter() {
+        for i in 0..store.num_blocks() {
+            let b = store.block_str(i).unwrap();
             assert!(b.ends_with('\n'));
             for line in b.lines() {
                 assert_eq!(line.len(), 4, "no split lines");
             }
         }
-        let rejoined: String = store.iter().collect();
-        assert_eq!(rejoined, text);
+        let rejoined: Vec<u8> = store.iter().flatten().copied().collect();
+        assert_eq!(rejoined, text.as_bytes());
     }
 
     #[test]
@@ -98,7 +168,8 @@ mod tests {
     fn single_small_text_is_one_block() {
         let store = BlockStore::from_text("hello\n", 1024);
         assert_eq!(store.num_blocks(), 1);
-        assert_eq!(store.block(0), "hello\n");
+        assert_eq!(store.block(0), b"hello\n");
+        assert_eq!(store.block_str(0), Ok("hello\n"));
     }
 
     #[test]
@@ -109,5 +180,49 @@ mod tests {
         assert_eq!(store.iter().count(), 0);
         let from_text = BlockStore::from_text("", 64);
         assert_eq!(from_text.num_blocks(), 0);
+    }
+
+    #[test]
+    fn block_offsets_index_the_contiguous_payload() {
+        let text = "aa\nbb\ncc\ndd\nee\n";
+        let store = BlockStore::from_text(text, 6);
+        let cuts = store.block_offsets();
+        assert_eq!(cuts.len(), store.num_blocks() + 1);
+        assert_eq!(cuts[0], 0);
+        assert_eq!(*cuts.last().unwrap(), store.total_bytes());
+        for i in 0..store.num_blocks() {
+            assert_eq!(store.block(i).len(), cuts[i + 1] - cuts[i]);
+        }
+    }
+
+    #[test]
+    fn non_utf8_blocks_are_stored_and_reported() {
+        let store = BlockStore::from_byte_blocks(vec![
+            b"valid line\n".to_vec(),
+            b"bad \xff\xfe bytes\n".to_vec(),
+        ]);
+        assert_eq!(store.num_blocks(), 2);
+        assert!(store.block_str(0).is_ok());
+        let err = store.block_str(1).unwrap_err();
+        assert_eq!(err.block, 1);
+        assert_eq!(err.valid_up_to, 4);
+        assert!(err.to_string().contains("not valid UTF-8"));
+        // The byte view is untouched.
+        assert_eq!(store.block(1), b"bad \xff\xfe bytes\n");
+    }
+
+    #[test]
+    fn from_bytes_accepts_invalid_utf8_and_preserves_payload() {
+        let raw = b"ok line\n\xf0\x28\x8c\x28 mangled\nlast".to_vec();
+        let store = BlockStore::from_bytes(&raw, 8);
+        // from_bytes normalizes the missing trailing newline (line-aligned
+        // blocks), so compare against the line-rejoined form.
+        let mut want = Vec::new();
+        for line in memchr::lines(&raw) {
+            want.extend_from_slice(line);
+            want.push(b'\n');
+        }
+        let got: Vec<u8> = store.iter().flatten().copied().collect();
+        assert_eq!(got, want);
     }
 }

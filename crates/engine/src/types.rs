@@ -61,6 +61,23 @@ pub trait MapReduceJob: Send + Sync {
     /// Map one input record (a line of text), emitting intermediate pairs.
     fn map(&self, line: &str, emit: &mut dyn FnMut(Self::K, Self::V));
 
+    /// Byte-level [`map`](Self::map): map one input record, handed out as a
+    /// borrowed byte slice straight from the block store (no copy, no UTF-8
+    /// validation on the hot path).
+    ///
+    /// The default converts to `&str` and defers to [`map`](Self::map), so
+    /// every existing job keeps working; lines that are not valid UTF-8 are
+    /// converted lossily (each invalid sequence becomes U+FFFD) rather than
+    /// panicking. Jobs on the hot path should override this (or
+    /// [`map_token_bytes`](Self::map_token_bytes)) to parse the slice
+    /// directly.
+    fn map_bytes(&self, line: &[u8], emit: &mut dyn FnMut(Self::K, Self::V)) {
+        match std::str::from_utf8(line) {
+            Ok(s) => self.map(s, emit),
+            Err(_) => self.map(&String::from_utf8_lossy(line), emit),
+        }
+    }
+
     /// Optional map-side combiner: fold a run of values for one key into a
     /// smaller run. Defaults to the identity (no combining).
     fn combine(&self, _key: &Self::K, values: Vec<Self::V>) -> Vec<Self::V> {
@@ -109,6 +126,49 @@ pub trait MapReduceJob: Send + Sync {
     /// `map(line)` ≡ `line.split_whitespace().for_each(|t| map_token(t))`.
     fn map_token(&self, _token: &str, _emit: &mut dyn FnMut(Self::K, Self::V)) {
         unimplemented!("map_token requires map_is_per_token() == true")
+    }
+
+    /// Byte-level [`map_token`](Self::map_token): map one whitespace-free
+    /// token handed out as a borrowed slice of the block.
+    ///
+    /// Default: lossy UTF-8 conversion then [`map_token`](Self::map_token).
+    /// Only meaningful when [`map_is_per_token`](Self::map_is_per_token) is
+    /// true.
+    fn map_token_bytes(&self, token: &[u8], emit: &mut dyn FnMut(Self::K, Self::V)) {
+        match std::str::from_utf8(token) {
+            Ok(s) => self.map_token(s, emit),
+            Err(_) => self.map_token(&String::from_utf8_lossy(token), emit),
+        }
+    }
+
+    /// Declare the **token-identity fast path**: the job is per-token
+    /// ([`map_is_per_token`](Self::map_is_per_token)), fold-combining
+    /// ([`combine_is_fold`](Self::combine_is_fold)), and for every token
+    /// emits at most one pair whose key is a pure function of the token
+    /// bytes — i.e. `map_token_bytes(t)` ≡
+    /// `if let Some(v) = token_value(t) { emit(token_key(t), v) }`.
+    ///
+    /// Engines then run the map phase through a per-worker byte-keyed arena
+    /// ([`crate::TokenMap`]): values fold under the raw token bytes, and
+    /// [`token_key`](Self::token_key) materializes each **distinct** token's
+    /// key exactly once at flush time — instead of once per occurrence. This
+    /// is what removes the per-occurrence `String` allocation from
+    /// wordcount-style jobs.
+    fn map_emits_token(&self) -> bool {
+        false
+    }
+
+    /// The value this token contributes, or `None` if the token is filtered
+    /// out. Required when [`map_emits_token`](Self::map_emits_token) is true.
+    fn token_value(&self, _token: &[u8]) -> Option<Self::V> {
+        unimplemented!("token_value requires map_emits_token() == true")
+    }
+
+    /// The key for a token, built once per distinct token at flush time.
+    /// Required when [`map_emits_token`](Self::map_emits_token) is true.
+    /// Must agree with the key [`map_token`](Self::map_token) emits.
+    fn token_key(&self, _token: &[u8]) -> Self::K {
+        unimplemented!("token_key requires map_emits_token() == true")
     }
 }
 
@@ -160,6 +220,18 @@ pub(crate) mod test_jobs {
             if token.starts_with(&self.prefix) {
                 emit(token.to_string(), 1);
             }
+        }
+
+        fn map_emits_token(&self) -> bool {
+            true
+        }
+
+        fn token_value(&self, token: &[u8]) -> Option<i64> {
+            token.starts_with(self.prefix.as_bytes()).then_some(1)
+        }
+
+        fn token_key(&self, token: &[u8]) -> String {
+            String::from_utf8_lossy(token).into_owned()
         }
     }
 }

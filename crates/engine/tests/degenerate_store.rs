@@ -178,6 +178,66 @@ fn solo_scan_shapes_issue_zero_claim_ops() {
     }
 }
 
+/// Satellite (b): `bytes_scanned` must equal the total length of the byte
+/// slices actually claimed — computed independently from
+/// [`BlockStore::block_offsets`], not from the engine's own counters — on
+/// the empty store, a one-block store, and a `blocks_per_segment` far
+/// beyond the block count, across every server shape.
+#[test]
+fn bytes_scanned_matches_claimed_slice_lengths_exactly() {
+    let stores: Vec<(&str, BlockStore)> = vec![
+        ("empty", BlockStore::new(vec![])),
+        ("one block", BlockStore::from_text("omicron pi rho\n", 4096)),
+        (
+            "many blocks",
+            BlockStore::from_text(&"sigma tau upsilon phi\n".repeat(300), 256),
+        ),
+    ];
+    for (store_name, s) in stores {
+        let cuts = s.block_offsets();
+        assert_eq!(cuts.len(), s.num_blocks() + 1);
+        // The slices the scan claims are exactly cuts[i]..cuts[i+1].
+        let claimed: u64 = (0..s.num_blocks())
+            .map(|i| (cuts[i + 1] - cuts[i]) as u64)
+            .sum();
+        assert_eq!(claimed as usize, s.total_bytes(), "{store_name}");
+
+        let solo = run_job(
+            &Count,
+            &s,
+            &ExecConfig {
+                num_threads: 2,
+                num_reducers: 2,
+            },
+        );
+        assert_eq!(solo.stats.bytes_scanned, claimed, "{store_name}: run_job");
+
+        for (name, cfg) in configs() {
+            let server = SharedScanServer::with_config(s.clone(), cfg);
+            let out = server
+                .submit(Count)
+                .wait()
+                .unwrap_or_else(|e| panic!("{store_name}/{name}: {e}"));
+            assert_eq!(out.stats.bytes_scanned, claimed, "{store_name}/{name}");
+            assert_eq!(
+                out.stats.blocks_scanned as usize,
+                s.num_blocks(),
+                "{store_name}/{name}"
+            );
+            server.shutdown();
+        }
+        // blocks_per_segment far larger than the store.
+        let server =
+            SharedScanServer::with_config(s.clone(), ServerConfig::new(s.num_blocks() + 50, 2));
+        let out = server
+            .submit(Count)
+            .wait()
+            .unwrap_or_else(|e| panic!("{store_name}/oversized: {e}"));
+        assert_eq!(out.stats.bytes_scanned, claimed, "{store_name}/oversized");
+        server.shutdown();
+    }
+}
+
 /// Positive control for the pins above: with real fan-out (three workers
 /// racing over four-block segments) the shared claim cursor is the
 /// scheduling mechanism, so claim operations must be issued — and the

@@ -182,7 +182,7 @@ fn heavy_reduce_does_not_stall_the_scan() {
     let s = store();
     let expected_total = s
         .iter()
-        .map(|b| b.split_whitespace().count())
+        .map(|b| memchr::tokens(b).count())
         .sum::<usize>() as i64;
     let server = SharedScanServer::new(s, 1, 2);
 

@@ -134,8 +134,8 @@ proptest! {
     #[test]
     fn block_store_preserves_text(text in corpus(), block_bytes in 1usize..512) {
         let store = BlockStore::from_text(&text, block_bytes);
-        let rejoined: String = store.iter().collect();
-        prop_assert_eq!(rejoined, text);
+        let rejoined: Vec<u8> = store.iter().flatten().copied().collect();
+        prop_assert_eq!(rejoined, text.into_bytes());
     }
 
     /// The external (spilling) engine matches the in-memory engine for any

@@ -9,7 +9,7 @@
 //!   (`SELECT l_orderkey, ... WHERE l_quantity > VAL`); different
 //!   thresholds make different jobs.
 
-use crate::lineitem::parse_row;
+use crate::lineitem::parse_row_bytes;
 use s3_engine::MapReduceJob;
 
 /// Which words a [`PatternWordCount`] counts.
@@ -28,10 +28,17 @@ pub enum WordPattern {
 impl WordPattern {
     /// Does `word` match?
     pub fn matches(&self, word: &str) -> bool {
+        self.matches_bytes(word.as_bytes())
+    }
+
+    /// Byte-level [`WordPattern::matches`] for the zero-copy scan path.
+    /// Prefix/contains are byte comparisons and length counts bytes, so the
+    /// two views agree on any UTF-8 word.
+    pub fn matches_bytes(&self, word: &[u8]) -> bool {
         match self {
             WordPattern::All => true,
-            WordPattern::Prefix(p) => word.starts_with(p.as_str()),
-            WordPattern::Contains(s) => word.contains(s.as_str()),
+            WordPattern::Prefix(p) => word.starts_with(p.as_bytes()),
+            WordPattern::Contains(s) => memchr::find(word, s.as_bytes()).is_some(),
             WordPattern::Length(n) => word.len() == *n,
         }
     }
@@ -98,6 +105,26 @@ impl MapReduceJob for PatternWordCount {
             emit(token.to_string(), 1);
         }
     }
+
+    fn map_token_bytes(&self, token: &[u8], emit: &mut dyn FnMut(String, i64)) {
+        if self.pattern.matches_bytes(token) {
+            emit(String::from_utf8_lossy(token).into_owned(), 1);
+        }
+    }
+
+    // Token-identity fast path: the engine folds counts under raw token
+    // bytes and builds each distinct word's String exactly once.
+    fn map_emits_token(&self) -> bool {
+        true
+    }
+
+    fn token_value(&self, token: &[u8]) -> Option<i64> {
+        self.pattern.matches_bytes(token).then_some(1)
+    }
+
+    fn token_key(&self, token: &[u8]) -> String {
+        String::from_utf8_lossy(token).into_owned()
+    }
 }
 
 /// The SQL selection of Section V-G:
@@ -129,7 +156,11 @@ impl MapReduceJob for SelectionJob {
     type Out = String;
 
     fn map(&self, line: &str, emit: &mut dyn FnMut(String, String)) {
-        if let Some(row) = parse_row(line) {
+        self.map_bytes(line.as_bytes(), emit);
+    }
+
+    fn map_bytes(&self, line: &[u8], emit: &mut dyn FnMut(String, String)) {
+        if let Some(row) = parse_row_bytes(line) {
             if row.quantity > self.quantity_threshold {
                 let key = format!("{:012}", row.orderkey);
                 let value = format!(
@@ -167,6 +198,12 @@ impl MapReduceJob for GrepJob {
     fn map(&self, line: &str, emit: &mut dyn FnMut(String, i64)) {
         if line.contains(self.pattern.as_str()) {
             emit(line.to_string(), 1);
+        }
+    }
+
+    fn map_bytes(&self, line: &[u8], emit: &mut dyn FnMut(String, i64)) {
+        if memchr::find(line, self.pattern.as_bytes()).is_some() {
+            emit(String::from_utf8_lossy(line).into_owned(), 1);
         }
     }
 
@@ -229,6 +266,13 @@ impl MapReduceJob for WordLengthHistogram {
     fn map_token(&self, token: &str, emit: &mut dyn FnMut(usize, i64)) {
         emit(token.len(), 1);
     }
+
+    // No token-identity fast path: the key space (lengths) is far smaller
+    // than the token space, so interning every distinct word would cost
+    // more than the per-token emit it saves.
+    fn map_token_bytes(&self, token: &[u8], emit: &mut dyn FnMut(usize, i64)) {
+        emit(token.len(), 1);
+    }
 }
 
 #[cfg(test)]
@@ -267,7 +311,7 @@ mod tests {
         let total: i64 = out.records.values().sum();
         let expected = store
             .iter()
-            .map(|b| b.split_whitespace().count())
+            .map(|b| memchr::tokens(b).count())
             .sum::<usize>() as i64;
         assert_eq!(total, expected);
     }
@@ -299,12 +343,12 @@ mod tests {
         let out = run_job(&job, &store, &ExecConfig::default());
         let expected = store
             .iter()
-            .flat_map(|b| b.lines())
-            .filter(|l| crate::lineitem::parse_row(l).is_some_and(|r| r.quantity > 45))
+            .flat_map(memchr::lines)
+            .filter(|l| crate::lineitem::parse_row_bytes(l).is_some_and(|r| r.quantity > 45))
             .count();
         assert_eq!(out.records.len(), expected);
         // ~10% selectivity on this data.
-        let total: usize = store.iter().flat_map(|b| b.lines()).count();
+        let total: usize = store.iter().flat_map(memchr::lines).count();
         let rate = expected as f64 / total as f64;
         assert!((0.05..0.15).contains(&rate), "selectivity {rate}");
     }
@@ -345,8 +389,8 @@ mod tests {
         let out = run_job(&job, &store, &ExecConfig::default());
         let expected: usize = store
             .iter()
-            .flat_map(|b| b.lines())
-            .filter(|l| l.contains(needle.as_str()))
+            .flat_map(memchr::lines)
+            .filter(|l| memchr::find(l, needle.as_bytes()).is_some())
             .count();
         let total: i64 = out.records.values().sum();
         assert_eq!(total as usize, expected);
@@ -379,7 +423,7 @@ mod tests {
         let total: i64 = out.records.values().sum();
         let expected = store
             .iter()
-            .map(|b| b.split_whitespace().count())
+            .map(|b| memchr::tokens(b).count())
             .sum::<usize>() as i64;
         assert_eq!(total, expected);
         // Tiny key space: far fewer keys than tokens.

@@ -131,17 +131,43 @@ fn date_from_day(day: usize) -> (u32, u32, u32) {
 /// Parse the fields a selection predicate needs from a generated row.
 /// Returns `None` for malformed rows (defensive; generated rows parse).
 pub fn parse_row(line: &str) -> Option<LineItem> {
-    let mut f = line.split('|');
-    let orderkey: u64 = f.next()?.parse().ok()?;
+    parse_row_bytes(line.as_bytes())
+}
+
+/// Parse a decimal integer from raw ASCII digits. Rejects empty fields,
+/// non-digit bytes, and overflow — the same inputs `str::parse` rejects.
+fn parse_uint(field: &[u8]) -> Option<u64> {
+    if field.is_empty() {
+        return None;
+    }
+    let mut n: u64 = 0;
+    for &b in field {
+        if !b.is_ascii_digit() {
+            return None;
+        }
+        n = n.checked_mul(10)?.checked_add((b - b'0') as u64)?;
+    }
+    Some(n)
+}
+
+/// Byte-level [`parse_row`]: the scan hot path hands out `&[u8]` rows and
+/// this parses them without building a single intermediate `String` (or
+/// even validating UTF-8 — the digits and `|`/`.` separators it inspects
+/// are plain ASCII).
+pub fn parse_row_bytes(line: &[u8]) -> Option<LineItem> {
+    let mut f = line.split(|&b| b == b'|');
+    let orderkey = parse_uint(f.next()?)?;
     let _partkey = f.next()?;
     let _suppkey = f.next()?;
     let _linenumber = f.next()?;
-    let quantity: u32 = f.next()?.parse().ok()?;
-    let price: &str = f.next()?;
-    let (dollars, cents) = price.split_once('.')?;
-    let extendedprice_cents = dollars.parse::<u64>().ok()? * 100 + cents.parse::<u64>().ok()?;
-    let discount: &str = f.next()?;
-    let discount_pct = discount.split_once('.')?.1.parse::<u32>().ok()?;
+    let quantity = u32::try_from(parse_uint(f.next()?)?).ok()?;
+    let price = f.next()?;
+    let dot = memchr::memchr(b'.', price)?;
+    let extendedprice_cents =
+        parse_uint(&price[..dot])?.checked_mul(100)? + parse_uint(&price[dot + 1..])?;
+    let discount = f.next()?;
+    let dot = memchr::memchr(b'.', discount)?;
+    let discount_pct = u32::try_from(parse_uint(&discount[dot + 1..])?).ok()?;
     Some(LineItem {
         orderkey,
         quantity,

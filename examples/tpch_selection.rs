@@ -20,7 +20,7 @@ fn main() {
     let mut rng = SimRng::seed_from_u64(7);
     let text = LineItemGen::new().generate(&mut rng, 48 << 20);
     let store = BlockStore::from_text(&text, 1 << 20);
-    let total_rows: usize = store.iter().map(|b| b.lines().count()).sum();
+    let total_rows: usize = store.iter().map(memchr::count_lines).sum();
     println!(
         "table: {:.1} MB, {} rows, {} blocks\n",
         store.total_bytes() as f64 / (1 << 20) as f64,

@@ -1,0 +1,544 @@
+//! Offline vendored SWAR scan kernel.
+//!
+//! A minimal `memchr`-style crate providing the byte-level primitives the
+//! engine's scan hot path is built on: single-byte search, substring search,
+//! newline splitting with `str::lines` semantics, and ASCII-whitespace token
+//! splitting matching `str::split_whitespace` on ASCII input.
+//!
+//! Everything runs `usize`-at-a-time (SWAR: SIMD within a register) with no
+//! `unsafe`, no allocation, and no dependencies, so it is portable across the
+//! targets this workspace builds for while still moving multiple GB/s.
+//!
+//! The classic SWAR tricks used throughout (see "Bit Twiddling Hacks"):
+//!
+//! * a word has a zero byte iff `(w - 0x0101..01) & !w & 0x8080..80 != 0`;
+//! * a word has a byte `< n` (for `n <= 128`) iff
+//!   `(w - n*0x0101..01) & !w & 0x8080..80 != 0`.
+//!
+//! Both are *exact* for the ranges we use them in; the tokenizer additionally
+//! verifies candidate words byte-by-byte because "byte < 0x21" over-approximates
+//! "is ASCII whitespace" (control characters are token bytes, not separators).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+const WORD: usize = core::mem::size_of::<usize>();
+/// `0x0101..01`: every byte is 1.
+const LO: usize = usize::from_ne_bytes([0x01; WORD]);
+/// `0x8080..80`: every byte has the high bit set.
+const HI: usize = usize::from_ne_bytes([0x80; WORD]);
+
+#[inline]
+fn splat(b: u8) -> usize {
+    LO * b as usize
+}
+
+#[inline]
+fn load(haystack: &[u8], at: usize) -> usize {
+    let mut buf = [0u8; WORD];
+    buf.copy_from_slice(&haystack[at..at + WORD]);
+    // Little-endian lane order, so memory byte `k` is register bits
+    // `8k..8k+8` and `trailing_zeros / 8` recovers a byte index. On a
+    // big-endian target this costs one byte swap.
+    usize::from_le_bytes(buf)
+}
+
+/// Non-zero iff `w` contains a zero byte.
+///
+/// NOTE: exact only as a boolean — the subtraction borrows across bytes, so
+/// bytes *after* a zero byte may be flagged too. Use [`zero_byte_mask_exact`]
+/// when counting.
+#[inline]
+fn zero_byte_mask(w: usize) -> usize {
+    w.wrapping_sub(LO) & !w & HI
+}
+
+/// Per-byte-exact zero mask: bit 7 of each byte is set iff that byte is zero.
+///
+/// `(w & 0x7f..) + 0x7f..` cannot carry across bytes, so unlike
+/// [`zero_byte_mask`] this is safe to popcount.
+#[inline]
+fn zero_byte_mask_exact(w: usize) -> usize {
+    let t = (w & !HI) + !HI;
+    !(t | w | !HI)
+}
+
+/// Per-byte-exact ASCII-whitespace mask: bit 7 of each byte is set iff that
+/// byte is one of `{0x09, 0x0A, 0x0B, 0x0C, 0x0D, 0x20}`.
+///
+/// Works on the low 7 bits of each byte (whitespace is pure ASCII, so any
+/// byte with the high bit set is a token byte) with carry-free per-byte
+/// adds: every intermediate per-byte sum stays below 256, so nothing
+/// propagates across lanes and the mask is safe for `trailing_zeros` /
+/// popcount — no byte-by-byte verification pass needed.
+#[inline]
+fn ws_mask(w: usize) -> usize {
+    let w7 = w & !HI;
+    // Bit 7 set iff the (7-bit) byte is >= 0x09 / >= 0x0E.
+    let ge_tab = (w7 + splat(0x80 - 0x09)) & HI;
+    let ge_after_cr = (w7 + splat(0x80 - 0x0E)) & HI;
+    let in_tab_cr = ge_tab & !ge_after_cr;
+    // Bit 7 set iff the (7-bit) byte is exactly 0x20.
+    let z = w7 ^ splat(0x20);
+    let eq_space = !((z + splat(0x7F)) & HI) & HI;
+    (in_tab_cr | eq_space) & !w
+}
+
+/// Returns the index of the first occurrence of `needle` in `haystack`.
+///
+/// Equivalent to `haystack.iter().position(|&b| b == needle)` but scans one
+/// `usize` word per step.
+#[inline]
+pub fn memchr(needle: u8, haystack: &[u8]) -> Option<usize> {
+    let n = haystack.len();
+    let pat = splat(needle);
+    let mut i = 0;
+    while i + WORD <= n {
+        if zero_byte_mask(load(haystack, i) ^ pat) != 0 {
+            // The word contains the needle; locate it byte-by-byte.
+            for (j, &b) in haystack[i..i + WORD].iter().enumerate() {
+                if b == needle {
+                    return Some(i + j);
+                }
+            }
+            unreachable!("zero_byte_mask flagged a word without the needle");
+        }
+        i += WORD;
+    }
+    haystack[i..].iter().position(|&b| b == needle).map(|j| i + j)
+}
+
+/// Iterator over all positions of `needle` in `haystack`, ascending.
+pub fn memchr_iter(needle: u8, haystack: &[u8]) -> Memchr<'_> {
+    Memchr { needle, haystack, pos: 0 }
+}
+
+/// Iterator returned by [`memchr_iter`].
+pub struct Memchr<'h> {
+    needle: u8,
+    haystack: &'h [u8],
+    pos: usize,
+}
+
+impl Iterator for Memchr<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        let off = memchr(self.needle, &self.haystack[self.pos..])?;
+        let at = self.pos + off;
+        self.pos = at + 1;
+        Some(at)
+    }
+}
+
+/// Returns the index of the first occurrence of `needle` as a substring of
+/// `haystack` (`Some(0)` for an empty needle).
+///
+/// `memchr` on the first needle byte skips ahead; candidates are verified with
+/// a slice compare. Worst case is O(n*m) like the naive algorithm, but the
+/// search is only used for short patterns (grep-style predicates).
+pub fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    if needle.is_empty() {
+        return Some(0);
+    }
+    if needle.len() > haystack.len() {
+        return None;
+    }
+    let first = needle[0];
+    let mut base = 0;
+    let last = haystack.len() - needle.len();
+    while base <= last {
+        match memchr(first, &haystack[base..=last]) {
+            Some(off) => {
+                let at = base + off;
+                if &haystack[at..at + needle.len()] == needle {
+                    return Some(at);
+                }
+                base = at + 1;
+            }
+            None => return None,
+        }
+    }
+    None
+}
+
+/// True for the six ASCII whitespace bytes: tab, LF, vertical tab, form feed,
+/// CR, space. Matches `u8::is_ascii_whitespace` plus VT (0x0B), i.e. exactly
+/// the set `char::is_whitespace` accepts within ASCII — which is what
+/// `str::split_whitespace` splits on for ASCII text.
+#[inline]
+pub fn is_ascii_space(b: u8) -> bool {
+    matches!(b, b'\t' | b'\n' | 0x0B | 0x0C | b'\r' | b' ')
+}
+
+/// Iterator over the lines of a byte slice, with `str::lines` semantics:
+/// lines are split at `\n`, a single trailing `\r` is stripped from each line
+/// (so CR-LF endings work), and a final line ending is optional (no trailing
+/// empty line is produced).
+pub fn lines(data: &[u8]) -> Lines<'_> {
+    Lines { data, pos: 0 }
+}
+
+/// Iterator returned by [`lines`].
+pub struct Lines<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Iterator for Lines<'a> {
+    type Item = &'a [u8];
+
+    #[inline]
+    fn next(&mut self) -> Option<&'a [u8]> {
+        if self.pos >= self.data.len() {
+            return None;
+        }
+        let rest = &self.data[self.pos..];
+        match memchr(b'\n', rest) {
+            Some(off) => {
+                self.pos += off + 1;
+                let mut line = &rest[..off];
+                // Strip one `\r` preceding the `\n` (CR-LF line ending).
+                if line.last() == Some(&b'\r') {
+                    line = &line[..line.len() - 1];
+                }
+                Some(line)
+            }
+            None => {
+                // Final unterminated line: a bare trailing `\r` is part of the
+                // line, exactly as in `str::lines`.
+                self.pos = self.data.len();
+                Some(rest)
+            }
+        }
+    }
+}
+
+/// Iterator over ASCII-whitespace-separated tokens of a byte slice.
+///
+/// Matches `str::split_whitespace` for ASCII input: runs of whitespace
+/// separate tokens, leading/trailing whitespace produces no empty tokens.
+/// Non-ASCII bytes (>= 0x80) are always token bytes.
+pub fn tokens(data: &[u8]) -> Tokens<'_> {
+    Tokens { data, pos: 0 }
+}
+
+/// Iterator returned by [`tokens`].
+pub struct Tokens<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Iterator for Tokens<'a> {
+    type Item = &'a [u8];
+
+    #[inline]
+    fn next(&mut self) -> Option<&'a [u8]> {
+        let data = self.data;
+        let n = data.len();
+        let mut i = self.pos;
+        // Skip the separating whitespace run, a word at a time: the exact
+        // mask gives the first token byte straight from `trailing_zeros`.
+        loop {
+            if i + WORD <= n {
+                let m = ws_mask(load(data, i));
+                if m == HI {
+                    i += WORD;
+                    continue;
+                }
+                i += (!m & HI).trailing_zeros() as usize / 8;
+                break;
+            }
+            while i < n && is_ascii_space(data[i]) {
+                i += 1;
+            }
+            break;
+        }
+        if i >= n {
+            self.pos = n;
+            return None;
+        }
+        let start = i;
+        // Find the token end the same way: the first whitespace byte at or
+        // after `start`.
+        loop {
+            if i + WORD <= n {
+                let m = ws_mask(load(data, i));
+                if m == 0 {
+                    i += WORD;
+                    continue;
+                }
+                i += m.trailing_zeros() as usize / 8;
+                break;
+            }
+            while i < n && !is_ascii_space(data[i]) {
+                i += 1;
+            }
+            break;
+        }
+        self.pos = i;
+        Some(&data[start..i])
+    }
+}
+
+// The callback tokenizer runs 16 bytes per step (`u128` lanes: two machine
+// words on 64-bit targets) — the wider stride halves the loop and branch
+// overhead, which dominates on short-token text.
+const WORD2: usize = 16;
+const LO2: u128 = u128::from_ne_bytes([0x01; WORD2]);
+const HI2: u128 = u128::from_ne_bytes([0x80; WORD2]);
+
+#[inline]
+fn splat2(b: u8) -> u128 {
+    LO2 * b as u128
+}
+
+#[inline]
+fn load2(haystack: &[u8], at: usize) -> u128 {
+    let mut buf = [0u8; WORD2];
+    buf.copy_from_slice(&haystack[at..at + WORD2]);
+    u128::from_le_bytes(buf)
+}
+
+/// [`ws_mask`] over `u128` lanes; same carry-free construction, same
+/// per-byte exactness.
+#[inline]
+fn ws_mask2(w: u128) -> u128 {
+    let w7 = w & !HI2;
+    let ge_tab = (w7 + splat2(0x80 - 0x09)) & HI2;
+    let ge_after_cr = (w7 + splat2(0x80 - 0x0E)) & HI2;
+    let in_tab_cr = ge_tab & !ge_after_cr;
+    let z = w7 ^ splat2(0x20);
+    let eq_space = !((z + splat2(0x7F)) & HI2) & HI2;
+    (in_tab_cr | eq_space) & !w
+}
+
+/// Call `f` on every ASCII-whitespace-separated token of `data`, in order.
+///
+/// Identical output to [`tokens`], but much faster on short-token text:
+/// the per-byte whitespace mask of each 16-byte group is computed exactly
+/// once and token boundaries are read off its bits, so there is no
+/// per-token iterator state round-trip and no byte re-scanning. This is
+/// the scan engines' hot-loop entry point.
+#[inline]
+pub fn for_each_token<'a>(data: &'a [u8], mut f: impl FnMut(&'a [u8])) {
+    /// Sentinel for "no token currently open" — cheaper than `Option` in
+    /// the mixed-word inner loop.
+    const NONE: usize = usize::MAX;
+    let n = data.len();
+    // Start of the currently open (unterminated) token, if any.
+    let mut open: usize = NONE;
+    let mut i = 0;
+    while i + WORD2 <= n {
+        let m = ws_mask2(load2(data, i));
+        if m == 0 {
+            // All token bytes: open a token here if none is running.
+            if open == NONE {
+                open = i;
+            }
+            i += WORD2;
+            continue;
+        }
+        if m == HI2 {
+            // All whitespace: close any running token.
+            if open != NONE {
+                f(&data[open..i]);
+                open = NONE;
+            }
+            i += WORD2;
+            continue;
+        }
+        // Mixed group: walk the whitespace bytes in order; each one ends
+        // the non-empty token run (if any) before it. Folding `open` into
+        // the scan cursor up front keeps the loop body branch-light.
+        let mut ws = m;
+        let mut pos = if open != NONE { open } else { i };
+        open = NONE;
+        loop {
+            let p = i + ws.trailing_zeros() as usize / 8;
+            if p > pos {
+                f(&data[pos..p]);
+            }
+            pos = p + 1;
+            ws &= ws - 1;
+            if ws == 0 {
+                break;
+            }
+        }
+        if pos < i + WORD2 {
+            open = pos;
+        }
+        i += WORD2;
+    }
+    while i < n {
+        if is_ascii_space(data[i]) {
+            if open != NONE {
+                f(&data[open..i]);
+                open = NONE;
+            }
+        } else if open == NONE {
+            open = i;
+        }
+        i += 1;
+    }
+    if open != NONE {
+        f(&data[open..n]);
+    }
+}
+
+/// Total number of newline bytes in `data`, scanning a word at a time.
+///
+/// Cheap population-count over the SWAR mask; used by benches and stats.
+pub fn count_lines(data: &[u8]) -> usize {
+    let pat = splat(b'\n');
+    let n = data.len();
+    let mut i = 0;
+    let mut count = 0;
+    while i + WORD <= n {
+        count += zero_byte_mask_exact(load(data, i) ^ pat).count_ones() as usize;
+        i += WORD;
+    }
+    count + data[i..].iter().filter(|&&b| b == b'\n').count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memchr_matches_position() {
+        let cases: &[&[u8]] = &[
+            b"",
+            b"a",
+            b"hello world",
+            b"aaaaaaaaaaaaaaaaaab",
+            b"\x00\x01\x02\x03\x04\x05\x06\x07\x08",
+            b"no newline here at all, a fairly long sentence ok",
+        ];
+        for hay in cases {
+            for needle in [b'a', b'b', b'\n', b'\x00', b'z', b' '] {
+                assert_eq!(
+                    memchr(needle, hay),
+                    hay.iter().position(|&b| b == needle),
+                    "needle {needle:?} in {hay:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn memchr_iter_finds_all() {
+        let hay = b"a.b..c...d....e";
+        let got: Vec<usize> = memchr_iter(b'.', hay).collect();
+        let want: Vec<usize> =
+            hay.iter().enumerate().filter(|(_, &b)| b == b'.').map(|(i, _)| i).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn find_matches_naive() {
+        let hay = b"the quick brown fox jumps over the lazy dog";
+        for needle in [&b"the"[..], b"fox", b"dog", b"cat", b"", b"o", b"over the"] {
+            let naive = if needle.is_empty() {
+                Some(0)
+            } else {
+                hay.windows(needle.len()).position(|w| w == needle)
+            };
+            assert_eq!(find(hay, needle), naive, "needle {needle:?}");
+        }
+        assert_eq!(find(b"ab", b"abc"), None);
+    }
+
+    #[test]
+    fn lines_match_str_lines() {
+        let cases = [
+            "",
+            "a",
+            "a\n",
+            "a\nb",
+            "a\nb\n",
+            "\n",
+            "\n\n",
+            "a\r\nb\r\n",
+            "a\r\nb",
+            "a\r",
+            "a\r\n\r\nb",
+            "mixed\nendings\r\nhere\rtoo\n",
+        ];
+        for case in cases {
+            let got: Vec<&[u8]> = lines(case.as_bytes()).collect();
+            let want: Vec<&[u8]> = case.lines().map(str::as_bytes).collect();
+            assert_eq!(got, want, "input {case:?}");
+        }
+    }
+
+    #[test]
+    fn tokens_match_split_whitespace() {
+        let cases = [
+            "",
+            " ",
+            "one",
+            "  leading",
+            "trailing  ",
+            "a b\tc\nd\re\x0bf\x0cg",
+            "multi   space\t\truns\n\nhere",
+            "word-with-punct, another!",
+        ];
+        for case in cases {
+            let got: Vec<&[u8]> = tokens(case.as_bytes()).collect();
+            let want: Vec<&[u8]> = case.split_whitespace().map(str::as_bytes).collect();
+            assert_eq!(got, want, "input {case:?}");
+        }
+    }
+
+    #[test]
+    fn tokens_treat_control_bytes_as_token_bytes() {
+        // 0x00..0x08 are < 0x21 but are not whitespace: they must stay inside
+        // tokens (this is the case the per-byte verification exists for).
+        let data = b"a\x00b \x01\x02  c\x1fd";
+        let got: Vec<&[u8]> = tokens(data).collect();
+        assert_eq!(got, vec![&b"a\x00b"[..], b"\x01\x02", b"c\x1fd"]);
+    }
+
+    #[test]
+    fn tokens_accept_arbitrary_non_utf8_bytes() {
+        let data = b"\xff\xfe \x80\x81\tok";
+        let got: Vec<&[u8]> = tokens(data).collect();
+        assert_eq!(got, vec![&b"\xff\xfe"[..], b"\x80\x81", b"ok"]);
+    }
+
+    #[test]
+    fn for_each_token_matches_tokens_iterator() {
+        let cases: &[&[u8]] = &[
+            b"",
+            b" ",
+            b"one",
+            b"  leading",
+            b"trailing  ",
+            b"a b\tc\nd\re\x0bf\x0cg",
+            b"multi   space\t\truns\n\nhere",
+            b"a\x00b \x01\x02  c\x1fd",
+            b"\xff\xfe \x80\x81\tok",
+            b"averyveryverylongtokenwithnospacesatallinsideofit and short",
+            b"w w w w w w w w w w w w w w w w w w w w w w w w",
+        ];
+        for case in cases {
+            let mut got: Vec<&[u8]> = Vec::new();
+            for_each_token(case, |t| got.push(t));
+            let want: Vec<&[u8]> = tokens(case).collect();
+            assert_eq!(got, want, "input {case:?}");
+        }
+    }
+
+    #[test]
+    fn count_lines_matches_filter() {
+        for case in ["", "a", "a\n", "\n\n\n", "word\nword\nword", "x\r\ny\r\n"] {
+            assert_eq!(
+                count_lines(case.as_bytes()),
+                case.bytes().filter(|&b| b == b'\n').count(),
+                "input {case:?}"
+            );
+        }
+    }
+}

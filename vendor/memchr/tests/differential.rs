@@ -1,0 +1,153 @@
+//! Differential fuzz of the SWAR kernel against the std implementations it
+//! replaces: `iter().position`, `str::lines`, and `split_whitespace`.
+//!
+//! Byte-level primitives are fuzzed over arbitrary byte strings (including
+//! invalid UTF-8); the str-semantics iterators are additionally fuzzed over
+//! ASCII corpora shaped like the engine's real inputs (words, multi-space
+//! runs, CR-LF endings, empty lines).
+
+use proptest::prelude::*;
+
+/// Deterministically expands fuzz codes into text biased towards
+/// scan-relevant structure: words separated by whitespace runs, newline and
+/// CR-LF endings, occasional empty lines and bare carriage returns.
+fn build_textish(codes: &[u8]) -> String {
+    const WORDS: &[&str] =
+        &["apple", "Banana", "cherry42", "d", "ee-ff", "kiwi,", "longish_word!", "x_9"];
+    const SEPS: &[&str] = &[" ", "  ", "\t", "\n", "\r\n", "\n\n", " \t ", "\r"];
+    let mut s = String::new();
+    for pair in codes.chunks(2) {
+        s.push_str(WORDS[pair[0] as usize % WORDS.len()]);
+        let sep = pair.get(1).copied().unwrap_or(0);
+        s.push_str(SEPS[sep as usize % SEPS.len()]);
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn memchr_matches_iter_position(
+        hay in prop::collection::vec(any::<u8>(), 0..200),
+        needle in any::<u8>(),
+    ) {
+        prop_assert_eq!(
+            memchr::memchr(needle, &hay),
+            hay.iter().position(|&b| b == needle)
+        );
+    }
+
+    #[test]
+    fn memchr_iter_matches_all_positions(
+        hay in prop::collection::vec(any::<u8>(), 0..200),
+        needle in any::<u8>(),
+    ) {
+        let got: Vec<usize> = memchr::memchr_iter(needle, &hay).collect();
+        let want: Vec<usize> = hay
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b == needle)
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn find_matches_windows_position(
+        hay in prop::collection::vec(any::<u8>(), 0..120),
+        needle in prop::collection::vec(any::<u8>(), 0..6),
+    ) {
+        let want = if needle.is_empty() {
+            Some(0)
+        } else if needle.len() > hay.len() {
+            None
+        } else {
+            hay.windows(needle.len()).position(|w| w == &needle[..])
+        };
+        prop_assert_eq!(memchr::find(&hay, &needle), want);
+    }
+
+    #[test]
+    fn count_lines_matches_filter_count(hay in prop::collection::vec(any::<u8>(), 0..300)) {
+        prop_assert_eq!(
+            memchr::count_lines(&hay),
+            hay.iter().filter(|&&b| b == b'\n').count()
+        );
+    }
+
+    #[test]
+    fn tokens_match_split_whitespace_on_arbitrary_ascii(
+        bytes in prop::collection::vec(0u8..0x80, 0..300),
+    ) {
+        let s = std::str::from_utf8(&bytes).unwrap();
+        let got: Vec<&[u8]> = memchr::tokens(&bytes).collect();
+        let want: Vec<&[u8]> = s.split_whitespace().map(str::as_bytes).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn tokens_partition_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..300),
+    ) {
+        // On arbitrary (possibly non-UTF-8) bytes there is no str oracle, but
+        // the token stream must still partition the input: token bytes plus
+        // skipped separator bytes reconstruct it, and no token is empty or
+        // contains whitespace.
+        let toks: Vec<&[u8]> = memchr::tokens(&bytes).collect();
+        let token_bytes: usize = toks.iter().map(|t| t.len()).sum();
+        let sep_bytes = bytes.iter().filter(|&&b| memchr::is_ascii_space(b)).count();
+        prop_assert_eq!(token_bytes + sep_bytes, bytes.len());
+        for t in &toks {
+            prop_assert!(!t.is_empty());
+            prop_assert!(!t.iter().any(|&b| memchr::is_ascii_space(b)));
+        }
+    }
+
+    #[test]
+    fn for_each_token_matches_split_whitespace_on_arbitrary_ascii(
+        bytes in prop::collection::vec(0u8..0x80, 0..300),
+    ) {
+        let s = std::str::from_utf8(&bytes).unwrap();
+        let mut got: Vec<&[u8]> = Vec::new();
+        memchr::for_each_token(&bytes, |t| got.push(t));
+        let want: Vec<&[u8]> = s.split_whitespace().map(str::as_bytes).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn for_each_token_matches_tokens_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let mut got: Vec<&[u8]> = Vec::new();
+        memchr::for_each_token(&bytes, |t| got.push(t));
+        let want: Vec<&[u8]> = memchr::tokens(&bytes).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn lines_match_str_lines_on_textish(codes in prop::collection::vec(any::<u8>(), 0..120)) {
+        let s = build_textish(&codes);
+        let got: Vec<&[u8]> = memchr::lines(s.as_bytes()).collect();
+        let want: Vec<&[u8]> = s.lines().map(str::as_bytes).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn lines_match_str_lines_on_arbitrary_ascii(
+        bytes in prop::collection::vec(0u8..0x80, 0..300),
+    ) {
+        let s = std::str::from_utf8(&bytes).unwrap();
+        let got: Vec<&[u8]> = memchr::lines(&bytes).collect();
+        let want: Vec<&[u8]> = s.lines().map(str::as_bytes).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn tokens_match_split_whitespace_on_textish(codes in prop::collection::vec(any::<u8>(), 0..120)) {
+        let s = build_textish(&codes);
+        let got: Vec<&[u8]> = memchr::tokens(s.as_bytes()).collect();
+        let want: Vec<&[u8]> = s.split_whitespace().map(str::as_bytes).collect();
+        prop_assert_eq!(got, want);
+    }
+}
