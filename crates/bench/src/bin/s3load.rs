@@ -1,0 +1,318 @@
+//! `s3load` — open-loop SLO driver for the shared-scan server.
+//!
+//! Submits a Poisson stream of jobs at their scheduled arrival times
+//! (open loop: a slow server does not slow the arrivals, so queueing
+//! shows up as latency instead of being hidden by back-pressure), then
+//! reconstructs per-job timelines from the drained trace via
+//! [`JobJournal`] and reports sustained throughput plus windowed
+//! tail-latency-over-time through [`WindowedHdr`]:
+//!
+//! - **admission_us** — submit → admit (the journal's `queue_us`);
+//! - **completion_us** — submit → terminal, overall and per window;
+//! - **windows** — fixed wall-clock windows over the run, each with its
+//!   own HDR summary, so a latency regression that only bites under
+//!   backlog is visible as a trend rather than averaged away.
+//!
+//! Results land in an `slo` section of `BENCH_engine.json` (read-modify-
+//! write: the rest of the report is preserved). With `--listen` the
+//! server exposes the live Prometheus endpoint and `s3load` self-scrapes
+//! it once mid-run, so one process exercises the full export path.
+//!
+//! ```text
+//! cargo run --release -p s3-bench --bin s3load -- \
+//!     [--quick] [--jobs N] [--mean-gap-ms MS] [--seed S] [--window-ms MS]
+//!     [--threads N] [--bps N] [--listen ADDR] [--journal PATH] [--out PATH]
+//! ```
+
+use s3_engine::{BlockStore, Obs, ServerConfig, SharedScanServer};
+use s3_obs::hdr::{HdrHistogram, HdrSummary, WindowedHdr, DEFAULT_SUB_BUCKET_BITS};
+use s3_obs::journal::{JobJournal, Outcome};
+use s3_obs::prom::scrape_text;
+use s3_sim::SimRng;
+use s3_workloads::arrivals::ArrivalPattern;
+use s3_workloads::jobs::PatternWordCount;
+use s3_workloads::text::TextGen;
+use std::time::{Duration, Instant};
+
+const BLOCK_BYTES: usize = 4 << 10;
+/// Closed windows retained (and reported); older windows are evicted.
+const MAX_WINDOWS: usize = 64;
+
+struct Opts {
+    jobs: usize,
+    mean_gap_ms: f64,
+    seed: u64,
+    window_ms: u64,
+    threads: usize,
+    bps: usize,
+    corpus_bytes: usize,
+    listen: Option<String>,
+    journal: Option<String>,
+    out: String,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            jobs: 60,
+            mean_gap_ms: 8.0,
+            seed: 7,
+            window_ms: 250,
+            threads: 2,
+            bps: 2,
+            corpus_bytes: 1 << 20,
+            listen: None,
+            journal: None,
+            out: "BENCH_engine.json".into(),
+        }
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("s3load: {msg}");
+    eprintln!(
+        "usage: s3load [--quick] [--jobs N] [--mean-gap-ms MS] [--seed S] [--window-ms MS] \
+         [--threads N] [--bps N] [--listen ADDR] [--journal PATH] [--out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_opts() -> Opts {
+    let mut o = Opts::default();
+    let mut args = std::env::args().skip(1);
+    let next = |flag: &str, args: &mut dyn Iterator<Item = String>| {
+        args.next().unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => {
+                o.jobs = 24;
+                o.mean_gap_ms = 4.0;
+                o.window_ms = 100;
+                o.corpus_bytes = 256 << 10;
+            }
+            "--jobs" => o.jobs = next("--jobs", &mut args).parse().unwrap_or_else(|_| fail("bad --jobs")),
+            "--mean-gap-ms" => {
+                o.mean_gap_ms = next("--mean-gap-ms", &mut args).parse().unwrap_or_else(|_| fail("bad --mean-gap-ms"))
+            }
+            "--seed" => o.seed = next("--seed", &mut args).parse().unwrap_or_else(|_| fail("bad --seed")),
+            "--window-ms" => {
+                o.window_ms = next("--window-ms", &mut args).parse().unwrap_or_else(|_| fail("bad --window-ms"))
+            }
+            "--threads" => o.threads = next("--threads", &mut args).parse().unwrap_or_else(|_| fail("bad --threads")),
+            "--bps" => o.bps = next("--bps", &mut args).parse().unwrap_or_else(|_| fail("bad --bps")),
+            "--listen" => o.listen = Some(next("--listen", &mut args)),
+            "--journal" => o.journal = Some(next("--journal", &mut args)),
+            "--out" => o.out = next("--out", &mut args),
+            other => fail(&format!("unknown flag {other:?}")),
+        }
+    }
+    if o.jobs == 0 || o.window_ms == 0 || o.mean_gap_ms <= 0.0 {
+        fail("--jobs, --window-ms, and --mean-gap-ms must be positive");
+    }
+    o
+}
+
+fn prefix(i: usize) -> String {
+    format!("{}a", (b'b' + (i % 20) as u8) as char)
+}
+
+fn summary_json(s: &HdrSummary) -> serde_json::Value {
+    let text = serde_json::to_string(s).expect("summary serializes");
+    serde_json::from_str(&text).expect("summary round-trips")
+}
+
+fn main() {
+    let o = parse_opts();
+    let times = ArrivalPattern::Poisson {
+        n: o.jobs,
+        mean_gap_s: o.mean_gap_ms / 1e3,
+        seed: o.seed,
+    }
+    .times();
+
+    eprintln!("s3load: building {} KiB corpus...", o.corpus_bytes >> 10);
+    let gen = TextGen::new(10_000, 1.1);
+    let text = gen.generate(&mut SimRng::seed_from_u64(31), o.corpus_bytes);
+    let store = BlockStore::from_text(&text, BLOCK_BYTES);
+
+    let mut cfg = ServerConfig::new(o.bps, o.threads);
+    cfg.obs = Obs::new();
+    cfg.metrics_addr = o.listen.clone();
+    let obs = cfg.obs.clone();
+    let server = SharedScanServer::with_config(store.clone(), cfg);
+    if let Some(addr) = server.metrics_addr() {
+        eprintln!("s3load: serving metrics at http://{addr}/metrics");
+    }
+
+    eprintln!(
+        "s3load: {} jobs, Poisson mean gap {} ms (seed {}), {} blocks, bps={}, {} threads",
+        o.jobs,
+        o.mean_gap_ms,
+        o.seed,
+        store.num_blocks(),
+        o.bps,
+        o.threads
+    );
+
+    // ---- open-loop submission ----
+    let t0 = Instant::now();
+    let mut handles = Vec::with_capacity(o.jobs);
+    let mut scrape_lines: Option<usize> = None;
+    for (i, &at) in times.iter().enumerate() {
+        let due = Duration::from_secs_f64(at);
+        let now = t0.elapsed();
+        if now < due {
+            std::thread::sleep(due - now);
+        }
+        handles.push(server.submit(PatternWordCount::prefix(prefix(i))));
+        // One self-scrape mid-burst proves the live endpoint end to end.
+        if i == o.jobs / 2 {
+            if let Some(addr) = server.metrics_addr() {
+                let body = scrape_text(&addr.to_string()).expect("self-scrape succeeds");
+                scrape_lines = Some(body.lines().count());
+            }
+        }
+    }
+    let mut completed = 0u64;
+    let mut failed = 0u64;
+    for h in handles {
+        match h.wait() {
+            Ok(_) => completed += 1,
+            Err(_) => failed += 1,
+        }
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    server.shutdown();
+    if let Some(n) = scrape_lines {
+        eprintln!("s3load: mid-run self-scrape returned {n} exposition lines");
+    }
+
+    // ---- journal reconstruction ----
+    let core = obs.core().expect("Obs::new is on");
+    let events = core.tracer.drain();
+    let mut journal = JobJournal::from_events(&events);
+    journal.dropped_events = core.tracer.dropped();
+    if let Err(e) = journal.validate() {
+        eprintln!("s3load: journal FAILED validation: {e}");
+        std::process::exit(1);
+    }
+    let complete = |j: &&s3_obs::journal::JobRecord| j.admit_events == 1 && j.terminal_events == 1;
+    if journal.dropped_events > 0 {
+        let incomplete = journal.jobs.iter().filter(|j| !complete(j)).count();
+        eprintln!(
+            "s3load: WARNING: ring overwrote {} events; {incomplete} incomplete job timelines excluded from SLO stats",
+            journal.dropped_events
+        );
+    }
+    if let Some(path) = &o.journal {
+        let text = serde_json::to_string_pretty(&journal).expect("journal serializes");
+        if let Some(dir) = std::path::Path::new(path).parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir).expect("create journal dir");
+        }
+        std::fs::write(path, text + "\n").expect("write journal");
+        eprintln!("s3load: wrote journal {path} ({} jobs)", journal.jobs.len());
+    }
+
+    // ---- SLO aggregation: overall + windowed HDR summaries ----
+    let admission = HdrHistogram::new();
+    let completion = HdrHistogram::new();
+    let windowed = WindowedHdr::new(DEFAULT_SUB_BUCKET_BITS, MAX_WINDOWS);
+    let epoch =
+        journal.jobs.iter().filter(&complete).map(|j| j.submit_us).min().unwrap_or(0);
+    let window_us = o.window_ms * 1_000;
+
+    let mut done: Vec<_> = journal
+        .jobs
+        .iter()
+        .filter(|j| j.outcome == Outcome::Done)
+        .filter(&complete)
+        .collect();
+    done.sort_by_key(|j| j.terminal_us);
+    let mut window_starts: Vec<u64> = Vec::new();
+    let mut cur_window = 0u64;
+    for j in journal.jobs.iter().filter(&complete) {
+        admission.record(j.queue_us);
+    }
+    for j in &done {
+        let k = (j.terminal_us - epoch) / window_us;
+        while cur_window < k {
+            windowed.rotate();
+            window_starts.push(cur_window * window_us);
+            cur_window += 1;
+        }
+        completion.record(j.latency_us);
+        windowed.record(j.latency_us);
+    }
+    windowed.rotate();
+    window_starts.push(cur_window * window_us);
+    let closed = windowed.windows();
+    // Eviction keeps the most recent MAX_WINDOWS snapshots; align starts.
+    let starts = &window_starts[window_starts.len() - closed.len()..];
+    let windows_json: Vec<serde_json::Value> = closed
+        .iter()
+        .zip(starts)
+        .map(|(snap, &start)| {
+            serde_json::json!({
+                "start_ms": (start as f64 / 1e3),
+                "completed": (snap.count),
+                "completion_us": (summary_json(&snap.summary())),
+            })
+        })
+        .collect();
+
+    let first_submit = epoch;
+    let last_terminal = done.last().map(|j| j.terminal_us).unwrap_or(epoch);
+    let active_s = ((last_terminal - first_submit) as f64 / 1e6).max(1e-9);
+    let sustained = completed as f64 / active_s;
+    let adm = admission.snapshot().summary();
+    let cmp = completion.snapshot().summary();
+
+    eprintln!("s3load: {completed} completed, {failed} failed in {wall_ms:.0} ms");
+    eprintln!("  sustained             {sustained:>10.1} jobs/s");
+    eprintln!(
+        "  admission             p50 {:>8.0} µs   p95 {:>8.0} µs   p99 {:>8.0} µs",
+        adm.p50, adm.p95, adm.p99
+    );
+    eprintln!(
+        "  completion            p50 {:>8.0} µs   p95 {:>8.0} µs   p99 {:>8.0} µs",
+        cmp.p50, cmp.p95, cmp.p99
+    );
+    eprintln!("  windows               {} × {} ms", windows_json.len(), o.window_ms);
+
+    // ---- read-modify-write the slo section ----
+    let slo = serde_json::json!({
+        "schema": "s3slo/v1",
+        "generated_by": "cargo run --release -p s3-bench --bin s3load",
+        "config": {
+            "jobs": (o.jobs),
+            "mean_gap_ms": (o.mean_gap_ms),
+            "seed": (o.seed),
+            "window_ms": (o.window_ms),
+            "threads": (o.threads),
+            "blocks_per_segment": (o.bps),
+            "corpus_bytes": (store.total_bytes()),
+            "hdr_relative_error": (s3_obs::HdrSnapshot::empty(DEFAULT_SUB_BUCKET_BITS).relative_error()),
+        },
+        "submitted": (o.jobs),
+        "completed": completed,
+        "failed": failed,
+        "wall_ms": wall_ms,
+        "sustained_jobs_per_sec": sustained,
+        "dropped_trace_events": (journal.dropped_events),
+        "admission_us": (summary_json(&adm)),
+        "completion_us": (summary_json(&cmp)),
+        "windows": (serde_json::Value::Array(windows_json)),
+    });
+    let mut report: serde_json::Value = std::fs::read_to_string(&o.out)
+        .ok()
+        .and_then(|t| serde_json::from_str(&t).ok())
+        .unwrap_or_else(|| serde_json::json!({"schema": "s3bench-engine/v1"}));
+    report["slo"] = slo;
+    let text = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Some(dir) = std::path::Path::new(&o.out).parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir).expect("create report dir");
+    }
+    std::fs::write(&o.out, text + "\n").expect("write report");
+    eprintln!("s3load: wrote slo section into {}", o.out);
+}

@@ -1,0 +1,329 @@
+//! `s3top` — live terminal dashboard over engine telemetry.
+//!
+//! Polls a [`MetricsSnapshot`] every refresh interval and renders rates
+//! and **windowed** percentiles (from histogram-bucket deltas between
+//! consecutive snapshots, interpolated with
+//! [`quantile_from_buckets`]) — the last-interval view a since-start
+//! snapshot cannot give. Two sources:
+//!
+//! - `s3top --demo` — spawn an in-process observed [`SharedScanServer`]
+//!   with a background submitter and watch it (no setup, good for a
+//!   first look and for CI);
+//! - `s3top --url HOST:PORT` — scrape the Prometheus endpoint another
+//!   process (e.g. `s3load --listen`) exposes, re-parsing the text
+//!   exposition back into a snapshot.
+//!
+//! `--once` renders a single frame without clearing the screen, for CI
+//! and piping; otherwise the dashboard redraws until `--frames` runs
+//! out (or forever).
+//!
+//! ```text
+//! cargo run --release -p s3-bench --bin s3top -- --demo
+//! cargo run --release -p s3-bench --bin s3top -- --url 127.0.0.1:9184
+//! ```
+
+use s3_engine::{BlockStore, Obs, ServerConfig, SharedScanServer};
+use s3_obs::metrics::{quantile_from_buckets, HistogramSnapshot, MetricsSnapshot};
+use s3_obs::prom::{parse_prometheus, prom_name, scrape_text};
+use s3_sim::SimRng;
+use s3_workloads::jobs::PatternWordCount;
+use s3_workloads::text::TextGen;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("s3top: {msg}");
+    eprintln!("usage: s3top [--demo | --url HOST:PORT] [--interval-ms MS] [--frames N | --once]");
+    std::process::exit(2);
+}
+
+enum Source {
+    Demo {
+        obs: Obs,
+        stop: Arc<AtomicBool>,
+        worker: Option<std::thread::JoinHandle<()>>,
+    },
+    Url(String),
+}
+
+impl Source {
+    fn snap(&self) -> MetricsSnapshot {
+        match self {
+            Source::Demo { obs, .. } => obs.snapshot().expect("demo obs is on"),
+            Source::Url(addr) => {
+                let text = scrape_text(addr)
+                    .unwrap_or_else(|e| fail(&format!("scrape {addr} failed: {e}")));
+                parse_prometheus(&text)
+            }
+        }
+    }
+
+    fn label(&self) -> String {
+        match self {
+            Source::Demo { .. } => "demo (in-process)".into(),
+            Source::Url(addr) => format!("http://{addr}/metrics"),
+        }
+    }
+}
+
+impl Drop for Source {
+    fn drop(&mut self) {
+        if let Source::Demo { stop, worker, .. } = self {
+            stop.store(true, Ordering::Relaxed);
+            if let Some(h) = worker.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// Start an observed server plus a background submitter that keeps a
+/// steady stream of jobs flowing until `stop` is raised.
+fn demo_source() -> Source {
+    let gen = TextGen::new(10_000, 1.1);
+    let text = gen.generate(&mut SimRng::seed_from_u64(31), 512 << 10);
+    let store = BlockStore::from_text(&text, 4 << 10);
+    let mut cfg = ServerConfig::new(2, 2);
+    cfg.obs = Obs::new();
+    let obs = cfg.obs.clone();
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = stop.clone();
+    let worker = std::thread::Builder::new()
+        .name("s3top-demo-load".into())
+        .spawn(move || {
+            let server = SharedScanServer::with_config(store, cfg);
+            let mut i = 0usize;
+            while !stop2.load(Ordering::Relaxed) {
+                let handles: Vec<_> = (0..3)
+                    .map(|j| {
+                        let p = format!("{}a", (b'b' + ((i + j) % 20) as u8) as char);
+                        server.submit(PatternWordCount::prefix(p))
+                    })
+                    .collect();
+                for h in handles {
+                    let _ = h.wait();
+                }
+                i += 3;
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            server.shutdown();
+        })
+        .expect("spawn demo load");
+    Source::Demo { obs, stop, worker: Some(worker) }
+}
+
+/// Percentiles of the observations recorded *between* two snapshots,
+/// from per-bucket count deltas. Returns `(p50, p95, p99, n)`.
+fn window_pctls(
+    prev: Option<&HistogramSnapshot>,
+    cur: &HistogramSnapshot,
+) -> Option<(f64, f64, f64, u64)> {
+    let edge = |le: &str| le.parse::<f64>().unwrap_or(f64::INFINITY);
+    let prev_count = |le: &str| {
+        prev.and_then(|p| p.buckets.iter().find(|b| b.le == le))
+            .map(|b| b.count)
+            .unwrap_or(0)
+    };
+    let pairs: Vec<(f64, u64)> = cur
+        .buckets
+        .iter()
+        .map(|b| (edge(&b.le), b.count.saturating_sub(prev_count(&b.le))))
+        .collect();
+    let n: u64 = pairs.iter().map(|&(_, c)| c).sum();
+    if n == 0 {
+        return None;
+    }
+    // Lifetime min/max bound the interpolation; the window's true extremes
+    // are inside them.
+    let (min, max) = (cur.min as f64, cur.max as f64);
+    let q = |q: f64| quantile_from_buckets(&pairs, min, max, q);
+    Some((q(0.50), q(0.95), q(0.99), n))
+}
+
+struct Frame<'a> {
+    prev: Option<&'a MetricsSnapshot>,
+    cur: &'a MetricsSnapshot,
+    dt_s: f64,
+    up_s: f64,
+    source: String,
+}
+
+/// Instrument lookups that work on both snapshot flavors: registry names
+/// (`engine.jobs_submitted`) in demo mode, prom-sanitized names
+/// (`s3_engine_jobs_submitted`) when re-parsed from a scrape.
+fn counter(s: &MetricsSnapshot, name: &str) -> u64 {
+    s.counters
+        .get(name)
+        .or_else(|| s.counters.get(&prom_name(name)))
+        .copied()
+        .unwrap_or(0)
+}
+
+fn gauge(s: &MetricsSnapshot, name: &str) -> i64 {
+    s.gauges
+        .get(name)
+        .or_else(|| s.gauges.get(&prom_name(name)))
+        .copied()
+        .unwrap_or(0)
+}
+
+fn histogram<'a>(s: &'a MetricsSnapshot, name: &str) -> Option<&'a HistogramSnapshot> {
+    s.histograms
+        .get(name)
+        .or_else(|| s.histograms.get(&prom_name(name)))
+}
+
+fn render(f: &Frame) -> String {
+    let c = |name: &str| counter(f.cur, name);
+    let rate = |name: &str| {
+        let prev = f.prev.map(|p| counter(p, name)).unwrap_or(0);
+        (c(name).saturating_sub(prev)) as f64 / f.dt_s
+    };
+    let mut out = String::new();
+    let mut line = |s: String| {
+        out.push_str(&s);
+        out.push('\n');
+    };
+    line(format!(
+        "s3top — {:<28} up {:>6.1} s   refresh {:>4.0} ms",
+        f.source,
+        f.up_s,
+        f.dt_s * 1e3
+    ));
+    line(format!(
+        "jobs    submitted {:<7} completed {:<7} active {:<4} quarantined {:<4} aborted {}",
+        c("engine.jobs_submitted"),
+        c("engine.jobs_completed"),
+        gauge(f.cur, "engine.active_jobs"),
+        c("engine.jobs_quarantined"),
+        c("engine.jobs_aborted"),
+    ));
+    line(format!(
+        "rates   submit {:>7.1}/s   complete {:>7.1}/s   segments {:>7.0}/s   scan {:>7.1} MB/s",
+        rate("engine.jobs_submitted"),
+        rate("engine.jobs_completed"),
+        rate("engine.segments_scanned"),
+        rate("engine.bytes_scanned") / 1e6,
+    ));
+    line(format!(
+        "scan    segments {:<9} blocks {:<9} eff bps {:<4} assist ratio {:>5.1} %   excluded {}",
+        c("engine.segments_scanned"),
+        c("engine.blocks_scanned"),
+        gauge(f.cur, "engine.effective_blocks_per_segment"),
+        gauge(f.cur, "engine.assist_ratio") as f64 / 100.0,
+        gauge(f.cur, "engine.excluded_workers"),
+    ));
+    for (label, name) in [
+        ("admission", "engine.admission_latency_us"),
+        ("job latency", "engine.job_latency_us"),
+        ("cadence", "engine.segment_cadence_us"),
+        ("segment scan", "engine.segment_scan_us"),
+    ] {
+        let cur = match histogram(f.cur, name) {
+            Some(h) => h,
+            None => continue,
+        };
+        let prev = f.prev.and_then(|p| histogram(p, name));
+        match window_pctls(prev, cur) {
+            Some((p50, p95, p99, n)) => line(format!(
+                "window  {label:<13} p50 {p50:>8.0} µs   p95 {p95:>8.0} µs   p99 {p99:>8.0} µs   (n={n})"
+            )),
+            None => line(format!("window  {label:<13} (no samples this interval)")),
+        }
+    }
+    for (label, name) in [
+        ("admission", "engine.admission_latency_us"),
+        ("job latency", "engine.job_latency_us"),
+    ] {
+        if let Some(h) = histogram(f.cur, name) {
+            line(format!(
+                "life    {label:<13} p50 {:>8.0} µs   p95 {:>8.0} µs   p99 {:>8.0} µs   (n={})",
+                h.p50, h.p95, h.p99, h.count
+            ));
+        }
+    }
+    let mut pools = String::from("pools  ");
+    for pool in ["scan", "reduce"] {
+        let name = format!("pool.{pool}.busy_us");
+        let prev = f.prev.map(|p| counter(p, &name)).unwrap_or(0);
+        let busy_workers =
+            (c(&name).saturating_sub(prev)) as f64 / (f.dt_s * 1e6);
+        pools.push_str(&format!(" {pool} busy {busy_workers:>4.2} workers  "));
+    }
+    line(pools);
+    out
+}
+
+fn main() {
+    let mut demo = false;
+    let mut url: Option<String> = None;
+    let mut interval_ms = 500u64;
+    let mut frames = u64::MAX;
+    let mut once = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--demo" => demo = true,
+            "--url" => url = Some(args.next().unwrap_or_else(|| fail("--url needs HOST:PORT"))),
+            "--interval-ms" => {
+                interval_ms = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| fail("bad --interval-ms"))
+            }
+            "--frames" => {
+                frames = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| fail("bad --frames"))
+            }
+            "--once" => once = true,
+            other => fail(&format!("unknown flag {other:?}")),
+        }
+    }
+    if demo && url.is_some() {
+        fail("--demo and --url are mutually exclusive");
+    }
+    let source = if let Some(addr) = url { Source::Url(addr) } else if demo {
+        demo_source()
+    } else {
+        fail("need --demo or --url HOST:PORT")
+    };
+    if once {
+        frames = 1;
+    }
+    if interval_ms == 0 {
+        fail("--interval-ms must be positive");
+    }
+
+    let t0 = Instant::now();
+    let mut prev: Option<MetricsSnapshot> = None;
+    let mut prev_at = t0;
+    // Let the first interval elapse so frame 1 already has rates.
+    std::thread::sleep(Duration::from_millis(interval_ms));
+    for frame in 0..frames {
+        let cur = source.snap();
+        let now = Instant::now();
+        let text = render(&Frame {
+            prev: prev.as_ref(),
+            cur: &cur,
+            dt_s: now.duration_since(prev_at).as_secs_f64().max(1e-9),
+            up_s: t0.elapsed().as_secs_f64(),
+            source: source.label(),
+        });
+        if once {
+            print!("{text}");
+        } else {
+            // Clear + home, then the frame.
+            print!("\x1b[2J\x1b[H{text}");
+            use std::io::Write;
+            let _ = std::io::stdout().flush();
+        }
+        prev = Some(cur);
+        prev_at = now;
+        if frame + 1 < frames {
+            std::thread::sleep(Duration::from_millis(interval_ms));
+        }
+    }
+}

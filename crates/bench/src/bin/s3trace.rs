@@ -4,15 +4,22 @@
 //!
 //! - `s3trace engine [--quick] [--out-dir DIR]` — run an observed
 //!   [`SharedScanServer`] workload, write its runtime trace as a
-//!   Perfetto-loadable Chrome trace (`TRACE_engine.json`) plus a metrics
-//!   snapshot (`METRICS_engine.json`), and print a per-segment timeline
-//!   summary: cadence p50/p95/p99, segment scan times, admission latency,
-//!   and pool idle fraction.
+//!   Perfetto-loadable Chrome trace (`TRACE_engine.json`, with per-job
+//!   journal tracks beside the server-centric view), a metrics snapshot
+//!   (`METRICS_engine.json`), and the per-job flight recorder
+//!   (`JOURNAL_engine.json`), and print a per-segment timeline summary:
+//!   cadence p50/p95/p99, segment scan times, admission latency, pool
+//!   idle fraction, and the ring-buffer drop count. A trace that lost
+//!   events to ring overwrite carries a `trace_truncated` marker event.
 //! - `s3trace sim SCENARIO.json [--out-dir DIR]` — run a simulator
 //!   scenario and export its trace through the **same** Chrome converter
 //!   (`TRACE_sim.json`), one process per scheduler.
-//! - `s3trace validate FILE` — check a file against the Chrome trace-event
-//!   schema (CI's trace-smoke job runs this on what `engine` emitted).
+//! - `s3trace validate FILE [--strict]` — check a file against the Chrome
+//!   trace-event schema, or (for `{…}` files carrying the journal schema)
+//!   against the journal invariants (CI's trace-smoke job runs this on
+//!   what `engine` emitted). Truncated inputs — a `trace_truncated`
+//!   marker or non-zero `dropped_events` — warn; `--strict` turns the
+//!   warning into a non-zero exit.
 //!
 //! ```text
 //! cargo run --release -p s3-bench --bin s3trace -- engine --quick
@@ -21,7 +28,7 @@
 use s3_bench::scenario::ScenarioSpec;
 use s3_engine::{Obs, SharedScanServer};
 use s3_obs::chrome::{engine_event_to_chrome, validate_chrome_trace, write_chrome_trace, ChromeEvent};
-use s3_obs::HistogramSnapshot;
+use s3_obs::{HistogramSnapshot, JobJournal};
 use s3_sim::SimRng;
 use s3_workloads::jobs::PatternWordCount;
 use s3_workloads::text::TextGen;
@@ -35,7 +42,7 @@ const BLOCKS_PER_SEGMENT: usize = 2;
 
 fn fail(msg: &str) -> ! {
     eprintln!("s3trace: {msg}");
-    eprintln!("usage: s3trace [engine [--quick] [--out-dir DIR] | sim SCENARIO.json [--out-dir DIR] | validate FILE]");
+    eprintln!("usage: s3trace [engine [--quick] [--out-dir DIR] | sim SCENARIO.json [--out-dir DIR] | validate FILE [--strict]]");
     std::process::exit(2);
 }
 
@@ -46,8 +53,17 @@ fn main() {
         "engine" => run_engine(&args[1..]),
         "sim" => run_sim(&args[1..]),
         "validate" => {
-            let path = args.get(1).unwrap_or_else(|| fail("validate needs a file"));
-            run_validate(Path::new(path));
+            let mut path = None;
+            let mut strict = false;
+            for a in &args[1..] {
+                match a.as_str() {
+                    "--strict" => strict = true,
+                    other if path.is_none() => path = Some(other.to_string()),
+                    other => fail(&format!("unexpected argument {other:?}")),
+                }
+            }
+            let path = path.unwrap_or_else(|| fail("validate needs a file"));
+            run_validate(Path::new(&path), strict);
         }
         other => fail(&format!("unknown mode {other:?}")),
     }
@@ -121,9 +137,34 @@ fn run_engine(args: &[String]) {
     let events = core.tracer.drain();
     let dropped = core.tracer.dropped();
 
+    // ---- per-job flight recorder ----
+    let mut journal = JobJournal::from_events(&events);
+    journal.dropped_events = dropped;
+    journal.validate().expect("journal invariants hold");
+    let journal_path = out_dir.join("JOURNAL_engine.json");
+    let journal_text = serde_json::to_string_pretty(&journal).expect("journal serializes");
+    std::fs::write(&journal_path, journal_text + "\n").expect("write journal");
+
     // ---- export ----
     let mut chrome = vec![ChromeEvent::process_name(1, "s3-engine")];
     chrome.extend(events.iter().map(|e| engine_event_to_chrome(e, 1, "engine")));
+    // The journal's per-job tracks load as a second process beside the
+    // server-centric view.
+    chrome.extend(journal.to_chrome_events(2));
+    if dropped > 0 {
+        // Downstream consumers (and `validate --strict`) can see the
+        // truncation without the recorder in hand.
+        chrome.push(ChromeEvent {
+            name: "trace_truncated".to_string(),
+            cat: "meta".to_string(),
+            ph: 'i',
+            ts: 0.0,
+            dur: None,
+            pid: 1,
+            tid: 0,
+            args: vec![("dropped".to_string(), serde_json::Value::from(dropped))],
+        });
+    }
     let trace_path = out_dir.join("TRACE_engine.json");
     let mut buf = Vec::new();
     write_chrome_trace(&mut buf, &chrome).expect("serialize trace");
@@ -176,12 +217,15 @@ fn run_engine(args: &[String]) {
         snapshot.counters.get("engine.combiner_fold_hits").copied().unwrap_or(0),
         snapshot.counters.get("engine.map_records").copied().unwrap_or(0),
     );
+    println!("ring dropped          {dropped} events");
     if dropped > 0 {
-        println!("NOTE: ring overflow dropped {dropped} events (raise trace capacity)");
+        println!("NOTE: ring overflow truncated the trace (raise trace capacity)");
     }
     println!(
-        "wrote {} ({n} events) and {}",
+        "wrote {} ({n} events), {} ({} jobs), and {}",
         trace_path.display(),
+        journal_path.display(),
+        journal.jobs.len(),
         metrics_path.display()
     );
     println!("open the trace at https://ui.perfetto.dev or chrome://tracing");
@@ -224,14 +268,44 @@ fn run_sim(args: &[String]) {
     );
 }
 
-/// Validate an existing file against the Chrome trace-event schema.
-fn run_validate(path: &Path) {
+/// Validate an existing file: journal JSON (`{…}` with the journal
+/// schema) against the journal invariants, anything else against the
+/// Chrome trace-event schema. Truncation — `dropped_events > 0` in a
+/// journal, or a `trace_truncated` marker in a trace — warns, and fails
+/// the run under `--strict`.
+fn run_validate(path: &Path, strict: bool) {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", path.display())));
-    match validate_chrome_trace(&text) {
-        Ok(n) => println!("{}: valid Chrome trace, {n} events", path.display()),
-        Err(e) => {
-            eprintln!("{}: INVALID trace: {e}", path.display());
+    let truncated = if text.trim_start().starts_with('{') {
+        let journal: JobJournal = serde_json::from_str(&text)
+            .unwrap_or_else(|e| fail(&format!("{}: not a journal: {e}", path.display())));
+        if let Err(e) = journal.validate() {
+            eprintln!("{}: INVALID journal: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!(
+            "{}: valid job journal, {} jobs, {} dropped events",
+            path.display(),
+            journal.jobs.len(),
+            journal.dropped_events
+        );
+        journal.dropped_events > 0
+    } else {
+        match validate_chrome_trace(&text) {
+            Ok(n) => println!("{}: valid Chrome trace, {n} events", path.display()),
+            Err(e) => {
+                eprintln!("{}: INVALID trace: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+        text.contains("\"trace_truncated\"")
+    };
+    if truncated {
+        eprintln!(
+            "{}: WARNING: events were overwritten in the ring buffer; timelines may be incomplete",
+            path.display()
+        );
+        if strict {
             std::process::exit(1);
         }
     }

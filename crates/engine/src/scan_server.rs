@@ -553,6 +553,11 @@ pub struct ServerConfig {
     /// Which scan implementation walks the blocks:
     /// [`ScanPath::Kernel`] (default) or the legacy `&str` oracle path.
     pub scan_path: ScanPath,
+    /// Bind address (`"127.0.0.1:9184"`, port 0 for OS-assigned) for a
+    /// Prometheus text-format metrics endpoint served for this server's
+    /// lifetime. Ignored unless [`obs`](ServerConfig::obs) is on; see
+    /// [`SharedScanServer::metrics_addr`] for the resolved address.
+    pub metrics_addr: Option<String>,
 }
 
 impl ServerConfig {
@@ -568,6 +573,7 @@ impl ServerConfig {
             faults: None,
             adaptive: AdaptiveConfig::default(),
             scan_path: ScanPath::Kernel,
+            metrics_addr: None,
         }
     }
 }
@@ -636,6 +642,9 @@ struct ServerShared<J: MapReduceJob> {
 pub struct SharedScanServer<J: MapReduceJob + 'static> {
     shared: Arc<ServerShared<J>>,
     coordinator: Option<JoinHandle<()>>,
+    /// Prometheus endpoint ([`ServerConfig::metrics_addr`]); stops with
+    /// the server.
+    exporter: Option<s3_obs::PromServer>,
 }
 
 impl<J: MapReduceJob + 'static> SharedScanServer<J> {
@@ -732,10 +741,32 @@ impl<J: MapReduceJob + 'static> SharedScanServer<J> {
             .spawn(move || coordinator_loop(coord_shared, num_threads))
             .expect("spawning the coordinator thread");
 
+        // Live introspection: serve this server's registry over HTTP for
+        // as long as the server runs. A bind failure (port in use) is not
+        // worth killing the server over — scans work fine unobserved.
+        let exporter = match (&config.metrics_addr, config.obs.is_on()) {
+            (Some(addr), true) => match s3_obs::PromServer::serve(addr, config.obs.clone()) {
+                Ok(srv) => Some(srv),
+                Err(e) => {
+                    eprintln!("s3-engine: metrics endpoint {addr} failed to bind: {e}");
+                    None
+                }
+            },
+            _ => None,
+        };
+
         SharedScanServer {
             shared,
             coordinator: Some(coordinator),
+            exporter,
         }
+    }
+
+    /// The bound address of the Prometheus metrics endpoint, when
+    /// [`ServerConfig::metrics_addr`] was set (and bound successfully) on
+    /// an observed server. Resolves port 0 to the OS-assigned port.
+    pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
+        self.exporter.as_ref().map(|e| e.local_addr())
     }
 
     /// Number of segments one revolution takes at the *configured*
@@ -1739,7 +1770,15 @@ fn execute_block<J: MapReduceJob + 'static>(
                 if run.shared.ft.assist {
                     o.blocks_assisted.inc();
                 }
-                o.recovery_us.record(now.saturating_sub(claim & TS_MASK));
+                let recovered_us = now.saturating_sub(claim & TS_MASK);
+                o.recovery_us.record(recovered_us);
+                // Recovered block in `ids.seg`, recovery latency in
+                // `ids.n`: the journal sums these inside each job's scan
+                // window to attribute re-execution latency per job.
+                o.tracer().instant(
+                    "recovered",
+                    Ids::seg((run.start + ti) as u64).jobs(recovered_us),
+                );
             }
         }
         BlockAttempt::Fresh => {
@@ -2084,13 +2123,18 @@ fn run_finish_shard<J: MapReduceJob + 'static>(ctx: Arc<FinishCtx<J>>, s: usize,
         let records = BTreeMap::from_iter(flat);
         let mut stats = ctx.stats;
         stats.reduce_output_records = records.len() as u64;
+        let blocks_scanned = stats.blocks_scanned;
         let output = JobOutput { records, stats };
         ctx.completion.publish(Ok(output));
         if let Some(o) = &ctx.obs {
             o.jobs_completed.inc();
             o.job_latency
                 .record(o.tracer().now_us().saturating_sub(ctx.submitted_us));
-            o.tracer().instant("job_done", Ids::job(ctx.job_id));
+            // Blocks this job's revolution covered ride in `ids.n`, so the
+            // journal can prove its segment slices add up (flight-recorder
+            // coverage invariant).
+            o.tracer()
+                .instant("job_done", Ids::job(ctx.job_id).jobs(blocks_scanned));
         }
     }
 }

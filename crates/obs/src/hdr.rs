@@ -1,0 +1,520 @@
+//! HDR-style log-linear histograms with bounded relative error, mergeable
+//! snapshots, and a sliding-window view.
+//!
+//! The fixed-bucket [`Histogram`](crate::metrics::Histogram) in
+//! [`metrics`](crate::metrics) is built for *cumulative* since-process-start
+//! aggregates on the engine hot path: power-of-two bounds, ~2× resolution,
+//! interpolated percentiles. That is the wrong shape for SLO reporting on
+//! open-loop runs, which needs (a) percentiles with a *guaranteed* error
+//! bound (p999 of a latency distribution interpolated inside a 2× bucket
+//! can be off by almost 100%), and (b) *windowed* views — p99 over the last
+//! few seconds, not since startup.
+//!
+//! [`HdrHistogram`] uses the classic HdrHistogram bucket layout: values
+//! below `2^sub_bucket_bits` are recorded **exactly** (unit-width buckets),
+//! and each further power of two is split into `2^(sub_bucket_bits-1)`
+//! equal sub-buckets, so the bucket width never exceeds
+//! `value / 2^(sub_bucket_bits-1)`. Reported quantiles are bucket midpoints
+//! clamped to the observed min/max, which bounds the relative error by
+//! [`relative_error`](HdrSnapshot::relative_error) =
+//! `2 / 2^sub_bucket_bits` (1.56% at the default 7 bits). The whole u64
+//! range is covered with ~3.8k slots at 7 bits — ~30 KiB per histogram.
+//!
+//! [`HdrSnapshot`]s are plain sparse bucket vectors: [`merge`]d
+//! associatively and commutatively (bucket-count addition), so per-window,
+//! per-shard, or per-node snapshots combine into any coarser view without
+//! re-reading raw samples. [`WindowedHdr`] builds the sliding window on
+//! top: a live histogram that [`rotate`](WindowedHdr::rotate) atomically
+//! drains into a ring of closed per-window snapshots.
+//!
+//! [`merge`]: HdrSnapshot::merge
+//!
+//! Recording is a handful of relaxed atomic RMWs — lock-free and
+//! allocation-free, but (unlike `metrics::Histogram`) **not** sharded per
+//! thread: these are recorded at job granularity (thousands/sec), not block
+//! granularity (millions/sec), and a single copy keeps snapshots cheap.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// Default `sub_bucket_bits`: values < 128 exact, relative error ≤ 1.56%.
+pub const DEFAULT_SUB_BUCKET_BITS: u32 = 7;
+
+/// Number of slots needed to cover the full u64 range at `bits`.
+fn slot_count(bits: u32) -> usize {
+    let sub = 1usize << bits;
+    // Bucket 0 has `sub` unit slots; each of the remaining 64-bits
+    // powers of two has sub/2 slots.
+    sub + (64 - bits as usize) * (sub / 2)
+}
+
+/// Slot index for `value` at `bits` sub-bucket bits.
+#[inline]
+fn index_of(value: u64, bits: u32) -> usize {
+    let sub = 1u64 << bits;
+    if value < sub {
+        value as usize
+    } else {
+        // `b` = how many doublings past the exact range the value sits.
+        let b = (64 - bits) - value.leading_zeros();
+        let base = sub as usize + (b as usize - 1) * (sub as usize / 2);
+        base + ((value >> b) - sub / 2) as usize
+    }
+}
+
+/// Inclusive `[lo, hi]` value range covered by slot `idx` at `bits`.
+fn range_of(idx: usize, bits: u32) -> (u64, u64) {
+    let sub = 1usize << bits;
+    if idx < sub {
+        (idx as u64, idx as u64)
+    } else {
+        let b = ((idx - sub) / (sub / 2) + 1) as u32;
+        let off = ((idx - sub) % (sub / 2) + sub / 2) as u64;
+        let lo = off << b;
+        // `lo + 2^b` can momentarily hit 2^64 for the topmost slot, so
+        // form the width-minus-one first.
+        (lo, lo + ((1u64 << b) - 1))
+    }
+}
+
+/// A log-linear histogram over the full `u64` range.
+///
+/// See the [module docs](self) for the bucket layout and error bound.
+pub struct HdrHistogram {
+    bits: u32,
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64, // u64::MAX until first observation
+    max: AtomicU64,
+}
+
+impl HdrHistogram {
+    /// A histogram with the [default](DEFAULT_SUB_BUCKET_BITS) precision.
+    pub fn new() -> Self {
+        HdrHistogram::with_bits(DEFAULT_SUB_BUCKET_BITS)
+    }
+
+    /// A histogram with `2^bits` exact values and relative error
+    /// `2 / 2^bits`. `bits` is clamped to `[2, 14]` (0.5 KiB – 132 KiB).
+    pub fn with_bits(bits: u32) -> Self {
+        let bits = bits.clamp(2, 14);
+        HdrHistogram {
+            bits,
+            counts: (0..slot_count(bits)).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation (relaxed RMWs, lock- and allocation-free).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.counts[index_of(value, self.bits)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Non-destructive aggregate of the current contents.
+    pub fn snapshot(&self) -> HdrSnapshot {
+        self.collect(false)
+    }
+
+    /// Drain the histogram into a snapshot, resetting it to empty.
+    ///
+    /// Observations recorded concurrently with a drain land in either the
+    /// returned snapshot or the fresh histogram (statistics, not
+    /// synchronization — none are lost or double-counted per slot, but
+    /// `count`/`sum`/bucket totals may straddle the boundary).
+    pub fn drain(&self) -> HdrSnapshot {
+        self.collect(true)
+    }
+
+    fn collect(&self, reset: bool) -> HdrSnapshot {
+        let mut counts = Vec::new();
+        for (i, c) in self.counts.iter().enumerate() {
+            let v = if reset {
+                c.swap(0, Ordering::Relaxed)
+            } else {
+                c.load(Ordering::Relaxed)
+            };
+            if v > 0 {
+                counts.push((i as u32, v));
+            }
+        }
+        let (count, sum, min, max) = if reset {
+            (
+                self.count.swap(0, Ordering::Relaxed),
+                self.sum.swap(0, Ordering::Relaxed),
+                self.min.swap(u64::MAX, Ordering::Relaxed),
+                self.max.swap(0, Ordering::Relaxed),
+            )
+        } else {
+            (
+                self.count.load(Ordering::Relaxed),
+                self.sum.load(Ordering::Relaxed),
+                self.min.load(Ordering::Relaxed),
+                self.max.load(Ordering::Relaxed),
+            )
+        };
+        HdrSnapshot {
+            sub_bucket_bits: self.bits,
+            count,
+            sum,
+            min: if count == 0 { 0 } else { min },
+            max,
+            counts,
+        }
+    }
+}
+
+impl Default for HdrHistogram {
+    fn default() -> Self {
+        HdrHistogram::new()
+    }
+}
+
+/// A serializable, mergeable aggregate of one [`HdrHistogram`] (or of a
+/// merge of several). Buckets are sparse `(slot, count)` pairs in slot
+/// order.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct HdrSnapshot {
+    /// Precision the slots were recorded at; merges require equal bits.
+    pub sub_bucket_bits: u32,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Occupied slots as `(slot_index, count)`, ascending by slot.
+    pub counts: Vec<(u32, u64)>,
+}
+
+impl HdrSnapshot {
+    /// An empty snapshot at `bits` precision.
+    pub fn empty(bits: u32) -> Self {
+        HdrSnapshot {
+            sub_bucket_bits: bits.clamp(2, 14),
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            counts: Vec::new(),
+        }
+    }
+
+    /// Guaranteed bound on `|reported - true| / true` for any quantile:
+    /// `2 / 2^sub_bucket_bits`.
+    pub fn relative_error(&self) -> f64 {
+        2.0 / (1u64 << self.sub_bucket_bits) as f64
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`): the smallest recorded bucket whose
+    /// cumulative count reaches `ceil(q·n)`, reported as the bucket
+    /// midpoint clamped to `[min, max]`. Exact for values below
+    /// `2^sub_bucket_bits` and within [`relative_error`] otherwise; 0 when
+    /// empty.
+    ///
+    /// [`relative_error`]: HdrSnapshot::relative_error
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(slot, c) in &self.counts {
+            seen += c;
+            if seen >= target {
+                let (lo, hi) = range_of(slot as usize, self.sub_bucket_bits);
+                let mid = (lo as f64 + hi as f64) / 2.0;
+                return mid.clamp(self.min as f64, self.max as f64);
+            }
+        }
+        self.max as f64
+    }
+
+    /// Merge two snapshots (element-wise bucket addition). Associative and
+    /// commutative; both operands must share `sub_bucket_bits`.
+    ///
+    /// # Panics
+    /// If the precisions differ.
+    pub fn merge(&self, other: &HdrSnapshot) -> HdrSnapshot {
+        assert_eq!(
+            self.sub_bucket_bits, other.sub_bucket_bits,
+            "cannot merge HDR snapshots of different precision"
+        );
+        let mut slots: BTreeMap<u32, u64> = self.counts.iter().copied().collect();
+        for &(slot, c) in &other.counts {
+            *slots.entry(slot).or_insert(0) += c;
+        }
+        let count = self.count + other.count;
+        let min = match (self.count, other.count) {
+            (0, _) => other.min,
+            (_, 0) => self.min,
+            _ => self.min.min(other.min),
+        };
+        HdrSnapshot {
+            sub_bucket_bits: self.sub_bucket_bits,
+            count,
+            sum: self.sum + other.sum,
+            min,
+            max: self.max.max(other.max),
+            counts: slots.into_iter().collect(),
+        }
+    }
+
+    /// The standard SLO digest of this snapshot.
+    pub fn summary(&self) -> HdrSummary {
+        HdrSummary {
+            count: self.count,
+            min: self.min,
+            max: self.max,
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
+        }
+    }
+}
+
+/// Serializable p50/p95/p99/p999 digest of an [`HdrSnapshot`], the unit of
+/// the `slo` section in `BENCH_engine.json`.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct HdrSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Smallest observation.
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Mean observation.
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// 99.9th percentile.
+    pub p999: f64,
+}
+
+/// A sliding-window HDR recorder: one live [`HdrHistogram`] plus a bounded
+/// ring of closed per-window snapshots.
+///
+/// The caller drives window boundaries: record into the live histogram from
+/// any thread (lock-free), and call [`rotate`](WindowedHdr::rotate) on each
+/// window tick to close the current window. Closed windows merge into any
+/// coarser view ([`merged_last`](WindowedHdr::merged_last)), and
+/// [`lifetime`](WindowedHdr::lifetime) folds everything — closed and live —
+/// into the since-start aggregate.
+pub struct WindowedHdr {
+    live: HdrHistogram,
+    closed: Mutex<VecDeque<HdrSnapshot>>,
+    capacity: usize,
+}
+
+impl WindowedHdr {
+    /// A recorder at `bits` precision retaining up to `windows` closed
+    /// windows (older ones are discarded; at least 1 is kept).
+    pub fn new(bits: u32, windows: usize) -> Self {
+        WindowedHdr {
+            live: HdrHistogram::with_bits(bits),
+            closed: Mutex::new(VecDeque::new()),
+            capacity: windows.max(1),
+        }
+    }
+
+    /// Record one observation into the current (live) window.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.live.record(value);
+    }
+
+    /// Close the current window: drain the live histogram into a snapshot,
+    /// append it to the ring (evicting the oldest beyond capacity), and
+    /// return it.
+    pub fn rotate(&self) -> HdrSnapshot {
+        let snap = self.live.drain();
+        let mut closed = self.closed.lock();
+        if closed.len() == self.capacity {
+            closed.pop_front();
+        }
+        closed.push_back(snap.clone());
+        snap
+    }
+
+    /// Merge of the most recent `n` **closed** windows (empty snapshot if
+    /// none have closed yet).
+    pub fn merged_last(&self, n: usize) -> HdrSnapshot {
+        let closed = self.closed.lock();
+        let skip = closed.len().saturating_sub(n);
+        closed
+            .iter()
+            .skip(skip)
+            .fold(HdrSnapshot::empty(self.live.bits), |acc, w| acc.merge(w))
+    }
+
+    /// All retained closed windows, oldest first.
+    pub fn windows(&self) -> Vec<HdrSnapshot> {
+        self.closed.lock().iter().cloned().collect()
+    }
+
+    /// Everything recorded and still retained: all closed windows plus the
+    /// live one. (Windows evicted past the ring capacity are gone.)
+    pub fn lifetime(&self) -> HdrSnapshot {
+        self.merged_last(usize::MAX).merge(&self.live.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_sub_bucket_range() {
+        let h = HdrHistogram::with_bits(7);
+        for v in [0, 1, 17, 127] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.0), 0.0);
+        assert_eq!(s.quantile(1.0), 127.0);
+        assert_eq!(s.count, 4);
+        assert_eq!((s.min, s.max), (0, 127));
+    }
+
+    #[test]
+    fn relative_error_bound_holds_for_large_values() {
+        let h = HdrHistogram::with_bits(7);
+        let v = 1_234_567_890u64;
+        h.record(v);
+        let s = h.snapshot();
+        // min==max clamp makes a single sample exact.
+        assert_eq!(s.quantile(0.99), v as f64);
+
+        let h = HdrHistogram::with_bits(7);
+        for x in [1_000_000u64, 1_500_000, 2_000_000, 123_456_789] {
+            h.record(x);
+        }
+        let s = h.snapshot();
+        let p = s.quantile(0.75);
+        let oracle = 2_000_000.0;
+        assert!(
+            (p - oracle).abs() <= oracle * s.relative_error(),
+            "p75 {p} vs {oracle} (bound {})",
+            oracle * s.relative_error()
+        );
+    }
+
+    #[test]
+    fn index_and_range_are_inverse() {
+        for bits in [2u32, 5, 7, 10, 14] {
+            for v in [
+                0u64,
+                1,
+                2,
+                100,
+                127,
+                128,
+                129,
+                1023,
+                1024,
+                65_535,
+                1 << 30,
+                (1 << 40) + 12345,
+                u64::MAX - 1,
+                u64::MAX,
+            ] {
+                let idx = index_of(v, bits);
+                assert!(idx < slot_count(bits), "idx {idx} bits {bits} v {v}");
+                let (lo, hi) = range_of(idx, bits);
+                assert!(lo <= v && v <= hi, "v {v} not in [{lo}, {hi}] bits {bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_equivalent_to_recording_together() {
+        let a = HdrHistogram::new();
+        let b = HdrHistogram::new();
+        let both = HdrHistogram::new();
+        for v in [3u64, 900, 17] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [45_000u64, 2, 900] {
+            b.record(v);
+            both.record(v);
+        }
+        assert_eq!(a.snapshot().merge(&b.snapshot()), both.snapshot());
+    }
+
+    #[test]
+    fn windowed_rotate_and_merge() {
+        let w = WindowedHdr::new(7, 3);
+        w.record(10);
+        w.record(20);
+        let w1 = w.rotate();
+        assert_eq!(w1.count, 2);
+        w.record(30);
+        let w2 = w.rotate();
+        assert_eq!(w2.count, 1);
+        let last2 = w.merged_last(2);
+        assert_eq!(last2.count, 3);
+        assert_eq!((last2.min, last2.max), (10, 30));
+        w.record(99);
+        assert_eq!(w.lifetime().count, 4);
+        // Ring evicts beyond capacity.
+        for _ in 0..5 {
+            w.rotate();
+        }
+        assert_eq!(w.windows().len(), 3);
+    }
+
+    #[test]
+    fn empty_snapshot_quantiles_are_zero() {
+        let s = HdrSnapshot::empty(7);
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.merge(&HdrSnapshot::empty(7)).count, 0);
+    }
+
+    #[test]
+    fn snapshot_serde_round_trip() {
+        let h = HdrHistogram::new();
+        for v in [1u64, 2, 3, 1_000_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: HdrSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -23,6 +23,20 @@
 //!    Chrome trace-event JSON format, which loads directly in Perfetto
 //!    (<https://ui.perfetto.dev>) or `chrome://tracing`.
 //!
+//! Three SLO-facing layers build on those:
+//!
+//! 4. **[`hdr`]** — HDR-style log-linear histograms with a bounded
+//!    relative error, mergeable snapshots, and a sliding-window view —
+//!    the percentile substrate for open-loop runs (p50/p95/p99/p999 over
+//!    time rather than since-process-start).
+//! 5. **[`journal`]** — the per-job flight recorder:
+//!    [`journal::JobJournal`] stitches a drained trace into causal per-job
+//!    timelines (queue → scan → reduce, with recovery annotations),
+//!    exportable as JSON and as per-job Perfetto tracks.
+//! 6. **[`prom`]** — a dependency-free Prometheus text-format exporter on
+//!    a plain `TcpListener`, plus the scrape/parse helpers the `s3top`
+//!    dashboard polls through.
+//!
 //! The [`Obs`] handle bundles a registry and a recorder behind an
 //! `Option<Arc<_>>`: [`Obs::off()`] is a `None` that instrumented code
 //! checks with one branch, which is what keeps the instrumented-but-off
@@ -44,11 +58,17 @@
 //! ```
 
 pub mod chrome;
+pub mod hdr;
+pub mod journal;
 pub mod metrics;
+pub mod prom;
 pub mod trace;
 
 pub use chrome::{validate_chrome_trace, write_chrome_trace, ChromeEvent};
+pub use hdr::{HdrHistogram, HdrSnapshot, HdrSummary, WindowedHdr};
+pub use journal::{JobJournal, JobRecord, JOURNAL_SCHEMA};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
+pub use prom::{render_prometheus, PromServer};
 pub use trace::{Event, Ids, Phase, TraceRecorder};
 
 use std::sync::Arc;

@@ -117,11 +117,12 @@ pub fn default_us_bounds() -> Vec<u64> {
     (0..27).map(|i| 1u64 << i).collect()
 }
 
-/// Per-shard histogram cells: bucket counts plus sum/count/max.
+/// Per-shard histogram cells: bucket counts plus sum/count/min/max.
 struct HistShard {
     buckets: Vec<AtomicU64>, // bounds.len() + 1 (last = overflow)
     count: AtomicU64,
     sum: AtomicU64,
+    min: AtomicU64, // u64::MAX until the first observation
     max: AtomicU64,
 }
 
@@ -148,6 +149,7 @@ impl Histogram {
                 buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
                 count: AtomicU64::new(0),
                 sum: AtomicU64::new(0),
+                min: AtomicU64::new(u64::MAX),
                 max: AtomicU64::new(0),
             })
             .collect();
@@ -163,6 +165,7 @@ impl Histogram {
         shard.buckets[b].fetch_add(1, Ordering::Relaxed);
         shard.count.fetch_add(1, Ordering::Relaxed);
         shard.sum.fetch_add(value, Ordering::Relaxed);
+        shard.min.fetch_min(value, Ordering::Relaxed);
         shard.max.fetch_max(value, Ordering::Relaxed);
     }
 
@@ -187,6 +190,7 @@ impl Histogram {
         let mut buckets = vec![0u64; self.bounds.len() + 1];
         let mut count = 0u64;
         let mut sum = 0u64;
+        let mut min = u64::MAX;
         let mut max = 0u64;
         for s in &self.shards {
             for (agg, b) in buckets.iter_mut().zip(&s.buckets) {
@@ -194,36 +198,24 @@ impl Histogram {
             }
             count += s.count.load(Ordering::Relaxed);
             sum += s.sum.load(Ordering::Relaxed);
+            min = min.min(s.min.load(Ordering::Relaxed));
             max = max.max(s.max.load(Ordering::Relaxed));
         }
-        let quantile = |q: f64| -> f64 {
-            if count == 0 {
-                return 0.0;
-            }
-            let rank = q * count as f64;
-            let mut seen = 0u64;
-            for (i, &c) in buckets.iter().enumerate() {
-                if c == 0 {
-                    continue;
-                }
-                if seen as f64 + c as f64 >= rank {
-                    // Interpolate inside bucket i: [lo, hi].
-                    let lo = if i == 0 { 0 } else { self.bounds[i - 1] } as f64;
-                    let hi = if i < self.bounds.len() {
-                        self.bounds[i] as f64
-                    } else {
-                        max as f64 // overflow bucket: cap at observed max
-                    };
-                    let frac = ((rank - seen as f64) / c as f64).clamp(0.0, 1.0);
-                    return (lo + (hi - lo) * frac).min(max as f64);
-                }
-                seen += c;
-            }
-            max as f64
-        };
+        if count == 0 {
+            min = 0;
+        }
+        let pairs: Vec<(f64, u64)> = self
+            .bounds
+            .iter()
+            .map(|&b| b as f64)
+            .chain(std::iter::once(f64::INFINITY))
+            .zip(buckets.iter().copied())
+            .collect();
+        let quantile = |q: f64| quantile_from_buckets(&pairs, min as f64, max as f64, q);
         HistogramSnapshot {
             count,
             sum,
+            min,
             max,
             p50: quantile(0.50),
             p95: quantile(0.95),
@@ -239,6 +231,40 @@ impl Histogram {
                 .collect(),
         }
     }
+}
+
+/// Estimate the `q`-quantile from non-cumulative `(upper_edge, count)`
+/// buckets ordered by edge (`f64::INFINITY` for an overflow bucket).
+///
+/// The estimate interpolates linearly inside the containing bucket, then
+/// clamps to the observed `[min, max]` range — which makes it **exact** for
+/// zero observations (returns 0) and for a single observation (the clamp
+/// collapses to the one observed value), instead of reporting an
+/// interpolated point the process never actually measured. The first
+/// bucket's lower edge is raised to `min` and infinite edges cap at `max`,
+/// so estimates also tighten when the data occupies only part of a bucket.
+///
+/// Shared by [`Histogram::snapshot`] and by consumers that re-derive
+/// quantiles from windowed bucket *deltas* (e.g. the `s3top` dashboard).
+pub fn quantile_from_buckets(buckets: &[(f64, u64)], min: f64, max: f64, q: f64) -> f64 {
+    let count: u64 = buckets.iter().map(|&(_, c)| c).sum();
+    if count == 0 {
+        return 0.0;
+    }
+    let rank = q * count as f64;
+    let mut seen = 0u64;
+    let mut lower = 0.0f64;
+    for &(edge, c) in buckets {
+        let hi = if edge.is_finite() { edge.min(max) } else { max };
+        if c > 0 && seen as f64 + c as f64 >= rank {
+            let lo = lower.max(min).min(hi);
+            let frac = ((rank - seen as f64) / c as f64).clamp(0.0, 1.0);
+            return (lo + (hi - lo) * frac).clamp(min, max);
+        }
+        seen += c;
+        lower = hi;
+    }
+    max.max(min)
 }
 
 /// One non-empty histogram bucket in a snapshot.
@@ -257,6 +283,10 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Sum of observations.
     pub sum: u64,
+    /// Smallest observation (0 when empty). Defaults to 0 when
+    /// deserializing snapshots written before this field existed.
+    #[serde(default)]
+    pub min: u64,
     /// Largest observation.
     pub max: u64,
     /// Estimated median.
@@ -480,9 +510,66 @@ mod tests {
     fn empty_histogram_snapshot_is_zero() {
         let h = Histogram::new(default_us_bounds());
         let s = h.snapshot();
-        assert_eq!((s.count, s.sum, s.max), (0, 0, 0));
+        assert_eq!((s.count, s.sum, s.min, s.max), (0, 0, 0, 0));
         assert_eq!(s.p50, 0.0);
+        assert_eq!(s.p99, 0.0);
         assert!(s.buckets.is_empty());
+    }
+
+    #[test]
+    fn single_sample_quantiles_are_exact() {
+        // A lone observation sits mid-bucket; interpolation alone would
+        // report a value never observed. The min/max clamp makes every
+        // quantile collapse to the one sample.
+        let h = Histogram::new(vec![10, 100, 1000]);
+        h.record(37);
+        let s = h.snapshot();
+        assert_eq!((s.min, s.max), (37, 37));
+        for q in [s.p50, s.p95, s.p99] {
+            assert_eq!(q, 37.0, "single-sample quantile must be exact");
+        }
+    }
+
+    #[test]
+    fn quantiles_clamp_to_observed_min_max() {
+        // Two equal samples at the top of the [11, 100] bucket: naive
+        // interpolation lands below 99; the clamp pins both ends.
+        let h = Histogram::new(vec![10, 100, 1000]);
+        h.record(99);
+        h.record(99);
+        let s = h.snapshot();
+        assert_eq!(s.p50, 99.0);
+        assert_eq!(s.p99, 99.0);
+
+        // Spread samples: no quantile may leave [min, max].
+        let h = Histogram::new(vec![10, 100, 1000]);
+        for v in [42, 43, 44, 700] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert!(s.p50 >= 42.0 && s.p50 <= 700.0, "p50 {}", s.p50);
+        assert!(s.p99 >= 42.0 && s.p99 <= 700.0, "p99 {}", s.p99);
+        assert_eq!((s.min, s.max), (42, 700));
+    }
+
+    #[test]
+    fn overflow_only_histogram_reports_max() {
+        let h = Histogram::new(vec![10]);
+        h.record(5000);
+        let s = h.snapshot();
+        assert_eq!(s.p99, 5000.0);
+        assert_eq!(s.p50, 5000.0);
+    }
+
+    #[test]
+    fn quantile_from_buckets_handles_sparse_windows() {
+        // Windowed deltas hand this helper sparse (edge, count) pairs.
+        let pairs = [(10.0, 0), (100.0, 3), (f64::INFINITY, 1)];
+        let p50 = quantile_from_buckets(&pairs, 20.0, 400.0, 0.50);
+        assert!((20.0..=100.0).contains(&p50), "p50 {p50}");
+        let p99 = quantile_from_buckets(&pairs, 20.0, 400.0, 0.99);
+        assert!((100.0..=400.0).contains(&p99), "p99 {p99}");
+        assert_eq!(quantile_from_buckets(&[], 0.0, 0.0, 0.5), 0.0);
     }
 
     #[test]

@@ -1,0 +1,374 @@
+//! Dependency-free Prometheus text-format exporter.
+//!
+//! [`render_prometheus`] serializes a [`MetricsSnapshot`] into the
+//! Prometheus exposition text format (version 0.0.4): dotted instrument
+//! names become `s3_`-prefixed underscore names, counters and gauges map
+//! directly, and histograms emit the conventional cumulative
+//! `_bucket{le="…"}` series plus `_sum`/`_count` — with non-standard but
+//! legal `_min`/`_max` lines so scrapers (like `s3top`) can re-derive
+//! clamped windowed quantiles from bucket deltas.
+//!
+//! [`PromServer`] serves that render over plain HTTP/1.1 on a
+//! `std::net::TcpListener` — no async runtime, no HTTP crate: one
+//! non-blocking accept loop on a named thread that snapshots the registry
+//! per request. Any GET path answers with the metrics body, so
+//! `curl host:port/metrics` works as expected. Bind to port 0 to let the
+//! OS pick (see [`PromServer::local_addr`]).
+//!
+//! [`parse_prometheus`] is the inverse of [`render_prometheus`] (modulo
+//! name sanitization): it lets the `s3top` dashboard poll a *remote*
+//! engine through the same `MetricsSnapshot` type it uses in-process.
+
+use crate::metrics::{quantile_from_buckets, BucketCount, HistogramSnapshot, MetricsSnapshot};
+use crate::Obs;
+use std::collections::BTreeMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Sanitize a dotted instrument name into a Prometheus metric name:
+/// `engine.jobs_submitted` → `s3_engine_jobs_submitted`.
+pub fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 3);
+    out.push_str("s3_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Render a snapshot in the Prometheus text exposition format.
+pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let n = prom_name(name);
+        out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+    }
+    for (name, v) in &snap.gauges {
+        let n = prom_name(name);
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+    }
+    for (name, h) in &snap.histograms {
+        let n = prom_name(name);
+        out.push_str(&format!("# TYPE {n} histogram\n"));
+        let mut cum = 0u64;
+        for b in &h.buckets {
+            cum += b.count;
+            let le = if b.le == "+inf" { "+Inf".to_string() } else { b.le.clone() };
+            out.push_str(&format!("{n}_bucket{{le=\"{le}\"}} {cum}\n"));
+        }
+        if h.buckets.last().is_none_or(|b| b.le != "+inf") {
+            out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+        }
+        out.push_str(&format!("{n}_sum {}\n", h.sum));
+        out.push_str(&format!("{n}_count {}\n", h.count));
+        // Non-standard extras: let scrapers clamp derived quantiles.
+        out.push_str(&format!("{n}_min {}\n", h.min));
+        out.push_str(&format!("{n}_max {}\n", h.max));
+    }
+    out
+}
+
+/// Parse a [`render_prometheus`]-style exposition back into a
+/// [`MetricsSnapshot`] (names stay in their sanitized `s3_…` form;
+/// histogram quantiles are re-estimated from the parsed buckets).
+/// Unparseable lines are skipped — scraping is best-effort by nature.
+pub fn parse_prometheus(text: &str) -> MetricsSnapshot {
+    #[derive(Default)]
+    struct H {
+        cum: Vec<(String, u64)>,
+        sum: u64,
+        count: u64,
+        min: u64,
+        max: u64,
+    }
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut counters = BTreeMap::new();
+    let mut gauges = BTreeMap::new();
+    let mut hists: BTreeMap<String, H> = BTreeMap::new();
+
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            if let (Some(n), Some(t)) = (it.next(), it.next()) {
+                types.insert(n.to_string(), t.to_string());
+            }
+            continue;
+        }
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((key, val)) = line.rsplit_once(' ') else { continue };
+        if let Some((base, rest)) = key.split_once("_bucket{le=\"") {
+            let Some(le) = rest.strip_suffix("\"}") else { continue };
+            let Ok(v) = val.parse::<u64>() else { continue };
+            hists.entry(base.to_string()).or_default().cum.push((le.to_string(), v));
+            continue;
+        }
+        let hist_part = ["_sum", "_count", "_min", "_max"]
+            .iter()
+            .find(|s| key.ends_with(**s))
+            .filter(|s| {
+                let base = &key[..key.len() - s.len()];
+                types.get(base).is_some_and(|t| t == "histogram")
+            })
+            .copied();
+        if let Some(suffix) = hist_part {
+            let base = key[..key.len() - suffix.len()].to_string();
+            let Ok(v) = val.parse::<u64>() else { continue };
+            let h = hists.entry(base).or_default();
+            match suffix {
+                "_sum" => h.sum = v,
+                "_count" => h.count = v,
+                "_min" => h.min = v,
+                _ => h.max = v,
+            }
+            continue;
+        }
+        match types.get(key).map(String::as_str) {
+            Some("counter") => {
+                if let Ok(v) = val.parse::<u64>() {
+                    counters.insert(key.to_string(), v);
+                }
+            }
+            Some("gauge") => {
+                if let Ok(v) = val.parse::<i64>() {
+                    gauges.insert(key.to_string(), v);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let histograms = hists
+        .into_iter()
+        .map(|(name, h)| {
+            // De-cumulate the buckets back into per-bucket counts.
+            let mut prev = 0u64;
+            let mut buckets = Vec::new();
+            let mut pairs = Vec::new();
+            for (le, cum) in &h.cum {
+                let c = cum.saturating_sub(prev);
+                prev = *cum;
+                let edge = if le == "+Inf" { f64::INFINITY } else { le.parse().unwrap_or(f64::INFINITY) };
+                pairs.push((edge, c));
+                if c > 0 {
+                    buckets.push(BucketCount {
+                        le: if le == "+Inf" { "+inf".to_string() } else { le.clone() },
+                        count: c,
+                    });
+                }
+            }
+            let q = |p: f64| quantile_from_buckets(&pairs, h.min as f64, h.max as f64, p);
+            let snap = HistogramSnapshot {
+                count: h.count,
+                sum: h.sum,
+                min: h.min,
+                max: h.max,
+                p50: q(0.50),
+                p95: q(0.95),
+                p99: q(0.99),
+                buckets,
+            };
+            (name, snap)
+        })
+        .collect();
+
+    MetricsSnapshot {
+        schema: crate::metrics::SNAPSHOT_SCHEMA.to_string(),
+        counters,
+        gauges,
+        histograms,
+    }
+}
+
+/// A background thread serving [`render_prometheus`] over HTTP.
+///
+/// Stops (and joins the thread) on [`PromServer::stop`] or drop.
+pub struct PromServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl PromServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:9184"`, or `"127.0.0.1:0"` for an
+    /// OS-assigned port) and serve snapshots of `obs` until stopped. An
+    /// [`Obs::off`] handle serves an empty exposition.
+    ///
+    /// # Errors
+    /// Propagates bind errors (address in use, permission).
+    pub fn serve(addr: &str, obs: Obs) -> std::io::Result<PromServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("s3-metrics-exporter".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((mut stream, _)) => {
+                            let _ = answer(&mut stream, &obs);
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(20));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(20)),
+                    }
+                }
+            })?;
+        Ok(PromServer { addr, stop, thread: Some(thread) })
+    }
+
+    /// The bound address (resolves port 0 to the OS-assigned port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the accept loop and join the thread (idempotent).
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for PromServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Answer one HTTP request on `stream` with the current exposition.
+fn answer(stream: &mut TcpStream, obs: &Obs) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+    // Read (and discard) the request head; we serve one body regardless
+    // of path, so only the terminating blank line matters.
+    let mut head = [0u8; 1024];
+    let mut seen = 0;
+    loop {
+        match stream.read(&mut head[seen..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                seen += n;
+                if head[..seen].windows(4).any(|w| w == b"\r\n\r\n") || seen == head.len() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => break,
+            Err(e) => return Err(e),
+        }
+    }
+    let body = match obs.snapshot() {
+        Some(snap) => render_prometheus(&snap),
+        None => String::new(),
+    };
+    let resp = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(resp.as_bytes())
+}
+
+/// Fetch the exposition text from a running exporter at `addr`
+/// (`host:port`). A tiny blocking HTTP/1.1 GET — enough for dashboards
+/// and CI smoke checks without an HTTP client dependency.
+///
+/// # Errors
+/// Propagates connect/read errors; malformed responses come back as
+/// `InvalidData`.
+pub fn scrape_text(addr: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.write_all(
+        format!("GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf)?;
+    let text = String::from_utf8_lossy(&buf);
+    match text.split_once("\r\n\r\n") {
+        Some((_, body)) => Ok(body.to_string()),
+        None => Err(std::io::Error::new(ErrorKind::InvalidData, "no HTTP body in response")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        let r = crate::metrics::Registry::new();
+        r.counter("engine.jobs_submitted").add(42);
+        r.gauge("engine.active_jobs").set(-3);
+        let h = r.histogram_with_bounds("engine.admission_latency_us", vec![10, 100]);
+        for v in [5, 7, 50, 800] {
+            h.record(v);
+        }
+        r.snapshot()
+    }
+
+    #[test]
+    fn render_emits_conventional_series() {
+        let text = render_prometheus(&sample());
+        assert!(text.contains("# TYPE s3_engine_jobs_submitted counter"));
+        assert!(text.contains("s3_engine_jobs_submitted 42"));
+        assert!(text.contains("s3_engine_active_jobs -3"));
+        assert!(text.contains("s3_engine_admission_latency_us_bucket{le=\"10\"} 2"));
+        // Buckets are cumulative.
+        assert!(text.contains("s3_engine_admission_latency_us_bucket{le=\"100\"} 3"));
+        assert!(text.contains("s3_engine_admission_latency_us_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("s3_engine_admission_latency_us_count 4"));
+        assert!(text.contains("s3_engine_admission_latency_us_min 5"));
+    }
+
+    #[test]
+    fn parse_round_trips_render() {
+        let snap = sample();
+        let back = parse_prometheus(&render_prometheus(&snap));
+        assert_eq!(back.counter("s3_engine_jobs_submitted"), 42);
+        assert_eq!(back.gauge("s3_engine_active_jobs"), -3);
+        let h = &back.histograms["s3_engine_admission_latency_us"];
+        assert_eq!(h.count, 4);
+        assert_eq!((h.min, h.max), (5, 800));
+        let orig = &snap.histograms["engine.admission_latency_us"];
+        assert_eq!(h.sum, orig.sum);
+        let total: u64 = h.buckets.iter().map(|b| b.count).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn server_serves_scrapable_metrics() {
+        let obs = Obs::new();
+        obs.core().unwrap().metrics.counter("engine.jobs_submitted").add(7);
+        let mut srv = PromServer::serve("127.0.0.1:0", obs).unwrap();
+        let addr = srv.local_addr().to_string();
+        let body = scrape_text(&addr).unwrap();
+        assert!(body.contains("s3_engine_jobs_submitted 7"), "body: {body}");
+        // Second scrape works (connection-per-request).
+        assert!(scrape_text(&addr).is_ok());
+        srv.stop();
+        // Stopped server refuses new connections (eventually).
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(TcpStream::connect(&addr).is_err() || scrape_text(&addr).is_err());
+    }
+
+    #[test]
+    fn off_handle_serves_empty_exposition() {
+        let mut srv = PromServer::serve("127.0.0.1:0", Obs::off()).unwrap();
+        let body = scrape_text(&srv.local_addr().to_string()).unwrap();
+        assert!(body.is_empty());
+        srv.stop();
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests of the HDR histogram: the quantile estimate must stay
+//! within the configured relative-error bound of a sorted-vector oracle,
+//! and snapshot merging must behave like a commutative monoid — those two
+//! properties are what make windowed SLO reporting trustworthy
+//! (percentiles of merged windows == percentiles of the union).
+
+use proptest::prelude::*;
+use s3_obs::hdr::{HdrHistogram, HdrSnapshot, WindowedHdr};
+
+fn record_all(values: &[u64], bits: u32) -> HdrSnapshot {
+    let h = HdrHistogram::with_bits(bits);
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every quantile estimate is within the advertised relative error of
+    /// the exact order statistic (plus half a unit: values inside the
+    /// exact range report bucket midpoints at `v + 0.5`).
+    #[test]
+    fn quantiles_match_sorted_oracle_within_relative_error(
+        values in prop::collection::vec(0u64..1_000_000_000, 1..400),
+        bits in 4u32..10,
+    ) {
+        let snap = record_all(&values, bits);
+        let err = snap.relative_error();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let n = sorted.len() as f64;
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let target = ((q * n).ceil() as usize).clamp(1, sorted.len());
+            let oracle = sorted[target - 1] as f64;
+            let est = snap.quantile(q);
+            prop_assert!(
+                (est - oracle).abs() <= oracle * err + 0.5001,
+                "q={q}: estimate {est} vs oracle {oracle} (bits={bits}, err={err})"
+            );
+        }
+    }
+
+    /// Merging is commutative and associative, and merging snapshots is
+    /// indistinguishable from having recorded every value into one
+    /// histogram — the property that makes per-window snapshots safely
+    /// re-aggregable into any coarser view.
+    #[test]
+    fn merge_is_a_commutative_monoid_matching_union(
+        a in prop::collection::vec(0u64..1_000_000, 0..200),
+        b in prop::collection::vec(0u64..1_000_000, 0..200),
+        c in prop::collection::vec(0u64..1_000_000, 0..200),
+        bits in 4u32..10,
+    ) {
+        let (sa, sb, sc) = (record_all(&a, bits), record_all(&b, bits), record_all(&c, bits));
+        prop_assert_eq!(sa.merge(&sb), sb.merge(&sa));
+        prop_assert_eq!(sa.merge(&sb).merge(&sc), sa.merge(&sb.merge(&sc)));
+        // Identity: merging with an empty snapshot changes nothing.
+        prop_assert_eq!(sa.merge(&HdrSnapshot::empty(bits)), sa.clone());
+
+        let union: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(sa.merge(&sb).merge(&sc), record_all(&union, bits));
+    }
+
+    /// Rotation conserves observations: every recorded value is in exactly
+    /// one closed window (or the live one), and the lifetime view equals
+    /// their merge.
+    #[test]
+    fn windowed_rotation_conserves_observations(
+        windows in prop::collection::vec(
+            prop::collection::vec(1u64..100_000, 0..50),
+            1..6,
+        ),
+        live in prop::collection::vec(1u64..100_000, 0..50),
+    ) {
+        let w = WindowedHdr::new(7, 16);
+        for batch in &windows {
+            for &v in batch {
+                w.record(v);
+            }
+            w.rotate();
+        }
+        for &v in &live {
+            w.record(v);
+        }
+        let total: usize = windows.iter().map(Vec::len).sum::<usize>() + live.len();
+        let closed: u64 = w.windows().iter().map(|s| s.count).sum();
+        prop_assert_eq!(closed as usize + live.len(), total);
+        prop_assert_eq!(w.lifetime().count as usize, total);
+
+        let union: Vec<u64> = windows.iter().flatten().chain(&live).copied().collect();
+        prop_assert_eq!(w.lifetime(), record_all(&union, 7));
+    }
+}

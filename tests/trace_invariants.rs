@@ -175,6 +175,93 @@ fn timeline_renders_at_cluster_scale() {
     assert!(s.contains('M'));
 }
 
+mod engine_journal {
+    //! Journal invariants on a *live* engine trace: the per-job flight
+    //! recorder must reconstruct a well-formed timeline for every job a
+    //! real observed [`SharedScanServer`] run produced — exactly one
+    //! admit, exactly one terminal, segment slices covering the job's
+    //! full revolution, and an exact latency decomposition.
+
+    use s3_engine::{BlockStore, Obs, SharedScanServer};
+    use s3_obs::journal::{JobJournal, Outcome};
+    use s3_sim::SimRng;
+    use s3_workloads::jobs::PatternWordCount;
+    use s3_workloads::text::TextGen;
+
+    const JOBS: usize = 4;
+
+    fn observed_run() -> (JobJournal, u64) {
+        let gen = TextGen::new(10_000, 1.1);
+        let text = gen.generate(&mut SimRng::seed_from_u64(47), 256 << 10);
+        let store = BlockStore::from_text(&text, 4 << 10);
+        let blocks = store.num_blocks() as u64;
+
+        let obs = Obs::new();
+        let server = SharedScanServer::new_observed(store, 2, 2, &obs);
+        let handles: Vec<_> = (0..JOBS)
+            .map(|i| {
+                let p = format!("{}a", (b'b' + i as u8) as char);
+                server.submit(PatternWordCount::prefix(p))
+            })
+            .collect();
+        // A probe submitted mid-revolution exercises late admission.
+        while server.iterations() < 2 {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+        let probe = server.submit(PatternWordCount::prefix("qa"));
+        for h in handles {
+            h.wait().expect("job completed");
+        }
+        probe.wait().expect("probe completed");
+        server.shutdown();
+
+        let core = obs.core().expect("Obs::new is on");
+        let mut journal = JobJournal::from_events(&core.tracer.drain());
+        journal.dropped_events = core.tracer.dropped();
+        assert_eq!(journal.dropped_events, 0, "test workload fits the ring");
+        (journal, blocks)
+    }
+
+    #[test]
+    fn live_journal_has_one_admit_one_terminal_and_full_coverage_per_job() {
+        let (journal, blocks) = observed_run();
+        journal.validate().expect("journal invariants hold");
+        assert_eq!(journal.jobs.len(), JOBS + 1, "every submitted job has a record");
+        for j in &journal.jobs {
+            assert_eq!(j.outcome, Outcome::Done, "job {}", j.id);
+            assert_eq!(j.admit_events, 1, "job {}", j.id);
+            assert_eq!(j.terminal_events, 1, "job {}", j.id);
+            // One full revolution: the slices must cover the whole store,
+            // and agree with what the engine itself reported at job_done.
+            assert_eq!(j.blocks_covered, blocks, "job {}", j.id);
+            assert_eq!(j.blocks_reported, Some(blocks), "job {}", j.id);
+            let sliced: u64 = j.segments.iter().map(|s| s.blocks_for_job).sum();
+            assert_eq!(sliced, blocks, "job {}", j.id);
+            assert_eq!(
+                j.queue_us + j.scan_us + j.reduce_us,
+                j.latency_us,
+                "job {}: decomposition is exact",
+                j.id
+            );
+            assert!(!j.reduce_shards.is_empty(), "job {} reduced", j.id);
+        }
+    }
+
+    #[test]
+    fn live_journal_renders_as_schema_valid_chrome_tracks() {
+        let (journal, _) = observed_run();
+        let chrome = journal.to_chrome_events(2);
+        let mut buf = Vec::new();
+        s3_obs::chrome::write_chrome_trace(&mut buf, &chrome).expect("serialize");
+        let text = std::str::from_utf8(&buf).expect("utf8");
+        let n = s3_obs::chrome::validate_chrome_trace(text).expect("schema-valid");
+        assert_eq!(n, chrome.len());
+        for j in &journal.jobs {
+            assert!(text.contains(&format!("\"job {}\"", j.id)), "track for job {}", j.id);
+        }
+    }
+}
+
 #[test]
 fn converted_sim_trace_is_complete_and_schema_valid() {
     // Completeness through the shared s3-obs converter: every MapStart
