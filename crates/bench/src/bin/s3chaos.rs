@@ -52,9 +52,22 @@
 //! counters mutually consistent. The exactly-once claim invariant itself
 //! rides on `check_engine_events` in every engine mode.
 //!
+//! `s3chaos service` fuzzes the multi-tenant
+//! [`ScanService`](s3_engine::ScanService): seeded bursts of jobs (mixed
+//! QoS classes, tight deadlines, two tenants) arrive faster than the
+//! service's small admission bounds can drain, while each tenant's server
+//! runs under its own seeded worker fault plan. Every seed must keep the
+//! accounting identity (`submitted == completed + quarantined +
+//! rejected + expired + aborted`, cross-checked against the client's own
+//! tally),
+//! resolve every handle within a bound, return surviving outputs
+//! byte-identical to solo runs, and pass the `svc_*` admission-queue and
+//! per-tenant engine trace invariants.
+//!
 //! ```text
 //! s3chaos [--seeds N] [--seed K] [--verbose]
 //! s3chaos engine [--adaptive | --assist] [--seeds N] [--seed K] [--verbose]
+//! s3chaos service [--seeds N] [--seed K] [--verbose]
 //! ```
 
 use s3_cluster::{ChaosConfig, ChaosPlan, ClusterTopology, NodeId};
@@ -88,13 +101,18 @@ fn usage() -> ! {
          \x20                       sizing on (outcome-neutral faults only)\n  \
          s3chaos engine --assist    engine fuzzing with a guaranteed\n  \
          \x20                       straggler per plan and mandatory\n  \
-         \x20                       work-assist accounting checks"
+         \x20                       work-assist accounting checks\n  \
+         s3chaos service [...]   fuzz the multi-tenant ScanService under\n  \
+         \x20                       seeded overload bursts, QoS classes,\n  \
+         \x20                       deadlines, and per-tenant worker faults\n  \
+         \x20                       (default 100 seeds)"
     );
     std::process::exit(2)
 }
 
 struct Args {
     engine: bool,
+    service: bool,
     adaptive: bool,
     assist: bool,
     seeds: u64,
@@ -105,15 +123,17 @@ struct Args {
 fn parse_args() -> Args {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let engine = raw.first().map(String::as_str) == Some("engine");
+    let service = raw.first().map(String::as_str) == Some("service");
     let mut args = Args {
         engine,
+        service,
         adaptive: false,
         assist: false,
-        seeds: if engine { 100 } else { 200 },
+        seeds: if engine || service { 100 } else { 200 },
         seed: None,
         verbose: false,
     };
-    let mut it = raw.into_iter().skip(usize::from(engine));
+    let mut it = raw.into_iter().skip(usize::from(engine || service));
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--seeds" => {
@@ -635,6 +655,12 @@ mod engine_fuzz {
                     (format!("panicked:{msg}"), "panicked")
                 }
                 Err(s3_engine::JobError::Aborted) => ("aborted".to_string(), "aborted"),
+                // Service-layer errors can't come out of a bare server.
+                Err(e @ s3_engine::JobError::Rejected { .. })
+                | Err(e @ s3_engine::JobError::DeadlineExpired) => {
+                    violations.push(format!("job {i}: service-layer error {e} from a bare server"));
+                    (format!("unexpected:{e}"), "unexpected")
+                }
             };
             if outcome != expected[i] {
                 violations.push(format!(
@@ -790,6 +816,343 @@ mod engine_fuzz {
     }
 }
 
+/// Fuzzer over the multi-tenant [`ScanService`](s3_engine::ScanService):
+/// for every seed, a burst of jobs (seeded tenants, QoS classes, and
+/// deadlines) is fired at a small-bounded service faster than its tenants
+/// can drain — roughly 2–4× the sustainable rate, so queues genuinely
+/// fill — while each tenant's server runs under its own seeded worker
+/// [`FaultPlan`](s3_engine::FaultPlan). Hard per-seed checks:
+///
+/// - **Accounting identity** — `submitted == completed + quarantined +
+///   rejected + expired + aborted`, and the service's counters agree
+///   exactly with what the client observed handle by handle;
+/// - **No hangs** — every handle (admitted, queued, shed, or expiring)
+///   resolves within a bound;
+/// - **Output integrity** — every surviving output is byte-identical to
+///   running the same job solo on that tenant's store;
+/// - **Trace invariants** — the service trace passes the `svc_*`
+///   admission-queue checks and each tenant trace the engine checks
+///   (both via [`check_engine_events`](s3_mapreduce::check_engine_events)).
+///
+/// Which jobs shed is timing-dependent under real overload, so there is
+/// no per-job outcome oracle and no replay-identity proof here — the
+/// invariants above must hold on *every* interleaving.
+mod service_fuzz {
+    use s3_engine::{
+        run_job, BlockStore, EngineChaosConfig, ExecConfig, FaultPlan, FileSpec, FtConfig,
+        JobError, Obs, QosConfig, ScanService, ServerConfig, ServiceConfig,
+    };
+    use s3_mapreduce::check_engine_events;
+    use s3_sim::SimRng;
+    use s3_workloads::jobs::PatternWordCount;
+    use s3_workloads::text::TextGen;
+    use s3_workloads::ClassMix;
+    use std::collections::BTreeMap;
+    use std::time::{Duration, Instant};
+
+    const BLOCKS_PER_SEGMENT: usize = 4;
+    const THREADS: usize = 3;
+    const TENANTS: [&str; 2] = ["logs", "events"];
+    const JOB_PREFIXES: [&str; 8] = ["", "a", "ba", "d", "ga", "ma", "s", "ta"];
+    /// Salt separating the job-mix stream from the fault-plan streams.
+    const JOB_SALT: u64 = 0x5EC7_0A11_0C1A_55E5;
+    const CLASS_SALT: u64 = 0xC1A5_5E5A_0000_0001;
+    const TENANT_SALTS: [u64; 2] = [0x7E4A_4475_0000_0000, 0x7E4A_4475_0000_0001];
+    /// A handle not resolving within this bound is reported as a hang.
+    const WAIT_BOUND: Duration = Duration::from_secs(30);
+
+    /// The immutable world every seed runs against: one corpus and one
+    /// set of per-prefix solo reference outputs per tenant, plus the
+    /// chaos envelope tenant fault plans are drawn from.
+    pub struct World {
+        stores: Vec<BlockStore>,
+        solo: Vec<BTreeMap<&'static str, BTreeMap<String, i64>>>,
+        chaos: EngineChaosConfig,
+    }
+
+    pub fn build_world() -> World {
+        let stores: Vec<BlockStore> = [7u64, 11]
+            .iter()
+            .map(|s| {
+                let text = TextGen::paper_like().generate(&mut SimRng::seed_from_u64(*s), 48 << 10);
+                BlockStore::from_text(&text, 2048)
+            })
+            .collect();
+        let solo = stores
+            .iter()
+            .map(|store| {
+                JOB_PREFIXES
+                    .iter()
+                    .map(|p| {
+                        let out = run_job(
+                            &PatternWordCount::prefix(*p),
+                            store,
+                            &ExecConfig {
+                                num_threads: 1,
+                                num_reducers: 4,
+                            },
+                        );
+                        (*p, out.records)
+                    })
+                    .collect()
+            })
+            .collect();
+        // Worker faults only: stragglers, drops, map/reduce panics. The
+        // coordinator stays alive — killing it is the bare-engine fuzzer's
+        // business; here every tenant must keep serving through overload.
+        let chaos = EngineChaosConfig {
+            num_workers: THREADS,
+            num_jobs: 8,
+            horizon_iters: 24,
+            coordinator_kill_prob: 0.0,
+            ..EngineChaosConfig::default()
+        };
+        World {
+            stores,
+            solo,
+            chaos,
+        }
+    }
+
+    /// One service run under seed `seed`. Returns (jobs submitted,
+    /// violations).
+    pub fn run_checked(world: &World, seed: u64, verbose: bool) -> (usize, Vec<String>) {
+        let mut violations = Vec::new();
+        let mut rng = SimRng::seed_from_u64(seed ^ JOB_SALT);
+
+        // Small bounds so a burst genuinely overloads: per-class queues
+        // of 4, 12 queued service-wide, 3 merged jobs in flight per
+        // tenant with Low admitted only below width 1.
+        let qos = QosConfig {
+            queue_cap: 4,
+            max_inflight: 3,
+            low_priority_width_cap: 1,
+            max_queued_total: 12,
+            default_deadline: None,
+        };
+        let svc_obs = Obs::new();
+        let mut tenant_obs = Vec::new();
+        let files: Vec<FileSpec> = TENANTS
+            .iter()
+            .zip(&world.stores)
+            .zip(TENANT_SALTS)
+            .map(|((name, store), salt)| {
+                let mut server = ServerConfig::new(BLOCKS_PER_SEGMENT, THREADS);
+                server.obs = Obs::new();
+                server.ft = FtConfig {
+                    deadline_floor: Duration::from_millis(3),
+                    ..FtConfig::resilient()
+                };
+                server.faults = Some(FaultPlan::generate(seed ^ salt, &world.chaos));
+                tenant_obs.push(server.obs.clone());
+                FileSpec {
+                    name: (*name).to_string(),
+                    store: store.clone(),
+                    server,
+                }
+            })
+            .collect();
+        let svc = ScanService::new(
+            files,
+            ServiceConfig {
+                qos,
+                obs: svc_obs.clone(),
+            },
+        );
+
+        // A seeded burst, submitted as fast as the classes draw: 18–33
+        // jobs against two tenants that drain at most 3 at a time —
+        // far past sustainable, so sheds and deferrals actually happen.
+        let n = 18 + rng.index(16);
+        let classes = ClassMix::default().assign(n, seed ^ CLASS_SALT);
+        let mut handles = Vec::new();
+        let (mut c_rejected, mut expected_of) = (0u64, Vec::new());
+        for class in classes.iter().take(n).copied() {
+            let tenant = rng.index(TENANTS.len());
+            let prefix = JOB_PREFIXES[rng.index(JOB_PREFIXES.len())];
+            // A quarter of jobs carry a tight deadline; queue waits under
+            // overload overrun some of them in the queue, others mid-
+            // revolution.
+            let deadline = (rng.uniform(0.0, 1.0) < 0.25)
+                .then(|| Duration::from_micros(rng.uniform(500.0, 20_000.0) as u64));
+            let file = svc.file_id(TENANTS[tenant]).expect("registered tenant");
+            match svc.submit_with_deadline(file, class, PatternWordCount::prefix(prefix), deadline)
+            {
+                Ok(h) => {
+                    handles.push((h, tenant, prefix));
+                    expected_of.push("live");
+                }
+                Err(JobError::Rejected { .. }) => c_rejected += 1,
+                Err(e) => violations.push(format!("submit returned non-rejection error {e}")),
+            }
+        }
+
+        // Bounded resolution: the fuzzer must detect a hang, not inherit
+        // it. On timeout the service is leaked rather than dropped (drop
+        // would block on the same hang).
+        let deadline = Instant::now() + WAIT_BOUND;
+        let (mut c_done, mut c_quar, mut c_expired, mut c_aborted) = (0u64, 0u64, 0u64, 0u64);
+        for (i, (h, tenant, prefix)) in handles.into_iter().enumerate() {
+            let result = loop {
+                if let Some(r) = h.try_take() {
+                    break Some(r);
+                }
+                if Instant::now() >= deadline {
+                    break None;
+                }
+                std::thread::sleep(Duration::from_micros(500));
+            };
+            let Some(result) = result else {
+                violations.push(format!("job {i}: handle unresolved after {WAIT_BOUND:?}"));
+                std::mem::forget(svc);
+                return (n, violations);
+            };
+            match result {
+                Ok(out) => {
+                    c_done += 1;
+                    if out.records != world.solo[tenant][prefix] {
+                        violations.push(format!(
+                            "job {i} (tenant {:?}, prefix {prefix:?}): output differs from \
+                             solo run",
+                            TENANTS[tenant]
+                        ));
+                    }
+                }
+                Err(JobError::Panicked(_)) => c_quar += 1,
+                Err(JobError::DeadlineExpired) => c_expired += 1,
+                Err(JobError::Aborted) => c_aborted += 1,
+                Err(e @ JobError::Rejected { .. }) => {
+                    violations.push(format!("job {i}: admitted handle resolved {e}"))
+                }
+            }
+        }
+
+        // Accounting identity, checked two ways: internally, and against
+        // the client's own per-handle tally.
+        let stats = svc.stats();
+        if !stats.identity_holds() {
+            violations.push(format!(
+                "accounting identity broken: {} submitted vs {} completed + {} quarantined \
+                 + {} rejected + {} expired + {} aborted",
+                stats.submitted,
+                stats.completed,
+                stats.quarantined,
+                stats.rejected,
+                stats.expired,
+                stats.aborted
+            ));
+        }
+        let client = (n as u64, c_done, c_quar, c_rejected, c_expired, c_aborted);
+        let server = (
+            stats.submitted,
+            stats.completed,
+            stats.quarantined,
+            stats.rejected,
+            stats.expired,
+            stats.aborted,
+        );
+        if client != server {
+            violations.push(format!(
+                "client saw (submitted, done, quarantined, rejected, expired, aborted) = \
+                 {client:?} but the service counted {server:?}"
+            ));
+        }
+        if verbose {
+            println!(
+                "seed {seed}: {n} submitted, {c_done} done, {c_quar} quarantined, \
+                 {c_rejected} rejected, {c_expired} expired, {} deferred",
+                stats.deferred
+            );
+        }
+        svc.shutdown();
+
+        // Admission-queue invariants on the service trace, engine
+        // invariants on each tenant's trace.
+        let core = svc_obs.core().expect("observed");
+        if core.tracer.dropped() > 0 {
+            violations.push(format!(
+                "service trace dropped {} events",
+                core.tracer.dropped()
+            ));
+        }
+        violations.extend(
+            check_engine_events(&core.tracer.drain())
+                .into_iter()
+                .map(|v| format!("service: {v}")),
+        );
+        for (name, obs) in TENANTS.iter().zip(tenant_obs) {
+            let core = obs.core().expect("observed");
+            if core.tracer.dropped() > 0 {
+                violations.push(format!(
+                    "tenant {name} trace dropped {} events",
+                    core.tracer.dropped()
+                ));
+            }
+            violations.extend(
+                check_engine_events(&core.tracer.drain())
+                    .into_iter()
+                    .map(|v| format!("tenant {name}: {v}")),
+            );
+        }
+        (n, violations)
+    }
+}
+
+fn service_main(args: &Args) -> ExitCode {
+    // Same filter as the engine fuzzer: injected panics are expected.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        if !msg.starts_with("injected") {
+            default_hook(info);
+        }
+    }));
+    let world = service_fuzz::build_world();
+    if let Some(seed) = args.seed {
+        let (n, failures) = service_fuzz::run_checked(&world, seed, true);
+        println!("seed {seed}: {n} jobs, {} violation(s)", failures.len());
+        for f in &failures {
+            println!("  {f}");
+        }
+        return if failures.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+    println!(
+        "s3chaos service: fuzzing seeds 0..{} over the multi-tenant scan service",
+        args.seeds
+    );
+    let mut failed_seeds = 0u64;
+    for seed in 0..args.seeds {
+        let (_, failures) = service_fuzz::run_checked(&world, seed, args.verbose);
+        if !failures.is_empty() {
+            failed_seeds += 1;
+            println!("seed {seed}: FAILED");
+            for f in &failures {
+                println!("  {f}");
+            }
+            println!(" replay with: s3chaos service --seed {seed}");
+        }
+    }
+    println!(
+        "s3chaos service: {}/{} seeds clean",
+        args.seeds - failed_seeds.min(args.seeds),
+        args.seeds
+    );
+    if failed_seeds == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn engine_main(args: &Args) -> ExitCode {
     // Injected panics are the point of the exercise: the engine catches
     // and quarantines them, so keep their backtraces off stderr. Anything
@@ -893,6 +1256,9 @@ fn main() -> ExitCode {
     let args = parse_args();
     if args.engine {
         return engine_main(&args);
+    }
+    if args.service {
+        return service_main(&args);
     }
     let cluster = ClusterTopology::paper_cluster();
     // 4 blocks per node (160 total): big enough for several S³ sub-jobs,

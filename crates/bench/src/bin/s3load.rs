@@ -24,7 +24,10 @@
 //!     [--threads N] [--bps N] [--listen ADDR] [--journal PATH] [--out PATH]
 //! ```
 
-use s3_engine::{BlockStore, Obs, ServerConfig, SharedScanServer};
+use s3_engine::{
+    BlockStore, FileId, FileSpec, JobError, Obs, QosClass, QosConfig, RetryPolicy, ScanService,
+    ServerConfig, ServiceConfig, SharedScanServer,
+};
 use s3_obs::hdr::{HdrHistogram, HdrSummary, WindowedHdr, DEFAULT_SUB_BUCKET_BITS};
 use s3_obs::journal::{JobJournal, Outcome};
 use s3_obs::prom::scrape_text;
@@ -32,6 +35,7 @@ use s3_sim::SimRng;
 use s3_workloads::arrivals::ArrivalPattern;
 use s3_workloads::jobs::PatternWordCount;
 use s3_workloads::text::TextGen;
+use s3_workloads::ClassMix;
 use std::time::{Duration, Instant};
 
 const BLOCK_BYTES: usize = 4 << 10;
@@ -46,6 +50,7 @@ struct Opts {
     threads: usize,
     bps: usize,
     corpus_bytes: usize,
+    classes: bool,
     listen: Option<String>,
     journal: Option<String>,
     out: String,
@@ -61,6 +66,7 @@ impl Default for Opts {
             threads: 2,
             bps: 2,
             corpus_bytes: 1 << 20,
+            classes: false,
             listen: None,
             journal: None,
             out: "BENCH_engine.json".into(),
@@ -71,8 +77,8 @@ impl Default for Opts {
 fn fail(msg: &str) -> ! {
     eprintln!("s3load: {msg}");
     eprintln!(
-        "usage: s3load [--quick] [--jobs N] [--mean-gap-ms MS] [--seed S] [--window-ms MS] \
-         [--threads N] [--bps N] [--listen ADDR] [--journal PATH] [--out PATH]"
+        "usage: s3load [--quick] [--classes] [--jobs N] [--mean-gap-ms MS] [--seed S] \
+         [--window-ms MS] [--threads N] [--bps N] [--listen ADDR] [--journal PATH] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -91,6 +97,7 @@ fn parse_opts() -> Opts {
                 o.window_ms = 100;
                 o.corpus_bytes = 256 << 10;
             }
+            "--classes" => o.classes = true,
             "--jobs" => o.jobs = next("--jobs", &mut args).parse().unwrap_or_else(|_| fail("bad --jobs")),
             "--mean-gap-ms" => {
                 o.mean_gap_ms = next("--mean-gap-ms", &mut args).parse().unwrap_or_else(|_| fail("bad --mean-gap-ms"))
@@ -122,8 +129,302 @@ fn summary_json(s: &HdrSummary) -> serde_json::Value {
     serde_json::from_str(&text).expect("summary round-trips")
 }
 
+/// The `--classes` mode: a two-phase multi-tenant QoS experiment over
+/// [`ScanService`] instead of the bare server.
+///
+/// **Phase 1 (baseline)** runs High-class jobs one at a time through an
+/// uncontended service, measuring solo completion latency — the
+/// reference the overload tail is judged against — and deriving the
+/// sustainable merged throughput (`max_inflight / mean solo latency`).
+///
+/// **Phase 2 (overload)** fires the full job count open-loop at ~2× that
+/// sustainable rate with the default [`ClassMix`] (20% High / 50% Normal
+/// / 30% Low) against deliberately small admission bounds, retrying
+/// capacity sheds through [`RetryPolicy`]. Latencies are measured
+/// client-side (submit call → handle resolution, polled) per class.
+///
+/// Results land in a `service` section of `BENCH_engine.json`
+/// (read-modify-write like the `slo` section), including the headline
+/// degradation ratio: overloaded High p99 over baseline High p99.
+fn classes_main(o: &Opts) {
+    const TENANTS: [&str; 2] = ["logs", "events"];
+    eprintln!("s3load: building 2 × {} KiB corpora...", o.corpus_bytes >> 11);
+    let gen = TextGen::new(10_000, 1.1);
+    let stores: Vec<BlockStore> = [31u64, 37]
+        .iter()
+        .map(|s| {
+            let text = gen.generate(&mut SimRng::seed_from_u64(*s), o.corpus_bytes / 2);
+            BlockStore::from_text(&text, BLOCK_BYTES)
+        })
+        .collect();
+    // Backpressure only protects the tail if the queues are shallow:
+    // a deep queue converts overload into latency instead of sheds, and
+    // every class (High included) then waits behind the backlog. Bounds
+    // of a few jobs keep admitted work close to the serving width, so
+    // excess load is shed-and-retried rather than parked. The width is
+    // kept narrow too — a merged revolution still runs every rider's
+    // map work, so each extra inflight job stretches the revolution
+    // every class rides, High included.
+    // max_queued_total is deliberately the sum of the per-class caps:
+    // if the shared total bound fires first, a burst of Normal/Low fills
+    // it and High is rejected at the door — priority orders jobs inside
+    // the queues, so shedding High before it reaches a queue defeats the
+    // whole point. Per-class caps keep High's queue free under a
+    // Normal/Low flood.
+    let qos = QosConfig {
+        queue_cap: 2,
+        max_inflight: 2,
+        low_priority_width_cap: 1,
+        max_queued_total: 6,
+        default_deadline: None,
+    };
+    // Split the thread budget across tenants instead of multiplying it:
+    // each tenant runs its own scan loop, and oversubscribing the host
+    // only adds scheduling jitter to every latency measured below.
+    let tenant_threads = (o.threads / TENANTS.len()).max(1);
+    let build_service = || {
+        ScanService::new(
+            TENANTS
+                .iter()
+                .zip(&stores)
+                .map(|(name, store)| FileSpec::new(*name, store.clone(), o.bps, tenant_threads))
+                .collect(),
+            ServiceConfig {
+                qos: qos.clone(),
+                obs: Obs::off(),
+            },
+        )
+    };
+
+    // ---- phase 1: uncontended High baseline ----
+    let svc = build_service();
+    let files: Vec<FileId> =
+        TENANTS.iter().map(|t| svc.file_id(t).expect("registered")).collect();
+    let n_base = (o.jobs / 3).clamp(8, 64);
+    let baseline = HdrHistogram::new();
+    for i in 0..n_base {
+        let t = Instant::now();
+        let h = svc
+            .submit(files[i % files.len()], QosClass::High, PatternWordCount::prefix(prefix(i)))
+            .expect("uncontended submit admits");
+        h.wait().expect("baseline job completes");
+        baseline.record(t.elapsed().as_micros() as u64);
+    }
+    let base = baseline.snapshot().summary();
+
+    // ---- phase 1b: measured capacity at full merge width ----
+    // Extrapolating capacity from solo latency overestimates badly: a
+    // merged revolution shares the scan but still runs every job's map
+    // work, so a 4-wide revolution is slower than a solo one. Measure
+    // the real drain rate with a closed loop that keeps the width full.
+    let n_cap = (2 * n_base).max(16);
+    let mut window: std::collections::VecDeque<s3_engine::JobHandle<String, i64>> =
+        std::collections::VecDeque::new();
+    let t_cap = Instant::now();
+    for i in 0..n_cap {
+        loop {
+            match svc.submit(
+                files[i % files.len()],
+                QosClass::High,
+                PatternWordCount::prefix(prefix(i)),
+            ) {
+                Ok(h) => {
+                    window.push_back(h);
+                    break;
+                }
+                Err(JobError::Rejected { .. }) => {
+                    let h = window.pop_front().expect("rejected with empty window");
+                    h.wait().expect("capacity job completes");
+                }
+                Err(e) => panic!("unexpected submit error: {e}"),
+            }
+        }
+    }
+    for h in window {
+        h.wait().expect("capacity job completes");
+    }
+    let sustainable = n_cap as f64 / t_cap.elapsed().as_secs_f64().max(1e-9);
+    svc.shutdown();
+    let overload_rate = 2.0 * sustainable;
+    let gap = Duration::from_secs_f64(1.0 / overload_rate);
+    eprintln!(
+        "s3load: baseline High p50 {:.0} µs p99 {:.0} µs over {n_base} jobs; \
+         measured capacity ≈ {sustainable:.0} jobs/s over {n_cap} jobs, \
+         overloading at {overload_rate:.0}",
+        base.p50, base.p99
+    );
+
+    // ---- phase 2: open-loop overload at ~2× sustainable ----
+    let svc = build_service();
+    let classes = ClassMix::default().assign(o.jobs, o.seed);
+    let retry = RetryPolicy {
+        max_retries: 2,
+        base: Duration::from_micros(500),
+        ..RetryPolicy::default()
+    };
+    struct Flight {
+        handle: s3_engine::JobHandle<String, i64>,
+        class: QosClass,
+        t0: Instant,
+    }
+    let mut flights: Vec<Flight> = Vec::with_capacity(o.jobs);
+    let by_class = |c: QosClass| c.code() as usize;
+    let mut submitted = [0u64; 3];
+    let mut shed = [0u64; 3];
+    let mut retries = 0u64;
+    let t0 = Instant::now();
+    for (i, &class) in classes.iter().enumerate() {
+        let due = gap * i as u32;
+        let now = t0.elapsed();
+        if now < due {
+            std::thread::sleep(due - now);
+        }
+        submitted[by_class(class)] += 1;
+        let file = files[i % files.len()];
+        // Latency runs from the FIRST submit attempt: queue wait and any
+        // retry backoff are exactly the costs the QoS classes trade
+        // against each other, so excluding them would measure only the
+        // revolution time every class shares. Jobs shed after retries
+        // are counted separately and never enter the histograms.
+        let t_submit = Instant::now();
+        let res = retry.run(i as u64, |attempt| {
+            retries += u64::from(attempt > 0);
+            svc.submit(file, class, PatternWordCount::prefix(prefix(i)))
+        });
+        match res {
+            Ok(handle) => flights.push(Flight {
+                handle,
+                class,
+                t0: t_submit,
+            }),
+            Err(JobError::Rejected { .. }) => shed[by_class(class)] += 1,
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+
+    // Poll every in-flight handle so each latency is stamped when the
+    // job resolves, not when a sequential wait got around to it.
+    let lat: [HdrHistogram; 3] = std::array::from_fn(|_| HdrHistogram::new());
+    let mut completed = [0u64; 3];
+    let mut expired = [0u64; 3];
+    let mut failed = 0u64;
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while !flights.is_empty() {
+        if Instant::now() >= deadline {
+            eprintln!("s3load: {} handles unresolved after 120 s", flights.len());
+            std::process::exit(1);
+        }
+        flights.retain_mut(|f| {
+            let Some(result) = f.handle.try_take() else {
+                return true;
+            };
+            let us = f.t0.elapsed().as_micros() as u64;
+            match result {
+                Ok(_) => {
+                    completed[by_class(f.class)] += 1;
+                    lat[by_class(f.class)].record(us);
+                }
+                Err(JobError::DeadlineExpired) => expired[by_class(f.class)] += 1,
+                Err(_) => failed += 1,
+            }
+            false
+        });
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let stats = svc.stats();
+    svc.shutdown();
+    if !stats.identity_holds() {
+        eprintln!("s3load: accounting identity FAILED: {stats:?}");
+        std::process::exit(1);
+    }
+
+    let class_json = |ci: usize, name: &str| {
+        let s = lat[ci].snapshot().summary();
+        eprintln!(
+            "  {name:<7} {:>3} submitted  {:>3} completed  {:>3} shed  {:>3} expired   \
+             p50 {:>8.0} µs   p99 {:>8.0} µs",
+            submitted[ci], completed[ci], shed[ci], expired[ci], s.p50, s.p99
+        );
+        serde_json::json!({
+            "submitted": (submitted[ci]),
+            "completed": (completed[ci]),
+            "shed": (shed[ci]),
+            "expired": (expired[ci]),
+            "completion_us": (summary_json(&s)),
+        })
+    };
+    let total_completed: u64 = completed.iter().sum();
+    let sustained = total_completed as f64 / (wall_ms / 1e3).max(1e-9);
+    let high = lat[by_class(QosClass::High)].snapshot().summary();
+    let degradation = if base.p99 > 0.0 { high.p99 / base.p99 } else { 0.0 };
+    eprintln!(
+        "s3load: overload done in {wall_ms:.0} ms — {total_completed} completed, \
+         {} shed, {failed} failed, {retries} retries",
+        shed.iter().sum::<u64>()
+    );
+    let per_class = serde_json::json!({
+        "high": (class_json(by_class(QosClass::High), "high")),
+        "normal": (class_json(by_class(QosClass::Normal), "normal")),
+        "low": (class_json(by_class(QosClass::Low), "low")),
+    });
+    eprintln!(
+        "  high p99 under 2x overload is {degradation:.2}x the uncontended baseline p99"
+    );
+
+    let service = serde_json::json!({
+        "schema": "s3service/v1",
+        "generated_by": "cargo run --release -p s3-bench --bin s3load -- --classes",
+        "config": {
+            "jobs": (o.jobs),
+            "seed": (o.seed),
+            "threads": (o.threads),
+            "blocks_per_segment": (o.bps),
+            "tenants": (serde_json::Value::Array(
+                TENANTS.iter().map(|t| serde_json::Value::from(*t)).collect()
+            )),
+            "queue_cap": (qos.queue_cap),
+            "max_inflight": (qos.max_inflight),
+            "low_priority_width_cap": (qos.low_priority_width_cap),
+            "max_queued_total": (qos.max_queued_total),
+            "class_mix": {"high": 0.2, "normal": 0.5, "low": 0.3},
+            "overload_factor": 2.0,
+        },
+        "baseline_high": {
+            "jobs": (n_base),
+            "completion_us": (summary_json(&base)),
+            "sustainable_jobs_per_sec": sustainable,
+        },
+        "overload": {
+            "offered_jobs_per_sec": overload_rate,
+            "sustained_jobs_per_sec": sustained,
+            "wall_ms": wall_ms,
+            "retries": retries,
+            "failed": failed,
+            "deferred": (stats.deferred),
+            "high_p99_over_baseline": degradation,
+            "classes": per_class,
+        },
+    });
+    let mut report: serde_json::Value = std::fs::read_to_string(&o.out)
+        .ok()
+        .and_then(|t| serde_json::from_str(&t).ok())
+        .unwrap_or_else(|| serde_json::json!({"schema": "s3bench-engine/v1"}));
+    report["service"] = service;
+    let text = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Some(dir) = std::path::Path::new(&o.out).parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir).expect("create report dir");
+    }
+    std::fs::write(&o.out, text + "\n").expect("write report");
+    eprintln!("s3load: wrote service section into {}", o.out);
+}
+
 fn main() {
     let o = parse_opts();
+    if o.classes {
+        classes_main(&o);
+        return;
+    }
     let times = ArrivalPattern::Poisson {
         n: o.jobs,
         mean_gap_s: o.mean_gap_ms / 1e3,

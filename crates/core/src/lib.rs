@@ -36,3 +36,7 @@ pub use fifo::FifoScheduler;
 pub use mrshare::{BatchPolicy, MRShareScheduler};
 pub use optimizer::{group_cost, optimize_grouping, Grouping};
 pub use s3::{PriorityPolicy, S3Config, S3Scheduler, SubJobSizing};
+// The job priority the policy keys on, so `PriorityPolicy` is usable
+// without a direct `s3_mapreduce` dependency. The live engine's
+// `s3_engine::QosClass` mirrors these levels for admission control.
+pub use s3_mapreduce::Priority;

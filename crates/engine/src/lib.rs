@@ -61,7 +61,9 @@ pub mod exec;
 pub mod external;
 pub mod fault;
 pub mod pool;
+pub mod retry;
 pub mod scan_server;
+pub mod service;
 pub mod shared;
 pub mod store;
 pub mod types;
@@ -77,8 +79,12 @@ pub use external::{
 };
 pub use fault::{ArmedFaults, EngineChaosConfig, EngineFault, FaultPlan, FtConfig};
 pub use pool::{BlockClaims, WorkProgress, WorkerPool};
+pub use retry::RetryPolicy;
 pub use s3_obs::Obs;
-pub use scan_server::{AdaptiveConfig, JobHandle, ServerConfig, SharedScanServer};
+pub use scan_server::{
+    AdaptiveConfig, JobHandle, ServerConfig, SharedScanServer, WaitTimeout,
+};
+pub use service::{FileSpec, QosConfig, ScanService, ServiceConfig, ServiceStats};
 pub use shared::{run_merged, run_merged_legacy, run_merged_observed, run_merged_on};
-pub use store::{BlockStore, NonUtf8Block};
-pub use types::{JobError, JobResult, MapReduceJob};
+pub use store::{BlockStore, FileCatalog, FileId, NonUtf8Block, UnknownFile};
+pub use types::{JobError, JobResult, MapReduceJob, QosClass, RejectReason};

@@ -102,6 +102,8 @@ struct ServerObs {
     jobs_quarantined: Arc<Counter>,
     /// Jobs failed because the runtime went away before they finished.
     jobs_aborted: Arc<Counter>,
+    /// Jobs failed because their deadline passed mid-revolution.
+    jobs_expired: Arc<Counter>,
     /// Tail blocks re-executed by another worker: work-assisting
     /// re-executions plus legacy deadline speculation.
     tasks_speculated: Arc<Counter>,
@@ -152,6 +154,7 @@ impl ServerObs {
             jobs_completed: m.counter("engine.jobs_completed"),
             jobs_quarantined: m.counter("engine.jobs_quarantined"),
             jobs_aborted: m.counter("engine.jobs_aborted"),
+            jobs_expired: m.counter("engine.jobs_expired"),
             tasks_speculated: m.counter("engine.tasks_speculated"),
             speculation_wins: m.counter("engine.speculation_wins"),
             blocks_assisted: m.counter("engine.blocks_assisted"),
@@ -397,27 +400,82 @@ fn payload_to_string(p: Box<dyn std::any::Any + Send>) -> String {
 }
 
 /// Shared completion slot a [`JobHandle`] waits on.
-struct HandleState<K: Ord, Out> {
+pub(crate) struct HandleState<K: Ord, Out> {
     done: Mutex<Option<JobResult<K, Out>>>,
     cv: Condvar,
 }
 
+impl<K: Ord, Out> HandleState<K, Out> {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(HandleState {
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Resolve the slot directly (used by the service for jobs that never
+    /// reach a server — shed, expired-in-queue, or drained at shutdown).
+    /// First write wins; a later write is dropped.
+    pub(crate) fn resolve(&self, result: JobResult<K, Out>) {
+        let mut guard = self.done.lock();
+        if guard.is_none() {
+            *guard = Some(result);
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// How a [`Completion`] resolved — the summary handed to an
+/// [`on_resolve`](SubmitOpts::on_resolve) observer (the multi-tenant
+/// service uses it to keep its admission window and accounting identity
+/// without polling handles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ResolveKind {
+    /// Published an output.
+    Completed,
+    /// Published [`JobError::Panicked`] (quarantine).
+    Quarantined,
+    /// Published [`JobError::Aborted`].
+    Aborted,
+    /// Published [`JobError::DeadlineExpired`].
+    Expired,
+}
+
+/// Observer invoked exactly once when a job's completion publishes.
+pub(crate) type ResolveHook = Arc<dyn Fn(ResolveKind) + Send + Sync>;
+
+/// Per-job options for the service-routed submit path
+/// ([`SharedScanServer::submit_routed`]).
+pub(crate) struct SubmitOpts<K: Ord, Out> {
+    /// Caller-created completion slot (the client already holds a
+    /// [`JobHandle`] over it).
+    pub state: Arc<HandleState<K, Out>>,
+    /// Absolute deadline enforced by the coordinator's expiry sweep.
+    pub expires_at: Option<Instant>,
+    /// Resolve observer, invoked exactly once when the job publishes.
+    pub on_resolve: Option<ResolveHook>,
+}
+
 /// Publish-once guard for one job's result. Whoever ends the job —
-/// the last reduce shard (success), the quarantine sweep (panic), or the
-/// coordinator's exit path (abort) — publishes through it; if it is
-/// dropped without a publish (coordinator unwound, accumulator lost), its
-/// `Drop` publishes [`JobError::Aborted`], so a [`JobHandle`] can never
-/// hang on a job the runtime forgot.
+/// the last reduce shard (success), the quarantine sweep (panic), the
+/// deadline sweep (expiry), or the coordinator's exit path (abort) —
+/// publishes through it; if it is dropped without a publish (coordinator
+/// unwound, accumulator lost), its `Drop` publishes
+/// [`JobError::Aborted`], so a [`JobHandle`] can never hang on a job the
+/// runtime forgot.
 struct Completion<K: Ord, Out> {
     state: Arc<HandleState<K, Out>>,
     published: AtomicBool,
+    /// Invoked exactly once, after the result is visible to the handle.
+    on_resolve: Option<ResolveHook>,
 }
 
 impl<K: Ord, Out> Completion<K, Out> {
-    fn new(state: Arc<HandleState<K, Out>>) -> Self {
+    fn with_hook(state: Arc<HandleState<K, Out>>, on_resolve: Option<ResolveHook>) -> Self {
         Completion {
             state,
             published: AtomicBool::new(false),
+            on_resolve,
         }
     }
 
@@ -426,6 +484,21 @@ impl<K: Ord, Out> Completion<K, Out> {
     fn publish(&self, result: JobResult<K, Out>) {
         if self.published.swap(true, Ordering::AcqRel) {
             return;
+        }
+        let kind = match &result {
+            Ok(_) => ResolveKind::Completed,
+            Err(JobError::Panicked(_)) => ResolveKind::Quarantined,
+            Err(JobError::DeadlineExpired) => ResolveKind::Expired,
+            // Rejected never reaches a server-side completion; fold any
+            // stray into the abort bucket rather than inventing a kind.
+            Err(JobError::Aborted) | Err(JobError::Rejected { .. }) => ResolveKind::Aborted,
+        };
+        // Run the hook BEFORE waking the handle (and with no locks held):
+        // service accounting updated by the hook is then causally visible
+        // to whoever `wait()`s on this job — a client that sees its job
+        // complete also sees it counted.
+        if let Some(hook) = &self.on_resolve {
+            hook(kind);
         }
         let mut guard = self.state.done.lock();
         *guard = Some(result);
@@ -464,7 +537,25 @@ struct ActiveJob<J: MapReduceJob> {
     submitted_us: u64,
     /// Whether the admission latency has been recorded yet.
     admitted: bool,
+    /// Absolute deadline: at the first segment boundary past this instant
+    /// the job is removed from the scan and its handle resolves to the
+    /// sticky [`JobError::DeadlineExpired`]. `None` means no deadline.
+    expires_at: Option<Instant>,
 }
+
+/// Returned by [`JobHandle::wait_timeout`] when the timeout elapsed before
+/// the job resolved. The job is still running (or queued) — the handle
+/// remains valid and can be waited on again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeout;
+
+impl std::fmt::Display for WaitTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "timed out waiting for the job to resolve")
+    }
+}
+
+impl std::error::Error for WaitTimeout {}
 
 /// A ticket for a submitted job; [`JobHandle::wait`] blocks until the
 /// job's revolution completes (or fails) and returns the result.
@@ -472,7 +563,19 @@ pub struct JobHandle<K: Ord, Out> {
     state: Arc<HandleState<K, Out>>,
 }
 
+impl<K: Ord, Out> std::fmt::Debug for JobHandle<K, Out> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("resolved", &self.state.done.lock().is_some())
+            .finish()
+    }
+}
+
 impl<K: Ord, Out> JobHandle<K, Out> {
+    pub(crate) fn from_state(state: Arc<HandleState<K, Out>>) -> Self {
+        JobHandle { state }
+    }
+
     /// Block until the job resolves: its output relation and stats on
     /// success, or the [`JobError`] that ended it. Never hangs — a job
     /// whose runtime disappears resolves to [`JobError::Aborted`].
@@ -483,6 +586,28 @@ impl<K: Ord, Out> JobHandle<K, Out> {
                 return out;
             }
             self.state.cv.wait(&mut guard);
+        }
+    }
+
+    /// Block until the job resolves or `timeout` elapses, whichever comes
+    /// first. Non-consuming: on [`WaitTimeout`] the handle is untouched
+    /// and a later `wait`/`wait_timeout`/`try_take` still observes the
+    /// eventual result. A poll with `Duration::ZERO` is `try_take` with a
+    /// typed miss.
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<JobResult<K, Out>, WaitTimeout> {
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.state.done.lock();
+        loop {
+            if let Some(out) = guard.take() {
+                return Ok(out);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(WaitTimeout);
+            }
+            // Re-check after every wakeup (spurious or not) against the
+            // absolute deadline, so total blocking never exceeds `timeout`.
+            self.state.cv.wait_for(&mut guard, deadline - now);
         }
     }
 
@@ -845,31 +970,8 @@ impl<J: MapReduceJob + 'static> SharedScanServer<J> {
         let mut handles = Vec::with_capacity(jobs.len());
         let mut batch = Vec::with_capacity(jobs.len());
         for job in jobs {
-            let state = Arc::new(HandleState {
-                done: Mutex::new(None),
-                cv: Condvar::new(),
-            });
-            let id = self.shared.next_job_id.fetch_add(1, Ordering::Relaxed);
-            let submitted_us = match &self.shared.obs {
-                Some(o) => {
-                    o.jobs_submitted.inc();
-                    o.tracer().instant("submit", Ids::job(id));
-                    o.tracer().now_us()
-                }
-                None => 0,
-            };
-            batch.push(ActiveJob {
-                id,
-                job: Arc::new(job),
-                completion: Completion::new(Arc::clone(&state)),
-                failure: JobFailure::new(),
-                blocks_remaining: self.shared.store.num_blocks(),
-                segments_done: 0,
-                blocks_seen: 0,
-                bytes_seen: 0,
-                submitted_us,
-                admitted: false,
-            });
+            let state = HandleState::new();
+            batch.push(self.build_active(job, Arc::clone(&state), None, None));
             handles.push(JobHandle { state });
         }
         self.shared.pending.lock().append(&mut batch);
@@ -881,6 +983,56 @@ impl<J: MapReduceJob + 'static> SharedScanServer<J> {
             Self::drain_pending(&self.shared);
         }
         handles
+    }
+
+    /// Submit one job whose [`HandleState`] was created by the caller —
+    /// the [`crate::ScanService`] admission path. The service hands the
+    /// handle to the client at enqueue time (so a queued job can be
+    /// resolved without ever reaching a server), then routes the job here
+    /// on dispatch with its remaining deadline and a resolve observer.
+    pub(crate) fn submit_routed(&self, job: J, opts: SubmitOpts<J::K, J::Out>) {
+        let SubmitOpts {
+            state,
+            expires_at,
+            on_resolve,
+        } = opts;
+        let active = self.build_active(job, state, expires_at, on_resolve);
+        self.shared.pending.lock().push(active);
+        self.shared.wakeup.notify_all();
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            Self::drain_pending(&self.shared);
+        }
+    }
+
+    fn build_active(
+        &self,
+        job: J,
+        state: Arc<HandleState<J::K, J::Out>>,
+        expires_at: Option<Instant>,
+        on_resolve: Option<ResolveHook>,
+    ) -> ActiveJob<J> {
+        let id = self.shared.next_job_id.fetch_add(1, Ordering::Relaxed);
+        let submitted_us = match &self.shared.obs {
+            Some(o) => {
+                o.jobs_submitted.inc();
+                o.tracer().instant("submit", Ids::job(id));
+                o.tracer().now_us()
+            }
+            None => 0,
+        };
+        ActiveJob {
+            id,
+            job: Arc::new(job),
+            completion: Completion::with_hook(state, on_resolve),
+            failure: JobFailure::new(),
+            blocks_remaining: self.shared.store.num_blocks(),
+            segments_done: 0,
+            blocks_seen: 0,
+            bytes_seen: 0,
+            submitted_us,
+            admitted: false,
+            expires_at,
+        }
     }
 
     /// Stop accepting useful work and join the coordinator once all
@@ -1050,6 +1202,34 @@ fn coordinator_loop<J: MapReduceJob + 'static>(shared: Arc<ServerShared<J>>, num
         }
         if shared.ft.speculation {
             refresh_exclusions(&shared, iter, &mut excluded_until);
+        }
+
+        // Deadline sweep: a job whose deadline passed is removed from the
+        // scan at this segment boundary — per-worker partial state purged
+        // like a quarantine — and its handle resolves to the sticky
+        // `DeadlineExpired`. Checked before the segment scan so an
+        // expired job never pays for (or slows) another wave.
+        if active.iter().any(|a| a.expires_at.is_some()) {
+            let now = Instant::now();
+            let mut i = 0;
+            while i < active.len() {
+                if active[i].expires_at.is_some_and(|t| t <= now) {
+                    let expired = active.swap_remove(i);
+                    for slot in slots.iter() {
+                        slot.lock().retain(|(id, _)| *id != expired.id);
+                    }
+                    if let Some(o) = &shared.obs {
+                        o.jobs_expired.inc();
+                        o.tracer().instant("job_expired", Ids::job(expired.id));
+                    }
+                    expired.completion.publish(Err(JobError::DeadlineExpired));
+                } else {
+                    i += 1;
+                }
+            }
+            if active.is_empty() {
+                continue;
+            }
         }
 
         // One iteration of Algorithm 1: merged sub-job over the cursor's
@@ -2191,6 +2371,76 @@ mod tests {
             "expected shared scanning: {scanned} block scans for 5 jobs over {n_blocks} blocks"
         );
         assert!(scanned >= n_blocks);
+        server.shutdown();
+    }
+
+    #[test]
+    fn wait_timeout_polls_then_delivers_without_consuming() {
+        let s = store();
+        let server = SharedScanServer::new(s.clone(), 2, 2);
+        let h = server.submit(PrefixCount { prefix: "al".into() });
+        // A zero-duration wait is a typed non-blocking poll; whatever the
+        // timing, a miss leaves the handle intact.
+        let mut result = h.wait_timeout(Duration::ZERO);
+        while result.is_err() {
+            result = h.wait_timeout(Duration::from_millis(50));
+        }
+        let out = result.unwrap().expect("job completed");
+        let solo = run_job(&PrefixCount { prefix: "al".into() }, &s, &ExecConfig::default());
+        assert_eq!(out.records, solo.records);
+        // The slot was consumed by the successful wait.
+        assert!(h.try_take().is_none());
+        server.shutdown();
+    }
+
+    #[test]
+    fn wait_timeout_times_out_promptly_on_a_stuck_job() {
+        // A server with no threads scanning nothing... simplest stuck job:
+        // a handle whose runtime never resolves it within the window. Use
+        // a fresh HandleState with no publisher.
+        let h: JobHandle<String, i64> = JobHandle::from_state(HandleState::new());
+        let t0 = Instant::now();
+        assert_eq!(h.wait_timeout(Duration::from_millis(20)), Err(WaitTimeout));
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+        // Still waitable: resolve it and observe the value.
+        h.state.resolve(Err(JobError::Aborted));
+        assert_eq!(h.wait_timeout(Duration::ZERO), Ok(Err(JobError::Aborted)));
+    }
+
+    #[test]
+    fn routed_deadline_expires_sticky_at_a_segment_boundary() {
+        let s = store();
+        let server = SharedScanServer::new(s.clone(), 1, 2);
+        // Keep the revolution busy so the expiring job is mid-flight.
+        let rider = server.submit(PrefixCount { prefix: "".into() });
+        let state = HandleState::new();
+        let expired_flag = Arc::new(AtomicBool::new(false));
+        let hook: ResolveHook = {
+            let f = Arc::clone(&expired_flag);
+            Arc::new(move |kind| {
+                if kind == ResolveKind::Expired {
+                    f.store(true, Ordering::SeqCst);
+                }
+            })
+        };
+        server.submit_routed(
+            PrefixCount { prefix: "x".into() },
+            SubmitOpts {
+                state: Arc::clone(&state),
+                // Already in the past: the first boundary sweep expires it.
+                expires_at: Some(Instant::now() - Duration::from_millis(1)),
+                on_resolve: Some(hook),
+            },
+        );
+        let h: JobHandle<String, i64> = JobHandle::from_state(state);
+        let res = h
+            .wait_timeout(Duration::from_secs(10))
+            .expect("expiry resolves well within the bound");
+        assert_eq!(res, Err(JobError::DeadlineExpired));
+        // The hook runs before the handle publishes, so the flag is
+        // already visible here.
+        assert!(expired_flag.load(Ordering::SeqCst), "hook saw Expired");
+        rider.wait().expect("co-riding job unaffected");
         server.shutdown();
     }
 

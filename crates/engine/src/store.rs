@@ -10,7 +10,114 @@
 //! arbitrary bytes, including invalid UTF-8; the [`BlockStore::block_str`]
 //! shim recovers the old `&str` view with a typed error instead of a panic.
 
+use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Stable identity of one named file (one [`BlockStore`]) inside a
+/// [`FileCatalog`] — and therefore inside a [`crate::ScanService`].
+///
+/// Ids are dense indices assigned at registration and never reused, so a
+/// `FileId` stays valid for the catalog's lifetime. Callers route by this
+/// token (or by name) instead of by construction order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FileId(pub(crate) u32);
+
+impl FileId {
+    /// The dense index this id maps to (registration order).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for FileId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "file#{}", self.0)
+    }
+}
+
+/// Typed error for a name or id that no registered file matches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownFile {
+    /// What the caller asked for — a name, or a stringified [`FileId`]
+    /// from a foreign catalog.
+    pub requested: String,
+}
+
+impl std::fmt::Display for UnknownFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown file: {}", self.requested)
+    }
+}
+
+impl std::error::Error for UnknownFile {}
+
+/// A name ↔ [`FileId`] registry over a set of [`BlockStore`]s.
+///
+/// The catalog owns the stores; registration order defines the dense id
+/// space. Lookups by unknown name return a typed [`UnknownFile`] instead
+/// of forcing callers to index by construction order and panic on a
+/// mistake.
+#[derive(Debug, Default)]
+pub struct FileCatalog {
+    names: Vec<String>,
+    stores: Vec<BlockStore>,
+    index: HashMap<String, FileId>,
+}
+
+impl FileCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a named store, returning its stable id. Re-registering an
+    /// existing name replaces nothing — the original id and store win and
+    /// the duplicate is reported via `Err` with the existing id.
+    pub fn register(&mut self, name: impl Into<String>, store: BlockStore) -> Result<FileId, FileId> {
+        let name = name.into();
+        if let Some(&id) = self.index.get(&name) {
+            return Err(id);
+        }
+        let id = FileId(self.names.len() as u32);
+        self.index.insert(name.clone(), id);
+        self.names.push(name);
+        self.stores.push(store);
+        Ok(id)
+    }
+
+    /// Resolve a name to its id.
+    pub fn resolve(&self, name: &str) -> Result<FileId, UnknownFile> {
+        self.index.get(name).copied().ok_or_else(|| UnknownFile {
+            requested: name.to_string(),
+        })
+    }
+
+    /// The store behind an id, if the id belongs to this catalog.
+    pub fn store(&self, id: FileId) -> Option<&BlockStore> {
+        self.stores.get(id.index())
+    }
+
+    /// The name behind an id, if the id belongs to this catalog.
+    pub fn name(&self, id: FileId) -> Option<&str> {
+        self.names.get(id.index()).map(String::as_str)
+    }
+
+    /// Registered files in id order.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterate `(id, name, store)` in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (FileId, &str, &BlockStore)> {
+        (0..self.names.len())
+            .map(move |i| (FileId(i as u32), self.names[i].as_str(), &self.stores[i]))
+    }
+}
 
 /// An immutable, shareable sequence of byte blocks backed by one contiguous
 /// allocation.
@@ -209,6 +316,29 @@ mod tests {
         assert!(err.to_string().contains("not valid UTF-8"));
         // The byte view is untouched.
         assert_eq!(store.block(1), b"bad \xff\xfe bytes\n");
+    }
+
+    #[test]
+    fn catalog_assigns_stable_ids_and_types_unknown_names() {
+        let mut cat = FileCatalog::new();
+        let logs = cat.register("logs", BlockStore::from_text("a b\n", 16)).unwrap();
+        let events = cat.register("events", BlockStore::from_text("c d\ne f\n", 4)).unwrap();
+        assert_eq!(logs.index(), 0);
+        assert_eq!(events.index(), 1);
+        assert_eq!(cat.resolve("logs"), Ok(logs));
+        assert_eq!(cat.resolve("events"), Ok(events));
+        assert_eq!(cat.name(events), Some("events"));
+        assert_eq!(cat.store(logs).unwrap().total_bytes(), 4);
+        assert_eq!(cat.len(), 2);
+        let err = cat.resolve("missing").unwrap_err();
+        assert_eq!(err.requested, "missing");
+        assert!(err.to_string().contains("unknown file"));
+        // Duplicate registration reports the existing id and changes nothing.
+        assert_eq!(cat.register("logs", BlockStore::new(vec![])), Err(logs));
+        assert_eq!(cat.len(), 2);
+        assert_eq!(cat.store(logs).unwrap().total_bytes(), 4);
+        let ids: Vec<_> = cat.iter().map(|(id, name, _)| (id, name.to_string())).collect();
+        assert_eq!(ids, vec![(logs, "logs".into()), (events, "events".into())]);
     }
 
     #[test]

@@ -4,6 +4,108 @@
 
 use std::hash::Hash;
 
+/// Quality-of-service class of a submission to the multi-tenant
+/// [`crate::ScanService`] — the live-engine port of the simulator's
+/// priority ablation (`PriorityPolicy` in `s3-core`).
+///
+/// Ordering follows urgency: `Low < Normal < High`. The service admits
+/// `High` before `Normal` before `Low` at every dispatch point, and
+/// defers `Low` entirely while the merged width of the revolution is at
+/// or above the configured cap (the paper's future-work merge-width
+/// policy).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum QosClass {
+    /// Best-effort: deferred while the merged width is at the cap, first
+    /// to be shed under overload.
+    Low,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Latency-sensitive: admitted ahead of everything else.
+    High,
+}
+
+impl QosClass {
+    /// All classes, highest urgency first — dispatch order.
+    pub const ALL: [QosClass; 3] = [QosClass::High, QosClass::Normal, QosClass::Low];
+
+    /// Stable wire code (used in trace event ids): High=2, Normal=1, Low=0.
+    pub fn code(self) -> u64 {
+        match self {
+            QosClass::Low => 0,
+            QosClass::Normal => 1,
+            QosClass::High => 2,
+        }
+    }
+
+    /// Inverse of [`QosClass::code`].
+    pub fn from_code(code: u64) -> Option<QosClass> {
+        match code {
+            0 => Some(QosClass::Low),
+            1 => Some(QosClass::Normal),
+            2 => Some(QosClass::High),
+            _ => None,
+        }
+    }
+
+    /// Human-readable lowercase label ("high"/"normal"/"low").
+    pub fn label(self) -> &'static str {
+        match self {
+            QosClass::Low => "low",
+            QosClass::Normal => "normal",
+            QosClass::High => "high",
+        }
+    }
+}
+
+/// Why the [`crate::ScanService`] shed a submission instead of queuing it.
+///
+/// Rejections are synchronous and typed: the caller gets the reason back
+/// from `submit` immediately (no handle is created), so a client-side
+/// [`crate::RetryPolicy`] can decide whether resubmitting can ever help
+/// (`QueueFull`/`Overloaded`) or never will (`UnknownFile`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RejectReason {
+    /// The per-class admission queue for the target file is at capacity.
+    QueueFull,
+    /// The service-wide queued-job budget is exhausted (global
+    /// backpressure, independent of any one file's queue).
+    Overloaded,
+    /// The submission named a file the service does not serve.
+    UnknownFile,
+}
+
+impl RejectReason {
+    /// Stable wire code (used in trace event ids).
+    pub fn code(self) -> u64 {
+        match self {
+            RejectReason::QueueFull => 0,
+            RejectReason::Overloaded => 1,
+            RejectReason::UnknownFile => 2,
+        }
+    }
+
+    /// Inverse of [`RejectReason::code`].
+    pub fn from_code(code: u64) -> Option<RejectReason> {
+        match code {
+            0 => Some(RejectReason::QueueFull),
+            1 => Some(RejectReason::Overloaded),
+            2 => Some(RejectReason::UnknownFile),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::QueueFull => write!(f, "per-class admission queue full"),
+            RejectReason::Overloaded => write!(f, "service queued-job budget exhausted"),
+            RejectReason::UnknownFile => write!(f, "unknown file"),
+        }
+    }
+}
+
 /// Why a job submitted to the shared-scan server produced no output.
 ///
 /// User code is untrusted from the runtime's point of view: a `map`,
@@ -12,7 +114,11 @@ use std::hash::Hash;
 /// scan and every co-riding job continue. [`JobError::Aborted`] means the
 /// runtime shut down — the coordinator died or the server was shut down —
 /// before the job's revolution completed; it is never silently lost and
-/// its handle never hangs.
+/// its handle never hangs. The admission-control variants come from the
+/// multi-tenant [`crate::ScanService`]: [`JobError::Rejected`] is a
+/// synchronous load-shed decision, and [`JobError::DeadlineExpired`] is
+/// the sticky outcome of a job whose deadline passed while queued or
+/// mid-revolution.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum JobError {
     /// The job's own map/combine/reduce panicked; the payload's message.
@@ -22,6 +128,20 @@ pub enum JobError {
     /// The runtime went away before the job finished (server shutdown or
     /// coordinator death), so the job's output will never be produced.
     Aborted,
+    /// The service shed this submission at admission time: no queue slot
+    /// was consumed and no work was done. Carries the shed reason and the
+    /// QoS class the submission declared (every rejection is attributable
+    /// to a class).
+    Rejected {
+        /// Why the submission was shed.
+        reason: RejectReason,
+        /// The QoS class the submission carried.
+        class: QosClass,
+    },
+    /// The job's deadline passed before its revolution completed. Sticky:
+    /// once published it is the job's final outcome even if stray segment
+    /// work for it was still in flight when the deadline hit.
+    DeadlineExpired,
 }
 
 impl std::fmt::Display for JobError {
@@ -29,6 +149,12 @@ impl std::fmt::Display for JobError {
         match self {
             JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
             JobError::Aborted => write!(f, "job aborted: runtime shut down before completion"),
+            JobError::Rejected { reason, class } => {
+                write!(f, "job rejected ({} class): {reason}", class.label())
+            }
+            JobError::DeadlineExpired => {
+                write!(f, "job deadline expired before its revolution completed")
+            }
         }
     }
 }
@@ -251,6 +377,29 @@ mod tests {
         assert_eq!(out.len(), 4); // an, apple, and, a
         assert_eq!(j.reduce(&"a".into(), &[1, 1, 1]), Some(3));
         assert_eq!(j.combine(&"a".into(), vec![1, 1, 1]), vec![3]);
+    }
+
+    #[test]
+    fn qos_and_reject_codes_round_trip() {
+        for c in QosClass::ALL {
+            assert_eq!(QosClass::from_code(c.code()), Some(c));
+        }
+        assert_eq!(QosClass::from_code(99), None);
+        for r in [
+            RejectReason::QueueFull,
+            RejectReason::Overloaded,
+            RejectReason::UnknownFile,
+        ] {
+            assert_eq!(RejectReason::from_code(r.code()), Some(r));
+        }
+        assert_eq!(RejectReason::from_code(99), None);
+        assert!(QosClass::Low < QosClass::Normal && QosClass::Normal < QosClass::High);
+        let err = JobError::Rejected {
+            reason: RejectReason::QueueFull,
+            class: QosClass::Low,
+        };
+        assert!(err.to_string().contains("low class"));
+        assert!(JobError::DeadlineExpired.to_string().contains("deadline"));
     }
 
     #[test]

@@ -448,12 +448,14 @@ impl InvariantChecker<'_> {
 /// safety invariants. Empty result means all hold.
 ///
 /// 1. **Unique terminal** — every `submit` reaches exactly one terminal
-///    event (`job_done`, `quarantine`, or `job_aborted`), no earlier than
-///    its submission; no terminal names an unsubmitted job.
+///    event (`job_done`, `quarantine`, `job_aborted`, or `job_expired`),
+///    no earlier than its submission; no terminal names an unsubmitted
+///    job.
 /// 2. **Single admission** — a job is admitted at most once, and a job
 ///    that finished cleanly (`job_done`) or panicked mid-scan
-///    (`quarantine`) was admitted exactly once. Only `job_aborted` may
-///    hit a never-admitted job (shutdown raced the submit).
+///    (`quarantine`) was admitted exactly once. Only `job_aborted` and
+///    `job_expired` may hit a never-admitted job (shutdown or a deadline
+///    raced the submit).
 /// 3. **Paired exclusion** — per worker, `slot_excluded` and
 ///    `slot_readmitted` strictly alternate starting with an exclusion.
 /// 4. **Partition** — `segment` spans (start block in `ids.seg`, length
@@ -472,6 +474,19 @@ impl InvariantChecker<'_> {
 ///    exactly once and committed by exactly one winner, however many
 ///    workers raced to re-execute it. Traces predating the claim
 ///    instrumentation (no `segment_claims` at all) pass vacuously.
+/// 7. **Admission outcome** — every `svc_submit` (from a
+///    `s3_engine::ScanService` trace) reaches exactly one of
+///    `svc_admit`, `svc_reject`, `svc_expired`, or `svc_abort`, no
+///    earlier than the submission; no outcome names an unsubmitted job.
+/// 8. **Typed shed** — every `svc_*` event carries a valid QoS class in
+///    `ids.seg` (low=0, normal=1, high=2 on the wire); `svc_reject`
+///    additionally carries a valid reason code in `ids.n`, and only the
+///    Low class is ever `svc_defer`red.
+/// 9. **Per-queue FIFO** — `svc_admit` packs `(file index, enqueue
+///    sequence)` into `ids.n`; within one (file, class) queue the
+///    admitted sequence numbers strictly increase, so admission never
+///    reorders a class queue (sequence numbers are assigned under the
+///    queue lock, making this check race-free where timestamps are not).
 ///
 /// The trace must be complete (no ring-buffer overwrites — check the
 /// recorder's dropped counter first): the partition check anchors at
@@ -480,7 +495,8 @@ pub fn check_engine_events(events: &[ObsEvent]) -> Vec<Violation> {
     let mut out = Vec::new();
     let at = |ts_us: u64| SimTime::from_micros(ts_us);
 
-    // Per job id: (submit ts, admits, job_done, quarantine, job_aborted).
+    // Per job id: (submit ts, admits, job_done, quarantine, job_aborted,
+    // job_expired).
     #[derive(Default)]
     struct JobView {
         submit: Option<u64>,
@@ -488,13 +504,14 @@ pub fn check_engine_events(events: &[ObsEvent]) -> Vec<Violation> {
         done: u32,
         quarantined: u32,
         aborted: u32,
+        expired: u32,
         first_terminal_ts: Option<u64>,
     }
     let mut jobs: BTreeMap<u64, JobView> = BTreeMap::new();
     let mut excluded: BTreeSet<u64> = BTreeSet::new();
     for e in events {
         match e.name {
-            "submit" | "admit" | "job_done" | "quarantine" | "job_aborted" => {
+            "submit" | "admit" | "job_done" | "quarantine" | "job_aborted" | "job_expired" => {
                 if e.ids.job == NO_ID {
                     out.push(Violation {
                         invariant: "engine-terminal",
@@ -510,9 +527,10 @@ pub fn check_engine_events(events: &[ObsEvent]) -> Vec<Violation> {
                     "job_done" => v.done += 1,
                     "quarantine" => v.quarantined += 1,
                     "job_aborted" => v.aborted += 1,
+                    "job_expired" => v.expired += 1,
                     _ => unreachable!(),
                 }
-                if matches!(e.name, "job_done" | "quarantine" | "job_aborted")
+                if matches!(e.name, "job_done" | "quarantine" | "job_aborted" | "job_expired")
                     && v.first_terminal_ts.is_none()
                 {
                     v.first_terminal_ts = Some(e.ts_us);
@@ -684,8 +702,148 @@ pub fn check_engine_events(events: &[ObsEvent]) -> Vec<Violation> {
         }
     }
 
+    // Service admission-queue invariants: `svc_*` instants from a
+    // `s3_engine::ScanService` trace. A plain server trace has none of
+    // these and passes vacuously. The service job-id space is distinct
+    // from the engine's, so the accounting is kept separate.
+    #[derive(Default)]
+    struct SvcView {
+        submit: Option<u64>,
+        admits: u32,
+        rejects: u32,
+        expired: u32,
+        aborted: u32,
+        first_outcome_ts: Option<u64>,
+    }
+    let mut svc_jobs: BTreeMap<u64, SvcView> = BTreeMap::new();
+    // (file index, class code) -> last admitted enqueue sequence.
+    let mut last_admit_seq: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    for e in events {
+        let outcome = matches!(
+            e.name,
+            "svc_admit" | "svc_reject" | "svc_expired" | "svc_abort"
+        );
+        if !outcome && e.name != "svc_submit" && e.name != "svc_defer" {
+            continue;
+        }
+        if e.ids.job == NO_ID {
+            out.push(Violation {
+                invariant: "service-outcome",
+                at: at(e.ts_us),
+                detail: format!("{:?} event without a job id", e.name),
+            });
+            continue;
+        }
+        // Every svc event carries its QoS class in `ids.seg` (low=0,
+        // normal=1, high=2 on the wire).
+        if e.ids.seg > 2 {
+            out.push(Violation {
+                invariant: "service-class",
+                at: at(e.ts_us),
+                detail: format!(
+                    "{:?} for job {} carries class code {} (valid: 0..=2)",
+                    e.name, e.ids.job, e.ids.seg
+                ),
+            });
+        }
+        let v = svc_jobs.entry(e.ids.job).or_default();
+        match e.name {
+            "svc_submit" => v.submit = Some(v.submit.unwrap_or(e.ts_us)),
+            "svc_reject" => {
+                v.rejects += 1;
+                // `ids.n` is the reject reason code; a shed must be typed.
+                if e.ids.n > 2 {
+                    out.push(Violation {
+                        invariant: "service-class",
+                        at: at(e.ts_us),
+                        detail: format!(
+                            "svc_reject for job {} carries reason code {} (valid: 0..=2): \
+                             every shed must be typed",
+                            e.ids.job, e.ids.n
+                        ),
+                    });
+                }
+            }
+            "svc_admit" => {
+                v.admits += 1;
+                // `ids.n` packs (file index << 32 | enqueue seq); within
+                // one (file, class) queue admitted seqs strictly increase.
+                let (file, seq) = (e.ids.n >> 32, e.ids.n & 0xffff_ffff);
+                let key = (file, e.ids.seg);
+                if let Some(&prev) = last_admit_seq.get(&key) {
+                    if seq <= prev {
+                        out.push(Violation {
+                            invariant: "service-fifo",
+                            at: at(e.ts_us),
+                            detail: format!(
+                                "job {} admitted out of order from file {file} class {} \
+                                 queue: seq {seq} after {prev}",
+                                e.ids.job, e.ids.seg
+                            ),
+                        });
+                    }
+                }
+                last_admit_seq.insert(key, seq);
+            }
+            "svc_expired" => v.expired += 1,
+            "svc_abort" => v.aborted += 1,
+            "svc_defer" => {
+                // Only the Low class is ever held back by the width cap.
+                if e.ids.seg != 0 {
+                    out.push(Violation {
+                        invariant: "service-class",
+                        at: at(e.ts_us),
+                        detail: format!(
+                            "job {} deferred with class code {}: only Low defers",
+                            e.ids.job, e.ids.seg
+                        ),
+                    });
+                }
+            }
+            _ => unreachable!(),
+        }
+        if outcome && v.first_outcome_ts.is_none() {
+            v.first_outcome_ts = Some(e.ts_us);
+        }
+    }
+    for (id, v) in &svc_jobs {
+        let outcomes = v.admits + v.rejects + v.expired + v.aborted;
+        match v.submit {
+            None => out.push(Violation {
+                invariant: "service-outcome",
+                at: SimTime::ZERO,
+                detail: format!("service job {id} has events but was never submitted"),
+            }),
+            Some(submit_ts) => {
+                if outcomes != 1 {
+                    out.push(Violation {
+                        invariant: "service-outcome",
+                        at: SimTime::ZERO,
+                        detail: format!(
+                            "service job {id} reached {outcomes} admission outcomes \
+                             ({} admitted, {} rejected, {} expired, {} aborted); \
+                             expected exactly 1",
+                            v.admits, v.rejects, v.expired, v.aborted
+                        ),
+                    });
+                }
+                if let Some(ts) = v.first_outcome_ts {
+                    if ts < submit_ts {
+                        out.push(Violation {
+                            invariant: "service-outcome",
+                            at: at(ts),
+                            detail: format!(
+                                "service job {id} admission outcome precedes its submission"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
     for (id, v) in &jobs {
-        let terminals = v.done + v.quarantined + v.aborted;
+        let terminals = v.done + v.quarantined + v.aborted + v.expired;
         match v.submit {
             None => {
                 out.push(Violation {
@@ -702,8 +860,9 @@ pub fn check_engine_events(events: &[ObsEvent]) -> Vec<Violation> {
                         at: SimTime::ZERO,
                         detail: format!(
                             "job {id} reached {terminals} terminal events \
-                             ({} done, {} quarantined, {} aborted); expected exactly 1",
-                            v.done, v.quarantined, v.aborted
+                             ({} done, {} quarantined, {} aborted, {} expired); \
+                             expected exactly 1",
+                            v.done, v.quarantined, v.aborted, v.expired
                         ),
                     });
                 }
@@ -1361,6 +1520,118 @@ mod tests {
         fn legacy_trace_without_claims_passes_vacuously() {
             let events = vec![seg(0, 0, 4), seg(1, 4, 4), seg(2, 0, 4)];
             assert_eq!(check_engine_events(&events), vec![]);
+        }
+
+        #[test]
+        fn expired_is_a_terminal_like_any_other() {
+            // One expiry terminal is legal (even without admission — a
+            // deadline can beat the admit); a done + expired double is not.
+            let events = vec![
+                ev(0, "submit", Ids::job(0)),
+                ev(1, "job_expired", Ids::job(0)),
+            ];
+            assert_eq!(check_engine_events(&events), vec![]);
+            let events = vec![
+                ev(0, "submit", Ids::job(0)),
+                ev(1, "admit", Ids::job(0).jobs(0)),
+                ev(2, "job_done", Ids::job(0)),
+                ev(3, "job_expired", Ids::job(0)),
+            ];
+            let v = check_engine_events(&events);
+            assert!(
+                v.iter().any(|v| v.invariant == "engine-terminal"
+                    && v.detail.contains("2 terminal")),
+                "{v:?}"
+            );
+        }
+
+        /// A `svc_*` instant: job id, class code in `seg`, payload in `n`.
+        fn svc(ts_us: u64, name: &'static str, job: u64, class: u64, n: u64) -> Event {
+            ev(ts_us, name, Ids { job, seg: class, n })
+        }
+
+        /// `svc_admit`-style payload: file index packed over enqueue seq.
+        fn fseq(file: u64, seq: u64) -> u64 {
+            (file << 32) | seq
+        }
+
+        #[test]
+        fn service_lifecycles_pass_and_every_submit_needs_one_outcome() {
+            // Admitted, typed-rejected, queue-expired, shutdown-aborted,
+            // and a Low deferral before admission: all legal.
+            let events = vec![
+                svc(0, "svc_submit", 0, 2, 7),
+                svc(1, "svc_submit", 1, 1, 7),
+                svc(2, "svc_submit", 2, 0, 7),
+                svc(3, "svc_submit", 3, 0, 7),
+                svc(4, "svc_admit", 0, 2, fseq(7, 0)),
+                svc(5, "svc_reject", 1, 1, 0),
+                svc(6, "svc_defer", 2, 0, fseq(7, 0)),
+                svc(7, "svc_expired", 2, 0, fseq(7, 0)),
+                svc(8, "svc_abort", 3, 0, fseq(7, 1)),
+            ];
+            assert_eq!(check_engine_events(&events), vec![]);
+            // A submit with no outcome, and an outcome with no submit.
+            let events = vec![
+                svc(0, "svc_submit", 0, 1, 7),
+                svc(1, "svc_admit", 9, 1, fseq(7, 0)),
+            ];
+            let v = check_engine_events(&events);
+            assert!(
+                v.iter().any(|v| v.invariant == "service-outcome"
+                    && v.detail.contains("0 admission outcomes")),
+                "{v:?}"
+            );
+            assert!(
+                v.iter().any(|v| v.invariant == "service-outcome"
+                    && v.detail.contains("never submitted")),
+                "{v:?}"
+            );
+        }
+
+        #[test]
+        fn untyped_sheds_and_non_low_deferrals_are_flagged() {
+            let events = vec![
+                svc(0, "svc_submit", 0, 9, 7),
+                svc(1, "svc_reject", 0, 9, 9),
+                svc(2, "svc_submit", 1, 2, 7),
+                svc(3, "svc_defer", 1, 2, fseq(7, 0)),
+                svc(4, "svc_admit", 1, 2, fseq(7, 0)),
+            ];
+            let v = check_engine_events(&events);
+            assert!(
+                v.iter().any(|v| v.invariant == "service-class"
+                    && v.detail.contains("class code 9")),
+                "{v:?}"
+            );
+            assert!(
+                v.iter().any(|v| v.invariant == "service-class"
+                    && v.detail.contains("reason code 9")),
+                "{v:?}"
+            );
+            assert!(
+                v.iter().any(|v| v.invariant == "service-class"
+                    && v.detail.contains("only Low defers")),
+                "{v:?}"
+            );
+        }
+
+        #[test]
+        fn out_of_order_admission_within_a_class_queue_is_flagged() {
+            // Same file + class: seq 1 admitted before seq 0 breaks FIFO.
+            // A different class (or file) interleaving freely does not.
+            let events = vec![
+                svc(0, "svc_submit", 0, 1, 7),
+                svc(1, "svc_submit", 1, 1, 7),
+                svc(2, "svc_submit", 2, 2, 7),
+                svc(3, "svc_admit", 2, 2, fseq(7, 0)),
+                svc(4, "svc_admit", 1, 1, fseq(7, 1)),
+                svc(5, "svc_admit", 0, 1, fseq(7, 0)),
+            ];
+            let v = check_engine_events(&events);
+            assert_eq!(v.len(), 1, "{v:?}");
+            assert_eq!(v[0].invariant, "service-fifo");
+            assert!(v[0].detail.contains("seq 0 after 1"), "{v:?}");
         }
     }
 

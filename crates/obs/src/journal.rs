@@ -61,6 +61,8 @@ pub enum Outcome {
     Quarantined,
     /// Server died before the job could run (`job_aborted`).
     Aborted,
+    /// Deadline passed before the revolution completed (`job_expired`).
+    Expired,
 }
 
 /// One shared segment scan a job rode, as seen from that job.
@@ -104,7 +106,8 @@ pub struct JobRecord {
     /// End of the job's scan phase: the end of the segment that completed
     /// its revolution (equals `admit_us` for an empty store).
     pub scan_end_us: Option<u64>,
-    /// Terminal instant (`job_done` / `quarantine` / `job_aborted`).
+    /// Terminal instant (`job_done` / `quarantine` / `job_aborted` /
+    /// `job_expired`).
     pub terminal_us: u64,
     /// Submit → terminal.
     pub latency_us: u64,
@@ -195,6 +198,10 @@ impl JobJournal {
                 ("job_aborted", Phase::Instant) => {
                     let b = jobs.entry(ev.ids.job).or_default();
                     b.terminals.push((ev.ts_us, Outcome::Aborted));
+                }
+                ("job_expired", Phase::Instant) => {
+                    let b = jobs.entry(ev.ids.job).or_default();
+                    b.terminals.push((ev.ts_us, Outcome::Expired));
                 }
                 ("reduce_shard", Phase::Span) => {
                     jobs.entry(ev.ids.job).or_default().reduce_shards.push(ShardSlice {
@@ -420,6 +427,7 @@ impl JobJournal {
                     Outcome::Done => "done",
                     Outcome::Quarantined => "quarantined",
                     Outcome::Aborted => "aborted",
+                    Outcome::Expired => "expired",
                 }
                 .to_string(),
                 cat: "job".to_string(),
@@ -559,6 +567,20 @@ mod tests {
         assert_eq!(r.outcome, Outcome::Aborted);
         assert_eq!(r.queue_us, 85);
         assert_eq!((r.scan_us, r.reduce_us), (0, 0));
+        j.validate().unwrap();
+    }
+
+    #[test]
+    fn expired_job_is_a_terminal_outcome() {
+        let evs = vec![
+            instant(5, "submit", Ids::job(0)),
+            instant(10, "admit", Ids::job(0).jobs(1)),
+            instant(70, "job_expired", Ids::job(0)),
+        ];
+        let j = JobJournal::from_events(&evs);
+        let r = &j.jobs[0];
+        assert_eq!(r.outcome, Outcome::Expired);
+        assert_eq!(r.terminal_us, 70);
         j.validate().unwrap();
     }
 

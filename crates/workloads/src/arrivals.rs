@@ -7,6 +7,7 @@
 //! smaller than a group's FIFO drain time — the backlog regime the paper's
 //! FIFO ratios imply — while S³ clears each group before the next arrives.
 
+use s3_engine::QosClass;
 use s3_sim::SimRng;
 
 /// A named arrival pattern producing submit times in seconds.
@@ -133,6 +134,67 @@ impl ArrivalPattern {
     }
 }
 
+/// A QoS class mix for multi-tenant service workloads: relative weights
+/// for High/Normal/Low submissions, assigned per job by a seeded draw so
+/// the same `(mix, n, seed)` always produces the same class sequence —
+/// the overload experiments (`s3load --classes`, `s3chaos service`)
+/// replay identically across runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassMix {
+    /// Relative weight of [`QosClass::High`] submissions.
+    pub high: f64,
+    /// Relative weight of [`QosClass::Normal`] submissions.
+    pub normal: f64,
+    /// Relative weight of [`QosClass::Low`] submissions.
+    pub low: f64,
+}
+
+impl Default for ClassMix {
+    /// The overload-benchmark default: 20% High, 50% Normal, 30% Low.
+    fn default() -> Self {
+        ClassMix {
+            high: 0.2,
+            normal: 0.5,
+            low: 0.3,
+        }
+    }
+}
+
+impl ClassMix {
+    /// Every job in one class.
+    pub fn all(class: QosClass) -> Self {
+        match class {
+            QosClass::High => ClassMix { high: 1.0, normal: 0.0, low: 0.0 },
+            QosClass::Normal => ClassMix { high: 0.0, normal: 1.0, low: 0.0 },
+            QosClass::Low => ClassMix { high: 0.0, normal: 0.0, low: 1.0 },
+        }
+    }
+
+    /// Assign a class to each of `n` jobs by a seeded weighted draw.
+    /// Deterministic: the same `(self, n, seed)` yields the same vector.
+    pub fn assign(&self, n: usize, seed: u64) -> Vec<QosClass> {
+        assert!(
+            self.high >= 0.0 && self.normal >= 0.0 && self.low >= 0.0,
+            "negative class weight"
+        );
+        let total = self.high + self.normal + self.low;
+        assert!(total > 0.0, "all class weights zero");
+        let mut rng = SimRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let x = rng.uniform(0.0, total);
+                if x < self.high {
+                    QosClass::High
+                } else if x < self.high + self.normal {
+                    QosClass::Normal
+                } else {
+                    QosClass::Low
+                }
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,6 +245,22 @@ mod tests {
         assert_eq!(p.times(), vec![0.0, 2.0, 5.0]);
         assert_eq!(p.len(), 3);
         assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn class_mix_is_deterministic_and_tracks_weights() {
+        let mix = ClassMix::default();
+        let a = mix.assign(3000, 42);
+        assert_eq!(a, mix.assign(3000, 42), "same seed, same sequence");
+        assert_ne!(a, mix.assign(3000, 43), "different seed differs");
+        let count = |c| a.iter().filter(|&&x| x == c).count() as f64 / 3000.0;
+        assert!((count(QosClass::High) - 0.2).abs() < 0.05);
+        assert!((count(QosClass::Normal) - 0.5).abs() < 0.05);
+        assert!((count(QosClass::Low) - 0.3).abs() < 0.05);
+        assert!(ClassMix::all(QosClass::High)
+            .assign(64, 1)
+            .iter()
+            .all(|&c| c == QosClass::High));
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod lineitem;
 pub mod profiles;
 pub mod text;
 
-pub use arrivals::ArrivalPattern;
+pub use arrivals::{ArrivalPattern, ClassMix};
 pub use datasets::{paper_lineitem_file, paper_wordcount_file, per_node_file, per_node_file_with, Dataset};
 pub use jobs::{GrepJob, PatternWordCount, SelectionJob, WordLengthHistogram};
 pub use profiles::{grep, selection, table1, wordcount_heavy, wordcount_normal, Table1};
