@@ -53,6 +53,7 @@ fn bench_obs_overhead(c: &mut Criterion) {
     let cfg = ExecConfig {
         num_threads: THREADS,
         num_reducers: 8,
+    ..ExecConfig::default()
     };
     let job = PatternWordCount::all();
 

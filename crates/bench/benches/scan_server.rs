@@ -42,6 +42,7 @@ fn bench_server(c: &mut Criterion) {
             let cfg = ExecConfig {
                 num_threads: 4,
                 num_reducers: 8,
+            ..ExecConfig::default()
             };
             b.iter(|| {
                 prefixes(k)

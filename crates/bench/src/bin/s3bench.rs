@@ -26,8 +26,8 @@
 //! ```
 
 use s3_engine::{
-    run_job, AdaptiveConfig, BlockStore, EngineFault, ExecConfig, FaultPlan, FtConfig, Obs,
-    ServerConfig, SharedScanServer,
+    run_job, AdaptiveConfig, BlockStore, EngineFault, ExecConfig, FaultPlan, FtConfig,
+    MapReduceJob, Obs, PartitionMode, ServerConfig, SharedScanServer,
 };
 use s3_sim::SimRng;
 use s3_workloads::jobs::PatternWordCount;
@@ -50,6 +50,18 @@ const STRAGGLER_DELAY_US: u64 = 1_000;
 /// multi-block segments, so every segment has an uncommitted tail for the
 /// fast workers to recover.
 const TAIL_BPS: usize = 4;
+/// Zipf exponent for the skewed-reduce comparison. At s = 1.2 over the
+/// [`SKEW_VOCAB`]-word vocabulary the head word alone draws roughly a
+/// quarter of all tokens, so hash partitioning hot-spots whichever shard
+/// it lands in. The vocabulary is small enough that per-record volume
+/// (not per-key overhead) dominates each shard's reduce cost — the
+/// regime where placement decides the tail.
+const SKEW_ZIPF: f64 = 1.2;
+const SKEW_VOCAB: usize = 1_000;
+/// Threads (= reduce shards) and segment size for the skew comparison:
+/// enough shards that one hot shard visibly drags the reduce phase.
+const SKEW_THREADS: usize = 4;
+const SKEW_BPS: usize = 8;
 
 /// Pre-PR baseline, measured with this same harness at commit 299ce47
 /// (crossbeam::scope spawning `num_threads` OS threads on every segment
@@ -94,6 +106,7 @@ fn bench_single_job(store: &BlockStore, repeats: usize) -> f64 {
     let cfg = ExecConfig {
         num_threads: THREADS,
         num_reducers: REDUCERS,
+    ..ExecConfig::default()
     };
     let job = PatternWordCount::all();
     let samples = (0..repeats)
@@ -254,6 +267,109 @@ fn segment_tail_json(snap: &s3_obs::MetricsSnapshot) -> serde_json::Value {
     })
 }
 
+/// Word statistics with *no* combiner collapse: every token reaches the
+/// reduce phase as its own record, so the reduce shards inherit the
+/// corpus's full Zipf skew. (The fold-combiner jobs collapse each key to
+/// one record per worker, which erases exactly the imbalance this
+/// benchmark measures.) The reduce runs a 64-bit mix per occurrence —
+/// modeling a compute-bearing aggregation, the regime where a shard's
+/// cost tracks its record volume and placement decides the tail.
+struct SkewWordCount;
+
+impl MapReduceJob for SkewWordCount {
+    type K = String;
+    type V = i64;
+    type Out = i64;
+    fn map(&self, line: &str, emit: &mut dyn FnMut(String, i64)) {
+        for w in line.split_whitespace() {
+            emit(w.to_string(), w.len() as i64);
+        }
+    }
+    fn reduce(&self, _k: &String, v: &[i64]) -> Option<i64> {
+        let mut acc = 0u64;
+        for &x in v {
+            // splitmix64 finalizer per occurrence: a dependent multiply
+            // chain the optimizer can neither vectorize away nor hoist.
+            let mut z = (x as u64).wrapping_add(acc).wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            acc = z ^ (z >> 31);
+        }
+        Some(acc as i64)
+    }
+}
+
+/// One skewed-reduce measurement: a [`SkewWordCount`] revolution over the
+/// Zipf [`SKEW_ZIPF`] corpus under the given partition mode. Returns the
+/// median run's (wall ms, reduce-phase wall ms, metrics snapshot); the
+/// reduce-phase wall is the span from the first `reduce_shard` task
+/// starting to the last one ending — under hash partitioning that is the
+/// hot shard's runtime, which is what weighted planning attacks.
+fn bench_skewed_reduce(
+    store: &BlockStore,
+    repeats: usize,
+    partition: PartitionMode,
+) -> (f64, f64, s3_obs::MetricsSnapshot) {
+    let mut samples: Vec<(f64, f64, s3_obs::MetricsSnapshot)> = (0..repeats)
+        .map(|_| {
+            let mut cfg = ServerConfig::new(SKEW_BPS, SKEW_THREADS);
+            cfg.obs = Obs::new();
+            cfg.partition = partition;
+            let obs = cfg.obs.clone();
+            let ms = time_ms(|| {
+                let server = SharedScanServer::with_config(store.clone(), cfg);
+                let handle = server.submit(SkewWordCount);
+                handle.wait().expect("job completed");
+                server.shutdown();
+            });
+            let core = obs.core().expect("Obs::new is on");
+            let (mut t0, mut t1) = (u64::MAX, 0u64);
+            for ev in core.tracer.drain().iter().filter(|e| e.name == "reduce_shard") {
+                t0 = t0.min(ev.ts_us);
+                t1 = t1.max(ev.ts_us + ev.dur_us);
+            }
+            let reduce_ms = if t0 == u64::MAX {
+                0.0
+            } else {
+                (t1 - t0) as f64 / 1e3
+            };
+            (ms, reduce_ms, obs.snapshot().expect("Obs::new is on"))
+        })
+        .collect();
+    // Median by the reduce-phase wall — the measured quantity — not the
+    // total wall, which buries a ~10 ms reduce phase in scan noise.
+    samples.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+    samples.swap_remove(samples.len() / 2)
+}
+
+/// The per-shard reduce evidence of one skewed run, as JSON: the
+/// `engine.reduce_shard_us` tail plus the `engine.reduce_shard_records`
+/// spread (how many records the heaviest shard reduced vs the median).
+fn skew_shard_json(snap: &s3_obs::MetricsSnapshot) -> serde_json::Value {
+    let us = snap
+        .histograms
+        .get("engine.reduce_shard_us")
+        .expect("reduce shards ran");
+    let recs = snap
+        .histograms
+        .get("engine.reduce_shard_records")
+        .expect("reduce shards ran");
+    serde_json::json!({
+        "reduce_shard_us": {
+            "count": (us.count),
+            "p50": (us.p50),
+            "p99": (us.p99),
+            "max": (us.max),
+        },
+        "reduce_shard_records": {
+            "count": (recs.count),
+            "p50": (recs.p50),
+            "p99": (recs.p99),
+            "max": (recs.max),
+        },
+    })
+}
+
 /// Single-thread kernel microbenchmarks over the contiguous corpus:
 /// returns (tokenize, newline-find, wordcount-map) throughput in GB/s.
 /// The tokenize pass is the headline — the kernel target is >1 GB/s.
@@ -374,6 +490,22 @@ fn main() {
     let (assisted_ms, assisted_snap) = bench_tail_recovery(&store, repeats, true);
     eprintln!("  assisted_tail         {assisted_ms:>10.2} ms");
 
+    eprintln!(
+        "s3bench: skewed reduce (Zipf s={SKEW_ZIPF}, no combiner), \
+         hash vs weighted partitioning, {SKEW_THREADS} shards..."
+    );
+    let skew_store = {
+        let gen = TextGen::new(SKEW_VOCAB, SKEW_ZIPF);
+        let text = gen.generate(&mut SimRng::seed_from_u64(47), CORPUS_BYTES);
+        BlockStore::from_text(&text, BLOCK_BYTES)
+    };
+    let (hash_wall_ms, hash_reduce_ms, hash_snap) =
+        bench_skewed_reduce(&skew_store, repeats, PartitionMode::Hash);
+    eprintln!("  skew_hash_reduce      {hash_reduce_ms:>10.2} ms  (wall {hash_wall_ms:.2} ms)");
+    let (wtd_wall_ms, wtd_reduce_ms, wtd_snap) =
+        bench_skewed_reduce(&skew_store, repeats, PartitionMode::weighted());
+    eprintln!("  skew_weighted_reduce  {wtd_reduce_ms:>10.2} ms  (wall {wtd_wall_ms:.2} ms)");
+
     eprintln!("s3bench: scan-kernel microbench (single thread, contiguous corpus)...");
     // More repeats: each pass is milliseconds, so medians are cheap.
     let (tokenize_gbps, newline_gbps, wordcount_gbps) =
@@ -468,6 +600,27 @@ fn main() {
             "tail_p95_speedup": (speedup(
                 speculative_snap.histograms["engine.segment_scan_us"].p95,
                 assisted_snap.histograms["engine.segment_scan_us"].p95,
+            )),
+        },
+        "skew": {
+            "note": "word count with no combiner collapse over a Zipf-skewed corpus; hash = distribution-oblivious sharding, weighted = sketch-built partition plan with heavy-shard splitting; reduce wall = first reduce_shard start to last reduce_shard end of the median run",
+            "zipf_exponent": SKEW_ZIPF,
+            "vocab": SKEW_VOCAB,
+            "shards": SKEW_THREADS,
+            "hash": {
+                "wall_ms": hash_wall_ms,
+                "reduce_wall_ms": hash_reduce_ms,
+                "shards": (skew_shard_json(&hash_snap)),
+            },
+            "weighted": {
+                "wall_ms": wtd_wall_ms,
+                "reduce_wall_ms": wtd_reduce_ms,
+                "shards": (skew_shard_json(&wtd_snap)),
+            },
+            "reduce_wall_speedup": (speedup(hash_reduce_ms, wtd_reduce_ms)),
+            "shard_p99_us_speedup": (speedup(
+                hash_snap.histograms["engine.reduce_shard_us"].p99,
+                wtd_snap.histograms["engine.reduce_shard_us"].p99,
             )),
         },
         "metrics": metrics,

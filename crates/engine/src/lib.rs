@@ -60,6 +60,7 @@ pub mod arena;
 pub mod exec;
 pub mod external;
 pub mod fault;
+pub(crate) mod partition;
 pub mod pool;
 pub mod retry;
 pub mod scan_server;
@@ -87,4 +88,4 @@ pub use scan_server::{
 pub use service::{FileSpec, QosConfig, ScanService, ServiceConfig, ServiceStats};
 pub use shared::{run_merged, run_merged_legacy, run_merged_observed, run_merged_on};
 pub use store::{BlockStore, FileCatalog, FileId, NonUtf8Block, UnknownFile};
-pub use types::{JobError, JobResult, MapReduceJob, QosClass, RejectReason};
+pub use types::{ConfigError, JobError, JobResult, MapReduceJob, PartitionMode, QosClass, RejectReason};

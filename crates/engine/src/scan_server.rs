@@ -75,9 +75,10 @@
 use crate::arena::TokenMap;
 use crate::exec::{JobOutput, ScanPath, ScanStats};
 use crate::fault::{ArmedFaults, FaultPlan, FtConfig};
+use crate::partition::{key_hash, shard_of_hash, KeySketch, PartitionPlan};
 use crate::pool::{BlockClaims, WorkProgress, WorkerPool};
 use crate::store::BlockStore;
-use crate::types::{JobError, JobResult, MapReduceJob};
+use crate::types::{JobError, JobResult, MapReduceJob, PartitionMode};
 use fxhash::FxHashMap;
 use parking_lot::{Condvar, Mutex};
 use s3_obs::trace::Ids;
@@ -138,8 +139,16 @@ struct ServerObs {
     admission: Arc<Histogram>,
     /// Submit → output published.
     job_latency: Arc<Histogram>,
+    /// Duration of the one-time split of a job's accumulated state into
+    /// per-shard buckets. Phase-global work, kept out of `reduce_shard`
+    /// so that histogram shows only per-shard reduce cost (the skew
+    /// signal) instead of whichever task drew the split.
+    shard_split: Arc<Histogram>,
     /// Duration of one reduce-pool finalization shard.
     reduce_shard: Arc<Histogram>,
+    /// Records reduced by one finalization shard — the skew signal the
+    /// weighted partitioner flattens.
+    reduce_shard_records: Arc<Histogram>,
     /// Speculative claim → winning commit: how long a lost/stalled block
     /// took to recover once the deadline flagged it.
     recovery_us: Arc<Histogram>,
@@ -173,7 +182,9 @@ impl ServerObs {
             seg_scan: m.histogram("engine.segment_scan_us"),
             admission: m.histogram("engine.admission_latency_us"),
             job_latency: m.histogram("engine.job_latency_us"),
+            shard_split: m.histogram("engine.shard_split_us"),
             reduce_shard: m.histogram("engine.reduce_shard_us"),
+            reduce_shard_records: m.histogram("engine.reduce_shard_records"),
             recovery_us: m.histogram("engine.recovery_us"),
         }))
     }
@@ -683,6 +694,10 @@ pub struct ServerConfig {
     /// lifetime. Ignored unless [`obs`](ServerConfig::obs) is on; see
     /// [`SharedScanServer::metrics_addr`] for the resolved address.
     pub metrics_addr: Option<String>,
+    /// How finalization routes keys to reduce shards:
+    /// [`PartitionMode::Hash`] (default, bit-compatible) or
+    /// [`PartitionMode::Weighted`] (skew-aware, sketch-driven).
+    pub partition: PartitionMode,
 }
 
 impl ServerConfig {
@@ -699,6 +714,7 @@ impl ServerConfig {
             adaptive: AdaptiveConfig::default(),
             scan_path: ScanPath::Kernel,
             metrics_addr: None,
+            partition: PartitionMode::Hash,
         }
     }
 }
@@ -748,6 +764,8 @@ struct ServerShared<J: MapReduceJob> {
     faults: Option<Arc<ArmedFaults>>,
     /// Which scan implementation walks the blocks (kernel or legacy).
     scan_path: ScanPath,
+    /// How finalization routes keys to reduce shards.
+    partition: PartitionMode,
     /// EWMA of block-scan time (µs); drives the speculative deadline.
     ewma_block_us: AtomicU64,
     /// Consecutive deadline misses per virtual worker; reset by an
@@ -855,6 +873,7 @@ impl<J: MapReduceJob + 'static> SharedScanServer<J> {
             ft: config.ft,
             faults: config.faults.as_ref().map(|p| p.arm()),
             scan_path: config.scan_path,
+            partition: config.partition,
             ewma_block_us: AtomicU64::new(0),
             misses: (0..num_threads).map(|_| AtomicU32::new(0)).collect(),
             obs: ServerObs::new(&config.obs),
@@ -1309,6 +1328,7 @@ fn coordinator_loop<J: MapReduceJob + 'static>(shared: Arc<ServerShared<J>>, num
                     job: start as u64,
                     seg: claims.claimed,
                     n: claims.completed,
+                        ..Ids::none()
                 },
             );
             o.seg_scan.record(o.tracer().now_us().saturating_sub(t0));
@@ -2072,6 +2092,9 @@ struct FinishCtx<J: MapReduceJob> {
     completion: Completion<J::K, J::Out>,
     failure: Arc<JobFailure>,
     faults: Option<Arc<ArmedFaults>>,
+    /// Weighted routing plan, merged from the workers' key sketches at
+    /// finish time. `None` runs the hash path.
+    plan: Option<PartitionPlan>,
     state: Mutex<FinishState<J>>,
     remaining: AtomicUsize,
     stats: ScanStats,
@@ -2087,6 +2110,8 @@ struct FinishState<J: MapReduceJob> {
     partials: Vec<JobAcc<J>>,
     /// Key-hash shards, built lazily by the first shard task to run.
     buckets: Vec<Option<JobAcc<J>>>,
+    /// Reduce-input records routed into each shard, filled at split time.
+    bin_records: Vec<u64>,
     /// Reduced output of each shard.
     parts: Vec<Option<ReducedPart<J>>>,
 }
@@ -2137,7 +2162,53 @@ fn finish_job<J: MapReduceJob + 'static>(
         }
     }
 
-    let nshards = reduce_pool.num_threads();
+    // A zero-thread reduce pool degenerates to one shard; never a
+    // div-by-zero mid-reduce.
+    let nshards = reduce_pool.num_threads().max(1);
+
+    // Weighted mode: sketch each worker accumulator's combiner-output key
+    // distribution (weight = reduce-input records it will contribute),
+    // merge the per-worker sketches, and build the routing plan. The plan's
+    // estimates sum exactly to the records the split will route, which is
+    // the `partition_plan`/`reduce_shard` trace invariant.
+    let plan = shared.partition.is_weighted().then(|| {
+        let mut merged = KeySketch::new().finish();
+        for acc in &partials {
+            let mut s = KeySketch::new();
+            match acc {
+                JobAcc::Fold(m) => {
+                    for k in m.keys() {
+                        s.observe(key_hash(k), 1);
+                    }
+                }
+                // Hash the *materialized* key — `token_key` may collapse
+                // distinct tokens — so the sketch agrees with the split.
+                JobAcc::Tok(m) => m.for_each(|tok, _| {
+                    s.observe(key_hash(&job.job.token_key(tok)), 1);
+                }),
+                JobAcc::Buf(m) => {
+                    for (k, vs) in m {
+                        s.observe(key_hash(k), vs.len() as u64);
+                    }
+                }
+            }
+            merged.merge(s.finish());
+        }
+        let p = PartitionPlan::build(&merged, nshards, shared.partition.split_factor_x1000());
+        debug_assert_eq!(p.estimates().iter().sum::<u64>(), merged.total());
+        p
+    });
+    if let (Some(o), Some(p)) = (&obs, &plan) {
+        // One instant per bin: shard index in its id field, estimated
+        // weight in `n`. check_engine_events sums these against the
+        // `reduce_shard` record counts.
+        for (b, &w) in p.estimates().iter().enumerate() {
+            o.tracer()
+                .instant("partition_plan", Ids::job(job.id).shard(b as u64).jobs(w));
+        }
+    }
+    let nbins = plan.as_ref().map_or(nshards, PartitionPlan::nbins);
+
     let ctx = Arc::new(FinishCtx {
         job: job.job,
         job_id: job.id,
@@ -2145,13 +2216,15 @@ fn finish_job<J: MapReduceJob + 'static>(
         completion: job.completion,
         failure: job.failure,
         faults: shared.faults.clone(),
+        plan,
         state: Mutex::new(FinishState {
             sharded: false,
             partials,
-            buckets: (0..nshards).map(|_| None).collect(),
-            parts: (0..nshards).map(|_| None).collect(),
+            buckets: (0..nbins).map(|_| None).collect(),
+            bin_records: vec![0; nbins],
+            parts: (0..nbins).map(|_| None).collect(),
         }),
-        remaining: AtomicUsize::new(nshards),
+        remaining: AtomicUsize::new(nbins),
         stats: ScanStats {
             blocks_scanned: job.blocks_seen,
             bytes_scanned: job.bytes_seen,
@@ -2160,20 +2233,88 @@ fn finish_job<J: MapReduceJob + 'static>(
         },
         obs,
     });
-    for s in 0..nshards {
+    // Split bins past the pool width simply queue: the reduce pool drains
+    // bins in submission order, so extras land on whichever worker frees
+    // up first — exactly the idle-worker spreading the split is for.
+    for s in 0..nbins {
         let ctx = Arc::clone(&ctx);
-        reduce_pool.execute(move || run_finish_shard(ctx, s, nshards));
+        reduce_pool.execute(move || run_finish_shard(ctx, s, nbins));
     }
 }
 
 /// The combine+reduce work of one finalization shard, running user code
 /// (combine / combine_fold via bucket merging, reduce): extracted so
 /// [`run_finish_shard`] can run it under `catch_unwind`.
-fn finish_shard_inner<J: MapReduceJob + 'static>(
-    ctx: &FinishCtx<J>,
-    s: usize,
-    nshards: usize,
-) -> Vec<(J::K, J::Out)> {
+/// One-time split of a job's accumulated state into per-shard buckets —
+/// off the coordinator, performed by whichever shard task gets there
+/// first (later tasks see `sharded` set and skip). Returns whether this
+/// call did the split, so the caller can attribute the cost to its own
+/// `shard_split` span rather than polluting that shard's `reduce_shard`
+/// measurement.
+fn ensure_sharded<J: MapReduceJob + 'static>(ctx: &FinishCtx<J>, nbins: usize) -> bool {
+    let mut st = ctx.state.lock();
+    if st.sharded {
+        return false;
+    }
+    // The weighted plan routes heavy keys explicitly; the hash path uses
+    // the bias-free reduction over the base shard count.
+    let route = |k: &J::K| match &ctx.plan {
+        Some(p) => p.bin_of_hash(key_hash(k)),
+        None => shard_of_hash(key_hash(k), nbins),
+    };
+    let partials = std::mem::take(&mut st.partials);
+    let fold = ctx.job.combine_is_fold();
+    // Buckets hold materialized keys, so token-identity partials shard
+    // into plain Fold buckets (the fast path implies fold).
+    let mut buckets: Vec<JobAcc<J>> = (0..nbins)
+        .map(|_| {
+            if fold {
+                JobAcc::Fold(FxHashMap::default())
+            } else {
+                JobAcc::Buf(FxHashMap::default())
+            }
+        })
+        .collect();
+    let mut bin_records = vec![0u64; nbins];
+    for acc in partials {
+        match acc {
+            JobAcc::Fold(map) => {
+                for (k, v) in map {
+                    let b = route(&k);
+                    bin_records[b] += 1;
+                    // Fold-merges values of keys seen by several workers.
+                    buckets[b].push(&*ctx.job, k, v);
+                }
+            }
+            JobAcc::Tok(map) => {
+                // The one place the fast path builds real keys: once per
+                // distinct token per worker accumulator.
+                map.drain_into(|tok, v| {
+                    let k = ctx.job.token_key(tok);
+                    let b = route(&k);
+                    bin_records[b] += 1;
+                    buckets[b].push(&*ctx.job, k, v);
+                });
+            }
+            JobAcc::Buf(map) => {
+                for (k, mut vs) in map {
+                    let b = route(&k);
+                    bin_records[b] += vs.len() as u64;
+                    match &mut buckets[b] {
+                        JobAcc::Buf(m) => m.entry(k).or_default().append(&mut vs),
+                        _ => unreachable!("bucket kind matches job kind"),
+                    }
+                }
+            }
+        }
+    }
+    st.buckets = buckets.into_iter().map(Some).collect();
+    st.bin_records = bin_records;
+    st.sharded = true;
+    true
+}
+
+fn finish_shard_inner<J: MapReduceJob + 'static>(ctx: &FinishCtx<J>, s: usize) -> Vec<(J::K, J::Out)> {
     if let Some(f) = &ctx.faults {
         let d = f.reduce_delay_us(ctx.job_id, s);
         if d > 0 {
@@ -2183,58 +2324,10 @@ fn finish_shard_inner<J: MapReduceJob + 'static>(
             panic!("injected reduce panic (job {} shard {s})", ctx.job_id);
         }
     }
-    let bucket = {
-        let mut st = ctx.state.lock();
-        if !st.sharded {
-            // First shard task to run splits the accumulated state by key
-            // hash — off the coordinator like everything else here.
-            let partials = std::mem::take(&mut st.partials);
-            let fold = ctx.job.combine_is_fold();
-            // Buckets hold materialized keys, so token-identity partials
-            // shard into plain Fold buckets (the fast path implies fold).
-            let mut buckets: Vec<JobAcc<J>> = (0..nshards)
-                .map(|_| {
-                    if fold {
-                        JobAcc::Fold(FxHashMap::default())
-                    } else {
-                        JobAcc::Buf(FxHashMap::default())
-                    }
-                })
-                .collect();
-            for acc in partials {
-                match acc {
-                    JobAcc::Fold(map) => {
-                        for (k, v) in map {
-                            let b = (fxhash::hash64(&k) % nshards as u64) as usize;
-                            // Fold-merges values of keys seen by several workers.
-                            buckets[b].push(&*ctx.job, k, v);
-                        }
-                    }
-                    JobAcc::Tok(map) => {
-                        // The one place the fast path builds real keys:
-                        // once per distinct token per worker accumulator.
-                        map.drain_into(|tok, v| {
-                            let k = ctx.job.token_key(tok);
-                            let b = (fxhash::hash64(&k) % nshards as u64) as usize;
-                            buckets[b].push(&*ctx.job, k, v);
-                        });
-                    }
-                    JobAcc::Buf(map) => {
-                        for (k, mut vs) in map {
-                            let b = (fxhash::hash64(&k) % nshards as u64) as usize;
-                            match &mut buckets[b] {
-                                JobAcc::Buf(m) => m.entry(k).or_default().append(&mut vs),
-                                _ => unreachable!("bucket kind matches job kind"),
-                            }
-                        }
-                    }
-                }
-            }
-            st.buckets = buckets.into_iter().map(Some).collect();
-            st.sharded = true;
-        }
-        st.buckets[s].take()
-    };
+    // `get_mut` (not indexing): if the split itself panicked, the bucket
+    // vector was never built — this shard then reduces nothing and the
+    // recorded failure quarantines the job at publish time.
+    let bucket = ctx.state.lock().buckets.get_mut(s).and_then(Option::take);
 
     // Reduce this shard outside the lock so shards run in parallel. The
     // part stays unordered — the publisher sorts all shards in one pass.
@@ -2262,23 +2355,50 @@ fn finish_shard_inner<J: MapReduceJob + 'static>(
     part
 }
 
-fn run_finish_shard<J: MapReduceJob + 'static>(ctx: Arc<FinishCtx<J>>, s: usize, nshards: usize) {
+fn run_finish_shard<J: MapReduceJob + 'static>(ctx: Arc<FinishCtx<J>>, s: usize, nbins: usize) {
+    // Phase-global split into per-shard buckets, charged to its own
+    // `shard_split` span: leaving it inside whichever `reduce_shard` span
+    // ran first made that histogram's tail show the split cost instead of
+    // the per-shard reduce skew. A panic inside user merge code during
+    // the split quarantines the job like any reduce panic.
+    let split_t0 = ctx.obs.as_ref().map(|o| o.tracer().now_us());
+    match catch_unwind(AssertUnwindSafe(|| ensure_sharded(&ctx, nbins))) {
+        Ok(true) => {
+            if let (Some(o), Some(t0)) = (&ctx.obs, split_t0) {
+                o.tracer().span("shard_split", t0, Ids::job(ctx.job_id));
+                o.shard_split.record(o.tracer().now_us().saturating_sub(t0));
+            }
+        }
+        Ok(false) => {}
+        Err(p) => ctx.failure.record(p),
+    }
     let shard_t0 = ctx.obs.as_ref().map(|o| o.tracer().now_us());
     // A panicking combine/reduce fails this job alone: the shard still
     // completes (with an empty part), `remaining` still counts down, and
     // the last shard publishes the failure instead of an output.
-    let part = match catch_unwind(AssertUnwindSafe(|| finish_shard_inner(&ctx, s, nshards))) {
+    let part = match catch_unwind(AssertUnwindSafe(|| finish_shard_inner(&ctx, s))) {
         Ok(part) => part,
         Err(p) => {
             ctx.failure.record(p);
             Vec::new()
         }
     };
-    ctx.state.lock().parts[s] = Some(part);
+    let shard_records = {
+        let mut st = ctx.state.lock();
+        st.parts[s] = Some(part);
+        st.bin_records.get(s).copied().unwrap_or(0)
+    };
     if let (Some(o), Some(t0)) = (&ctx.obs, shard_t0) {
-        o.tracer()
-            .span("reduce_shard", t0, Ids::job(ctx.job_id).jobs(s as u64));
+        // The shard index rides in its own id field — packing it into the
+        // job or count fields misattributed slices across concurrent jobs.
+        // `n` carries the records this shard reduced.
+        o.tracer().span(
+            "reduce_shard",
+            t0,
+            Ids::job(ctx.job_id).shard(s as u64).jobs(shard_records),
+        );
         o.reduce_shard.record(o.tracer().now_us().saturating_sub(t0));
+        o.reduce_shard_records.record(shard_records);
     }
 
     if ctx.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {

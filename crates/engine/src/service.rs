@@ -525,6 +525,7 @@ impl<J: MapReduceJob + 'static> ScanService<J> {
                     job: id,
                     seg: class.code(),
                     n: file_n,
+                        ..Ids::none()
                 },
             );
         }
@@ -541,6 +542,7 @@ impl<J: MapReduceJob + 'static> ScanService<J> {
                     job: id,
                     seg: class.code(),
                     n: reason.code(),
+                        ..Ids::none()
                 },
             );
         }
@@ -623,6 +625,7 @@ fn dispatcher_loop<J: MapReduceJob + 'static>(
                                 job: j.id,
                                 seg: j.class.code(),
                                 n: pack_file_seq(j.file, j.seq),
+                                    ..Ids::none()
                             },
                         );
                     }
@@ -648,6 +651,7 @@ fn dispatcher_loop<J: MapReduceJob + 'static>(
                                 job: j.id,
                                 seg: j.class.code(),
                                 n: pack_file_seq(j.file, j.seq),
+                                    ..Ids::none()
                             },
                         );
                     }
@@ -690,6 +694,7 @@ fn dispatcher_loop<J: MapReduceJob + 'static>(
                                 job: head.id,
                                 seg: head.class.code(),
                                 n: pack_file_seq(head.file, head.seq),
+                                    ..Ids::none()
                             },
                         );
                     }
@@ -712,6 +717,7 @@ fn dispatcher_loop<J: MapReduceJob + 'static>(
                         job: j.id,
                         seg: j.class.code(),
                         n: pack_file_seq(j.file, j.seq),
+                            ..Ids::none()
                     },
                 );
             }

@@ -18,6 +18,7 @@
 
 use crate::arena::TokenMap;
 use crate::exec::{partition_of, ExecConfig, JobOutput, ScanPath, ScanStats};
+use crate::partition::{key_hash, KeySketch, PartitionPlan};
 use crate::pool::WorkerPool;
 use crate::store::BlockStore;
 use crate::types::MapReduceJob;
@@ -124,7 +125,10 @@ fn run_merged_path<J: MapReduceJob>(
     scan_path: ScanPath,
 ) -> Vec<JobOutput<J::K, J::Out>> {
     assert!(!jobs.is_empty(), "merged run needs at least one job");
-    assert!(cfg.num_reducers > 0, "need at least one reducer");
+    // Degenerate reducer counts clamp to one shard instead of faulting
+    // mid-reduce; `ExecConfig::try_new` is the typed front door.
+    let num_reducers = cfg.num_reducers.max(1);
+    let weighted = cfg.partition.is_weighted();
     let core = obs.core();
 
     let next_block = AtomicUsize::new(0);
@@ -148,10 +152,15 @@ fn run_merged_path<J: MapReduceJob>(
     // ---- shared map phase: tag tuples with their job index ----
     let map_t0 = core.map(|c| c.tracer.now_us());
     type Tagged<K, V> = (usize, K, V);
-    type MapOut<K, V> = (Vec<Vec<Tagged<K, V>>>, Vec<u64>, u64);
+    type MapOut<K, V> = (Vec<Vec<Tagged<K, V>>>, Vec<u64>, u64, KeySketch);
     let worker_outputs: Vec<MapOut<J::K, J::V>> = pool.broadcast(num_threads, &|_| {
+        // Weighted mode defers partitioning to the shuffle: each worker
+        // emits one unpartitioned run plus a key-frequency sketch, and the
+        // merged sketches drive a weighted plan over all workers' records.
+        let nparts = if weighted { 1 } else { num_reducers };
         let mut partitions: Vec<Vec<Tagged<J::K, J::V>>> =
-            (0..cfg.num_reducers).map(|_| Vec::new()).collect();
+            (0..nparts).map(|_| Vec::new()).collect();
+        let mut sketch = KeySketch::new();
         let mut emitted = vec![0u64; num_jobs];
         let mut bytes = 0u64;
         // Fold jobs stream into one accumulator per key for the worker's
@@ -274,9 +283,16 @@ fn run_merged_path<J: MapReduceJob>(
             for (ji, buf) in bufs.iter_mut().enumerate() {
                 for (k, vs) in buf.drain() {
                     let folded = jobs[ji].combine(&k, vs);
-                    let p = partition_of(&k, cfg.num_reducers);
-                    for v in folded {
-                        partitions[p].push((ji, k.clone(), v));
+                    if weighted {
+                        sketch.observe(key_hash(&k), folded.len() as u64);
+                        for v in folded {
+                            partitions[0].push((ji, k.clone(), v));
+                        }
+                    } else {
+                        let p = partition_of(&k, num_reducers);
+                        for v in folded {
+                            partitions[p].push((ji, k.clone(), v));
+                        }
                     }
                 }
             }
@@ -284,34 +300,67 @@ fn run_merged_path<J: MapReduceJob>(
         // Flush fold accumulators: one record per key for the whole worker.
         for (ji, acc) in fold_accs.into_iter().enumerate() {
             for (k, v) in acc {
-                let p = partition_of(&k, cfg.num_reducers);
+                let p = if weighted {
+                    sketch.observe(key_hash(&k), 1);
+                    0
+                } else {
+                    partition_of(&k, num_reducers)
+                };
                 partitions[p].push((ji, k, v));
             }
         }
         // Flush arena maps: build each distinct token's key exactly once.
+        // The sketch hashes the *materialized* key — `token_key` may
+        // collapse distinct tokens — so sketch and shuffle agree.
         for (ji, m) in tok_maps.into_iter().enumerate() {
             let job = jobs[ji];
             m.drain_into(|tok, v| {
                 let k = job.token_key(tok);
-                let p = partition_of(&k, cfg.num_reducers);
+                let p = if weighted {
+                    sketch.observe(key_hash(&k), 1);
+                    0
+                } else {
+                    partition_of(&k, num_reducers)
+                };
                 partitions[p].push((ji, k, v));
             });
         }
-        (partitions, emitted, bytes)
+        (partitions, emitted, bytes, sketch.finish())
     });
 
     // ---- shuffle ----
-    let mut shuffled: Vec<Vec<Tagged<J::K, J::V>>> =
-        (0..cfg.num_reducers).map(|_| Vec::new()).collect();
+    // Weighted: merge the per-worker sketches into one plan and route every
+    // record by its key hash; the plan may split hot bins past the base
+    // width (the reduce loop iterates partition count, not pool width).
+    let plan = weighted.then(|| {
+        let mut merged = KeySketch::new().finish();
+        for (_, _, _, s) in &worker_outputs {
+            merged.merge(s.clone());
+        }
+        PartitionPlan::build(&merged, num_reducers, cfg.partition.split_factor_x1000())
+    });
+    let nbins = plan.as_ref().map_or(num_reducers, PartitionPlan::nbins);
+    let mut shuffled: Vec<Vec<Tagged<J::K, J::V>>> = (0..nbins).map(|_| Vec::new()).collect();
     let mut per_job_emitted = vec![0u64; num_jobs];
     let mut bytes_scanned = 0u64;
-    for (parts, emitted, bytes) in worker_outputs {
+    for (parts, emitted, bytes, _) in worker_outputs {
         bytes_scanned += bytes;
         for (ji, e) in emitted.into_iter().enumerate() {
             per_job_emitted[ji] += e;
         }
-        for (p, mut recs) in parts.into_iter().enumerate() {
-            shuffled[p].append(&mut recs);
+        match &plan {
+            Some(plan) => {
+                for recs in parts {
+                    for (ji, k, v) in recs {
+                        shuffled[plan.bin_of_hash(key_hash(&k))].push((ji, k, v));
+                    }
+                }
+            }
+            None => {
+                for (p, mut recs) in parts.into_iter().enumerate() {
+                    shuffled[p].append(&mut recs);
+                }
+            }
         }
     }
     if let (Some(c), Some(t0)) = (core, map_t0) {
@@ -430,6 +479,7 @@ mod tests {
         ExecConfig {
             num_threads: 4,
             num_reducers: 5,
+        ..ExecConfig::default()
         }
     }
 

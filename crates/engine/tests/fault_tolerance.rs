@@ -67,6 +67,7 @@ fn solo(prefix: &str, s: &BlockStore) -> std::collections::BTreeMap<String, i64>
         &ExecConfig {
             num_threads: 1,
             num_reducers: 4,
+        ..ExecConfig::default()
         },
     )
     .records
@@ -241,6 +242,7 @@ fn warm_deadline_prevents_cold_start_speculation() {
         &ExecConfig {
             num_threads: 1,
             num_reducers: 2,
+        ..ExecConfig::default()
         },
     )
     .records;

@@ -115,7 +115,7 @@ proptest! {
         prefix in prop::sample::select(vec!["", "a", "ab", "c"]),
     ) {
         let store = BlockStore::from_text(&build_corpus(&codes), block_bytes);
-        let cfg = ExecConfig { num_threads: threads, num_reducers: reducers };
+        let cfg = ExecConfig { num_threads: threads, num_reducers: reducers ,..ExecConfig::default()};
         for job in job_variants(prefix) {
             let kernel = run_job(&job, &store, &cfg);
             let legacy = run_job_legacy(&job, &store, &cfg);
@@ -138,7 +138,7 @@ proptest! {
         let store = BlockStore::from_text(&build_corpus(&codes), block_bytes);
         let jobs = job_variants("a");
         let refs: Vec<&Wc> = jobs.iter().collect();
-        let cfg = ExecConfig { num_threads: threads, num_reducers: reducers };
+        let cfg = ExecConfig { num_threads: threads, num_reducers: reducers ,..ExecConfig::default()};
         let kernel = run_merged(&refs, &store, &cfg);
         let legacy = run_merged_legacy(&refs, &store, &cfg);
         for ((k, l), job) in kernel.iter().zip(&legacy).zip(&jobs) {
@@ -160,7 +160,7 @@ proptest! {
         let store = BlockStore::from_text(&build_corpus(&codes), block_bytes);
         let jobs = job_variants("a");
         let reference = run_job(&jobs[0], &store,
-            &ExecConfig { num_threads: 1, num_reducers: 2 });
+            &ExecConfig { num_threads: 1, num_reducers: 2 ,..ExecConfig::default()});
 
         let mut outputs = Vec::new();
         for scan_path in [ScanPath::Kernel, ScanPath::Legacy] {

@@ -179,6 +179,7 @@ impl Trace {
                 job: e.jobs.first().map_or(NO_ID, |j| j.0 as u64),
                 seg: e.block.map_or(NO_ID, |b| b.0 as u64),
                 n: e.jobs.len() as u64,
+                ..Ids::none()
             }
         }
         fn tid_of(e: &TraceEvent) -> u64 {

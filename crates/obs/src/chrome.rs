@@ -94,12 +94,15 @@ impl ChromeEvent {
 /// exporting component (servers use 1).
 pub fn engine_event_to_chrome(ev: &Event, pid: u64, cat: &str) -> ChromeEvent {
     let mut args: Vec<(String, Value)> = Vec::new();
-    let Ids { job, seg, n } = ev.ids;
+    let Ids { job, seg, shard, n } = ev.ids;
     if job != NO_ID {
         args.push(("job".to_string(), Value::from(job)));
     }
     if seg != NO_ID {
         args.push(("seg".to_string(), Value::from(seg)));
+    }
+    if shard != NO_ID {
+        args.push(("shard".to_string(), Value::from(shard)));
     }
     if n != NO_ID {
         args.push(("n".to_string(), Value::from(n)));

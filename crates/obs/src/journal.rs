@@ -90,6 +90,9 @@ pub struct ShardSlice {
     pub ts_us: u64,
     /// Span duration (µs).
     pub dur_us: u64,
+    /// Records this shard reduced (0 for traces predating the field).
+    #[serde(default)]
+    pub records: u64,
 }
 
 /// The reconstructed timeline of one job.
@@ -204,10 +207,19 @@ impl JobJournal {
                     b.terminals.push((ev.ts_us, Outcome::Expired));
                 }
                 ("reduce_shard", Phase::Span) => {
+                    // Current engines put the shard in its dedicated id
+                    // field and the record count in `n`; older traces
+                    // packed the shard index into `n` with no count.
+                    let (shard, records) = if ev.ids.shard != NO_ID {
+                        (ev.ids.shard, if ev.ids.n == NO_ID { 0 } else { ev.ids.n })
+                    } else {
+                        (ev.ids.n, 0)
+                    };
                     jobs.entry(ev.ids.job).or_default().reduce_shards.push(ShardSlice {
-                        shard: ev.ids.n,
+                        shard,
                         ts_us: ev.ts_us,
                         dur_us: ev.dur_us,
+                        records,
                     });
                 }
                 ("segment", Phase::Span) => {
@@ -419,7 +431,10 @@ impl JobJournal {
                     "reduce",
                     s.ts_us,
                     s.dur_us,
-                    vec![("shard".into(), Value::from(s.shard))],
+                    vec![
+                        ("shard".into(), Value::from(s.shard)),
+                        ("records".into(), Value::from(s.records)),
+                    ],
                 ));
             }
             out.push(ChromeEvent {
@@ -479,7 +494,7 @@ mod tests {
             // iteration 2: segment [2,4) completes both revolutions
             span(110, 80, "segment", Ids::seg(2).jobs(2)),
             // job 0 reduces and finishes
-            span(200, 30, "reduce_shard", Ids::job(0).jobs(0)),
+            span(200, 30, "reduce_shard", Ids::job(0).shard(0).jobs(12)),
             instant(240, "job_done", Ids::job(0).jobs(4)),
             // job 1 quarantines in reduce
             instant(260, "quarantine", Ids::job(1)),
@@ -503,6 +518,8 @@ mod tests {
         assert_eq!(j0.recovery_us, 25);
         assert_eq!(j0.assists, 1);
         assert_eq!(j0.reduce_shards.len(), 1);
+        assert_eq!(j0.reduce_shards[0].shard, 0);
+        assert_eq!(j0.reduce_shards[0].records, 12);
         j.validate().unwrap();
 
         let j1 = &j.jobs[1];
@@ -582,6 +599,61 @@ mod tests {
         assert_eq!(r.outcome, Outcome::Expired);
         assert_eq!(r.terminal_us, 70);
         j.validate().unwrap();
+    }
+
+    /// Satellite regression: two jobs finishing concurrently, their
+    /// `reduce_shard` spans interleaved in time with *identical* shard
+    /// indexes. The dedicated `shard` id field keeps each span attributed
+    /// to its own job — the old encoding packed the shard into the free
+    /// count field, and any scheme that multiplexed the job field would
+    /// cross the streams here.
+    #[test]
+    fn concurrent_finishing_jobs_keep_their_own_shards() {
+        let evs = vec![
+            instant(5, "submit", Ids::job(0)),
+            instant(6, "submit", Ids::job(1)),
+            instant(10, "admit", Ids::job(0).jobs(0)),
+            instant(11, "admit", Ids::job(1).jobs(0)),
+            span(9, 50, "segment", Ids::seg(0).jobs(2)),
+            // Interleaved finishes: shard 0 of job 1 lands between shard 0
+            // and shard 1 of job 0, and vice versa.
+            span(100, 30, "reduce_shard", Ids::job(0).shard(0).jobs(7)),
+            span(105, 20, "reduce_shard", Ids::job(1).shard(0).jobs(3)),
+            span(110, 25, "reduce_shard", Ids::job(1).shard(1).jobs(4)),
+            span(115, 10, "reduce_shard", Ids::job(0).shard(1).jobs(9)),
+            instant(200, "job_done", Ids::job(0).jobs(1)),
+            instant(210, "job_done", Ids::job(1).jobs(1)),
+        ];
+        let j = JobJournal::from_events(&evs);
+        j.validate().unwrap();
+        assert_eq!(j.jobs.len(), 2);
+        for r in &j.jobs {
+            assert_eq!(r.reduce_shards.len(), 2, "job {}", r.id);
+            let shards: Vec<u64> = r.reduce_shards.iter().map(|s| s.shard).collect();
+            assert_eq!(shards, vec![0, 1], "job {}", r.id);
+        }
+        let recs = |id: usize| -> Vec<u64> {
+            j.jobs[id].reduce_shards.iter().map(|s| s.records).collect()
+        };
+        assert_eq!(recs(0), vec![7, 9]);
+        assert_eq!(recs(1), vec![3, 4]);
+    }
+
+    /// Traces from engines predating the dedicated shard field packed the
+    /// shard index into `n`; they must still parse (without counts).
+    #[test]
+    fn legacy_reduce_shard_encoding_still_parses() {
+        let evs = vec![
+            instant(5, "submit", Ids::job(0)),
+            instant(10, "admit", Ids::job(0).jobs(0)),
+            span(9, 10, "segment", Ids::seg(0).jobs(1)),
+            span(100, 30, "reduce_shard", Ids::job(0).jobs(2)),
+            instant(200, "job_done", Ids::job(0).jobs(1)),
+        ];
+        let j = JobJournal::from_events(&evs);
+        assert_eq!(j.jobs[0].reduce_shards.len(), 1);
+        assert_eq!(j.jobs[0].reduce_shards[0].shard, 2);
+        assert_eq!(j.jobs[0].reduce_shards[0].records, 0);
     }
 
     #[test]

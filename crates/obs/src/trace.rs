@@ -34,15 +34,25 @@ pub enum Phase {
 }
 
 /// Identity attached to an event. All fields default to [`NO_ID`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Ids {
     /// Job id, or [`NO_ID`].
     pub job: u64,
     /// Segment index, or [`NO_ID`].
     pub seg: u64,
+    /// Reduce shard index, or [`NO_ID`]. A dedicated field: packing the
+    /// shard into `job` or `n` made `reduce_shard` spans ambiguous across
+    /// concurrent jobs.
+    pub shard: u64,
     /// Free-form count (active jobs in a segment span, bytes in a spill
     /// span…), or [`NO_ID`].
     pub n: u64,
+}
+
+impl Default for Ids {
+    fn default() -> Self {
+        Ids::none()
+    }
 }
 
 impl Ids {
@@ -51,6 +61,7 @@ impl Ids {
         Ids {
             job: NO_ID,
             seg: NO_ID,
+            shard: NO_ID,
             n: NO_ID,
         }
     }
@@ -63,6 +74,12 @@ impl Ids {
     /// Ids for a segment-scoped event.
     pub fn seg(seg: u64) -> Self {
         Ids { seg, ..Ids::none() }
+    }
+
+    /// Attach a reduce shard index.
+    pub fn shard(mut self, shard: u64) -> Self {
+        self.shard = shard;
+        self
     }
 
     /// Attach a free-form count.
